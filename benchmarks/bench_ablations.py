@@ -1,0 +1,32 @@
+"""Bench: the design-choice ablations (storage, serial/parallel, rounding)."""
+
+from repro.experiments import ablations
+
+
+def test_ablations(run_once):
+    result = run_once(ablations.run)
+    storage = result.rows["storage format (energy efficiency vs FP-FP)"]
+    # The bit-plane store roughly doubles the energy win of the compute
+    # datapath alone — memory savings are load-bearing, as the paper
+    # argues against FIGNA's FP16-resident design.
+    assert storage["Anda full (bit-plane store)"] > 1.5 * storage[
+        "Anda compute only (FP16 store)"
+    ]
+    # Without the store, Anda-compute lands near FIGNA (same idea:
+    # cheap INT compute, FP16 memory).
+    figna = storage["FIGNA (reference)"]
+    assert abs(storage["Anda compute only (FP16 store)"] - figna) < 0.5
+
+    serial = result.rows["bit-serial vs bit-parallel (speedup vs FP-FP)"]
+    values = list(serial.values())
+    # Both run well above FP-FP; the fixed bit-parallel design must be
+    # synthesized at the precision ceiling, so the two land close on
+    # LLaMA (narrow mantissa spread) — the win grows with spread.
+    assert all(v > 1.5 for v in values)
+
+    rounding = result.rows["rounding mode (perplexity)"]
+    ref = rounding["FP16 reference"]
+    # Truncation at M=5 stays within a few percent of FP16 perplexity:
+    # the hardware-cheap aligner does not cost meaningful accuracy.
+    assert rounding["M=5 truncate"] < ref * 1.05
+    assert rounding["M=5 nearest"] < ref * 1.05

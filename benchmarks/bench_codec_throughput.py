@@ -1,0 +1,49 @@
+"""Microbenchmarks: throughput of the format codecs themselves.
+
+Not a paper figure — these time the library's own hot paths (encode,
+decode, fake-quantize, Anda GeMM) so regressions in the software
+implementation are visible.  Multiple rounds, real statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.anda import AndaTensor, fake_quantize
+from repro.core.bitserial import anda_matvec
+from repro.core.compressor import BitPlaneCompressor
+
+
+@pytest.fixture(scope="module")
+def activations():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(64, 1024)).astype(np.float32)
+
+
+def test_encode_throughput(benchmark, activations):
+    result = benchmark(AndaTensor.from_float, activations, 6)
+    assert result.mantissa_bits == 6
+
+
+def test_decode_throughput(benchmark, activations):
+    tensor = AndaTensor.from_float(activations, 6)
+    decoded = benchmark(tensor.decode)
+    assert decoded.shape == activations.shape
+
+
+def test_fake_quantize_throughput(benchmark, activations):
+    out = benchmark(fake_quantize, activations, 6)
+    assert out.shape == activations.shape
+
+
+def test_bpc_throughput(benchmark, activations):
+    compressor = BitPlaneCompressor()
+    tensor, stats = benchmark(compressor.compress, activations, 6)
+    assert stats.groups == 64 * 16
+
+
+def test_anda_matvec_throughput(benchmark, activations):
+    rng = np.random.default_rng(1)
+    weights = rng.integers(-8, 8, size=(1024, 64))
+    tensor = AndaTensor.from_float(activations, 6)
+    out = benchmark(anda_matvec, tensor, weights)
+    assert out.shape == (64, 64)

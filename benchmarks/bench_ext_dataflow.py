@@ -1,0 +1,21 @@
+"""Bench: dataflow-mapping ablation (the output-stationary choice)."""
+
+from repro.experiments import ext_dataflow
+
+
+def test_ext_dataflow(run_once):
+    result = run_once(ext_dataflow.run)
+    # At FP16 there is no decisive winner (OS within ~2% of best)...
+    fp16 = result.comparisons["FP16"]
+    assert fp16.overhead("output-stationary") < 1.02
+    # ...but at every Anda deployment width, OS wins outright, and the
+    # gap widens as mantissas shrink (psum traffic cannot shrink).
+    gaps = []
+    for label in ("Anda M=11", "Anda M=8", "Anda M=5"):
+        cmp = result.comparisons[label]
+        assert cmp.best() == "output-stationary"
+        gaps.append(cmp.overhead("input-stationary"))
+    assert gaps == sorted(gaps)
+    # Weight-stationary is never competitive on these deep reductions.
+    for cmp in result.comparisons.values():
+        assert cmp.overhead("weight-stationary") > 1.3

@@ -1,0 +1,21 @@
+"""Bench: bit-plane layout regularity and DRAM burst study (Sec. IV-A)."""
+
+from repro.experiments import ext_memory
+
+
+def test_ext_memory_layout(run_once):
+    result = run_once(ext_memory.run)
+    # Bit-plane never loses to the element layout, at any mantissa.
+    for cmp in result.layouts.values():
+        assert cmp.fetch_ratio >= 1.0
+        assert cmp.bitplane.bandwidth_utilization == 1.0
+        assert cmp.bitplane.rotations == 0
+    # The element layout's penalty grows with mantissa length: feeding
+    # the bit-serial PE re-reads the whole group per plane.
+    ratios = [result.layouts[m].fetch_ratio for m in sorted(result.layouts)]
+    assert ratios == sorted(ratios)
+    # DRAM: Anda tensors stay burst-aligned and strictly smaller than
+    # FP16 for every deployed mantissa length.
+    for vals in result.dram.values():
+        assert vals["footprint_ratio"] > 1.0
+        assert vals["burst_utilization"] > 0.99

@@ -1,0 +1,20 @@
+"""Bench: event-simulated dispatcher/BPC overlap (Sec. IV-B/IV-C claims)."""
+
+from repro.experiments import ext_overlap
+
+
+def test_ext_overlap(run_once):
+    result = run_once(ext_overlap.run)
+    anda = {k: v for k, v in result.summaries.items() if k.startswith("Anda")}
+    # Sec. IV-C: BPC compression largely overlaps APU compute.
+    for summary in anda.values():
+        assert summary.bpc_hidden_fraction > 0.9
+        assert summary.slowdown_vs_compute_bound < 1.05
+    # Sec. IV-B: double-buffered weight loads hide behind compute.
+    for summary in result.summaries.values():
+        assert summary.load_hidden_fraction > 0.7
+    # Cycles scale with mantissa length (bit-serial early termination).
+    cycles = [anda[f"Anda-M{m}"].total_cycles for m in (4, 6, 8, 11)]
+    assert cycles == sorted(cycles)
+    # All Anda points beat the full-rate baselines.
+    assert max(cycles) < result.summaries["FP-FP"].total_cycles

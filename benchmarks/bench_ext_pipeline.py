@@ -1,0 +1,22 @@
+"""Bench: end-to-end transformer pipeline (the Amdahl view of Fig. 16)."""
+
+from repro.experiments import ext_pipeline
+
+
+def test_ext_pipeline(run_once):
+    result = run_once(ext_pipeline.run)
+    for model, cmp in result.comparisons.items():
+        # Anda wins end to end, but by less than on GeMMs alone.
+        assert cmp.end_to_end_speedup > 1.5
+        assert cmp.gemm_speedup >= cmp.end_to_end_speedup
+        assert 0.5 < cmp.amdahl_gap <= 1.0
+        # Serving estimates follow.
+        assert (
+            result.anda[model].decode_tokens_per_s
+            > result.fpfp[model].decode_tokens_per_s
+        )
+    # The pipeline-level mirror of Fig. 2: GeMM share falls as the
+    # FP-FP attention quadratic grows.
+    shares = list(result.gemm_share_by_context.values())
+    assert shares == sorted(shares, reverse=True)
+    assert shares[0] > 0.9  # GeMM-dominated at short context

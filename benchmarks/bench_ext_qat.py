@@ -1,0 +1,17 @@
+"""Bench: Anda quantization-aware training recovery (Sec. VI future work)."""
+
+from repro.experiments import ext_qat
+
+
+def test_ext_qat_recovery(run_once):
+    result = run_once(ext_qat.run)
+    for res in result.results.values():
+        # Aggressive sub-frontier combinations must visibly hurt PTQ...
+        assert res.ppl_ptq > res.ppl_fp
+        # ...and a short STE fine-tune recovers most of the damage.
+        assert res.ppl_qat < res.ppl_ptq
+        assert res.recovered_fraction > 0.5
+    # Deeper truncation leaves more residual damage after QAT.
+    three = result.results["[3, 3, 3, 3]"]
+    four = result.results["[4, 4, 4, 4]"]
+    assert three.qat_degradation > four.qat_degradation

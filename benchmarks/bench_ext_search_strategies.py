@@ -1,0 +1,34 @@
+"""Bench: search strategies vs Algorithm 1 (Sec. III-D efficiency claims)."""
+
+from repro.experiments import ext_search_strategies
+
+
+def test_ext_search_strategies(run_once):
+    result = run_once(ext_search_strategies.run)
+    adaptive = result.outcomes["adaptive (Alg. 1)"]
+    brute = result.outcomes["brute-force"]
+    # The paper's claim: near-optimal quality within a ~32-pass budget,
+    # against a >10,000-combination space.
+    assert adaptive.feasible
+    assert adaptive.evaluations <= 32
+    assert adaptive.best_bops <= 1.15 * brute.best_bops
+    # Layer-wise methods pay the dimensionality: an order of magnitude
+    # more calibration passes than the module-wise search.
+    assert result.layerwise.evaluations > 10 * adaptive.evaluations
+
+
+def test_ext_search_strategies_real_landscape(run_once):
+    result = run_once(ext_search_strategies.run_real)
+    adaptive = result.outcomes["adaptive (Alg. 1)"]
+    greedy = result.outcomes["greedy-descent"]
+    random = result.outcomes["random"]
+    # On real calibration evaluations: Algorithm 1 stays within its
+    # 32-pass budget and is at least as good as the greedy walk...
+    assert adaptive.feasible
+    assert adaptive.evaluations <= 32
+    assert adaptive.best_bops <= greedy.best_bops
+    # ...while greedy pays noticeably more calibration passes and a
+    # same-budget random search lands on a worse point.
+    assert greedy.evaluations > 1.5 * adaptive.evaluations
+    if random.feasible:
+        assert random.best_bops >= adaptive.best_bops

@@ -1,0 +1,24 @@
+"""Bench: extension studies (decode regime, KV cache, uniform widths)."""
+
+from repro.experiments import extensions
+
+
+def test_extensions(run_once):
+    result = run_once(extensions.run)
+    for model, vals in result.decode.items():
+        # The bit-serial datapath wins in both regimes on this budget...
+        assert vals["prefill_speedup"] > 1.8, model
+        assert vals["decode_speedup"] > 1.5, model
+        # ...but the activation-compression DRAM saving is prefill-only
+        # (decode traffic is weight-dominated).
+        assert vals["prefill_dram_reduction"] > 1.4, model
+        assert vals["decode_dram_reduction"] < 1.1, model
+    # KV compression: monotone footprint/error trade-off.
+    compressions = [result.kv[m]["compression"] for m in sorted(result.kv)]
+    errors = [result.kv[m]["logit_rel_error"] for m in sorted(result.kv)]
+    assert compressions == sorted(compressions, reverse=True)
+    assert errors == sorted(errors, reverse=True)
+    assert result.kv[8]["logit_rel_error"] < 0.02
+    # The searched 4-tuple is at least as efficient as the uniform width.
+    for model, bits in result.uniform_bits.items():
+        assert max(result.searched[model]) <= bits + 2

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 2 (FP-INT GeMM operation share)."""
+
+from repro.experiments import fig2_gemm_ops
+
+
+def test_fig2_gemm_ops(run_once):
+    result = run_once(fig2_gemm_ops.run)
+    # Paper claim: FP-INT GeMMs are >90% of ops below 4K context...
+    for model, shares in result.shares.items():
+        assert shares[1024] > 0.9, model
+        assert shares[2048] > 0.9, model
+    # ...and remain significant at 16K.
+    assert all(shares[16384] > 0.4 for shares in result.shares.values())

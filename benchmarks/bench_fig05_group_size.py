@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 5 (sensitivity to BFP group size)."""
+
+from repro.experiments import fig5_group_size
+
+
+def test_fig5_group_size(run_once):
+    result = run_once(fig5_group_size.run)
+    for model in fig5_group_size.MODELS:
+        # More mantissa bits never hurt at fixed group size (GS=64).
+        series = result.ppl[model][64]
+        assert series[13] <= series[4] * 1.001
+        # The paper's trade-off: the per-element format (GS=1) tolerates
+        # a mantissa at least as short as whole-channel groups.
+        fine = result.min_mantissa_within_loss(model, 1)
+        coarse = result.min_mantissa_within_loss(model, None)
+        assert fine is not None
+        assert coarse is None or fine <= coarse

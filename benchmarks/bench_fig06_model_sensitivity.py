@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 6 (per-model mantissa sensitivity)."""
+
+from repro.experiments import fig6_model_sensitivity
+
+
+def test_fig6_model_sensitivity(run_once):
+    result = run_once(fig6_model_sensitivity.run)
+    for model, series in result.relative.items():
+        # Near-lossless at 13 bits...
+        assert series[13] > 0.995, model
+        # ...and clearly degraded by 4 bits (the VS-Quant collapse zone).
+        assert series[4] < series[13], model
+        # Every model admits some 1%-loss mantissa in the sweep range.
+        assert result.tolerable_bits(model, 0.01) is not None, model

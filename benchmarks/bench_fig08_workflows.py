@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 8's workflow comparison (counted annotations)."""
+
+from repro.experiments import fig8_workflows
+
+
+def test_fig8_workflows(run_once):
+    result = run_once(fig8_workflows.run)
+    costs = result.costs
+    # "(-) repetitive conversion" — FIGNA re-converts per access, Anda
+    # converts once per produced element.
+    assert costs["FIGNA"].act_conversions > 0
+    assert costs["Anda"].act_conversions == 0
+    assert costs["FIGNA"].total_conversions > 10 * costs["Anda"].total_conversions
+    # "(+) reduced memory / access cost" — Anda is the only workflow
+    # below the FP16-resident footprint.
+    fp16_memory = costs["GPU"].act_memory_bits
+    assert costs["Anda"].act_memory_bits < 0.6 * fp16_memory
+    assert costs["Anda"].act_traffic_bits < costs["FIGNA"].act_traffic_bits
+    # "(-) increased computation cost" — only the GPU path dequantizes
+    # weights into FP16 FMAs.
+    assert costs["GPU"].weight_dequants > 0
+    assert all(
+        costs[w].weight_dequants == 0 for w in ("FP-INT GPU", "FIGNA", "Anda")
+    )

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 9 (search trajectory on OPT-125M)."""
+
+from repro.experiments import fig9_search_trace
+
+
+def test_fig9_search_trace(run_once):
+    result = run_once(fig9_search_trace.run)
+    # The search converges within the paper's 32-iteration budget.
+    assert result.search.feasible
+    assert result.search.iterations <= 32
+    # Trace starts on the uniform ramp, as in the paper's Fig. 9.
+    first = result.search.steps[0].combination
+    assert first == (4, 4, 4, 4)
+    # The best combination beats the FIGNA anchor on BOPs.
+    final_norm = result.normalized_bops[
+        [s.combination for s in result.search.steps].index(result.best)
+    ]
+    assert final_norm < 1.0

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 14 (selected precision combinations)."""
+
+from repro.core.precision import TensorKind
+from repro.experiments import fig14_combinations
+
+
+def test_fig14_combinations(run_once):
+    result = run_once(fig14_combinations.run)
+    for (dataset, tolerance), grid in result.combos.items():
+        for model, comb in grid.items():
+            assert all(4 <= bits <= 13 for bits in comb), (dataset, model)
+    # Tighter tolerance keeps at-least-as-long mantissas on average.
+    for dataset in ("wikitext2-sim", "ptb-sim", "c4-sim"):
+        for kind in TensorKind:
+            tight = result.mean_bits(dataset, 0.001, kind)
+            loose = result.mean_bits(dataset, 0.01, kind)
+            assert tight >= loose - 1e-9, (dataset, kind)

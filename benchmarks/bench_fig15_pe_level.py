@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 15 (PE-level comparison)."""
+
+import pytest
+
+from repro.experiments import fig15_pe_level
+from repro.experiments.fig15_pe_level import (
+    PAPER_ANDA_AREA_EFF,
+    PAPER_ANDA_ENERGY_EFF,
+)
+
+
+def test_fig15_pe_level(run_once):
+    result = run_once(fig15_pe_level.run)
+    # Anda-Mx efficiency points track the paper's published curves.
+    for m, paper in PAPER_ANDA_AREA_EFF.items():
+        assert result.area_efficiency[f"Anda-M{m}"] == pytest.approx(paper, rel=0.02)
+    for m, paper in PAPER_ANDA_ENERGY_EFF.items():
+        assert result.energy_efficiency[f"Anda-M{m}"] == pytest.approx(paper, rel=0.03)
+    # Efficiency grows monotonically as the mantissa shortens.
+    series = [result.energy_efficiency[f"Anda-M{m}"] for m in range(13, 3, -1)]
+    assert series == sorted(series)
+    # The independent gate model keeps INT datapaths below the FP FMA.
+    assert result.modeled_area["FIGNA"] < result.modeled_area["FP-FP"]

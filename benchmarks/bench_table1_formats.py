@@ -1,0 +1,12 @@
+"""Bench: render Table I (format taxonomy)."""
+
+from repro.experiments import table1_formats
+
+
+def test_table1_formats(run_once):
+    result = run_once(table1_formats.run)
+    names = [spec.name for spec in result.formats]
+    assert "Anda (Ours)" in names
+    anda = result.formats[-1]
+    assert anda.length_class == "variable"
+    assert anda.compute_mantissa_bits == tuple(range(1, 17))

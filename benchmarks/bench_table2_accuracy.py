@@ -1,0 +1,29 @@
+"""Bench: regenerate Table II (accuracy/BOPs across schemes).
+
+This is the heavyweight accuracy benchmark: 9 models x 3 datasets x 6
+schemes, including two adaptive searches per (model, dataset).  First
+run also trains the model zoo.
+"""
+
+from repro.experiments import table2_accuracy
+
+
+def test_table2_accuracy(run_once):
+    result = run_once(table2_accuracy.run)
+    for dataset, models in result.cells.items():
+        for model, cells in models.items():
+            key = (dataset, model)
+            # FIGNA tracks the weight-only reference closely.
+            assert abs(cells["figna"].drop_percent) < 1.0, key
+            # VS-Quant without retraining collapses hardest (tens of
+            # percent on paper-scale models; the scaled-down twins are
+            # less brittle but the ordering is unambiguous).
+            assert cells["vs-quant"].drop_percent <= cells["figna"].drop_percent, key
+            assert cells["vs-quant"].drop_percent < -0.3, key
+            # Anda's savings beat FIGNA's 1.23x at both tolerances.
+            assert cells["anda-0.1%"].bops_saving > 1.23, key
+            assert cells["anda-1%"].bops_saving >= cells["anda-0.1%"].bops_saving, key
+            # The loose tolerance keeps accuracy in a sane band on
+            # held-out data (the paper notes slight exceedances are
+            # expected: calibration != validation).
+            assert cells["anda-1%"].drop_percent > -5.0, key

@@ -1,0 +1,21 @@
+"""Bench: regenerate Table III (Anda area/power breakdown)."""
+
+import pytest
+
+from repro.experiments import table3_breakdown
+from repro.experiments.table3_breakdown import PAPER_TABLE3, PAPER_TOTAL
+
+
+def test_table3_breakdown(run_once):
+    result = run_once(table3_breakdown.run)
+    breakdown = result.breakdown
+    assert breakdown.total_area_mm2 == pytest.approx(PAPER_TOTAL[0], rel=0.05)
+    assert breakdown.total_power_mw == pytest.approx(PAPER_TOTAL[1], rel=0.05)
+    # Anchored components match closely; structural ones within 2.5x.
+    for name, (paper_area, paper_power) in PAPER_TABLE3.items():
+        comp = breakdown.component(name)
+        assert comp.area_mm2 == pytest.approx(paper_area, rel=0.8), name
+        assert comp.power_mw == pytest.approx(paper_power, rel=0.8, abs=0.05), name
+    # Headline shape: SRAM dominates area, MXU dominates power.
+    assert breakdown.area_share("Activation Buffer") > 0.3
+    assert breakdown.power_share("MXU") > 0.5

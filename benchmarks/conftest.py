@@ -1,0 +1,30 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one paper table/figure and prints the
+report, so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+reproduction harness.  Model-zoo training happens lazily on first use
+and is cached under ``.anda_zoo_cache/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The accuracy experiments carry model evaluations and searches that
+    are deterministic; repeating them only burns time, so benches use a
+    single round and print the rendered report.
+    """
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                                    iterations=1)
+        print()
+        print(result.render())
+        return result
+
+    return runner

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""System-level accelerator comparison on a paper-scale workload.
+
+Simulates a 2048-token LLaMA-13B prefill (the paper's Sec. V-D setting)
+on the Anda architecture and every baseline: wall-clock cycles, energy
+split across compute/SRAM/DRAM, and the headline speedup / efficiency
+multipliers.  No zoo model is needed — the hardware experiments run on
+the real model dimensions.
+
+Run:  python examples/accelerator_sim.py
+"""
+
+from repro.core.precision import PrecisionCombination
+from repro.hw.accelerator import compare_architectures
+from repro.hw.area import anda_system_breakdown, system_area_mm2
+from repro.hw.params import CLOCK_HZ
+from repro.hw.simulator import simulate_model
+
+MODEL = "llama-13b"
+
+#: A representative 1%-tolerance combination for LLaMA-13B (the full
+#: pipeline would take it from the adaptive search; see
+#: examples/precision_search.py).
+COMBINATION = PrecisionCombination(7, 5, 6, 6)
+
+
+def main() -> None:
+    print(f"Simulating {MODEL}, 2048-token prefill, 16x16 MXU @ 285 MHz\n")
+
+    fpfp = simulate_model(MODEL, "FP-FP")
+    results = compare_architectures(MODEL, COMBINATION)
+
+    header = (f"{'system':<10} {'time(ms)':>9} {'speedup':>8} "
+              f"{'energy(mJ)':>11} {'energy-eff':>10} {'area-eff':>9}")
+    print(header)
+    print("-" * len(header))
+    for name, comparison in results.items():
+        run = comparison.run
+        time_ms = run.cycles / CLOCK_HZ * 1e3
+        print(f"{name:<10} {time_ms:>9.1f} {comparison.speedup:>7.2f}x "
+              f"{run.energy_pj / 1e9:>11.2f} "
+              f"{comparison.energy_efficiency:>9.2f}x "
+              f"{comparison.area_efficiency:>8.2f}x")
+
+    print(f"\nAnda combination: {COMBINATION}")
+    print("\nEnergy breakdown (fraction of the FP-FP total):")
+    for name in ("FP-FP", "FIGNA", "Anda"):
+        shares = results[name].energy_shares_vs_fpfp(fpfp)
+        print(f"  {name:<8} compute {shares['compute'] * 100:5.1f}%  "
+              f"sram {shares['sram'] * 100:5.1f}%  "
+              f"dram {shares['dram'] * 100:5.1f}%")
+
+    print("\nAnda system floorplan (Table III):")
+    breakdown = anda_system_breakdown()
+    for comp in breakdown.components:
+        print(f"  {comp.name:<18} {comp.area_mm2:6.3f} mm2  "
+              f"{comp.power_mw:6.2f} mW")
+    print(f"  {'Total':<18} {breakdown.total_area_mm2:6.2f} mm2  "
+          f"{breakdown.total_power_mw:6.2f} mW")
+    print(f"\nFP-FP system area for reference: "
+          f"{system_area_mm2('FP-FP'):.2f} mm2")
+
+
+if __name__ == "__main__":
+    main()

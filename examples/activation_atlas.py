@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Why group size 64? An empirical look at LLM activations.
+
+Reproduces the design rationale behind the Anda format on a trained
+model from the zoo:
+
+1. capture the four FP-INT GeMM activation tensors from a forward pass,
+2. measure channel-outlier structure (the reason activations resist
+   plain INT quantization),
+3. measure the within-group exponent spread as the group size grows —
+   the exact quantity that forces mantissa truncation in BFP formats —
+   and connect it to the Fig. 5 accuracy trade-off.
+
+Run:  python examples/activation_atlas.py
+"""
+
+import numpy as np
+
+from repro.core.precision import TensorKind
+from repro.llm.analysis import (
+    capture_activations,
+    mean_spread_by_group_size,
+    outlier_stats,
+)
+from repro.llm.datasets import validation_sequences
+from repro.llm.zoo import get_model
+
+MODEL = "opt-6.7b"
+GROUP_SIZES = (1, 8, 16, 32, 64, 128, 256)
+
+
+def main() -> None:
+    print(f"Capturing activations from the {MODEL} twin...")
+    model = get_model(MODEL)
+    tokens = validation_sequences("wikitext2-sim", n_sequences=2, seq_len=96)
+    capture = capture_activations(model, tokens)
+
+    print("\n=== Channel-outlier structure ===")
+    print(f"{'tensor':>7} {'max|x|':>9} {'median ch. max':>15} "
+          f"{'outlier ratio':>14} {'top-1% energy':>14}")
+    for kind in TensorKind.ordered():
+        stats = outlier_stats(capture.stacked(kind))
+        print(f"A_{kind.value:<5} {stats.max_abs:>9.3f} "
+              f"{stats.median_channel_max:>15.3f} "
+              f"{stats.outlier_ratio:>13.1f}x "
+              f"{stats.top1pct_energy * 100:>13.1f}%")
+
+    print("\n=== Within-group exponent spread vs group size ===")
+    print("(bits of mantissa the worst element of a group loses to "
+          "shared-exponent alignment)")
+    header = f"{'tensor':>7} " + " ".join(f"GS={gs:<4}" for gs in GROUP_SIZES)
+    print(header)
+    for kind in TensorKind.ordered():
+        spreads = mean_spread_by_group_size(
+            capture.stacked(kind), GROUP_SIZES
+        )
+        row = " ".join(f"{spreads[gs]:>6.2f} " for gs in GROUP_SIZES)
+        print(f"A_{kind.value:<5} {row}")
+
+    spread64 = np.mean([
+        mean_spread_by_group_size(capture.stacked(kind), (64,))[64]
+        for kind in TensorKind.ordered()
+    ])
+    print(f"\nAt the paper's GS=64, the worst element of a group sits "
+          f"~{spread64:.1f} exponent steps below the shared maximum — it is "
+          "fully truncated by short mantissas.  Accuracy survives anyway "
+          "(Fig. 5/6: 5-7 bits inside the 1% envelope) because those are "
+          "precisely the *smallest* contributors to each dot product; "
+          "that asymmetry is the headroom the Anda format converts into "
+          "cycles and memory.")
+
+
+if __name__ == "__main__":
+    main()

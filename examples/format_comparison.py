@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Choosing an activation format: Anda vs BFP vs MX vs FP16.
+
+A format-selection walkthrough over the axes Table I organizes:
+
+1. round-trip error on heavy-tailed activations — sweep mantissa
+   length (the Anda axis) against microexponent bits (the MX axis [14])
+   at equal storage,
+2. storage footprint per element for each format,
+3. rounding modes: truncation (hardware-cheap), nearest, stochastic
+   (FAST-style) and their error/bias trade-offs,
+4. the search-strategy comparison: how Algorithm 1 stacks up against
+   brute force, greedy descent and random sampling on a sensitivity
+   landscape.
+
+Run:  python examples/format_comparison.py
+"""
+
+import numpy as np
+
+from repro.core.bfp import BfpConfig, fake_quantize, quantization_error
+from repro.core.search_variants import compare_strategies, synthetic_landscape
+from repro.quant.mx import MxConfig, mx_error, quantize_mx
+
+
+def heavy_tailed(rng: np.random.Generator, shape) -> np.ndarray:
+    """Activations with per-channel scale spread (outlier channels)."""
+    scales = 10 ** (0.5 * rng.normal(size=(1, shape[1])))
+    return (rng.normal(size=shape) * scales).astype(np.float32)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    activations = heavy_tailed(rng, (64, 512))
+
+    print("1. Round-trip RMSE at equal storage (group size 64)")
+    print(f"{'bits/elem':>10} {'BFP/Anda':>12} {'MX (micro=1)':>14}")
+    for mantissa in (4, 6, 8):
+        bfp = quantization_error(
+            activations, BfpConfig(mantissa_bits=mantissa, group_size=64)
+        )
+        mx = mx_error(
+            activations,
+            MxConfig(mantissa_bits=mantissa - 1, subgroup_size=2, micro_bits=1),
+        )
+        print(f"{mantissa + 1.125:>10.2f} {bfp:>12.5f} {mx:>14.5f}")
+
+    print()
+    print("2. Storage per element")
+    anda_cfg = BfpConfig(mantissa_bits=6, group_size=64)
+    mx_tensor = quantize_mx(activations, MxConfig(mantissa_bits=5))
+    anda_bits = 1 + 6 + 8 / 64
+    print("  FP16          : 16.00 bits")
+    print(f"  Anda (M=6)    : {anda_bits:.2f} bits")
+    print(f"  MX  (M=5,u=1) : {mx_tensor.bits_per_element():.2f} bits")
+
+    print()
+    print("3. Rounding modes at M=5 (error / signed bias)")
+    for rounding in ("truncate", "nearest", "stochastic"):
+        config = BfpConfig(mantissa_bits=5, group_size=64, rounding=rounding)
+        error = quantization_error(activations, config)
+        bias = float(np.mean(fake_quantize(activations, config) - activations))
+        print(f"  {rounding:<10}: rmse {error:.5f}  bias {bias:+.6f}")
+
+    print()
+    print("4. Search strategies on a sensitivity landscape (1% tolerance)")
+    accuracy, bops, reference = synthetic_landscape(seed=42)
+    outcomes = compare_strategies(accuracy, bops, reference, 0.01)
+    optimum = min(o.best_bops for o in outcomes if o.feasible)
+    print(f"{'strategy':<20} {'combination':<14} {'BOPs':>7} {'evals':>6}")
+    for outcome in outcomes:
+        combo = str(outcome.best) if outcome.best else "-"
+        marker = "  <- optimum" if outcome.best_bops == optimum else ""
+        print(
+            f"{outcome.strategy:<20} {combo:<14} {outcome.best_bops:>7.2f} "
+            f"{outcome.evaluations:>6}{marker}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""End-to-end transformer serving on the Anda accelerator.
+
+The paper's Fig. 16 isolates the FP-INT GeMMs; a deployment decision
+needs the whole block — FP-FP attention, softmax/norm vector work, and
+the decode regime.  This example schedules LLaMA-13B end to end on the
+Anda system and the GPU-like FP-FP baseline:
+
+1. per-stage latency breakdown of one transformer block at 2K prefill,
+2. the Amdahl view: GeMM-only vs end-to-end speedup,
+3. serving estimates — time to first token, decode tokens/s, energy
+   per generated token,
+4. how the GeMM share shrinks with context (the pipeline mirror of
+   Fig. 2's operation-share analysis).
+
+Run:  python examples/layer_pipeline.py
+"""
+
+from repro.core.precision import PrecisionCombination
+from repro.hw.pipeline import (
+    compare_end_to_end,
+    estimate_inference,
+    schedule_block,
+)
+
+MODEL = "llama-13b"
+#: The paper's WikiText-2 1%-loss combination for LLaMA-13B (Fig. 14).
+COMBINATION = PrecisionCombination(7, 5, 6, 6)
+
+
+def main() -> None:
+    schedule = schedule_block(MODEL, "Anda", COMBINATION, sequence_length=2048)
+    print(f"One {MODEL} transformer block on Anda (2048-token prefill)")
+    print(f"{'stage':<16} {'unit':<8} {'cycles':>12} {'share':>7}")
+    for stage in schedule.stages:
+        print(
+            f"{stage.name:<16} {stage.unit:<8} {stage.cycles:>12,.0f} "
+            f"{stage.cycles / schedule.cycles * 100:>6.1f}%"
+        )
+    print(f"{'total':<16} {'':<8} {schedule.cycles:>12,.0f}")
+
+    print()
+    cmp = compare_end_to_end(MODEL, COMBINATION, sequence_length=2048)
+    print(f"GeMM-only speedup over FP-FP : {cmp.gemm_speedup:.2f}x")
+    print(f"end-to-end speedup           : {cmp.end_to_end_speedup:.2f}x")
+    print(f"speedup retained (Amdahl)    : {cmp.amdahl_gap * 100:.0f}%")
+    print(f"end-to-end energy ratio      : {cmp.end_to_end_energy_ratio:.2f}x")
+
+    print()
+    anda = estimate_inference(MODEL, "Anda", COMBINATION, prefill_tokens=2048)
+    fpfp = estimate_inference(MODEL, "FP-FP", None, prefill_tokens=2048)
+    print(f"{'metric':<28} {'FP-FP':>12} {'Anda':>12}")
+    print(
+        f"{'time to first token':<28} {fpfp.time_to_first_token_s:>11.2f}s "
+        f"{anda.time_to_first_token_s:>11.2f}s"
+    )
+    print(
+        f"{'decode tokens/s':<28} {fpfp.decode_tokens_per_s:>12.2f} "
+        f"{anda.decode_tokens_per_s:>12.2f}"
+    )
+    print(
+        f"{'energy per decoded token':<28} "
+        f"{fpfp.decode_energy_j * 1e3:>10.1f}mJ {anda.decode_energy_j * 1e3:>10.1f}mJ"
+    )
+
+    print()
+    print("GeMM share of block time vs context length (Anda):")
+    for context in (256, 1024, 4096, 16384):
+        share = schedule_block(MODEL, "Anda", COMBINATION, context).share("gemm:")
+        print(f"  {context:>6} tokens : {share * 100:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Offline Anda calibration for a weight-only quantized LLM.
+
+Reproduces the paper's Fig. 1 deployment flow on one model:
+
+1. load the trained OPT-125M twin from the zoo (trains on first run),
+2. weight-quantize it to W4A16,
+3. run the adaptive precision combination search (Algorithm 1) at two
+   accuracy tolerances,
+4. print the search trajectory and the accuracy/BOPs outcome on
+   held-out data.
+
+Run:  python examples/precision_search.py
+"""
+
+from repro.quant.deploy import deploy_anda
+
+
+def show(model: str, dataset: str, tolerance: float) -> None:
+    result = deploy_anda(model, dataset, tolerance)
+    print(f"--- {model} on {dataset} @ {tolerance * 100:g}% tolerance ---")
+    print(f"reference (W4A16) calibration PPL: "
+          f"{result.reference_ppl_calibration:.3f}")
+    print("search trajectory:")
+    for step in result.search.steps:
+        marker = " *best*" if step.accepted else ""
+        print(f"  #{step.iteration:2d} {step.combination}  "
+              f"acc={step.accuracy * 100:6.2f}%  bops={step.bops:.3g}{marker}")
+    print(f"chosen combination: {result.combination} "
+          f"(effective mantissa {result.effective_mantissa:.2f} bits)")
+    print(f"BOPs saving vs FP16 activations: {result.bops_saving:.2f}x")
+    print(f"validation PPL: {result.reference_ppl_validation:.3f} -> "
+          f"{result.anda_ppl_validation:.3f} "
+          f"({result.validation_accuracy_drop:+.2f}% accuracy)")
+    print()
+
+
+def main() -> None:
+    print("Anda adaptive precision combination search (Algorithm 1)\n")
+    show("opt-125m", "wikitext2-sim", 0.001)
+    show("opt-125m", "wikitext2-sim", 0.01)
+    print("Looser tolerance -> shorter mantissas -> bigger savings.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — reproduction of "Anda: Unlocking Efficient LLM Inference with a
+Variable-Length Grouped Activation Data Format" (HPCA 2025).
+
+The package is organized in four layers:
+
+* :mod:`repro.core` — the Anda data format, the bit-plane layout, the
+  bit-serial arithmetic, and the adaptive precision combination search.
+* :mod:`repro.llm` — a from-scratch numpy Transformer substrate (models,
+  training, datasets, perplexity) replacing PyTorch/HuggingFace.
+* :mod:`repro.quant` — weight-only quantization plus the activation
+  quantization schemes compared in the paper.
+* :mod:`repro.hw` — analytical + tile-level models of the Anda
+  accelerator and the baseline architectures.
+* :mod:`repro.experiments` — one driver per paper table/figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import AndaTensor
+
+    x = np.random.default_rng(0).normal(size=(8, 256)).astype(np.float32)
+    encoded = AndaTensor.from_float(x, mantissa_bits=6)
+    print(encoded.compression_ratio(), np.abs(encoded.decode() - x).max())
+"""
+
+from repro.core import (
+    ANDA_GROUP_SIZE,
+    AndaTensor,
+    BfpConfig,
+    BfpTensor,
+    BitPlaneCompressor,
+    PrecisionCombination,
+    SearchResult,
+    TensorKind,
+    adaptive_precision_search,
+    anda_matvec,
+    bops_saving,
+)
+from repro.errors import (
+    FormatError,
+    HardwareError,
+    ModelError,
+    ReproError,
+    SearchError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANDA_GROUP_SIZE",
+    "AndaTensor",
+    "BfpConfig",
+    "BfpTensor",
+    "BitPlaneCompressor",
+    "FormatError",
+    "HardwareError",
+    "ModelError",
+    "PrecisionCombination",
+    "ReproError",
+    "SearchError",
+    "SearchResult",
+    "TensorKind",
+    "adaptive_precision_search",
+    "anda_matvec",
+    "bops_saving",
+    "__version__",
+]

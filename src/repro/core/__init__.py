@@ -1,0 +1,65 @@
+"""Core of the Anda reproduction: data formats and the precision search.
+
+Public surface:
+
+* :mod:`repro.core.fp16` — bit-true FP16 field codec.
+* :mod:`repro.core.bfp` — grouped block-floating-point quantization.
+* :mod:`repro.core.anda` — the Anda variable-length grouped format.
+* :mod:`repro.core.bitplane` — transposed bit-plane memory layout.
+* :mod:`repro.core.compressor` — runtime bit-plane compressor model.
+* :mod:`repro.core.bitserial` — bit-serial APU dot-product arithmetic.
+* :mod:`repro.core.bops` — bit-operation cost model.
+* :mod:`repro.core.precision` / :mod:`repro.core.search` — the adaptive
+  precision combination search (Algorithm 1).
+"""
+
+from repro.core.anda import ANDA_GROUP_SIZE, AndaTensor
+from repro.core.bfp import BfpConfig, BfpTensor, fake_quantize, quantize
+from repro.core.bitplane import BitPlaneStore
+from repro.core.bitserial import anda_matvec, serial_group_dot
+from repro.core.bops import (
+    FP16_INT4_BOPS,
+    bops_saving,
+    combination_bops,
+    effective_mantissa_bits,
+    module_mac_weights,
+    uniform_bops_saving,
+)
+from repro.core.compressor import BitPlaneCompressor, CompressorStats
+from repro.core.precision import PrecisionCombination, TensorKind
+from repro.core.serialize import dumps, image_bytes, loads
+from repro.core.search import (
+    DEFAULT_MAX_ITERATIONS,
+    SearchResult,
+    SearchStep,
+    adaptive_precision_search,
+)
+
+__all__ = [
+    "ANDA_GROUP_SIZE",
+    "AndaTensor",
+    "BfpConfig",
+    "BfpTensor",
+    "BitPlaneCompressor",
+    "BitPlaneStore",
+    "CompressorStats",
+    "DEFAULT_MAX_ITERATIONS",
+    "FP16_INT4_BOPS",
+    "PrecisionCombination",
+    "SearchResult",
+    "SearchStep",
+    "TensorKind",
+    "adaptive_precision_search",
+    "anda_matvec",
+    "bops_saving",
+    "combination_bops",
+    "dumps",
+    "effective_mantissa_bits",
+    "fake_quantize",
+    "image_bytes",
+    "loads",
+    "module_mac_weights",
+    "quantize",
+    "serial_group_dot",
+    "uniform_bops_saving",
+]

@@ -1,0 +1,165 @@
+"""The Anda activation data format (Sec. III of the paper).
+
+An :class:`AndaTensor` is a variable-length grouped BFP tensor:
+
+* groups of 64 values share one exponent (the paper's chosen group
+  size — the sweet spot of Fig. 5 and the hardware word width),
+* each element stores a sign bit and an ``M``-bit mantissa, where ``M``
+  is chosen *per tensor type* by the adaptive precision search,
+* storage is bit-plane based (:mod:`repro.core.bitplane`), so an
+  ``M``-bit tensor occupies ``1 + M`` words per group plus one shared
+  exponent — memory cost scales linearly with the chosen precision.
+
+Unlike FIGNA-style dynamic conversion, the Anda scheme keeps activations
+*in this format in memory* (Fig. 8d): encode once at producer side (the
+runtime bit-plane compressor), decode never — the bit-serial PE consumes
+planes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import fp16
+from repro.core.bfp import BfpConfig, BfpTensor, quantize
+from repro.core.bitplane import WORD_BITS, BitPlaneStore
+from repro.core.groups import GroupLayout, from_groups
+from repro.errors import FormatError
+
+#: The Anda group size: fixed at the 64-element hardware word width.
+ANDA_GROUP_SIZE = WORD_BITS
+
+
+@dataclass
+class AndaTensor:
+    """A tensor held in the Anda variable-length grouped format.
+
+    Attributes:
+        store: bit-plane packed payload (signs, planes, exponents).
+        layout: grouping metadata (original shape, padding).
+        mantissa_bits: the tensor-wide mantissa length ``M``.
+        rounding: rounding mode used during encode.
+    """
+
+    store: BitPlaneStore
+    layout: GroupLayout
+    mantissa_bits: int
+    rounding: str = "truncate"
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_float(
+        cls,
+        values: np.ndarray,
+        mantissa_bits: int,
+        rounding: str = "truncate",
+    ) -> "AndaTensor":
+        """Encode a finite float tensor into the Anda format.
+
+        The tensor is grouped along its last axis in runs of 64
+        channels.  Raises :class:`~repro.errors.FormatError` for
+        non-finite inputs or out-of-range mantissa lengths.
+        """
+        bfp = quantize(
+            np.asarray(values),
+            BfpConfig(
+                mantissa_bits=mantissa_bits,
+                group_size=ANDA_GROUP_SIZE,
+                rounding=rounding,
+            ),
+        )
+        return cls.from_bfp(bfp)
+
+    @classmethod
+    def from_bfp(cls, bfp: BfpTensor) -> "AndaTensor":
+        """Re-package an existing 64-element-group BFP tensor bit-plane-wise."""
+        if bfp.layout.group_size != ANDA_GROUP_SIZE:
+            raise FormatError(
+                f"Anda tensors use group size {ANDA_GROUP_SIZE}, got "
+                f"{bfp.layout.group_size}"
+            )
+        store = BitPlaneStore.from_fields(
+            bfp.sign, bfp.mantissa, bfp.shared_exponent, bfp.config.mantissa_bits
+        )
+        return cls(
+            store=store,
+            layout=bfp.layout,
+            mantissa_bits=bfp.config.mantissa_bits,
+            rounding=bfp.config.rounding,
+        )
+
+    # -- views ---------------------------------------------------------
+
+    def to_bfp(self) -> BfpTensor:
+        """Unpack back to structure-of-arrays BFP fields."""
+        sign, mantissa, exponents = self.store.unpack()
+        return BfpTensor(
+            sign=sign,
+            mantissa=mantissa,
+            shared_exponent=exponents,
+            config=BfpConfig(
+                mantissa_bits=self.mantissa_bits,
+                group_size=ANDA_GROUP_SIZE,
+                rounding=self.rounding,
+            ),
+            layout=self.layout,
+        )
+
+    def decode(self) -> np.ndarray:
+        """Reconstruct the float32 tensor the format represents."""
+        return self.to_bfp().dequantize()
+
+    # -- properties ----------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.layout.shape
+
+    @property
+    def n_groups(self) -> int:
+        return self.layout.n_groups
+
+    def storage_bits(self) -> int:
+        """Memory footprint in bits, bit-plane layout included."""
+        return self.store.storage_bits()
+
+    def compression_ratio(self) -> float:
+        """FP16 footprint divided by Anda footprint for this tensor.
+
+        Padding elements are charged to Anda (the hardware stores whole
+        groups), making the ratio slightly conservative for ragged rows.
+        """
+        n_logical = int(np.prod(self.layout.shape))
+        return fp16.storage_bits(n_logical) / self.storage_bits()
+
+    def signed_mantissa(self) -> np.ndarray:
+        """Signed integer mantissas ``(n_groups, 64)`` for dot-product use."""
+        sign, mantissa, _ = self.store.unpack()
+        return np.where(sign == 1, -mantissa, mantissa)
+
+    def group_values(self) -> np.ndarray:
+        """Decoded float32 values kept in grouped ``(n_groups, 64)`` shape."""
+        bfp = self.to_bfp()
+        scale_exp = bfp.shared_exponent + 1 - self.mantissa_bits
+        magnitude = np.ldexp(bfp.mantissa.astype(np.float64), scale_exp[:, None])
+        return np.where(bfp.sign == 1, -magnitude, magnitude).astype(np.float32)
+
+
+def fake_quantize(values: np.ndarray, mantissa_bits: int, rounding: str = "truncate") -> np.ndarray:
+    """Quantize-dequantize a tensor through the Anda format.
+
+    Fast path used by the LLM activation hooks: numerically identical to
+    ``AndaTensor.from_float(...).decode()`` but skips the bit-plane
+    packing (validated equivalent by tests).
+    """
+    config = BfpConfig(
+        mantissa_bits=mantissa_bits, group_size=ANDA_GROUP_SIZE, rounding=rounding
+    )
+    bfp = quantize(np.asarray(values), config)
+    scale_exp = bfp.shared_exponent + 1 - mantissa_bits
+    magnitude = np.ldexp(bfp.mantissa.astype(np.float64), scale_exp[:, None])
+    signed = np.where(bfp.sign == 1, -magnitude, magnitude)
+    return from_groups(signed, bfp.layout).astype(np.float32)

@@ -1,0 +1,217 @@
+"""Block-floating-point (BFP) quantization of FP16 tensors.
+
+Implements the conversion of Fig. 4 in the paper: values are grouped,
+the largest exponent of each group becomes the shared exponent, every
+significand is right-shifted by its exponent difference, and bits beyond
+the configured mantissa length are truncated.
+
+The mantissa length ``M`` counts significand bits *including* the
+hidden-bit position of the group maximum, matching the paper's
+"preserved mantissa bits" axis (FP16 alignment-free precision is
+``M = 11``; larger ``M`` buys headroom for shifted elements, smaller
+``M`` truncates).
+
+This module is the numerical core for the plain-BFP baselines
+(VS-Quant-style 4-bit, FIGNA-style long-mantissa) as well as the parent
+of the Anda tensor type, which adds variable-length storage and
+bit-plane layout on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import fp16
+from repro.core.groups import GroupLayout, from_groups, to_groups
+from repro.errors import FormatError
+
+#: Inclusive range of mantissa lengths the Anda hardware supports
+#: (Table I: 1b .. 16b, bit-serial).
+MIN_MANTISSA_BITS = 1
+MAX_MANTISSA_BITS = 16
+
+_ROUNDING_MODES = ("truncate", "nearest", "stochastic")
+
+
+@dataclass(frozen=True)
+class BfpConfig:
+    """Static parameters of a BFP conversion.
+
+    Attributes:
+        mantissa_bits: preserved significand bits ``M`` (hidden bit
+            included), 1..16.
+        group_size: elements sharing one exponent; ``None`` means one
+            group per channel row (the paper's ``GS=#Channels``).
+        rounding: ``"truncate"`` (paper semantics, hardware-cheap),
+            ``"nearest"`` (round-to-nearest on the kept bits), or
+            ``"stochastic"`` (FAST-style unbiased stochastic rounding
+            [85], seeded by ``seed`` for reproducibility).
+        seed: rng seed for stochastic rounding; ignored otherwise.
+    """
+
+    mantissa_bits: int = 8
+    group_size: int | None = 64
+    rounding: str = "truncate"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not MIN_MANTISSA_BITS <= self.mantissa_bits <= MAX_MANTISSA_BITS:
+            raise FormatError(
+                f"mantissa_bits must be in [{MIN_MANTISSA_BITS}, "
+                f"{MAX_MANTISSA_BITS}], got {self.mantissa_bits}"
+            )
+        if self.group_size is not None and self.group_size < 1:
+            raise FormatError(f"group_size must be >= 1, got {self.group_size}")
+        if self.rounding not in _ROUNDING_MODES:
+            raise FormatError(
+                f"rounding must be one of {_ROUNDING_MODES}, got {self.rounding!r}"
+            )
+
+
+@dataclass
+class BfpTensor:
+    """A tensor quantized to grouped block floating point.
+
+    Structure-of-arrays storage: per-element sign and mantissa magnitude,
+    plus one shared exponent per group.  ``shared_exponent`` uses the
+    integer-significand convention of :mod:`repro.core.fp16`; a group of
+    all zeros stores the :data:`repro.core.fp16.ZERO_EXPONENT` sentinel.
+
+    Attributes:
+        sign: ``(n_groups, group_size)`` array in {0, 1}.
+        mantissa: ``(n_groups, group_size)`` unsigned magnitudes
+            ``< 2**mantissa_bits``.
+        shared_exponent: ``(n_groups,)`` unbiased shared exponents.
+        config: the :class:`BfpConfig` used to produce this tensor.
+        layout: grouping metadata for shape restoration.
+    """
+
+    sign: np.ndarray
+    mantissa: np.ndarray
+    shared_exponent: np.ndarray
+    config: BfpConfig
+    layout: GroupLayout
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Logical (unpadded) shape of the represented tensor."""
+        return self.layout.shape
+
+    @property
+    def n_groups(self) -> int:
+        """Number of shared-exponent groups (including padding)."""
+        return self.layout.n_groups
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the float32 tensor this BFP encoding represents."""
+        scale_exp = self.shared_exponent + 1 - self.config.mantissa_bits
+        magnitude = np.ldexp(
+            self.mantissa.astype(np.float64), scale_exp[:, None]
+        )
+        signed = np.where(self.sign == 1, -magnitude, magnitude)
+        return from_groups(signed, self.layout).astype(np.float32)
+
+    def storage_bits(self) -> int:
+        """Element-based storage cost in bits (sign + mantissa + exponents).
+
+        This is the cost of a *element-layout* BFP store; the bit-plane
+        layout of :mod:`repro.core.bitplane` has the same payload size
+        but word-regular access.
+        """
+        per_element = 1 + self.config.mantissa_bits
+        n_elements = self.layout.n_groups * self.layout.group_size
+        exponent_bits = 8 * self.layout.n_groups
+        return per_element * n_elements + exponent_bits
+
+    def signed_mantissa(self) -> np.ndarray:
+        """Per-element signed integer mantissas, ``(n_groups, group_size)``."""
+        return np.where(self.sign == 1, -self.mantissa, self.mantissa)
+
+
+def _align_and_truncate(
+    significand: np.ndarray,
+    shift: np.ndarray,
+    mantissa_bits: int,
+    rounding: str,
+    seed: int = 0,
+) -> np.ndarray:
+    """Shift 11-bit significands right by ``shift`` keeping ``mantissa_bits``.
+
+    Computes ``floor(s * 2**(M - 11) / 2**shift)`` exactly with integer
+    shifts (with optional round-to-nearest or FAST-style stochastic
+    rounding), which is what the hardware's parallel-to-serial aligner
+    produces bit-serially.
+    """
+    widened = significand.astype(np.int64) << max(mantissa_bits - fp16.SIGNIFICAND_BITS, 0)
+    right = shift + max(fp16.SIGNIFICAND_BITS - mantissa_bits, 0)
+    # Shifts beyond 62 would be undefined behaviour in C; numpy handles up
+    # to 63 for int64, and exponent gaps in FP16 are < 45, so clip safely.
+    right = np.minimum(right, 62)
+    if rounding == "nearest":
+        half = np.where(right > 0, np.int64(1) << np.maximum(right - 1, 0), 0)
+        quantized = (widened + half) >> right
+        # Rounding can carry out of the mantissa field; saturate like the
+        # hardware (a renormalize would change the shared exponent).
+        quantized = np.minimum(quantized, (1 << mantissa_bits) - 1)
+    elif rounding == "stochastic":
+        # Add Uniform[0, 2**right) noise before truncating: each value
+        # rounds up with probability equal to its discarded fraction,
+        # making the rounding unbiased in expectation (FAST [85]).
+        rng = np.random.default_rng(seed)
+        span = np.where(right > 0, np.int64(1) << right, 1).astype(np.float64)
+        noise = np.floor(rng.random(size=widened.shape) * span).astype(np.int64)
+        quantized = (widened + noise) >> right
+        quantized = np.minimum(quantized, (1 << mantissa_bits) - 1)
+    else:
+        quantized = widened >> right
+    return quantized
+
+
+def quantize(values: np.ndarray, config: BfpConfig) -> BfpTensor:
+    """Convert a finite tensor to grouped BFP (Fig. 4 of the paper).
+
+    The input is first rounded to FP16 (activations are FP16 in W4A16
+    inference), then grouped along the last axis; each group keeps the
+    maximum exponent and aligned, truncated mantissas.
+
+    Raises:
+        FormatError: on NaN/Inf input or invalid configuration.
+    """
+    grouped, layout = to_groups(values, config.group_size)
+    sign, exponent, significand = fp16.decompose(grouped)
+    shared = exponent.max(axis=1)
+    shift = np.where(significand > 0, shared[:, None] - exponent, 0)
+    mantissa = _align_and_truncate(
+        significand, shift, config.mantissa_bits, config.rounding, config.seed
+    )
+    # Elements whose value truncated to zero keep sign 0 for a canonical
+    # encoding (the hardware stores all-zero mantissa planes for them).
+    sign = np.where(mantissa == 0, 0, sign)
+    return BfpTensor(
+        sign=sign.astype(np.int8),
+        mantissa=mantissa.astype(np.int32),
+        shared_exponent=shared.astype(np.int32),
+        config=config,
+        layout=layout,
+    )
+
+
+def fake_quantize(values: np.ndarray, config: BfpConfig) -> np.ndarray:
+    """Quantize-dequantize helper: the float32 tensor "as the hardware sees it".
+
+    This is the drop-in used by the LLM substrate's activation hooks:
+    the GeMM then runs on exactly the values the Anda datapath would
+    compute with.
+    """
+    return quantize(np.asarray(values), config).dequantize()
+
+
+def quantization_error(values: np.ndarray, config: BfpConfig) -> float:
+    """Root-mean-square error introduced by a BFP conversion.
+
+    Convenience metric used by tests and the sensitivity experiments.
+    """
+    arr = np.asarray(values, dtype=np.float32)
+    return float(np.sqrt(np.mean((arr - fake_quantize(arr, config)) ** 2)))

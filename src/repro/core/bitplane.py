@@ -1,0 +1,140 @@
+"""Bit-plane (transposed) data layout for variable-length mantissas.
+
+Implements the memory organization of Fig. 10: within a group of 64
+Anda values, bits of equal significance across the 64 elements are
+packed into one 64-bit memory word (a *bit plane*).  A group with an
+``M``-bit mantissa then occupies
+
+* 1 sign word (64 bits),
+* ``M`` mantissa planes (64 bits each, most-significant plane first),
+* one shared exponent (8 bits, stored in a separate exponent array).
+
+Variable mantissa length changes only the *depth* (number of words) of
+a group, never the word width — which is exactly why the hardware's
+address generation stays regular (Sec. IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+
+#: Hardware word width: one bit plane covers this many elements.
+WORD_BITS = 64
+
+
+def _check_group_shape(mantissa: np.ndarray) -> None:
+    if mantissa.ndim != 2 or mantissa.shape[1] != WORD_BITS:
+        raise FormatError(
+            f"bit-plane packing expects (n_groups, {WORD_BITS}) mantissas, "
+            f"got shape {mantissa.shape}"
+        )
+
+
+def pack_planes(mantissa: np.ndarray, mantissa_bits: int) -> np.ndarray:
+    """Pack ``(n_groups, 64)`` mantissas into ``(n_groups, M)`` plane words.
+
+    Plane ``p`` (``p = 0`` first) holds bit ``M - 1 - p`` of every
+    element, element ``i`` in bit position ``i`` of the word — the MSB
+    plane is emitted first, matching the order the bit-serial PE consumes
+    planes in.
+    """
+    _check_group_shape(mantissa)
+    mant = mantissa.astype(np.uint64)
+    if np.any(mantissa < 0) or np.any(mant >> np.uint64(mantissa_bits)):
+        raise FormatError(f"mantissa values exceed {mantissa_bits} bits")
+    positions = np.arange(WORD_BITS, dtype=np.uint64)
+    planes = np.empty((mant.shape[0], mantissa_bits), dtype=np.uint64)
+    for plane in range(mantissa_bits):
+        bit_index = np.uint64(mantissa_bits - 1 - plane)
+        bits = (mant >> bit_index) & np.uint64(1)
+        planes[:, plane] = (bits << positions).sum(axis=1, dtype=np.uint64)
+    return planes
+
+
+def unpack_planes(planes: np.ndarray, mantissa_bits: int) -> np.ndarray:
+    """Invert :func:`pack_planes`, returning ``(n_groups, 64)`` mantissas."""
+    planes = np.asarray(planes, dtype=np.uint64)
+    if planes.ndim != 2 or planes.shape[1] != mantissa_bits:
+        raise FormatError(
+            f"expected (n_groups, {mantissa_bits}) planes, got {planes.shape}"
+        )
+    positions = np.arange(WORD_BITS, dtype=np.uint64)
+    mantissa = np.zeros((planes.shape[0], WORD_BITS), dtype=np.int64)
+    for plane in range(mantissa_bits):
+        bits = (planes[:, plane, None] >> positions) & np.uint64(1)
+        mantissa = (mantissa << 1) | bits.astype(np.int64)
+    return mantissa
+
+
+def pack_signs(sign: np.ndarray) -> np.ndarray:
+    """Pack ``(n_groups, 64)`` sign bits into one word per group."""
+    _check_group_shape(sign)
+    positions = np.arange(WORD_BITS, dtype=np.uint64)
+    bits = (np.asarray(sign, dtype=np.uint64) & np.uint64(1)) << positions
+    return bits.sum(axis=1, dtype=np.uint64)
+
+
+def unpack_signs(words: np.ndarray) -> np.ndarray:
+    """Invert :func:`pack_signs` into an ``(n_groups, 64)`` 0/1 array."""
+    positions = np.arange(WORD_BITS, dtype=np.uint64)
+    words = np.asarray(words, dtype=np.uint64)
+    return ((words[:, None] >> positions) & np.uint64(1)).astype(np.int8)
+
+
+@dataclass
+class BitPlaneStore:
+    """An on-chip-buffer image of a bit-plane laid-out Anda tensor.
+
+    Attributes:
+        sign_words: ``(n_groups,)`` packed sign words.
+        mantissa_planes: ``(n_groups, M)`` packed plane words, MSB first.
+        exponents: ``(n_groups,)`` shared exponents (int32, the
+            integer-significand convention of :mod:`repro.core.fp16`).
+        mantissa_bits: plane count ``M``.
+    """
+
+    sign_words: np.ndarray
+    mantissa_planes: np.ndarray
+    exponents: np.ndarray
+    mantissa_bits: int
+
+    @classmethod
+    def from_fields(
+        cls,
+        sign: np.ndarray,
+        mantissa: np.ndarray,
+        exponents: np.ndarray,
+        mantissa_bits: int,
+    ) -> "BitPlaneStore":
+        """Pack structure-of-arrays BFP fields into bit-plane words."""
+        return cls(
+            sign_words=pack_signs(sign),
+            mantissa_planes=pack_planes(mantissa, mantissa_bits),
+            exponents=np.asarray(exponents, dtype=np.int32),
+            mantissa_bits=mantissa_bits,
+        )
+
+    def unpack(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (sign, mantissa, exponents) structure-of-arrays fields."""
+        return (
+            unpack_signs(self.sign_words),
+            unpack_planes(self.mantissa_planes, self.mantissa_bits),
+            self.exponents,
+        )
+
+    @property
+    def n_groups(self) -> int:
+        return int(self.sign_words.shape[0])
+
+    def storage_bits(self) -> int:
+        """Total buffer footprint in bits (sign + planes + 8b exponents)."""
+        plane_words = int(self.mantissa_planes.shape[0] * self.mantissa_planes.shape[1])
+        return WORD_BITS * (self.n_groups + plane_words) + 8 * self.n_groups
+
+    def words_per_group(self) -> int:
+        """Memory-address depth of one group: sign word + M plane words."""
+        return 1 + self.mantissa_bits

@@ -1,0 +1,183 @@
+"""Bit-serial Anda processing-unit arithmetic (APU, Fig. 11).
+
+The Anda PE computes the dot product between a 64-element group of Anda
+activations and 64 INT weights by streaming the mantissa *bit planes*
+MSB-first:
+
+* for each plane, an adder tree reduces the signed weights selected by
+  that plane's bits into one partial sum
+  (*first-element-then-bit-plane* reduction),
+* the accumulator shifts left and adds the partial sum each cycle, so
+  after ``M`` planes it holds the exact integer dot product
+  ``sum_i sign_i * mantissa_i * w_i``,
+* the result is rescaled by the shared exponent and the weight group
+  scale, then accumulated across groups in FP32.
+
+The plane-serial routine here mirrors the hardware cycle-for-cycle and
+is tested for exact equality with the vectorized integer reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.anda import AndaTensor
+from repro.core.bitplane import WORD_BITS, unpack_signs
+from repro.errors import HardwareError
+
+
+@dataclass(frozen=True)
+class DotProductResult:
+    """Outcome of one bit-serial group dot product.
+
+    Attributes:
+        value: rescaled float result of the group.
+        integer: exact integer accumulator value after the last plane.
+        cycles: planes processed (``M``), the PE's busy cycles for the
+            group before the one-cycle rescale/drain.
+    """
+
+    value: float
+    integer: int
+    cycles: int
+
+
+def plane_partial_sums(
+    planes: np.ndarray, sign_word: np.uint64, weights: np.ndarray
+) -> np.ndarray:
+    """Adder-tree partial sums for every plane of one group.
+
+    Args:
+        planes: ``(M,)`` packed 64-bit plane words, MSB plane first.
+        sign_word: packed sign bits of the group's 64 elements.
+        weights: ``(64,)`` integer weights.
+
+    Returns:
+        ``(M,)`` int64 partial sums ``sum_i (+/- w_i) * bit_{i, plane}``.
+    """
+    weights = np.asarray(weights, dtype=np.int64)
+    if weights.shape != (WORD_BITS,):
+        raise HardwareError(
+            f"group dot product needs {WORD_BITS} weights, got {weights.shape}"
+        )
+    signs = unpack_signs(np.asarray([sign_word], dtype=np.uint64))[0]
+    signed_weights = np.where(signs == 1, -weights, weights)
+    positions = np.arange(WORD_BITS, dtype=np.uint64)
+    bits = (planes[:, None] >> positions) & np.uint64(1)
+    return (bits.astype(np.int64) * signed_weights).sum(axis=1)
+
+
+def serial_group_dot(
+    planes: np.ndarray,
+    sign_word: np.uint64,
+    shared_exponent: int,
+    mantissa_bits: int,
+    weights: np.ndarray,
+    weight_scale: float = 1.0,
+) -> DotProductResult:
+    """Cycle-explicit bit-serial dot product of one Anda group.
+
+    Models the shift-accumulate loop of the Anda PE and the final
+    exponent rescale of the FP conversion stage.
+    """
+    partials = plane_partial_sums(np.asarray(planes, dtype=np.uint64), sign_word, weights)
+    accumulator = np.int64(0)
+    for partial in partials:
+        accumulator = (accumulator << 1) + partial
+    scale = float(np.ldexp(1.0, int(shared_exponent) + 1 - mantissa_bits))
+    return DotProductResult(
+        value=float(accumulator) * scale * float(weight_scale),
+        integer=int(accumulator),
+        cycles=mantissa_bits,
+    )
+
+
+def reference_group_dot(
+    signed_mantissa: np.ndarray,
+    shared_exponent: int,
+    mantissa_bits: int,
+    weights: np.ndarray,
+    weight_scale: float = 1.0,
+) -> float:
+    """Vectorized integer reference for :func:`serial_group_dot`."""
+    integer = int(
+        np.dot(
+            np.asarray(signed_mantissa, dtype=np.int64),
+            np.asarray(weights, dtype=np.int64),
+        )
+    )
+    scale = float(np.ldexp(1.0, int(shared_exponent) + 1 - mantissa_bits))
+    return integer * scale * float(weight_scale)
+
+
+def anda_matvec(
+    activations: AndaTensor,
+    weights: np.ndarray,
+    weight_scales: np.ndarray | float = 1.0,
+    serial: bool = False,
+) -> np.ndarray:
+    """Full FP-INT mat-vec/GeMM reduction using Anda group arithmetic.
+
+    Args:
+        activations: Anda-encoded activation matrix of logical shape
+            ``(rows, k)``.
+        weights: integer weight matrix of shape ``(k, n)`` (already
+            quantized; INT4 values in [-8, 7] for W4A16).
+        weight_scales: per-output-column dequantization scales, scalar
+            or shape ``(n,)``.  Group-wise weight scales should be folded
+            by the caller (see :mod:`repro.quant.weight_quant`).
+        serial: if True, run the cycle-explicit plane-serial path for
+            every group (slow; used by equivalence tests).
+
+    Returns:
+        float32 result of shape ``(rows, n)``: within-group integer dot
+        products rescaled and accumulated across groups in FP32, exactly
+        as the APU + FP accumulator pipeline does.
+    """
+    shape = activations.shape
+    if len(shape) != 2:
+        raise HardwareError(f"anda_matvec expects a 2-D activation tensor, got {shape}")
+    rows, k = shape
+    weights = np.asarray(weights)
+    if weights.shape[0] != k:
+        raise HardwareError(
+            f"weight reduction dim {weights.shape[0]} != activation dim {k}"
+        )
+    groups_per_row = activations.layout.groups_per_row
+    group = activations.layout.group_size
+
+    signed = activations.signed_mantissa().reshape(rows, groups_per_row, group)
+    exponents = activations.store.exponents.reshape(rows, groups_per_row)
+    scales = np.ldexp(1.0, exponents + 1 - activations.mantissa_bits)
+
+    padded_k = groups_per_row * group
+    w_padded = np.zeros((padded_k, weights.shape[1]), dtype=np.int64)
+    w_padded[:k] = weights.astype(np.int64)
+    w_grouped = w_padded.reshape(groups_per_row, group, -1)
+
+    if serial:
+        out = np.zeros((rows, weights.shape[1]), dtype=np.float64)
+        planes = activations.store.mantissa_planes.reshape(
+            rows, groups_per_row, activations.mantissa_bits
+        )
+        sign_words = activations.store.sign_words.reshape(rows, groups_per_row)
+        for r in range(rows):
+            for g in range(groups_per_row):
+                for col in range(weights.shape[1]):
+                    result = serial_group_dot(
+                        planes[r, g],
+                        sign_words[r, g],
+                        int(exponents[r, g]),
+                        activations.mantissa_bits,
+                        w_grouped[g, :, col],
+                    )
+                    out[r, col] += result.value
+    else:
+        # einsum over groups: integer dot within group, FP32 across.
+        partial = np.einsum("rgk,gkn->rgn", signed.astype(np.float64), w_grouped)
+        out = (partial * scales[:, :, None]).sum(axis=1)
+
+    out = out.astype(np.float32)
+    return out * np.asarray(weight_scales, dtype=np.float32)

@@ -1,0 +1,109 @@
+"""Bit-operation (BOPs) cost model for FP-INT GeMMs.
+
+The paper estimates computational cost as the number of *bit operations*
+of the required multiplications: one ``M``-bit by ``W``-bit multiply
+costs ``M * W`` BOPs, and one FP16-INT4 multiply-accumulate is scored at
+64 BOPs (Sec. V-A), i.e. a 16-bit mantissa path.  FIGNA's 13-bit
+effective mantissa then yields the paper's 1.23x saving (64 / 52) and
+VS-Quant's 4-bit mantissa its 4.0x saving, which this module reproduces
+exactly.
+
+A model's cost is a weighted sum over the four activation tensor types:
+the weights are the per-type MAC counts of its FP-INT GeMMs (``qkv``
+covers three projections, ``u`` covers both up and gate for gated FFNs).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.precision import PrecisionCombination, TensorKind
+from repro.errors import FormatError
+
+#: BOPs charged to one FP16 x INT4 multiply (the paper's baseline unit).
+FP16_INT4_BOPS = 64
+
+#: Weight bit-width of the W4A16 deployment scheme.
+DEFAULT_WEIGHT_BITS = 4
+
+
+def module_mac_weights(
+    d_model: int, ffn_dim: int, gated_ffn: bool
+) -> dict[TensorKind, int]:
+    """Per-token MAC counts of the four FP-INT GeMM types of one block.
+
+    Args:
+        d_model: hidden size.
+        ffn_dim: feed-forward intermediate size.
+        gated_ffn: True for LLaMA-style SwiGLU (the up projection is
+            doubled by the gate projection).
+
+    Returns:
+        ``{TensorKind: macs_per_token}`` — only the *ratios* matter for
+        BOPs savings, so layer count and token count cancel.
+    """
+    up_mult = 2 if gated_ffn else 1
+    return {
+        TensorKind.QKV: 3 * d_model * d_model,
+        TensorKind.O: d_model * d_model,
+        TensorKind.U: up_mult * d_model * ffn_dim,
+        TensorKind.D: ffn_dim * d_model,
+    }
+
+
+def combination_bops(
+    combination: PrecisionCombination,
+    mac_weights: Mapping[TensorKind, int],
+    weight_bits: int = DEFAULT_WEIGHT_BITS,
+) -> int:
+    """Total BOPs of one forward pass under a precision combination."""
+    if weight_bits < 1:
+        raise FormatError(f"weight_bits must be positive, got {weight_bits}")
+    return sum(
+        combination[kind] * weight_bits * macs for kind, macs in mac_weights.items()
+    )
+
+
+def baseline_bops(
+    mac_weights: Mapping[TensorKind, int],
+) -> int:
+    """BOPs of the FP16-activation baseline (64 BOPs per MAC)."""
+    return FP16_INT4_BOPS * sum(mac_weights.values())
+
+
+def bops_saving(
+    combination: PrecisionCombination,
+    mac_weights: Mapping[TensorKind, int],
+    weight_bits: int = DEFAULT_WEIGHT_BITS,
+) -> float:
+    """BOPs reduction factor vs the FP16 baseline (the green numbers of
+    Table II).  ``1.0`` means no saving; bigger is better."""
+    return baseline_bops(mac_weights) / combination_bops(
+        combination, mac_weights, weight_bits
+    )
+
+
+def uniform_bops_saving(mantissa_bits: int) -> float:
+    """Saving of a uniform mantissa length, independent of MAC weights.
+
+    Reproduces the paper's single-format baselines: 13 bits -> 1.23x
+    (FIGNA), 4 bits -> 4.0x (VS-Quant).
+    """
+    return FP16_INT4_BOPS / (mantissa_bits * DEFAULT_WEIGHT_BITS)
+
+
+def effective_mantissa_bits(
+    combination: PrecisionCombination,
+    mac_weights: Mapping[TensorKind, int],
+) -> float:
+    """MAC-weighted average mantissa length of a combination.
+
+    This is the single number the hardware model needs: system speedup
+    scales with the average number of bit planes streamed per MAC.
+    """
+    total = sum(mac_weights.values())
+    if total <= 0:
+        raise FormatError("mac_weights must have positive total")
+    return (
+        sum(combination[kind] * macs for kind, macs in mac_weights.items()) / total
+    )

@@ -1,0 +1,131 @@
+"""Bit-true software codec for IEEE-754 binary16 (FP16).
+
+The Anda format (and every block-floating-point variant in this library)
+is defined in terms of the *fields* of FP16 numbers: sign, 5-bit biased
+exponent and 10-bit stored mantissa with an implicit hidden bit.  This
+module exposes those fields exactly, via integer views of ``numpy``
+``float16`` arrays, so the format conversions in :mod:`repro.core.bfp`
+and :mod:`repro.core.anda` are exact integer arithmetic rather than
+float approximations.
+
+Conventions
+-----------
+Throughout the library an FP16 value is written as::
+
+    value = (-1)**sign * significand * 2**(exponent - 10)
+
+where ``significand`` is the 11-bit integer including the hidden bit
+(``1024 + mantissa_field`` for normal numbers, ``mantissa_field`` for
+subnormals) and ``exponent`` is the *unbiased* exponent in this
+"integer significand" convention (``exp_field - 15`` for normals,
+``-14`` for subnormals).  This makes the shared-exponent alignment of
+BFP conversion a pair of integer shifts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FormatError
+
+#: Number of explicitly stored mantissa bits in FP16.
+MANTISSA_FIELD_BITS = 10
+
+#: Number of significand bits including the hidden bit.
+SIGNIFICAND_BITS = 11
+
+#: Exponent bias of FP16.
+EXPONENT_BIAS = 15
+
+#: Exponent-field value reserved for Inf/NaN.
+EXPONENT_FIELD_SPECIAL = 31
+
+#: Largest finite FP16 magnitude.
+MAX_FINITE = 65504.0
+
+#: Unbiased exponent (integer-significand convention) of subnormals.
+SUBNORMAL_EXPONENT = 1 - EXPONENT_BIAS
+
+#: Sentinel unbiased exponent assigned to zero elements so they never
+#: win the shared-exponent maximum of a group.
+ZERO_EXPONENT = -128
+
+
+def to_fp16_bits(values: np.ndarray) -> np.ndarray:
+    """Round an array to FP16 and return the raw ``uint16`` bit patterns.
+
+    Values beyond the finite FP16 range are clamped to ``±MAX_FINITE``
+    (activations in a trained network occasionally overflow FP16 when
+    simulated in FP32; real inference kernels saturate the same way).
+
+    Raises:
+        FormatError: if ``values`` contains NaN or infinity.
+    """
+    arr = np.asarray(values, dtype=np.float32)
+    if not np.all(np.isfinite(arr)):
+        raise FormatError("cannot encode non-finite values as FP16")
+    clipped = np.clip(arr, -MAX_FINITE, MAX_FINITE)
+    return clipped.astype(np.float16).view(np.uint16)
+
+
+def decompose_bits(bits: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split raw FP16 bit patterns into (sign, exp_field, mant_field).
+
+    Returns:
+        Tuple of integer arrays: sign in {0, 1}, biased exponent field in
+        [0, 31], and the 10-bit stored mantissa field.
+    """
+    bits = np.asarray(bits, dtype=np.uint16)
+    sign = ((bits >> 15) & 0x1).astype(np.int64)
+    exp_field = ((bits >> MANTISSA_FIELD_BITS) & 0x1F).astype(np.int64)
+    mant_field = (bits & 0x3FF).astype(np.int64)
+    return sign, exp_field, mant_field
+
+
+def decompose(values: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decompose arbitrary finite values into FP16 (sign, exponent, significand).
+
+    The returned exponent follows the integer-significand convention of
+    this module (see module docstring); the significand includes the
+    hidden bit and spans [0, 2**11).  Zero elements get significand 0 and
+    the :data:`ZERO_EXPONENT` sentinel.
+    """
+    sign, exp_field, mant_field = decompose_bits(to_fp16_bits(values))
+    if np.any(exp_field == EXPONENT_FIELD_SPECIAL):
+        raise FormatError("Inf/NaN bit pattern encountered in FP16 decompose")
+    hidden = np.where(exp_field > 0, 1 << MANTISSA_FIELD_BITS, 0)
+    significand = hidden | mant_field
+    exponent = np.where(exp_field > 0, exp_field - EXPONENT_BIAS, SUBNORMAL_EXPONENT)
+    exponent = np.where(significand == 0, ZERO_EXPONENT, exponent)
+    return sign, exponent, significand
+
+
+def compose(sign: np.ndarray, exponent: np.ndarray, significand: np.ndarray) -> np.ndarray:
+    """Rebuild float32 values from (sign, exponent, significand) fields.
+
+    Inverse of :func:`decompose` for all finite FP16 values::
+
+        value = (-1)**sign * significand * 2**(exponent - 10)
+    """
+    sign = np.asarray(sign, dtype=np.int64)
+    exponent = np.asarray(exponent, dtype=np.int64)
+    significand = np.asarray(significand, dtype=np.int64)
+    magnitude = np.ldexp(
+        significand.astype(np.float64), exponent - MANTISSA_FIELD_BITS
+    )
+    return np.where(sign == 1, -magnitude, magnitude).astype(np.float32)
+
+
+def round_trip(values: np.ndarray) -> np.ndarray:
+    """Round values to FP16 precision and return them as float32.
+
+    Equivalent to ``values.astype(float16).astype(float32)`` with the
+    library's saturation semantics; used as the FP16 reference baseline
+    in accuracy experiments.
+    """
+    return compose(*decompose(values))
+
+
+def storage_bits(num_elements: int) -> int:
+    """On-chip storage cost, in bits, of ``num_elements`` FP16 values."""
+    return 16 * int(num_elements)

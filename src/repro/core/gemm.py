@@ -1,0 +1,178 @@
+"""The complete FP-INT GeMM operator of Fig. 8(d).
+
+Combines the two integer halves of the W4A16 + Anda scheme into the
+actual computation the MXU performs:
+
+* activations enter as an :class:`~repro.core.anda.AndaTensor`
+  (bit-plane storage, shared exponents),
+* weights enter as group-wise INT4 codes with per-group scales/zeros
+  (:class:`~repro.quant.weight_quant.QuantizedWeight`),
+* within each 64-element activation group the dot product is *pure
+  integer* arithmetic (signed mantissas x signed weight codes),
+* per-group results are rescaled by ``2^(shared_exp) * weight_scale``
+  and accumulated across groups in FP32,
+* the output can be re-encoded to Anda by the BPC for the next layer.
+
+The zero-point handling mirrors the hardware trick: asymmetric weights
+``(code - zero) * scale`` contribute ``-zero * scale * sum(activations
+in group)``, and the per-group activation *sum* is itself an integer
+dot product with all-ones weights — so the correction runs on the same
+integer datapath.
+
+Numerical contract (tested): bit-identical to dequantizing both
+operands and running the float composition, because every intermediate
+is exact integer arithmetic until the final FP32 rescale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.anda import ANDA_GROUP_SIZE, AndaTensor
+from repro.core.compressor import BitPlaneCompressor
+from repro.errors import HardwareError
+from repro.quant.weight_quant import QuantizedWeight
+
+
+@dataclass(frozen=True)
+class GemmStats:
+    """Operational counts of one Anda GeMM call.
+
+    Attributes:
+        integer_macs: integer multiply-accumulates executed.
+        groups_reduced: activation groups streamed through the PE array.
+        bitplanes_streamed: mantissa planes consumed (cycles x words).
+        output_compress_cycles: BPC cycles when re-encoding the output.
+    """
+
+    integer_macs: int
+    groups_reduced: int
+    bitplanes_streamed: int
+    output_compress_cycles: int = 0
+
+
+def _weight_groups(weights: QuantizedWeight, k: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Signed integer codes and per-group (scale, zero) aligned to the
+    activation grouping (both group along the reduction axis)."""
+    if weights.group_size % ANDA_GROUP_SIZE != 0 and ANDA_GROUP_SIZE % weights.group_size != 0:
+        raise HardwareError(
+            f"weight group size {weights.group_size} must nest with the "
+            f"Anda group size {ANDA_GROUP_SIZE}"
+        )
+    codes = weights.codes.astype(np.int64)
+    if codes.shape[0] < k:
+        raise HardwareError(
+            f"weight reduction dim {codes.shape[0]} shorter than "
+            f"activation dim {k}"
+        )
+    return codes, weights.scales.astype(np.float64), weights.zeros.astype(np.float64)
+
+
+def anda_gemm(
+    activations: AndaTensor,
+    weights: QuantizedWeight,
+    compress_output_bits: int | None = None,
+) -> tuple[np.ndarray, GemmStats]:
+    """FP-INT GeMM: Anda activations x group-wise INT weights.
+
+    Args:
+        activations: logical ``(rows, k)`` Anda tensor.
+        weights: quantized ``(k, n)`` weight matrix (reduction-axis
+            groups).
+        compress_output_bits: when set, run the output through the BPC
+            and return the decoded (quantized) result — the write-back
+            path of Fig. 8(d).
+
+    Returns:
+        ``(output, stats)`` where output is float32 ``(rows, n)``.
+    """
+    if len(activations.shape) != 2:
+        raise HardwareError(
+            f"anda_gemm expects 2-D activations, got {activations.shape}"
+        )
+    rows, k = activations.shape
+    codes, scales, zeros = _weight_groups(weights, k)
+    n = codes.shape[1]
+
+    groups_per_row = activations.layout.groups_per_row
+    padded_k = groups_per_row * ANDA_GROUP_SIZE
+
+    signed = activations.signed_mantissa().reshape(
+        rows, groups_per_row, ANDA_GROUP_SIZE
+    )
+    exponents = activations.store.exponents.reshape(rows, groups_per_row)
+    act_scale = np.ldexp(1.0, exponents + 1 - activations.mantissa_bits)
+
+    codes_padded = np.zeros((padded_k, n), dtype=np.int64)
+    codes_padded[: codes.shape[0]] = codes
+    codes_grouped = codes_padded.reshape(groups_per_row, ANDA_GROUP_SIZE, n)
+
+    # Broadcast weight-group parameters onto the Anda grouping: weight
+    # group g_w covers Anda groups g_w * (wg / 64) .. ; when the weight
+    # groups are *smaller*, average is invalid — instead expand codes'
+    # scale per Anda subgroup via repetition.
+    wg = weights.group_size
+    if wg >= ANDA_GROUP_SIZE:
+        repeat = wg // ANDA_GROUP_SIZE
+        scale_rows = np.repeat(scales, repeat, axis=0)[:groups_per_row]
+        zero_rows = np.repeat(zeros, repeat, axis=0)[:groups_per_row]
+        # Integer dot product per (row, anda-group, out-col).
+        integer = np.einsum(
+            "rgk,gkn->rgn", signed.astype(np.float64), codes_grouped
+        )
+        # Zero-point correction: zero * sum of group activations.
+        act_sums = signed.sum(axis=2).astype(np.float64)
+        corrected = (
+            integer - act_sums[:, :, None] * zero_rows[None, :, :]
+        ) * scale_rows[None, :, :]
+        output = (corrected * act_scale[:, :, None]).sum(axis=1)
+    else:
+        # Sub-64 weight groups: reduce at the finer weight granularity.
+        sub = ANDA_GROUP_SIZE // wg
+        fine = signed.reshape(rows, groups_per_row * sub, wg)
+        codes_fine = codes_padded.reshape(groups_per_row * sub, wg, n)
+        n_wgroups = -(-codes.shape[0] // wg)
+        scale_rows = np.zeros((groups_per_row * sub, n))
+        zero_rows = np.zeros((groups_per_row * sub, n))
+        scale_rows[:n_wgroups] = scales
+        zero_rows[:n_wgroups] = zeros
+        integer = np.einsum("rgk,gkn->rgn", fine.astype(np.float64), codes_fine)
+        act_sums = fine.sum(axis=2).astype(np.float64)
+        corrected = (
+            integer - act_sums[:, :, None] * zero_rows[None, :, :]
+        ) * scale_rows[None, :, :]
+        act_scale_fine = np.repeat(act_scale, sub, axis=1)
+        output = (corrected * act_scale_fine[:, :, None]).sum(axis=1)
+
+    output32 = output.astype(np.float32)
+    stats = GemmStats(
+        integer_macs=rows * padded_k * n,
+        groups_reduced=rows * groups_per_row * n,
+        bitplanes_streamed=rows * groups_per_row * activations.mantissa_bits,
+    )
+
+    if compress_output_bits is not None:
+        compressed, bpc_stats = BitPlaneCompressor().compress(
+            output32, compress_output_bits
+        )
+        stats = GemmStats(
+            integer_macs=stats.integer_macs,
+            groups_reduced=stats.groups_reduced,
+            bitplanes_streamed=stats.bitplanes_streamed,
+            output_compress_cycles=bpc_stats.cycles,
+        )
+        return compressed.decode(), stats
+    return output32, stats
+
+
+def reference_gemm(activations: AndaTensor, weights: QuantizedWeight) -> np.ndarray:
+    """Float reference: dequantize both operands, matmul in float64.
+
+    Used by tests to pin down :func:`anda_gemm`'s numerical contract.
+    """
+    rows, k = activations.shape
+    act = activations.group_values().reshape(rows, -1)[:, :k].astype(np.float64)
+    wgt = weights.dequantize().astype(np.float64)
+    return (act @ wgt).astype(np.float32)

@@ -1,0 +1,104 @@
+"""Grouping helpers shared by the BFP-family formats.
+
+Block-floating-point formats share one exponent among a *group* of
+values.  In Anda (and in this library generally) activations are grouped
+along their last axis — the channel/reduction dimension of the FP-INT
+GeMM — so a shared-exponent group is also a contiguous run of the dot
+product, which is what lets the hardware use integer arithmetic within
+a group (Sec. III-B of the paper).
+
+These helpers reshape arbitrary tensors into a padded ``(n_groups,
+group_size)`` view and back, remembering the original shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+
+
+@dataclass(frozen=True)
+class GroupLayout:
+    """Bookkeeping needed to undo :func:`to_groups`.
+
+    Attributes:
+        shape: original tensor shape.
+        group_size: elements per shared-exponent group.
+        n_groups: number of groups after padding.
+        pad: number of zero elements appended to fill the last group of
+            each row.
+        row_length: length of the original last axis.
+    """
+
+    shape: tuple[int, ...]
+    group_size: int
+    n_groups: int
+    pad: int
+    row_length: int
+
+    @property
+    def groups_per_row(self) -> int:
+        """Number of groups covering one row (one slice of the last axis)."""
+        return (self.row_length + self.pad) // self.group_size
+
+
+def resolve_group_size(group_size: int | None, row_length: int) -> int:
+    """Validate a group size, resolving ``None`` to the whole row.
+
+    ``None`` reproduces the paper's ``GS=#Channels`` configuration in
+    Fig. 5 (one shared exponent per channel row).
+    """
+    if group_size is None:
+        group_size = row_length
+    if group_size < 1:
+        raise FormatError(f"group size must be >= 1, got {group_size}")
+    return int(group_size)
+
+
+def to_groups(values: np.ndarray, group_size: int | None) -> tuple[np.ndarray, GroupLayout]:
+    """Reshape a tensor into ``(n_groups, group_size)`` rows of its last axis.
+
+    Rows are padded with zeros up to a multiple of ``group_size``; zeros
+    are neutral for BFP (they never contribute to the shared exponent and
+    encode exactly).
+
+    Returns:
+        The grouped 2-D array and the :class:`GroupLayout` describing how
+        to invert the operation.
+    """
+    arr = np.asarray(values)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    row_length = arr.shape[-1]
+    if row_length == 0:
+        raise FormatError("cannot group a tensor with an empty last axis")
+    group_size = resolve_group_size(group_size, row_length)
+    rows = arr.reshape(-1, row_length)
+    pad = (-row_length) % group_size
+    if pad:
+        rows = np.pad(rows, ((0, 0), (0, pad)))
+    grouped = rows.reshape(-1, group_size)
+    layout = GroupLayout(
+        shape=tuple(arr.shape),
+        group_size=group_size,
+        n_groups=grouped.shape[0],
+        pad=pad,
+        row_length=row_length,
+    )
+    return grouped, layout
+
+
+def from_groups(grouped: np.ndarray, layout: GroupLayout) -> np.ndarray:
+    """Invert :func:`to_groups`, dropping padding and restoring shape."""
+    if grouped.shape != (layout.n_groups, layout.group_size):
+        raise FormatError(
+            f"grouped array has shape {grouped.shape}, expected "
+            f"({layout.n_groups}, {layout.group_size})"
+        )
+    rows = grouped.reshape(-1, layout.row_length + layout.pad)
+    if layout.pad:
+        rows = rows[:, : layout.row_length]
+    return rows.reshape(layout.shape)

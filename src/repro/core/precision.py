@@ -1,0 +1,98 @@
+"""Tensor-type taxonomy and precision combinations.
+
+The paper narrows the activation-precision search space to the four
+FP-INT GeMM activation tensor types of a Transformer block (Sec. II-A,
+Fig. 3):
+
+* ``QKV`` — the input of the query/key/value projections,
+* ``O``   — the input of the attention output projection,
+* ``U``   — the input of the feed-forward up (and gate) projection,
+* ``D``   — the input of the feed-forward down projection.
+
+A *precision combination* assigns one Anda mantissa length to each type:
+the 4-tuple ``[M_qkv, M_o, M_u, M_d]`` that Algorithm 1 searches over.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, Mapping, NamedTuple
+
+from repro.core.bfp import MAX_MANTISSA_BITS, MIN_MANTISSA_BITS
+from repro.errors import FormatError
+
+
+class TensorKind(enum.Enum):
+    """The four FP-INT GeMM activation tensor types of a weight-only
+    quantized Transformer block."""
+
+    QKV = "qkv"
+    O = "o"  # noqa: E741 - matches the paper's A_o naming
+    U = "u"
+    D = "d"
+
+    @classmethod
+    def ordered(cls) -> tuple["TensorKind", ...]:
+        """Kinds in the paper's canonical ``[qkv, o, u, d]`` order."""
+        return (cls.QKV, cls.O, cls.U, cls.D)
+
+
+class PrecisionCombination(NamedTuple):
+    """Mantissa lengths ``[M_qkv, M_o, M_u, M_d]`` for one model.
+
+    Immutable and hashable so the search can keep a visited set.
+    """
+
+    qkv: int
+    o: int
+    u: int
+    d: int
+
+    def __getitem__(self, key):  # type: ignore[override]
+        if isinstance(key, TensorKind):
+            return getattr(self, key.value)
+        return tuple.__getitem__(self, key)
+
+    def validate(self) -> "PrecisionCombination":
+        """Check every entry lies in the Anda-representable 1..16 range."""
+        for kind, bits in zip(TensorKind.ordered(), self):
+            if not MIN_MANTISSA_BITS <= bits <= MAX_MANTISSA_BITS:
+                raise FormatError(
+                    f"mantissa length for {kind.value} must be in "
+                    f"[{MIN_MANTISSA_BITS}, {MAX_MANTISSA_BITS}], got {bits}"
+                )
+        return self
+
+    @classmethod
+    def uniform(cls, bits: int) -> "PrecisionCombination":
+        """The equal-precision combination ``[bits, bits, bits, bits]``."""
+        return cls(bits, bits, bits, bits).validate()
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[TensorKind, int]) -> "PrecisionCombination":
+        """Build from a ``{TensorKind: bits}`` mapping."""
+        return cls(*(mapping[kind] for kind in TensorKind.ordered())).validate()
+
+    def as_mapping(self) -> dict[TensorKind, int]:
+        """Return ``{TensorKind: bits}`` for iteration by kind."""
+        return dict(zip(TensorKind.ordered(), self))
+
+    def relaxations(self) -> Iterator["PrecisionCombination"]:
+        """Yield the neighbours Algorithm 1 generates from a new best.
+
+        Each neighbour decreases exactly one tensor type's mantissa
+        length by one bit, skipping moves that would leave the valid
+        range (Sec. III-C, Step 3).
+        """
+        for index, bits in enumerate(self):
+            if bits - 1 >= MIN_MANTISSA_BITS:
+                relaxed = list(self)
+                relaxed[index] = bits - 1
+                yield PrecisionCombination(*relaxed)
+
+    def max_bits(self) -> int:
+        """Longest mantissa in the combination (sizing worst-case storage)."""
+        return max(self)
+
+    def __str__(self) -> str:
+        return f"[{self.qkv}, {self.o}, {self.u}, {self.d}]"

@@ -1,0 +1,179 @@
+"""Adaptive precision combination search (Algorithm 1 of the paper).
+
+A training-free, one-shot, compile-time search for the 4-tuple of
+mantissa lengths ``[M_qkv, M_o, M_u, M_d]`` that minimizes BOPs while
+keeping calibration accuracy within a user tolerance of the reference
+(weight-only quantized) model.
+
+The search is substrate-agnostic: it takes two callables — an accuracy
+evaluator (higher is better) and a BOPs estimator — so unit tests drive
+it with synthetic landscapes and the experiments drive it with real
+model evaluations.  Structure mirrors the paper's pseudo-code:
+
+1. seed a priority queue with uniform combinations ``[4,4,4,4]`` ..
+   ``[13,13,13,13]``,
+2. repeatedly pop the lowest-BOPs candidate, evaluate its accuracy,
+3. when a candidate both lowers BOPs below the incumbent and meets the
+   tolerance, adopt it and push its one-bit relaxations,
+4. stop at the iteration limit or when the queue runs dry.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.precision import PrecisionCombination
+from repro.errors import SearchError
+
+#: The paper's default iteration budget (Sec. V-B).
+DEFAULT_MAX_ITERATIONS = 32
+
+#: Uniform starting points: aggressive [4,4,4,4] .. conservative [13,13,13,13].
+DEFAULT_START_BITS: tuple[int, ...] = tuple(range(4, 14))
+
+AccuracyFn = Callable[[PrecisionCombination], float]
+BopsFn = Callable[[PrecisionCombination], float]
+
+
+@dataclass(frozen=True)
+class SearchStep:
+    """One evaluated candidate of the search trace (drives Fig. 9).
+
+    Attributes:
+        iteration: 1-based evaluation index.
+        combination: the candidate 4-tuple.
+        bops: its estimated cost.
+        accuracy: measured calibration accuracy.
+        meets_tolerance: whether accuracy passed the constraint.
+        accepted: whether it became the new best combination.
+        best_after: incumbent best after this step (``None`` early on).
+    """
+
+    iteration: int
+    combination: PrecisionCombination
+    bops: float
+    accuracy: float
+    meets_tolerance: bool
+    accepted: bool
+    best_after: PrecisionCombination | None
+
+
+@dataclass
+class SearchResult:
+    """Full outcome of one adaptive precision search.
+
+    Attributes:
+        best: optimized combination, or ``None`` if nothing met the
+            tolerance within the budget.
+        best_bops: BOPs of ``best`` (``inf`` when infeasible).
+        reference_accuracy: the accuracy the tolerance was anchored to.
+        tolerance: the accuracy-loss tolerance used.
+        steps: evaluation trace in order.
+        exhausted: True if the queue emptied before the iteration limit.
+    """
+
+    best: PrecisionCombination | None
+    best_bops: float
+    reference_accuracy: float
+    tolerance: float
+    steps: list[SearchStep] = field(default_factory=list)
+    exhausted: bool = False
+
+    @property
+    def iterations(self) -> int:
+        """Number of candidate evaluations performed."""
+        return len(self.steps)
+
+    @property
+    def feasible(self) -> bool:
+        """Whether any combination met the accuracy constraint."""
+        return self.best is not None
+
+
+def adaptive_precision_search(
+    evaluate_accuracy: AccuracyFn,
+    evaluate_bops: BopsFn,
+    reference_accuracy: float,
+    tolerance: float,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    start_bits: Sequence[int] = DEFAULT_START_BITS,
+) -> SearchResult:
+    """Run Algorithm 1.
+
+    Args:
+        evaluate_accuracy: maps a combination to calibration accuracy
+            (higher is better; for perplexity pass e.g.
+            ``reference_ppl / ppl``).
+        evaluate_bops: maps a combination to its BOPs estimate.
+        reference_accuracy: accuracy of the unmodified (weight-only
+            quantized) model on the calibration set.
+        tolerance: relative accuracy-loss tolerance ``delta`` (0.01 means
+            candidates must reach 99% of the reference accuracy).
+        max_iterations: evaluation budget ``N``.
+        start_bits: uniform seeds for the queue.
+
+    Returns:
+        A :class:`SearchResult` with the best combination and full trace.
+
+    Raises:
+        SearchError: on non-positive reference accuracy, negative
+            tolerance, an empty seed list, or a non-positive budget.
+    """
+    if reference_accuracy <= 0:
+        raise SearchError(f"reference accuracy must be > 0, got {reference_accuracy}")
+    if tolerance < 0:
+        raise SearchError(f"tolerance must be >= 0, got {tolerance}")
+    if max_iterations < 1:
+        raise SearchError(f"max_iterations must be >= 1, got {max_iterations}")
+    if not start_bits:
+        raise SearchError("start_bits must contain at least one seed precision")
+
+    counter = itertools.count()
+    queue: list[tuple[float, int, PrecisionCombination]] = []
+    enqueued: set[PrecisionCombination] = set()
+
+    def push(candidates: Iterable[PrecisionCombination]) -> None:
+        for candidate in candidates:
+            if candidate not in enqueued:
+                enqueued.add(candidate)
+                heapq.heappush(
+                    queue, (float(evaluate_bops(candidate)), next(counter), candidate)
+                )
+
+    push(PrecisionCombination.uniform(bits) for bits in start_bits)
+
+    threshold = (1.0 - tolerance) * reference_accuracy
+    result = SearchResult(
+        best=None,
+        best_bops=float("inf"),
+        reference_accuracy=reference_accuracy,
+        tolerance=tolerance,
+    )
+
+    while len(result.steps) < max_iterations:
+        if not queue:
+            result.exhausted = True
+            break
+        bops, _, combination = heapq.heappop(queue)
+        accuracy = float(evaluate_accuracy(combination))
+        meets = accuracy >= threshold
+        accepted = meets and bops < result.best_bops
+        if accepted:
+            result.best = combination
+            result.best_bops = bops
+            push(combination.relaxations())
+        result.steps.append(
+            SearchStep(
+                iteration=len(result.steps) + 1,
+                combination=combination,
+                bops=bops,
+                accuracy=accuracy,
+                meets_tolerance=meets,
+                accepted=accepted,
+                best_after=result.best,
+            )
+        )
+    return result

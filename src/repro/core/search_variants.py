@@ -1,0 +1,375 @@
+"""Alternative precision-search strategies, for comparison with Algorithm 1.
+
+Sec. III-D of the paper motivates the adaptive search by contrast with
+two families:
+
+* **brute force** over the full combination space ("the search space
+  for OPT-125M contains over 10,000 possible combinations", Fig. 9) —
+  optimal but needs one calibration forward pass per combination;
+* **layer-wise methods** ([18], [28], [76]) whose per-layer precision
+  variables multiply the search dimensionality by the layer count,
+  "significantly extending the deployment process".
+
+This module implements those comparators plus two classical baselines
+(random sampling, greedy coordinate descent) against the *same*
+substrate-agnostic interface as :func:`repro.core.search.adaptive_precision_search`,
+so strategies can be compared on evaluation counts — the unit the paper
+uses, since each evaluation is one forward pass over the calibration
+set.  The Fig. 9-style comparison bench and the strategy example are
+built on :func:`compare_strategies`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.precision import PrecisionCombination
+from repro.core.search import (
+    AccuracyFn,
+    BopsFn,
+    SearchResult,
+    adaptive_precision_search,
+)
+from repro.errors import SearchError
+
+#: Mantissa range the strategies explore, matching Algorithm 1's seeds.
+DEFAULT_BIT_RANGE: tuple[int, int] = (4, 13)
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """Result of one search strategy on one landscape.
+
+    Attributes:
+        strategy: display name.
+        best: best feasible combination found (``None`` if infeasible).
+        best_bops: its cost (``inf`` when infeasible).
+        evaluations: accuracy evaluations spent (= calibration forward
+            passes — the deployment-time currency).
+    """
+
+    strategy: str
+    best: PrecisionCombination | None
+    best_bops: float
+    evaluations: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.best is not None
+
+
+class _CountingEvaluator:
+    """Wrap an accuracy function, counting calls (with memoization —
+    re-evaluating a visited combination costs nothing at deploy time
+    because the calibration result can be cached)."""
+
+    def __init__(self, evaluate_accuracy: AccuracyFn) -> None:
+        self._fn = evaluate_accuracy
+        self._cache: dict[PrecisionCombination, float] = {}
+        self.calls = 0
+
+    def __call__(self, combination: PrecisionCombination) -> float:
+        if combination not in self._cache:
+            self.calls += 1
+            self._cache[combination] = float(self._fn(combination))
+        return self._cache[combination]
+
+
+def _check_common(tolerance: float, bit_range: tuple[int, int]) -> None:
+    low, high = bit_range
+    if tolerance < 0:
+        raise SearchError(f"tolerance must be >= 0, got {tolerance}")
+    if not 1 <= low <= high <= 16:
+        raise SearchError(f"bit range must satisfy 1 <= low <= high <= 16, got {bit_range}")
+
+
+def brute_force_search(
+    evaluate_accuracy: AccuracyFn,
+    evaluate_bops: BopsFn,
+    reference_accuracy: float,
+    tolerance: float,
+    bit_range: tuple[int, int] = DEFAULT_BIT_RANGE,
+    max_evaluations: int | None = None,
+) -> StrategyOutcome:
+    """Exhaustive search over every 4-tuple in ``bit_range``.
+
+    Candidates are enumerated in increasing-BOPs order so a
+    ``max_evaluations`` cap behaves like the budget-limited variant a
+    practitioner would actually run (best-cost-first screening).
+    """
+    _check_common(tolerance, bit_range)
+    low, high = bit_range
+    evaluator = _CountingEvaluator(evaluate_accuracy)
+    threshold = (1.0 - tolerance) * reference_accuracy
+
+    candidates = [
+        PrecisionCombination(*bits)
+        for bits in itertools.product(range(low, high + 1), repeat=4)
+    ]
+    candidates.sort(key=evaluate_bops)
+
+    best: PrecisionCombination | None = None
+    best_bops = float("inf")
+    for combination in candidates:
+        if max_evaluations is not None and evaluator.calls >= max_evaluations:
+            break
+        if evaluator(combination) >= threshold:
+            # Sorted by BOPs: the first feasible candidate is optimal.
+            best = combination
+            best_bops = float(evaluate_bops(combination))
+            break
+    return StrategyOutcome("brute-force", best, best_bops, evaluator.calls)
+
+
+def random_search(
+    evaluate_accuracy: AccuracyFn,
+    evaluate_bops: BopsFn,
+    reference_accuracy: float,
+    tolerance: float,
+    max_evaluations: int = 32,
+    bit_range: tuple[int, int] = DEFAULT_BIT_RANGE,
+    seed: int = 0,
+) -> StrategyOutcome:
+    """Uniform random sampling of combinations within a budget."""
+    _check_common(tolerance, bit_range)
+    if max_evaluations < 1:
+        raise SearchError(f"max_evaluations must be >= 1, got {max_evaluations}")
+    low, high = bit_range
+    rng = np.random.default_rng(seed)
+    evaluator = _CountingEvaluator(evaluate_accuracy)
+    threshold = (1.0 - tolerance) * reference_accuracy
+
+    best: PrecisionCombination | None = None
+    best_bops = float("inf")
+    while evaluator.calls < max_evaluations:
+        combination = PrecisionCombination(
+            *(int(bit) for bit in rng.integers(low, high + 1, size=4))
+        )
+        accuracy = evaluator(combination)
+        bops = float(evaluate_bops(combination))
+        if accuracy >= threshold and bops < best_bops:
+            best, best_bops = combination, bops
+    return StrategyOutcome("random", best, best_bops, evaluator.calls)
+
+
+def greedy_descent_search(
+    evaluate_accuracy: AccuracyFn,
+    evaluate_bops: BopsFn,
+    reference_accuracy: float,
+    tolerance: float,
+    bit_range: tuple[int, int] = DEFAULT_BIT_RANGE,
+    max_evaluations: int = 256,
+) -> StrategyOutcome:
+    """Coordinate descent from the most conservative combination.
+
+    From ``[high, high, high, high]``, repeatedly take the single-step
+    relaxation with the largest BOPs reduction that still meets the
+    tolerance, until no coordinate can move.  This is the obvious
+    hand-rolled heuristic; unlike Algorithm 1 it cannot *skip ahead*
+    via the uniform seeds, so it spends evaluations walking down from
+    FP-like precision one bit at a time.
+    """
+    _check_common(tolerance, bit_range)
+    low, high = bit_range
+    evaluator = _CountingEvaluator(evaluate_accuracy)
+    threshold = (1.0 - tolerance) * reference_accuracy
+
+    current = PrecisionCombination.uniform(high)
+    if evaluator(current) < threshold:
+        return StrategyOutcome("greedy-descent", None, float("inf"), evaluator.calls)
+
+    improved = True
+    while improved and evaluator.calls < max_evaluations:
+        improved = False
+        moves = [
+            combo for combo in current.relaxations() if min(combo) >= low
+        ]
+        moves.sort(key=evaluate_bops)
+        for move in moves:
+            if evaluator.calls >= max_evaluations:
+                break
+            if evaluator(move) >= threshold:
+                current = move
+                improved = True
+                break
+    return StrategyOutcome(
+        "greedy-descent", current, float(evaluate_bops(current)), evaluator.calls
+    )
+
+
+def adaptive_search_outcome(
+    evaluate_accuracy: AccuracyFn,
+    evaluate_bops: BopsFn,
+    reference_accuracy: float,
+    tolerance: float,
+    max_iterations: int = 32,
+) -> StrategyOutcome:
+    """Algorithm 1, repackaged as a :class:`StrategyOutcome`."""
+    result: SearchResult = adaptive_precision_search(
+        evaluate_accuracy,
+        evaluate_bops,
+        reference_accuracy,
+        tolerance,
+        max_iterations=max_iterations,
+    )
+    return StrategyOutcome("adaptive (Alg. 1)", result.best, result.best_bops, result.iterations)
+
+
+# -- layer-wise comparison ------------------------------------------------------
+
+LayerwiseAccuracyFn = Callable[[Sequence[PrecisionCombination]], float]
+
+
+@dataclass(frozen=True)
+class LayerwiseOutcome:
+    """Result of the layer-wise greedy search.
+
+    Attributes:
+        assignment: one combination per layer.
+        bops: summed per-layer cost.
+        evaluations: accuracy evaluations spent.
+    """
+
+    assignment: tuple[PrecisionCombination, ...]
+    bops: float
+    evaluations: int
+
+    @property
+    def mean_bits(self) -> float:
+        return float(
+            np.mean([bits for combo in self.assignment for bits in combo])
+        )
+
+
+def layer_wise_search(
+    evaluate_accuracy: LayerwiseAccuracyFn,
+    evaluate_bops: BopsFn,
+    n_layers: int,
+    reference_accuracy: float,
+    tolerance: float,
+    bit_range: tuple[int, int] = DEFAULT_BIT_RANGE,
+    max_evaluations: int | None = None,
+) -> LayerwiseOutcome:
+    """Per-layer greedy precision assignment ([18], [28], [76] style).
+
+    Every layer gets its own 4-tuple.  The search sweeps layers in
+    order; for each layer it relaxes coordinates greedily while the
+    *whole-model* accuracy stays within tolerance.  The point being
+    demonstrated: the evaluation count scales with ``n_layers`` (each
+    accepted bit costs at least one model evaluation), which is exactly
+    why the paper's module-wise scope finishes in ~tens of passes while
+    layer-wise methods need thousands.
+    """
+    _check_common(tolerance, bit_range)
+    if n_layers < 1:
+        raise SearchError(f"n_layers must be >= 1, got {n_layers}")
+    low, high = bit_range
+    threshold = (1.0 - tolerance) * reference_accuracy
+
+    assignment = [PrecisionCombination.uniform(high) for _ in range(n_layers)]
+    evaluations = 0
+
+    def budget_left() -> bool:
+        return max_evaluations is None or evaluations < max_evaluations
+
+    for layer in range(n_layers):
+        improved = True
+        while improved and budget_left():
+            improved = False
+            moves = [
+                combo
+                for combo in assignment[layer].relaxations()
+                if min(combo) >= low
+            ]
+            moves.sort(key=evaluate_bops)
+            for move in moves:
+                if not budget_left():
+                    break
+                trial = list(assignment)
+                trial[layer] = move
+                evaluations += 1
+                if float(evaluate_accuracy(trial)) >= threshold:
+                    assignment[layer] = move
+                    improved = True
+                    break
+    total_bops = float(sum(evaluate_bops(combo) for combo in assignment))
+    return LayerwiseOutcome(tuple(assignment), total_bops, evaluations)
+
+
+# -- comparison harness -----------------------------------------------------------
+
+
+def compare_strategies(
+    evaluate_accuracy: AccuracyFn,
+    evaluate_bops: BopsFn,
+    reference_accuracy: float,
+    tolerance: float,
+    budget: int = 32,
+    seed: int = 0,
+) -> list[StrategyOutcome]:
+    """Run every module-wise strategy on one landscape.
+
+    The adaptive search and random search get the same ``budget``;
+    greedy descent gets an uncapped walk (its natural cost); brute
+    force runs to optimality so the others can be scored against the
+    true optimum.
+    """
+    outcomes = [
+        adaptive_search_outcome(
+            evaluate_accuracy, evaluate_bops, reference_accuracy, tolerance, budget
+        ),
+        greedy_descent_search(
+            evaluate_accuracy, evaluate_bops, reference_accuracy, tolerance
+        ),
+        random_search(
+            evaluate_accuracy,
+            evaluate_bops,
+            reference_accuracy,
+            tolerance,
+            max_evaluations=budget,
+            seed=seed,
+        ),
+        brute_force_search(
+            evaluate_accuracy, evaluate_bops, reference_accuracy, tolerance
+        ),
+    ]
+    return outcomes
+
+
+def synthetic_landscape(
+    seed: int = 0,
+    noise: float = 0.0,
+) -> tuple[AccuracyFn, BopsFn, float]:
+    """A deterministic test landscape mimicking Fig. 6/7 sensitivities.
+
+    Accuracy decays smoothly as bits shrink, with per-module
+    sensitivities drawn from the seeded rng (QKV biased most
+    sensitive, D least, matching the paper); BOPs is the sum of bits
+    weighted by module MAC share.  Returns ``(accuracy_fn, bops_fn,
+    reference_accuracy)``.
+    """
+    rng = np.random.default_rng(seed)
+    base_sensitivity = np.array([1.6, 1.1, 0.9, 0.7])
+    sensitivity = base_sensitivity * rng.uniform(0.8, 1.2, size=4)
+    mac_share = np.array([3.0, 1.0, 2.0, 2.0])
+    mac_share = mac_share / mac_share.sum()
+    reference = 1.0
+
+    def accuracy(combination: PrecisionCombination) -> float:
+        bits = np.array(combination, dtype=np.float64)
+        damage = np.sum(sensitivity * np.exp(-(bits - 3.0)))
+        jitter = 0.0
+        if noise:
+            local = np.random.default_rng(hash(combination) % (2**32))
+            jitter = noise * local.normal()
+        return float(reference - 0.01 * damage + jitter)
+
+    def bops(combination: PrecisionCombination) -> float:
+        bits = np.array(combination, dtype=np.float64)
+        return float(np.sum(mac_share * (bits + 1) * 4))
+
+    return accuracy, bops, reference

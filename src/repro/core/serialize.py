@@ -1,0 +1,117 @@
+"""Binary serialization of Anda tensors (the DRAM/disk memory image).
+
+The paper's scheme keeps activations *in the Anda format in memory*
+(Fig. 8d); this module defines that image concretely so storage-size
+claims are testable on real bytes:
+
+========  =======================================================
+section   contents
+========  =======================================================
+header    magic, version, mantissa bits, rounding, shape, groups
+exponent  one int8 per group (the 0.125 MB partition, Fig. 13)
+signs     one 64-bit word per group
+planes    ``M`` 64-bit words per group, MSB plane first
+========  =======================================================
+
+Round trips are bit-exact; the byte count matches
+``AndaTensor.storage_bits()`` up to the fixed header.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.anda import ANDA_GROUP_SIZE, AndaTensor
+from repro.core.bitplane import BitPlaneStore
+from repro.core.groups import GroupLayout
+from repro.errors import FormatError
+
+_MAGIC = b"ANDA"
+_VERSION = 1
+_ROUNDING_CODES = {"truncate": 0, "nearest": 1, "stochastic": 2}
+_ROUNDING_NAMES = {code: name for name, code in _ROUNDING_CODES.items()}
+
+#: Header layout: magic, version, mantissa bits, rounding code,
+#: ndim, n_groups, pad, row_length  (then ndim uint32 dims).
+_HEADER = struct.Struct("<4sBBBBQQQ")
+
+
+def dumps(tensor: AndaTensor) -> bytes:
+    """Serialize an Anda tensor to its binary memory image."""
+    header = _HEADER.pack(
+        _MAGIC,
+        _VERSION,
+        tensor.mantissa_bits,
+        _ROUNDING_CODES[tensor.rounding],
+        len(tensor.layout.shape),
+        tensor.layout.n_groups,
+        tensor.layout.pad,
+        tensor.layout.row_length,
+    )
+    dims = np.asarray(tensor.layout.shape, dtype="<u4").tobytes()
+    exponents = tensor.store.exponents.astype("<i2").tobytes()
+    signs = tensor.store.sign_words.astype("<u8").tobytes()
+    planes = tensor.store.mantissa_planes.astype("<u8").tobytes()
+    return header + dims + exponents + signs + planes
+
+
+def loads(payload: bytes) -> AndaTensor:
+    """Reconstruct an Anda tensor from :func:`dumps` output."""
+    if len(payload) < _HEADER.size:
+        raise FormatError("payload too short for an Anda header")
+    magic, version, mantissa_bits, rounding_code, ndim, n_groups, pad, row_length = (
+        _HEADER.unpack_from(payload)
+    )
+    if magic != _MAGIC:
+        raise FormatError("not an Anda image (bad magic)")
+    if version != _VERSION:
+        raise FormatError(f"unsupported Anda image version {version}")
+    if rounding_code not in _ROUNDING_NAMES:
+        raise FormatError(f"unknown rounding code {rounding_code}")
+
+    offset = _HEADER.size
+    expected = offset + 4 * ndim + n_groups * (2 + 8 + 8 * mantissa_bits)
+    if len(payload) != expected:
+        raise FormatError(
+            f"payload length {len(payload)} != expected {expected}"
+        )
+    dims = np.frombuffer(payload, dtype="<u4", count=ndim, offset=offset)
+    offset += 4 * ndim
+    exponents = np.frombuffer(payload, dtype="<i2", count=n_groups, offset=offset)
+    offset += 2 * n_groups
+    signs = np.frombuffer(payload, dtype="<u8", count=n_groups, offset=offset)
+    offset += 8 * n_groups
+    planes = np.frombuffer(
+        payload, dtype="<u8", count=n_groups * mantissa_bits, offset=offset
+    )
+
+    layout = GroupLayout(
+        shape=tuple(int(d) for d in dims),
+        group_size=ANDA_GROUP_SIZE,
+        n_groups=int(n_groups),
+        pad=int(pad),
+        row_length=int(row_length),
+    )
+    store = BitPlaneStore(
+        sign_words=signs.copy(),
+        mantissa_planes=planes.reshape(n_groups, mantissa_bits).copy(),
+        exponents=exponents.astype(np.int32),
+        mantissa_bits=int(mantissa_bits),
+    )
+    return AndaTensor(
+        store=store,
+        layout=layout,
+        mantissa_bits=int(mantissa_bits),
+        rounding=_ROUNDING_NAMES[rounding_code],
+    )
+
+
+def image_bytes(tensor: AndaTensor) -> int:
+    """Size of the serialized image in bytes (header included)."""
+    return (
+        _HEADER.size
+        + 4 * len(tensor.layout.shape)
+        + tensor.layout.n_groups * (2 + 8 + 8 * tensor.mantissa_bits)
+    )

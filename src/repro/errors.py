@@ -1,0 +1,33 @@
+"""Exception hierarchy for the Anda reproduction library.
+
+Every error raised deliberately by :mod:`repro` derives from
+:class:`ReproError`, so callers can catch library failures without
+intercepting unrelated exceptions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FormatError(ReproError):
+    """Invalid numeric-format configuration or non-encodable values.
+
+    Raised, for example, when a tensor containing NaN/Inf is handed to a
+    block-floating-point encoder, or when a mantissa length lies outside
+    the representable range of the Anda format.
+    """
+
+
+class SearchError(ReproError):
+    """Adaptive precision search received inconsistent inputs."""
+
+
+class ModelError(ReproError):
+    """LLM substrate misuse (bad config, shape mismatch, missing cache)."""
+
+
+class HardwareError(ReproError):
+    """Hardware model misuse (bad tiling, unknown architecture, ...)."""

@@ -1,0 +1,11 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Registry and CLI live in :mod:`repro.experiments.runner`; run
+``python -m repro.experiments fig9`` (or ``all``).  Each driver module
+exposes ``run(...)`` returning a result object with the raw data plus a
+``render()`` report.
+"""
+
+from repro.experiments.runner import EXPERIMENT_ORDER, EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "EXPERIMENT_ORDER", "run_experiment"]

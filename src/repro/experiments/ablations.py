@@ -1,0 +1,121 @@
+"""Ablations on the Anda design choices (beyond the paper's figures).
+
+Three studies isolating where Anda's gains come from, each exercising a
+design axis the paper discusses but does not ablate in a dedicated
+figure:
+
+* **BPC / storage format** — run the Anda compute datapath with FP16
+  activation storage (compressor disabled).  Separates the bit-serial
+  compute saving from the memory-system saving of the bit-plane store.
+* **Bit-serial vs bit-parallel** — compare the Anda APU against a
+  hypothetical fixed-width bit-parallel PE synthesized at the *same*
+  effective mantissa (FIGNA-Mx style), quantifying the utilization
+  advantage of runtime-variable precision across tensor types.
+* **Rounding mode** — truncation (the hardware-cheap paper choice) vs
+  round-to-nearest on model accuracy, measuring how much accuracy the
+  cheap aligner gives up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.precision import PrecisionCombination
+from repro.experiments.reporting import format_table
+from repro.hw.pe import get_pe
+from repro.hw.simulator import simulate_model
+from repro.llm.datasets import validation_sequences
+from repro.llm.hooks import anda_quantizer
+from repro.llm.perplexity import evaluate_perplexity
+from repro.llm.zoo import get_model
+
+MODEL = "llama-13b"
+ACCURACY_MODEL = "opt-1.3b"
+DATASET = "wikitext2-sim"
+COMBINATION = PrecisionCombination(7, 5, 6, 6)
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Named metric rows: ``rows[study][variant] -> value``."""
+
+    rows: dict[str, dict[str, float]]
+
+    def render(self) -> str:
+        blocks = []
+        for study, variants in self.rows.items():
+            blocks.append(
+                format_table(
+                    ["Variant", "Value"],
+                    [[k, f"{v:.3f}"] for k, v in variants.items()],
+                    title=f"Ablation: {study}",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def storage_format_ablation(model: str = MODEL) -> dict[str, float]:
+    """Energy efficiency with and without the compressed store."""
+    fpfp = simulate_model(model, "FP-FP")
+    anda = simulate_model(model, "Anda", COMBINATION)
+    no_bpc_pe = replace(get_pe("Anda"), name="Anda (FP16 store)", act_storage="fp16")
+    no_bpc = simulate_model(model, no_bpc_pe, COMBINATION)
+    return {
+        "Anda full (bit-plane store)": fpfp.energy_pj / anda.energy_pj,
+        "Anda compute only (FP16 store)": fpfp.energy_pj / no_bpc.energy_pj,
+        "FIGNA (reference)": fpfp.energy_pj
+        / simulate_model(model, "FIGNA").energy_pj,
+    }
+
+
+def serial_vs_parallel_ablation(model: str = MODEL) -> dict[str, float]:
+    """Speedup of runtime-variable bit-serial vs fixed bit-parallel.
+
+    The bit-parallel strawman is synthesized at the *ceiling* of the
+    combination (it must cover the most sensitive tensor type), which
+    is exactly why the paper argues bit-serial utilizes mixed
+    precisions better.
+    """
+    fpfp = simulate_model(model, "FP-FP")
+    anda = simulate_model(model, "Anda", COMBINATION)
+    ceiling = COMBINATION.max_bits()
+    parallel_pe = replace(
+        get_pe("FIGNA"),
+        name=f"bit-parallel M{ceiling}",
+        compute_mantissa_bits=ceiling,
+    )
+    parallel = simulate_model(model, parallel_pe)
+    return {
+        f"Anda bit-serial {COMBINATION}": fpfp.cycles / anda.cycles,
+        f"bit-parallel fixed M{ceiling}": fpfp.cycles / parallel.cycles,
+    }
+
+
+def rounding_mode_ablation(
+    model: str = ACCURACY_MODEL, mantissa_bits: int = 5
+) -> dict[str, float]:
+    """Perplexity cost of hardware truncation vs round-to-nearest."""
+    zoo_model = get_model(model)
+    sequences = validation_sequences(DATASET, n_sequences=8)
+    zoo_model.set_quantizer(None)
+    reference = evaluate_perplexity(zoo_model, sequences)
+    out: dict[str, float] = {"FP16 reference": reference}
+    combination = PrecisionCombination.uniform(mantissa_bits)
+    for rounding in ("truncate", "nearest"):
+        zoo_model.set_quantizer(anda_quantizer(combination, rounding=rounding))
+        out[f"M={mantissa_bits} {rounding}"] = evaluate_perplexity(
+            zoo_model, sequences
+        )
+    zoo_model.set_quantizer(None)
+    return out
+
+
+def run() -> AblationResult:
+    """Run all three ablations."""
+    return AblationResult(
+        rows={
+            "storage format (energy efficiency vs FP-FP)": storage_format_ablation(),
+            "bit-serial vs bit-parallel (speedup vs FP-FP)": serial_vs_parallel_ablation(),
+            "rounding mode (perplexity)": rounding_mode_ablation(),
+        }
+    )

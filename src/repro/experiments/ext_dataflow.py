@@ -1,0 +1,67 @@
+"""Extension study: dataflow-mapping ablation for the MXU (Sec. IV-D ❸).
+
+The paper fixes the MXU to "typical output stationary dataflow [45]"
+without justification.  This study costs the three classical dataflows
+on paper-scale GeMMs at FP16 and Anda activation widths, surfacing the
+format-architecture interaction: the dataflows tie at FP16, and the
+Anda format is what makes output-stationary the right (and eventually
+only sensible) choice — 32-bit partial-sum traffic of the alternatives
+cannot shrink with the mantissa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.precision import TensorKind
+from repro.experiments.reporting import format_table
+from repro.hw.mapping import DataflowComparison, anda_act_bits, compare_dataflows
+from repro.hw.workloads import Gemm
+
+#: LLaMA-13B QKV projection at the paper's 2048-token prefill.
+WORKLOAD = Gemm(TensorKind.QKV, rows=2048, reduction=5120, cols=3 * 5120)
+
+#: Activation widths studied: FP16 plus the Anda deployment range.
+WIDTHS: tuple[tuple[str, float], ...] = (
+    ("FP16", 16.0),
+    ("Anda M=11", anda_act_bits(11)),
+    ("Anda M=8", anda_act_bits(8)),
+    ("Anda M=5", anda_act_bits(5)),
+)
+
+
+@dataclass(frozen=True)
+class DataflowResult:
+    """Per-width dataflow comparisons on the study workload."""
+
+    comparisons: dict[str, DataflowComparison]
+
+    def render(self) -> str:
+        rows = []
+        for label, cmp in self.comparisons.items():
+            rows.append(
+                [
+                    label,
+                    cmp.best(),
+                    f"{cmp.overhead('output-stationary'):.3f}",
+                    f"{cmp.overhead('weight-stationary'):.3f}",
+                    f"{cmp.overhead('input-stationary'):.3f}",
+                ]
+            )
+        return format_table(
+            ["activation width", "best dataflow", "OS", "WS", "IS"],
+            rows,
+            title=(
+                "Dataflow ablation on the LLaMA-13B QKV GeMM "
+                "(SRAM traffic relative to best)"
+            ),
+        )
+
+
+def run() -> DataflowResult:
+    """Compare dataflows at every studied activation width."""
+    return DataflowResult(
+        comparisons={
+            label: compare_dataflows(WORKLOAD, width) for label, width in WIDTHS
+        }
+    )

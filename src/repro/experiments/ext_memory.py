@@ -1,0 +1,91 @@
+"""Extension study: bit-plane layout regularity and DRAM burst behaviour.
+
+Quantifies the Sec. IV-A argument ("irregular memory accesses ... could
+completely undo the benefits provided by Anda") with the banked-SRAM
+and HBM2 models of :mod:`repro.hw.memory`:
+
+* per mantissa length, the word-fetch and stall overhead of feeding the
+  bit-serial PE from an element-atomic layout instead of bit planes,
+* the DRAM footprint and burst utilization of Anda tensors versus the
+  FP16 resident format of the FIGNA-style baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import format_table
+from repro.hw.memory import Hbm2Channel, LayoutComparison, compare_layouts
+
+#: Mantissa lengths swept (the range Fig. 14 deployments actually use).
+MANTISSAS: tuple[int, ...] = (4, 5, 6, 8, 11, 13)
+
+#: Groups per tensor in the study: one 2048x2048 activation tile.
+N_GROUPS = 2048 * 2048 // 64
+
+
+@dataclass(frozen=True)
+class MemoryLayoutResult:
+    """Layout comparison rows plus DRAM transfer statistics."""
+
+    layouts: dict[int, LayoutComparison]
+    dram: dict[int, dict[str, float]]
+
+    def render(self) -> str:
+        layout_rows = [
+            [
+                m,
+                f"{cmp.bitplane.words_fetched:,}",
+                f"{cmp.element.words_fetched:,}",
+                f"{cmp.fetch_ratio:.1f}x",
+                f"{cmp.element.bandwidth_utilization * 100:.1f}%",
+                f"{cmp.element.rotations:,}",
+            ]
+            for m, cmp in self.layouts.items()
+        ]
+        dram_rows = [
+            [
+                m,
+                f"{vals['anda_bytes'] / 2**20:.2f} MiB",
+                f"{vals['fp16_bytes'] / 2**20:.2f} MiB",
+                f"{vals['footprint_ratio']:.2f}x",
+                f"{vals['burst_utilization'] * 100:.1f}%",
+            ]
+            for m, vals in self.dram.items()
+        ]
+        return "\n\n".join(
+            [
+                format_table(
+                    ["M", "bit-plane words", "element words", "fetch ratio",
+                     "element util.", "rotations"],
+                    layout_rows,
+                    title="SRAM: feeding the bit-serial PE (2048x2048 tile)",
+                ),
+                format_table(
+                    ["M", "Anda DRAM", "FP16 DRAM", "reduction", "burst util."],
+                    dram_rows,
+                    title="DRAM: tensor transfer (HBM2 burst model)",
+                ),
+            ]
+        )
+
+
+def run(mantissas: tuple[int, ...] = MANTISSAS) -> MemoryLayoutResult:
+    """Run the layout study for the configured mantissa sweep."""
+    channel = Hbm2Channel()
+    layouts: dict[int, LayoutComparison] = {}
+    dram: dict[int, dict[str, float]] = {}
+    fp16_bytes = N_GROUPS * 64 * 2
+    fp16_transfer = channel.transfer(fp16_bytes)
+    for m in mantissas:
+        layouts[m] = compare_layouts(N_GROUPS, m)
+        anda_bytes = channel.tensor_bytes(N_GROUPS, m)
+        transfer = channel.transfer(anda_bytes)
+        dram[m] = {
+            "anda_bytes": float(anda_bytes),
+            "fp16_bytes": float(fp16_bytes),
+            "footprint_ratio": fp16_bytes / anda_bytes,
+            "burst_utilization": transfer.burst_utilization,
+            "fp16_burst_utilization": fp16_transfer.burst_utilization,
+        }
+    return MemoryLayoutResult(layouts=layouts, dram=dram)

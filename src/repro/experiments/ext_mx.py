@@ -1,0 +1,146 @@
+"""Extension study: Anda versus shared-microexponent (MX) formats.
+
+The paper's related work cites shared microexponents [14] as the other
+way to spend extra bits on BFP fidelity: per-subgroup *alignment* bits
+instead of Anda's per-tensor *mantissa length*.  This study compares
+the two axes head to head:
+
+* RMS round-trip error on real zoo-model activations at (approximately)
+  equal storage budgets,
+* perplexity of ``opt-125m-sim`` under each format, per tensor type
+  budget (the drop-in fake-quant route the accuracy benches use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bfp import BfpConfig, fake_quantize as bfp_fake_quantize
+from repro.core.precision import TensorKind
+from repro.experiments.reporting import format_table
+from repro.llm.datasets import validation_sequences
+from repro.llm.hooks import per_kind_quantizer
+from repro.llm.perplexity import evaluate_perplexity
+from repro.llm.zoo import get_model
+from repro.quant.mx import MxConfig, fake_quantize_mx, mx_error
+
+MODEL = "opt-125m-sim"
+DATASET = "wikitext2-sim"
+
+#: (label, bfp config, mx config) pairs at matched bits/element budgets:
+#: BFP spends the budget on mantissa, MX trades one mantissa bit for
+#: subgroup microexponents.
+BUDGETS: tuple[tuple[str, BfpConfig, MxConfig], ...] = (
+    (
+        "~5.1 bits/elem",
+        BfpConfig(mantissa_bits=4, group_size=64),
+        MxConfig(mantissa_bits=3, subgroup_size=2, micro_bits=1),
+    ),
+    (
+        "~7.1 bits/elem",
+        BfpConfig(mantissa_bits=6, group_size=64),
+        MxConfig(mantissa_bits=5, subgroup_size=2, micro_bits=1),
+    ),
+    (
+        "~9.1 bits/elem",
+        BfpConfig(mantissa_bits=8, group_size=64),
+        MxConfig(mantissa_bits=7, subgroup_size=2, micro_bits=1),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class MxComparisonResult:
+    """Error and perplexity comparison between BFP/Anda and MX."""
+
+    rmse: dict[str, dict[str, float]]
+    perplexity: dict[str, dict[str, float]]
+    reference_ppl: float
+
+    def render(self) -> str:
+        rmse_rows = [
+            [budget, f"{vals['bfp']:.5f}", f"{vals['mx']:.5f}",
+             f"{vals['mx'] / vals['bfp']:.2f}"]
+            for budget, vals in self.rmse.items()
+        ]
+        ppl_rows = [
+            [budget, f"{vals['bfp']:.3f}", f"{vals['mx']:.3f}",
+             f"{self.reference_ppl:.3f}"]
+            for budget, vals in self.perplexity.items()
+        ]
+        return "\n\n".join(
+            [
+                format_table(
+                    ["budget", "BFP (Anda-style) RMSE", "MX RMSE", "MX/BFP"],
+                    rmse_rows,
+                    title="Round-trip error on zoo activations (equal storage)",
+                ),
+                format_table(
+                    ["budget", "BFP PPL", "MX PPL", "FP16 PPL"],
+                    ppl_rows,
+                    title=f"{MODEL} perplexity on {DATASET}",
+                ),
+            ]
+        )
+
+
+def _collect_activations(model, sequences) -> np.ndarray:
+    """Record one batch of A_qkv activations from the zoo model."""
+    recorded: list[np.ndarray] = []
+
+    def recorder(kind: TensorKind, activation: np.ndarray) -> None:
+        if kind is TensorKind.QKV and len(recorded) < 4:
+            recorded.append(activation.reshape(-1, activation.shape[-1]))
+
+    model.set_recorder(recorder)
+    evaluate_perplexity(model, sequences[:2])
+    model.set_recorder(None)
+    return np.concatenate(recorded, axis=0)
+
+
+def run() -> MxComparisonResult:
+    """Compare the two formats on activations and model perplexity."""
+    model = get_model(MODEL)
+    sequences = validation_sequences(DATASET, n_sequences=8, seq_len=128)
+    activations = _collect_activations(model, sequences)
+
+    rmse: dict[str, dict[str, float]] = {}
+    perplexity: dict[str, dict[str, float]] = {}
+    reference = evaluate_perplexity(model, sequences)
+
+    for label, bfp_config, mx_config in BUDGETS:
+        bfp_err = float(
+            np.sqrt(
+                np.mean(
+                    (activations - bfp_fake_quantize(activations, bfp_config)) ** 2
+                )
+            )
+        )
+        rmse[label] = {"bfp": bfp_err, "mx": mx_error(activations, mx_config)}
+
+        def all_kinds(transform):
+            return per_kind_quantizer(
+                {kind: transform for kind in TensorKind}
+            )
+
+        model.set_quantizer(
+            all_kinds(lambda a, c=bfp_config: _quantize_rows(a, bfp_fake_quantize, c))
+        )
+        bfp_ppl = evaluate_perplexity(model, sequences)
+        model.set_quantizer(
+            all_kinds(lambda a, c=mx_config: _quantize_rows(a, fake_quantize_mx, c))
+        )
+        mx_ppl = evaluate_perplexity(model, sequences)
+        model.set_quantizer(None)
+        perplexity[label] = {"bfp": bfp_ppl, "mx": mx_ppl}
+
+    return MxComparisonResult(
+        rmse=rmse, perplexity=perplexity, reference_ppl=reference
+    )
+
+
+def _quantize_rows(activation: np.ndarray, fake_quantize, config) -> np.ndarray:
+    flat = activation.reshape(-1, activation.shape[-1])
+    return fake_quantize(flat, config).reshape(activation.shape)

@@ -1,0 +1,123 @@
+"""Extension study: end-to-end inference (the Amdahl view of Fig. 16).
+
+The paper's system results isolate FP-INT GeMMs.  This study schedules
+*whole* transformer blocks — FP-FP attention, vector-unit work and the
+KV cache included (:mod:`repro.hw.pipeline`) — and reports:
+
+* end-to-end prefill speedup of Anda over FP-FP next to the GeMM-only
+  speedup (the retained fraction is the Amdahl gap),
+* decode throughput (tokens/s) and energy per generated token,
+* how the GeMM share of block time falls with context length — the
+  pipeline-level mirror of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.precision import PrecisionCombination
+from repro.experiments.reporting import format_table
+from repro.hw.pipeline import (
+    EndToEndComparison,
+    InferenceEstimate,
+    compare_end_to_end,
+    estimate_inference,
+    schedule_block,
+)
+from repro.quant.deploy import deploy_anda
+
+#: Models reported (subset of the paper's nine, one per family/scale).
+MODELS: tuple[str, ...] = ("opt-1.3b", "opt-6.7b", "llama-7b", "llama-13b", "opt-30b")
+
+DATASET = "wikitext2-sim"
+TOLERANCE = 0.01
+PREFILL_TOKENS = 2048
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Amdahl comparisons plus serving estimates per model."""
+
+    comparisons: dict[str, EndToEndComparison]
+    anda: dict[str, InferenceEstimate]
+    fpfp: dict[str, InferenceEstimate]
+    gemm_share_by_context: dict[int, float]
+
+    def render(self) -> str:
+        amdahl_rows = [
+            [
+                model,
+                f"{cmp.gemm_speedup:.2f}x",
+                f"{cmp.end_to_end_speedup:.2f}x",
+                f"{cmp.amdahl_gap * 100:.0f}%",
+                f"{cmp.end_to_end_energy_ratio:.2f}x",
+            ]
+            for model, cmp in self.comparisons.items()
+        ]
+        serving_rows = [
+            [
+                model,
+                f"{self.fpfp[model].prefill_latency_s * 1e3:.0f} ms",
+                f"{self.anda[model].prefill_latency_s * 1e3:.0f} ms",
+                f"{self.fpfp[model].decode_tokens_per_s:.1f}",
+                f"{self.anda[model].decode_tokens_per_s:.1f}",
+                f"{self.anda[model].decode_energy_j * 1e3:.1f} mJ",
+            ]
+            for model in self.anda
+        ]
+        share_rows = [
+            [context, f"{share * 100:.1f}%"]
+            for context, share in self.gemm_share_by_context.items()
+        ]
+        return "\n\n".join(
+            [
+                format_table(
+                    ["model", "GeMM speedup", "end-to-end", "retained", "energy"],
+                    amdahl_rows,
+                    title="Anda vs FP-FP, whole transformer block (2048-token prefill)",
+                ),
+                format_table(
+                    ["model", "FP-FP prefill", "Anda prefill", "FP-FP tok/s",
+                     "Anda tok/s", "Anda mJ/token"],
+                    serving_rows,
+                    title="Serving estimates (prefill latency, decode throughput)",
+                ),
+                format_table(
+                    ["context", "GeMM share of block time"],
+                    share_rows,
+                    title="GeMM share vs context (llama-13b on Anda) - Fig. 2 mirror",
+                ),
+            ]
+        )
+
+
+def run(models: tuple[str, ...] = MODELS) -> PipelineResult:
+    """Schedule every model end to end on Anda and the FP-FP baseline."""
+    comparisons: dict[str, EndToEndComparison] = {}
+    anda: dict[str, InferenceEstimate] = {}
+    fpfp: dict[str, InferenceEstimate] = {}
+    combos: dict[str, PrecisionCombination] = {}
+    for model in models:
+        combos[model] = deploy_anda(model, DATASET, TOLERANCE).combination
+        comparisons[model] = compare_end_to_end(
+            model, combos[model], sequence_length=PREFILL_TOKENS
+        )
+        anda[model] = estimate_inference(
+            model, "Anda", combos[model], prefill_tokens=PREFILL_TOKENS
+        )
+        fpfp[model] = estimate_inference(
+            model, "FP-FP", None, prefill_tokens=PREFILL_TOKENS
+        )
+    share_model = "llama-13b" if "llama-13b" in models else models[-1]
+    gemm_share = {
+        context: schedule_block(
+            share_model, "Anda", combos[share_model], context
+        ).share("gemm:")
+        for context in (256, 1024, 4096, 16384)
+    }
+    return PipelineResult(
+        comparisons=comparisons,
+        anda=anda,
+        fpfp=fpfp,
+        gemm_share_by_context=gemm_share,
+    )

@@ -1,0 +1,95 @@
+"""Extension study: Anda quantization-aware training (Sec. VI future work).
+
+Fine-tunes a small zoo-style model under straight-through Anda
+quantization at mantissa lengths *below* the post-training feasibility
+frontier, and reports how much of the PTQ perplexity damage a short
+QAT run recovers — the paper's closing hypothesis, demonstrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.precision import PrecisionCombination
+from repro.experiments.reporting import format_table
+from repro.llm.config import ModelConfig
+from repro.llm.datasets import load_corpus, sequence_windows
+from repro.llm.qat import QatResult, qat_recovery
+from repro.llm.training import train_language_model
+from repro.llm.transformer import CausalLM
+
+DATASET = "wikitext2-sim"
+
+#: Combinations below the typical 1%-tolerance frontier of Fig. 14.
+COMBINATIONS: tuple[PrecisionCombination, ...] = (
+    PrecisionCombination.uniform(3),
+    PrecisionCombination.uniform(4),
+)
+
+QAT_STEPS = 80
+
+
+@dataclass(frozen=True)
+class QatStudyResult:
+    """PTQ damage and QAT recovery per aggressive combination."""
+
+    results: dict[str, QatResult]
+
+    def render(self) -> str:
+        rows = [
+            [
+                name,
+                f"{res.ppl_fp:.3f}",
+                f"{res.ppl_ptq:.3f} ({res.ptq_degradation * 100:+.1f}%)",
+                f"{res.ppl_qat:.3f} ({res.qat_degradation * 100:+.1f}%)",
+                f"{res.recovered_fraction * 100:.0f}%",
+            ]
+            for name, res in self.results.items()
+        ]
+        return format_table(
+            ["combination", "FP PPL", "PTQ PPL", "QAT PPL", "recovered"],
+            rows,
+            title=f"Anda QAT recovery ({QAT_STEPS} fine-tune steps, {DATASET})",
+        )
+
+
+def _study_model() -> tuple[CausalLM, "object"]:
+    """A freshly trained compact model (separate from the shared zoo —
+    QAT mutates weights in place)."""
+    config = ModelConfig(
+        name="qat-study",
+        family="opt",
+        n_layers=3,
+        d_model=96,
+        n_heads=4,
+        ffn_dim=192,
+        max_seq_len=128,
+        seed=17,
+    )
+    corpus = load_corpus(DATASET)
+    model = CausalLM(config)
+    train_language_model(
+        model, corpus.train_tokens, steps=220, batch_size=12, seq_len=96, seed=2
+    )
+    return model, corpus
+
+
+def run(combinations: tuple[PrecisionCombination, ...] = COMBINATIONS) -> QatStudyResult:
+    """Measure QAT recovery for each aggressive combination."""
+    results: dict[str, QatResult] = {}
+    for combination in combinations:
+        model, corpus = _study_model()  # fresh weights per combination
+        eval_sequences = sequence_windows(
+            corpus.validation_tokens, seq_len=96, n_sequences=16, seed=9
+        )
+        results[str(combination)] = qat_recovery(
+            model,
+            corpus.train_tokens,
+            eval_sequences,
+            combination,
+            steps=QAT_STEPS,
+            learning_rate=4e-4,
+            batch_size=12,
+            seq_len=96,
+        )
+    return QatStudyResult(results=results)

@@ -1,0 +1,155 @@
+"""Extension study: search-strategy comparison (the Sec. III-D contrast).
+
+Runs Algorithm 1 against brute force, greedy coordinate descent, random
+sampling and a layer-wise greedy assignment on two landscapes:
+
+* the synthetic sensitivity landscape (deterministic, lets brute force
+  establish the true optimum cheaply),
+* the *real* ``opt-125m-sim`` calibration landscape of Fig. 9 (model
+  evaluations; the adaptive search runs live, the brute-force optimum
+  is bounded by the synthetic study to keep the bench fast).
+
+The quantity of interest is evaluations-to-solution — each evaluation
+is one calibration forward pass, the unit the paper counts when it
+reports "10 iterations" against a ">10,000 combination" space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.search_variants import (
+    LayerwiseOutcome,
+    StrategyOutcome,
+    compare_strategies,
+    layer_wise_search,
+    synthetic_landscape,
+)
+from repro.experiments.reporting import format_table
+
+#: Layer count for the layer-wise comparator (OPT-125M has 12 layers).
+N_LAYERS = 12
+
+TOLERANCE = 0.01
+
+
+@dataclass(frozen=True)
+class StrategyComparisonResult:
+    """Module-wise strategy outcomes plus the layer-wise comparator."""
+
+    outcomes: dict[str, StrategyOutcome]
+    layerwise: LayerwiseOutcome
+    optimum_bops: float
+
+    def render(self) -> str:
+        rows = [
+            [
+                outcome.strategy,
+                str(outcome.best) if outcome.best else "-",
+                f"{outcome.best_bops:.2f}" if outcome.feasible else "inf",
+                f"{outcome.best_bops / self.optimum_bops:.3f}"
+                if outcome.feasible
+                else "-",
+                outcome.evaluations,
+            ]
+            for outcome in self.outcomes.values()
+        ]
+        rows.append(
+            [
+                f"layer-wise greedy ({N_LAYERS} layers)",
+                f"mean {self.layerwise.mean_bits:.1f} bits",
+                f"{self.layerwise.bops / N_LAYERS:.2f}",
+                f"{self.layerwise.bops / N_LAYERS / self.optimum_bops:.3f}",
+                self.layerwise.evaluations,
+            ]
+        )
+        return format_table(
+            ["strategy", "best combination", "BOPs", "vs optimum", "evaluations"],
+            rows,
+            title=f"Precision-search strategies (synthetic landscape, {TOLERANCE:.0%} tolerance)",
+        )
+
+
+def run(seed: int = 7) -> StrategyComparisonResult:
+    """Compare every strategy on the synthetic landscape."""
+    accuracy, bops, reference = synthetic_landscape(seed=seed)
+    outcomes = {
+        outcome.strategy: outcome
+        for outcome in compare_strategies(accuracy, bops, reference, TOLERANCE)
+    }
+    optimum = outcomes["brute-force"].best_bops
+
+    def layer_accuracy(assignment):
+        scores = [accuracy(combo) for combo in assignment]
+        return sum(scores) / len(scores)
+
+    layerwise = layer_wise_search(
+        layer_accuracy, bops, N_LAYERS, reference, TOLERANCE
+    )
+    return StrategyComparisonResult(
+        outcomes=outcomes, layerwise=layerwise, optimum_bops=optimum
+    )
+
+
+@dataclass(frozen=True)
+class RealLandscapeResult:
+    """Strategy outcomes on the real opt-125m-sim calibration landscape.
+
+    Each evaluation here is an actual calibration forward pass of the
+    weight-quantized twin — the same currency the paper's "10
+    iterations against >10,000 combinations" claim counts in.
+    """
+
+    model: str
+    dataset: str
+    outcomes: dict[str, StrategyOutcome]
+
+    def render(self) -> str:
+        rows = [
+            [
+                outcome.strategy,
+                str(outcome.best) if outcome.best else "-",
+                f"{outcome.best_bops:.3e}" if outcome.feasible else "inf",
+                outcome.evaluations,
+            ]
+            for outcome in self.outcomes.values()
+        ]
+        return format_table(
+            ["strategy", "best combination", "BOPs", "calibration passes"],
+            rows,
+            title=(
+                f"Strategies on the real {self.model} landscape "
+                f"({self.dataset}, {TOLERANCE:.0%} tolerance)"
+            ),
+        )
+
+
+def run_real(
+    model: str = "opt-125m",
+    dataset: str = "wikitext2-sim",
+    budget: int = 32,
+) -> RealLandscapeResult:
+    """Compare adaptive / greedy / random on real calibration evals.
+
+    Brute force is deliberately excluded — its worst case is the full
+    10^4-combination scan the paper's Fig. 9 argues against paying.
+    """
+    from repro.core.search_variants import (
+        adaptive_search_outcome,
+        greedy_descent_search,
+        random_search,
+    )
+    from repro.quant.deploy import calibration_landscape
+
+    accuracy, bops, reference = calibration_landscape(model, dataset)
+    outcomes = {
+        outcome.strategy: outcome
+        for outcome in (
+            adaptive_search_outcome(accuracy, bops, reference, TOLERANCE, budget),
+            greedy_descent_search(accuracy, bops, reference, TOLERANCE),
+            random_search(
+                accuracy, bops, reference, TOLERANCE, max_evaluations=budget
+            ),
+        )
+    }
+    return RealLandscapeResult(model=model, dataset=dataset, outcomes=outcomes)

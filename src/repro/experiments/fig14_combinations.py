@@ -1,0 +1,63 @@
+"""Fig. 14 — identified precision combinations per model/dataset/tolerance.
+
+Collects the 4-tuples the adaptive search selects for every benchmark
+model on every dataset at 0.1% and 1% tolerance — the heat-map grids of
+the paper.  Paper shape: A_qkv keeps the longest mantissa, the FFN
+types (especially A_d) compress hardest, and looser tolerances shrink
+every entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.precision import PrecisionCombination, TensorKind
+from repro.experiments.reporting import format_table
+from repro.llm.config import BENCHMARK_MODELS
+from repro.llm.datasets import DATASETS
+from repro.quant.deploy import deploy_anda
+
+TOLERANCES: tuple[float, ...] = (0.001, 0.01)
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    """``combos[(dataset, tolerance)][model]`` selected combinations."""
+
+    combos: dict[tuple[str, float], dict[str, PrecisionCombination]]
+
+    def mean_bits(self, dataset: str, tolerance: float, kind: TensorKind) -> float:
+        grid = self.combos[(dataset, tolerance)]
+        return sum(comb[kind] for comb in grid.values()) / len(grid)
+
+    def render(self) -> str:
+        blocks = []
+        for (dataset, tolerance), grid in self.combos.items():
+            headers = ["Model", "M_qkv", "M_o", "M_u", "M_d"]
+            rows = [
+                [model, comb.qkv, comb.o, comb.u, comb.d]
+                for model, comb in grid.items()
+            ]
+            blocks.append(
+                format_table(
+                    headers, rows,
+                    title=f"Fig. 14: {dataset} @ {tolerance * 100:g}% tolerance",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(
+    models: tuple[str, ...] = BENCHMARK_MODELS,
+    datasets: tuple[str, ...] = DATASETS,
+    tolerances: tuple[float, ...] = TOLERANCES,
+) -> Fig14Result:
+    """Gather the combination grid from the deployment pipeline."""
+    combos: dict[tuple[str, float], dict[str, PrecisionCombination]] = {}
+    for dataset in datasets:
+        for tolerance in tolerances:
+            grid = {}
+            for model in models:
+                grid[model] = deploy_anda(model, dataset, tolerance).combination
+            combos[(dataset, tolerance)] = grid
+    return Fig14Result(combos=combos)

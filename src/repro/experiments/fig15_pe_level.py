@@ -1,0 +1,97 @@
+"""Fig. 15 — PE-level area, power, area efficiency and energy efficiency.
+
+Tabulates every PE model (FP-FP .. Anda, plus the Anda-M4..M13 points)
+on the four panels of Fig. 15, using the published synthesis ratios as
+the primary numbers and the independent gate-model structural estimate
+alongside (RTL synthesis being unavailable here — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import format_table
+from repro.hw.pe import (
+    PE_MODELS,
+    PE_ORDER,
+    pe_area_efficiency,
+    pe_energy_efficiency,
+)
+
+ANDA_MANTISSAS: tuple[int, ...] = tuple(range(13, 3, -1))
+
+#: Paper's published Fig. 15c/d values for the Anda-Mx points, used by
+#: the report to show measured-vs-paper deltas.
+PAPER_ANDA_AREA_EFF = {
+    13: 4.96, 12: 5.34, 11: 5.79, 10: 6.31, 9: 6.95,
+    8: 7.72, 7: 8.68, 6: 9.92, 5: 11.58, 4: 13.89,
+}
+PAPER_ANDA_ENERGY_EFF = {
+    13: 5.74, 12: 6.18, 11: 6.69, 10: 7.30, 9: 8.03,
+    8: 8.93, 7: 10.04, 6: 11.48, 5: 13.39, 4: 16.07,
+}
+
+
+@dataclass(frozen=True)
+class Fig15Result:
+    """All four panels keyed by PE (or Anda-Mx) label."""
+
+    area: dict[str, float]
+    power: dict[str, float]
+    area_efficiency: dict[str, float]
+    energy_efficiency: dict[str, float]
+    modeled_area: dict[str, float]
+
+    def render(self) -> str:
+        headers = [
+            "PE", "Area(rel)", "Power(rel)", "AreaEff", "EnergyEff", "GateModelArea",
+        ]
+        rows = []
+        for label in self.area:
+            rows.append(
+                [
+                    label,
+                    f"{self.area[label]:.2f}",
+                    f"{self.power[label]:.2f}",
+                    f"{self.area_efficiency[label]:.2f}",
+                    f"{self.energy_efficiency[label]:.2f}",
+                    f"{self.modeled_area.get(label, float('nan')):.2f}",
+                ]
+            )
+        return format_table(
+            headers, rows, title="Fig. 15: PE-level comparison (normalized to FP-FP)"
+        )
+
+
+def run() -> Fig15Result:
+    """Assemble the four Fig. 15 panels."""
+    area: dict[str, float] = {}
+    power: dict[str, float] = {}
+    area_eff: dict[str, float] = {}
+    energy_eff: dict[str, float] = {}
+    modeled: dict[str, float] = {}
+
+    for name in PE_ORDER:
+        pe = PE_MODELS[name]
+        area[name] = pe.area_rel
+        power[name] = pe.power_rel
+        mantissa = 15 if name == "Anda" else None
+        area_eff[name] = pe_area_efficiency(name, mantissa)
+        energy_eff[name] = pe_energy_efficiency(name, mantissa)
+        modeled[name] = pe.modeled_area_rel()
+
+    anda = PE_MODELS["Anda"]
+    for m in ANDA_MANTISSAS:
+        label = f"Anda-M{m}"
+        area[label] = anda.area_rel
+        power[label] = anda.power_rel
+        area_eff[label] = pe_area_efficiency("Anda", m)
+        energy_eff[label] = pe_energy_efficiency("Anda", m)
+
+    return Fig15Result(
+        area=area,
+        power=power,
+        area_efficiency=area_eff,
+        energy_efficiency=energy_eff,
+        modeled_area=modeled,
+    )

@@ -1,0 +1,87 @@
+"""Fig. 16 — system-level speedup, area efficiency, energy efficiency.
+
+For every benchmark model: all baselines plus Anda at the 0.1% and 1%
+WikiText2 precision combinations (from the deployment pipeline), with
+geometric means across models.  Paper geomeans to track: Anda speedup
+2.14x / 2.49x, area efficiency 3.47x / 4.03x, energy efficiency 3.07x /
+3.16x over the GPU-like FP-FP baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import format_table
+from repro.hw.accelerator import SystemComparison, compare_architectures, geometric_mean
+from repro.hw.pe import PE_ORDER
+from repro.llm.config import BENCHMARK_MODELS
+from repro.quant.deploy import deploy_anda
+
+DATASET = "wikitext2-sim"
+TOLERANCES: tuple[float, ...] = (0.001, 0.01)
+
+#: Column labels in figure order (Anda split per tolerance).
+SYSTEM_LABELS: tuple[str, ...] = (
+    "FP-FP", "FP-INT", "iFPU", "FIGNA", "FIGNA-M11", "FIGNA-M8",
+    "Anda (0.1%)", "Anda (1%)",
+)
+
+
+@dataclass(frozen=True)
+class Fig16Result:
+    """``metrics[model][system_label]`` -> SystemComparison."""
+
+    metrics: dict[str, dict[str, SystemComparison]]
+
+    def geomean(self, label: str, metric: str) -> float:
+        values = [
+            getattr(per_model[label], metric) for per_model in self.metrics.values()
+        ]
+        return geometric_mean(values)
+
+    def _panel(self, metric: str, title: str) -> str:
+        headers = ["System"] + list(self.metrics) + ["GeoMean"]
+        rows = []
+        for label in SYSTEM_LABELS:
+            row: list[object] = [label]
+            row += [
+                f"{getattr(self.metrics[m][label], metric):.2f}" for m in self.metrics
+            ]
+            row.append(f"{self.geomean(label, metric):.2f}")
+            rows.append(row)
+        return format_table(headers, rows, title=title)
+
+    def render(self) -> str:
+        return "\n\n".join(
+            [
+                self._panel("speedup", "Fig. 16a: speedup vs FP-FP"),
+                self._panel("area_efficiency", "Fig. 16b: area efficiency vs FP-FP"),
+                self._panel(
+                    "energy_efficiency", "Fig. 16c: energy efficiency vs FP-FP"
+                ),
+            ]
+        )
+
+
+def run(models: tuple[str, ...] = BENCHMARK_MODELS) -> Fig16Result:
+    """Simulate all systems over all models (searches run on demand)."""
+    metrics: dict[str, dict[str, SystemComparison]] = {}
+    for model in models:
+        combos = {
+            tolerance: deploy_anda(model, DATASET, tolerance).combination
+            for tolerance in TOLERANCES
+        }
+        per_model: dict[str, SystemComparison] = {}
+        baselines = compare_architectures(
+            model, combos[TOLERANCES[0]], architectures=PE_ORDER
+        )
+        for name in PE_ORDER:
+            if name == "Anda":
+                continue
+            per_model[name] = baselines[name]
+        per_model["Anda (0.1%)"] = baselines["Anda"]
+        per_model["Anda (1%)"] = compare_architectures(
+            model, combos[TOLERANCES[1]], architectures=("Anda",)
+        )["Anda"]
+        metrics[model] = per_model
+    return Fig16Result(metrics=metrics)

@@ -1,0 +1,73 @@
+"""Fig. 17 — energy breakdown (compute / SRAM / DRAM) on LLaMA-13B.
+
+Normalizes every architecture's three energy components to the FP-FP
+system's total, exactly as the paper's stacked bars.  Paper shape:
+compute shrinks steadily down the baseline list while SRAM/DRAM stay
+fixed at FP16-storage cost; only Anda also halves DRAM and cuts SRAM by
+>2x thanks to the compressed bit-plane format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import format_table
+from repro.hw.accelerator import compare_architectures
+from repro.hw.pe import PE_ORDER
+from repro.hw.simulator import simulate_model
+from repro.quant.deploy import deploy_anda
+
+MODEL = "llama-13b"
+DATASET = "wikitext2-sim"
+TOLERANCES: tuple[float, ...] = (0.001, 0.01)
+
+
+@dataclass(frozen=True)
+class Fig17Result:
+    """``shares[system_label]`` -> {compute, sram, dram} vs FP-FP total."""
+
+    shares: dict[str, dict[str, float]]
+
+    def total(self, label: str) -> float:
+        return sum(self.shares[label].values())
+
+    def efficiency(self, label: str) -> float:
+        """Energy-efficiency multiplier implied by the bar (1/total)."""
+        return 1.0 / self.total(label)
+
+    def render(self) -> str:
+        headers = ["System", "Compute", "SRAM", "DRAM", "Total", "Improvement"]
+        rows = []
+        for label, parts in self.shares.items():
+            rows.append(
+                [
+                    label,
+                    f"{parts['compute'] * 100:.1f}%",
+                    f"{parts['sram'] * 100:.1f}%",
+                    f"{parts['dram'] * 100:.1f}%",
+                    f"{self.total(label) * 100:.1f}%",
+                    f"{self.efficiency(label):.2f}x",
+                ]
+            )
+        return format_table(
+            headers, rows,
+            title=f"Fig. 17: energy breakdown on {MODEL} (share of FP-FP total)",
+        )
+
+
+def run(model: str = MODEL) -> Fig17Result:
+    """Compute the normalized breakdown for all systems."""
+    fpfp = simulate_model(model, "FP-FP")
+    shares: dict[str, dict[str, float]] = {}
+
+    combo_01 = deploy_anda(model, DATASET, TOLERANCES[0]).combination
+    combo_1 = deploy_anda(model, DATASET, TOLERANCES[1]).combination
+    baselines = compare_architectures(model, combo_01)
+    for name in PE_ORDER:
+        if name == "Anda":
+            continue
+        shares[name] = baselines[name].energy_shares_vs_fpfp(fpfp)
+    shares["Anda (0.1%)"] = baselines["Anda"].energy_shares_vs_fpfp(fpfp)
+    anda_1 = compare_architectures(model, combo_1, architectures=("Anda",))["Anda"]
+    shares["Anda (1%)"] = anda_1.energy_shares_vs_fpfp(fpfp)
+    return Fig17Result(shares=shares)

@@ -1,0 +1,73 @@
+"""Fig. 18 — accuracy/performance trade-off across loss tolerances.
+
+Sweeps the accuracy-loss constraint from 0.1% to 5% for every benchmark
+model: each tolerance re-runs the adaptive search, and the resulting
+combination feeds the system simulator.  Paper shape: speedup and
+energy efficiency grow monotonically (weakly) with the tolerance; OPT
+models gain more at tight constraints because they tolerate shorter
+mantissas, with the families converging as the constraint relaxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import format_table
+from repro.hw.accelerator import AndaOperatingPoint, anda_operating_point
+from repro.llm.config import BENCHMARK_MODELS
+from repro.quant.deploy import deploy_anda
+
+DATASET = "wikitext2-sim"
+TOLERANCES: tuple[float, ...] = (0.001, 0.002, 0.005, 0.01, 0.02, 0.05)
+
+
+@dataclass(frozen=True)
+class Fig18Result:
+    """``points[model][tolerance]`` Anda operating points."""
+
+    points: dict[str, dict[float, AndaOperatingPoint]]
+
+    def speedup_series(self, model: str) -> list[tuple[float, float]]:
+        return [(tol, p.speedup) for tol, p in self.points[model].items()]
+
+    def energy_series(self, model: str) -> list[tuple[float, float]]:
+        return [(tol, p.energy_efficiency) for tol, p in self.points[model].items()]
+
+    def render(self) -> str:
+        headers = ["Model"] + [f"{t * 100:g}%" for t in TOLERANCES]
+        speed_rows, energy_rows = [], []
+        for model, per_tol in self.points.items():
+            speed_rows.append(
+                [model] + [f"{per_tol[t].speedup:.2f}" for t in TOLERANCES]
+            )
+            energy_rows.append(
+                [model] + [f"{per_tol[t].energy_efficiency:.2f}" for t in TOLERANCES]
+            )
+        return "\n\n".join(
+            [
+                format_table(
+                    headers, speed_rows,
+                    title="Fig. 18a: Anda speedup vs accuracy-loss tolerance",
+                ),
+                format_table(
+                    headers, energy_rows,
+                    title="Fig. 18b: Anda energy efficiency vs tolerance",
+                ),
+            ]
+        )
+
+
+def run(
+    models: tuple[str, ...] = BENCHMARK_MODELS,
+    tolerances: tuple[float, ...] = TOLERANCES,
+) -> Fig18Result:
+    """Sweep tolerances; each point reuses the deployment cache."""
+    points: dict[str, dict[float, AndaOperatingPoint]] = {}
+    for model in models:
+        points[model] = {}
+        for tolerance in tolerances:
+            deployment = deploy_anda(model, DATASET, tolerance)
+            points[model][tolerance] = anda_operating_point(
+                model, deployment.combination, tolerance
+            )
+    return Fig18Result(points=points)

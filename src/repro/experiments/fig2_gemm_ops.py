@@ -1,0 +1,53 @@
+"""Fig. 2 — FP-INT GeMM share of total operations vs context length.
+
+Reproduces the motivation figure: for every benchmark model and context
+lengths 1K..16K, count total inference operations and the fraction
+contributed by the weight-projection FP-INT GeMMs.  The paper's claims:
+the share exceeds 90% below 4K tokens and stays significant past 10K.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import format_table
+from repro.hw.workloads import fig2_series
+from repro.llm.config import BENCHMARK_MODELS
+
+CONTEXT_LENGTHS: tuple[int, ...] = (1024, 2048, 4096, 8192, 16384)
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Share and total-op grids keyed by model then context length."""
+
+    shares: dict[str, dict[int, float]]
+    total_tops: dict[str, dict[int, float]]
+
+    def render(self) -> str:
+        headers = ["Model"] + [f"{c // 1024}K ops(T)" for c in CONTEXT_LENGTHS] + [
+            f"{c // 1024}K share" for c in CONTEXT_LENGTHS
+        ]
+        rows = []
+        for model in self.shares:
+            row: list[object] = [model]
+            row += [f"{self.total_tops[model][c]:.2f}" for c in CONTEXT_LENGTHS]
+            row += [f"{self.shares[model][c] * 100:.1f}%" for c in CONTEXT_LENGTHS]
+            rows.append(row)
+        return format_table(
+            headers, rows, title="Fig. 2: FP-INT GeMM share of total operations"
+        )
+
+
+def run(models: tuple[str, ...] = BENCHMARK_MODELS) -> Fig2Result:
+    """Compute the Fig. 2 grid for the benchmark models."""
+    series = fig2_series(models, CONTEXT_LENGTHS)
+    shares = {
+        model: {c: b.fp_int_share for c, b in per_model.items()}
+        for model, per_model in series.items()
+    }
+    total = {
+        model: {c: b.total_ops / 1e12 for c, b in per_model.items()}
+        for model, per_model in series.items()
+    }
+    return Fig2Result(shares=shares, total_tops=total)

@@ -1,0 +1,91 @@
+"""Fig. 5 — LLM sensitivity to BFP group size and mantissa length.
+
+Sweeps shared-exponent group size (1 .. 256 and whole-channel) against
+preserved mantissa bits (4..13) for an OPT and a LLaMA-2 model on the
+WikiText2-sim stream, measuring perplexity with *all four* activation
+tensor types BFP-quantized (the Sec. II-C study setup: full-precision
+weights, BFP activations).
+
+Paper shape to reproduce: larger groups need longer mantissas to stay
+inside the 1% loss bound; GS=64 is the efficiency/accuracy sweet spot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import format_table
+from repro.llm.datasets import validation_sequences
+from repro.llm.perplexity import evaluate_perplexity
+from repro.llm.zoo import get_model
+from repro.quant.act_quant import bfp_quantizer
+
+MODELS: tuple[str, ...] = ("opt-1.3b", "llama2-7b")
+GROUP_SIZES: tuple[int | None, ...] = (1, 8, 16, 32, 64, 128, 256, None)
+MANTISSA_BITS: tuple[int, ...] = tuple(range(4, 14))
+DATASET = "wikitext2-sim"
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """PPL grids: ``ppl[model][group_size][mantissa_bits]`` plus FP refs."""
+
+    ppl: dict[str, dict[int | None, dict[int, float]]]
+    fp_ppl: dict[str, float]
+
+    def min_mantissa_within_loss(
+        self, model: str, group_size: int | None, loss: float = 0.01
+    ) -> int | None:
+        """Smallest mantissa keeping PPL within ``loss`` of FP16."""
+        bound = self.fp_ppl[model] * (1 + loss)
+        feasible = [
+            m for m, p in self.ppl[model][group_size].items() if p <= bound
+        ]
+        return min(feasible) if feasible else None
+
+    def render(self) -> str:
+        blocks = []
+        for model in self.ppl:
+            headers = ["GS \\ M"] + [str(m) for m in MANTISSA_BITS]
+            rows = []
+            for gs in GROUP_SIZES:
+                label = "#ch" if gs is None else str(gs)
+                rows.append(
+                    [label]
+                    + [f"{self.ppl[model][gs][m]:.3f}" for m in MANTISSA_BITS]
+                )
+            blocks.append(
+                format_table(
+                    headers,
+                    rows,
+                    title=(
+                        f"Fig. 5: {model} on {DATASET} "
+                        f"(FP16 PPL {self.fp_ppl[model]:.3f})"
+                    ),
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(
+    models: tuple[str, ...] = MODELS,
+    group_sizes: tuple[int | None, ...] = GROUP_SIZES,
+    mantissa_bits: tuple[int, ...] = MANTISSA_BITS,
+    n_sequences: int = 8,
+) -> Fig5Result:
+    """Run the group-size sensitivity sweep."""
+    ppl: dict[str, dict[int | None, dict[int, float]]] = {}
+    fp_ppl: dict[str, float] = {}
+    for name in models:
+        model = get_model(name)
+        sequences = validation_sequences(DATASET, n_sequences=n_sequences)
+        model.set_quantizer(None)
+        fp_ppl[name] = evaluate_perplexity(model, sequences)
+        ppl[name] = {}
+        for gs in group_sizes:
+            ppl[name][gs] = {}
+            for m in mantissa_bits:
+                model.set_quantizer(bfp_quantizer(m, group_size=gs))
+                ppl[name][gs][m] = evaluate_perplexity(model, sequences)
+        model.set_quantizer(None)
+    return Fig5Result(ppl=ppl, fp_ppl=fp_ppl)

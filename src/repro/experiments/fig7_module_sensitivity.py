@@ -1,0 +1,88 @@
+"""Fig. 7 — per-module activation sensitivity (A_qkv, A_o, A_u, A_d).
+
+For three mid-size models, sweeps the mantissa length of *one* tensor
+type at a time while the other three stay at 13 bits.  Paper shape:
+A_qkv is consistently the most sensitive; A_d tolerates aggressive
+truncation on OPT but matters more for the LLaMA family — the
+observation motivating the per-type 4-tuple search space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.precision import PrecisionCombination, TensorKind
+from repro.experiments.reporting import format_table
+from repro.llm.datasets import validation_sequences
+from repro.llm.hooks import anda_quantizer
+from repro.llm.perplexity import evaluate_perplexity, relative_accuracy
+from repro.llm.zoo import get_model
+
+MODELS: tuple[str, ...] = ("opt-6.7b", "llama-7b", "llama2-7b")
+MANTISSA_BITS: tuple[int, ...] = tuple(range(4, 14))
+BASELINE_BITS = 13
+DATASET = "wikitext2-sim"
+
+
+def single_kind_combination(kind: TensorKind, bits: int) -> PrecisionCombination:
+    """All tensor types at 13 bits except ``kind`` at ``bits``."""
+    mapping = {k: BASELINE_BITS for k in TensorKind.ordered()}
+    mapping[kind] = bits
+    return PrecisionCombination.from_mapping(mapping)
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """``relative[model][kind][mantissa_bits]`` relative accuracies."""
+
+    relative: dict[str, dict[TensorKind, dict[int, float]]]
+
+    def most_sensitive_kind(self, model: str, bits: int = 5) -> TensorKind:
+        """Tensor type with the lowest accuracy at an aggressive width."""
+        return min(
+            self.relative[model],
+            key=lambda kind: self.relative[model][kind][bits],
+        )
+
+    def render(self) -> str:
+        blocks = []
+        for model, per_kind in self.relative.items():
+            headers = ["Tensor \\ M"] + [str(m) for m in MANTISSA_BITS]
+            rows = []
+            for kind in TensorKind.ordered():
+                rows.append(
+                    [f"A_{kind.value}"]
+                    + [f"{per_kind[kind][m] * 100:.2f}%" for m in MANTISSA_BITS]
+                )
+            blocks.append(
+                format_table(
+                    headers, rows,
+                    title=f"Fig. 7: per-module sensitivity, {model} ({DATASET})",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(
+    models: tuple[str, ...] = MODELS,
+    mantissa_bits: tuple[int, ...] = MANTISSA_BITS,
+    n_sequences: int = 8,
+) -> Fig7Result:
+    """Run the per-module sensitivity sweep."""
+    relative: dict[str, dict[TensorKind, dict[int, float]]] = {}
+    sequences = validation_sequences(DATASET, n_sequences=n_sequences)
+    for name in models:
+        model = get_model(name)
+        model.set_quantizer(None)
+        reference = evaluate_perplexity(model, sequences)
+        relative[name] = {}
+        for kind in TensorKind.ordered():
+            relative[name][kind] = {}
+            for m in mantissa_bits:
+                model.set_quantizer(
+                    anda_quantizer(single_kind_combination(kind, m))
+                )
+                ppl = evaluate_perplexity(model, sequences)
+                relative[name][kind][m] = relative_accuracy(ppl, reference)
+        model.set_quantizer(None)
+    return Fig7Result(relative=relative)

@@ -1,0 +1,58 @@
+"""Fig. 8: the four FP-INT GeMM workflows, with counted annotations.
+
+Renders the schematic's qualitative labels as per-GeMM quantities on a
+LLaMA-7B up-projection at the paper's 2048-token prefill: conversion
+counts ("repetitive conversion"), activation memory and traffic
+("reduced access cost / reduced memory"), and the inner-loop
+arithmetic class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.precision import TensorKind
+from repro.experiments.reporting import format_table
+from repro.hw.workflows import WorkflowCost, compare_workflows
+from repro.hw.workloads import Gemm
+
+#: LLaMA-7B up+gate projection at 2048 tokens (the paper's W4A16 example).
+WORKLOAD = Gemm(TensorKind.U, rows=2048, reduction=4096, cols=2 * 11008)
+
+#: Anda storage width used in the comparison (a mid-range deployment).
+MANTISSA = 8
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Counted Fig. 8 annotations per workflow."""
+
+    costs: dict[str, WorkflowCost]
+
+    def render(self) -> str:
+        giga = 1e9
+        rows = [
+            [
+                cost.workflow,
+                cost.compute_class,
+                f"{cost.weight_dequants / giga:.2f}G",
+                f"{cost.act_conversions / giga:.2f}G",
+                f"{cost.act_memory_bits / 8 / 2**20:.0f} MiB",
+                f"{cost.act_traffic_bits / 8 / 2**30:.2f} GiB",
+            ]
+            for cost in self.costs.values()
+        ]
+        return format_table(
+            ["workflow", "inner loop", "wgt dequants", "act conversions",
+             "act memory", "act traffic"],
+            rows,
+            title=(
+                f"Fig. 8 workflows on the LLaMA-7B up-projection "
+                f"(2048 tokens, Anda M={MANTISSA})"
+            ),
+        )
+
+
+def run() -> Fig8Result:
+    """Count all four workflows on the study workload."""
+    return Fig8Result(costs=compare_workflows(WORKLOAD, MANTISSA))

@@ -1,0 +1,74 @@
+"""Fig. 9 — adaptive precision search trajectory on OPT-125M.
+
+Runs Algorithm 1 on the OPT-125M twin with a 1% loss constraint and
+records every evaluated combination: its BOPs (normalized to the
+FIGNA-style 13-bit uniform configuration, the paper's x-axis), its
+relative accuracy, and the incumbent best after each step.  Paper
+shape: the uniform ramp [4,4,4,4] .. finds the first feasible uniform
+point, then one-bit relaxations walk the BOPs frontier to a near-optimal
+4-tuple within ~10 evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bops import combination_bops
+from repro.core.precision import PrecisionCombination
+from repro.core.search import SearchResult
+from repro.experiments.reporting import format_table
+from repro.llm.config import get_config
+from repro.quant.deploy import deploy_anda
+
+MODEL = "opt-125m"
+DATASET = "wikitext2-sim"
+TOLERANCE = 0.01
+
+#: BOPs normalization anchor: FIGNA's uniform 13-bit configuration.
+FIGNA_UNIFORM = PrecisionCombination.uniform(13)
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Search trace with paper-style normalized BOPs."""
+
+    search: SearchResult
+    normalized_bops: list[float]
+    best: PrecisionCombination
+
+    def render(self) -> str:
+        headers = ["#", "Combination", "BOPs/FIGNA", "Rel. acc", "Best after"]
+        rows = []
+        for step, norm in zip(self.search.steps, self.normalized_bops):
+            rows.append(
+                [
+                    step.iteration,
+                    str(step.combination),
+                    f"{norm:.3f}",
+                    f"{step.accuracy * 100:.2f}%",
+                    str(step.best_after) if step.best_after else "None",
+                ]
+            )
+        table = format_table(
+            headers, rows,
+            title=f"Fig. 9: search trace on {MODEL} ({DATASET}, 1% loss)",
+        )
+        return f"{table}\n(Best) {self.best}"
+
+
+def run(
+    model: str = MODEL,
+    dataset: str = DATASET,
+    tolerance: float = TOLERANCE,
+    max_iterations: int = 32,
+) -> Fig9Result:
+    """Run the search and normalize the trace for plotting."""
+    deployment = deploy_anda(model, dataset, tolerance, max_iterations)
+    mac_weights = get_config(model).mac_weights()
+    figna_bops = combination_bops(FIGNA_UNIFORM, mac_weights)
+    normalized = [step.bops / figna_bops for step in deployment.search.steps]
+    return Fig9Result(
+        search=deployment.search,
+        normalized_bops=normalized,
+        best=deployment.combination,
+    )

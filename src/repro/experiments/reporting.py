@@ -1,0 +1,54 @@
+"""Plain-text rendering helpers for the experiment drivers.
+
+Every experiment produces structured data plus a human-readable report;
+these helpers keep the reports consistent (fixed-width ASCII tables, the
+same number formatting as the paper where possible).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width ASCII table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(separator)
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def format_ratio(value: float) -> str:
+    """Paper-style multiplier formatting (e.g. ``2.49x``)."""
+    return f"{value:.2f}x"
+
+
+def format_percent(value: float, signed: bool = True) -> str:
+    """Percent with the paper's sign convention for accuracy drops."""
+    sign = "+" if signed and value > 0 else ""
+    return f"{sign}{value:.2f}%"
+
+
+def format_series(name: str, pairs: Iterable[tuple[object, float]], unit: str = "") -> str:
+    """One labelled data series, ``x -> y`` per line."""
+    lines = [f"[{name}]"]
+    lines.extend(f"  {x}: {y:.4f}{unit}" for x, y in pairs)
+    return "\n".join(lines)

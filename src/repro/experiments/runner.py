@@ -1,0 +1,88 @@
+"""Experiment registry and command-line entry point.
+
+``python -m repro.experiments <name>`` runs one experiment and prints
+its report; ``all`` runs every table and figure in paper order (the
+first invocation trains the model zoo, which takes a few minutes).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Protocol
+
+
+class _Renderable(Protocol):
+    def render(self) -> str: ...
+
+
+def _lazy(module_name: str) -> Callable[[], _Renderable]:
+    def runner() -> _Renderable:
+        import importlib
+
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        return module.run()
+
+    return runner
+
+
+EXPERIMENTS: dict[str, Callable[[], _Renderable]] = {
+    "table1": _lazy("table1_formats"),
+    "fig2": _lazy("fig2_gemm_ops"),
+    "fig5": _lazy("fig5_group_size"),
+    "fig6": _lazy("fig6_model_sensitivity"),
+    "fig7": _lazy("fig7_module_sensitivity"),
+    "fig8": _lazy("fig8_workflows"),
+    "fig9": _lazy("fig9_search_trace"),
+    "table2": _lazy("table2_accuracy"),
+    "fig14": _lazy("fig14_combinations"),
+    "fig15": _lazy("fig15_pe_level"),
+    "fig16": _lazy("fig16_system_level"),
+    "fig17": _lazy("fig17_energy_breakdown"),
+    "table3": _lazy("table3_breakdown"),
+    "fig18": _lazy("fig18_tradeoff"),
+    "ablations": _lazy("ablations"),
+    "extensions": _lazy("extensions"),
+    "ext-memory": _lazy("ext_memory"),
+    "ext-overlap": _lazy("ext_overlap"),
+    "ext-pipeline": _lazy("ext_pipeline"),
+    "ext-search": _lazy("ext_search_strategies"),
+    "ext-mx": _lazy("ext_mx"),
+    "ext-dataflow": _lazy("ext_dataflow"),
+    "ext-qat": _lazy("ext_qat"),
+}
+
+#: Paper-order listing used by ``all``.
+EXPERIMENT_ORDER: tuple[str, ...] = tuple(EXPERIMENTS)
+
+
+def run_experiment(name: str) -> str:
+    """Run one experiment by registry name; returns the report text."""
+    if name not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENT_ORDER)
+        raise KeyError(f"unknown experiment {name!r}; known: {known}")
+    return EXPERIMENTS[name]().render()
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("experiments:", ", ".join(EXPERIMENT_ORDER), "or 'all'")
+        return 0
+    names = EXPERIMENT_ORDER if argv[0] == "all" else tuple(argv)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}")
+        print("known:", ", ".join(EXPERIMENT_ORDER), "or 'all'")
+        return 2
+    for name in names:
+        start = time.time()
+        report = run_experiment(name)
+        print(report)
+        print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Table I — taxonomy of BFP formats (uni/multi/variable length)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import format_table
+from repro.quant.schemes import TABLE1_FORMATS, FormatSpec
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    formats: tuple[FormatSpec, ...]
+
+    def render(self) -> str:
+        headers = ["Format", "Length class", "Compute mantissas", "Style", "Storage"]
+        rows = []
+        for spec in self.formats:
+            bits = (
+                "1b..16b"
+                if len(spec.compute_mantissa_bits) > 4
+                else "/".join(f"{b}b" for b in spec.compute_mantissa_bits)
+            )
+            rows.append(
+                [spec.name, spec.length_class, bits, spec.compute_style, spec.storage]
+            )
+        return format_table(headers, rows, title="Table I: BFP format taxonomy")
+
+
+def run() -> Table1Result:
+    return Table1Result(formats=TABLE1_FORMATS)

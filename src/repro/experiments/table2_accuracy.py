@@ -1,0 +1,118 @@
+"""Table II — accuracy/BOPs comparison of activation computation methods.
+
+For every benchmark model and dataset, evaluates held-out perplexity
+under six schemes:
+
+* **FP16** — unquantized model (top black row),
+* **Omniquant** — W4A16 weight-only reference (drop = 0 by definition),
+* **FIGNA** — long-mantissa BFP conversion (1.23x BOPs saving),
+* **VS-Quant** — 4-bit mantissa without retraining (4.0x saving,
+  severe accuracy collapse),
+* **Anda (0.1%)** / **Anda (1%)** — searched precision combinations.
+
+Paper shape to reproduce: FIGNA ~lossless, VS-Quant collapses by tens
+of percent, Anda lands within (or near) its tolerance at 2-3.3x savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.reporting import format_percent, format_ratio, format_table
+from repro.llm.config import BENCHMARK_MODELS
+from repro.llm.datasets import DATASETS
+from repro.llm.perplexity import accuracy_drop_percent
+from repro.quant.deploy import (
+    deploy_anda,
+    fp16_validation_ppl,
+    reference_model,
+    scheme_validation_ppl,
+)
+from repro.quant.schemes import SCHEME_BOPS_SAVING, TABLE2_SCHEMES
+
+TOLERANCES: tuple[float, ...] = (0.001, 0.01)
+
+
+@dataclass(frozen=True)
+class Table2Cell:
+    """One scheme's result on one (model, dataset)."""
+
+    ppl: float
+    drop_percent: float
+    bops_saving: float
+
+
+@dataclass
+class Table2Result:
+    """``cells[dataset][model][scheme]`` plus the row/scheme order."""
+
+    cells: dict[str, dict[str, dict[str, Table2Cell]]] = field(default_factory=dict)
+    schemes: tuple[str, ...] = (
+        "fp16", "omniquant", "figna", "vs-quant", "anda-0.1%", "anda-1%",
+    )
+
+    def render(self) -> str:
+        blocks = []
+        for dataset, models in self.cells.items():
+            headers = ["Scheme"] + list(models)
+            rows = []
+            for scheme in self.schemes:
+                row: list[object] = [scheme]
+                for model in models:
+                    cell = models[model][scheme]
+                    row.append(
+                        f"{cell.ppl:.2f} ({format_percent(cell.drop_percent)}, "
+                        f"{format_ratio(cell.bops_saving)})"
+                    )
+                rows.append(row)
+            blocks.append(
+                format_table(
+                    headers, rows,
+                    title=f"Table II: {dataset} (PPL, accuracy drop, BOPs saving)",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def _evaluate_cell_block(model_name: str, dataset: str) -> dict[str, Table2Cell]:
+    """All six scheme results for one (model, dataset) pair."""
+    reference_model(model_name)  # warm the weight-quantized copy
+    results: dict[str, Table2Cell] = {}
+
+    fp16_ppl = fp16_validation_ppl(model_name, dataset)
+    omni_ppl = scheme_validation_ppl(
+        model_name, dataset, TABLE2_SCHEMES["omniquant"]()
+    )
+    results["fp16"] = Table2Cell(fp16_ppl, 0.0, 0.0)
+    results["omniquant"] = Table2Cell(omni_ppl, 0.0, SCHEME_BOPS_SAVING["omniquant"])
+
+    for scheme in ("figna", "vs-quant"):
+        ppl = scheme_validation_ppl(model_name, dataset, TABLE2_SCHEMES[scheme]())
+        results[scheme] = Table2Cell(
+            ppl, accuracy_drop_percent(ppl, omni_ppl), SCHEME_BOPS_SAVING[scheme]
+        )
+
+    for tolerance in TOLERANCES:
+        deployment = deploy_anda(model_name, dataset, tolerance)
+        label = f"anda-{tolerance * 100:g}%"
+        results[label] = Table2Cell(
+            deployment.anda_ppl_validation,
+            accuracy_drop_percent(deployment.anda_ppl_validation, omni_ppl),
+            deployment.bops_saving,
+        )
+    return results
+
+
+def run(
+    models: tuple[str, ...] = BENCHMARK_MODELS,
+    datasets: tuple[str, ...] = DATASETS,
+) -> Table2Result:
+    """Build the full Table II grid (trains/loads the zoo on demand)."""
+    result = Table2Result()
+    for dataset in datasets:
+        result.cells[dataset] = {}
+        for model_name in models:
+            result.cells[dataset][model_name] = _evaluate_cell_block(
+                model_name, dataset
+            )
+    return result

@@ -1,0 +1,65 @@
+"""Table III — area and power characteristics of the Anda system.
+
+Renders the component-level breakdown from the calibrated silicon model
+next to the paper's published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import format_table
+from repro.hw.area import SystemBreakdown, anda_system_breakdown
+
+#: Published Table III values: name -> (area mm^2, power mW).
+PAPER_TABLE3: dict[str, tuple[float, float]] = {
+    "MXU": (0.41, 54.34),
+    "BPC": (0.07, 1.06),
+    "Vector Unit": (0.05, 0.87),
+    "Activation Buffer": (0.87, 16.94),
+    "Weight Buffer": (0.80, 7.96),
+    "Others": (0.01, 0.01),
+}
+
+PAPER_TOTAL = (2.17, 81.18)
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Measured breakdown plus the paper reference."""
+
+    breakdown: SystemBreakdown
+
+    def render(self) -> str:
+        headers = [
+            "Component", "Area [mm2]", "Paper area", "Power [mW]", "Paper power",
+        ]
+        rows = []
+        for comp in self.breakdown.components:
+            paper_area, paper_power = PAPER_TABLE3[comp.name]
+            rows.append(
+                [
+                    comp.name,
+                    f"{comp.area_mm2:.3f} ({self.breakdown.area_share(comp.name) * 100:.1f}%)",
+                    f"{paper_area:.2f}",
+                    f"{comp.power_mw:.2f} ({self.breakdown.power_share(comp.name) * 100:.1f}%)",
+                    f"{paper_power:.2f}",
+                ]
+            )
+        rows.append(
+            [
+                "Total",
+                f"{self.breakdown.total_area_mm2:.2f}",
+                f"{PAPER_TOTAL[0]:.2f}",
+                f"{self.breakdown.total_power_mw:.2f}",
+                f"{PAPER_TOTAL[1]:.2f}",
+            ]
+        )
+        return format_table(
+            headers, rows, title="Table III: Anda area/power breakdown (16nm, 285MHz)"
+        )
+
+
+def run() -> Table3Result:
+    """Compose the Anda system breakdown."""
+    return Table3Result(breakdown=anda_system_breakdown())

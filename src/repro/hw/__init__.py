@@ -1,0 +1,121 @@
+"""Hardware models: the Anda accelerator and its baselines.
+
+* :mod:`repro.hw.params` — technology/system constants (paper values +
+  calibrated unit costs).
+* :mod:`repro.hw.gates` — gate-level cost primitives.
+* :mod:`repro.hw.pe` — processing-element models (FP-FP .. Anda APU).
+* :mod:`repro.hw.workloads` — GeMM shape extraction, Fig. 2 op counts.
+* :mod:`repro.hw.simulator` — tile-level cycle/energy simulation.
+* :mod:`repro.hw.area` — Table III system area/power composition.
+* :mod:`repro.hw.accelerator` — system-level Fig. 16-18 comparisons.
+* :mod:`repro.hw.event_sim` — event-driven controller-program executor.
+* :mod:`repro.hw.memory` — banked SRAM and HBM2 burst/row models.
+* :mod:`repro.hw.pipeline` — end-to-end transformer block scheduling.
+* :mod:`repro.hw.mapping` — OS/WS/IS dataflow ablation.
+* :mod:`repro.hw.workflows` — Fig. 8 workflow cost accounting.
+"""
+
+from repro.hw.accelerator import (
+    AndaOperatingPoint,
+    SystemComparison,
+    anda_operating_point,
+    compare_architectures,
+    geometric_mean,
+)
+from repro.hw.addressing import BitPlaneAddressGenerator, buffer_words_for
+from repro.hw.area import anda_system_breakdown, system_area_mm2
+from repro.hw.event_sim import ExecutionReport, execute, summarize_overlap
+from repro.hw.mapping import compare_dataflows, dataflow_cost
+from repro.hw.memory import Hbm2Channel, SramBanks, compare_layouts
+from repro.hw.pipeline import (
+    BlockSchedule,
+    InferenceEstimate,
+    compare_end_to_end,
+    compare_kv_compression,
+    estimate_inference,
+    schedule_block,
+)
+from repro.hw.program import GemmProgram, compile_gemm
+from repro.hw.workflows import compare_workflows, workflow_cost
+from repro.hw.sweeps import array_size_sweep, bandwidth_sweep, buffer_size_sweep
+from repro.hw.roofline import (
+    RooflinePoint,
+    crossover_sequence_length,
+    decode_vs_prefill_summary,
+    model_roofline,
+    roofline_point,
+)
+from repro.hw.params import DEFAULT_BUDGET, SystemBudget
+from repro.hw.pe import (
+    PE_MODELS,
+    PE_ORDER,
+    PEModel,
+    get_pe,
+    pe_area_efficiency,
+    pe_energy_efficiency,
+)
+from repro.hw.simulator import GemmMetrics, SystemRun, simulate_gemm, simulate_model
+from repro.hw.workloads import (
+    Gemm,
+    OpsBreakdown,
+    context_ops,
+    fig2_series,
+    max_context_length,
+    prefill_gemms,
+)
+
+__all__ = [
+    "AndaOperatingPoint",
+    "BitPlaneAddressGenerator",
+    "BlockSchedule",
+    "ExecutionReport",
+    "Hbm2Channel",
+    "InferenceEstimate",
+    "SramBanks",
+    "compare_dataflows",
+    "compare_end_to_end",
+    "compare_kv_compression",
+    "compare_layouts",
+    "compare_workflows",
+    "dataflow_cost",
+    "estimate_inference",
+    "execute",
+    "schedule_block",
+    "summarize_overlap",
+    "workflow_cost",
+    "DEFAULT_BUDGET",
+    "Gemm",
+    "GemmProgram",
+    "RooflinePoint",
+    "array_size_sweep",
+    "bandwidth_sweep",
+    "buffer_size_sweep",
+    "buffer_words_for",
+    "compile_gemm",
+    "crossover_sequence_length",
+    "decode_vs_prefill_summary",
+    "model_roofline",
+    "roofline_point",
+    "GemmMetrics",
+    "OpsBreakdown",
+    "PEModel",
+    "PE_MODELS",
+    "PE_ORDER",
+    "SystemBudget",
+    "SystemComparison",
+    "SystemRun",
+    "anda_operating_point",
+    "anda_system_breakdown",
+    "compare_architectures",
+    "context_ops",
+    "fig2_series",
+    "geometric_mean",
+    "get_pe",
+    "max_context_length",
+    "pe_area_efficiency",
+    "pe_energy_efficiency",
+    "prefill_gemms",
+    "simulate_gemm",
+    "simulate_model",
+    "system_area_mm2",
+]

@@ -1,0 +1,113 @@
+"""System-level comparisons between Anda and the baseline accelerators.
+
+Composes the tile simulator, the PE models and the area model into the
+paper's system metrics (Fig. 16-18):
+
+* **speedup** — FP-FP wall-clock cycles / architecture cycles,
+* **energy efficiency** — FP-FP total energy / architecture energy,
+* **area efficiency** — speedup scaled by the system-area ratio
+  (throughput per mm² relative to FP-FP).
+
+The Anda rows consume a per-model precision combination — in the full
+pipeline, the one found by the adaptive search on WikiText2 (Fig. 14);
+helpers accept any combination so ablations can sweep precision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.precision import PrecisionCombination
+from repro.hw.area import system_area_mm2
+from repro.hw.pe import PE_ORDER
+from repro.hw.simulator import SystemRun, simulate_model
+
+
+@dataclass(frozen=True)
+class SystemComparison:
+    """One architecture's system metrics for one model, vs FP-FP."""
+
+    architecture: str
+    model_name: str
+    speedup: float
+    energy_efficiency: float
+    area_efficiency: float
+    run: SystemRun
+
+    def energy_shares_vs_fpfp(self, fpfp: SystemRun) -> dict[str, float]:
+        """Compute/SRAM/DRAM energies as fractions of the FP-FP total
+        (the normalization of Fig. 17's stacked bars)."""
+        total = fpfp.energy_pj
+        return {
+            "compute": self.run.compute_energy_pj / total,
+            "sram": self.run.sram_energy_pj / total,
+            "dram": self.run.dram_energy_pj / total,
+        }
+
+
+def compare_architectures(
+    model_name: str,
+    anda_combination: PrecisionCombination,
+    architectures: tuple[str, ...] = PE_ORDER,
+    sequence_length: int | None = None,
+) -> dict[str, SystemComparison]:
+    """Fig. 16 row: every architecture against FP-FP on one model."""
+    fpfp = simulate_model(model_name, "FP-FP", sequence_length=sequence_length)
+    fpfp_area = system_area_mm2("FP-FP")
+    results: dict[str, SystemComparison] = {}
+    for arch in architectures:
+        combination = anda_combination if arch == "Anda" else None
+        run = simulate_model(
+            model_name, arch, combination, sequence_length=sequence_length
+        )
+        speedup = fpfp.cycles / run.cycles
+        energy_eff = fpfp.energy_pj / run.energy_pj
+        area_eff = speedup * fpfp_area / system_area_mm2(arch)
+        results[arch] = SystemComparison(
+            architecture=arch,
+            model_name=model_name,
+            speedup=speedup,
+            energy_efficiency=energy_eff,
+            area_efficiency=area_eff,
+            run=run,
+        )
+    return results
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (the paper's cross-model aggregate)."""
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class AndaOperatingPoint:
+    """Anda system metrics at one accuracy tolerance (Fig. 18 point)."""
+
+    model_name: str
+    tolerance: float
+    combination: PrecisionCombination
+    speedup: float
+    energy_efficiency: float
+
+
+def anda_operating_point(
+    model_name: str,
+    combination: PrecisionCombination,
+    tolerance: float,
+    sequence_length: int | None = None,
+) -> AndaOperatingPoint:
+    """Speedup/energy-efficiency of Anda vs FP-FP for one combination."""
+    fpfp = simulate_model(model_name, "FP-FP", sequence_length=sequence_length)
+    anda = simulate_model(
+        model_name, "Anda", combination, sequence_length=sequence_length
+    )
+    return AndaOperatingPoint(
+        model_name=model_name,
+        tolerance=tolerance,
+        combination=combination,
+        speedup=fpfp.cycles / anda.cycles,
+        energy_efficiency=fpfp.energy_pj / anda.energy_pj,
+    )

@@ -1,0 +1,124 @@
+"""Bit-plane address generation for the activation buffer (Fig. 10).
+
+The value proposition of the bit-plane layout is *regularity*: a group
+with an ``M``-bit mantissa occupies exactly ``1 + M`` consecutive
+64-bit words (sign word, then MSB..LSB planes), so variable precision
+only changes the address *depth* per group — never the word width, and
+never the stride pattern.  This module is a functional model of the
+address generator that streams a tensor to the MXU, used to verify that
+claim (every emitted address is a unit-stride burst) and to drive the
+memory model's access counts.
+
+Shared exponents live in a separate narrow array (the paper's 0.125 MB
+exponent partition of the activation buffer), addressed by group index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.anda import AndaTensor
+from repro.errors import HardwareError
+
+
+@dataclass(frozen=True)
+class WordAccess:
+    """One 64-bit buffer access emitted by the generator.
+
+    Attributes:
+        address: word address in the mantissa/sign partition.
+        group: group index being streamed.
+        kind: ``"sign"`` or ``"plane"``.
+        plane: plane index for mantissa words (``None`` for signs).
+    """
+
+    address: int
+    group: int
+    kind: str
+    plane: int | None = None
+
+
+class BitPlaneAddressGenerator:
+    """Streams buffer addresses for one Anda tensor, group by group.
+
+    Args:
+        n_groups: shared-exponent groups in the tensor.
+        mantissa_bits: plane count per group.
+        base_address: first word address of the tensor's allocation.
+    """
+
+    def __init__(self, n_groups: int, mantissa_bits: int, base_address: int = 0) -> None:
+        if n_groups < 1:
+            raise HardwareError(f"need at least one group, got {n_groups}")
+        if not 1 <= mantissa_bits <= 16:
+            raise HardwareError(
+                f"mantissa bits must be in [1, 16], got {mantissa_bits}"
+            )
+        if base_address < 0:
+            raise HardwareError(f"base address must be >= 0, got {base_address}")
+        self.n_groups = n_groups
+        self.mantissa_bits = mantissa_bits
+        self.base_address = base_address
+
+    @classmethod
+    def for_tensor(cls, tensor: AndaTensor, base_address: int = 0) -> "BitPlaneAddressGenerator":
+        return cls(tensor.n_groups, tensor.mantissa_bits, base_address)
+
+    @property
+    def words_per_group(self) -> int:
+        """Address depth of one group: sign word plus M planes."""
+        return 1 + self.mantissa_bits
+
+    @property
+    def total_words(self) -> int:
+        return self.n_groups * self.words_per_group
+
+    def group_base(self, group: int) -> int:
+        """First word address of a group."""
+        if not 0 <= group < self.n_groups:
+            raise HardwareError(f"group {group} out of range [0, {self.n_groups})")
+        return self.base_address + group * self.words_per_group
+
+    def sign_address(self, group: int) -> int:
+        return self.group_base(group)
+
+    def plane_address(self, group: int, plane: int) -> int:
+        """Address of one mantissa plane (plane 0 = MSB)."""
+        if not 0 <= plane < self.mantissa_bits:
+            raise HardwareError(
+                f"plane {plane} out of range [0, {self.mantissa_bits})"
+            )
+        return self.group_base(group) + 1 + plane
+
+    def exponent_address(self, group: int) -> int:
+        """Byte address in the separate exponent partition."""
+        if not 0 <= group < self.n_groups:
+            raise HardwareError(f"group {group} out of range [0, {self.n_groups})")
+        return group
+
+    def stream(self) -> Iterator[WordAccess]:
+        """Emit the full access sequence the MXU consumes.
+
+        Per group: the sign word, then planes MSB-first — exactly the
+        order :class:`repro.core.bitserial` consumes partial products.
+        """
+        for group in range(self.n_groups):
+            yield WordAccess(self.sign_address(group), group, "sign")
+            for plane in range(self.mantissa_bits):
+                yield WordAccess(
+                    self.plane_address(group, plane), group, "plane", plane
+                )
+
+    def is_unit_stride(self) -> bool:
+        """True when the whole stream is one contiguous burst."""
+        addresses = [access.address for access in self.stream()]
+        return all(b == a + 1 for a, b in zip(addresses, addresses[1:]))
+
+
+def buffer_words_for(
+    row_length: int, mantissa_bits: int, rows: int = 1, group_size: int = 64
+) -> int:
+    """Words needed to buffer a ``rows x row_length`` activation tile."""
+    groups_per_row = -(-row_length // group_size)
+    return rows * groups_per_row * (1 + mantissa_bits)

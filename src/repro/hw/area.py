@@ -1,0 +1,179 @@
+"""System area/power composition (the paper's Table III).
+
+Builds the Anda system — MXU of 16x16 APUs, 16-lane BPC, 64-FPU vector
+unit, 1.125 MB activation buffer, 1 MB weight buffer, top controller —
+from the gate-level component model plus three calibrated silicon
+constants (area per gate-equivalent, switched energy per gate, SRAM
+density).  The calibration anchors are Table III's published MXU area
+and power; every other component then follows from its own structure,
+so the *distribution* across components is a genuine model output.
+
+Also composes the baseline systems' total areas (common buffers/vector
+unit + their PE array) — the denominators of Fig. 16's system-level
+area efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw import gates
+from repro.hw.params import (
+    ACT_BUFFER_BYTES,
+    BPC_LANES,
+    CLOCK_HZ,
+    GROUP_SIZE,
+    MXU_COLS,
+    MXU_ROWS,
+    SRAM_PJ_PER_BIT,
+    VECTOR_UNIT_WIDTH,
+    WGT_BUFFER_BYTES,
+)
+from repro.hw.pe import get_pe
+
+#: CALIBRATED - silicon area per gate equivalent at 16 nm (mm^2).
+#: Anchored so the 256-APU MXU lands on Table III's 0.41 mm^2.
+AREA_MM2_PER_GE = 1.64e-7
+
+#: CALIBRATED - effective switched energy per gate equivalent per cycle
+#: (pJ), utilization-weighted; anchored to the MXU's 54.34 mW.
+ENERGY_PJ_PER_GE_CYCLE = 7.6e-5
+
+#: CALIBRATED - SRAM macro density (mm^2 / MiB) at 16 nm; reproduces the
+#: paper's 0.87 / 0.80 mm^2 buffers.
+SRAM_MM2_PER_MIB = 0.773
+
+#: CALIBRATED - SRAM background (leakage + clock) power per MiB (mW).
+SRAM_LEAK_MW_PER_MIB = 5.0
+
+#: Activation buffer streaming rate: one 1024-bit bit-plane word per
+#: cycle to the MXU plus the 80-bit BPC write-back lane (Fig. 13).
+_ACT_BITS_PER_CYCLE = 1024 + 80
+
+#: Weight buffer streaming rate: double-buffered 1024-bit loads spread
+#: over a four-cycle dispatch window.
+_WGT_BITS_PER_CYCLE = 256
+
+
+def bpc_lane_ge() -> float:
+    """Gate cost of one BPC lane (Fig. 12 structure, 64 elements)."""
+    per_element = (
+        gates.register(16)  # FP field extractor capture
+        + gates.register(11)  # mantissa shift register
+        + gates.comparator(5)  # exponent-difference countdown
+        + gates.mux(1)  # plane bit select
+    )
+    max_exp_tree = (GROUP_SIZE - 1) * gates.comparator(5) + gates.register(5)
+    packager = gates.register(80) + gates.mux(80)
+    return GROUP_SIZE * per_element + max_exp_tree + packager
+
+
+def vector_fpu_ge() -> float:
+    """One vector-unit FP16 unit (FMA-class plus small special logic)."""
+    return (
+        gates.multiplier(11, 11)
+        + gates.fp_align_normalize(product_bits=22, acc_bits=24)
+        + gates.register(32) * 2
+        + gates.mux(32)
+    )
+
+
+@dataclass(frozen=True)
+class ComponentBudget:
+    """Area and power of one system component."""
+
+    name: str
+    area_mm2: float
+    power_mw: float
+
+
+@dataclass(frozen=True)
+class SystemBreakdown:
+    """Table III: per-component area/power of one full system."""
+
+    components: tuple[ComponentBudget, ...]
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(c.area_mm2 for c in self.components)
+
+    @property
+    def total_power_mw(self) -> float:
+        return sum(c.power_mw for c in self.components)
+
+    def component(self, name: str) -> ComponentBudget:
+        for comp in self.components:
+            if comp.name == name:
+                return comp
+        raise KeyError(name)
+
+    def area_share(self, name: str) -> float:
+        return self.component(name).area_mm2 / self.total_area_mm2
+
+    def power_share(self, name: str) -> float:
+        return self.component(name).power_mw / self.total_power_mw
+
+
+def _logic_power_mw(area_ge: float) -> float:
+    return area_ge * ENERGY_PJ_PER_GE_CYCLE * CLOCK_HZ * 1e-9
+
+
+def _buffer_budget(name: str, capacity_bytes: int, stream_bits_per_cycle: float) -> ComponentBudget:
+    mib = capacity_bytes / 2**20
+    access_mw = stream_bits_per_cycle * SRAM_PJ_PER_BIT * CLOCK_HZ * 1e-9
+    return ComponentBudget(
+        name=name,
+        area_mm2=SRAM_MM2_PER_MIB * mib,
+        power_mw=access_mw + SRAM_LEAK_MW_PER_MIB * mib,
+    )
+
+
+def anda_system_breakdown() -> SystemBreakdown:
+    """Compose the Anda system (Table III rows)."""
+    apu_ge = get_pe("Anda").modeled_area_ge()
+    mxu_ge = MXU_ROWS * MXU_COLS * apu_ge
+    bpc_ge = BPC_LANES * bpc_lane_ge()
+    vector_ge = VECTOR_UNIT_WIDTH * vector_fpu_ge()
+    controller_ge = 60_000.0  # top controller, instr. memory, addr. gen.
+
+    components = (
+        ComponentBudget("MXU", mxu_ge * AREA_MM2_PER_GE, _logic_power_mw(mxu_ge)),
+        ComponentBudget(
+            "BPC", bpc_ge * AREA_MM2_PER_GE, _logic_power_mw(bpc_ge) * 0.18
+        ),  # BPC is active only on output write-back (~1/5 duty)
+        ComponentBudget(
+            "Vector Unit",
+            vector_ge * AREA_MM2_PER_GE,
+            _logic_power_mw(vector_ge) * 0.20,
+        ),  # vector ops are a small slice of transformer runtime
+        _buffer_budget("Activation Buffer", ACT_BUFFER_BYTES, _ACT_BITS_PER_CYCLE),
+        _buffer_budget("Weight Buffer", WGT_BUFFER_BYTES, _WGT_BITS_PER_CYCLE),
+        ComponentBudget(
+            "Others",
+            controller_ge * AREA_MM2_PER_GE,
+            _logic_power_mw(controller_ge) * 0.02,
+        ),
+    )
+    return SystemBreakdown(components=components)
+
+
+def system_area_mm2(architecture: str) -> float:
+    """Total system area of one architecture under the parity budget.
+
+    Buffers, vector unit and controller are common to all systems
+    (Sec. V-A memory parity); the PE array scales with the published PE
+    area ratio; only Anda carries the BPC.
+    """
+    anda = anda_system_breakdown()
+    common = (
+        anda.component("Activation Buffer").area_mm2
+        + anda.component("Weight Buffer").area_mm2
+        + anda.component("Vector Unit").area_mm2
+        + anda.component("Others").area_mm2
+    )
+    anda_mxu = anda.component("MXU").area_mm2
+    pe = get_pe(architecture)
+    anda_rel = get_pe("Anda").area_rel
+    mxu = anda_mxu * (pe.area_rel / anda_rel)
+    bpc = anda.component("BPC").area_mm2 if architecture == "Anda" else 0.0
+    return common + mxu + bpc

@@ -1,0 +1,119 @@
+"""Gate-level cost primitives for the PE area/energy models.
+
+Costs are expressed in *gate equivalents* (GE, roughly NAND2-sized
+units) using standard structural estimates:
+
+* array multiplier ``m x n`` — partial-product array, ~``5·m·n`` GE,
+* ripple/carry-select adder ``w`` bits — ~``9·w`` GE,
+* balanced adder tree of ``k`` inputs — ``k-1`` adders of growing width,
+* logarithmic barrel shifter ``w`` bits / ``s`` positions —
+  ``~3·w·ceil(log2 s)`` GE of muxes,
+* leading-zero counter, register, 2:1 mux — linear in width.
+
+Energy per operation is proportional to the switched gates
+(``GE x activity``); the proportionality constant and the GE-to-mm²
+factor live in :mod:`repro.hw.params` and are calibrated once against
+the paper's absolute Table III numbers.  All *relative* comparisons
+(Fig. 15) are constant-free.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import HardwareError
+
+#: Switching activity factor applied to dynamic energy estimates.
+ACTIVITY = 0.3
+
+_GE_PER_FULL_ADDER = 9.0
+_GE_PER_MULT_CELL = 5.0
+_GE_PER_MUX_BIT = 3.0
+_GE_PER_REG_BIT = 6.0
+_GE_PER_LZC_BIT = 4.0
+
+
+def _check_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise HardwareError(f"{name} must be positive, got {value}")
+
+
+def multiplier(m_bits: int, n_bits: int) -> float:
+    """Array multiplier of an m-bit by n-bit product."""
+    _check_positive(m_bits=m_bits, n_bits=n_bits)
+    return _GE_PER_MULT_CELL * m_bits * n_bits
+
+
+def adder(width: int) -> float:
+    """Two-input adder of the given width."""
+    _check_positive(width=width)
+    return _GE_PER_FULL_ADDER * width
+
+
+def adder_tree(inputs: int, input_width: int) -> float:
+    """Balanced reduction tree of ``inputs`` operands.
+
+    Level ``l`` (from the leaves) uses ``inputs / 2**(l+1)`` adders of
+    width ``input_width + l``.
+    """
+    _check_positive(inputs=inputs, input_width=input_width)
+    total = 0.0
+    remaining = inputs
+    width = input_width
+    while remaining > 1:
+        pairs = remaining // 2
+        total += pairs * adder(width + 1)
+        remaining = pairs + (remaining % 2)
+        width += 1
+    return total
+
+
+def barrel_shifter(width: int, positions: int) -> float:
+    """Logarithmic shifter over ``positions`` shift amounts."""
+    _check_positive(width=width, positions=positions)
+    stages = max(1, math.ceil(math.log2(positions)))
+    return _GE_PER_MUX_BIT * width * stages
+
+
+def leading_zero_counter(width: int) -> float:
+    _check_positive(width=width)
+    return _GE_PER_LZC_BIT * width
+
+
+def register(width: int) -> float:
+    _check_positive(width=width)
+    return _GE_PER_REG_BIT * width
+
+
+def mux(width: int) -> float:
+    _check_positive(width=width)
+    return _GE_PER_MUX_BIT * width
+
+
+def comparator(width: int) -> float:
+    """Magnitude comparator (subtractor-based)."""
+    return adder(width)
+
+
+def fp_align_normalize(product_bits: int, acc_bits: int) -> float:
+    """Alignment + normalization + rounding logic of an FP accumulate.
+
+    The dominant non-multiplier cost of FP arithmetic: the addend
+    aligner across ``acc_bits + product_bits`` positions, the wide add,
+    the leading-zero count and the normalization shift.
+    """
+    path = acc_bits + product_bits
+    return (
+        barrel_shifter(path, path)  # operand alignment
+        + adder(path)  # significand addition
+        + leading_zero_counter(path)  # renormalization count
+        + barrel_shifter(acc_bits, acc_bits)  # normalization shift
+        + adder(acc_bits // 2)  # rounding increment
+        + adder(8)  # exponent arithmetic
+    )
+
+
+def energy_per_op(gate_equivalents: float) -> float:
+    """Relative dynamic energy of one operation through a block."""
+    return gate_equivalents * ACTIVITY

@@ -1,0 +1,166 @@
+"""Dataflow-mapping ablation: why the MXU runs output-stationary.
+
+The paper states the MXU "performs FP-INT GeMM operations following
+typical output stationary dataflow [45]" (Sec. IV-D ❸) without
+justifying the choice.  This module makes the justification testable by
+costing the three classical dataflows on the same 16x16 array:
+
+* **output-stationary (OS)** — each PE pins one output tile element;
+  activations stream row-wise, weights column-wise; partial sums never
+  leave the PE.  One FP32 accumulator per PE, no partial-sum traffic.
+* **weight-stationary (WS)** — each PE pins a weight tile; activations
+  stream through and *partial sums* stream between tiles, costing one
+  psum write + read per reduction tile beyond the first.
+* **input-stationary (IS)** — each PE pins an activation tile; weights
+  stream and partial sums travel exactly as in WS.
+
+Traffic is counted at the SRAM interface in bits, using each format's
+activation width (Anda bit-plane or FP16) and 32-bit partial sums.
+The Anda twist the ablation surfaces: OS is the only dataflow whose
+inter-PE traffic does not grow when mantissas shrink — WS/IS move
+32-bit partial sums regardless of M, so their overhead *ratio* worsens
+exactly when Anda is winning.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hw.params import DEFAULT_BUDGET, GROUP_SIZE, SystemBudget
+from repro.hw.workloads import Gemm
+
+#: Partial-sum word width moved between tiles by WS/IS dataflows.
+PSUM_BITS = 32
+
+DATAFLOWS = ("output-stationary", "weight-stationary", "input-stationary")
+
+
+@dataclass(frozen=True)
+class DataflowCost:
+    """SRAM-interface traffic of one GeMM under one dataflow.
+
+    Attributes:
+        dataflow: one of :data:`DATAFLOWS`.
+        act_bits: activation reads (format-dependent width).
+        wgt_bits: weight reads (INT4).
+        psum_bits: partial-sum spill/refill traffic (WS/IS only).
+        out_bits: final output write-back.
+    """
+
+    dataflow: str
+    act_bits: float
+    wgt_bits: float
+    psum_bits: float
+    out_bits: float
+
+    @property
+    def total_bits(self) -> float:
+        return self.act_bits + self.wgt_bits + self.psum_bits + self.out_bits
+
+
+def _tiles(gemm: Gemm, budget: SystemBudget) -> tuple[int, int, int]:
+    row_tiles = math.ceil(gemm.rows / budget.mxu_rows)
+    col_tiles = math.ceil(gemm.cols / budget.mxu_cols)
+    red_tiles = math.ceil(gemm.reduction / GROUP_SIZE)
+    return row_tiles, col_tiles, red_tiles
+
+
+def dataflow_cost(
+    gemm: Gemm,
+    dataflow: str,
+    act_bits_per_element: float = 16.0,
+    budget: SystemBudget = DEFAULT_BUDGET,
+) -> DataflowCost:
+    """SRAM traffic of one GeMM instance under one dataflow.
+
+    All three dataflows read each operand once per tile of the
+    *other* operand's independent dimension (the classical reuse
+    asymmetry); they differ in who carries the reduction:
+
+    * OS holds partial sums in place — zero psum traffic, but both
+      operands re-stream per output tile.
+    * WS pins weights — activations stream once per column tile, and
+      each of the ``red_tiles - 1`` extra reduction slices spills and
+      refills a full output tile of partial sums.
+    * IS mirrors WS with the operand roles swapped.
+    """
+    if dataflow not in DATAFLOWS:
+        raise HardwareError(
+            f"unknown dataflow {dataflow!r}; known: {', '.join(DATAFLOWS)}"
+        )
+    if act_bits_per_element <= 0:
+        raise HardwareError(
+            f"activation width must be positive, got {act_bits_per_element}"
+        )
+    row_tiles, col_tiles, red_tiles = _tiles(gemm, budget)
+    acts = gemm.rows * gemm.reduction * act_bits_per_element
+    wgts = gemm.reduction * gemm.cols * 4.0
+    outs = gemm.rows * gemm.cols * act_bits_per_element
+
+    if dataflow == "output-stationary":
+        act_bits = acts * col_tiles
+        wgt_bits = wgts * row_tiles
+        psum_bits = 0.0
+    elif dataflow == "weight-stationary":
+        # Weights resident: read once.  Activations re-stream per column
+        # tile; partial sums spill/refill per extra reduction tile.
+        act_bits = acts * col_tiles
+        wgt_bits = wgts
+        psum_bits = 2.0 * gemm.rows * gemm.cols * PSUM_BITS * (red_tiles - 1)
+    else:  # input-stationary
+        act_bits = acts
+        wgt_bits = wgts * row_tiles
+        psum_bits = 2.0 * gemm.rows * gemm.cols * PSUM_BITS * (red_tiles - 1)
+    scale = gemm.repeats
+    return DataflowCost(
+        dataflow=dataflow,
+        act_bits=act_bits * scale,
+        wgt_bits=wgt_bits * scale,
+        psum_bits=psum_bits * scale,
+        out_bits=outs * scale,
+    )
+
+
+@dataclass(frozen=True)
+class DataflowComparison:
+    """All three dataflows on one GeMM at one activation width."""
+
+    gemm: Gemm
+    act_bits_per_element: float
+    costs: dict[str, DataflowCost]
+
+    def best(self) -> str:
+        """Dataflow with the least total SRAM traffic."""
+        return min(self.costs, key=lambda name: self.costs[name].total_bits)
+
+    def overhead(self, dataflow: str) -> float:
+        """Total traffic of ``dataflow`` relative to the best one."""
+        best = self.costs[self.best()].total_bits
+        return self.costs[dataflow].total_bits / best
+
+
+def compare_dataflows(
+    gemm: Gemm,
+    act_bits_per_element: float = 16.0,
+    budget: SystemBudget = DEFAULT_BUDGET,
+) -> DataflowComparison:
+    """Cost every dataflow on one GeMM."""
+    return DataflowComparison(
+        gemm=gemm,
+        act_bits_per_element=act_bits_per_element,
+        costs={
+            dataflow: dataflow_cost(gemm, dataflow, act_bits_per_element, budget)
+            for dataflow in DATAFLOWS
+        },
+    )
+
+
+def anda_act_bits(mantissa_bits: int) -> float:
+    """Anda bit-plane storage width per element (sign + planes + exp share)."""
+    if not 1 <= mantissa_bits <= 16:
+        raise HardwareError(
+            f"mantissa bits must be in [1, 16], got {mantissa_bits}"
+        )
+    return 1.0 + mantissa_bits + 8.0 / GROUP_SIZE

@@ -1,0 +1,330 @@
+"""Banked SRAM and HBM2 DRAM models behind the bit-plane layout claims.
+
+Sec. IV-A of the paper argues that the bit-plane layout is what makes
+variable-length activations *storable*: "irregular memory accesses
+caused by an ineffective data layout could completely undo the benefits
+provided by Anda".  This module turns that sentence into two
+quantitative, testable models:
+
+* :class:`SramBanks` — a word-interleaved multi-bank SRAM.  Streaming a
+  tensor through it yields a :class:`StreamStats` with word counts, bank
+  conflicts and per-word rotation work, so the bit-plane layout and the
+  element-atomic layout of prior precision-scalable designs can be
+  compared on equal terms (:func:`compare_layouts`).
+* :class:`Hbm2Channel` — a burst/row model of the paper's HBM2 part
+  (256 GB/s, 3.9 pJ/bit) charging row activations and padding partial
+  bursts, used to cost DRAM transfers of Anda versus FP16 tensors
+  (:func:`transfer`).
+
+Both models are deliberately structural — counts, not statistical
+approximations — so property tests can pin exact invariants (zero
+conflicts for unit-stride streams, plane-read blowup of the element
+layout, burst-padding bounds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.bitplane import WORD_BITS
+from repro.errors import HardwareError
+
+#: Default bank count of the activation buffer model: one bank per BPC
+#: lane so each lane owns an aligned stream.
+DEFAULT_BANKS = 16
+
+#: HBM2 burst length in bytes (BL4 x 64-bit pseudo-channel).
+HBM2_BURST_BYTES = 32
+
+#: HBM2 row (page) size per pseudo-channel in bytes.
+HBM2_ROW_BYTES = 1024
+
+#: Energy of one row activation (pJ) — folded DRAM core cost per page
+#: open, on top of the paper's 3.9 pJ/bit I/O + array energy.
+HBM2_ROW_ENERGY_PJ = 909.0
+
+#: I/O + array energy per transferred bit (paper value, Jouppi et al.).
+HBM2_PJ_PER_BIT = 3.9
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Cost of streaming one tensor through the SRAM model.
+
+    Attributes:
+        words_fetched: 64-bit words read from the banks.
+        useful_bits: payload bits the consumer actually needed.
+        bank_conflicts: same-cycle same-bank collisions (each one is a
+            stall cycle for the losing requester).
+        rotations: per-word bit-rotation/merge operations the consumer
+            must perform to realign fields (zero for aligned layouts).
+    """
+
+    words_fetched: int
+    useful_bits: int
+    bank_conflicts: int
+    rotations: int
+
+    @property
+    def fetched_bits(self) -> int:
+        return self.words_fetched * WORD_BITS
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Useful payload bits per fetched bit (1.0 = no waste)."""
+        if self.words_fetched == 0:
+            return 1.0
+        return self.useful_bits / self.fetched_bits
+
+    @property
+    def access_cycles(self) -> int:
+        """Cycles to issue the stream on one port: fetches + stalls."""
+        return self.words_fetched + self.bank_conflicts
+
+
+class SramBanks:
+    """A word-interleaved banked SRAM with single-ported banks.
+
+    Word address ``a`` lives in bank ``a % n_banks``.  A *cycle* is a
+    batch of simultaneously issued word addresses; every address beyond
+    the first that maps to an already-busy bank costs one conflict.
+    """
+
+    def __init__(self, n_banks: int = DEFAULT_BANKS, word_bits: int = WORD_BITS) -> None:
+        if n_banks < 1:
+            raise HardwareError(f"need at least one bank, got {n_banks}")
+        if word_bits < 1:
+            raise HardwareError(f"word width must be >= 1, got {word_bits}")
+        self.n_banks = n_banks
+        self.word_bits = word_bits
+
+    def bank_of(self, address: int) -> int:
+        if address < 0:
+            raise HardwareError(f"addresses must be >= 0, got {address}")
+        return address % self.n_banks
+
+    def conflicts(self, cycles: Iterable[Sequence[int]]) -> int:
+        """Count bank conflicts over a sequence of issue cycles."""
+        total = 0
+        for addresses in cycles:
+            seen: dict[int, int] = {}
+            for address in addresses:
+                bank = self.bank_of(address)
+                seen[bank] = seen.get(bank, 0) + 1
+            total += sum(count - 1 for count in seen.values())
+        return total
+
+
+# -- layout access models ------------------------------------------------------
+
+
+def bitplane_stream(n_groups: int, mantissa_bits: int, banks: SramBanks | None = None) -> StreamStats:
+    """Cost of streaming an Anda tensor stored bit-plane-wise (Fig. 10).
+
+    Each group is ``1 + M`` consecutive words (sign, then planes); the
+    bit-serial PE consumes exactly one word per cycle, so the stream is
+    unit-stride: every fetched bit is payload, consecutive addresses hit
+    distinct banks, and no realignment is ever needed.
+    """
+    _check_stream_args(n_groups, mantissa_bits)
+    banks = banks or SramBanks()
+    words_per_group = 1 + mantissa_bits
+    total_words = n_groups * words_per_group
+    # Unit stride: one address per cycle, so conflicts are structurally
+    # impossible; encoded via the conflict counter for uniformity.
+    conflicts = banks.conflicts([addr] for addr in range(total_words))
+    return StreamStats(
+        words_fetched=total_words,
+        useful_bits=total_words * WORD_BITS,
+        bank_conflicts=conflicts,
+        rotations=0,
+    )
+
+
+def element_stream(n_groups: int, mantissa_bits: int, banks: SramBanks | None = None) -> StreamStats:
+    """Cost of feeding the *bit-serial* PE from an element-atomic layout.
+
+    Prior precision-scalable designs pack each ``1 + M``-bit value as an
+    atomic field ([30], [41], [61], [67] in the paper).  A bit-serial PE
+    consumes one significance level of all 64 elements per cycle; in the
+    element layout, bit ``p`` of the group's 64 elements is scattered
+    across all ``ceil(64 * (1 + M) / 64) = 1 + M`` words, at a different
+    bit position in each.  Serving one plane therefore re-reads the whole
+    group footprint and extracts one bit per element — the layout, not
+    the format, destroys the bandwidth advantage:
+
+    * words fetched: ``(1 + M)`` per plane, ``(1 + M)`` planes (sign
+      plane included) → ``(1 + M)**2`` per group,
+    * useful bits per fetched word: 64 / (1 + M) on average,
+    * every element whose field straddles a word boundary costs one
+      rotation (shift-and-merge) in the consumer.
+    """
+    _check_stream_args(n_groups, mantissa_bits)
+    banks = banks or SramBanks()
+    bits_per_element = 1 + mantissa_bits
+    words_per_group = math.ceil(WORD_BITS * bits_per_element / WORD_BITS)
+    planes = bits_per_element  # sign plane + M mantissa planes
+    words = n_groups * words_per_group * planes
+    useful = n_groups * planes * WORD_BITS  # one bit per element per plane
+
+    straddles = _straddles_per_group(bits_per_element)
+    rotations = n_groups * straddles
+
+    # One plane read issues `words_per_group` parallel requests; their
+    # addresses are consecutive, so conflicts appear once the group
+    # footprint exceeds the bank count.
+    base_addresses = range(words_per_group)
+    conflict_cycles = ([a for a in base_addresses] for _ in range(n_groups * planes))
+    conflicts = banks.conflicts(conflict_cycles)
+    return StreamStats(
+        words_fetched=words,
+        useful_bits=useful,
+        bank_conflicts=conflicts,
+        rotations=rotations,
+    )
+
+
+def _straddles_per_group(bits_per_element: int) -> int:
+    """Elements per 64-element group whose packed field crosses a word."""
+    straddles = 0
+    for index in range(WORD_BITS):
+        offset = (index * bits_per_element) % WORD_BITS
+        if offset + bits_per_element > WORD_BITS:
+            straddles += 1
+    return straddles
+
+
+def _check_stream_args(n_groups: int, mantissa_bits: int) -> None:
+    if n_groups < 1:
+        raise HardwareError(f"need at least one group, got {n_groups}")
+    if not 1 <= mantissa_bits <= 16:
+        raise HardwareError(f"mantissa bits must be in [1, 16], got {mantissa_bits}")
+
+
+@dataclass(frozen=True)
+class LayoutComparison:
+    """Bit-plane versus element-atomic layout for one tensor shape."""
+
+    mantissa_bits: int
+    bitplane: StreamStats
+    element: StreamStats
+
+    @property
+    def fetch_ratio(self) -> float:
+        """Element-layout words fetched per bit-plane word fetched."""
+        return self.element.words_fetched / self.bitplane.words_fetched
+
+    @property
+    def stall_overhead(self) -> float:
+        """Extra access cycles of the element layout, relative."""
+        return self.element.access_cycles / self.bitplane.access_cycles
+
+
+def compare_layouts(
+    n_groups: int, mantissa_bits: int, banks: SramBanks | None = None
+) -> LayoutComparison:
+    """Quantify the Sec. IV-A regularity claim for one tensor shape."""
+    return LayoutComparison(
+        mantissa_bits=mantissa_bits,
+        bitplane=bitplane_stream(n_groups, mantissa_bits, banks),
+        element=element_stream(n_groups, mantissa_bits, banks),
+    )
+
+
+# -- HBM2 channel model ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DramTransfer:
+    """Cost of one DRAM transfer.
+
+    Attributes:
+        payload_bytes: bytes the requester asked for.
+        bursts: minimum-granularity bursts moved on the bus.
+        row_activations: DRAM pages opened.
+        energy_pj: I/O + array + row-activation energy.
+    """
+
+    payload_bytes: int
+    bursts: int
+    row_activations: int
+    energy_pj: float
+
+    @property
+    def bus_bytes(self) -> int:
+        return self.bursts * HBM2_BURST_BYTES
+
+    @property
+    def burst_utilization(self) -> float:
+        """Payload bytes per bus byte (1.0 = perfectly packed)."""
+        if self.bursts == 0:
+            return 1.0
+        return self.payload_bytes / self.bus_bytes
+
+
+class Hbm2Channel:
+    """Burst/row cost model of the paper's HBM2 memory system.
+
+    The tile simulator charges the paper's flat 3.9 pJ/bit; this model
+    refines it with burst granularity and row activations so layout
+    effects on *DRAM* behaviour are visible too (contiguous Anda tensors
+    transfer in full bursts; scattering a tensor across rows pays row
+    energy).
+    """
+
+    def __init__(
+        self,
+        burst_bytes: int = HBM2_BURST_BYTES,
+        row_bytes: int = HBM2_ROW_BYTES,
+        pj_per_bit: float = HBM2_PJ_PER_BIT,
+        row_energy_pj: float = HBM2_ROW_ENERGY_PJ,
+    ) -> None:
+        if burst_bytes < 1 or row_bytes < burst_bytes:
+            raise HardwareError(
+                f"need row_bytes >= burst_bytes >= 1, got "
+                f"burst={burst_bytes}, row={row_bytes}"
+            )
+        self.burst_bytes = burst_bytes
+        self.row_bytes = row_bytes
+        self.pj_per_bit = pj_per_bit
+        self.row_energy_pj = row_energy_pj
+
+    def transfer(self, payload_bytes: int, segments: int = 1) -> DramTransfer:
+        """Cost of moving ``payload_bytes`` split over ``segments``
+        separately-addressed contiguous extents.
+
+        One segment models a well-packed tensor; many segments model a
+        scattered allocation (each segment rounds up to burst granularity
+        and opens at least one row).
+        """
+        if payload_bytes < 0:
+            raise HardwareError(f"payload must be >= 0, got {payload_bytes}")
+        if segments < 1:
+            raise HardwareError(f"segments must be >= 1, got {segments}")
+        if payload_bytes == 0:
+            return DramTransfer(0, 0, 0, 0.0)
+        per_segment = math.ceil(payload_bytes / segments)
+        bursts_per_segment = math.ceil(per_segment / self.burst_bytes)
+        bursts = bursts_per_segment * segments
+        rows_per_segment = math.ceil(
+            bursts_per_segment * self.burst_bytes / self.row_bytes
+        )
+        rows = rows_per_segment * segments
+        energy = (
+            bursts * self.burst_bytes * 8 * self.pj_per_bit
+            + rows * self.row_energy_pj
+        )
+        return DramTransfer(
+            payload_bytes=payload_bytes,
+            bursts=bursts,
+            row_activations=rows,
+            energy_pj=energy,
+        )
+
+    def tensor_bytes(self, n_groups: int, mantissa_bits: int) -> int:
+        """DRAM footprint of an Anda tensor (planes + signs + exponents)."""
+        _check_stream_args(n_groups, mantissa_bits)
+        payload_bits = n_groups * ((1 + mantissa_bits) * WORD_BITS + 8)
+        return math.ceil(payload_bits / 8)

@@ -1,0 +1,87 @@
+"""Technology and system parameters of the hardware models.
+
+Numbers stated by the paper are used verbatim (clock, buffer sizes,
+HBM2 energy/bandwidth, array geometry).  Unit costs the paper does not
+state (SRAM access energy, per-gate area/energy of the 16 nm node) are
+calibrated: one anchor point — the paper's published FP-FP energy
+breakdown and Table III absolute area/power — fixes the free constants,
+and every other result (other architectures, other models, other
+precisions) follows from the model structure.  Calibrated constants are
+marked ``CALIBRATED`` below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Operating clock of every compared system (paper Sec. V-A).
+CLOCK_HZ = 285e6
+
+#: Supply voltage (reported for completeness; folded into unit energies).
+VDD = 0.8
+
+#: HBM2 access energy, paper value (Jouppi et al.).
+DRAM_PJ_PER_BIT = 3.9
+
+#: HBM2 bandwidth, paper value.
+DRAM_BANDWIDTH_BYTES_PER_S = 256e9
+
+#: MXU geometry: 16 x 16 processing units.
+MXU_ROWS = 16
+MXU_COLS = 16
+
+#: Elements per shared-exponent group / per PE dot-product slice.
+GROUP_SIZE = 64
+
+#: On-chip buffer capacities (paper Table III).
+ACT_BUFFER_BYTES = int(1.125 * 2**20)  # 1 MB mantissa + 0.125 MB exponent
+WGT_BUFFER_BYTES = int(1.0 * 2**20)
+
+#: BPC lane count.
+BPC_LANES = 16
+
+#: Vector unit width (64 FP units, Table III).
+VECTOR_UNIT_WIDTH = 64
+
+#: CALIBRATED - SRAM access energy per bit.  Set so the FP-FP system's
+#: compute:SRAM:DRAM energy split on the LLaMA-13B workload lands near
+#: the paper's 42:11:48 (Fig. 17).
+SRAM_PJ_PER_BIT = 0.036
+
+#: CALIBRATED - energy per gate-equivalent switched once (pJ).  Anchors
+#: absolute compute power to Table III's 54.3 mW MXU at 285 MHz.
+ENERGY_PJ_PER_GATE_OP = 0.0016
+
+#: CALIBRATED - silicon area per gate-equivalent (mm^2).  Anchors the
+#: MXU area to Table III's 0.41 mm^2 at 16 nm.
+AREA_MM2_PER_GATE = 9.5e-7
+
+#: CALIBRATED - SRAM macro density (mm^2 per MiB) at 16 nm, anchoring
+#: the activation/weight buffers to Table III.
+SRAM_MM2_PER_MIB = 0.78
+
+#: CALIBRATED - SRAM leakage+clock power per MiB (mW) while active.
+SRAM_MW_PER_MIB = 7.4
+
+
+@dataclass(frozen=True)
+class SystemBudget:
+    """Shared resource parity every compared system gets (Sec. V-A)."""
+
+    clock_hz: float = CLOCK_HZ
+    dram_bandwidth: float = DRAM_BANDWIDTH_BYTES_PER_S
+    act_buffer_bytes: int = ACT_BUFFER_BYTES
+    wgt_buffer_bytes: int = WGT_BUFFER_BYTES
+    mxu_rows: int = MXU_ROWS
+    mxu_cols: int = MXU_COLS
+
+    @property
+    def pe_count(self) -> int:
+        return self.mxu_rows * self.mxu_cols
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        return self.dram_bandwidth / self.clock_hz
+
+
+DEFAULT_BUDGET = SystemBudget()

@@ -1,0 +1,441 @@
+"""End-to-end transformer inference scheduling on the Anda system.
+
+The paper's system-level evaluation (Fig. 16-18) isolates the FP-INT
+GeMMs.  This module extends the simulator to the *whole* transformer
+block — attention score/context matmuls (kept FP-FP, Sec. V-A), the
+vector unit's normalization/softmax/activation work (Fig. 13 ❹), and
+the KV-cache traffic — so the Amdahl-level consequences of Anda are
+visible:
+
+* prefill latency and decode tokens/s per model and architecture,
+* energy per generated token with a compute/SRAM/DRAM split,
+* the end-to-end speedup, which is necessarily smaller than the
+  GeMM-only speedup of Fig. 16 (the FP-FP attention share grows with
+  context length — the same effect that caps Fig. 2's GeMM share).
+
+Timing conventions follow :mod:`repro.hw.simulator` (285 MHz, double-
+buffered DRAM overlap); attention matmuls run on the MXU with FP-FP
+cost, vector work runs on the 64-lane vector unit concurrently with
+nothing (it is serialized between GeMMs, a conservative choice the
+paper also makes by not counting it at all).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.precision import PrecisionCombination, TensorKind
+from repro.errors import HardwareError
+from repro.hw.params import (
+    CLOCK_HZ,
+    DRAM_PJ_PER_BIT,
+    SRAM_PJ_PER_BIT,
+    VECTOR_UNIT_WIDTH,
+    DEFAULT_BUDGET,
+    SystemBudget,
+)
+from repro.hw.pe import get_pe
+from repro.hw.simulator import E_MAC_FPFP_PJ, simulate_gemm
+from repro.hw.workloads import Gemm, prefill_gemms
+from repro.llm.config import ModelConfig, get_config
+
+#: Vector-unit passes per element for each non-linear stage.  A pass is
+#: one read-modify-write of the 64-lane unit; softmax needs max, exp,
+#: sum and scale sweeps, normalization needs moment + scale sweeps.
+VECTOR_PASSES = {
+    "norm": 3.0,
+    "softmax": 4.0,
+    "activation": 1.0,
+    "rope": 2.0,
+    "residual": 1.0,
+}
+
+#: CALIBRATED - vector-unit energy per lane-operation (pJ); an FP16 ALU
+#: op costs roughly a third of the FP-FP MAC anchor.
+E_VECTOR_OP_PJ = 0.06
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Cost of one pipeline stage of a transformer block.
+
+    Attributes:
+        name: stage label (``"gemm:qkv"``, ``"attn:scores"``, ...).
+        unit: ``"mxu"`` or ``"vector"``.
+        cycles: wall-clock cycles (memory overlap already applied).
+        energy_pj: total energy of the stage.
+        dram_bytes: DRAM traffic attributed to the stage.
+    """
+
+    name: str
+    unit: str
+    cycles: float
+    energy_pj: float
+    dram_bytes: float = 0.0
+
+
+@dataclass
+class BlockSchedule:
+    """All stages of one transformer block at one operating point."""
+
+    model_name: str
+    architecture: str
+    sequence_length: int
+    stages: list[StageCost]
+
+    @property
+    def cycles(self) -> float:
+        return sum(stage.cycles for stage in self.stages)
+
+    @property
+    def energy_pj(self) -> float:
+        return sum(stage.energy_pj for stage in self.stages)
+
+    @property
+    def latency_s(self) -> float:
+        return self.cycles / CLOCK_HZ
+
+    def share(self, prefix: str) -> float:
+        """Cycle share of stages whose name starts with ``prefix``."""
+        total = self.cycles
+        if total == 0:
+            return 0.0
+        part = sum(
+            stage.cycles for stage in self.stages if stage.name.startswith(prefix)
+        )
+        return part / total
+
+    def stage(self, name: str) -> StageCost:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise HardwareError(
+            f"no stage {name!r}; have {[stage.name for stage in self.stages]}"
+        )
+
+
+def _vector_stage(name: str, kind: str, elements: float) -> StageCost:
+    """Cost one vector-unit sweep family over ``elements`` values."""
+    passes = VECTOR_PASSES[kind]
+    lane_ops = elements * passes
+    cycles = lane_ops / VECTOR_UNIT_WIDTH
+    return StageCost(
+        name=name,
+        unit="vector",
+        cycles=cycles,
+        energy_pj=lane_ops * E_VECTOR_OP_PJ,
+    )
+
+
+def _attention_stages(
+    config: ModelConfig,
+    query_rows: int,
+    kv_length: int,
+    budget: SystemBudget,
+    kv_bits: float = 16.0,
+) -> list[StageCost]:
+    """FP-FP attention matmuls + softmax for one block.
+
+    Scores (``Q K^T``) and context (``P V``) run per head on the MXU at
+    FP-FP cost.  ``kv_bits`` is the stored width of the cached keys and
+    values — 16 for the paper's FP16 KV cache (Sec. V-A), or an Anda
+    width when the Sec. VI compression synergy is enabled.
+    """
+    fpfp = get_pe("FP-FP")
+    stages: list[StageCost] = []
+    for name, reduction, cols in (
+        ("attn:scores", config.head_dim, kv_length),
+        ("attn:context", kv_length, config.head_dim),
+    ):
+        gemm = Gemm(TensorKind.O, query_rows, reduction, cols, repeats=config.n_heads)
+        metrics = simulate_gemm(gemm, fpfp, None, budget, weight_bits=kv_bits)
+        stages.append(
+            StageCost(
+                name=name,
+                unit="mxu",
+                cycles=metrics.cycles,
+                energy_pj=metrics.energy_pj,
+                dram_bytes=metrics.dram_bytes,
+            )
+        )
+    scores = query_rows * kv_length * config.n_heads
+    stages.append(_vector_stage("attn:softmax", "softmax", scores))
+    if config.family == "llama":
+        stages.append(
+            _vector_stage("attn:rope", "rope", 2 * query_rows * config.d_model)
+        )
+    return stages
+
+
+def schedule_block(
+    model_name: str,
+    architecture: str,
+    combination: PrecisionCombination | None = None,
+    sequence_length: int = 2048,
+    kv_length: int | None = None,
+    budget: SystemBudget = DEFAULT_BUDGET,
+    kv_bits: float = 16.0,
+) -> BlockSchedule:
+    """Schedule one transformer block end to end.
+
+    Args:
+        model_name: paper-scale config name (e.g. ``"llama-13b"``).
+        architecture: PE model for the FP-INT GeMMs.
+        combination: Anda mantissa lengths (required for Anda).
+        sequence_length: query tokens processed this pass (prefill
+            length, or 1 for decode).
+        kv_length: attended context length (defaults to
+            ``sequence_length`` — prefill; set > 1 with
+            ``sequence_length=1`` for decode).
+        kv_bits: stored width of the cached keys/values (16 = the
+            paper's FP16 KV cache; pass an Anda width for the Sec. VI
+            compression synergy).
+    """
+    if sequence_length < 1:
+        raise HardwareError(f"sequence length must be >= 1, got {sequence_length}")
+    if kv_bits <= 0:
+        raise HardwareError(f"kv_bits must be positive, got {kv_bits}")
+    config = get_config(model_name)
+    kv = kv_length if kv_length is not None else sequence_length
+    if kv < sequence_length:
+        raise HardwareError(f"kv_length {kv} shorter than query run {sequence_length}")
+    pe = get_pe(architecture) if isinstance(architecture, str) else architecture
+
+    per_block = [
+        Gemm(gemm.kind, gemm.rows, gemm.reduction, gemm.cols, repeats=1)
+        for gemm in prefill_gemms(config, sequence_length)
+    ]
+    stages: list[StageCost] = []
+    stages.append(
+        _vector_stage("norm:attn", "norm", sequence_length * config.d_model)
+    )
+    for gemm in per_block:
+        if gemm.kind is TensorKind.QKV:
+            metrics = simulate_gemm(gemm, pe, combination, budget)
+            stages.append(
+                StageCost(
+                    "gemm:qkv", "mxu", metrics.cycles, metrics.energy_pj,
+                    metrics.dram_bytes,
+                )
+            )
+            stages.extend(
+                _attention_stages(config, sequence_length, kv, budget, kv_bits)
+            )
+        else:
+            label = f"gemm:{gemm.kind.value}"
+            metrics = simulate_gemm(gemm, pe, combination, budget)
+            stages.append(
+                StageCost(
+                    label, "mxu", metrics.cycles, metrics.energy_pj,
+                    metrics.dram_bytes,
+                )
+            )
+            if gemm.kind is TensorKind.U:
+                stages.append(
+                    _vector_stage(
+                        "ffn:activation", "activation",
+                        sequence_length * config.ffn_dim,
+                    )
+                )
+    stages.append(
+        _vector_stage("norm:ffn", "norm", sequence_length * config.d_model)
+    )
+    stages.append(
+        _vector_stage("residual", "residual", 2 * sequence_length * config.d_model)
+    )
+    return BlockSchedule(
+        model_name=model_name,
+        architecture=pe.name,
+        sequence_length=sequence_length,
+        stages=stages,
+    )
+
+
+@dataclass(frozen=True)
+class InferenceEstimate:
+    """End-to-end serving estimate for one model on one architecture.
+
+    Attributes:
+        model_name / architecture: operating point identity.
+        prefill_latency_s: time to process the prompt.
+        decode_latency_s: time per generated token at full context.
+        prefill_energy_j: energy of the prompt pass.
+        decode_energy_j: energy per generated token.
+    """
+
+    model_name: str
+    architecture: str
+    prefill_tokens: int
+    prefill_latency_s: float
+    decode_latency_s: float
+    prefill_energy_j: float
+    decode_energy_j: float
+
+    @property
+    def decode_tokens_per_s(self) -> float:
+        return 1.0 / self.decode_latency_s
+
+    @property
+    def time_to_first_token_s(self) -> float:
+        return self.prefill_latency_s
+
+
+def estimate_inference(
+    model_name: str,
+    architecture: str,
+    combination: PrecisionCombination | None = None,
+    prefill_tokens: int = 2048,
+    budget: SystemBudget = DEFAULT_BUDGET,
+) -> InferenceEstimate:
+    """Prefill + decode estimate over all layers of one model."""
+    config = get_config(model_name)
+    prefill = schedule_block(
+        model_name, architecture, combination, prefill_tokens, budget=budget
+    )
+    decode = schedule_block(
+        model_name,
+        architecture,
+        combination,
+        sequence_length=1,
+        kv_length=prefill_tokens,
+        budget=budget,
+    )
+    layers = config.n_layers
+    joule = 1e-12
+    return InferenceEstimate(
+        model_name=model_name,
+        architecture=prefill.architecture,
+        prefill_tokens=prefill_tokens,
+        prefill_latency_s=layers * prefill.latency_s,
+        decode_latency_s=layers * decode.latency_s,
+        prefill_energy_j=layers * prefill.energy_pj * joule,
+        decode_energy_j=layers * decode.energy_pj * joule,
+    )
+
+
+@dataclass(frozen=True)
+class EndToEndComparison:
+    """Anda versus a baseline on the full block (Amdahl view)."""
+
+    model_name: str
+    baseline: str
+    gemm_speedup: float
+    end_to_end_speedup: float
+    end_to_end_energy_ratio: float
+
+    @property
+    def amdahl_gap(self) -> float:
+        """How much of the GeMM-only speedup the full block keeps."""
+        return self.end_to_end_speedup / self.gemm_speedup
+
+
+def compare_end_to_end(
+    model_name: str,
+    combination: PrecisionCombination,
+    baseline: str = "FP-FP",
+    sequence_length: int = 2048,
+    budget: SystemBudget = DEFAULT_BUDGET,
+) -> EndToEndComparison:
+    """Quantify the Amdahl effect of the non-GeMM stages (extension)."""
+    base = schedule_block(
+        model_name, baseline, None, sequence_length, budget=budget
+    )
+    anda = schedule_block(
+        model_name, "Anda", combination, sequence_length, budget=budget
+    )
+
+    def gemm_cycles(schedule: BlockSchedule) -> float:
+        return sum(
+            stage.cycles
+            for stage in schedule.stages
+            if stage.name.startswith("gemm:")
+        )
+
+    return EndToEndComparison(
+        model_name=model_name,
+        baseline=baseline,
+        gemm_speedup=gemm_cycles(base) / gemm_cycles(anda),
+        end_to_end_speedup=base.cycles / anda.cycles,
+        end_to_end_energy_ratio=base.energy_pj / anda.energy_pj,
+    )
+
+
+def kv_cache_bytes(config: ModelConfig, context_length: int, bits: float = 16.0) -> float:
+    """KV-cache footprint at a context length (2 tensors x layers x d)."""
+    if context_length < 0:
+        raise HardwareError(f"context length must be >= 0, got {context_length}")
+    return 2 * config.n_layers * config.d_model * context_length * bits / 8
+
+
+@dataclass(frozen=True)
+class KvDecodeComparison:
+    """Decode-step cost with FP16 versus Anda-compressed KV cache.
+
+    The Sec. VI synergy, quantified at the pipeline level: compressing
+    cached keys/values shrinks the attention matmuls' streamed operand,
+    which is what dominates a long-context decode step.
+    """
+
+    model_name: str
+    context_length: int
+    kv_mantissa: int
+    fp16_cycles: float
+    compressed_cycles: float
+    fp16_energy_pj: float
+    compressed_energy_pj: float
+    cache_bytes_fp16: float
+    cache_bytes_compressed: float
+
+    @property
+    def decode_speedup(self) -> float:
+        return self.fp16_cycles / self.compressed_cycles
+
+    @property
+    def decode_energy_ratio(self) -> float:
+        return self.fp16_energy_pj / self.compressed_energy_pj
+
+    @property
+    def cache_compression(self) -> float:
+        return self.cache_bytes_fp16 / self.cache_bytes_compressed
+
+
+def compare_kv_compression(
+    model_name: str,
+    combination: PrecisionCombination,
+    context_length: int = 2048,
+    kv_mantissa: int = 8,
+    budget: SystemBudget = DEFAULT_BUDGET,
+) -> KvDecodeComparison:
+    """Cost one decode step with FP16 vs Anda-format KV cache.
+
+    ``kv_mantissa`` selects the Anda width of the cached tensors; the
+    accuracy cost of that choice is measured separately by
+    :mod:`repro.llm.kv_quant` (the two sides of the same trade-off).
+    """
+    if not 1 <= kv_mantissa <= 16:
+        raise HardwareError(
+            f"kv_mantissa must be in [1, 16], got {kv_mantissa}"
+        )
+    config = get_config(model_name)
+    anda_bits = 1.0 + kv_mantissa + 8.0 / 64
+    fp16 = schedule_block(
+        model_name, "Anda", combination, 1, kv_length=context_length,
+        budget=budget, kv_bits=16.0,
+    )
+    compressed = schedule_block(
+        model_name, "Anda", combination, 1, kv_length=context_length,
+        budget=budget, kv_bits=anda_bits,
+    )
+    layers = config.n_layers
+    return KvDecodeComparison(
+        model_name=model_name,
+        context_length=context_length,
+        kv_mantissa=kv_mantissa,
+        fp16_cycles=layers * fp16.cycles,
+        compressed_cycles=layers * compressed.cycles,
+        fp16_energy_pj=layers * fp16.energy_pj,
+        compressed_energy_pj=layers * compressed.energy_pj,
+        cache_bytes_fp16=kv_cache_bytes(config, context_length, 16.0),
+        cache_bytes_compressed=kv_cache_bytes(config, context_length, anda_bits),
+    )

@@ -1,0 +1,145 @@
+"""Instruction-stream generation for the Anda top controller (Fig. 13).
+
+The paper's system is programmed through an instruction memory that
+drives the address generator, the MXU and the BPC (steps ❶-❼ of the
+architecture walkthrough).  This module compiles one FP-INT GeMM into
+that instruction stream:
+
+========== =====================================================
+opcode      meaning
+========== =====================================================
+LOAD_WGT    fetch a 16-column weight tile slice into the dispatcher
+            (double-buffered; overlaps compute)
+LOAD_ACT    stream one activation group's sign + plane words
+COMPUTE     reduce the resident group against the weight tile
+DRAIN       rescale and hand the 16x16 tile outputs to the BPC
+COMPRESS    run the BPC over an output tile (Anda write-back)
+STORE       write compressed outputs back to the activation buffer
+========== =====================================================
+
+The compiled program's cycle estimate is validated against the tile
+simulator's independent count, and the per-opcode tallies feed no other
+model — they exist so the control path is a testable artifact instead
+of prose.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.precision import PrecisionCombination
+from repro.errors import HardwareError
+from repro.hw.params import DEFAULT_BUDGET, GROUP_SIZE, SystemBudget
+from repro.hw.pe import PEModel, get_pe
+from repro.hw.workloads import Gemm
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One controller instruction.
+
+    Attributes:
+        opcode: one of the table above.
+        tile: (row_tile, col_tile) the instruction belongs to.
+        operand: opcode-specific index (group index, plane count, ...).
+        cycles: issue-to-complete latency charged by the cycle model.
+    """
+
+    opcode: str
+    tile: tuple[int, int]
+    operand: int
+    cycles: int
+
+
+@dataclass(frozen=True)
+class GemmProgram:
+    """A compiled GeMM kernel plus its static cycle estimate."""
+
+    gemm: Gemm
+    architecture: str
+    instructions: tuple[Instruction, ...]
+
+    def opcode_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for instruction in self.instructions:
+            counts[instruction.opcode] = counts.get(instruction.opcode, 0) + 1
+        return counts
+
+    def compute_cycles(self) -> int:
+        """Cycles on the MXU critical path (LOAD_WGT/LOAD_ACT overlap
+        compute via double buffering; DRAIN is the tile epilogue)."""
+        return sum(
+            instruction.cycles
+            for instruction in self.instructions
+            if instruction.opcode in ("COMPUTE", "DRAIN")
+        )
+
+
+def compile_gemm(
+    gemm: Gemm,
+    architecture: str | PEModel,
+    combination: PrecisionCombination | None = None,
+    budget: SystemBudget = DEFAULT_BUDGET,
+) -> GemmProgram:
+    """Compile one GeMM instance into a controller instruction stream.
+
+    ``repeats`` is intentionally ignored — a program describes one
+    layer instance; the runtime loops it.
+    """
+    pe = architecture if isinstance(architecture, PEModel) else get_pe(architecture)
+    mantissa = None
+    if pe.runtime_variable:
+        if combination is None:
+            raise HardwareError(f"{pe.name} programs need a precision combination")
+        mantissa = combination[gemm.kind]
+
+    row_tiles = math.ceil(gemm.rows / budget.mxu_rows)
+    col_tiles = math.ceil(gemm.cols / budget.mxu_cols)
+    groups = math.ceil(gemm.reduction / GROUP_SIZE)
+    group_cycles = pe.cycles_per_group(mantissa)
+
+    def emit() -> Iterator[Instruction]:
+        for row in range(row_tiles):
+            for col in range(col_tiles):
+                tile = (row, col)
+                for group in range(groups):
+                    yield Instruction("LOAD_WGT", tile, group, 4)
+                    yield Instruction(
+                        "LOAD_ACT", tile, group,
+                        1 + (mantissa if mantissa is not None else 16),
+                    )
+                    yield Instruction("COMPUTE", tile, group, group_cycles)
+                yield Instruction("DRAIN", tile, groups, 1)
+                if pe.act_storage == "anda":
+                    yield Instruction(
+                        "COMPRESS", tile, mantissa or 0,
+                        mantissa if mantissa is not None else 16,
+                    )
+                yield Instruction("STORE", tile, 0, 1)
+
+    return GemmProgram(
+        gemm=gemm, architecture=pe.name, instructions=tuple(emit())
+    )
+
+
+def validate_against_simulator(program: GemmProgram, combination=None) -> bool:
+    """Check the program's compute-cycle estimate against the tile
+    simulator's independent model (within the per-tile epilogue)."""
+    from repro.hw.simulator import simulate_gemm
+
+    single = Gemm(
+        program.gemm.kind,
+        program.gemm.rows,
+        program.gemm.reduction,
+        program.gemm.cols,
+        repeats=1,
+    )
+    pe = get_pe(program.architecture)
+    simulated = simulate_gemm(single, pe, combination).compute_cycles
+    compiled = program.compute_cycles()
+    row_tiles = math.ceil(single.rows / DEFAULT_BUDGET.mxu_rows)
+    col_tiles = math.ceil(single.cols / DEFAULT_BUDGET.mxu_cols)
+    epilogue_slack = row_tiles * col_tiles  # one DRAIN cycle per tile
+    return abs(compiled - simulated) <= epilogue_slack

@@ -1,0 +1,191 @@
+"""Roofline analysis: where FP-INT GeMMs are memory- vs compute-bound.
+
+Complements the cycle simulator with the classic operational-intensity
+view: a GeMM is memory-bound when its MACs-per-DRAM-byte falls below
+the machine balance (peak MACs/cycle over DRAM bytes/cycle).  Two
+regimes matter for LLM inference:
+
+* **prefill** (long sequence, weight reuse across tokens) — deeply
+  compute-bound, which is why Anda's cycle savings translate directly
+  to speedup there (the paper's Sec. V-D setting);
+* **decode** (one token at a time, no weight reuse) — operational
+  intensity collapses to ~2 MACs per byte.  On the paper's edge-scale
+  budget (256 PEs against 256 GB/s HBM2, machine balance ~1.1 MACs/B)
+  decode *still* sits on the compute side — the array is small relative
+  to its memory system, and GeMV underutilizes 15 of 16 PE rows, so
+  Anda's shorter mantissas keep paying off.  Scale the array up to
+  GPU-like proportions (see :class:`~repro.hw.params.SystemBudget`)
+  and the same analysis flips decode firmly memory-bound, where only
+  Anda's *compression* survives.
+
+These helpers quantify both regimes and locate the crossover length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.precision import PrecisionCombination
+from repro.errors import HardwareError
+from repro.hw.params import DEFAULT_BUDGET, SystemBudget
+from repro.hw.pe import PEModel, get_pe
+from repro.hw.simulator import simulate_gemm
+from repro.hw.workloads import Gemm, prefill_gemms
+from repro.llm.config import get_config
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Roofline coordinates of one GeMM on one architecture.
+
+    Attributes:
+        intensity: MACs per DRAM byte moved.
+        peak_macs_per_cycle: the array's flat roofline ceiling.
+        dram_bytes_per_cycle: the bandwidth roof's slope.
+        compute_cycles / memory_cycles: the simulator's two cost axes.
+    """
+
+    gemm: Gemm
+    architecture: str
+    intensity: float
+    peak_macs_per_cycle: float
+    dram_bytes_per_cycle: float
+    compute_cycles: float
+    memory_cycles: float
+
+    @property
+    def machine_balance(self) -> float:
+        """MACs per DRAM byte at which the two roofs intersect."""
+        return self.peak_macs_per_cycle / self.dram_bytes_per_cycle
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.memory_cycles > self.compute_cycles
+
+    @property
+    def utilization(self) -> float:
+        """Achieved fraction of peak MAC throughput.
+
+        Counts both stall losses (memory-bound phases) and spatial
+        underutilization (a GeMV filling one row of the output tile).
+        """
+        cycles = max(self.compute_cycles, self.memory_cycles)
+        return self.gemm.macs / (cycles * self.peak_macs_per_cycle)
+
+
+def roofline_point(
+    gemm: Gemm,
+    architecture: str | PEModel,
+    combination: PrecisionCombination | None = None,
+    budget: SystemBudget = DEFAULT_BUDGET,
+) -> RooflinePoint:
+    """Place one GeMM on the roofline of one architecture."""
+    pe = architecture if isinstance(architecture, PEModel) else get_pe(architecture)
+    metrics = simulate_gemm(gemm, pe, combination, budget)
+    if metrics.dram_bytes <= 0:
+        raise HardwareError("GeMM moved no DRAM bytes; roofline undefined")
+    intensity = gemm.macs / metrics.dram_bytes
+
+    mantissa = combination[gemm.kind] if pe.runtime_variable else None
+    macs_per_cycle = budget.pe_count * 64 / pe.cycles_per_group(mantissa)
+    return RooflinePoint(
+        gemm=gemm,
+        architecture=pe.name,
+        intensity=intensity,
+        peak_macs_per_cycle=macs_per_cycle,
+        dram_bytes_per_cycle=budget.dram_bytes_per_cycle,
+        compute_cycles=metrics.compute_cycles,
+        memory_cycles=metrics.memory_cycles,
+    )
+
+
+def model_roofline(
+    model_name: str,
+    architecture: str | PEModel,
+    combination: PrecisionCombination | None = None,
+    sequence_length: int = 2048,
+    budget: SystemBudget = DEFAULT_BUDGET,
+) -> list[RooflinePoint]:
+    """Roofline points for every FP-INT GeMM of one model prefill."""
+    config = get_config(model_name)
+    return [
+        roofline_point(gemm, architecture, combination, budget)
+        for gemm in prefill_gemms(config, sequence_length)
+    ]
+
+
+def decode_step_point(
+    model_name: str,
+    architecture: str | PEModel,
+    combination: PrecisionCombination | None = None,
+    budget: SystemBudget = DEFAULT_BUDGET,
+) -> list[RooflinePoint]:
+    """Roofline of a single-token decode step (batch-1 GeMV regime)."""
+    return model_roofline(
+        model_name, architecture, combination, sequence_length=1, budget=budget
+    )
+
+
+def crossover_sequence_length(
+    model_name: str,
+    architecture: str | PEModel,
+    combination: PrecisionCombination | None = None,
+    budget: SystemBudget = DEFAULT_BUDGET,
+    max_length: int = 4096,
+) -> int:
+    """Shortest prefill length at which the model is compute-bound.
+
+    Binary-searches the sequence length where total compute cycles
+    first exceed total memory cycles; returns ``max_length`` when the
+    workload stays memory-bound throughout.
+    """
+    config = get_config(model_name)
+    pe = architecture if isinstance(architecture, PEModel) else get_pe(architecture)
+
+    def compute_bound(seq: int) -> bool:
+        compute = memory = 0.0
+        for gemm in prefill_gemms(config, seq):
+            metrics = simulate_gemm(gemm, pe, combination, budget)
+            compute += metrics.compute_cycles
+            memory += metrics.memory_cycles
+        return compute >= memory
+
+    low, high = 1, max_length
+    if not compute_bound(high):
+        return max_length
+    while low < high:
+        mid = (low + high) // 2
+        if compute_bound(mid):
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+def decode_vs_prefill_summary(
+    model_name: str,
+    combination: PrecisionCombination,
+    budget: SystemBudget = DEFAULT_BUDGET,
+) -> dict[str, float]:
+    """Headline decode/prefill contrast for Anda vs FP-FP.
+
+    Returns speedups and DRAM reductions in both regimes; the honest
+    expectation (and the reason the paper evaluates prefill) is a
+    decode speedup near 1 with the DRAM saving intact.
+    """
+    out: dict[str, float] = {}
+    for regime, seq in (("prefill", 2048), ("decode", 1)):
+        fpfp_c = fpfp_m = anda_c = anda_m = 0.0
+        fpfp_d = anda_d = 0.0
+        for gemm in prefill_gemms(get_config(model_name), seq):
+            f = simulate_gemm(gemm, get_pe("FP-FP"), None, budget)
+            a = simulate_gemm(gemm, get_pe("Anda"), combination, budget)
+            fpfp_c += f.compute_cycles
+            fpfp_m += f.memory_cycles
+            anda_c += a.compute_cycles
+            anda_m += a.memory_cycles
+            fpfp_d += f.dram_bytes
+            anda_d += a.dram_bytes
+        out[f"{regime}_speedup"] = max(fpfp_c, fpfp_m) / max(anda_c, anda_m)
+        out[f"{regime}_dram_reduction"] = fpfp_d / anda_d
+    return out

@@ -1,0 +1,217 @@
+"""Tile-level cycle and energy simulator for FP-INT GeMM accelerators.
+
+Models one accelerator (Anda or a baseline) executing the FP-INT GeMMs
+of an LLM forward pass on the common system budget of Sec. V-A: a 16x16
+PE array at 285 MHz, 1.125 MB activation + 1 MB weight buffers, HBM2 at
+256 GB/s and 3.9 pJ/bit.
+
+Timing
+------
+The MXU runs output-stationary: each tile pins a 16x16 patch of outputs
+while the reduction dimension streams through in 64-element shared-
+exponent groups.  A group costs ``cycles_per_group`` of the PE model
+(16 at the common datapath width; ``M+1`` for the bit-serial Anda APU —
+this is where variable-length mantissas buy latency).  DRAM transfers
+overlap compute via double buffering, so a GeMM costs
+``max(compute_cycles, dram_cycles)``.
+
+Data movement
+-------------
+DRAM traffic follows the better of two residency strategies per GeMM
+(weights resident / activations resident), with the non-resident tensor
+re-streamed once per buffer-sized chunk.  SRAM traffic counts the
+array's actual access pattern: activations re-read per 16-column tile
+strip, weights re-read per 16-row strip, plus fills and output
+write-backs.  Activation volumes use each architecture's storage format
+(FP16, or bit-plane Anda at ``1 + M + 8/64`` bits per element), which is
+where variable-length mantissas buy memory energy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.precision import PrecisionCombination
+from repro.errors import HardwareError
+from repro.hw.params import (
+    DRAM_PJ_PER_BIT,
+    GROUP_SIZE,
+    SRAM_PJ_PER_BIT,
+    SystemBudget,
+    DEFAULT_BUDGET,
+)
+from repro.hw.pe import PEModel, get_pe
+from repro.hw.workloads import Gemm, max_context_length, prefill_gemms
+from repro.llm.config import get_config
+
+#: CALIBRATED - FP-FP MAC energy (pJ).  Anchored so the FP-FP system's
+#: compute share of total energy on the LLaMA-13B workload matches the
+#: paper's Fig. 17 breakdown; all other architectures scale by their
+#: published PE power ratios.
+E_MAC_FPFP_PJ = 0.18
+
+
+@dataclass(frozen=True)
+class GemmMetrics:
+    """Cost of one GeMM (all repeats included) on one architecture."""
+
+    compute_cycles: float
+    dram_bytes: float
+    sram_bits: float
+    compute_energy_pj: float
+    sram_energy_pj: float
+    dram_energy_pj: float
+    memory_cycles: float
+
+    @property
+    def cycles(self) -> float:
+        """Wall-clock cycles with compute/DRAM double-buffer overlap."""
+        return max(self.compute_cycles, self.memory_cycles)
+
+    @property
+    def energy_pj(self) -> float:
+        return self.compute_energy_pj + self.sram_energy_pj + self.dram_energy_pj
+
+
+@dataclass(frozen=True)
+class SystemRun:
+    """Aggregate of one model forward pass on one architecture."""
+
+    architecture: str
+    model_name: str
+    cycles: float
+    compute_energy_pj: float
+    sram_energy_pj: float
+    dram_energy_pj: float
+    dram_bytes: float
+
+    @property
+    def energy_pj(self) -> float:
+        return self.compute_energy_pj + self.sram_energy_pj + self.dram_energy_pj
+
+    def energy_shares(self) -> dict[str, float]:
+        """Fractional compute/SRAM/DRAM split (the Fig. 17 bars)."""
+        total = self.energy_pj
+        return {
+            "compute": self.compute_energy_pj / total,
+            "sram": self.sram_energy_pj / total,
+            "dram": self.dram_energy_pj / total,
+        }
+
+
+def _mantissa_for(
+    pe: PEModel, gemm: Gemm, combination: PrecisionCombination | None
+) -> int | None:
+    if not pe.runtime_variable:
+        return None
+    if combination is None:
+        raise HardwareError(f"{pe.name} needs a precision combination")
+    return combination[gemm.kind]
+
+
+def simulate_gemm(
+    gemm: Gemm,
+    pe: PEModel,
+    combination: PrecisionCombination | None = None,
+    budget: SystemBudget = DEFAULT_BUDGET,
+    weight_bits: float = 4.0,
+) -> GemmMetrics:
+    """Cycle/energy cost of one GeMM on one architecture.
+
+    ``weight_bits`` is the stored width of the stationary operand —
+    INT4 for the paper's FP-INT GeMMs (default); the pipeline model
+    passes 16 (FP16 K/V) or an Anda width for attention matmuls.
+    """
+    mantissa = _mantissa_for(pe, gemm, combination)
+    act_bits = pe.act_bits_per_element(mantissa)
+
+    row_tiles = math.ceil(gemm.rows / budget.mxu_rows)
+    col_tiles = math.ceil(gemm.cols / budget.mxu_cols)
+    groups = math.ceil(gemm.reduction / GROUP_SIZE)
+    cycles_per_group = pe.cycles_per_group(mantissa)
+    compute_cycles = row_tiles * col_tiles * groups * cycles_per_group * gemm.repeats
+
+    # One instance's tensor footprints.
+    weight_bytes = gemm.reduction * gemm.cols * weight_bits / 8
+    act_in_bytes = gemm.rows * gemm.reduction * act_bits / 8
+    act_out_bytes = gemm.rows * gemm.cols * act_bits / 8
+
+    # DRAM: better of weights-resident vs activations-resident chunking.
+    weights_resident = (
+        weight_bytes
+        + math.ceil(weight_bytes / budget.wgt_buffer_bytes) * act_in_bytes
+        + act_out_bytes
+    )
+    acts_resident = (
+        act_in_bytes
+        + math.ceil(act_in_bytes / budget.act_buffer_bytes) * weight_bytes
+        + act_out_bytes
+    )
+    dram_bytes = min(weights_resident, acts_resident) * gemm.repeats
+    memory_cycles = dram_bytes / budget.dram_bytes_per_cycle
+
+    # SRAM: strip-level re-reads plus fills and output write-back.
+    act_reads = gemm.rows * gemm.reduction * act_bits * col_tiles
+    wgt_reads = gemm.reduction * gemm.cols * weight_bits * row_tiles
+    fills = dram_bytes / gemm.repeats * 8
+    out_writes = gemm.rows * gemm.cols * act_bits
+    sram_bits = (act_reads + wgt_reads + fills + out_writes) * gemm.repeats
+
+    group_energy_pj = (
+        GROUP_SIZE * E_MAC_FPFP_PJ * pe.group_energy_rel(mantissa)
+    )
+    pe_count = budget.pe_count
+    compute_energy = (
+        row_tiles * col_tiles * pe_count * groups * group_energy_pj * gemm.repeats
+    )
+
+    return GemmMetrics(
+        compute_cycles=compute_cycles,
+        dram_bytes=dram_bytes,
+        sram_bits=sram_bits,
+        compute_energy_pj=compute_energy,
+        sram_energy_pj=sram_bits * SRAM_PJ_PER_BIT,
+        dram_energy_pj=dram_bytes * 8 * DRAM_PJ_PER_BIT,
+        memory_cycles=memory_cycles,
+    )
+
+
+def simulate_model(
+    model_name: str,
+    architecture: str | PEModel,
+    combination: PrecisionCombination | None = None,
+    sequence_length: int | None = None,
+    budget: SystemBudget = DEFAULT_BUDGET,
+) -> SystemRun:
+    """Run all FP-INT GeMMs of one model's prefill on one architecture.
+
+    Args:
+        model_name: paper-scale model (e.g. ``"llama-13b"``).
+        architecture: PE model name (``"FP-FP"`` .. ``"Anda"``) or a
+            custom :class:`~repro.hw.pe.PEModel` (ablations).
+        combination: Anda mantissa lengths (required for Anda).
+        sequence_length: prefill length (defaults to the paper's
+            maximum acceptable context).
+    """
+    config = get_config(model_name)
+    pe = architecture if isinstance(architecture, PEModel) else get_pe(architecture)
+    seq = sequence_length or max_context_length(config)
+    cycles = 0.0
+    compute = sram = dram_e = dram_b = 0.0
+    for gemm in prefill_gemms(config, seq):
+        metrics = simulate_gemm(gemm, pe, combination, budget)
+        cycles += metrics.cycles
+        compute += metrics.compute_energy_pj
+        sram += metrics.sram_energy_pj
+        dram_e += metrics.dram_energy_pj
+        dram_b += metrics.dram_bytes
+    return SystemRun(
+        architecture=pe.name,
+        model_name=model_name,
+        cycles=cycles,
+        compute_energy_pj=compute,
+        sram_energy_pj=sram,
+        dram_energy_pj=dram_e,
+        dram_bytes=dram_b,
+    )

@@ -1,0 +1,115 @@
+"""Architecture parameter sweeps (the "diverse system performance" axis).
+
+The paper claims Anda "demonstrates strong adaptability across various
+application scenarios, accuracy requirements, and system performance".
+The accuracy axes are covered by Fig. 14/18; this module covers the
+*system* axis: how the Anda advantage over FP-FP shifts as the platform
+changes — on-chip buffer capacity, DRAM bandwidth, and MXU array size.
+
+Each sweep returns per-point :class:`~repro.hw.simulator.SystemRun`
+aggregates for both architectures so callers can assert monotonicity
+properties and plot trade-off curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.precision import PrecisionCombination
+from repro.errors import HardwareError
+from repro.hw.params import DEFAULT_BUDGET, SystemBudget
+from repro.hw.simulator import SystemRun, simulate_model
+
+#: Default sweep grids.
+BUFFER_GRID: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0)  # x default
+BANDWIDTH_GRID: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0)
+ARRAY_GRID: tuple[int, ...] = (8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the varied value plus both systems' runs."""
+
+    value: float
+    fpfp: SystemRun
+    anda: SystemRun
+
+    @property
+    def speedup(self) -> float:
+        return self.fpfp.cycles / self.anda.cycles
+
+    @property
+    def energy_efficiency(self) -> float:
+        return self.fpfp.energy_pj / self.anda.energy_pj
+
+
+def _sweep(
+    model_name: str,
+    combination: PrecisionCombination,
+    budgets: list[tuple[float, SystemBudget]],
+) -> list[SweepPoint]:
+    points = []
+    for value, budget in budgets:
+        points.append(
+            SweepPoint(
+                value=value,
+                fpfp=simulate_model(model_name, "FP-FP", budget=budget),
+                anda=simulate_model(model_name, "Anda", combination, budget=budget),
+            )
+        )
+    return points
+
+
+def buffer_size_sweep(
+    model_name: str,
+    combination: PrecisionCombination,
+    scales: tuple[float, ...] = BUFFER_GRID,
+    base: SystemBudget = DEFAULT_BUDGET,
+) -> list[SweepPoint]:
+    """Scale both on-chip buffers; bigger buffers cut DRAM re-streams."""
+    if any(s <= 0 for s in scales):
+        raise HardwareError("buffer scales must be positive")
+    budgets = [
+        (
+            scale,
+            replace(
+                base,
+                act_buffer_bytes=int(base.act_buffer_bytes * scale),
+                wgt_buffer_bytes=int(base.wgt_buffer_bytes * scale),
+            ),
+        )
+        for scale in scales
+    ]
+    return _sweep(model_name, combination, budgets)
+
+
+def bandwidth_sweep(
+    model_name: str,
+    combination: PrecisionCombination,
+    scales: tuple[float, ...] = BANDWIDTH_GRID,
+    base: SystemBudget = DEFAULT_BUDGET,
+) -> list[SweepPoint]:
+    """Scale the DRAM channel; starved channels flip GeMMs memory-bound."""
+    if any(s <= 0 for s in scales):
+        raise HardwareError("bandwidth scales must be positive")
+    budgets = [
+        (scale, replace(base, dram_bandwidth=base.dram_bandwidth * scale))
+        for scale in scales
+    ]
+    return _sweep(model_name, combination, budgets)
+
+
+def array_size_sweep(
+    model_name: str,
+    combination: PrecisionCombination,
+    dims: tuple[int, ...] = ARRAY_GRID,
+    base: SystemBudget = DEFAULT_BUDGET,
+) -> list[SweepPoint]:
+    """Scale the square MXU; compute-bound speedups persist until the
+    array outgrows the memory system."""
+    if any(d < 1 for d in dims):
+        raise HardwareError("array dimensions must be >= 1")
+    budgets = [
+        (float(dim), replace(base, mxu_rows=dim, mxu_cols=dim)) for dim in dims
+    ]
+    return _sweep(model_name, combination, budgets)

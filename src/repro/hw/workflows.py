@@ -1,0 +1,149 @@
+"""Quantifying Fig. 8: the four FP-INT GeMM computation workflows.
+
+Fig. 8 of the paper is a schematic comparing how W4A16 GeMMs execute
+(a) on current GPUs, (b) on GPUs with FP-INT units, (c) under FIGNA's
+dynamic conversion, and (d) under the Anda scheme, with qualitative
+annotations — "(-) repetitive conversion", "(+) reduced access cost".
+This module turns each annotation into a counted quantity for one GeMM:
+
+* format conversions performed (weight dequants, activation FP->BFP
+  conversions, output requants) and the bits they touch,
+* activation bits resident in memory and moved per GeMM,
+* the arithmetic class of the inner loop (FP FMA / FP-INT / INT).
+
+Counts follow the workflows as drawn: FIGNA re-converts activations on
+every access (once per column tile, the re-streaming granularity of the
+output-stationary array), while Anda converts each produced tensor
+exactly once, at the BPC on write-back.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hw.params import DEFAULT_BUDGET, SystemBudget
+from repro.hw.workloads import Gemm
+
+#: The four workflows of Fig. 8, in subfigure order.
+WORKFLOWS = ("GPU", "FP-INT GPU", "FIGNA", "Anda")
+
+
+@dataclass(frozen=True)
+class WorkflowCost:
+    """Counted cost of one GeMM under one Fig. 8 workflow.
+
+    Attributes:
+        workflow: one of :data:`WORKFLOWS`.
+        compute_class: inner-loop arithmetic ("fp16-fma", "fp-int",
+            "int-parallel", "int-bit-serial").
+        weight_dequants: INT4->FP16 weight expansions performed.
+        act_conversions: FP16->BFP activation element conversions.
+        output_requants: output element format conversions (FP32 to the
+            storage format).
+        act_memory_bits: activation bits resident in memory (input +
+            output tensors of this GeMM).
+        act_traffic_bits: activation bits streamed to the array,
+            re-reads included.
+    """
+
+    workflow: str
+    compute_class: str
+    weight_dequants: float
+    act_conversions: float
+    output_requants: float
+    act_memory_bits: float
+    act_traffic_bits: float
+
+    @property
+    def total_conversions(self) -> float:
+        return self.weight_dequants + self.act_conversions + self.output_requants
+
+
+def workflow_cost(
+    gemm: Gemm,
+    workflow: str,
+    mantissa_bits: int = 8,
+    budget: SystemBudget = DEFAULT_BUDGET,
+) -> WorkflowCost:
+    """Count the Fig. 8 quantities for one GeMM under one workflow.
+
+    ``mantissa_bits`` parameterizes the Anda storage width (ignored by
+    the FP16-resident workflows).
+    """
+    if workflow not in WORKFLOWS:
+        raise HardwareError(
+            f"unknown workflow {workflow!r}; known: {', '.join(WORKFLOWS)}"
+        )
+    if not 1 <= mantissa_bits <= 16:
+        raise HardwareError(
+            f"mantissa bits must be in [1, 16], got {mantissa_bits}"
+        )
+    col_tiles = math.ceil(gemm.cols / budget.mxu_cols)
+    acts_in = gemm.rows * gemm.reduction * gemm.repeats
+    acts_out = gemm.rows * gemm.cols * gemm.repeats
+    weights = gemm.reduction * gemm.cols * gemm.repeats
+    anda_bits = 1.0 + mantissa_bits + 8.0 / 64
+
+    if workflow == "GPU":
+        # Fig. 8(a): INT4 weights dequantized to FP16 before every use;
+        # tensor cores run FP16 FMA; outputs truncate FP32->FP16.
+        return WorkflowCost(
+            workflow=workflow,
+            compute_class="fp16-fma",
+            weight_dequants=float(weights),
+            act_conversions=0.0,
+            output_requants=float(acts_out),
+            act_memory_bits=16.0 * (acts_in + acts_out),
+            act_traffic_bits=16.0 * (acts_in * col_tiles + acts_out),
+        )
+    if workflow == "FP-INT GPU":
+        # Fig. 8(b): dedicated FP16xINT4 units remove the weight
+        # dequant; alignment/normalization stays inside every MAC.
+        return WorkflowCost(
+            workflow=workflow,
+            compute_class="fp-int",
+            weight_dequants=0.0,
+            act_conversions=0.0,
+            output_requants=float(acts_out),
+            act_memory_bits=16.0 * (acts_in + acts_out),
+            act_traffic_bits=16.0 * (acts_in * col_tiles + acts_out),
+        )
+    if workflow == "FIGNA":
+        # Fig. 8(c): FP16-resident activations converted to the BFP
+        # compute format on *every* access — once per column-tile
+        # re-stream — then INT compute and FP32->FP16 write-back.
+        return WorkflowCost(
+            workflow=workflow,
+            compute_class="int-parallel",
+            weight_dequants=0.0,
+            act_conversions=float(acts_in * col_tiles),
+            output_requants=float(acts_out),
+            act_memory_bits=16.0 * (acts_in + acts_out),
+            act_traffic_bits=16.0 * (acts_in * col_tiles + acts_out),
+        )
+    # Fig. 8(d): Anda-resident activations — zero conversions on the
+    # read path; each produced element is compressed exactly once by
+    # the BPC on write-back.
+    return WorkflowCost(
+        workflow=workflow,
+        compute_class="int-bit-serial",
+        weight_dequants=0.0,
+        act_conversions=0.0,
+        output_requants=float(acts_out),
+        act_memory_bits=anda_bits * (acts_in + acts_out),
+        act_traffic_bits=anda_bits * (acts_in * col_tiles + acts_out),
+    )
+
+
+def compare_workflows(
+    gemm: Gemm,
+    mantissa_bits: int = 8,
+    budget: SystemBudget = DEFAULT_BUDGET,
+) -> dict[str, WorkflowCost]:
+    """All four Fig. 8 workflows on one GeMM."""
+    return {
+        workflow: workflow_cost(gemm, workflow, mantissa_bits, budget)
+        for workflow in WORKFLOWS
+    }

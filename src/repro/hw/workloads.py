@@ -1,0 +1,146 @@
+"""FP-INT GeMM workload extraction from paper-scale model shapes.
+
+The hardware experiments operate on the *real* dimensions of the
+benchmark LLMs (``repro.llm.config.PAPER_CONFIGS``): operation counts,
+tile counts and data-movement volumes need shapes only, so no
+functional execution of billion-parameter models is required.
+
+Also provides the operation-share analysis behind Fig. 2 (FP-INT GeMM
+proportion of total inference operations across context lengths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.precision import TensorKind
+from repro.errors import HardwareError
+from repro.llm.config import ModelConfig, get_config
+
+
+@dataclass(frozen=True)
+class Gemm:
+    """One FP-INT GeMM: (rows x reduction) activations times weights.
+
+    Attributes:
+        kind: which activation tensor type feeds this GeMM.
+        rows: token count (sequence length in prefill).
+        reduction: dot-product length K.
+        cols: output features N.
+        repeats: identical instances per forward pass (layer count,
+            folded multiplicity of fused projections).
+    """
+
+    kind: TensorKind
+    rows: int
+    reduction: int
+    cols: int
+    repeats: int = 1
+
+    @property
+    def macs(self) -> int:
+        return self.rows * self.reduction * self.cols * self.repeats
+
+    @property
+    def weight_count(self) -> int:
+        return self.reduction * self.cols * self.repeats
+
+    @property
+    def act_in_count(self) -> int:
+        return self.rows * self.reduction * self.repeats
+
+    @property
+    def act_out_count(self) -> int:
+        return self.rows * self.cols * self.repeats
+
+
+def prefill_gemms(config: ModelConfig, sequence_length: int) -> list[Gemm]:
+    """Per-forward-pass FP-INT GeMMs of a model at a sequence length.
+
+    QKV is a single fused GeMM (one activation read, 3·d outputs); the
+    LLaMA gate+up pair is likewise fused into one U-kind GeMM with
+    ``2·ffn`` outputs, matching how the activation data is reused.
+    """
+    if sequence_length < 1:
+        raise HardwareError(f"sequence length must be >= 1, got {sequence_length}")
+    d, ffn, layers = config.d_model, config.ffn_dim, config.n_layers
+    up_cols = 2 * ffn if config.gated_ffn else ffn
+    return [
+        Gemm(TensorKind.QKV, sequence_length, d, 3 * d, repeats=layers),
+        Gemm(TensorKind.O, sequence_length, d, d, repeats=layers),
+        Gemm(TensorKind.U, sequence_length, d, up_cols, repeats=layers),
+        Gemm(TensorKind.D, sequence_length, ffn, d, repeats=layers),
+    ]
+
+
+def max_context_length(config: ModelConfig) -> int:
+    """The "maximum acceptable input sequence length" of Sec. V-A.
+
+    OPT and LLaMA(-2) models are trained for 2048 positions (LLaMA-2 for
+    4096; the paper evaluates WikiText2 at 2048), so system experiments
+    use 2048 tokens of prefill.
+    """
+    return 2048
+
+
+# -- Fig. 2: operation-share analysis -----------------------------------------
+
+
+@dataclass(frozen=True)
+class OpsBreakdown:
+    """Operation counts for generating/processing a full context.
+
+    All counts are *operations* (1 MAC = 2 ops), matching the paper's
+    TOPs axis.
+    """
+
+    fp_int_gemm_ops: float
+    attention_ops: float
+    other_ops: float
+
+    @property
+    def total_ops(self) -> float:
+        return self.fp_int_gemm_ops + self.attention_ops + self.other_ops
+
+    @property
+    def fp_int_share(self) -> float:
+        return self.fp_int_gemm_ops / self.total_ops
+
+
+def context_ops(config: ModelConfig, context_length: int) -> OpsBreakdown:
+    """Operation breakdown for a text-generation task over a context.
+
+    FP-INT GeMMs: the weight projections, linear in processed tokens.
+    Attention (FP-FP): QK^T and PV grow with the running context —
+    summed over positions ``t = 1..C`` this is ``~ d * C^2`` per layer
+    per product.  "Other" covers norms/softmax/activation vector work,
+    a few ops per element per layer.
+    """
+    if context_length < 1:
+        raise HardwareError(f"context length must be >= 1, got {context_length}")
+    per_token_linear_macs = config.fp_int_macs_per_token()
+    fp_int_ops = 2.0 * per_token_linear_macs * context_length
+
+    # Sum over t of 2 products * d * t MACs = d * C * (C + 1).
+    attention_macs = (
+        config.n_layers * config.d_model * context_length * (context_length + 1)
+    )
+    attention_ops = 2.0 * attention_macs
+
+    vector_ops = 10.0 * config.n_layers * config.d_model * context_length
+    return OpsBreakdown(
+        fp_int_gemm_ops=fp_int_ops,
+        attention_ops=attention_ops,
+        other_ops=vector_ops,
+    )
+
+
+def fig2_series(
+    model_names: tuple[str, ...],
+    context_lengths: tuple[int, ...] = (1024, 2048, 4096, 8192, 16384),
+) -> dict[str, dict[int, OpsBreakdown]]:
+    """Fig. 2 data: per model and context length, total ops + share."""
+    return {
+        name: {c: context_ops(get_config(name), c) for c in context_lengths}
+        for name in model_names
+    }

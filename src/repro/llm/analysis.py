@@ -1,0 +1,136 @@
+"""Activation-distribution analysis for format design decisions.
+
+The Anda format's two structural choices — *group-shared* exponents
+(rather than per-tensor) and grouping along the *channel* axis — rest
+on empirical properties of LLM activations: heavy-tailed magnitudes
+with strong per-channel outliers (the reason weight-activation INT
+quantization struggles, Sec. I).  This module measures those properties
+on the substrate's models so the design rationale is reproducible:
+
+* per-channel dynamic range and outlier ratios,
+* the exponent spread *within* a shared-exponent group as a function of
+  group size — precisely the quantity that forces mantissa truncation
+  (Fig. 4) and drives the Fig. 5 trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import fp16
+from repro.core.precision import TensorKind
+from repro.errors import ModelError
+from repro.llm.autograd import no_grad
+from repro.llm.transformer import CausalLM
+
+
+@dataclass
+class ActivationCapture:
+    """Raw activation samples collected per tensor kind."""
+
+    samples: dict[TensorKind, list[np.ndarray]] = field(
+        default_factory=lambda: {kind: [] for kind in TensorKind}
+    )
+
+    def __call__(self, kind: TensorKind, activation: np.ndarray) -> None:
+        self.samples[kind].append(
+            activation.reshape(-1, activation.shape[-1]).copy()
+        )
+
+    def stacked(self, kind: TensorKind) -> np.ndarray:
+        if not self.samples[kind]:
+            raise ModelError(f"no activations captured for {kind}")
+        return np.concatenate(self.samples[kind], axis=0)
+
+
+def capture_activations(
+    model: CausalLM, tokens: np.ndarray
+) -> ActivationCapture:
+    """Run one forward pass collecting all four activation tensors."""
+    capture = ActivationCapture()
+    previous = model.tap.recorder
+    model.set_recorder(capture)
+    try:
+        with no_grad():
+            model.forward(np.asarray(tokens))
+    finally:
+        model.set_recorder(previous)
+    return capture
+
+
+@dataclass(frozen=True)
+class OutlierStats:
+    """Channel-outlier profile of one activation tensor.
+
+    Attributes:
+        max_abs: global magnitude maximum.
+        median_channel_max: median over channels of per-channel maxima.
+        outlier_ratio: max channel magnitude over the median channel
+            magnitude — how dominant outlier channels are.
+        top1pct_energy: fraction of squared magnitude carried by the
+            top 1% of channels.
+    """
+
+    max_abs: float
+    median_channel_max: float
+    outlier_ratio: float
+    top1pct_energy: float
+
+
+def outlier_stats(activation: np.ndarray) -> OutlierStats:
+    """Channel-outlier statistics of a ``(tokens, channels)`` tensor."""
+    arr = np.abs(np.asarray(activation, dtype=np.float64))
+    if arr.ndim != 2 or arr.size == 0:
+        raise ModelError("outlier_stats expects a non-empty 2-D tensor")
+    channel_max = arr.max(axis=0)
+    channel_energy = (arr**2).sum(axis=0)
+    top = max(1, int(np.ceil(channel_energy.size * 0.01)))
+    top_energy = np.sort(channel_energy)[-top:].sum()
+    median = float(np.median(channel_max))
+    return OutlierStats(
+        max_abs=float(arr.max()),
+        median_channel_max=median,
+        outlier_ratio=float(channel_max.max() / max(median, 1e-30)),
+        top1pct_energy=float(top_energy / channel_energy.sum()),
+    )
+
+
+def group_exponent_spread(
+    activation: np.ndarray, group_size: int
+) -> np.ndarray:
+    """Per-group max-min exponent gaps at a given group size.
+
+    The gap is the number of mantissa bits an element *loses* to
+    shared-exponent alignment in the worst case; its distribution over
+    groups explains why small groups tolerate shorter mantissas
+    (Fig. 5) and why per-channel grouping would be wasteful.
+    """
+    rows = np.asarray(activation)
+    if rows.ndim != 2:
+        raise ModelError("group_exponent_spread expects a 2-D tensor")
+    _, exponent, significand = fp16.decompose(rows)
+    pad = (-rows.shape[1]) % group_size
+    if pad:
+        exponent = np.pad(exponent, ((0, 0), (0, pad)), constant_values=fp16.ZERO_EXPONENT)
+        significand = np.pad(significand, ((0, 0), (0, pad)))
+    groups_e = exponent.reshape(-1, group_size)
+    groups_s = significand.reshape(-1, group_size)
+    spreads = []
+    for row_e, row_s in zip(groups_e, groups_s):
+        live = row_s > 0
+        if not live.any():
+            continue
+        spreads.append(int(row_e[live].max() - row_e[live].min()))
+    return np.asarray(spreads, dtype=np.int64)
+
+
+def mean_spread_by_group_size(
+    activation: np.ndarray, group_sizes: tuple[int, ...] = (1, 8, 16, 32, 64, 128, 256)
+) -> dict[int, float]:
+    """Mean within-group exponent spread per candidate group size."""
+    return {
+        gs: float(group_exponent_spread(activation, gs).mean()) if gs > 1 else 0.0
+        for gs in group_sizes
+    }

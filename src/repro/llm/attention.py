@@ -1,0 +1,196 @@
+"""Causal multi-head self-attention with the A_qkv / A_o tap points.
+
+One fused QKV projection consumes the (possibly quantized) ``A_qkv``
+activation; the attention output consumes ``A_o`` before the output
+projection.  LLaMA-family models apply rotary position embeddings to
+queries and keys; OPT-family models rely on the model's learned position
+embeddings instead.
+
+Two forward paths are provided:
+
+* :meth:`MultiHeadAttention.__call__` — autograd path used for training
+  and whole-sequence (prefill) evaluation.
+* :meth:`MultiHeadAttention.step` — plain-numpy incremental path with a
+  KV cache, used by :mod:`repro.llm.generation` (the paper keeps the KV
+  cache in FP16; so does this model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.precision import TensorKind
+from repro.errors import ModelError
+from repro.llm.autograd import Tensor, concat, softmax
+from repro.llm.config import ModelConfig
+from repro.llm.hooks import ActivationTap
+from repro.llm.layers import Linear, Module
+
+#: Additive mask value for future positions (large enough to zero the
+#: softmax in float32 without producing NaN through inf - inf).
+MASK_VALUE = -1e9
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Upper-triangular additive mask of shape (length, length)."""
+    mask = np.zeros((length, length), dtype=np.float32)
+    mask[np.triu_indices(length, k=1)] = MASK_VALUE
+    return mask
+
+
+@dataclass
+class RotaryTable:
+    """Precomputed cos/sin tables for rotary position embeddings."""
+
+    cos: np.ndarray
+    sin: np.ndarray
+
+    @classmethod
+    def build(cls, head_dim: int, max_len: int, base: float = 10000.0) -> "RotaryTable":
+        half = head_dim // 2
+        freqs = base ** (-np.arange(0, half, dtype=np.float64) / half)
+        angles = np.outer(np.arange(max_len, dtype=np.float64), freqs)
+        double = np.concatenate([angles, angles], axis=-1)
+        return cls(
+            cos=np.cos(double).astype(np.float32),
+            sin=np.sin(double).astype(np.float32),
+        )
+
+    def slice(self, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+        if stop > self.cos.shape[0]:
+            raise ModelError(
+                f"rotary table holds {self.cos.shape[0]} positions, "
+                f"requested up to {stop}"
+            )
+        return self.cos[start:stop], self.sin[start:stop]
+
+
+def _rotate_half(x: Tensor) -> Tensor:
+    half = x.shape[-1] // 2
+    front = x[..., :half]
+    back = x[..., half:]
+    return concat([-back, front], axis=-1)
+
+
+def apply_rotary(x: Tensor, cos: np.ndarray, sin: np.ndarray) -> Tensor:
+    """Rotate (batch, heads, time, head_dim) queries/keys by position."""
+    return x * Tensor(cos) + _rotate_half(x) * Tensor(sin)
+
+
+def _rotate_half_np(x: np.ndarray) -> np.ndarray:
+    half = x.shape[-1] // 2
+    return np.concatenate([-x[..., half:], x[..., :half]], axis=-1)
+
+
+@dataclass
+class KVCache:
+    """Per-layer key/value history for incremental decoding (FP16)."""
+
+    keys: np.ndarray = field(default=None)  # type: ignore[assignment]
+    values: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        k16 = k.astype(np.float16)
+        v16 = v.astype(np.float16)
+        if self.keys is None:
+            self.keys, self.values = k16, v16
+        else:
+            self.keys = np.concatenate([self.keys, k16], axis=2)
+            self.values = np.concatenate([self.values, v16], axis=2)
+        return self.keys.astype(np.float32), self.values.astype(np.float32)
+
+    @property
+    def length(self) -> int:
+        return 0 if self.keys is None else self.keys.shape[2]
+
+
+class MultiHeadAttention(Module):
+    """Fused-QKV causal attention with activation taps."""
+
+    def __init__(
+        self, config: ModelConfig, tap: ActivationTap, rng: np.random.Generator
+    ) -> None:
+        bias = config.family == "opt"
+        self.qkv_proj = Linear(config.d_model, 3 * config.d_model, rng, bias=bias)
+        self.out_proj = Linear(config.d_model, config.d_model, rng, bias=bias)
+        self.n_heads = config.n_heads
+        self.head_dim = config.head_dim
+        self.scale = 1.0 / np.sqrt(config.head_dim)
+        self.tap = tap
+        self.rotary = (
+            RotaryTable.build(config.head_dim, config.max_seq_len)
+            if config.family == "llama"
+            else None
+        )
+
+    # -- training / prefill path ----------------------------------------
+
+    def __call__(self, x: Tensor) -> Tensor:
+        batch, length, d_model = x.shape
+        x = self.tap.apply(TensorKind.QKV, x)
+        qkv = self.qkv_proj(x)  # (B, T, 3D)
+        qkv = qkv.reshape(batch, length, 3, self.n_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, T, hd)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        if self.rotary is not None:
+            cos, sin = self.rotary.slice(0, length)
+            q = apply_rotary(q, cos, sin)
+            k = apply_rotary(k, cos, sin)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * self.scale
+        scores = scores + Tensor(causal_mask(length))
+        weights = softmax(scores, axis=-1)
+        context = weights @ v  # (B, H, T, hd)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, length, d_model)
+
+        context = self.tap.apply(TensorKind.O, context)
+        return self.out_proj(context)
+
+    # -- incremental decode path ------------------------------------------
+
+    def step(self, x: np.ndarray, cache: KVCache) -> np.ndarray:
+        """Process new tokens with cached history (plain numpy).
+
+        Args:
+            x: ``(batch, new_tokens, d_model)`` activations.
+            cache: layer cache; extended in place.
+        """
+        batch, new_len, d_model = x.shape
+        start = cache.length
+        if self.tap.quantizer is not None:
+            x = self.tap.quantizer(TensorKind.QKV, x)
+        weight = self.qkv_proj.weight.data
+        qkv = x @ weight
+        if self.qkv_proj.bias is not None:
+            qkv = qkv + self.qkv_proj.bias.data
+        qkv = qkv.reshape(batch, new_len, 3, self.n_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        if self.rotary is not None:
+            cos, sin = self.rotary.slice(start, start + new_len)
+            q = q * cos + _rotate_half_np(q) * sin
+            k = k * cos + _rotate_half_np(k) * sin
+
+        keys, values = cache.append(k, v)
+        scores = (q @ keys.swapaxes(-1, -2)) * self.scale
+        total = keys.shape[2]
+        positions = np.arange(start, start + new_len)[:, None]
+        history = np.arange(total)[None, :]
+        scores = scores + np.where(history > positions, MASK_VALUE, 0.0).astype(
+            np.float32
+        )
+        scores -= scores.max(axis=-1, keepdims=True)
+        weights_np = np.exp(scores)
+        weights_np /= weights_np.sum(axis=-1, keepdims=True)
+        context = weights_np @ values
+        context = context.transpose(0, 2, 1, 3).reshape(batch, new_len, d_model)
+        if self.tap.quantizer is not None:
+            context = self.tap.quantizer(TensorKind.O, context)
+        out = context @ self.out_proj.weight.data
+        if self.out_proj.bias is not None:
+            out = out + self.out_proj.bias.data
+        return out.astype(np.float32)

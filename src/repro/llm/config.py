@@ -1,0 +1,200 @@
+"""Model configurations: paper-scale shapes and scaled-down sim twins.
+
+Two registries live here:
+
+* :data:`PAPER_CONFIGS` — the *real* dimensions of the OPT / LLaMA /
+  LLaMA-2 models the paper evaluates.  These feed the hardware
+  experiments (Fig. 2, Fig. 16-18): operation counts and data-movement
+  volumes only need shapes, not functional execution.
+* :data:`SIM_CONFIGS` — scaled-down twins (``*-sim``) that preserve each
+  family's architecture (OPT: LayerNorm + ReLU FFN + learned positions;
+  LLaMA: RMSNorm + SwiGLU + rotary embeddings) and the relative size
+  ordering, but are small enough to train from scratch on CPU.  These
+  feed the accuracy experiments (Fig. 5-7, 9, 14, Table II).
+
+The split mirrors the paper's own two-level methodology (model accuracy
+from software, system performance from the simulator) and is documented
+as a substitution in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.bops import module_mac_weights
+from repro.core.precision import TensorKind
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture description of one causal language model.
+
+    Attributes:
+        name: registry key (e.g. ``"opt-1.3b"`` or ``"opt-1.3b-sim"``).
+        family: ``"opt"`` or ``"llama"`` — selects norm/FFN/positions.
+        n_layers: Transformer block count.
+        d_model: hidden width.
+        n_heads: attention heads (must divide ``d_model``).
+        ffn_dim: feed-forward intermediate width.
+        vocab_size: tokenizer vocabulary (256 for the byte tokenizer).
+        max_seq_len: positions available to learned embeddings.
+        seed: weight-init / training seed of the sim twin.
+        train_steps: zoo training budget of the sim twin.
+    """
+
+    name: str
+    family: str
+    n_layers: int
+    d_model: int
+    n_heads: int
+    ffn_dim: int
+    vocab_size: int = 256
+    max_seq_len: int = 256
+    seed: int = 0
+    train_steps: int = 350
+
+    def __post_init__(self) -> None:
+        if self.family not in ("opt", "llama"):
+            raise ModelError(f"unknown model family {self.family!r}")
+        if self.d_model % self.n_heads != 0:
+            raise ModelError(
+                f"{self.name}: d_model {self.d_model} not divisible by "
+                f"n_heads {self.n_heads}"
+            )
+        if self.family == "llama" and (self.d_model // self.n_heads) % 2 != 0:
+            raise ModelError(f"{self.name}: rotary embeddings need even head_dim")
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+    @property
+    def gated_ffn(self) -> bool:
+        """LLaMA-family models use the gated SwiGLU feed-forward."""
+        return self.family == "llama"
+
+    @property
+    def norm(self) -> str:
+        return "rmsnorm" if self.family == "llama" else "layernorm"
+
+    def mac_weights(self) -> dict[TensorKind, int]:
+        """Per-token FP-INT GeMM MAC counts by tensor type (one block)."""
+        return module_mac_weights(self.d_model, self.ffn_dim, self.gated_ffn)
+
+    def fp_int_macs_per_token(self) -> int:
+        """All FP-INT GeMM MACs per generated/processed token."""
+        return self.n_layers * sum(self.mac_weights().values())
+
+    def attention_macs_per_token(self, context_length: int) -> int:
+        """FP-FP attention MACs (QK^T and PV) per token at a context size."""
+        return self.n_layers * 2 * context_length * self.d_model
+
+    def sim_twin(self) -> "ModelConfig":
+        """The scaled-down twin of a paper-scale config (or self)."""
+        if self.name.endswith("-sim"):
+            return self
+        return get_config(self.name + "-sim")
+
+
+def _paper(name, family, n_layers, d_model, n_heads, ffn_dim) -> ModelConfig:
+    return ModelConfig(
+        name=name,
+        family=family,
+        n_layers=n_layers,
+        d_model=d_model,
+        n_heads=n_heads,
+        ffn_dim=ffn_dim,
+        max_seq_len=2048,
+    )
+
+
+#: Real dimensions of the paper's benchmark models (OPT: Zhang et al.
+#: 2022; LLaMA: Touvron et al. 2023), in the paper's Table II order.
+PAPER_CONFIGS: dict[str, ModelConfig] = {
+    cfg.name: cfg
+    for cfg in [
+        _paper("opt-125m", "opt", 12, 768, 12, 3072),
+        _paper("opt-1.3b", "opt", 24, 2048, 32, 8192),
+        _paper("opt-2.7b", "opt", 32, 2560, 32, 10240),
+        _paper("opt-6.7b", "opt", 32, 4096, 32, 16384),
+        _paper("llama-7b", "llama", 32, 4096, 32, 11008),
+        _paper("llama2-7b", "llama", 32, 4096, 32, 11008),
+        _paper("opt-13b", "opt", 40, 5120, 40, 20480),
+        _paper("llama-13b", "llama", 40, 5120, 40, 13824),
+        _paper("llama2-13b", "llama", 40, 5120, 40, 13824),
+        _paper("opt-30b", "opt", 48, 7168, 56, 28672),
+    ]
+}
+
+#: Benchmark order used throughout the paper's tables and figures.
+BENCHMARK_MODELS: tuple[str, ...] = (
+    "opt-1.3b",
+    "opt-2.7b",
+    "opt-6.7b",
+    "llama-7b",
+    "llama2-7b",
+    "opt-13b",
+    "llama-13b",
+    "llama2-13b",
+    "opt-30b",
+)
+
+
+def _sim(name, family, n_layers, d_model, n_heads, ffn_mult, seed, steps) -> ModelConfig:
+    return ModelConfig(
+        name=name + "-sim",
+        family=family,
+        n_layers=n_layers,
+        d_model=d_model,
+        n_heads=n_heads,
+        ffn_dim=d_model * ffn_mult,
+        max_seq_len=256,
+        seed=seed,
+        train_steps=steps,
+    )
+
+
+#: Scaled-down, CPU-trainable twins.  Widths/depths keep the paper's
+#: relative ordering; seeds differ so "LLaMA" and "LLaMA-2" twins are
+#: distinct models like their namesakes.
+SIM_CONFIGS: dict[str, ModelConfig] = {
+    cfg.name: cfg
+    for cfg in [
+        _sim("opt-125m", "opt", 2, 64, 2, 4, seed=101, steps=300),
+        _sim("opt-1.3b", "opt", 2, 96, 4, 4, seed=102, steps=350),
+        _sim("opt-2.7b", "opt", 3, 96, 4, 4, seed=103, steps=350),
+        _sim("opt-6.7b", "opt", 3, 128, 4, 4, seed=104, steps=350),
+        _sim("llama-7b", "llama", 3, 128, 4, 3, seed=105, steps=350),
+        _sim("llama2-7b", "llama", 3, 128, 4, 3, seed=106, steps=350),
+        _sim("opt-13b", "opt", 4, 128, 4, 4, seed=107, steps=350),
+        _sim("llama-13b", "llama", 4, 160, 4, 3, seed=108, steps=350),
+        _sim("llama2-13b", "llama", 4, 160, 4, 3, seed=109, steps=350),
+        _sim("opt-30b", "opt", 4, 192, 4, 4, seed=110, steps=350),
+    ]
+}
+
+
+def get_config(name: str) -> ModelConfig:
+    """Look up a model config by name in either registry.
+
+    Raises:
+        ModelError: if the name is unknown.
+    """
+    if name in PAPER_CONFIGS:
+        return PAPER_CONFIGS[name]
+    if name in SIM_CONFIGS:
+        return SIM_CONFIGS[name]
+    known = sorted(PAPER_CONFIGS) + sorted(SIM_CONFIGS)
+    raise ModelError(f"unknown model {name!r}; known: {', '.join(known)}")
+
+
+def tiny_test_config(
+    family: str = "opt", d_model: int = 32, n_layers: int = 1, seed: int = 0
+) -> ModelConfig:
+    """A throwaway config for unit tests (not in any registry)."""
+    return replace(
+        _sim("tiny-test", family, n_layers, d_model, 2, 2 if family == "llama" else 4,
+             seed=seed, steps=10),
+        name=f"tiny-{family}-test",
+    )

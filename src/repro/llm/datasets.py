@@ -1,0 +1,234 @@
+"""Synthetic corpora standing in for WikiText-2, PTB and C4.
+
+The paper evaluates perplexity on three public datasets; this offline
+environment cannot download them, so each is replaced by a seeded
+generator producing text with a distinct register (documented as a
+substitution in DESIGN.md):
+
+* ``wikitext2-sim`` — encyclopedic prose with section headings, dates
+  and places (moderate entropy, long sentences).
+* ``ptb-sim`` — financial newswire with ``<unk>`` tokens, tickers and
+  numbers (narrow domain, most predictable).
+* ``c4-sim`` — noisy web text mixing prose, URLs, list fragments and
+  casing noise (highest entropy).
+
+What matters for the reproduction is not the absolute perplexity but
+that (a) models *trained on this distribution* have meaningful held-out
+perplexity, and (b) the three evaluation streams differ enough that the
+adaptive precision search can reach different conclusions per dataset,
+as in the paper's Table II / Fig. 14.
+"""
+
+from __future__ import annotations
+
+import functools
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.llm.tokenizer import ByteTokenizer
+
+#: Names of the three simulated evaluation datasets, in paper order.
+DATASETS: tuple[str, ...] = ("wikitext2-sim", "ptb-sim", "c4-sim")
+
+_ARTICLES = ["the", "a", "its", "their", "this", "that"]
+_CONNECTIVES = ["and", "but", "while", "although", "because", "after", "before"]
+
+_WIKI_NOUNS = [
+    "village", "river", "empire", "treaty", "battle", "railway", "album",
+    "species", "district", "cathedral", "expedition", "manuscript", "festival",
+    "parliament", "observatory", "dynasty", "harbour", "monument", "province",
+    "regiment", "compound", "archive", "census", "orchestra", "basilica",
+]
+_WIKI_VERBS = [
+    "established", "recorded", "completed", "described", "restored",
+    "commissioned", "dissolved", "annexed", "documented", "reconstructed",
+    "surveyed", "inaugurated", "excavated", "chronicled", "abandoned",
+]
+_WIKI_ADJS = [
+    "northern", "medieval", "prominent", "coastal", "industrial", "ancient",
+    "celebrated", "fortified", "neighbouring", "historic", "agrarian",
+]
+_WIKI_PLACES = [
+    "saxony", "brittany", "anatolia", "cumbria", "bohemia", "tuscany",
+    "galicia", "silesia", "normandy", "thessaly", "pomerania", "dalmatia",
+]
+
+_PTB_COMPANIES = [
+    "amcore corp.", "westvale inc.", "drexel partners", "hanover group",
+    "meridian industries", "calloway & sons", "pacific holdings",
+    "northfield capital", "bayside trust", "crestline motors",
+]
+_PTB_NOUNS = [
+    "earnings", "revenue", "shares", "dividends", "futures", "bonds",
+    "inventories", "margins", "forecasts", "acquisitions", "securities",
+]
+_PTB_VERBS = [
+    "rose", "fell", "climbed", "slipped", "surged", "declined", "rebounded",
+    "stabilized", "plunged", "edged higher", "edged lower",
+]
+
+_C4_OPENERS = [
+    "check out", "click here for", "top reasons why", "how to fix",
+    "you won't believe", "the ultimate guide to", "5 tips for",
+    "frequently asked questions about", "what nobody tells you about",
+]
+_C4_TOPICS = [
+    "garden lighting", "budget laptops", "sourdough baking", "trail running",
+    "home insulation", "vintage cameras", "road trips", "meal prep",
+    "water filters", "guitar pedals", "standing desks", "houseplants",
+]
+_C4_DOMAINS = ["example.com", "blogspot.net", "shopwise.org", "dailyhowto.io"]
+
+
+def _sentence(rng: np.random.Generator, words: list[str], length: int) -> str:
+    return " ".join(rng.choice(words) for _ in range(length))
+
+
+def _wikitext_paragraph(rng: np.random.Generator) -> str:
+    lines = []
+    if rng.random() < 0.2:
+        title = f"{rng.choice(_WIKI_ADJS)} {rng.choice(_WIKI_NOUNS)}"
+        lines.append(f"= {title} =")
+    for _ in range(rng.integers(2, 5)):
+        year = int(rng.integers(1400, 1990))
+        sentence = (
+            f"{rng.choice(_ARTICLES)} {rng.choice(_WIKI_ADJS)} "
+            f"{rng.choice(_WIKI_NOUNS)} of {rng.choice(_WIKI_PLACES)} was "
+            f"{rng.choice(_WIKI_VERBS)} in {year} "
+            f"{rng.choice(_CONNECTIVES)} later {rng.choice(_WIKI_VERBS)} by "
+            f"{rng.choice(_ARTICLES)} {rng.choice(_WIKI_NOUNS)} ."
+        )
+        lines.append(sentence)
+    return "\n".join(lines)
+
+
+def _ptb_paragraph(rng: np.random.Generator) -> str:
+    lines = []
+    for _ in range(rng.integers(2, 5)):
+        amount = f"{rng.integers(1, 99)}.{rng.integers(0, 9)}"
+        sentence = (
+            f"{rng.choice(_PTB_COMPANIES)} said {rng.choice(_PTB_NOUNS)} "
+            f"{rng.choice(_PTB_VERBS)} {amount} % in the <unk> quarter "
+            f"{rng.choice(_CONNECTIVES)} analysts expect {rng.choice(_PTB_NOUNS)} "
+            f"of $ {rng.integers(1, 900)} million ."
+        )
+        lines.append(sentence)
+    return "\n".join(lines)
+
+
+def _c4_paragraph(rng: np.random.Generator) -> str:
+    lines = []
+    for _ in range(rng.integers(1, 4)):
+        topic = rng.choice(_C4_TOPICS)
+        opener = rng.choice(_C4_OPENERS)
+        if rng.random() < 0.3:
+            opener = opener.upper() if rng.random() < 0.3 else opener.title()
+        line = f"{opener} {topic}!"
+        if rng.random() < 0.4:
+            line += f" visit https://www.{rng.choice(_C4_DOMAINS)}/{topic.replace(' ', '-')}"
+        if rng.random() < 0.3:
+            line += f" rated {rng.integers(1, 5)}/5 by {rng.integers(3, 999)} users"
+        lines.append(line)
+        lines.append(_sentence(rng, _C4_TOPICS + _WIKI_NOUNS + _PTB_NOUNS, int(rng.integers(4, 10))))
+    return "\n".join(lines)
+
+
+_GENERATORS = {
+    "wikitext2-sim": _wikitext_paragraph,
+    "ptb-sim": _ptb_paragraph,
+    "c4-sim": _c4_paragraph,
+}
+
+
+def generate_text(name: str, n_chars: int, seed: int) -> str:
+    """Generate at least ``n_chars`` characters of a corpus register."""
+    if name not in _GENERATORS:
+        raise ModelError(f"unknown dataset {name!r}; known: {DATASETS}")
+    rng = np.random.default_rng(seed)
+    paragraph = _GENERATORS[name]
+    chunks: list[str] = []
+    total = 0
+    while total < n_chars:
+        text = paragraph(rng) + "\n\n"
+        chunks.append(text)
+        total += len(text)
+    return "".join(chunks)[:n_chars]
+
+
+@dataclass(frozen=True)
+class Corpus:
+    """Tokenized train/validation streams of one simulated dataset."""
+
+    name: str
+    train_tokens: np.ndarray
+    validation_tokens: np.ndarray
+
+
+@functools.lru_cache(maxsize=8)
+def load_corpus(
+    name: str, train_chars: int = 262_144, validation_chars: int = 32_768
+) -> Corpus:
+    """Build (and memoize) one corpus with disjoint train/val streams."""
+    tokenizer = ByteTokenizer()
+    # zlib.crc32 is stable across processes (str.hash is salted).
+    base_seed = zlib.crc32(name.encode()) % (2**31)
+    train = generate_text(name, train_chars, seed=base_seed)
+    validation = generate_text(name, validation_chars, seed=base_seed + 1)
+    return Corpus(
+        name=name,
+        train_tokens=tokenizer.encode(train),
+        validation_tokens=tokenizer.encode(validation),
+    )
+
+
+def training_mixture(chars_per_corpus: int = 131_072) -> np.ndarray:
+    """Interleaved mixture of all three corpora for zoo pre-training.
+
+    Mirrors "general web-scale pre-training then per-dataset
+    evaluation": every zoo model sees all three registers.
+    """
+    streams = [
+        load_corpus(name).train_tokens[: chars_per_corpus] for name in DATASETS
+    ]
+    block = 2048
+    pieces: list[np.ndarray] = []
+    for offset in range(0, chars_per_corpus, block):
+        for stream in streams:
+            pieces.append(stream[offset : offset + block])
+    return np.concatenate(pieces)
+
+
+def sequence_windows(tokens: np.ndarray, seq_len: int, n_sequences: int, seed: int = 0) -> np.ndarray:
+    """Sample ``(n_sequences, seq_len)`` windows from a token stream.
+
+    Used both for calibration (sampled from the *training* stream, as
+    the paper reuses weight-PTQ calibration data) and for validation
+    batching.
+    """
+    tokens = np.asarray(tokens)
+    if tokens.size < seq_len + 1:
+        raise ModelError(
+            f"stream of {tokens.size} tokens too short for windows of {seq_len}"
+        )
+    rng = np.random.default_rng(seed)
+    starts = rng.integers(0, tokens.size - seq_len, size=n_sequences)
+    return np.stack([tokens[s : s + seq_len] for s in starts]).astype(np.int64)
+
+
+def calibration_sequences(
+    name: str, n_sequences: int = 8, seq_len: int = 128, seed: int = 1234
+) -> np.ndarray:
+    """Calibration windows from the training stream of a dataset."""
+    return sequence_windows(load_corpus(name).train_tokens, seq_len, n_sequences, seed)
+
+
+def validation_sequences(
+    name: str, n_sequences: int = 16, seq_len: int = 128, seed: int = 4321
+) -> np.ndarray:
+    """Held-out windows from the validation stream of a dataset."""
+    return sequence_windows(
+        load_corpus(name).validation_tokens, seq_len, n_sequences, seed
+    )

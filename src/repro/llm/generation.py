@@ -1,0 +1,93 @@
+"""Autoregressive text generation with a KV cache.
+
+Decoding exercises the same FP-INT GeMM tap points as prefill (the
+quantizer, if installed, applies at every step), with attention keys and
+values cached in FP16 as in the paper's evaluation setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.llm.tokenizer import ByteTokenizer
+from repro.llm.transformer import CausalLM
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """Tokens produced by one decode call (prompt included)."""
+
+    tokens: np.ndarray
+    prompt_length: int
+
+    def continuation(self) -> np.ndarray:
+        return self.tokens[self.prompt_length :]
+
+
+def generate(
+    model: CausalLM,
+    prompt_tokens: np.ndarray,
+    max_new_tokens: int,
+    temperature: float = 0.0,
+    top_k: int = 20,
+    seed: int = 0,
+) -> GenerationResult:
+    """Greedy (``temperature == 0``) or top-k sampled decoding.
+
+    Args:
+        model: a trained causal LM.
+        prompt_tokens: 1-D prompt token ids.
+        max_new_tokens: continuation length.
+        temperature: 0 for greedy, else softmax temperature.
+        top_k: sample from the k most likely tokens when sampling.
+        seed: sampling seed.
+    """
+    prompt = np.asarray(prompt_tokens).reshape(1, -1)
+    if prompt.shape[1] < 1:
+        raise ModelError("prompt must contain at least one token")
+    if prompt.shape[1] + max_new_tokens > model.config.max_seq_len:
+        raise ModelError(
+            f"prompt + continuation ({prompt.shape[1]} + {max_new_tokens}) "
+            f"exceeds max_seq_len {model.config.max_seq_len}"
+        )
+    rng = np.random.default_rng(seed)
+    caches = model.new_cache()
+    logits = model.forward_step(prompt, caches)[:, -1, :]
+
+    produced = [prompt[0]]
+    for _ in range(max_new_tokens):
+        if temperature <= 0.0:
+            next_token = int(np.argmax(logits[0]))
+        else:
+            scaled = logits[0].astype(np.float64) / temperature
+            top = np.argsort(scaled)[-top_k:]
+            probs = np.exp(scaled[top] - scaled[top].max())
+            probs /= probs.sum()
+            next_token = int(rng.choice(top, p=probs))
+        produced.append(np.array([next_token]))
+        logits = model.forward_step(np.array([[next_token]]), caches)[:, -1, :]
+    return GenerationResult(
+        tokens=np.concatenate(produced), prompt_length=prompt.shape[1]
+    )
+
+
+def generate_text(
+    model: CausalLM,
+    prompt: str,
+    max_new_tokens: int = 64,
+    temperature: float = 0.0,
+    seed: int = 0,
+) -> str:
+    """String-in / string-out convenience wrapper around :func:`generate`."""
+    tokenizer = ByteTokenizer()
+    result = generate(
+        model,
+        tokenizer.encode(prompt),
+        max_new_tokens,
+        temperature=temperature,
+        seed=seed,
+    )
+    return tokenizer.decode(result.tokens)

@@ -1,0 +1,71 @@
+"""Anda-format KV-cache compression (the Sec. VI synergy, implemented).
+
+The paper keeps the KV cache in FP16 and notes that Anda "could
+synergize with KV cache optimizations" as future work.  This module
+implements that extension on the LLM substrate: cached keys and values
+are stored through the Anda format (group size 64 along the head
+dimension... grouped along the hidden axis), trading mantissa bits for
+cache footprint exactly like the activation path does.
+
+Because keys/values are written once and read at every subsequent
+decode step, the compression multiplies through the decode-phase memory
+traffic — the regime :mod:`repro.hw.roofline` shows is bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.anda import fake_quantize
+from repro.errors import ModelError
+from repro.llm.attention import KVCache
+from repro.llm.transformer import CausalLM
+
+
+@dataclass
+class AndaKVCache(KVCache):
+    """KV cache whose entries round-trip through the Anda format.
+
+    Args:
+        mantissa_bits: Anda mantissa length for cached keys/values.
+    """
+
+    mantissa_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.mantissa_bits <= 16:
+            raise ModelError(
+                f"KV mantissa bits must be in [1, 16], got {self.mantissa_bits}"
+            )
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        k = self._compress(k)
+        v = self._compress(v)
+        return super().append(k, v)
+
+    def _compress(self, tensor: np.ndarray) -> np.ndarray:
+        flat = tensor.reshape(-1, tensor.shape[-1])
+        return fake_quantize(flat, self.mantissa_bits).reshape(tensor.shape)
+
+    def storage_bits_per_element(self) -> float:
+        """Cache footprint per element vs FP16's 16 bits."""
+        return 1 + self.mantissa_bits + 8 / 64
+
+
+def quantized_cache_factory(model: CausalLM, mantissa_bits: int):
+    """Build per-layer Anda KV caches for ``model.forward_step``.
+
+    Example::
+
+        caches = quantized_cache_factory(model, mantissa_bits=8)
+        logits = model.forward_step(prompt, caches)
+    """
+    return [AndaKVCache(mantissa_bits=mantissa_bits) for _ in model.blocks]
+
+
+def kv_compression_ratio(mantissa_bits: int) -> float:
+    """FP16 cache bits over Anda cache bits per element."""
+    cache = AndaKVCache(mantissa_bits=mantissa_bits)
+    return 16.0 / cache.storage_bits_per_element()

@@ -1,0 +1,61 @@
+"""Perplexity evaluation and the accuracy convention of the search.
+
+The paper scores models by perplexity (lower is better) and defines the
+*relative accuracy* of a quantized configuration against the weight-only
+quantized reference.  The adaptive search maximizes accuracy, so this
+module maps perplexity into the "higher is better" convention via
+``accuracy = reference_ppl / ppl`` (1.0 = no degradation; the 1% loss
+constraint becomes ``ppl <= reference_ppl / 0.99``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.llm.autograd import no_grad, token_log_likelihoods
+from repro.llm.transformer import CausalLM
+
+
+def evaluate_perplexity(
+    model: CausalLM,
+    sequences: np.ndarray,
+    batch_size: int = 8,
+) -> float:
+    """Token-level perplexity of a model over ``(n, seq_len)`` windows.
+
+    Each window contributes ``seq_len - 1`` next-token predictions; the
+    result is ``exp(mean nll)`` over all of them.
+    """
+    sequences = np.asarray(sequences)
+    if sequences.ndim != 2 or sequences.shape[1] < 2:
+        raise ModelError(
+            f"sequences must be (n, seq_len>=2), got shape {sequences.shape}"
+        )
+    total_nll = 0.0
+    total_tokens = 0
+    with no_grad():
+        for start in range(0, sequences.shape[0], batch_size):
+            batch = sequences[start : start + batch_size]
+            logits = model.forward(batch[:, :-1]).data
+            nll = token_log_likelihoods(logits, batch[:, 1:])
+            total_nll += float(nll.sum())
+            total_tokens += nll.size
+    return float(np.exp(total_nll / total_tokens))
+
+
+def relative_accuracy(ppl: float, reference_ppl: float) -> float:
+    """Map perplexity to the search's higher-is-better accuracy scale."""
+    if ppl <= 0 or reference_ppl <= 0:
+        raise ModelError("perplexities must be positive")
+    return reference_ppl / ppl
+
+
+def accuracy_drop_percent(ppl: float, reference_ppl: float) -> float:
+    """Relative accuracy drop vs the reference, in percent.
+
+    Matches the red numbers of Table II: negative when the scheme is
+    worse than the reference, ~0 when equal, positive when (slightly)
+    better.
+    """
+    return (relative_accuracy(ppl, reference_ppl) - 1.0) * 100.0

@@ -1,0 +1,197 @@
+"""Anda-aware quantization-aware training (the paper's future work).
+
+Sec. VI closes with: "Future research could explore using Anda for QAT,
+potentially enhancing accuracy while reducing computational costs."
+This module implements that extension on the numpy substrate:
+
+* the activation taps run in *straight-through estimator* (STE) mode —
+  forward passes see exactly the Anda-quantized activations the
+  hardware would compute with, backward passes copy gradients through
+  the quantizer unchanged,
+* a short Adam fine-tune then adapts the weights to the quantization
+  noise of an aggressive precision combination,
+* :func:`qat_recovery` measures how much of the PTQ perplexity
+  degradation the fine-tune recovers.
+
+The headline demonstration (``benchmarks/bench_qat.py``,
+``examples/qat_finetune.py``): at mantissa lengths *below* what the
+adaptive search would accept post-training, a few hundred QAT steps
+recover a large fraction of the lost perplexity — which is what makes
+combinations like ``[4, 4, 4, 4]`` deployable when a training budget
+exists.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.precision import PrecisionCombination
+from repro.errors import ModelError
+from repro.llm.hooks import anda_quantizer
+from repro.llm.perplexity import evaluate_perplexity
+from repro.llm.training import Adam, cosine_schedule, sample_batch
+from repro.llm.transformer import CausalLM
+
+
+@contextlib.contextmanager
+def straight_through_anda(
+    model: CausalLM,
+    combination: PrecisionCombination,
+    rounding: str = "truncate",
+):
+    """Enable STE Anda quantization on a model's taps inside the context.
+
+    The previous tap state is restored on exit, so evaluation code
+    running afterwards sees the model exactly as before.
+    """
+    tap = model.tap
+    previous_quantizer = tap.quantizer
+    previous_ste = tap.straight_through
+    tap.quantizer = anda_quantizer(combination, rounding=rounding)
+    tap.straight_through = True
+    try:
+        yield model
+    finally:
+        tap.quantizer = previous_quantizer
+        tap.straight_through = previous_ste
+
+
+@dataclass
+class QatResult:
+    """Outcome of one Anda QAT fine-tune.
+
+    Attributes:
+        combination: the precision combination trained for.
+        ppl_fp: perplexity of the full-precision model.
+        ppl_ptq: quantized perplexity *before* fine-tuning (pure PTQ).
+        ppl_qat: quantized perplexity *after* fine-tuning.
+        losses: training-loss trajectory.
+    """
+
+    combination: PrecisionCombination
+    ppl_fp: float
+    ppl_ptq: float
+    ppl_qat: float
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def ptq_degradation(self) -> float:
+        """PTQ perplexity increase over the FP model (0.05 = +5%)."""
+        return self.ppl_ptq / self.ppl_fp - 1.0
+
+    @property
+    def qat_degradation(self) -> float:
+        """Post-QAT perplexity increase over the FP model."""
+        return self.ppl_qat / self.ppl_fp - 1.0
+
+    @property
+    def recovered_fraction(self) -> float:
+        """Share of the PTQ damage the fine-tune repaired.
+
+        1.0 means QAT reached FP perplexity; 0.0 means no improvement;
+        negative values mean the fine-tune hurt.
+        """
+        damage = self.ppl_ptq - self.ppl_fp
+        if damage <= 0:
+            return 1.0
+        return (self.ppl_ptq - self.ppl_qat) / damage
+
+
+def fine_tune(
+    model: CausalLM,
+    tokens: np.ndarray,
+    combination: PrecisionCombination,
+    steps: int = 100,
+    batch_size: int = 8,
+    seq_len: int = 64,
+    learning_rate: float = 3e-4,
+    rounding: str = "truncate",
+    seed: int = 0,
+) -> list[float]:
+    """Fine-tune a model in place under STE Anda quantization.
+
+    Args:
+        model: trained model to adapt (modified in place).
+        tokens: training token stream.
+        combination: mantissa lengths the model should adapt to.
+        steps: optimizer steps.
+        batch_size / seq_len: batch geometry per step.
+        learning_rate: Adam peak rate (cosine-decayed).  QAT uses a
+            rate well below pre-training — the weights only need to
+            absorb quantization noise, not relearn the task.
+        rounding: Anda rounding mode ("stochastic" dithers the
+            truncation, the FAST recipe for training under BFP).
+        seed: batch-sampling seed.
+
+    Returns:
+        The per-step training losses.
+    """
+    if steps < 1:
+        raise ModelError(f"steps must be >= 1, got {steps}")
+    combination.validate()
+    rng = np.random.default_rng(seed)
+    optimizer = Adam(model.parameters(), learning_rate=learning_rate)
+    losses: list[float] = []
+    with straight_through_anda(model, combination, rounding=rounding):
+        for step in range(steps):
+            batch = sample_batch(tokens, batch_size, seq_len, rng)
+            optimizer.zero_grad()
+            loss = model.loss(batch)
+            loss.backward()
+            optimizer.step(cosine_schedule(step, steps, learning_rate, warmup=5))
+            losses.append(float(loss.data))
+    return losses
+
+
+def qat_recovery(
+    model: CausalLM,
+    train_tokens: np.ndarray,
+    eval_sequences: np.ndarray,
+    combination: PrecisionCombination,
+    steps: int = 100,
+    learning_rate: float = 3e-4,
+    rounding: str = "truncate",
+    seed: int = 0,
+    batch_size: int = 8,
+    seq_len: int = 64,
+) -> QatResult:
+    """Measure PTQ damage and QAT recovery for one combination.
+
+    Evaluates FP perplexity, quantized-PTQ perplexity, fine-tunes under
+    STE quantization, then re-evaluates quantized perplexity.  The
+    model is modified in place (callers wanting to keep the original
+    should deep-copy or reload from the zoo cache).
+    """
+    quantizer = anda_quantizer(combination, rounding=rounding)
+
+    ppl_fp = evaluate_perplexity(model, eval_sequences)
+    model.set_quantizer(quantizer)
+    ppl_ptq = evaluate_perplexity(model, eval_sequences)
+    model.set_quantizer(None)
+
+    losses = fine_tune(
+        model,
+        train_tokens,
+        combination,
+        steps=steps,
+        batch_size=batch_size,
+        seq_len=seq_len,
+        learning_rate=learning_rate,
+        rounding=rounding,
+        seed=seed,
+    )
+
+    model.set_quantizer(quantizer)
+    ppl_qat = evaluate_perplexity(model, eval_sequences)
+    model.set_quantizer(None)
+
+    return QatResult(
+        combination=combination,
+        ppl_fp=ppl_fp,
+        ppl_ptq=ppl_ptq,
+        ppl_qat=ppl_qat,
+        losses=losses,
+    )

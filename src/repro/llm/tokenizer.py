@@ -1,0 +1,31 @@
+"""Byte-level tokenizer (vocabulary = 256).
+
+The sim model zoo trains on bytes: no merges, no out-of-vocabulary
+tokens, fully deterministic — the simplest substrate that still gives
+perplexity a meaningful, dataset-dependent value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+VOCAB_SIZE = 256
+
+
+class ByteTokenizer:
+    """Encode text as UTF-8 bytes and back."""
+
+    vocab_size = VOCAB_SIZE
+
+    def encode(self, text: str) -> np.ndarray:
+        """Text -> uint8 token array."""
+        return np.frombuffer(text.encode("utf-8"), dtype=np.uint8).copy()
+
+    def decode(self, tokens: np.ndarray) -> str:
+        """Token array -> text (raises on invalid ids)."""
+        tokens = np.asarray(tokens)
+        if tokens.size and (tokens.min() < 0 or tokens.max() > 255):
+            raise ModelError("byte tokenizer ids must be in [0, 255]")
+        return tokens.astype(np.uint8).tobytes().decode("utf-8", errors="replace")

@@ -1,0 +1,130 @@
+"""From-scratch language-model training (Adam + cosine schedule).
+
+The paper evaluates pre-trained checkpoints; with no downloadable
+weights available, the model zoo trains its scaled-down twins on the
+synthetic corpus mixture.  Training always runs in full float32 — the
+quantization under study is strictly post-training, applied through the
+activation taps at inference time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.llm.transformer import CausalLM
+
+
+class Adam:
+    """Adam optimizer with optional gradient clipping."""
+
+    def __init__(
+        self,
+        parameters,
+        learning_rate: float = 3e-3,
+        betas: tuple[float, float] = (0.9, 0.98),
+        eps: float = 1e-8,
+        clip_norm: float | None = 1.0,
+    ) -> None:
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ModelError("optimizer received no parameters")
+        self.learning_rate = learning_rate
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.clip_norm = clip_norm
+        self.step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _global_norm(self) -> float:
+        total = 0.0
+        for param in self.parameters:
+            if param.grad is not None:
+                total += float((param.grad.astype(np.float64) ** 2).sum())
+        return float(np.sqrt(total))
+
+    def step(self, learning_rate: float | None = None) -> None:
+        """Apply one update from the accumulated gradients."""
+        lr = self.learning_rate if learning_rate is None else learning_rate
+        self.step_count += 1
+        scale = 1.0
+        if self.clip_norm is not None:
+            norm = self._global_norm()
+            if norm > self.clip_norm:
+                scale = self.clip_norm / (norm + 1e-12)
+        bias1 = 1.0 - self.beta1**self.step_count
+        bias2 = 1.0 - self.beta2**self.step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad * scale
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad * grad
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            param.data -= lr * update
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+
+@dataclass
+class TrainingResult:
+    """Loss trajectory of one training run."""
+
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ModelError("training produced no steps")
+        return float(np.mean(self.losses[-10:]))
+
+
+def sample_batch(
+    tokens: np.ndarray, batch_size: int, seq_len: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw a ``(batch, seq_len + 1)`` batch of contiguous windows."""
+    tokens = np.asarray(tokens)
+    if tokens.size < seq_len + 2:
+        raise ModelError("token stream too short for the requested sequence length")
+    starts = rng.integers(0, tokens.size - seq_len - 1, size=batch_size)
+    return np.stack([tokens[s : s + seq_len + 1] for s in starts]).astype(np.int64)
+
+
+def cosine_schedule(step: int, total: int, peak: float, warmup: int = 20) -> float:
+    """Linear warmup then cosine decay to 10% of the peak rate."""
+    if step < warmup:
+        return peak * (step + 1) / warmup
+    progress = (step - warmup) / max(total - warmup, 1)
+    return peak * (0.1 + 0.9 * 0.5 * (1 + np.cos(np.pi * progress)))
+
+
+def train_language_model(
+    model: CausalLM,
+    tokens: np.ndarray,
+    steps: int,
+    batch_size: int = 12,
+    seq_len: int = 96,
+    learning_rate: float = 3e-3,
+    seed: int = 0,
+) -> TrainingResult:
+    """Train a model in place on a token stream; returns the loss curve."""
+    if steps < 1:
+        raise ModelError(f"steps must be >= 1, got {steps}")
+    rng = np.random.default_rng(seed)
+    optimizer = Adam(model.parameters(), learning_rate=learning_rate)
+    result = TrainingResult()
+    for step in range(steps):
+        batch = sample_batch(tokens, batch_size, seq_len, rng)
+        optimizer.zero_grad()
+        loss = model.loss(batch)
+        loss.backward()
+        optimizer.step(cosine_schedule(step, steps, learning_rate))
+        result.losses.append(float(loss.data))
+    return result

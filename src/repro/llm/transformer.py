@@ -1,0 +1,220 @@
+"""Transformer blocks and the causal language model.
+
+Implements both architectures the paper benchmarks:
+
+* **OPT family** — pre-LayerNorm blocks, ReLU feed-forward, learned
+  position embeddings, biased projections.
+* **LLaMA family** — pre-RMSNorm blocks, SwiGLU feed-forward, rotary
+  position embeddings, bias-free projections.
+
+The four FP-INT GeMM activation tensors (Fig. 3) route through the
+model's shared :class:`~repro.llm.hooks.ActivationTap`:
+
+========  =======================================  ==================
+tap kind  activation                               consumed by
+========  =======================================  ==================
+QKV       normed block input                       Wq / Wk / Wv
+O         attention context                        Wo
+U         normed attention output                  W_up (and W_gate)
+D         FFN intermediate (post-nonlinearity)     W_down
+========  =======================================  ==================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.precision import TensorKind
+from repro.errors import ModelError
+from repro.llm.attention import KVCache, MultiHeadAttention
+from repro.llm.autograd import Tensor, no_grad, softmax_cross_entropy
+from repro.llm.config import ModelConfig
+from repro.llm.hooks import ActivationTap
+from repro.llm.layers import Embedding, Linear, Module, make_norm
+
+
+class FeedForward(Module):
+    """OPT-style two-layer ReLU feed-forward with U/D taps."""
+
+    def __init__(
+        self, config: ModelConfig, tap: ActivationTap, rng: np.random.Generator
+    ) -> None:
+        self.up_proj = Linear(config.d_model, config.ffn_dim, rng, bias=True)
+        self.down_proj = Linear(config.ffn_dim, config.d_model, rng, bias=True)
+        self.tap = tap
+
+    def __call__(self, x: Tensor) -> Tensor:
+        x = self.tap.apply(TensorKind.U, x)
+        hidden = self.up_proj(x).relu()
+        hidden = self.tap.apply(TensorKind.D, hidden)
+        return self.down_proj(hidden)
+
+    def step(self, x: np.ndarray) -> np.ndarray:
+        if self.tap.quantizer is not None:
+            x = self.tap.quantizer(TensorKind.U, x)
+        hidden = x @ self.up_proj.weight.data + self.up_proj.bias.data
+        hidden = np.maximum(hidden, 0.0)
+        if self.tap.quantizer is not None:
+            hidden = self.tap.quantizer(TensorKind.D, hidden)
+        return (hidden @ self.down_proj.weight.data + self.down_proj.bias.data).astype(
+            np.float32
+        )
+
+
+class GatedFeedForward(Module):
+    """LLaMA-style SwiGLU feed-forward with U/D taps.
+
+    The U tap feeds *both* the gate and up projections (they share the
+    same input activation, which is why the BOPs model counts the U
+    GeMM twice for gated FFNs).
+    """
+
+    def __init__(
+        self, config: ModelConfig, tap: ActivationTap, rng: np.random.Generator
+    ) -> None:
+        self.gate_proj = Linear(config.d_model, config.ffn_dim, rng, bias=False)
+        self.up_proj = Linear(config.d_model, config.ffn_dim, rng, bias=False)
+        self.down_proj = Linear(config.ffn_dim, config.d_model, rng, bias=False)
+        self.tap = tap
+
+    def __call__(self, x: Tensor) -> Tensor:
+        x = self.tap.apply(TensorKind.U, x)
+        hidden = self.gate_proj(x).silu() * self.up_proj(x)
+        hidden = self.tap.apply(TensorKind.D, hidden)
+        return self.down_proj(hidden)
+
+    def step(self, x: np.ndarray) -> np.ndarray:
+        if self.tap.quantizer is not None:
+            x = self.tap.quantizer(TensorKind.U, x)
+        gate = x @ self.gate_proj.weight.data
+        gate = gate / (1.0 + np.exp(-gate)) * (x @ self.up_proj.weight.data)
+        if self.tap.quantizer is not None:
+            gate = self.tap.quantizer(TensorKind.D, gate)
+        return (gate @ self.down_proj.weight.data).astype(np.float32)
+
+
+class TransformerBlock(Module):
+    """Pre-norm residual block: attention then feed-forward."""
+
+    def __init__(
+        self, config: ModelConfig, tap: ActivationTap, rng: np.random.Generator
+    ) -> None:
+        self.attn_norm = make_norm(config.norm, config.d_model)
+        self.attention = MultiHeadAttention(config, tap, rng)
+        self.ffn_norm = make_norm(config.norm, config.d_model)
+        self.ffn: Module = (
+            GatedFeedForward(config, tap, rng)
+            if config.gated_ffn
+            else FeedForward(config, tap, rng)
+        )
+
+    def __call__(self, x: Tensor) -> Tensor:
+        x = x + self.attention(self.attn_norm(x))
+        return x + self.ffn(self.ffn_norm(x))
+
+    def step(self, x: np.ndarray, cache: KVCache) -> np.ndarray:
+        with no_grad():
+            normed = self.attn_norm(Tensor(x)).data
+            x = x + self.attention.step(normed, cache)
+            normed = self.ffn_norm(Tensor(x)).data
+            return x + self.ffn.step(normed)
+
+
+class CausalLM(Module):
+    """A causal language model in the OPT or LLaMA style.
+
+    Args:
+        config: architecture description (see
+            :mod:`repro.llm.config`); the config's ``seed`` initializes
+            the weights deterministically.
+    """
+
+    def __init__(self, config: ModelConfig) -> None:
+        rng = np.random.default_rng(config.seed)
+        self.tap = ActivationTap()
+        self.config = config
+        self.token_embedding = Embedding(config.vocab_size, config.d_model, rng)
+        self.position_embedding = (
+            Embedding(config.max_seq_len, config.d_model, rng)
+            if config.family == "opt"
+            else None
+        )
+        self.blocks = [
+            TransformerBlock(config, self.tap, rng) for _ in range(config.n_layers)
+        ]
+        self.final_norm = make_norm(config.norm, config.d_model)
+        self.lm_head = Linear(config.d_model, config.vocab_size, rng, bias=False)
+
+    # -- full-sequence path -----------------------------------------------
+
+    def _embed(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ModelError(f"tokens must be (batch, time), got shape {tokens.shape}")
+        if tokens.shape[1] > self.config.max_seq_len:
+            raise ModelError(
+                f"sequence length {tokens.shape[1]} exceeds max_seq_len "
+                f"{self.config.max_seq_len}"
+            )
+        hidden = self.token_embedding(tokens)
+        if self.position_embedding is not None:
+            positions = np.arange(tokens.shape[1])
+            hidden = hidden + self.position_embedding(positions)
+        return hidden
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        """Logits for every position: ``(batch, time, vocab)``."""
+        hidden = self._embed(tokens)
+        for block in self.blocks:
+            hidden = block(hidden)
+        return self.lm_head(self.final_norm(hidden))
+
+    __call__ = forward
+
+    def loss(self, tokens: np.ndarray) -> Tensor:
+        """Mean next-token cross entropy over a ``(batch, time)`` batch."""
+        tokens = np.asarray(tokens)
+        if tokens.shape[1] < 2:
+            raise ModelError("need at least two tokens for a next-token loss")
+        logits = self.forward(tokens[:, :-1])
+        return softmax_cross_entropy(logits, tokens[:, 1:])
+
+    # -- incremental decode path --------------------------------------------
+
+    def new_cache(self) -> list[KVCache]:
+        """Fresh per-layer KV caches for incremental decoding."""
+        return [KVCache() for _ in self.blocks]
+
+    def forward_step(
+        self, tokens: np.ndarray, caches: list[KVCache]
+    ) -> np.ndarray:
+        """Extend cached decoding by ``tokens`` (``(batch, new)`` ids).
+
+        Returns plain-numpy logits ``(batch, new, vocab)``.
+        """
+        tokens = np.asarray(tokens)
+        start = caches[0].length
+        with no_grad():
+            hidden = self.token_embedding(tokens).data
+            if self.position_embedding is not None:
+                positions = np.arange(start, start + tokens.shape[1])
+                hidden = hidden + self.position_embedding(positions).data
+            for block, cache in zip(self.blocks, caches):
+                hidden = block.step(hidden, cache)
+            normed = self.final_norm(Tensor(hidden)).data
+            return normed @ self.lm_head.weight.data
+
+    # -- tap plumbing ----------------------------------------------------------
+
+    def set_quantizer(self, quantizer) -> None:
+        """Install (or clear, with ``None``) the activation quantizer."""
+        self.tap.quantizer = quantizer
+
+    def set_recorder(self, recorder) -> None:
+        """Install (or clear, with ``None``) the activation recorder."""
+        self.tap.recorder = recorder
+
+
+def build_model(config: ModelConfig) -> CausalLM:
+    """Construct a freshly initialized model for a config."""
+    return CausalLM(config)

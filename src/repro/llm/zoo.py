@@ -1,0 +1,127 @@
+"""Deterministic train-and-cache model zoo.
+
+``get_model("opt-1.3b-sim")`` returns the scaled-down twin of OPT-1.3B,
+training it from scratch on the first call and caching the weights under
+``.anda_zoo_cache/`` (keyed by a hash of the architecture and training
+recipe, so stale caches are never loaded after a config change).
+
+Experiments never retrain: every figure/table driver and every example
+shares the same checkpoints, exactly as the paper's experiments share
+pre-trained checkpoints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.llm.config import SIM_CONFIGS, ModelConfig, get_config
+from repro.llm.datasets import training_mixture
+from repro.llm.training import train_language_model
+from repro.llm.transformer import CausalLM, build_model
+
+#: Environment variable overriding the cache location.
+CACHE_ENV = "ANDA_ZOO_CACHE"
+
+_DEFAULT_CACHE = Path(__file__).resolve().parents[3] / ".anda_zoo_cache"
+
+#: In-process cache so repeated get_model calls share one instance.
+_LOADED: dict[str, CausalLM] = {}
+
+_TRAIN_BATCH = 12
+_TRAIN_SEQ = 96
+_TRAIN_LR = 3e-3
+
+
+def cache_dir() -> Path:
+    """Resolve the on-disk cache directory (creating it lazily)."""
+    return Path(os.environ.get(CACHE_ENV, _DEFAULT_CACHE))
+
+
+def _recipe_fingerprint(config: ModelConfig) -> str:
+    recipe = {
+        "name": config.name,
+        "family": config.family,
+        "n_layers": config.n_layers,
+        "d_model": config.d_model,
+        "n_heads": config.n_heads,
+        "ffn_dim": config.ffn_dim,
+        "vocab_size": config.vocab_size,
+        "max_seq_len": config.max_seq_len,
+        "seed": config.seed,
+        "train_steps": config.train_steps,
+        "batch": _TRAIN_BATCH,
+        "seq": _TRAIN_SEQ,
+        "lr": _TRAIN_LR,
+        "version": 1,
+    }
+    blob = json.dumps(recipe, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _cache_path(config: ModelConfig) -> Path:
+    return cache_dir() / f"{config.name}-{_recipe_fingerprint(config)}.npz"
+
+
+def train_zoo_model(config: ModelConfig) -> CausalLM:
+    """Train one sim model from scratch (no cache interaction)."""
+    model = build_model(config)
+    tokens = training_mixture()
+    train_language_model(
+        model,
+        tokens,
+        steps=config.train_steps,
+        batch_size=_TRAIN_BATCH,
+        seq_len=_TRAIN_SEQ,
+        learning_rate=_TRAIN_LR,
+        seed=config.seed,
+    )
+    return model
+
+
+def get_model(name: str, use_cache: bool = True) -> CausalLM:
+    """Return the trained sim model for ``name`` (training if needed).
+
+    Args:
+        name: a ``*-sim`` config name, or a paper-scale name whose sim
+            twin will be substituted (``"opt-1.3b"`` -> ``"opt-1.3b-sim"``).
+        use_cache: disable to force a fresh training run.
+
+    Raises:
+        ModelError: for names with no sim twin.
+    """
+    config = get_config(name).sim_twin()
+    if config.name not in SIM_CONFIGS:
+        raise ModelError(f"{name!r} has no registered sim twin")
+    if use_cache and config.name in _LOADED:
+        return _LOADED[config.name]
+
+    path = _cache_path(config)
+    if use_cache and path.exists():
+        model = build_model(config)
+        with np.load(path) as archive:
+            model.load_state_dict({key: archive[key] for key in archive.files})
+    else:
+        model = train_zoo_model(config)
+        if use_cache:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            np.savez_compressed(path, **model.state_dict())
+    if use_cache:
+        _LOADED[config.name] = model
+    return model
+
+
+def clear_memory_cache() -> None:
+    """Drop in-process model instances (disk cache untouched)."""
+    _LOADED.clear()
+
+
+def prewarm(names: list[str] | None = None) -> None:
+    """Train/cache a list of zoo models up front (default: all)."""
+    for name in names or sorted(SIM_CONFIGS):
+        get_model(name)

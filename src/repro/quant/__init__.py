@@ -1,0 +1,63 @@
+"""Quantization layer: weight-only PTQ and activation schemes.
+
+* :mod:`repro.quant.weight_quant` — group-wise INT4/INT8 weight
+  quantization (the W4A16 starting point).
+* :mod:`repro.quant.act_quant` — the activation schemes Table II
+  compares (FP16 reference, FIGNA, VS-Quant, uniform BFP).
+* :mod:`repro.quant.schemes` — the Table I format taxonomy.
+* :mod:`repro.quant.deploy` — the end-to-end offline Anda calibration
+  pipeline (weight PTQ -> Algorithm 1 -> validation).
+"""
+
+from repro.quant.act_quant import (
+    FIGNA_MANTISSA_BITS,
+    VSQUANT_MANTISSA_BITS,
+    bfp_quantizer,
+    figna_quantizer,
+    fp16_quantizer,
+    vsquant_quantizer,
+)
+from repro.quant.deploy import (
+    DeploymentResult,
+    deploy_anda,
+    deploy_uniform,
+    fp16_validation_ppl,
+    reference_model,
+    scheme_validation_ppl,
+)
+from repro.quant.report import DeploymentArtifact, build_artifact
+from repro.quant.schemes import TABLE1_FORMATS, FormatSpec, get_format
+from repro.quant.weight_quant import (
+    QuantizedWeight,
+    WeightQuantConfig,
+    fake_quantize_weights,
+    quantize_model_weights,
+    quantize_weights,
+    weight_quantized_copy,
+)
+
+__all__ = [
+    "DeploymentArtifact",
+    "DeploymentResult",
+    "FIGNA_MANTISSA_BITS",
+    "build_artifact",
+    "FormatSpec",
+    "QuantizedWeight",
+    "TABLE1_FORMATS",
+    "VSQUANT_MANTISSA_BITS",
+    "WeightQuantConfig",
+    "bfp_quantizer",
+    "deploy_anda",
+    "deploy_uniform",
+    "fake_quantize_weights",
+    "figna_quantizer",
+    "fp16_quantizer",
+    "fp16_validation_ppl",
+    "get_format",
+    "quantize_model_weights",
+    "quantize_weights",
+    "reference_model",
+    "scheme_validation_ppl",
+    "vsquant_quantizer",
+    "weight_quantized_copy",
+]

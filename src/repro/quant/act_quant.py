@@ -1,0 +1,92 @@
+"""Activation quantization schemes compared in the paper (Table II).
+
+Each scheme is expressed as an activation-tap quantizer for the LLM
+substrate plus a BOPs-saving figure:
+
+* **fp16** — activations pass through FP16 rounding only (the
+  Omniquant reference row: weight quantization only).
+* **figna** — FIGNA's lossless-leaning dynamic conversion: grouped BFP
+  with a long (13-bit effective) mantissa; tiny accuracy cost, 1.23x
+  BOPs saving.
+* **vs-quant** — VS-Quant's 4-bit mantissa format applied directly
+  post-training (no retraining), reproducing the paper's collapse row;
+  4.0x BOPs saving.
+* **anda** — per-tensor-type mantissa lengths from the adaptive search
+  (built via :func:`repro.llm.hooks.anda_quantizer`).
+
+All BFP-family schemes share the paper's uniform group size of 64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import fp16
+from repro.core.anda import ANDA_GROUP_SIZE
+from repro.core.bfp import BfpConfig, quantize
+from repro.core.groups import from_groups
+from repro.core.precision import PrecisionCombination, TensorKind
+from repro.llm.hooks import Quantizer, anda_quantizer
+
+#: Effective mantissa length of FIGNA's compute-time conversion (the
+#: paper scores FIGNA at 64/52 = 1.23x BOPs, i.e. 13 bits).
+FIGNA_MANTISSA_BITS = 13
+
+#: VS-Quant's fixed mantissa length.
+VSQUANT_MANTISSA_BITS = 4
+
+
+def _bfp_array_transform(config: BfpConfig):
+    def transform(activation: np.ndarray) -> np.ndarray:
+        flat = activation.reshape(-1, activation.shape[-1])
+        tensor = quantize(flat, config)
+        scale_exp = tensor.shared_exponent + 1 - config.mantissa_bits
+        magnitude = np.ldexp(tensor.mantissa.astype(np.float64), scale_exp[:, None])
+        signed = np.where(tensor.sign == 1, -magnitude, magnitude)
+        return (
+            from_groups(signed, tensor.layout).astype(np.float32).reshape(
+                activation.shape
+            )
+        )
+
+    return transform
+
+
+def fp16_quantizer() -> Quantizer:
+    """Round activations through FP16 (the reference datapath)."""
+
+    def quantize_fn(kind: TensorKind, activation: np.ndarray) -> np.ndarray:
+        return fp16.round_trip(activation)
+
+    return quantize_fn
+
+
+def bfp_quantizer(
+    mantissa_bits: int,
+    group_size: int | None = ANDA_GROUP_SIZE,
+    rounding: str = "truncate",
+) -> Quantizer:
+    """Uniform BFP quantizer for every tensor kind (Fig. 5/6 sweeps)."""
+    transform = _bfp_array_transform(
+        BfpConfig(mantissa_bits=mantissa_bits, group_size=group_size, rounding=rounding)
+    )
+
+    def quantize_fn(kind: TensorKind, activation: np.ndarray) -> np.ndarray:
+        return transform(activation)
+
+    return quantize_fn
+
+
+def figna_quantizer() -> Quantizer:
+    """FIGNA-style long-mantissa BFP conversion at compute time."""
+    return bfp_quantizer(FIGNA_MANTISSA_BITS)
+
+
+def vsquant_quantizer() -> Quantizer:
+    """VS-Quant's 4-bit format applied without retraining."""
+    return bfp_quantizer(VSQUANT_MANTISSA_BITS)
+
+
+def anda_combination_quantizer(combination: PrecisionCombination) -> Quantizer:
+    """Anda per-tensor-type quantizer (re-export for scheme symmetry)."""
+    return anda_quantizer(combination)

@@ -1,0 +1,209 @@
+"""Shared-microexponent (MX-style) activation formats, as an extension.
+
+The paper's related work ([14], "With shared microexponents, a little
+shifting goes a long way", ISCA'23) proposes a middle ground between
+per-element FP and coarse-grained BFP: a *two-level* exponent
+hierarchy.  A coarse exponent is shared by a large group; small
+sub-groups carry a few extra "microexponent" bits that locally shift
+the sub-group's alignment, recovering most of the precision lost to a
+single shared scale at a fraction of per-element exponent storage.
+
+This module implements that format family over the same FP16 codec the
+Anda implementation uses, so both can be compared head-to-head on
+
+* round-trip error at equal storage budget (the MX ablation bench),
+* storage accounting (:meth:`MxTensor.storage_bits`),
+* drop-in fake quantization for LLM accuracy sweeps
+  (:func:`fake_quantize_mx`).
+
+The comparison motivates Anda's choice: variable *mantissa length*
+spends its bits where sensitivity requires, while microexponents spend
+them on *alignment* — two orthogonal axes the extension bench sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import fp16
+from repro.core.groups import GroupLayout, from_groups, to_groups
+from repro.errors import FormatError
+
+#: Hierarchy presets from the microexponent paper's MX family (group,
+#: subgroup, micro bits) — element mantissa bits stay a free parameter.
+MX_PRESETS: dict[str, tuple[int, int, int]] = {
+    "mx4": (64, 2, 1),
+    "mx6": (64, 4, 1),
+    "mx9": (64, 8, 2),
+}
+
+
+@dataclass(frozen=True)
+class MxConfig:
+    """Parameters of a two-level shared-microexponent conversion.
+
+    Attributes:
+        mantissa_bits: per-element significand bits (hidden bit
+            included), 1..16 — same convention as
+            :class:`repro.core.bfp.BfpConfig`.
+        group_size: elements sharing the coarse exponent.
+        subgroup_size: elements sharing one microexponent; must divide
+            ``group_size``.
+        micro_bits: width of the per-subgroup exponent offset field;
+            offsets saturate at ``2**micro_bits - 1``.
+    """
+
+    mantissa_bits: int = 4
+    group_size: int = 64
+    subgroup_size: int = 2
+    micro_bits: int = 1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.mantissa_bits <= 16:
+            raise FormatError(
+                f"mantissa_bits must be in [1, 16], got {self.mantissa_bits}"
+            )
+        if self.group_size < 1 or self.subgroup_size < 1:
+            raise FormatError("group and subgroup sizes must be >= 1")
+        if self.group_size % self.subgroup_size != 0:
+            raise FormatError(
+                f"subgroup size {self.subgroup_size} must divide group size "
+                f"{self.group_size}"
+            )
+        if not 0 <= self.micro_bits <= 4:
+            raise FormatError(f"micro_bits must be in [0, 4], got {self.micro_bits}")
+
+    @property
+    def subgroups_per_group(self) -> int:
+        return self.group_size // self.subgroup_size
+
+    @property
+    def max_offset(self) -> int:
+        return (1 << self.micro_bits) - 1
+
+    @classmethod
+    def preset(cls, name: str, mantissa_bits: int = 4) -> "MxConfig":
+        """Build a config from an :data:`MX_PRESETS` hierarchy name."""
+        try:
+            group, subgroup, micro = MX_PRESETS[name]
+        except KeyError:
+            raise FormatError(
+                f"unknown MX preset {name!r}; known: {sorted(MX_PRESETS)}"
+            ) from None
+        return cls(mantissa_bits, group, subgroup, micro)
+
+
+@dataclass
+class MxTensor:
+    """A tensor quantized to the two-level microexponent format.
+
+    Attributes:
+        sign: ``(n_groups, group_size)`` in {0, 1}.
+        mantissa: ``(n_groups, group_size)`` unsigned magnitudes.
+        shared_exponent: ``(n_groups,)`` coarse exponents.
+        micro_offset: ``(n_groups, subgroups_per_group)`` unsigned
+            offsets subtracted from the coarse exponent per subgroup.
+        config / layout: conversion parameters and shape metadata.
+    """
+
+    sign: np.ndarray
+    mantissa: np.ndarray
+    shared_exponent: np.ndarray
+    micro_offset: np.ndarray
+    config: MxConfig
+    layout: GroupLayout
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.layout.shape
+
+    @property
+    def n_groups(self) -> int:
+        return self.layout.n_groups
+
+    def subgroup_exponents(self) -> np.ndarray:
+        """Effective per-subgroup exponents after the micro shift."""
+        return self.shared_exponent[:, None] - self.micro_offset
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the float32 tensor this encoding represents."""
+        config = self.config
+        sub_exp = np.repeat(self.subgroup_exponents(), config.subgroup_size, axis=1)
+        scale_exp = sub_exp + 1 - config.mantissa_bits
+        magnitude = np.ldexp(self.mantissa.astype(np.float64), scale_exp)
+        signed = np.where(self.sign == 1, -magnitude, magnitude)
+        return from_groups(signed, self.layout).astype(np.float32)
+
+    def storage_bits(self) -> int:
+        """Element payload + coarse exponents + microexponent fields."""
+        config = self.config
+        per_element = 1 + config.mantissa_bits
+        n_elements = self.layout.n_groups * config.group_size
+        coarse = 8 * self.layout.n_groups
+        micro = config.micro_bits * config.subgroups_per_group * self.layout.n_groups
+        return per_element * n_elements + coarse + micro
+
+    def bits_per_element(self) -> float:
+        """Amortized storage cost per (padded) element."""
+        return self.storage_bits() / (self.layout.n_groups * self.config.group_size)
+
+
+def quantize_mx(values: np.ndarray, config: MxConfig) -> MxTensor:
+    """Convert a finite tensor to the microexponent format.
+
+    The coarse exponent is the group maximum (as in BFP); each
+    subgroup's offset is the gap between the coarse exponent and the
+    subgroup's own maximum, saturated to the microexponent field width.
+    Elements align to their *subgroup* exponent, so small-magnitude
+    subgroups keep up to ``max_offset`` extra bits of precision.
+    """
+    grouped, layout = to_groups(values, config.group_size)
+    sign, exponent, significand = fp16.decompose(grouped)
+
+    n_groups = layout.n_groups
+    sub_shape = (n_groups, config.subgroups_per_group, config.subgroup_size)
+    sub_exponent = exponent.reshape(sub_shape)
+    sub_max = sub_exponent.max(axis=2)
+    shared = sub_max.max(axis=1)
+
+    offset = np.minimum(shared[:, None] - sub_max, config.max_offset)
+    # A subgroup of all zeros has the ZERO_EXPONENT sentinel as its max;
+    # clamp its offset to the saturation value for a canonical encoding.
+    offset = np.where(
+        sub_max == fp16.ZERO_EXPONENT, config.max_offset, offset
+    ).astype(np.int64)
+
+    effective = shared[:, None, None] - offset[:, :, None]
+    shift = np.where(
+        significand.reshape(sub_shape) > 0,
+        effective - sub_exponent,
+        0,
+    )
+    widened = significand.reshape(sub_shape).astype(np.int64) << max(
+        config.mantissa_bits - fp16.SIGNIFICAND_BITS, 0
+    )
+    right = shift + max(fp16.SIGNIFICAND_BITS - config.mantissa_bits, 0)
+    right = np.minimum(np.maximum(right, 0), 62)
+    mantissa = (widened >> right).reshape(n_groups, config.group_size)
+    sign = np.where(mantissa == 0, 0, sign)
+    return MxTensor(
+        sign=sign.astype(np.int8),
+        mantissa=mantissa.astype(np.int32),
+        shared_exponent=shared.astype(np.int32),
+        micro_offset=offset.astype(np.int8),
+        config=config,
+        layout=layout,
+    )
+
+
+def fake_quantize_mx(values: np.ndarray, config: MxConfig) -> np.ndarray:
+    """Quantize-dequantize through the MX format (LLM hook drop-in)."""
+    return quantize_mx(np.asarray(values), config).dequantize()
+
+
+def mx_error(values: np.ndarray, config: MxConfig) -> float:
+    """Root-mean-square round-trip error of one MX conversion."""
+    arr = np.asarray(values, dtype=np.float32)
+    return float(np.sqrt(np.mean((arr - fake_quantize_mx(arr, config)) ** 2)))

@@ -1,0 +1,120 @@
+"""Deployment artifacts: the compile-time output of the Anda flow.
+
+Fig. 1 ends the offline phase with "Anda precision instructions" handed
+to the runtime.  This module makes that hand-off concrete: a JSON
+artifact per (model, dataset, tolerance) carrying the searched
+combination, the accuracy evidence, and the hardware projection — the
+file a deployment pipeline would ship next to the weight checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.precision import PrecisionCombination
+from repro.errors import ModelError
+from repro.hw.accelerator import anda_operating_point
+from repro.quant.deploy import DeploymentResult, deploy_anda
+
+ARTIFACT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DeploymentArtifact:
+    """Everything the runtime needs to run a model with Anda activations."""
+
+    model_name: str
+    dataset: str
+    tolerance: float
+    combination: PrecisionCombination
+    effective_mantissa: float
+    bops_saving: float
+    reference_ppl: float
+    anda_ppl: float
+    projected_speedup: float
+    projected_energy_efficiency: float
+    search_iterations: int
+
+    def to_json(self) -> str:
+        payload = {
+            "version": ARTIFACT_VERSION,
+            "model": self.model_name,
+            "dataset": self.dataset,
+            "tolerance": self.tolerance,
+            "mantissa_bits": {
+                "qkv": self.combination.qkv,
+                "o": self.combination.o,
+                "u": self.combination.u,
+                "d": self.combination.d,
+            },
+            "effective_mantissa": self.effective_mantissa,
+            "bops_saving": self.bops_saving,
+            "validation": {
+                "reference_ppl": self.reference_ppl,
+                "anda_ppl": self.anda_ppl,
+            },
+            "projection": {
+                "speedup_vs_fpfp": self.projected_speedup,
+                "energy_efficiency_vs_fpfp": self.projected_energy_efficiency,
+            },
+            "search_iterations": self.search_iterations,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DeploymentArtifact":
+        payload = json.loads(text)
+        if payload.get("version") != ARTIFACT_VERSION:
+            raise ModelError(
+                f"unsupported artifact version {payload.get('version')}"
+            )
+        bits = payload["mantissa_bits"]
+        return cls(
+            model_name=payload["model"],
+            dataset=payload["dataset"],
+            tolerance=payload["tolerance"],
+            combination=PrecisionCombination(
+                bits["qkv"], bits["o"], bits["u"], bits["d"]
+            ).validate(),
+            effective_mantissa=payload["effective_mantissa"],
+            bops_saving=payload["bops_saving"],
+            reference_ppl=payload["validation"]["reference_ppl"],
+            anda_ppl=payload["validation"]["anda_ppl"],
+            projected_speedup=payload["projection"]["speedup_vs_fpfp"],
+            projected_energy_efficiency=payload["projection"][
+                "energy_efficiency_vs_fpfp"
+            ],
+            search_iterations=payload["search_iterations"],
+        )
+
+    def save(self, path: Path | str) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: Path | str) -> "DeploymentArtifact":
+        return cls.from_json(Path(path).read_text())
+
+
+def build_artifact(
+    model_name: str, dataset: str, tolerance: float
+) -> DeploymentArtifact:
+    """Run the offline flow and package the result."""
+    deployment: DeploymentResult = deploy_anda(model_name, dataset, tolerance)
+    point = anda_operating_point(model_name, deployment.combination, tolerance)
+    return DeploymentArtifact(
+        model_name=model_name,
+        dataset=dataset,
+        tolerance=tolerance,
+        combination=deployment.combination,
+        effective_mantissa=deployment.effective_mantissa,
+        bops_saving=deployment.bops_saving,
+        reference_ppl=deployment.reference_ppl_validation,
+        anda_ppl=deployment.anda_ppl_validation,
+        projected_speedup=point.speedup,
+        projected_energy_efficiency=point.energy_efficiency,
+        search_iterations=deployment.search.iterations,
+    )

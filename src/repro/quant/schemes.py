@@ -1,0 +1,88 @@
+"""Registry of BFP-family formats (the paper's Table I taxonomy).
+
+Each entry records how a format family handles mantissa length,
+computation style and storage — the axes Table I compares — plus, where
+applicable, a factory for the activation quantizer that evaluates it on
+the LLM substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.llm.hooks import Quantizer
+from repro.quant.act_quant import (
+    FIGNA_MANTISSA_BITS,
+    VSQUANT_MANTISSA_BITS,
+    bfp_quantizer,
+    figna_quantizer,
+    fp16_quantizer,
+    vsquant_quantizer,
+)
+
+
+@dataclass(frozen=True)
+class FormatSpec:
+    """One row of the format taxonomy.
+
+    Attributes:
+        name: format name as cited in the paper.
+        length_class: ``"uni"``, ``"multi"`` or ``"variable"``.
+        compute_mantissa_bits: mantissa widths available at compute time.
+        compute_style: ``"bit-parallel"``, ``"chunk-serial"`` or
+            ``"bit-serial"``.
+        storage: activation storage layout class.
+        quantizer_factory: builds the evaluation quantizer (``None`` for
+            formats we only tabulate, e.g. training-time-only ones).
+    """
+
+    name: str
+    length_class: str
+    compute_mantissa_bits: tuple[int, ...]
+    compute_style: str
+    storage: str
+    quantizer_factory: Callable[[], Quantizer] | None = None
+
+
+TABLE1_FORMATS: tuple[FormatSpec, ...] = (
+    FormatSpec("VS-Quant", "uni", (4,), "bit-parallel", "BFP element-based",
+               vsquant_quantizer),
+    FormatSpec("BOOST", "uni", (5,), "bit-parallel", "BFP element-based",
+               lambda: bfp_quantizer(5)),
+    FormatSpec("X. Lian et al.", "uni", (8,), "bit-parallel", "BFP element-based",
+               lambda: bfp_quantizer(8)),
+    FormatSpec("FIGNA", "uni", (14,), "bit-parallel", "FP16 element-based",
+               figna_quantizer),
+    FormatSpec("H. Fan et al.", "uni", (15,), "bit-parallel", "BFP element-based",
+               lambda: bfp_quantizer(15)),
+    FormatSpec("Flexpoint", "uni", (16,), "bit-parallel", "BFP element-based",
+               lambda: bfp_quantizer(16)),
+    FormatSpec("FAST", "multi", (2, 4), "chunk-serial", "BFP chunk-based"),
+    FormatSpec("DaCapo", "multi", (2, 4, 8), "bit-parallel", "BFP element-based"),
+    FormatSpec("FlexBlock", "multi", (4, 8, 16), "bit-parallel", "BFP element-based"),
+    FormatSpec("Anda (Ours)", "variable", tuple(range(1, 17)), "bit-serial",
+               "BFP bit-plane-based"),
+)
+
+#: Accuracy-comparison schemes of Table II, keyed by row label.
+TABLE2_SCHEMES: dict[str, Callable[[], Quantizer]] = {
+    "omniquant": fp16_quantizer,
+    "figna": figna_quantizer,
+    "vs-quant": vsquant_quantizer,
+}
+
+#: Uniform BOPs savings of the fixed-format rows.
+SCHEME_BOPS_SAVING: dict[str, float] = {
+    "omniquant": 1.0,
+    "figna": 64 / (4 * FIGNA_MANTISSA_BITS),
+    "vs-quant": 64 / (4 * VSQUANT_MANTISSA_BITS),
+}
+
+
+def get_format(name: str) -> FormatSpec:
+    """Look up a Table I format row by (case-insensitive) name."""
+    for spec in TABLE1_FORMATS:
+        if spec.name.lower() == name.lower():
+            return spec
+    raise KeyError(f"unknown format {name!r}")

@@ -1,0 +1,151 @@
+"""Group-wise integer weight-only quantization (the W4A16 baseline).
+
+The paper starts every activation experiment from an Omniquant
+W4A16g128 checkpoint.  Omniquant itself is a learned-clipping PTQ
+method; its *role* here — producing a weight-quantized model with a
+small perplexity gap that the activation study builds on — is filled by
+asymmetric round-to-nearest quantization with group-wise scales (the
+standard W4A16 fallback), as documented in DESIGN.md.
+
+Weights quantize along their reduction (input) axis in groups, matching
+the GeMM's dot-product direction: each group of a column stores INT
+codes plus one FP scale/zero pair, so the hardware multiplies integer
+codes and folds the scale into the cross-group FP accumulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.llm.transformer import CausalLM
+
+#: Omniquant's group size in the paper's W4A16g128 scheme.
+DEFAULT_GROUP_SIZE = 128
+
+
+@dataclass(frozen=True)
+class WeightQuantConfig:
+    """Parameters of a group-wise weight quantization.
+
+    Attributes:
+        bits: integer code width (4 for W4A16).
+        group_size: reduction-axis elements per scale; clipped to the
+            actual reduction length of small (sim) matrices.
+    """
+
+    bits: int = 4
+    group_size: int = DEFAULT_GROUP_SIZE
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.bits <= 8:
+            raise FormatError(f"weight bits must be in [2, 8], got {self.bits}")
+        if self.group_size < 1:
+            raise FormatError(f"group_size must be >= 1, got {self.group_size}")
+
+    @property
+    def levels(self) -> int:
+        return (1 << self.bits) - 1
+
+
+@dataclass
+class QuantizedWeight:
+    """INT codes plus per-group dequantization parameters.
+
+    ``codes`` has the original ``(in_features, out_features)`` shape;
+    ``scales`` and ``zeros`` have shape ``(n_groups, out_features)``.
+    """
+
+    codes: np.ndarray
+    scales: np.ndarray
+    zeros: np.ndarray
+    group_size: int
+    bits: int
+    in_features: int
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the float32 weight matrix."""
+        groups = self.codes.reshape(
+            -1, self.group_size, self.codes.shape[-1]
+        ).astype(np.float32)
+        restored = (groups - self.zeros[:, None, :]) * self.scales[:, None, :]
+        return restored.reshape(-1, self.codes.shape[-1])[: self.in_features]
+
+    def storage_bits(self) -> int:
+        """Footprint: codes + FP16 scale and zero per group/column."""
+        n_codes = self.codes.size
+        n_groups = self.scales.size
+        return self.bits * n_codes + 2 * 16 * n_groups
+
+
+def quantize_weights(weight: np.ndarray, config: WeightQuantConfig) -> QuantizedWeight:
+    """Asymmetric group-wise RTN quantization of one ``(in, out)`` matrix."""
+    weight = np.asarray(weight, dtype=np.float32)
+    if weight.ndim != 2:
+        raise FormatError(f"weights must be 2-D (in, out), got shape {weight.shape}")
+    in_features, out_features = weight.shape
+    group = min(config.group_size, in_features)
+    pad = (-in_features) % group
+    padded = np.pad(weight, ((0, pad), (0, 0)))
+    grouped = padded.reshape(-1, group, out_features)
+
+    w_min = grouped.min(axis=1)
+    w_max = grouped.max(axis=1)
+    scales = (w_max - w_min) / config.levels
+    scales = np.where(scales <= 0, 1.0, scales).astype(np.float32)
+    zeros = np.round(-w_min / scales).astype(np.float32)
+    codes = np.clip(
+        np.round(grouped / scales[:, None, :]) + zeros[:, None, :],
+        0,
+        config.levels,
+    ).astype(np.int16)
+
+    return QuantizedWeight(
+        codes=codes.reshape(-1, out_features)[: in_features + pad],
+        scales=scales,
+        zeros=zeros,
+        group_size=group,
+        bits=config.bits,
+        in_features=in_features,
+    )
+
+
+def fake_quantize_weights(weight: np.ndarray, config: WeightQuantConfig) -> np.ndarray:
+    """Quantize-dequantize a weight matrix (the model-side view)."""
+    return quantize_weights(weight, config).dequantize()
+
+
+def quantize_model_weights(
+    model: CausalLM, config: WeightQuantConfig | None = None
+) -> CausalLM:
+    """Fake-quantize every FP-INT GeMM weight of a model, in place.
+
+    Touches exactly the projections whose activations the Anda format
+    targets — QKV, attention output, FFN up/gate/down — leaving
+    embeddings, norms and the LM head in FP (as weight-only LLM
+    deployments do).  Returns the same model for chaining.
+    """
+    config = config or WeightQuantConfig()
+    for block in model.blocks:
+        linears = [block.attention.qkv_proj, block.attention.out_proj]
+        ffn = block.ffn
+        if hasattr(ffn, "gate_proj"):
+            linears += [ffn.gate_proj, ffn.up_proj, ffn.down_proj]
+        else:
+            linears += [ffn.up_proj, ffn.down_proj]
+        for linear in linears:
+            linear.weight.data[...] = fake_quantize_weights(
+                linear.weight.data, config
+            )
+    return model
+
+
+def weight_quantized_copy(
+    model: CausalLM, config: WeightQuantConfig | None = None
+) -> CausalLM:
+    """Weight-quantized clone; the input model stays full precision."""
+    clone = CausalLM(model.config)
+    clone.load_state_dict(model.state_dict())
+    return quantize_model_weights(clone, config)

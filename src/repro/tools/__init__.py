@@ -1,0 +1,5 @@
+"""Command-line tools built on the repro library.
+
+* ``python -m repro.tools.andafile`` — compress / inspect / decompress
+  ``.npy`` tensors through the Anda binary format.
+"""

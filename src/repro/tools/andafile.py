@@ -1,0 +1,107 @@
+"""CLI: compress numpy tensors through the Anda memory image.
+
+Usage::
+
+    python -m repro.tools.andafile compress  acts.npy -m 6 -o acts.anda
+    python -m repro.tools.andafile inspect   acts.anda
+    python -m repro.tools.andafile decompress acts.anda -o acts_back.npy
+
+``compress`` reports the achieved footprint vs FP16 and the maximum
+absolute encode error; ``inspect`` prints the header and per-group
+statistics without decoding the payload into floats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import fp16
+from repro.core.anda import AndaTensor
+from repro.core.serialize import dumps, loads
+
+
+def _load_tensor(path: Path) -> np.ndarray:
+    array = np.load(path)
+    if array.ndim < 1:
+        array = array.reshape(1)
+    return np.asarray(array, dtype=np.float32)
+
+
+def cmd_compress(args: argparse.Namespace) -> int:
+    source = _load_tensor(Path(args.input))
+    tensor = AndaTensor.from_float(source, args.mantissa_bits, rounding=args.rounding)
+    payload = dumps(tensor)
+    output = Path(args.output or Path(args.input).with_suffix(".anda"))
+    output.write_bytes(payload)
+
+    fp16_bytes = source.size * 2
+    error = float(np.abs(tensor.decode() - fp16.round_trip(source)).max())
+    print(f"wrote {output} ({len(payload)} bytes)")
+    print(f"shape {tensor.shape}, M={tensor.mantissa_bits}, "
+          f"{tensor.n_groups} groups")
+    print(f"footprint: {len(payload) / fp16_bytes * 100:.1f}% of FP16 "
+          f"({fp16_bytes} bytes)")
+    print(f"max abs encode error vs FP16: {error:.6g}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    tensor = loads(Path(args.input).read_bytes())
+    exponents = tensor.store.exponents
+    print(f"Anda image: shape {tensor.shape}, M={tensor.mantissa_bits}, "
+          f"rounding={tensor.rounding}")
+    print(f"groups: {tensor.n_groups} "
+          f"(pad {tensor.layout.pad} elements per row)")
+    print(f"words per group: {tensor.store.words_per_group()} x 64 bits")
+    print(f"shared exponent range: [{int(exponents.min())}, "
+          f"{int(exponents.max())}]")
+    print(f"storage: {tensor.storage_bits() / 8:.0f} bytes payload, "
+          f"{tensor.compression_ratio():.2f}x vs FP16")
+    return 0
+
+
+def cmd_decompress(args: argparse.Namespace) -> int:
+    tensor = loads(Path(args.input).read_bytes())
+    output = Path(args.output or Path(args.input).with_suffix(".npy"))
+    np.save(output, tensor.decode())
+    print(f"wrote {output} (float32, shape {tensor.shape})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.andafile", description=__doc__
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compress = commands.add_parser("compress", help="encode a .npy tensor")
+    compress.add_argument("input")
+    compress.add_argument("-m", "--mantissa-bits", type=int, default=8)
+    compress.add_argument("-r", "--rounding",
+                          choices=("truncate", "nearest", "stochastic"),
+                          default="truncate")
+    compress.add_argument("-o", "--output")
+    compress.set_defaults(handler=cmd_compress)
+
+    inspect = commands.add_parser("inspect", help="describe an .anda image")
+    inspect.add_argument("input")
+    inspect.set_defaults(handler=cmd_inspect)
+
+    decompress = commands.add_parser("decompress", help="decode to .npy")
+    decompress.add_argument("input")
+    decompress.add_argument("-o", "--output")
+    decompress.set_defaults(handler=cmd_decompress)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

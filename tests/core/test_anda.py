@@ -1,0 +1,107 @@
+"""Unit and property tests for the Anda tensor format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import fp16
+from repro.core.anda import ANDA_GROUP_SIZE, AndaTensor, fake_quantize
+from repro.core.bfp import BfpConfig, quantize
+from repro.errors import FormatError
+
+
+def random_activations(seed, shape, scale_spread=2.0):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=shape)
+    scales = 10 ** (rng.normal(size=shape) * scale_spread / 4)
+    return (base * scales).astype(np.float32)
+
+
+class TestRoundTrip:
+    def test_decode_matches_bfp_dequantize(self):
+        x = random_activations(0, (8, 256))
+        tensor = AndaTensor.from_float(x, mantissa_bits=7)
+        bfp = quantize(x, BfpConfig(mantissa_bits=7, group_size=ANDA_GROUP_SIZE))
+        assert np.array_equal(tensor.decode(), bfp.dequantize())
+
+    def test_fake_quantize_matches_decode(self):
+        x = random_activations(1, (4, 128))
+        tensor = AndaTensor.from_float(x, mantissa_bits=5)
+        assert np.array_equal(fake_quantize(x, 5), tensor.decode())
+
+    def test_bitplane_pack_unpack_identity(self):
+        x = random_activations(2, (3, 192))
+        tensor = AndaTensor.from_float(x, mantissa_bits=9)
+        rebuilt = tensor.to_bfp()
+        direct = quantize(x, BfpConfig(mantissa_bits=9, group_size=ANDA_GROUP_SIZE))
+        assert np.array_equal(rebuilt.mantissa, direct.mantissa)
+        assert np.array_equal(rebuilt.sign, direct.sign)
+        assert np.array_equal(rebuilt.shared_exponent, direct.shared_exponent)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        mantissa=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_encode_decode_error_bound(self, seed, mantissa):
+        x = random_activations(seed, (2, 64))
+        tensor = AndaTensor.from_float(x, mantissa_bits=mantissa)
+        decoded = tensor.decode()
+        x16 = fp16.round_trip(x)
+        exps = tensor.store.exponents
+        lsb = np.ldexp(1.0, exps + 1 - mantissa).reshape(2, 1)
+        assert np.all(np.abs(decoded - x16) <= lsb + 1e-12)
+
+    def test_rejects_wrong_group_size_bfp(self):
+        x = random_activations(3, (2, 64))
+        bfp = quantize(x, BfpConfig(mantissa_bits=4, group_size=32))
+        with pytest.raises(FormatError):
+            AndaTensor.from_bfp(bfp)
+
+    def test_rejects_out_of_range_mantissa(self):
+        with pytest.raises(FormatError):
+            AndaTensor.from_float(np.ones((1, 64)), mantissa_bits=0)
+
+
+class TestStorage:
+    def test_storage_bits_scale_with_mantissa(self):
+        x = random_activations(4, (16, 256))
+        small = AndaTensor.from_float(x, mantissa_bits=4).storage_bits()
+        large = AndaTensor.from_float(x, mantissa_bits=12).storage_bits()
+        assert small < large
+
+    def test_storage_formula(self):
+        x = np.ones((1, 64), dtype=np.float32)
+        tensor = AndaTensor.from_float(x, mantissa_bits=6)
+        # sign word + 6 plane words + 8-bit exponent, one group.
+        assert tensor.storage_bits() == 64 * (1 + 6) + 8
+
+    def test_compression_ratio_vs_fp16(self):
+        x = random_activations(5, (32, 512))
+        tensor = AndaTensor.from_float(x, mantissa_bits=7)
+        # 16 bits -> (1 + 7 + 8/64) bits per element.
+        assert tensor.compression_ratio() == pytest.approx(16 / (8 + 8 / 64))
+
+    def test_words_per_group(self):
+        x = np.ones((1, 64), dtype=np.float32)
+        tensor = AndaTensor.from_float(x, mantissa_bits=5)
+        assert tensor.store.words_per_group() == 6
+
+
+class TestGroupViews:
+    def test_group_values_match_decode(self):
+        x = random_activations(6, (4, 192))
+        tensor = AndaTensor.from_float(x, mantissa_bits=8)
+        grouped = tensor.group_values()
+        assert grouped.shape == (tensor.n_groups, ANDA_GROUP_SIZE)
+        assert np.allclose(
+            grouped.reshape(4, -1)[:, :192], tensor.decode(), atol=0
+        )
+
+    def test_signed_mantissa_signs(self):
+        x = np.array([[-1.0] * 32 + [1.0] * 32], dtype=np.float32)
+        tensor = AndaTensor.from_float(x, mantissa_bits=8)
+        signed = tensor.signed_mantissa()
+        assert np.all(signed[0, :32] < 0)
+        assert np.all(signed[0, 32:] > 0)

@@ -1,0 +1,201 @@
+"""Unit and property tests for grouped block-floating-point quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import fp16
+from repro.core.bfp import BfpConfig, fake_quantize, quantization_error, quantize
+from repro.errors import FormatError
+
+finite_arrays = st.lists(
+    st.floats(
+        min_value=-1000.0, max_value=1000.0, allow_nan=False, allow_infinity=False,
+        width=32,
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestConfig:
+    def test_rejects_zero_mantissa(self):
+        with pytest.raises(FormatError):
+            BfpConfig(mantissa_bits=0)
+
+    def test_rejects_too_long_mantissa(self):
+        with pytest.raises(FormatError):
+            BfpConfig(mantissa_bits=17)
+
+    def test_rejects_bad_group_size(self):
+        with pytest.raises(FormatError):
+            BfpConfig(group_size=0)
+
+    def test_rejects_bad_rounding(self):
+        with pytest.raises(FormatError):
+            BfpConfig(rounding="dither")
+
+
+class TestQuantizeBasics:
+    def test_shared_exponent_is_group_max(self):
+        x = np.array([[1.0, 4.0, 0.25, 8.0]])
+        t = quantize(x, BfpConfig(mantissa_bits=8, group_size=4))
+        # 8.0 has unbiased exponent 3 in the integer-significand convention
+        # of the library: 8.0 = 1024 * 2**(3 - 10).
+        assert t.shared_exponent[0] == 3
+
+    def test_group_max_is_exact_when_m_covers_it(self):
+        x = np.array([[5.5, 0.125, -0.0625, 2.0]])
+        t = quantize(x, BfpConfig(mantissa_bits=11, group_size=4))
+        decoded = t.dequantize()
+        assert decoded[0, 0] == 5.5
+
+    def test_small_elements_truncate_to_zero(self):
+        # With M=2 and shifts larger than 1 bit, tiny elements vanish.
+        x = np.array([[8.0, 0.001]])
+        t = quantize(x, BfpConfig(mantissa_bits=2, group_size=2))
+        decoded = t.dequantize()
+        assert decoded[0, 1] == 0.0
+
+    def test_all_zero_group(self):
+        x = np.zeros((2, 8), dtype=np.float32)
+        t = quantize(x, BfpConfig(mantissa_bits=4, group_size=8))
+        assert np.array_equal(t.dequantize(), x)
+
+    def test_sign_preserved(self):
+        x = np.array([[-1.0, 1.0, -2.0, 4.0]])
+        decoded = fake_quantize(x, BfpConfig(mantissa_bits=8, group_size=4))
+        assert np.all(np.sign(decoded) == np.sign(x))
+
+    def test_rejects_nan(self):
+        with pytest.raises(FormatError):
+            quantize(np.array([np.nan]), BfpConfig())
+
+    def test_group_size_none_means_whole_row(self):
+        x = np.ones((3, 100), dtype=np.float32)
+        t = quantize(x, BfpConfig(mantissa_bits=8, group_size=None))
+        assert t.layout.group_size == 100
+        assert t.n_groups == 3
+
+    def test_padding_restores_shape(self):
+        x = np.random.default_rng(0).normal(size=(5, 70)).astype(np.float32)
+        out = fake_quantize(x, BfpConfig(mantissa_bits=11, group_size=64))
+        assert out.shape == x.shape
+
+    def test_3d_shape_preserved(self):
+        x = np.random.default_rng(1).normal(size=(2, 3, 64)).astype(np.float32)
+        out = fake_quantize(x, BfpConfig(mantissa_bits=8, group_size=64))
+        assert out.shape == x.shape
+
+
+class TestFidelityVsMantissa:
+    def test_error_decreases_with_mantissa(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(16, 256)).astype(np.float32)
+        errors = [
+            quantization_error(x, BfpConfig(mantissa_bits=m, group_size=64))
+            for m in (2, 4, 6, 8, 10, 12)
+        ]
+        assert all(a >= b for a, b in zip(errors, errors[1:]))
+
+    def test_error_grows_with_group_size(self):
+        rng = np.random.default_rng(4)
+        x = (rng.normal(size=(8, 512)) * 10 ** rng.normal(size=(8, 512))).astype(
+            np.float32
+        )
+        errors = [
+            quantization_error(x, BfpConfig(mantissa_bits=5, group_size=gs))
+            for gs in (1, 16, 64, 256)
+        ]
+        assert errors[0] <= errors[1] <= errors[2] <= errors[3]
+
+    def test_gs1_m11_is_fp16_exact(self):
+        """Group size 1 with 11 mantissa bits reproduces FP16 exactly."""
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(4, 32)).astype(np.float32)
+        out = fake_quantize(x, BfpConfig(mantissa_bits=11, group_size=1))
+        assert np.array_equal(out, fp16.round_trip(x))
+
+    def test_truncation_never_increases_magnitude(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(8, 128)).astype(np.float32)
+        out = fake_quantize(x, BfpConfig(mantissa_bits=6, group_size=64))
+        assert np.all(np.abs(out) <= np.abs(fp16.round_trip(x)) + 1e-9)
+
+    def test_relative_group_error_bound(self):
+        """Truncation error is below one LSB of the group scale."""
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(32, 64)).astype(np.float32)
+        m = 7
+        config = BfpConfig(mantissa_bits=m, group_size=64)
+        t = quantize(x, config)
+        decoded = t.dequantize()
+        x16 = fp16.round_trip(x)
+        # LSB value per group: 2**(shared + 1 - M).
+        lsb = np.ldexp(1.0, t.shared_exponent + 1 - m)
+        err = np.abs(decoded - x16).reshape(32, 64)
+        assert np.all(err <= lsb[:, None] + 1e-12)
+
+
+class TestRounding:
+    def test_nearest_at_least_as_accurate_on_average(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(64, 64)).astype(np.float32)
+        trunc = quantization_error(x, BfpConfig(mantissa_bits=5, rounding="truncate"))
+        near = quantization_error(x, BfpConfig(mantissa_bits=5, rounding="nearest"))
+        assert near <= trunc
+
+    def test_nearest_saturates_instead_of_overflowing(self):
+        # A group max with an all-ones mantissa would carry out when
+        # rounded; the encoder must saturate, not wrap.
+        x = np.array([[np.float32(np.nextafter(np.float16(2.0), np.float16(1.0)))] * 4])
+        out = fake_quantize(x, BfpConfig(mantissa_bits=4, group_size=4, rounding="nearest"))
+        assert np.all(np.isfinite(out))
+        assert np.all(np.abs(out) <= 2.0)
+
+
+class TestStorage:
+    def test_storage_accounting(self):
+        x = np.zeros((1, 64), dtype=np.float32)
+        t = quantize(x, BfpConfig(mantissa_bits=7, group_size=64))
+        # 64 * (1 sign + 7 mantissa) + 8 exponent bits.
+        assert t.storage_bits() == 64 * 8 + 8
+
+
+@given(values=finite_arrays, mantissa=st.integers(min_value=1, max_value=16))
+@settings(max_examples=60, deadline=None)
+def test_property_dequantized_error_bounded_by_group_lsb(values, mantissa):
+    """For any input, every element's error is below the group LSB."""
+    x = np.array(values, dtype=np.float32).reshape(1, -1)
+    config = BfpConfig(mantissa_bits=mantissa, group_size=None)
+    t = quantize(x, config)
+    decoded = t.dequantize()
+    x16 = fp16.round_trip(x)
+    lsb = float(np.ldexp(1.0, int(t.shared_exponent[0]) + 1 - mantissa))
+    assert np.all(np.abs(decoded - x16) <= lsb + 1e-12)
+
+
+@given(values=finite_arrays)
+@settings(max_examples=40, deadline=None)
+def test_property_m16_gs1_lossless(values):
+    """16 mantissa bits with group size 1 keep all FP16 information."""
+    x = np.array(values, dtype=np.float32)
+    out = fake_quantize(x, BfpConfig(mantissa_bits=16, group_size=1))
+    assert np.array_equal(out.ravel(), fp16.round_trip(x).ravel())
+
+
+@given(
+    values=finite_arrays,
+    mantissa=st.integers(min_value=1, max_value=11),
+    group=st.sampled_from([1, 2, 8, 64]),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_idempotent(values, mantissa, group):
+    """Quantizing an already-quantized tensor changes nothing (M <= 11,
+    where decoded values are exactly FP16-representable)."""
+    x = np.array(values, dtype=np.float32)
+    config = BfpConfig(mantissa_bits=mantissa, group_size=group)
+    once = fake_quantize(x, config)
+    twice = fake_quantize(once, config)
+    assert np.array_equal(once, twice)

@@ -1,0 +1,94 @@
+"""Tests for the transposed bit-plane memory layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitplane import (
+    WORD_BITS,
+    BitPlaneStore,
+    pack_planes,
+    pack_signs,
+    unpack_planes,
+    unpack_signs,
+)
+from repro.errors import FormatError
+
+
+class TestPlanePacking:
+    def test_single_element_msb_first(self):
+        mantissa = np.zeros((1, WORD_BITS), dtype=np.int64)
+        mantissa[0, 0] = 0b101  # element 0, M=3
+        planes = pack_planes(mantissa, 3)
+        # MSB plane first: bit2=1, bit1=0, bit0=1, all in word bit 0.
+        assert planes[0, 0] == 1
+        assert planes[0, 1] == 0
+        assert planes[0, 2] == 1
+
+    def test_element_position_maps_to_word_bit(self):
+        mantissa = np.zeros((1, WORD_BITS), dtype=np.int64)
+        mantissa[0, 63] = 1  # M=1
+        planes = pack_planes(mantissa, 1)
+        assert planes[0, 0] == np.uint64(1) << np.uint64(63)
+
+    def test_round_trip_random(self):
+        rng = np.random.default_rng(0)
+        for m in (1, 4, 7, 11, 16):
+            mantissa = rng.integers(0, 1 << m, size=(5, WORD_BITS))
+            planes = pack_planes(mantissa, m)
+            assert np.array_equal(unpack_planes(planes, m), mantissa)
+
+    def test_rejects_overflowing_mantissa(self):
+        mantissa = np.full((1, WORD_BITS), 16, dtype=np.int64)
+        with pytest.raises(FormatError):
+            pack_planes(mantissa, 4)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(FormatError):
+            pack_planes(np.zeros((1, 32), dtype=np.int64), 4)
+
+    @given(
+        m=st.integers(min_value=1, max_value=16),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_round_trip(self, m, seed):
+        rng = np.random.default_rng(seed)
+        mantissa = rng.integers(0, 1 << m, size=(3, WORD_BITS))
+        assert np.array_equal(unpack_planes(pack_planes(mantissa, m), m), mantissa)
+
+
+class TestSignPacking:
+    def test_round_trip(self):
+        rng = np.random.default_rng(1)
+        sign = rng.integers(0, 2, size=(7, WORD_BITS))
+        assert np.array_equal(unpack_signs(pack_signs(sign)), sign)
+
+    def test_all_ones(self):
+        sign = np.ones((1, WORD_BITS), dtype=np.int8)
+        assert pack_signs(sign)[0] == np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class TestStore:
+    def test_store_round_trip(self):
+        rng = np.random.default_rng(2)
+        m = 9
+        sign = rng.integers(0, 2, size=(4, WORD_BITS))
+        mantissa = rng.integers(0, 1 << m, size=(4, WORD_BITS))
+        exps = rng.integers(-20, 20, size=4)
+        store = BitPlaneStore.from_fields(sign, mantissa, exps, m)
+        s2, m2, e2 = store.unpack()
+        assert np.array_equal(s2, sign)
+        assert np.array_equal(m2, mantissa)
+        assert np.array_equal(e2, exps)
+
+    def test_variable_depth_constant_width(self):
+        """Different mantissa lengths change word count, not word width."""
+        sign = np.zeros((2, WORD_BITS), dtype=np.int8)
+        exps = np.zeros(2, dtype=np.int32)
+        m4 = BitPlaneStore.from_fields(sign, np.zeros((2, WORD_BITS), int), exps, 4)
+        m9 = BitPlaneStore.from_fields(sign, np.zeros((2, WORD_BITS), int), exps, 9)
+        assert m4.mantissa_planes.dtype == m9.mantissa_planes.dtype == np.uint64
+        assert m4.words_per_group() == 5
+        assert m9.words_per_group() == 10

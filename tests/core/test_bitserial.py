@@ -1,0 +1,152 @@
+"""Tests for the bit-serial APU dot-product arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.anda import AndaTensor
+from repro.core.bitserial import (
+    anda_matvec,
+    reference_group_dot,
+    serial_group_dot,
+)
+from repro.errors import HardwareError
+
+
+def encoded_group(seed, mantissa_bits):
+    rng = np.random.default_rng(seed)
+    x = (rng.normal(size=(1, 64)) * 10 ** rng.normal(size=(1, 64))).astype(np.float32)
+    return AndaTensor.from_float(x, mantissa_bits)
+
+
+class TestSerialGroupDot:
+    @pytest.mark.parametrize("mantissa_bits", [1, 3, 6, 9, 12, 16])
+    def test_matches_integer_reference(self, mantissa_bits):
+        tensor = encoded_group(mantissa_bits, mantissa_bits)
+        rng = np.random.default_rng(99)
+        weights = rng.integers(-8, 8, size=64)
+        result = serial_group_dot(
+            tensor.store.mantissa_planes[0],
+            tensor.store.sign_words[0],
+            int(tensor.store.exponents[0]),
+            mantissa_bits,
+            weights,
+        )
+        expected_int = int(tensor.signed_mantissa()[0] @ weights)
+        assert result.integer == expected_int
+        expected_value = reference_group_dot(
+            tensor.signed_mantissa()[0],
+            int(tensor.store.exponents[0]),
+            mantissa_bits,
+            weights,
+        )
+        assert result.value == pytest.approx(expected_value, rel=0, abs=0)
+
+    def test_cycle_count_equals_planes(self):
+        tensor = encoded_group(5, 7)
+        result = serial_group_dot(
+            tensor.store.mantissa_planes[0],
+            tensor.store.sign_words[0],
+            int(tensor.store.exponents[0]),
+            7,
+            np.ones(64, dtype=np.int64),
+        )
+        assert result.cycles == 7
+
+    def test_weight_scale_applied(self):
+        tensor = encoded_group(6, 8)
+        weights = np.ones(64, dtype=np.int64)
+        base = serial_group_dot(
+            tensor.store.mantissa_planes[0],
+            tensor.store.sign_words[0],
+            int(tensor.store.exponents[0]),
+            8,
+            weights,
+        ).value
+        scaled = serial_group_dot(
+            tensor.store.mantissa_planes[0],
+            tensor.store.sign_words[0],
+            int(tensor.store.exponents[0]),
+            8,
+            weights,
+            weight_scale=0.5,
+        ).value
+        assert scaled == pytest.approx(base * 0.5)
+
+    def test_rejects_wrong_weight_count(self):
+        tensor = encoded_group(7, 4)
+        with pytest.raises(HardwareError):
+            serial_group_dot(
+                tensor.store.mantissa_planes[0],
+                tensor.store.sign_words[0],
+                0,
+                4,
+                np.ones(32, dtype=np.int64),
+            )
+
+    @given(seed=st.integers(0, 5000), mantissa=st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_property_serial_equals_reference(self, seed, mantissa):
+        tensor = encoded_group(seed, mantissa)
+        rng = np.random.default_rng(seed + 1)
+        weights = rng.integers(-8, 8, size=64)
+        result = serial_group_dot(
+            tensor.store.mantissa_planes[0],
+            tensor.store.sign_words[0],
+            int(tensor.store.exponents[0]),
+            mantissa,
+            weights,
+        )
+        assert result.integer == int(tensor.signed_mantissa()[0] @ weights)
+
+
+class TestAndaMatvec:
+    def test_vectorized_matches_serial(self):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(3, 128)).astype(np.float32)
+        w = rng.integers(-8, 8, size=(128, 5))
+        tensor = AndaTensor.from_float(x, 6)
+        fast = anda_matvec(tensor, w)
+        slow = anda_matvec(tensor, w, serial=True)
+        assert np.allclose(fast, slow, rtol=1e-6, atol=1e-6)
+
+    def test_approximates_float_matmul(self):
+        """High-precision Anda GeMM converges to the float result."""
+        rng = np.random.default_rng(12)
+        x = rng.normal(size=(4, 256)).astype(np.float32)
+        w = rng.integers(-8, 8, size=(256, 8))
+        exact = x @ w.astype(np.float32)
+        coarse = anda_matvec(AndaTensor.from_float(x, 3), w)
+        fine = anda_matvec(AndaTensor.from_float(x, 12), w)
+        err_coarse = np.abs(coarse - exact).max()
+        err_fine = np.abs(fine - exact).max()
+        assert err_fine < err_coarse
+        assert np.allclose(fine, exact, rtol=2e-3, atol=2e-3 * np.abs(exact).max())
+
+    def test_ragged_reduction_dim_padded(self):
+        rng = np.random.default_rng(13)
+        x = rng.normal(size=(2, 100)).astype(np.float32)  # pads to 128
+        w = rng.integers(-8, 8, size=(100, 3))
+        out = anda_matvec(AndaTensor.from_float(x, 11), w)
+        exact = x @ w.astype(np.float32)
+        assert np.allclose(out, exact, rtol=2e-3, atol=2e-3 * np.abs(exact).max())
+
+    def test_column_scales(self):
+        rng = np.random.default_rng(14)
+        x = rng.normal(size=(2, 64)).astype(np.float32)
+        w = rng.integers(-8, 8, size=(64, 4))
+        scales = np.array([1.0, 0.5, 2.0, 0.25], dtype=np.float32)
+        base = anda_matvec(AndaTensor.from_float(x, 8), w)
+        scaled = anda_matvec(AndaTensor.from_float(x, 8), w, weight_scales=scales)
+        assert np.allclose(scaled, base * scales)
+
+    def test_rejects_shape_mismatch(self):
+        x = np.ones((2, 64), dtype=np.float32)
+        with pytest.raises(HardwareError):
+            anda_matvec(AndaTensor.from_float(x, 8), np.ones((32, 4), dtype=np.int64))
+
+    def test_rejects_non_2d(self):
+        x = np.ones((2, 2, 64), dtype=np.float32)
+        with pytest.raises(HardwareError):
+            anda_matvec(AndaTensor.from_float(x, 8), np.ones((64, 4), dtype=np.int64))

@@ -1,0 +1,84 @@
+"""Tests for the cycle-explicit bit-plane compressor (BPC)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.anda import AndaTensor
+from repro.core.compressor import BitPlaneCompressor
+from repro.errors import FormatError
+
+
+def random_fp16_like(seed, shape):
+    rng = np.random.default_rng(seed)
+    return (rng.normal(size=shape) * 10 ** rng.normal(size=shape)).astype(np.float32)
+
+
+class TestEquivalence:
+    """The hardware aligner must be bit-identical to the arithmetic encoder."""
+
+    @pytest.mark.parametrize("mantissa_bits", [1, 2, 4, 7, 11, 13, 16])
+    def test_matches_direct_encode(self, mantissa_bits):
+        x = random_fp16_like(mantissa_bits, (8, 256))
+        compressed, _ = BitPlaneCompressor().compress(x, mantissa_bits)
+        direct = AndaTensor.from_float(x, mantissa_bits)
+        assert np.array_equal(
+            compressed.store.mantissa_planes, direct.store.mantissa_planes
+        )
+        assert np.array_equal(compressed.store.sign_words, direct.store.sign_words)
+        assert np.array_equal(compressed.store.exponents, direct.store.exponents)
+
+    def test_decode_matches(self):
+        x = random_fp16_like(42, (4, 64))
+        compressed, _ = BitPlaneCompressor().compress(x, 6)
+        assert np.array_equal(
+            compressed.decode(), AndaTensor.from_float(x, 6).decode()
+        )
+
+    @given(
+        seed=st.integers(0, 10_000),
+        mantissa=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_equivalence(self, seed, mantissa):
+        x = random_fp16_like(seed, (2, 128))
+        compressed, _ = BitPlaneCompressor().compress(x, mantissa)
+        direct = AndaTensor.from_float(x, mantissa)
+        assert np.array_equal(
+            compressed.store.mantissa_planes, direct.store.mantissa_planes
+        )
+
+    def test_with_zeros_and_subnormals(self):
+        x = np.array(
+            [[0.0, 2.0**-24, -(2.0**-24), 1.0, -0.0, 65504.0] + [0.0] * 58],
+            dtype=np.float32,
+        )
+        compressed, _ = BitPlaneCompressor().compress(x, 8)
+        direct = AndaTensor.from_float(x, 8)
+        assert np.array_equal(compressed.decode(), direct.decode())
+
+
+class TestCycleModel:
+    def test_cycles_scale_with_mantissa(self):
+        x = random_fp16_like(0, (16, 64))
+        _, fast = BitPlaneCompressor().compress(x, 4)
+        _, slow = BitPlaneCompressor().compress(x, 12)
+        assert slow.cycles == 3 * fast.cycles
+
+    def test_lane_parallelism(self):
+        x = random_fp16_like(1, (16, 64))  # 16 groups
+        _, one_lane = BitPlaneCompressor(lanes=1).compress(x, 8)
+        _, sixteen = BitPlaneCompressor(lanes=16).compress(x, 8)
+        assert one_lane.passes == 16
+        assert sixteen.passes == 1
+        assert one_lane.cycles == 16 * sixteen.cycles
+
+    def test_group_count(self):
+        x = random_fp16_like(2, (4, 256))  # 4 rows x 4 groups
+        _, stats = BitPlaneCompressor().compress(x, 8)
+        assert stats.groups == 16
+
+    def test_rejects_zero_lanes(self):
+        with pytest.raises(FormatError):
+            BitPlaneCompressor(lanes=0)

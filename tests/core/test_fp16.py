@@ -1,0 +1,114 @@
+"""Unit tests for the bit-true FP16 codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import fp16
+from repro.errors import FormatError
+
+
+class TestDecompose:
+    def test_one(self):
+        sign, exponent, significand = fp16.decompose(np.array([1.0]))
+        assert sign[0] == 0
+        assert exponent[0] == 0
+        assert significand[0] == 1 << 10
+
+    def test_negative_two(self):
+        sign, exponent, significand = fp16.decompose(np.array([-2.0]))
+        assert sign[0] == 1
+        assert exponent[0] == 1
+        assert significand[0] == 1 << 10
+
+    def test_one_point_five(self):
+        _, exponent, significand = fp16.decompose(np.array([1.5]))
+        assert exponent[0] == 0
+        assert significand[0] == (1 << 10) | (1 << 9)
+
+    def test_zero_gets_sentinel_exponent(self):
+        _, exponent, significand = fp16.decompose(np.array([0.0]))
+        assert significand[0] == 0
+        assert exponent[0] == fp16.ZERO_EXPONENT
+
+    def test_subnormal(self):
+        # Smallest positive FP16 subnormal is 2**-24.
+        sign, exponent, significand = fp16.decompose(np.array([2.0**-24]))
+        assert sign[0] == 0
+        assert exponent[0] == fp16.SUBNORMAL_EXPONENT
+        assert significand[0] == 1
+
+    def test_significand_range(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=1000).astype(np.float32)
+        _, _, significand = fp16.decompose(x)
+        assert np.all(significand < (1 << 11))
+        assert np.all(significand >= 0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(FormatError):
+            fp16.decompose(np.array([np.nan]))
+
+    def test_rejects_inf(self):
+        with pytest.raises(FormatError):
+            fp16.decompose(np.array([np.inf]))
+
+    def test_overflow_saturates_to_max_finite(self):
+        sign, exponent, significand = fp16.decompose(np.array([1e9, -1e9]))
+        value = fp16.compose(sign, exponent, significand)
+        assert value[0] == pytest.approx(fp16.MAX_FINITE)
+        assert value[1] == pytest.approx(-fp16.MAX_FINITE)
+
+
+class TestRoundTrip:
+    def test_exact_fp16_values(self):
+        values = np.array([0.0, 1.0, -1.5, 0.25, 1024.0, -65504.0], dtype=np.float32)
+        assert np.array_equal(fp16.round_trip(values), values)
+
+    def test_matches_numpy_cast(self):
+        rng = np.random.default_rng(7)
+        x = (rng.normal(size=4096) * 10 ** rng.uniform(-6, 4, size=4096)).astype(
+            np.float32
+        )
+        expected = x.astype(np.float16).astype(np.float32)
+        assert np.array_equal(fp16.round_trip(x), expected)
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=-60000.0,
+                max_value=60000.0,
+                allow_nan=False,
+                allow_infinity=False,
+                width=32,
+            ),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_property_round_trip_equals_fp16_cast(self, values):
+        x = np.array(values, dtype=np.float32)
+        expected = x.astype(np.float16).astype(np.float32)
+        assert np.array_equal(fp16.round_trip(x), expected)
+
+    def test_preserves_shape(self):
+        x = np.zeros((3, 5, 7), dtype=np.float32)
+        assert fp16.round_trip(x).shape == (3, 5, 7)
+
+    def test_all_positive_normal_bit_patterns(self):
+        # Exhaustively reconstruct every finite positive FP16 pattern.
+        bits = np.arange(0, 0x7C00, dtype=np.uint16)  # below Inf
+        expected = bits.view(np.float16).astype(np.float32)
+        sign, exp_field, mant_field = fp16.decompose_bits(bits)
+        hidden = np.where(exp_field > 0, 1 << 10, 0)
+        significand = hidden | mant_field
+        exponent = np.where(exp_field > 0, exp_field - 15, -14)
+        rebuilt = fp16.compose(sign, exponent, significand)
+        assert np.array_equal(rebuilt, expected)
+
+
+class TestStorage:
+    def test_storage_bits(self):
+        assert fp16.storage_bits(64) == 1024
+        assert fp16.storage_bits(0) == 0

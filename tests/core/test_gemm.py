@@ -1,0 +1,166 @@
+"""Tests for the full integer W4A16 x Anda GeMM operator."""
+
+import numpy as np
+import pytest
+
+from repro.core.anda import AndaTensor
+from repro.core.gemm import anda_gemm, reference_gemm
+from repro.errors import HardwareError
+from repro.quant.weight_quant import WeightQuantConfig, quantize_weights
+
+
+def make_operands(seed=0, rows=6, k=256, n=32, mantissa=8, weight_group=128):
+    rng = np.random.default_rng(seed)
+    acts = rng.normal(size=(rows, k)).astype(np.float32)
+    weights = rng.normal(size=(k, n)).astype(np.float32) / np.sqrt(k)
+    encoded = AndaTensor.from_float(acts, mantissa)
+    quantized = quantize_weights(
+        weights, WeightQuantConfig(bits=4, group_size=weight_group)
+    )
+    return encoded, quantized
+
+
+class TestNumericalContract:
+    @pytest.mark.parametrize("mantissa", [3, 6, 8, 11, 14])
+    def test_matches_float_reference(self, mantissa):
+        acts, weights = make_operands(mantissa, mantissa=mantissa)
+        out, _ = anda_gemm(acts, weights)
+        ref = reference_gemm(acts, weights)
+        np.testing.assert_allclose(out, ref, rtol=1e-5, atol=1e-5)
+
+    def test_weight_group_equal_to_anda_group(self):
+        acts, weights = make_operands(1, weight_group=64)
+        out, _ = anda_gemm(acts, weights)
+        np.testing.assert_allclose(out, reference_gemm(acts, weights), rtol=1e-5)
+
+    def test_weight_group_smaller_than_anda_group(self):
+        acts, weights = make_operands(2, weight_group=32)
+        out, _ = anda_gemm(acts, weights)
+        np.testing.assert_allclose(
+            out, reference_gemm(acts, weights), rtol=1e-5, atol=1e-5
+        )
+
+    def test_weight_group_larger_than_anda_group(self):
+        acts, weights = make_operands(3, k=512, weight_group=256)
+        out, _ = anda_gemm(acts, weights)
+        np.testing.assert_allclose(
+            out, reference_gemm(acts, weights), rtol=1e-5, atol=1e-5
+        )
+
+    def test_approximates_unquantized_matmul(self):
+        rng = np.random.default_rng(4)
+        acts_f = rng.normal(size=(4, 256)).astype(np.float32)
+        weights_f = rng.normal(size=(256, 16)).astype(np.float32) / 16
+        acts, weights = make_operands(4, mantissa=11)
+        exact = acts_f @ weights_f
+        out, _ = anda_gemm(
+            AndaTensor.from_float(acts_f, 11),
+            quantize_weights(weights_f, WeightQuantConfig()),
+        )
+        # Residual error is dominated by the INT4 *weight* quantization
+        # (the W4A16 scheme's intrinsic cost), not the Anda encode.
+        scale = np.abs(exact).max()
+        assert np.abs(out - exact).max() < 0.2 * scale
+        assert np.corrcoef(out.ravel(), exact.ravel())[0, 1] > 0.99
+
+    def test_non_nesting_groups_rejected(self):
+        acts, _ = make_operands(5)
+        rng = np.random.default_rng(5)
+        weights = quantize_weights(
+            rng.normal(size=(256, 8)).astype(np.float32),
+            WeightQuantConfig(group_size=48),
+        )
+        with pytest.raises(HardwareError):
+            anda_gemm(acts, weights)
+
+    def test_shape_mismatch_rejected(self):
+        acts, _ = make_operands(6, k=256)
+        rng = np.random.default_rng(6)
+        weights = quantize_weights(
+            rng.normal(size=(128, 8)).astype(np.float32), WeightQuantConfig()
+        )
+        with pytest.raises(HardwareError):
+            anda_gemm(acts, weights)
+
+    def test_rejects_non_2d_activations(self):
+        x = np.ones((2, 2, 64), dtype=np.float32)
+        acts = AndaTensor.from_float(x, 8)
+        _, weights = make_operands(7, k=64)
+        with pytest.raises(HardwareError):
+            anda_gemm(acts, weights)
+
+
+class TestOutputCompression:
+    def test_write_back_path_quantizes(self):
+        acts, weights = make_operands(8)
+        raw, _ = anda_gemm(acts, weights)
+        compressed, stats = anda_gemm(acts, weights, compress_output_bits=6)
+        assert stats.output_compress_cycles > 0
+        assert not np.array_equal(raw, compressed)
+        # The compressed output equals raw encoded at 6 bits.
+        expected = AndaTensor.from_float(raw, 6).decode()
+        np.testing.assert_array_equal(compressed, expected)
+
+    def test_stats_counts(self):
+        acts, weights = make_operands(9, rows=3, k=128, n=8, mantissa=5)
+        _, stats = anda_gemm(acts, weights)
+        assert stats.integer_macs == 3 * 128 * 8
+        assert stats.groups_reduced == 3 * 2 * 8
+        assert stats.bitplanes_streamed == 3 * 2 * 5
+
+
+class TestFaultInjection:
+    """Bit errors in the stored planes have bounded, plane-weighted
+    impact — the failure-containment property of the bit-plane layout."""
+
+    def _flip_plane_bit(self, tensor, group, plane, element):
+        planes = tensor.store.mantissa_planes.copy()
+        planes[group, plane] ^= np.uint64(1) << np.uint64(element)
+        tensor.store.mantissa_planes = planes
+        return tensor
+
+    def test_lsb_flip_has_small_effect(self):
+        acts, weights = make_operands(10, mantissa=8)
+        clean, _ = anda_gemm(acts, weights)
+        faulty = self._flip_plane_bit(acts, group=0, plane=7, element=3)
+        dirty, _ = anda_gemm(faulty, weights)
+        # Exactly one group of one row changes, by one LSB-weighted step.
+        diff = np.abs(dirty - clean)
+        assert (diff > 0).any()
+        exponent = int(acts.store.exponents[0])
+        lsb_value = 2.0 ** (exponent + 1 - 8)
+        max_weight_mag = np.abs(weights.dequantize()).max()
+        assert diff.max() <= lsb_value * max_weight_mag * 1.001
+
+    def test_msb_flip_is_2e7_times_lsb_flip(self):
+        acts, weights = make_operands(11, mantissa=8)
+        clean, _ = anda_gemm(acts, weights)
+        msb = self._flip_plane_bit(make_operands(11, mantissa=8)[0], 0, 0, 5)
+        lsb = self._flip_plane_bit(make_operands(11, mantissa=8)[0], 0, 7, 5)
+        msb_diff = np.abs(anda_gemm(msb, weights)[0] - clean).max()
+        lsb_diff = np.abs(anda_gemm(lsb, weights)[0] - clean).max()
+        if lsb_diff > 0 and msb_diff > 0:
+            # float32 output rounding leaves ~1e-2 slack on the exact
+            # 2^7 plane-weight ratio.
+            assert msb_diff == pytest.approx(lsb_diff * 2**7, rel=1e-2)
+
+    def test_sign_word_flip_doubles_contribution(self):
+        acts, weights = make_operands(12, mantissa=8)
+        clean, _ = anda_gemm(acts, weights)
+        signs = acts.store.sign_words.copy()
+        signs[0] ^= np.uint64(1) << np.uint64(9)
+        acts.store.sign_words = signs
+        dirty, _ = anda_gemm(acts, weights)
+        # Flipping a sign changes the contribution by 2x the element.
+        assert not np.array_equal(dirty, clean)
+
+    def test_exponent_corruption_scales_group(self):
+        acts, weights = make_operands(13, mantissa=8)
+        clean, _ = anda_gemm(acts, weights)
+        exps = acts.store.exponents.copy()
+        exps[0] += 1
+        acts.store.exponents = exps
+        dirty, _ = anda_gemm(acts, weights)
+        # Only the first row (which owns group 0) is affected.
+        assert not np.allclose(dirty[0], clean[0])
+        np.testing.assert_array_equal(dirty[1:], clean[1:])

@@ -1,0 +1,74 @@
+"""Tests for the grouping helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.groups import from_groups, resolve_group_size, to_groups
+from repro.errors import FormatError
+
+
+class TestToGroups:
+    def test_exact_division(self):
+        x = np.arange(12.0).reshape(2, 6)
+        grouped, layout = to_groups(x, 3)
+        assert grouped.shape == (4, 3)
+        assert layout.pad == 0
+        assert layout.groups_per_row == 2
+
+    def test_padding(self):
+        x = np.arange(10.0).reshape(2, 5)
+        grouped, layout = to_groups(x, 4)
+        assert grouped.shape == (4, 4)
+        assert layout.pad == 3
+        assert np.all(grouped[1, 1:] == 0)
+
+    def test_none_group_size_is_row(self):
+        x = np.ones((3, 7))
+        grouped, layout = to_groups(x, None)
+        assert layout.group_size == 7
+        assert grouped.shape == (3, 7)
+
+    def test_3d_tensor(self):
+        x = np.ones((2, 3, 8))
+        grouped, layout = to_groups(x, 4)
+        assert grouped.shape == (12, 4)
+
+    def test_scalar_promoted(self):
+        grouped, layout = to_groups(np.float32(5.0), 4)
+        assert grouped.shape == (1, 4)
+
+    def test_rejects_empty_last_axis(self):
+        with pytest.raises(FormatError):
+            to_groups(np.ones((2, 0)), 4)
+
+    def test_rejects_bad_group_size(self):
+        with pytest.raises(FormatError):
+            resolve_group_size(0, 8)
+
+
+class TestFromGroups:
+    def test_round_trip(self):
+        x = np.random.default_rng(0).normal(size=(3, 5, 70))
+        grouped, layout = to_groups(x, 16)
+        assert np.array_equal(from_groups(grouped, layout), x)
+
+    def test_shape_mismatch_raises(self):
+        x = np.ones((2, 8))
+        grouped, layout = to_groups(x, 4)
+        with pytest.raises(FormatError):
+            from_groups(grouped[:1], layout)
+
+    @given(
+        rows=st.integers(1, 5),
+        cols=st.integers(1, 100),
+        group=st.integers(1, 64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_round_trip(self, rows, cols, group):
+        rng = np.random.default_rng(rows * 1000 + cols)
+        x = rng.normal(size=(rows, cols))
+        grouped, layout = to_groups(x, group)
+        assert np.array_equal(from_groups(grouped, layout), x)
+        assert grouped.shape[1] == min(group, grouped.shape[1])

@@ -1,0 +1,121 @@
+"""Tests for precision combinations and the BOPs cost model."""
+
+import pytest
+
+from repro.core.bops import (
+    FP16_INT4_BOPS,
+    baseline_bops,
+    bops_saving,
+    combination_bops,
+    effective_mantissa_bits,
+    module_mac_weights,
+    uniform_bops_saving,
+)
+from repro.core.precision import PrecisionCombination, TensorKind
+from repro.errors import FormatError
+
+
+class TestPrecisionCombination:
+    def test_uniform(self):
+        assert PrecisionCombination.uniform(7) == (7, 7, 7, 7)
+
+    def test_kind_indexing(self):
+        comb = PrecisionCombination(8, 7, 6, 5)
+        assert comb[TensorKind.QKV] == 8
+        assert comb[TensorKind.O] == 7
+        assert comb[TensorKind.U] == 6
+        assert comb[TensorKind.D] == 5
+        assert comb[0] == 8
+
+    def test_relaxations_match_paper_example(self):
+        """Sec. III-C: [6,7,5,5] relaxes to the four single-bit decrements."""
+        comb = PrecisionCombination(6, 7, 5, 5)
+        assert set(comb.relaxations()) == {
+            PrecisionCombination(5, 7, 5, 5),
+            PrecisionCombination(6, 6, 5, 5),
+            PrecisionCombination(6, 7, 4, 5),
+            PrecisionCombination(6, 7, 5, 4),
+        }
+
+    def test_relaxations_respect_floor(self):
+        comb = PrecisionCombination(1, 2, 1, 1)
+        assert set(comb.relaxations()) == {PrecisionCombination(1, 1, 1, 1)}
+
+    def test_validate_rejects_out_of_range(self):
+        with pytest.raises(FormatError):
+            PrecisionCombination(0, 5, 5, 5).validate()
+        with pytest.raises(FormatError):
+            PrecisionCombination(5, 5, 5, 17).validate()
+
+    def test_str(self):
+        assert str(PrecisionCombination(7, 7, 6, 5)) == "[7, 7, 6, 5]"
+
+    def test_hashable_for_visited_set(self):
+        assert len({PrecisionCombination.uniform(4), PrecisionCombination.uniform(4)}) == 1
+
+
+class TestMacWeights:
+    def test_opt_style_ratios(self):
+        """OPT FFN = 4x hidden: weights are 3:1:4:4 per d_model**2."""
+        w = module_mac_weights(d_model=2048, ffn_dim=8192, gated_ffn=False)
+        d2 = 2048 * 2048
+        assert w[TensorKind.QKV] == 3 * d2
+        assert w[TensorKind.O] == d2
+        assert w[TensorKind.U] == 4 * d2
+        assert w[TensorKind.D] == 4 * d2
+
+    def test_gated_ffn_doubles_up(self):
+        w = module_mac_weights(d_model=4096, ffn_dim=11008, gated_ffn=True)
+        assert w[TensorKind.U] == 2 * 4096 * 11008
+        assert w[TensorKind.D] == 11008 * 4096
+
+
+class TestBops:
+    def test_fp16_int4_unit(self):
+        assert FP16_INT4_BOPS == 64
+
+    def test_uniform_savings_match_paper(self):
+        """FIGNA (13b effective) -> 1.23x; VS-Quant (4b) -> 4.0x."""
+        assert uniform_bops_saving(13) == pytest.approx(1.2307, abs=1e-3)
+        assert uniform_bops_saving(4) == pytest.approx(4.0)
+
+    def test_paper_opt13b_example(self):
+        """Fig. 14 + Table II cross-check: OPT-1.3B WikiText2 1% combo
+        [8, 5, 5, 4] gives a 2.95x BOPs saving."""
+        weights = module_mac_weights(2048, 8192, gated_ffn=False)
+        comb = PrecisionCombination(8, 5, 5, 4)
+        assert bops_saving(comb, weights) == pytest.approx(2.95, abs=0.01)
+
+    def test_paper_llama7b_example(self):
+        """LLaMA-7B WikiText2 1% combo [7, 6, 6, 6] -> 2.56x (Table II)."""
+        weights = module_mac_weights(4096, 11008, gated_ffn=True)
+        comb = PrecisionCombination(7, 6, 6, 6)
+        assert bops_saving(comb, weights) == pytest.approx(2.56, abs=0.01)
+
+    def test_combination_bops_additivity(self):
+        weights = module_mac_weights(128, 512, gated_ffn=False)
+        lo = combination_bops(PrecisionCombination.uniform(4), weights)
+        hi = combination_bops(PrecisionCombination.uniform(8), weights)
+        assert hi == 2 * lo
+
+    def test_baseline_is_64_per_mac(self):
+        weights = {TensorKind.QKV: 10, TensorKind.O: 0, TensorKind.U: 0, TensorKind.D: 0}
+        assert baseline_bops(weights) == 640
+
+    def test_effective_mantissa_weighted_mean(self):
+        weights = module_mac_weights(2048, 8192, gated_ffn=False)
+        comb = PrecisionCombination(8, 5, 5, 4)
+        # (3*8 + 1*5 + 4*5 + 4*4) / 12 = 65/12
+        assert effective_mantissa_bits(comb, weights) == pytest.approx(65 / 12)
+
+    def test_effective_mantissa_rejects_empty(self):
+        with pytest.raises(FormatError):
+            effective_mantissa_bits(
+                PrecisionCombination.uniform(5),
+                {k: 0 for k in TensorKind.ordered()},
+            )
+
+    def test_rejects_bad_weight_bits(self):
+        weights = module_mac_weights(64, 256, gated_ffn=False)
+        with pytest.raises(FormatError):
+            combination_bops(PrecisionCombination.uniform(5), weights, weight_bits=0)

@@ -1,0 +1,162 @@
+"""Tests for the adaptive precision combination search (Algorithm 1)."""
+
+import pytest
+
+from repro.core.bops import combination_bops, module_mac_weights
+from repro.core.precision import PrecisionCombination
+from repro.core.search import adaptive_precision_search
+from repro.errors import SearchError
+
+MACS = module_mac_weights(d_model=768, ffn_dim=3072, gated_ffn=False)
+
+
+def bops_fn(comb):
+    return combination_bops(comb, MACS)
+
+
+def threshold_accuracy(min_bits):
+    """Synthetic landscape: full accuracy while every module keeps at
+    least ``min_bits[kind]`` bits, sharp drop otherwise."""
+
+    def evaluate(comb):
+        ok = all(bits >= floor for bits, floor in zip(comb, min_bits))
+        return 1.0 if ok else 0.5
+
+    return evaluate
+
+
+class TestBasicSearch:
+    def test_finds_exact_floor(self):
+        floors = (7, 7, 6, 5)
+        result = adaptive_precision_search(
+            threshold_accuracy(floors), bops_fn, 1.0, tolerance=0.01,
+            max_iterations=64,
+        )
+        assert result.best == PrecisionCombination(*floors)
+
+    def test_trace_matches_paper_fig9_prefix(self):
+        """With a [7,7,6,5]-floor landscape (OPT-125M shape), the first
+        evaluations follow Fig. 9: uniform ramp 4..7 then relaxations in
+        BOPs order."""
+        floors = (7, 7, 6, 5)
+        result = adaptive_precision_search(
+            threshold_accuracy(floors), bops_fn, 1.0, tolerance=0.01,
+            max_iterations=16,
+        )
+        combos = [step.combination for step in result.steps]
+        assert combos[0] == PrecisionCombination.uniform(4)
+        assert combos[1] == PrecisionCombination.uniform(5)
+        assert combos[2] == PrecisionCombination.uniform(6)
+        assert combos[3] == PrecisionCombination.uniform(7)
+        # First accepted combination is [7,7,7,7]; the relaxation with the
+        # lowest BOPs decrements the FFN types (MAC weight 4 > 3 > 1).
+        assert result.steps[3].accepted
+        assert combos[4] in (
+            PrecisionCombination(7, 7, 6, 7),
+            PrecisionCombination(7, 7, 7, 6),
+        )
+
+    def test_infeasible_returns_none(self):
+        result = adaptive_precision_search(
+            lambda comb: 0.0, bops_fn, 1.0, tolerance=0.01, max_iterations=12,
+        )
+        assert result.best is None
+        assert not result.feasible
+        assert result.iterations == 10  # exhausts the ten uniform seeds
+        assert result.exhausted
+
+    def test_iteration_budget_respected(self):
+        result = adaptive_precision_search(
+            threshold_accuracy((5, 5, 5, 5)), bops_fn, 1.0, tolerance=0.01,
+            max_iterations=3,
+        )
+        assert result.iterations == 3
+
+    def test_zero_tolerance(self):
+        floors = (6, 6, 6, 6)
+        result = adaptive_precision_search(
+            threshold_accuracy(floors), bops_fn, 1.0, tolerance=0.0,
+            max_iterations=32,
+        )
+        assert result.best == PrecisionCombination.uniform(6)
+
+    def test_monotone_best_bops(self):
+        floors = (6, 5, 5, 4)
+        result = adaptive_precision_search(
+            threshold_accuracy(floors), bops_fn, 1.0, tolerance=0.01,
+            max_iterations=40,
+        )
+        accepted = [s.bops for s in result.steps if s.accepted]
+        assert accepted == sorted(accepted, reverse=True)
+
+    def test_never_evaluates_duplicates(self):
+        result = adaptive_precision_search(
+            threshold_accuracy((5, 5, 5, 5)), bops_fn, 1.0, tolerance=0.01,
+            max_iterations=64,
+        )
+        combos = [s.combination for s in result.steps]
+        assert len(combos) == len(set(combos))
+
+    def test_pops_in_bops_order(self):
+        result = adaptive_precision_search(
+            threshold_accuracy((5, 5, 5, 5)), bops_fn, 1.0, tolerance=0.01,
+            max_iterations=64,
+        )
+        # The queue is keyed by BOPs: a popped candidate either has higher
+        # BOPs than the previous pop, or was pushed after it (a relaxation
+        # of a new best, hence cheaper than its parent).
+        bops = [s.bops for s in result.steps]
+        assert bops[0] == min(bops)
+
+
+class TestTolerance:
+    def test_accuracy_threshold_is_relative(self):
+        """A 1% tolerance accepts 0.995 accuracy when the reference is 1.0
+        but rejects it when the reference is 1.01."""
+
+        def evaluate(comb):
+            return 0.995
+
+        accept = adaptive_precision_search(
+            evaluate, bops_fn, 1.0, tolerance=0.01, max_iterations=1
+        )
+        assert accept.best is not None
+        reject = adaptive_precision_search(
+            evaluate, bops_fn, 1.01, tolerance=0.001, max_iterations=1
+        )
+        assert reject.best is None
+
+    def test_looser_tolerance_never_worse(self):
+        """Larger tolerance must find equal-or-lower BOPs combinations."""
+
+        def smooth(comb):
+            # Smooth degradation with total bits.
+            return min(1.0, sum(comb) / 26.0)
+
+        tight = adaptive_precision_search(
+            smooth, bops_fn, 1.0, tolerance=0.01, max_iterations=32
+        )
+        loose = adaptive_precision_search(
+            smooth, bops_fn, 1.0, tolerance=0.05, max_iterations=32
+        )
+        assert loose.best_bops <= tight.best_bops
+
+
+class TestValidation:
+    def test_rejects_bad_reference(self):
+        with pytest.raises(SearchError):
+            adaptive_precision_search(lambda c: 1.0, bops_fn, 0.0, 0.01)
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(SearchError):
+            adaptive_precision_search(lambda c: 1.0, bops_fn, 1.0, -0.1)
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(SearchError):
+            adaptive_precision_search(lambda c: 1.0, bops_fn, 1.0, 0.01, max_iterations=0)
+
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(SearchError):
+            adaptive_precision_search(
+                lambda c: 1.0, bops_fn, 1.0, 0.01, start_bits=()
+            )

@@ -1,0 +1,141 @@
+"""Property-based tests of Algorithm 1 on random landscapes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bops import combination_bops, module_mac_weights
+from repro.core.precision import PrecisionCombination
+from repro.core.search import adaptive_precision_search
+
+MACS = module_mac_weights(d_model=512, ffn_dim=2048, gated_ffn=False)
+
+
+def bops_fn(comb):
+    return combination_bops(comb, MACS)
+
+
+def random_monotone_landscape(seed):
+    """A random accuracy function that is monotone non-decreasing in
+    every coordinate — the physically meaningful landscape family
+    (more mantissa bits never hurt accuracy)."""
+    rng = np.random.default_rng(seed)
+    # Per-kind knee positions and steepnesses.
+    knees = rng.uniform(4, 10, size=4)
+    slopes = rng.uniform(0.002, 0.05, size=4)
+
+    def accuracy(comb: PrecisionCombination) -> float:
+        penalty = sum(
+            slope * max(0.0, knee - bits)
+            for bits, knee, slope in zip(comb, knees, slopes)
+        )
+        return max(0.0, 1.0 - penalty)
+
+    return accuracy
+
+
+@given(seed=st.integers(0, 10_000), tolerance=st.sampled_from([0.001, 0.01, 0.05]))
+@settings(max_examples=60, deadline=None)
+def test_best_is_always_feasible_and_cheapest_seen(seed, tolerance):
+    accuracy = random_monotone_landscape(seed)
+    result = adaptive_precision_search(
+        accuracy, bops_fn, 1.0, tolerance, max_iterations=48
+    )
+    threshold = (1.0 - tolerance) * 1.0
+    feasible_seen = [
+        step for step in result.steps if step.accuracy >= threshold
+    ]
+    if result.best is None:
+        assert not feasible_seen
+    else:
+        # The best is feasible and no evaluated feasible candidate was
+        # cheaper.
+        assert accuracy(result.best) >= threshold
+        assert result.best_bops == min(step.bops for step in feasible_seen)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_looser_tolerance_never_costs_bops(seed):
+    accuracy = random_monotone_landscape(seed)
+    tight = adaptive_precision_search(accuracy, bops_fn, 1.0, 0.005, max_iterations=48)
+    loose = adaptive_precision_search(accuracy, bops_fn, 1.0, 0.05, max_iterations=48)
+    if tight.best is not None:
+        assert loose.best is not None
+        assert loose.best_bops <= tight.best_bops
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_conservative_seed_guarantees_feasibility(seed):
+    """If [13,13,13,13] meets the tolerance, the search cannot fail
+    (the paper's rationale for seeding the uniform ladder)."""
+    accuracy = random_monotone_landscape(seed)
+    result = adaptive_precision_search(
+        accuracy, bops_fn, 1.0, 0.01, max_iterations=64
+    )
+    if accuracy(PrecisionCombination.uniform(13)) >= 0.99:
+        assert result.feasible
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_trace_bops_are_consistent(seed):
+    accuracy = random_monotone_landscape(seed)
+    result = adaptive_precision_search(
+        accuracy, bops_fn, 1.0, 0.01, max_iterations=32
+    )
+    for step in result.steps:
+        assert step.bops == bops_fn(step.combination)
+        assert step.iteration <= 32
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    budget=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=40, deadline=None)
+def test_budget_is_hard(seed, budget):
+    accuracy = random_monotone_landscape(seed)
+    result = adaptive_precision_search(
+        accuracy, bops_fn, 1.0, 0.01, max_iterations=budget
+    )
+    assert result.iterations <= budget
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_accepted_steps_strictly_improve(seed):
+    accuracy = random_monotone_landscape(seed)
+    result = adaptive_precision_search(
+        accuracy, bops_fn, 1.0, 0.02, max_iterations=48
+    )
+    accepted = [step.bops for step in result.steps if step.accepted]
+    assert all(b < a for a, b in zip(accepted, accepted[1:]))
+
+
+@given(seed=st.integers(0, 5000))
+@settings(max_examples=30, deadline=None)
+def test_search_is_deterministic(seed):
+    accuracy = random_monotone_landscape(seed)
+    a = adaptive_precision_search(accuracy, bops_fn, 1.0, 0.01, max_iterations=32)
+    b = adaptive_precision_search(accuracy, bops_fn, 1.0, 0.01, max_iterations=32)
+    assert a.best == b.best
+    assert [s.combination for s in a.steps] == [s.combination for s in b.steps]
+
+
+@given(seed=st.integers(0, 5000))
+@settings(max_examples=30, deadline=None)
+def test_evaluated_candidates_stay_in_range(seed):
+    """Every candidate is a valid combination reachable from the seeds
+    by single-bit relaxations: entries stay within [1, 13] and no
+    combination is evaluated twice."""
+    accuracy = random_monotone_landscape(seed)
+    result = adaptive_precision_search(
+        accuracy, bops_fn, 1.0, 0.01, max_iterations=48
+    )
+    seen = set()
+    for step in result.steps:
+        assert all(1 <= bits <= 13 for bits in step.combination)
+        assert step.combination not in seen
+        seen.add(step.combination)

@@ -1,0 +1,253 @@
+"""Tests for the alternative search strategies (Sec. III-D comparators)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.precision import PrecisionCombination
+from repro.core.search_variants import (
+    LayerwiseOutcome,
+    StrategyOutcome,
+    adaptive_search_outcome,
+    brute_force_search,
+    compare_strategies,
+    greedy_descent_search,
+    layer_wise_search,
+    random_search,
+    synthetic_landscape,
+)
+from repro.errors import SearchError
+
+
+@pytest.fixture(scope="module")
+def landscape():
+    return synthetic_landscape(seed=7)
+
+
+class TestBruteForce:
+    def test_finds_global_optimum(self, landscape):
+        accuracy, bops, reference = landscape
+        outcome = brute_force_search(accuracy, bops, reference, 0.01)
+        assert outcome.feasible
+        # No feasible combination can be cheaper: check against full scan.
+        threshold = 0.99 * reference
+        for qkv in range(4, 14):
+            for o in range(4, 14):
+                for u in range(4, 14):
+                    for d in range(4, 14):
+                        combo = PrecisionCombination(qkv, o, u, d)
+                        if accuracy(combo) >= threshold:
+                            assert bops(combo) >= outcome.best_bops
+
+    def test_bops_first_enumeration_stops_early(self, landscape):
+        accuracy, bops, reference = landscape
+        outcome = brute_force_search(accuracy, bops, reference, 0.01)
+        # Far fewer than the 10^4 combinations of the full space.
+        assert outcome.evaluations < 10_000
+
+    def test_infeasible_when_tolerance_zero_and_noise_high(self):
+        accuracy, bops, reference = synthetic_landscape(seed=1)
+        outcome = brute_force_search(
+            lambda combo: 0.0, bops, reference, 0.0
+        )
+        assert not outcome.feasible
+        assert outcome.best_bops == float("inf")
+
+    def test_evaluation_cap_respected(self, landscape):
+        accuracy, bops, reference = landscape
+        outcome = brute_force_search(
+            accuracy, bops, reference, 0.01, max_evaluations=5
+        )
+        assert outcome.evaluations <= 5
+
+    def test_rejects_bad_range(self, landscape):
+        accuracy, bops, reference = landscape
+        with pytest.raises(SearchError):
+            brute_force_search(accuracy, bops, reference, 0.01, bit_range=(0, 13))
+        with pytest.raises(SearchError):
+            brute_force_search(accuracy, bops, reference, -0.1)
+
+
+class TestRandomSearch:
+    def test_budget_respected(self, landscape):
+        accuracy, bops, reference = landscape
+        outcome = random_search(accuracy, bops, reference, 0.01, max_evaluations=16)
+        assert outcome.evaluations <= 16
+
+    def test_deterministic_per_seed(self, landscape):
+        accuracy, bops, reference = landscape
+        a = random_search(accuracy, bops, reference, 0.01, seed=3)
+        b = random_search(accuracy, bops, reference, 0.01, seed=3)
+        assert a.best == b.best
+        assert a.best_bops == b.best_bops
+
+    def test_feasible_result_meets_tolerance(self, landscape):
+        accuracy, bops, reference = landscape
+        outcome = random_search(accuracy, bops, reference, 0.05, max_evaluations=64)
+        if outcome.feasible:
+            assert accuracy(outcome.best) >= 0.95 * reference
+
+    def test_rejects_zero_budget(self, landscape):
+        accuracy, bops, reference = landscape
+        with pytest.raises(SearchError):
+            random_search(accuracy, bops, reference, 0.01, max_evaluations=0)
+
+
+class TestGreedyDescent:
+    def test_result_meets_tolerance(self, landscape):
+        accuracy, bops, reference = landscape
+        outcome = greedy_descent_search(accuracy, bops, reference, 0.01)
+        assert outcome.feasible
+        assert accuracy(outcome.best) >= 0.99 * reference
+
+    def test_infeasible_start_detected(self, landscape):
+        _, bops, reference = landscape
+        outcome = greedy_descent_search(lambda combo: 0.0, bops, reference, 0.01)
+        assert not outcome.feasible
+        assert outcome.evaluations == 1  # only the start was probed
+
+    def test_descends_from_conservative_start(self, landscape):
+        accuracy, bops, reference = landscape
+        outcome = greedy_descent_search(accuracy, bops, reference, 0.01)
+        assert outcome.best_bops < bops(PrecisionCombination.uniform(13))
+
+    def test_respects_bit_floor(self, landscape):
+        accuracy, bops, reference = landscape
+        outcome = greedy_descent_search(
+            accuracy, bops, reference, 0.5, bit_range=(8, 13)
+        )
+        assert outcome.feasible
+        assert min(outcome.best) >= 8
+
+
+class TestAdaptiveOutcome:
+    def test_matches_algorithm_one(self, landscape):
+        accuracy, bops, reference = landscape
+        outcome = adaptive_search_outcome(accuracy, bops, reference, 0.01)
+        assert outcome.strategy == "adaptive (Alg. 1)"
+        assert outcome.feasible
+        assert outcome.evaluations <= 32
+
+    @given(st.integers(min_value=0, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_feasible_on_any_seeded_landscape(self, seed):
+        accuracy, bops, reference = synthetic_landscape(seed=seed)
+        outcome = adaptive_search_outcome(accuracy, bops, reference, 0.01)
+        assert outcome.feasible
+
+
+class TestStrategyComparison:
+    def test_all_strategies_present(self, landscape):
+        accuracy, bops, reference = landscape
+        outcomes = compare_strategies(accuracy, bops, reference, 0.01)
+        names = {outcome.strategy for outcome in outcomes}
+        assert names == {"adaptive (Alg. 1)", "greedy-descent", "random", "brute-force"}
+
+    def test_adaptive_near_brute_force_quality(self, landscape):
+        accuracy, bops, reference = landscape
+        outcomes = {o.strategy: o for o in compare_strategies(accuracy, bops, reference, 0.01)}
+        adaptive = outcomes["adaptive (Alg. 1)"]
+        brute = outcomes["brute-force"]
+        assert adaptive.feasible and brute.feasible
+        # Paper claim: near-optimal within a few dozen evaluations.
+        assert adaptive.best_bops <= 1.15 * brute.best_bops
+
+    def test_adaptive_cheaper_than_greedy(self, landscape):
+        accuracy, bops, reference = landscape
+        outcomes = {o.strategy: o for o in compare_strategies(accuracy, bops, reference, 0.01)}
+        assert (
+            outcomes["adaptive (Alg. 1)"].evaluations
+            <= outcomes["greedy-descent"].evaluations
+        )
+
+
+class TestLayerwise:
+    @staticmethod
+    def make_layerwise(n_layers, landscape):
+        accuracy, bops, reference = landscape
+
+        def layer_accuracy(assignment):
+            # Whole-model accuracy: mean of per-layer landscape scores.
+            scores = [accuracy(combo) for combo in assignment]
+            return sum(scores) / len(scores)
+
+        return layer_accuracy, bops, reference
+
+    def test_evaluations_scale_with_layers(self, landscape):
+        accuracy4, bops, reference = self.make_layerwise(4, landscape)
+        accuracy8, _, _ = self.make_layerwise(8, landscape)
+        small = layer_wise_search(accuracy4, bops, 4, reference, 0.01)
+        large = layer_wise_search(accuracy8, bops, 8, reference, 0.01)
+        assert large.evaluations > small.evaluations
+
+    def test_layerwise_costs_more_than_modulewise(self, landscape):
+        accuracy, bops, reference = landscape
+        module = adaptive_search_outcome(accuracy, bops, reference, 0.01)
+        layer_accuracy, _, _ = self.make_layerwise(12, landscape)
+        layered = layer_wise_search(layer_accuracy, bops, 12, reference, 0.01)
+        # The paper's motivation: layer-wise multiplies deployment cost.
+        assert layered.evaluations > 4 * module.evaluations
+
+    def test_assignment_shape(self, landscape):
+        layer_accuracy, bops, reference = self.make_layerwise(3, landscape)
+        outcome = layer_wise_search(layer_accuracy, bops, 3, reference, 0.01)
+        assert len(outcome.assignment) == 3
+        assert all(isinstance(combo, PrecisionCombination) for combo in outcome.assignment)
+        assert 4 <= outcome.mean_bits <= 13
+
+    def test_budget_cap(self, landscape):
+        layer_accuracy, bops, reference = self.make_layerwise(6, landscape)
+        outcome = layer_wise_search(
+            layer_accuracy, bops, 6, reference, 0.01, max_evaluations=10
+        )
+        assert outcome.evaluations <= 10
+
+    def test_rejects_bad_layers(self, landscape):
+        layer_accuracy, bops, reference = self.make_layerwise(2, landscape)
+        with pytest.raises(SearchError):
+            layer_wise_search(layer_accuracy, bops, 0, reference, 0.01)
+
+
+class TestSyntheticLandscape:
+    def test_accuracy_monotone_in_bits(self):
+        accuracy, _, _ = synthetic_landscape(seed=2)
+        lo = accuracy(PrecisionCombination.uniform(4))
+        hi = accuracy(PrecisionCombination.uniform(13))
+        assert hi > lo
+
+    def test_bops_monotone_in_bits(self):
+        _, bops, _ = synthetic_landscape(seed=2)
+        assert bops(PrecisionCombination.uniform(5)) < bops(
+            PrecisionCombination.uniform(6)
+        )
+
+    def test_qkv_most_sensitive(self):
+        accuracy, _, _ = synthetic_landscape(seed=0)
+        base = PrecisionCombination.uniform(8)
+        drops = []
+        for index in range(4):
+            bits = list(base)
+            bits[index] = 4
+            drops.append(accuracy(base) - accuracy(PrecisionCombination(*bits)))
+        assert drops[0] == max(drops)
+
+    def test_noise_is_reproducible(self):
+        accuracy, _, _ = synthetic_landscape(seed=0, noise=0.001)
+        combo = PrecisionCombination.uniform(7)
+        assert accuracy(combo) == accuracy(combo)
+
+
+class TestOutcomeContainers:
+    def test_strategy_outcome_feasibility(self):
+        assert not StrategyOutcome("x", None, float("inf"), 3).feasible
+        assert StrategyOutcome(
+            "x", PrecisionCombination.uniform(5), 1.0, 3
+        ).feasible
+
+    def test_layerwise_mean_bits(self):
+        outcome = LayerwiseOutcome(
+            (PrecisionCombination.uniform(4), PrecisionCombination.uniform(6)),
+            bops=1.0,
+            evaluations=2,
+        )
+        assert outcome.mean_bits == 5.0

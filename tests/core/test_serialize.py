@@ -1,0 +1,93 @@
+"""Tests for the Anda binary serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.anda import AndaTensor
+from repro.core.serialize import dumps, image_bytes, loads
+from repro.errors import FormatError
+
+
+def tensor_for(seed=0, shape=(4, 192), mantissa=7, rounding="truncate"):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=shape).astype(np.float32)
+    return AndaTensor.from_float(x, mantissa, rounding=rounding)
+
+
+class TestRoundTrip:
+    def test_bit_exact(self):
+        tensor = tensor_for()
+        restored = loads(dumps(tensor))
+        assert np.array_equal(restored.decode(), tensor.decode())
+        assert np.array_equal(
+            restored.store.mantissa_planes, tensor.store.mantissa_planes
+        )
+        assert restored.layout == tensor.layout
+
+    def test_rounding_mode_preserved(self):
+        tensor = tensor_for(rounding="nearest")
+        assert loads(dumps(tensor)).rounding == "nearest"
+
+    def test_3d_shape(self):
+        tensor = tensor_for(shape=(2, 3, 64))
+        assert loads(dumps(tensor)).shape == (2, 3, 64)
+
+    @given(
+        seed=st.integers(0, 1000),
+        mantissa=st.integers(1, 16),
+        rows=st.integers(1, 4),
+        cols=st.sampled_from([64, 100, 128, 200]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_round_trip(self, seed, mantissa, rows, cols):
+        tensor = tensor_for(seed, (rows, cols), mantissa)
+        restored = loads(dumps(tensor))
+        assert np.array_equal(restored.decode(), tensor.decode())
+
+
+class TestImageSize:
+    def test_image_bytes_matches_dumps(self):
+        tensor = tensor_for()
+        assert len(dumps(tensor)) == image_bytes(tensor)
+
+    def test_size_scales_with_mantissa(self):
+        small = image_bytes(tensor_for(mantissa=4))
+        large = image_bytes(tensor_for(mantissa=12))
+        assert large > small
+
+    def test_beats_fp16_for_short_mantissa(self):
+        tensor = tensor_for(shape=(64, 1024), mantissa=6)
+        fp16_bytes = 64 * 1024 * 2
+        assert len(dumps(tensor)) < 0.6 * fp16_bytes
+
+
+class TestValidation:
+    def test_rejects_truncated_payload(self):
+        payload = dumps(tensor_for())
+        with pytest.raises(FormatError):
+            loads(payload[:-8])
+
+    def test_rejects_bad_magic(self):
+        payload = dumps(tensor_for())
+        with pytest.raises(FormatError):
+            loads(b"XXXX" + payload[4:])
+
+    def test_rejects_short_header(self):
+        with pytest.raises(FormatError):
+            loads(b"ANDA")
+
+
+class TestStochasticRoundTrip:
+    def test_stochastic_tensor_round_trips(self):
+        import numpy as np
+
+        from repro.core.anda import AndaTensor
+        from repro.core.serialize import dumps, loads
+
+        values = np.random.default_rng(3).normal(size=(4, 128)).astype(np.float32)
+        tensor = AndaTensor.from_float(values, 6, rounding="stochastic")
+        restored = loads(dumps(tensor))
+        assert restored.rounding == "stochastic"
+        np.testing.assert_array_equal(restored.decode(), tensor.decode())

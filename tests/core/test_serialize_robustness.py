@@ -1,0 +1,99 @@
+"""Corruption and fuzz tests for the Anda binary image format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.anda import AndaTensor
+from repro.core.serialize import dumps, image_bytes, loads
+from repro.errors import FormatError
+
+RNG = np.random.default_rng(7)
+
+
+def make_image(mantissa=6, shape=(4, 128)) -> bytes:
+    values = RNG.normal(size=shape).astype(np.float32)
+    return dumps(AndaTensor.from_float(values, mantissa))
+
+
+class TestHeaderCorruption:
+    def test_bad_magic_rejected(self):
+        payload = bytearray(make_image())
+        payload[0:4] = b"NOPE"
+        with pytest.raises(FormatError, match="magic"):
+            loads(bytes(payload))
+
+    def test_future_version_rejected(self):
+        payload = bytearray(make_image())
+        payload[4] = 99
+        with pytest.raises(FormatError, match="version"):
+            loads(bytes(payload))
+
+    def test_unknown_rounding_code_rejected(self):
+        payload = bytearray(make_image())
+        payload[6] = 200
+        with pytest.raises(FormatError, match="rounding"):
+            loads(bytes(payload))
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(FormatError, match="short"):
+            loads(b"")
+
+    def test_header_only_rejected(self):
+        payload = make_image()
+        with pytest.raises(FormatError):
+            loads(payload[:29])
+
+
+class TestLengthCorruption:
+    def test_truncated_payload_rejected(self):
+        payload = make_image()
+        with pytest.raises(FormatError, match="length"):
+            loads(payload[:-1])
+
+    def test_trailing_garbage_rejected(self):
+        payload = make_image()
+        with pytest.raises(FormatError, match="length"):
+            loads(payload + b"\x00")
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_any_truncation_rejected(self, cut):
+        payload = make_image()
+        truncated = payload[: max(0, len(payload) - cut)]
+        with pytest.raises(FormatError):
+            loads(truncated)
+
+
+class TestPayloadBitflips:
+    def test_plane_bitflip_changes_decode_but_parses(self):
+        # Payload corruption past the header is not detectable by the
+        # format (no checksum by design — it is a memory image, not an
+        # archive format); it must still parse into a valid tensor.
+        payload = bytearray(make_image())
+        payload[-1] ^= 0x01
+        tensor = loads(bytes(payload))
+        assert tensor.decode().shape == (4, 128)
+
+    def test_image_bytes_matches_len(self):
+        values = RNG.normal(size=(3, 200)).astype(np.float32)
+        tensor = AndaTensor.from_float(values, 9)
+        assert image_bytes(tensor) == len(dumps(tensor))
+
+
+class TestRoundTripProperties:
+    @given(
+        st.integers(min_value=1, max_value=13),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_any_shape(self, mantissa, rows, cols):
+        values = np.random.default_rng(rows * 1000 + cols).normal(
+            size=(rows, cols)
+        ).astype(np.float32)
+        tensor = AndaTensor.from_float(values, mantissa)
+        restored = loads(dumps(tensor))
+        assert restored.shape == tensor.shape
+        np.testing.assert_array_equal(restored.decode(), tensor.decode())

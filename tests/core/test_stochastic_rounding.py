@@ -1,0 +1,92 @@
+"""Tests for the FAST-style stochastic rounding mode of the BFP codec."""
+
+import numpy as np
+import pytest
+
+from repro.core.bfp import BfpConfig, fake_quantize, quantization_error, quantize
+from repro.errors import FormatError
+
+RNG = np.random.default_rng(23)
+
+
+def stochastic(mantissa_bits=5, seed=0):
+    return BfpConfig(mantissa_bits=mantissa_bits, group_size=64,
+                     rounding="stochastic", seed=seed)
+
+
+class TestStochasticMode:
+    def test_mode_accepted(self):
+        assert stochastic().rounding == "stochastic"
+
+    def test_unknown_mode_still_rejected(self):
+        with pytest.raises(FormatError):
+            BfpConfig(rounding="dither")
+
+    def test_deterministic_per_seed(self):
+        values = RNG.normal(size=(4, 64)).astype(np.float32)
+        first = fake_quantize(values, stochastic(seed=9))
+        second = fake_quantize(values, stochastic(seed=9))
+        np.testing.assert_array_equal(first, second)
+
+    def test_seed_changes_outcome(self):
+        values = RNG.normal(size=(16, 64)).astype(np.float32)
+        a = fake_quantize(values, stochastic(seed=0))
+        b = fake_quantize(values, stochastic(seed=1))
+        assert np.any(a != b)
+
+    def test_mantissa_stays_in_field(self):
+        values = RNG.normal(size=(8, 64)).astype(np.float32)
+        tensor = quantize(values, stochastic(mantissa_bits=4))
+        assert tensor.mantissa.max() < 2**4
+        assert tensor.mantissa.min() >= 0
+
+    def test_rounds_within_one_ulp_of_truncation(self):
+        values = RNG.normal(size=(8, 64)).astype(np.float32)
+        trunc = quantize(values, BfpConfig(mantissa_bits=5, group_size=64))
+        stoch = quantize(values, stochastic(mantissa_bits=5))
+        diff = stoch.mantissa - trunc.mantissa
+        # Stochastic rounding only ever rounds up by one step (or
+        # saturates at the field maximum).
+        assert diff.min() >= 0
+        assert diff.max() <= 1
+
+
+class TestUnbiasedness:
+    def test_mean_error_near_zero(self):
+        # Truncation is biased toward zero magnitude; stochastic rounding
+        # is unbiased in expectation.  Compare signed magnitude errors.
+        values = np.abs(RNG.normal(size=(64, 64))).astype(np.float32) + 0.1
+        config_t = BfpConfig(mantissa_bits=4, group_size=64)
+        trunc_bias = float(np.mean(fake_quantize(values, config_t) - values))
+        stoch_errs = []
+        for seed in range(8):
+            out = fake_quantize(values, stochastic(mantissa_bits=4, seed=seed))
+            stoch_errs.append(float(np.mean(out - values)))
+        stoch_bias = float(np.mean(stoch_errs))
+        assert trunc_bias < 0  # truncation systematically shrinks magnitudes
+        assert abs(stoch_bias) < abs(trunc_bias) / 2
+
+    def test_rmse_comparable_to_truncation(self):
+        values = RNG.normal(size=(32, 64)).astype(np.float32)
+        stoch = quantization_error(values, stochastic(mantissa_bits=5))
+        trunc = quantization_error(
+            values, BfpConfig(mantissa_bits=5, group_size=64)
+        )
+        # Unbiasedness costs a little variance; within 2x is the regime
+        # FAST reports.
+        assert stoch < 2 * trunc
+
+
+class TestInteroperability:
+    def test_anda_tensor_accepts_stochastic(self):
+        from repro.core.anda import AndaTensor
+
+        values = RNG.normal(size=(2, 128)).astype(np.float32)
+        tensor = AndaTensor.from_float(values, 5, rounding="stochastic")
+        assert tensor.rounding == "stochastic"
+        assert tensor.decode().shape == (2, 128)
+
+    def test_zero_preserved(self):
+        values = np.zeros((1, 64), dtype=np.float32)
+        out = fake_quantize(values, stochastic())
+        assert np.all(out == 0)

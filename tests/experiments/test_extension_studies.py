@@ -1,0 +1,82 @@
+"""Tests for the extension-study experiment drivers (ext-*)."""
+
+import pytest
+
+from repro.experiments import (
+    ext_memory,
+    ext_overlap,
+    ext_search_strategies,
+)
+from repro.experiments.ext_memory import MemoryLayoutResult
+from repro.experiments.ext_overlap import OverlapResult
+from repro.experiments.ext_search_strategies import StrategyComparisonResult
+from repro.experiments.runner import EXPERIMENTS
+
+
+class TestExtMemory:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_memory.run(mantissas=(4, 8, 13))
+
+    def test_result_type_and_keys(self, result):
+        assert isinstance(result, MemoryLayoutResult)
+        assert set(result.layouts) == {4, 8, 13}
+        assert set(result.dram) == {4, 8, 13}
+
+    def test_render_contains_tables(self, result):
+        text = result.render()
+        assert "SRAM" in text
+        assert "DRAM" in text
+        assert "fetch ratio" in text
+
+    def test_dram_reduction_shrinks_with_mantissa(self, result):
+        ratios = [result.dram[m]["footprint_ratio"] for m in (4, 8, 13)]
+        assert ratios == sorted(ratios, reverse=True)
+
+
+class TestExtOverlap:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_overlap.run()
+
+    def test_all_configurations_present(self, result):
+        assert isinstance(result, OverlapResult)
+        assert "FP-FP" in result.summaries
+        assert "Anda-M4" in result.summaries
+
+    def test_render(self, result):
+        text = result.render()
+        assert "BPC hidden" in text
+        assert "Anda-M4" in text
+
+    def test_bpc_overlap_claim(self, result):
+        for name, summary in result.summaries.items():
+            if name.startswith("Anda"):
+                assert summary.bpc_hidden_fraction > 0.9
+
+
+class TestExtSearchStrategies:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_search_strategies.run(seed=3)
+
+    def test_outcomes_complete(self, result):
+        assert isinstance(result, StrategyComparisonResult)
+        assert "brute-force" in result.outcomes
+        assert result.layerwise.evaluations > 0
+
+    def test_render_lists_every_strategy(self, result):
+        text = result.render()
+        for strategy in ("adaptive", "greedy", "random", "brute-force", "layer-wise"):
+            assert strategy in text
+
+    def test_optimum_is_minimum(self, result):
+        feasible = [o.best_bops for o in result.outcomes.values() if o.feasible]
+        assert result.optimum_bops == min(feasible)
+
+
+class TestRunnerRegistry:
+    def test_extension_experiments_registered(self):
+        for name in ("ext-memory", "ext-overlap", "ext-pipeline",
+                     "ext-search", "ext-mx", "ext-dataflow", "ext-qat"):
+            assert name in EXPERIMENTS

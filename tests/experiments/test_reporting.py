@@ -1,0 +1,90 @@
+"""Tests for report rendering and the experiment registry."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    format_percent,
+    format_ratio,
+    format_series,
+    format_table,
+)
+from repro.experiments.runner import EXPERIMENT_ORDER, EXPERIMENTS, run_experiment
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        table = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+        assert table.splitlines()[1] == "========"
+
+    def test_column_width_adapts(self):
+        table = format_table(["h"], [["a-very-long-cell"]])
+        assert "a-very-long-cell" in table
+
+    def test_empty_rows(self):
+        table = format_table(["only", "headers"], [])
+        assert "only" in table
+
+
+class TestFormatters:
+    def test_ratio(self):
+        assert format_ratio(2.488) == "2.49x"
+
+    def test_percent_signed(self):
+        assert format_percent(-0.74) == "-0.74%"
+        assert format_percent(0.2) == "+0.20%"
+        assert format_percent(0.2, signed=False) == "0.20%"
+
+    def test_series(self):
+        text = format_series("s", [(1, 2.0), (2, 3.0)])
+        assert "[s]" in text
+        assert "1: 2.0000" in text
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "table1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "table2", "fig14", "fig15", "fig16", "fig17", "table3", "fig18",
+            "ablations", "extensions",
+            "ext-memory", "ext-overlap", "ext-pipeline",
+            "ext-search", "ext-mx", "ext-dataflow", "ext-qat",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_order_is_stable(self):
+        assert EXPERIMENT_ORDER[0] == "table1"
+        assert EXPERIMENT_ORDER[-1] == "ext-qat"
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_cheap_experiment_runs(self):
+        report = run_experiment("table1")
+        assert "Anda (Ours)" in report
+
+    def test_cli_help(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--help"]) == 0
+        assert "experiments:" in capsys.readouterr().out
+
+    def test_cli_unknown_experiment_exit_code(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_cli_runs_single(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table3"]) == 0
+        assert "Table III" in capsys.readouterr().out

@@ -1,0 +1,159 @@
+"""Unit tests for experiment result containers (no model zoo needed)."""
+
+import pytest
+
+from repro.core.precision import PrecisionCombination, TensorKind
+from repro.core.search import SearchResult, SearchStep
+from repro.experiments.fig2_gemm_ops import CONTEXT_LENGTHS, Fig2Result
+from repro.experiments.fig5_group_size import GROUP_SIZES, MANTISSA_BITS, Fig5Result
+from repro.experiments.fig6_model_sensitivity import Fig6Result
+from repro.experiments.fig7_module_sensitivity import (
+    Fig7Result,
+    single_kind_combination,
+)
+from repro.experiments.fig9_search_trace import Fig9Result
+from repro.experiments.fig14_combinations import Fig14Result
+from repro.experiments.fig16_system_level import Fig16Result
+from repro.experiments.fig17_energy_breakdown import Fig17Result
+from repro.experiments.fig18_tradeoff import Fig18Result
+from repro.experiments.table2_accuracy import Table2Cell, Table2Result
+from repro.hw.accelerator import AndaOperatingPoint, SystemComparison
+from repro.hw.simulator import SystemRun
+
+
+class TestFig2Result:
+    def test_render_contains_all_models(self):
+        shares = {"m1": {c: 0.9 for c in CONTEXT_LENGTHS}}
+        tops = {"m1": {c: 1.0 for c in CONTEXT_LENGTHS}}
+        text = Fig2Result(shares, tops).render()
+        assert "m1" in text
+        assert "90.0%" in text
+
+
+class TestFig5Result:
+    def _result(self):
+        ppl = {
+            "m": {
+                gs: {m: 10.02 if m > 6 else 11.0 for m in MANTISSA_BITS}
+                for gs in GROUP_SIZES
+            }
+        }
+        return Fig5Result(ppl=ppl, fp_ppl={"m": 10.0})
+
+    def test_min_mantissa(self):
+        result = self._result()
+        assert result.min_mantissa_within_loss("m", 64, 0.01) == 7
+
+    def test_infeasible_returns_none(self):
+        result = self._result()
+        assert result.min_mantissa_within_loss("m", 64, 1e-9) is None
+
+    def test_render(self):
+        assert "GS \\ M" in self._result().render()
+
+
+class TestFig6Result:
+    def test_tolerable_bits(self):
+        series = {m: (1.0 if m >= 6 else 0.9) for m in range(4, 14)}
+        result = Fig6Result(relative={"m": series})
+        assert result.tolerable_bits("m", 0.01) == 6
+        assert result.tolerable_bits("m", 0.001) == 6
+
+
+class TestFig7Result:
+    def test_single_kind_combination(self):
+        comb = single_kind_combination(TensorKind.U, 5)
+        assert comb == PrecisionCombination(13, 13, 5, 13)
+
+    def test_most_sensitive(self):
+        relative = {
+            "m": {
+                kind: {5: 0.99 if kind != TensorKind.QKV else 0.90}
+                for kind in TensorKind
+            }
+        }
+        assert Fig7Result(relative).most_sensitive_kind("m") == TensorKind.QKV
+
+
+class TestFig9Result:
+    def test_render_shows_best(self):
+        step = SearchStep(1, PrecisionCombination.uniform(4), 100.0, 0.9,
+                          False, False, None)
+        search = SearchResult(
+            best=PrecisionCombination.uniform(4), best_bops=100.0,
+            reference_accuracy=1.0, tolerance=0.01, steps=[step],
+        )
+        result = Fig9Result(search, [0.5], PrecisionCombination.uniform(4))
+        text = result.render()
+        assert "(Best) [4, 4, 4, 4]" in text
+
+
+class TestTable2Result:
+    def test_render_orders_schemes(self):
+        cell = Table2Cell(10.0, -1.0, 2.0)
+        result = Table2Result()
+        result.cells = {"d": {"m": {s: cell for s in result.schemes}}}
+        text = result.render()
+        assert text.index("fp16") < text.index("vs-quant") < text.index("anda-1%")
+
+
+class TestFig14Result:
+    def test_mean_bits(self):
+        grid = {
+            "a": PrecisionCombination(8, 6, 5, 4),
+            "b": PrecisionCombination(6, 6, 5, 4),
+        }
+        result = Fig14Result(combos={("d", 0.01): grid})
+        assert result.mean_bits("d", 0.01, TensorKind.QKV) == 7.0
+
+
+def _system_run(cycles, energy):
+    return SystemRun(
+        architecture="x", model_name="m", cycles=cycles,
+        compute_energy_pj=energy / 3, sram_energy_pj=energy / 3,
+        dram_energy_pj=energy / 3, dram_bytes=1.0,
+    )
+
+
+def _comparison(speedup):
+    return SystemComparison(
+        architecture="x", model_name="m", speedup=speedup,
+        energy_efficiency=speedup, area_efficiency=speedup,
+        run=_system_run(1.0, 1.0),
+    )
+
+
+class TestFig16Result:
+    def test_geomean(self):
+        from repro.experiments.fig16_system_level import SYSTEM_LABELS
+
+        metrics = {
+            "m1": {label: _comparison(1.0) for label in SYSTEM_LABELS},
+            "m2": {label: _comparison(4.0) for label in SYSTEM_LABELS},
+        }
+        result = Fig16Result(metrics=metrics)
+        assert result.geomean("FP-FP", "speedup") == pytest.approx(2.0)
+
+
+class TestFig17Result:
+    def test_efficiency_is_reciprocal_total(self):
+        shares = {"sys": {"compute": 0.2, "sram": 0.1, "dram": 0.2}}
+        result = Fig17Result(shares=shares)
+        assert result.total("sys") == pytest.approx(0.5)
+        assert result.efficiency("sys") == pytest.approx(2.0)
+
+
+class TestFig18Result:
+    def test_series_accessors(self):
+        point = AndaOperatingPoint(
+            model_name="m", tolerance=0.01,
+            combination=PrecisionCombination.uniform(6),
+            speedup=2.0, energy_efficiency=3.0,
+        )
+        result = Fig18Result(points={"m": {0.01: point}})
+        assert result.speedup_series("m") == [(0.01, 2.0)]
+        assert result.energy_series("m") == [(0.01, 3.0)]
+
+    def test_energy_shares_sum_to_one(self):
+        run = _system_run(1.0, 3.0)
+        assert sum(run.energy_shares().values()) == pytest.approx(1.0)

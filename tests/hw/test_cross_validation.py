@@ -1,0 +1,153 @@
+"""Cross-model consistency checks between independent cost models.
+
+The BOPs model (compile-time, Sec. III), the tile simulator
+(cycle-level, Sec. V) and the instruction compiler (control path) are
+three separately implemented views of the same machine; these tests pin
+their mutual consistency so a regression in one is caught by the
+others.
+"""
+
+import math
+
+import pytest
+
+from repro.core.bops import effective_mantissa_bits
+from repro.core.precision import PrecisionCombination
+from repro.hw.pe import ANDA_GROUP_OVERHEAD, FULL_RATE_CYCLES
+from repro.hw.program import compile_gemm
+from repro.hw.simulator import simulate_gemm, simulate_model
+from repro.hw.workloads import prefill_gemms
+from repro.llm.config import get_config
+from repro.hw.pe import get_pe
+
+MODELS = ("opt-1.3b", "llama-7b", "opt-30b")
+COMBOS = (
+    PrecisionCombination(8, 5, 5, 4),
+    PrecisionCombination(7, 6, 6, 6),
+    PrecisionCombination.uniform(6),
+)
+
+
+class TestSpeedupVsEffectiveMantissa:
+    @pytest.mark.parametrize("model", MODELS)
+    @pytest.mark.parametrize("combination", COMBOS)
+    def test_speedup_tracks_weighted_mantissa(self, model, combination):
+        """Compute-bound Anda speedup equals 16 / (m_eff + 1) where
+        m_eff is the MAC-weighted mantissa of the BOPs model — two
+        independently coded paths to the same number (up to tile
+        padding on ragged shapes)."""
+        config = get_config(model)
+        fpfp = simulate_model(model, "FP-FP")
+        anda = simulate_model(model, "Anda", combination)
+        measured = fpfp.cycles / anda.cycles
+        m_eff = effective_mantissa_bits(combination, config.mac_weights())
+        predicted = FULL_RATE_CYCLES / (m_eff + ANDA_GROUP_OVERHEAD)
+        assert measured == pytest.approx(predicted, rel=0.01)
+
+
+class TestProgramVsSimulator:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_per_gemm_cycle_agreement(self, model):
+        combination = PrecisionCombination.uniform(6)
+        config = get_config(model)
+        for gemm in prefill_gemms(config, 256):
+            program = compile_gemm(gemm, "Anda", combination)
+            single = simulate_gemm(
+                type(gemm)(gemm.kind, gemm.rows, gemm.reduction, gemm.cols, 1),
+                get_pe("Anda"),
+                combination,
+            )
+            tiles = math.ceil(gemm.rows / 16) * math.ceil(gemm.cols / 16)
+            assert program.compute_cycles() == single.compute_cycles + tiles
+
+
+class TestEnergyVsBops:
+    def test_compute_energy_proportional_to_bops_plus_overhead(self):
+        """Anda compute energy scales with (M+1) while BOPs scale with
+        M — the drain-cycle overhead is the only divergence."""
+        model = "opt-6.7b"
+        e4 = simulate_model(model, "Anda", PrecisionCombination.uniform(4))
+        e8 = simulate_model(model, "Anda", PrecisionCombination.uniform(8))
+        ratio = e8.compute_energy_pj / e4.compute_energy_pj
+        assert ratio == pytest.approx((8 + 1) / (4 + 1), rel=1e-6)
+
+    def test_sram_energy_tracks_storage_bits(self):
+        model = "opt-6.7b"
+        runs = {
+            m: simulate_model(model, "Anda", PrecisionCombination.uniform(m))
+            for m in (4, 8)
+        }
+        # Activation traffic scales with (1 + M + 8/64); weight traffic
+        # is constant, so the SRAM ratio sits between 1 and the
+        # activation-bit ratio.
+        act_ratio = (1 + 8 + 8 / 64) / (1 + 4 + 8 / 64)
+        sram_ratio = runs[8].sram_energy_pj / runs[4].sram_energy_pj
+        assert 1.0 < sram_ratio < act_ratio
+
+
+class TestEventSimVsTileSimulator:
+    """The event-driven executor and the closed-form tile simulator are
+    independent implementations of the same machine timing."""
+
+    @pytest.mark.parametrize("mantissa", (4, 7, 11))
+    def test_anda_mxu_busy_matches_tile_compute(self, mantissa):
+        from repro.core.precision import TensorKind
+        from repro.hw.event_sim import execute
+        from repro.hw.workloads import Gemm
+
+        gemm = Gemm(TensorKind.U, rows=96, reduction=512, cols=96)
+        combination = PrecisionCombination.uniform(mantissa)
+        program = compile_gemm(gemm, "Anda", combination)
+        report = execute(program)
+        tile_cycles = simulate_gemm(gemm, get_pe("Anda"), combination).compute_cycles
+        # The event machine adds one DRAIN cycle per tile to the MXU.
+        tiles = math.ceil(96 / 16) * math.ceil(96 / 16)
+        assert report.busy_cycles["mxu"] == tile_cycles + tiles
+
+    @pytest.mark.parametrize("architecture", ("FP-FP", "FIGNA", "FIGNA-M8"))
+    def test_baseline_mxu_busy_matches_tile_compute(self, architecture):
+        from repro.core.precision import TensorKind
+        from repro.hw.event_sim import execute
+        from repro.hw.workloads import Gemm
+
+        gemm = Gemm(TensorKind.O, rows=64, reduction=256, cols=64)
+        program = compile_gemm(gemm, architecture)
+        report = execute(program)
+        tile_cycles = simulate_gemm(gemm, get_pe(architecture)).compute_cycles
+        tiles = math.ceil(64 / 16) * math.ceil(64 / 16)
+        assert report.busy_cycles["mxu"] == tile_cycles + tiles
+
+
+class TestPipelineVsTileSimulator:
+    """The block pipeline's FP-INT GeMM stages must reproduce the tile
+    simulator's per-GeMM numbers exactly (same model, per-layer)."""
+
+    @pytest.mark.parametrize("model", ("opt-1.3b", "llama-7b"))
+    def test_gemm_stage_cycles_match(self, model):
+        from repro.hw.pipeline import schedule_block
+        from repro.hw.workloads import Gemm
+
+        combination = PrecisionCombination(7, 6, 6, 5)
+        seq = 512
+        schedule = schedule_block(model, "Anda", combination, seq)
+        config = get_config(model)
+        for gemm in prefill_gemms(config, seq):
+            single = Gemm(gemm.kind, gemm.rows, gemm.reduction, gemm.cols)
+            expected = simulate_gemm(single, get_pe("Anda"), combination)
+            label = "gemm:qkv" if gemm.kind.value == "qkv" else f"gemm:{gemm.kind.value}"
+            stage = schedule.stage(label)
+            assert stage.cycles == pytest.approx(expected.cycles)
+            assert stage.energy_pj == pytest.approx(expected.energy_pj)
+
+    def test_weight_bits_parameter_scales_weight_traffic(self):
+        from repro.core.precision import TensorKind
+        from repro.hw.workloads import Gemm
+
+        gemm = Gemm(TensorKind.O, rows=32, reduction=1024, cols=1024)
+        narrow = simulate_gemm(gemm, get_pe("FP-FP"), weight_bits=4.0)
+        wide = simulate_gemm(gemm, get_pe("FP-FP"), weight_bits=16.0)
+        # Wider stationary operand: strictly more DRAM and SRAM traffic,
+        # identical compute cycles.
+        assert wide.dram_bytes > narrow.dram_bytes
+        assert wide.sram_bits > narrow.sram_bits
+        assert wide.compute_cycles == narrow.compute_cycles

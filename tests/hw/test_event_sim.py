@@ -1,0 +1,248 @@
+"""Tests for the event-driven program executor (Fig. 13 overlap claims)."""
+
+import pytest
+
+from repro.core.precision import PrecisionCombination, TensorKind
+from repro.errors import HardwareError
+from repro.hw.event_sim import (
+    PREFETCH_DEPTH,
+    ExecutionReport,
+    execute,
+    summarize_overlap,
+)
+from repro.hw.program import GemmProgram, Instruction, compile_gemm
+from repro.hw.workloads import Gemm
+
+
+def small_gemm(rows=32, reduction=256, cols=32) -> Gemm:
+    return Gemm(TensorKind.QKV, rows, reduction, cols)
+
+
+def anda_program(mantissa=6, **kwargs) -> GemmProgram:
+    return compile_gemm(
+        small_gemm(**kwargs), "Anda", PrecisionCombination.uniform(mantissa)
+    )
+
+
+class TestExecute:
+    def test_makespan_covers_mxu_busy(self):
+        report = execute(anda_program())
+        assert report.total_cycles >= report.busy_cycles["mxu"]
+
+    def test_every_unit_in_report(self):
+        report = execute(anda_program())
+        for unit in ("wgt_loader", "act_loader", "mxu", "bpc", "store_port"):
+            assert unit in report.busy_cycles
+
+    def test_mxu_busy_matches_program_estimate(self):
+        program = anda_program()
+        report = execute(program)
+        assert report.busy_cycles["mxu"] == program.compute_cycles()
+
+    def test_schedule_is_consistent(self):
+        report = execute(anda_program())
+        for item in report.schedule:
+            assert 0 <= item.start <= item.end <= report.total_cycles
+
+    def test_per_unit_program_order(self):
+        report = execute(anda_program())
+        last_end: dict[str, int] = {}
+        for item in report.schedule:
+            assert item.start >= last_end.get(item.unit, 0)
+            last_end[item.unit] = item.end
+
+    def test_compute_waits_for_its_loads(self):
+        report = execute(anda_program())
+        loads = {}
+        computes = []
+        wgt_slot = act_slot = 0
+        for item in report.schedule:
+            opcode = item.instruction.opcode
+            if opcode == "LOAD_WGT":
+                loads[("LOAD_WGT", wgt_slot)] = item.end
+                wgt_slot += 1
+            elif opcode == "LOAD_ACT":
+                loads[("LOAD_ACT", act_slot)] = item.end
+                act_slot += 1
+            elif opcode == "COMPUTE":
+                computes.append(item)
+        for slot, compute in enumerate(computes):
+            assert compute.start >= loads[("LOAD_WGT", slot)]
+            assert compute.start >= loads[("LOAD_ACT", slot)]
+
+    def test_prefetch_depth_limits_loader_runahead(self):
+        report = execute(anda_program())
+        compute_ends = [
+            item.end
+            for item in report.schedule
+            if item.instruction.opcode == "COMPUTE"
+        ]
+        wgt_starts = [
+            item.start
+            for item in report.schedule
+            if item.instruction.opcode == "LOAD_WGT"
+        ]
+        for slot, start in enumerate(wgt_starts):
+            if slot >= PREFETCH_DEPTH:
+                assert start >= compute_ends[slot - PREFETCH_DEPTH]
+
+    def test_rejects_unknown_opcode(self):
+        bogus = GemmProgram(
+            gemm=small_gemm(),
+            architecture="Anda",
+            instructions=(Instruction("HALT", (0, 0), 0, 1),),
+        )
+        with pytest.raises(HardwareError):
+            execute(bogus)
+
+    def test_empty_program(self):
+        empty = GemmProgram(small_gemm(), "Anda", ())
+        report = execute(empty)
+        assert report.total_cycles == 0
+        assert report.stall_cycles() == 0
+
+
+class TestOverlapClaims:
+    def test_bpc_mostly_hidden_behind_mxu(self):
+        # Sec. IV-C: BPC latency "can largely overlap with APU
+        # computations".  With >= 2 tiles the BPC of tile t runs during
+        # the compute of tile t+1.
+        summary = summarize_overlap(anda_program(rows=64, cols=64))
+        assert summary.bpc_hidden_fraction > 0.9
+
+    def test_weight_loads_hidden_behind_compute(self):
+        summary = summarize_overlap(anda_program(rows=64, cols=64))
+        assert summary.load_hidden_fraction > 0.8
+
+    def test_makespan_close_to_compute_bound(self):
+        # Little impact on overall performance: < 10% over MXU-bound.
+        summary = summarize_overlap(anda_program(rows=64, cols=64))
+        assert summary.slowdown_vs_compute_bound < 1.10
+
+    def test_low_mantissa_is_faster(self):
+        fast = execute(anda_program(mantissa=4)).total_cycles
+        slow = execute(anda_program(mantissa=12)).total_cycles
+        assert fast < slow
+
+    def test_mxu_utilization_high_for_long_gemm(self):
+        summary = summarize_overlap(anda_program(rows=64, reduction=1024))
+        assert summary.mxu_utilization > 0.85
+
+
+class TestBaselineArchitectures:
+    def test_fp_fp_program_executes(self):
+        program = compile_gemm(small_gemm(), "FP-FP")
+        report = execute(program)
+        assert report.total_cycles > 0
+        assert report.busy_cycles["bpc"] == 0  # no compression stage
+
+    def test_figna_program_executes(self):
+        program = compile_gemm(small_gemm(), "FIGNA-M8")
+        report = execute(program)
+        assert report.busy_cycles["mxu"] == program.compute_cycles()
+
+    def test_anda_faster_than_fp_fp_at_low_mantissa(self):
+        anda = execute(anda_program(mantissa=5)).total_cycles
+        fpfp = execute(compile_gemm(small_gemm(), "FP-FP")).total_cycles
+        assert anda < fpfp
+
+
+class TestReportAccessors:
+    def test_utilization_bounds(self):
+        report = execute(anda_program())
+        for unit in report.busy_cycles:
+            assert 0.0 <= report.utilization(unit) <= 1.0
+
+    def test_unknown_unit_raises(self):
+        report = execute(anda_program())
+        with pytest.raises(HardwareError):
+            report.utilization("gpu")
+        with pytest.raises(HardwareError):
+            report.overlap_fraction("gpu", "mxu")
+
+    def test_overlap_of_idle_unit_is_one(self):
+        report = ExecutionReport(
+            total_cycles=10,
+            busy_cycles={unit: 0 for unit in ("wgt_loader", "act_loader", "mxu", "bpc", "store_port")},
+        )
+        assert report.overlap_fraction("bpc", "mxu") == 1.0
+
+    def test_stall_cycles_non_negative(self):
+        report = execute(anda_program())
+        assert report.stall_cycles() >= 0
+
+
+class TestOverlapComputation:
+    """The two-pointer interval sweep must agree with the O(n*m)
+    brute-force definition on arbitrary schedules."""
+
+    @staticmethod
+    def brute_force_overlap(intervals_a, intervals_b):
+        busy_a = sum(end - start for start, end in intervals_a)
+        if busy_a == 0:
+            return 1.0
+        overlap = 0
+        for a_start, a_end in intervals_a:
+            for b_start, b_end in intervals_b:
+                overlap += max(0, min(a_end, b_end) - max(a_start, b_start))
+        return overlap / busy_a
+
+    @pytest.mark.parametrize("mantissa", (4, 9))
+    def test_matches_brute_force_on_real_schedules(self, mantissa):
+        report = execute(anda_program(mantissa=mantissa, rows=48, cols=48))
+        for unit_a, unit_b in (
+            ("bpc", "mxu"),
+            ("wgt_loader", "mxu"),
+            ("act_loader", "mxu"),
+            ("store_port", "bpc"),
+        ):
+            expected = self.brute_force_overlap(
+                report._intervals(unit_a), report._intervals(unit_b)
+            )
+            assert report.overlap_fraction(unit_a, unit_b) == pytest.approx(expected)
+
+    def test_matches_brute_force_on_synthetic_intervals(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        # Build non-overlapping sorted intervals from positive gaps and
+        # lengths - the invariant per-unit schedules satisfy.
+        def intervals_from(pairs):
+            intervals, clock = [], 0
+            for gap, length in pairs:
+                start = clock + gap
+                intervals.append((start, start + length))
+                clock = start + length
+            return intervals
+
+        @given(
+            st.lists(st.tuples(st.integers(0, 5), st.integers(1, 7)), max_size=12),
+            st.lists(st.tuples(st.integers(0, 5), st.integers(1, 7)), max_size=12),
+        )
+        @settings(max_examples=60, deadline=None)
+        def check(pairs_a, pairs_b):
+            intervals_a = intervals_from(pairs_a)
+            intervals_b = intervals_from(pairs_b)
+            report = ExecutionReport(
+                total_cycles=100,
+                busy_cycles={unit: 0 for unit in (
+                    "wgt_loader", "act_loader", "mxu", "bpc", "store_port",
+                )},
+            )
+            from repro.hw.event_sim import ScheduledInstruction
+            from repro.hw.program import Instruction
+
+            for start, end in intervals_a:
+                report.schedule.append(ScheduledInstruction(
+                    Instruction("COMPUTE", (0, 0), 0, end - start),
+                    "mxu", start, end,
+                ))
+            for start, end in intervals_b:
+                report.schedule.append(ScheduledInstruction(
+                    Instruction("COMPRESS", (0, 0), 0, end - start),
+                    "bpc", start, end,
+                ))
+            expected = self.brute_force_overlap(intervals_a, intervals_b)
+            assert report.overlap_fraction("mxu", "bpc") == pytest.approx(expected)
+
+        check()

@@ -1,0 +1,143 @@
+"""Tests for the dataflow-mapping ablation (output-stationary choice)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.precision import TensorKind
+from repro.errors import HardwareError
+from repro.hw.mapping import (
+    DATAFLOWS,
+    anda_act_bits,
+    compare_dataflows,
+    dataflow_cost,
+)
+from repro.hw.workloads import Gemm
+
+#: A production-shaped projection GeMM (2048 tokens, d=4096).
+BIG = Gemm(TensorKind.QKV, rows=2048, reduction=4096, cols=4096)
+
+#: A single-tile GeMM: no reduction slicing, no re-streaming.
+TINY = Gemm(TensorKind.O, rows=16, reduction=64, cols=16)
+
+SHAPES = st.tuples(
+    st.integers(1, 512), st.integers(1, 2048), st.integers(1, 512)
+)
+
+
+class TestDataflowCost:
+    def test_os_has_no_psum_traffic(self):
+        cost = dataflow_cost(BIG, "output-stationary")
+        assert cost.psum_bits == 0.0
+
+    def test_ws_and_is_pay_partial_sums(self):
+        for dataflow in ("weight-stationary", "input-stationary"):
+            cost = dataflow_cost(BIG, dataflow)
+            assert cost.psum_bits > 0.0
+
+    def test_single_tile_gemm_has_no_spills(self):
+        # One reduction tile: WS/IS never spill, all three converge on
+        # operand reads + output write.
+        for dataflow in DATAFLOWS:
+            cost = dataflow_cost(TINY, dataflow)
+            assert cost.psum_bits == 0.0
+
+    def test_repeats_scale_linearly(self):
+        once = dataflow_cost(BIG, "output-stationary")
+        layered = dataflow_cost(
+            Gemm(BIG.kind, BIG.rows, BIG.reduction, BIG.cols, repeats=3),
+            "output-stationary",
+        )
+        assert layered.total_bits == pytest.approx(3 * once.total_bits)
+
+    def test_rejects_unknown_dataflow(self):
+        with pytest.raises(HardwareError):
+            dataflow_cost(BIG, "systolic-stationary")
+
+    def test_rejects_bad_activation_width(self):
+        with pytest.raises(HardwareError):
+            dataflow_cost(BIG, "output-stationary", act_bits_per_element=0)
+
+
+class TestOutputStationaryChoice:
+    def test_fp16_leaves_no_decisive_winner(self):
+        # At FP16 widths, OS and IS land within ~1% of each other — the
+        # dataflow choice is format-driven, not shape-driven.
+        cmp = compare_dataflows(BIG, act_bits_per_element=16.0)
+        assert cmp.overhead("output-stationary") < 1.02
+        assert cmp.overhead("weight-stationary") > 1.3
+
+    def test_anda_widths_make_os_win_outright(self):
+        # The ablation's finding: with Anda-width activations the
+        # 32-bit psum traffic of WS/IS stops being amortizable, and OS
+        # wins at every searched mantissa length.
+        for mantissa in (4, 5, 8, 11, 13):
+            cmp = compare_dataflows(BIG, anda_act_bits(mantissa))
+            assert cmp.best() == "output-stationary"
+
+    def test_os_wins_harder_with_anda_activations(self):
+        # Shrinking the activation width shrinks OS traffic but not the
+        # 32-bit psum traffic of WS/IS: Anda widens the OS advantage.
+        fp16 = compare_dataflows(BIG, act_bits_per_element=16.0)
+        anda = compare_dataflows(BIG, act_bits_per_element=anda_act_bits(5))
+        assert anda.best() == "output-stationary"
+        assert anda.overhead("weight-stationary") > fp16.overhead(
+            "weight-stationary"
+        )
+        assert anda.overhead("input-stationary") > fp16.overhead(
+            "input-stationary"
+        )
+
+    def test_overhead_of_best_is_one(self):
+        cmp = compare_dataflows(BIG)
+        assert cmp.overhead(cmp.best()) == 1.0
+
+    @given(SHAPES, st.integers(2, 13))
+    @settings(max_examples=40, deadline=None)
+    def test_costs_positive_and_complete(self, shape, mantissa):
+        rows, reduction, cols = shape
+        gemm = Gemm(TensorKind.U, rows, reduction, cols)
+        cmp = compare_dataflows(gemm, anda_act_bits(mantissa))
+        assert set(cmp.costs) == set(DATAFLOWS)
+        for cost in cmp.costs.values():
+            assert cost.total_bits > 0
+            assert cost.total_bits == pytest.approx(
+                cost.act_bits + cost.wgt_bits + cost.psum_bits + cost.out_bits
+            )
+
+    @given(st.integers(1, 16))
+    @settings(max_examples=16, deadline=None)
+    def test_anda_width_monotone(self, mantissa):
+        assert anda_act_bits(mantissa) < anda_act_bits(mantissa) + 1
+        if mantissa < 16:
+            assert anda_act_bits(mantissa) < anda_act_bits(mantissa + 1)
+
+    def test_anda_width_rejects_out_of_range(self):
+        with pytest.raises(HardwareError):
+            anda_act_bits(0)
+        with pytest.raises(HardwareError):
+            anda_act_bits(17)
+
+
+class TestReuseAsymmetry:
+    def test_ws_reads_weights_once(self):
+        ws = dataflow_cost(BIG, "weight-stationary")
+        os_ = dataflow_cost(BIG, "output-stationary")
+        assert ws.wgt_bits < os_.wgt_bits
+
+    def test_is_reads_activations_once(self):
+        is_ = dataflow_cost(BIG, "input-stationary")
+        os_ = dataflow_cost(BIG, "output-stationary")
+        assert is_.act_bits < os_.act_bits
+
+    def test_deep_reduction_punishes_ws(self):
+        # Growing the reduction dimension multiplies WS psum spills
+        # relative to the psum-free OS dataflow.
+        def ws_vs_os(reduction):
+            cmp = compare_dataflows(Gemm(TensorKind.D, 256, reduction, 256))
+            return (
+                cmp.costs["weight-stationary"].total_bits
+                / cmp.costs["output-stationary"].total_bits
+            )
+
+        assert ws_vs_os(16384) > ws_vs_os(256)

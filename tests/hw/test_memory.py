@@ -1,0 +1,224 @@
+"""Tests for the banked SRAM and HBM2 models (Sec. IV-A regularity claims)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareError
+from repro.hw.memory import (
+    DEFAULT_BANKS,
+    HBM2_BURST_BYTES,
+    HBM2_ROW_BYTES,
+    Hbm2Channel,
+    SramBanks,
+    StreamStats,
+    bitplane_stream,
+    compare_layouts,
+    element_stream,
+)
+
+MANTISSAS = st.integers(min_value=1, max_value=16)
+GROUPS = st.integers(min_value=1, max_value=64)
+
+
+class TestSramBanks:
+    def test_bank_mapping_is_interleaved(self):
+        banks = SramBanks(n_banks=4)
+        assert [banks.bank_of(a) for a in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_no_conflict_for_distinct_banks(self):
+        banks = SramBanks(n_banks=4)
+        assert banks.conflicts([[0, 1, 2, 3]]) == 0
+
+    def test_conflict_counts_same_bank_collisions(self):
+        banks = SramBanks(n_banks=4)
+        # 0 and 4 share bank 0; 1 is alone.
+        assert banks.conflicts([[0, 4, 1]]) == 1
+        # All four in bank 0: three losers.
+        assert banks.conflicts([[0, 4, 8, 12]]) == 3
+
+    def test_conflicts_accumulate_over_cycles(self):
+        banks = SramBanks(n_banks=2)
+        assert banks.conflicts([[0, 2], [1, 3]]) == 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(HardwareError):
+            SramBanks(n_banks=0)
+        with pytest.raises(HardwareError):
+            SramBanks(word_bits=0)
+        with pytest.raises(HardwareError):
+            SramBanks().bank_of(-1)
+
+
+class TestBitplaneStream:
+    def test_word_count_is_groups_times_depth(self):
+        stats = bitplane_stream(n_groups=10, mantissa_bits=6)
+        assert stats.words_fetched == 10 * 7
+
+    def test_full_bandwidth_utilization(self):
+        stats = bitplane_stream(n_groups=5, mantissa_bits=4)
+        assert stats.bandwidth_utilization == 1.0
+
+    def test_zero_conflicts_and_rotations(self):
+        stats = bitplane_stream(n_groups=32, mantissa_bits=9)
+        assert stats.bank_conflicts == 0
+        assert stats.rotations == 0
+
+    @given(GROUPS, MANTISSAS)
+    @settings(max_examples=40, deadline=None)
+    def test_access_cycles_equal_words(self, n_groups, mantissa):
+        stats = bitplane_stream(n_groups, mantissa)
+        assert stats.access_cycles == stats.words_fetched
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(HardwareError):
+            bitplane_stream(0, 4)
+        with pytest.raises(HardwareError):
+            bitplane_stream(1, 0)
+        with pytest.raises(HardwareError):
+            bitplane_stream(1, 17)
+
+
+class TestElementStream:
+    def test_plane_reads_square_in_depth(self):
+        # Feeding a bit-serial PE from an element layout re-reads the
+        # whole group footprint per plane: (1 + M)^2 words per group.
+        stats = element_stream(n_groups=3, mantissa_bits=7)
+        assert stats.words_fetched == 3 * (1 + 7) ** 2
+
+    def test_bandwidth_utilization_is_inverse_depth(self):
+        stats = element_stream(n_groups=1, mantissa_bits=7)
+        assert stats.bandwidth_utilization == pytest.approx(1 / 8)
+
+    def test_no_straddles_when_field_divides_word(self):
+        # 1 + M = 4 divides 64: all fields aligned, no rotations.
+        stats = element_stream(n_groups=2, mantissa_bits=3)
+        assert stats.rotations == 0
+
+    def test_straddles_when_field_does_not_divide_word(self):
+        # 1 + M = 6: fields at offsets 60, 54, ... cross word boundaries.
+        stats = element_stream(n_groups=1, mantissa_bits=5)
+        assert stats.rotations > 0
+
+    @given(GROUPS, MANTISSAS)
+    @settings(max_examples=40, deadline=None)
+    def test_never_cheaper_than_bitplane(self, n_groups, mantissa):
+        element = element_stream(n_groups, mantissa)
+        plane = bitplane_stream(n_groups, mantissa)
+        assert element.words_fetched >= plane.words_fetched
+        assert element.access_cycles >= plane.access_cycles
+        assert element.bandwidth_utilization <= plane.bandwidth_utilization
+
+    @given(MANTISSAS)
+    @settings(max_examples=16, deadline=None)
+    def test_useful_bits_match_bitplane(self, mantissa):
+        # Both layouts deliver the same payload to the PE.
+        assert (
+            element_stream(4, mantissa).useful_bits
+            == bitplane_stream(4, mantissa).useful_bits
+        )
+
+    def test_conflicts_appear_beyond_bank_count(self):
+        small = SramBanks(n_banks=4)
+        stats = element_stream(n_groups=1, mantissa_bits=8, banks=small)
+        # 9 parallel words on 4 banks: at least one bank doubles up.
+        assert stats.bank_conflicts > 0
+
+    def test_wide_banking_removes_conflicts(self):
+        wide = SramBanks(n_banks=32)
+        stats = element_stream(n_groups=1, mantissa_bits=8, banks=wide)
+        assert stats.bank_conflicts == 0
+
+
+class TestCompareLayouts:
+    def test_fetch_ratio_equals_depth(self):
+        cmp = compare_layouts(n_groups=8, mantissa_bits=6)
+        assert cmp.fetch_ratio == pytest.approx(7.0)
+
+    @given(GROUPS, MANTISSAS)
+    @settings(max_examples=40, deadline=None)
+    def test_bitplane_always_wins(self, n_groups, mantissa):
+        cmp = compare_layouts(n_groups, mantissa)
+        assert cmp.fetch_ratio >= 1.0
+        assert cmp.stall_overhead >= 1.0
+
+    def test_advantage_grows_with_mantissa(self):
+        ratios = [
+            compare_layouts(4, m).fetch_ratio for m in (2, 6, 10, 14)
+        ]
+        assert ratios == sorted(ratios)
+
+
+class TestHbm2Channel:
+    def test_zero_payload_is_free(self):
+        transfer = Hbm2Channel().transfer(0)
+        assert transfer.bursts == 0
+        assert transfer.energy_pj == 0.0
+
+    def test_single_burst_minimum(self):
+        transfer = Hbm2Channel().transfer(1)
+        assert transfer.bursts == 1
+        assert transfer.bus_bytes == HBM2_BURST_BYTES
+
+    def test_contiguous_bursts_round_up(self):
+        transfer = Hbm2Channel().transfer(100)
+        assert transfer.bursts == math.ceil(100 / HBM2_BURST_BYTES)
+
+    def test_row_activations_per_row_bytes(self):
+        transfer = Hbm2Channel().transfer(4 * HBM2_ROW_BYTES)
+        assert transfer.row_activations == 4
+
+    def test_scattering_costs_more(self):
+        channel = Hbm2Channel()
+        packed = channel.transfer(10_000, segments=1)
+        scattered = channel.transfer(10_000, segments=100)
+        assert scattered.bursts >= packed.bursts
+        assert scattered.row_activations >= packed.row_activations
+        assert scattered.energy_pj > packed.energy_pj
+
+    def test_burst_utilization_bounds(self):
+        channel = Hbm2Channel()
+        for payload in (1, 31, 32, 33, 1000):
+            transfer = channel.transfer(payload)
+            assert 0.0 < transfer.burst_utilization <= 1.0
+
+    def test_energy_includes_io_and_rows(self):
+        channel = Hbm2Channel()
+        transfer = channel.transfer(HBM2_ROW_BYTES)
+        io = HBM2_ROW_BYTES * 8 * 3.9
+        assert transfer.energy_pj > io
+
+    def test_anda_tensor_footprint(self):
+        channel = Hbm2Channel()
+        # 1 group, M=4: 5 words * 64 bits + 8 exponent bits = 328 bits.
+        assert channel.tensor_bytes(1, 4) == 41
+
+    @given(GROUPS, MANTISSAS)
+    @settings(max_examples=40, deadline=None)
+    def test_footprint_below_fp16(self, n_groups, mantissa):
+        channel = Hbm2Channel()
+        anda = channel.tensor_bytes(n_groups, mantissa)
+        fp16 = n_groups * 64 * 2
+        if mantissa <= 13:
+            assert anda < fp16
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(HardwareError):
+            Hbm2Channel(burst_bytes=0)
+        with pytest.raises(HardwareError):
+            Hbm2Channel(burst_bytes=64, row_bytes=32)
+        with pytest.raises(HardwareError):
+            Hbm2Channel().transfer(-1)
+        with pytest.raises(HardwareError):
+            Hbm2Channel().transfer(10, segments=0)
+
+
+class TestStreamStats:
+    def test_empty_stream_utilization(self):
+        stats = StreamStats(0, 0, 0, 0)
+        assert stats.bandwidth_utilization == 1.0
+
+    def test_default_bank_count(self):
+        assert SramBanks().n_banks == DEFAULT_BANKS

@@ -1,0 +1,137 @@
+"""Tests for PE models and the gate-level component estimates."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.gates import adder, adder_tree, barrel_shifter, multiplier
+from repro.hw.pe import (
+    FULL_RATE_CYCLES,
+    PE_MODELS,
+    PE_ORDER,
+    get_pe,
+    pe_area_efficiency,
+    pe_energy_efficiency,
+)
+
+
+class TestGates:
+    def test_multiplier_scales_with_product(self):
+        assert multiplier(11, 11) > multiplier(11, 4) > multiplier(4, 4)
+
+    def test_adder_linear(self):
+        assert adder(32) == 2 * adder(16)
+
+    def test_adder_tree_counts_levels(self):
+        # 4 inputs: 2 adders of w+1, 1 of w+2.
+        assert adder_tree(4, 4) == 2 * adder(5) + adder(6)
+
+    def test_barrel_shifter_log_stages(self):
+        assert barrel_shifter(16, 16) < barrel_shifter(16, 256)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(HardwareError):
+            multiplier(0, 4)
+        with pytest.raises(HardwareError):
+            adder(-1)
+
+
+class TestCycles:
+    def test_baselines_full_rate(self):
+        for name in ("FP-FP", "FP-INT", "iFPU", "FIGNA"):
+            assert get_pe(name).cycles_per_group() == FULL_RATE_CYCLES
+
+    def test_reduced_mantissa_figna(self):
+        assert get_pe("FIGNA-M11").cycles_per_group() == 11
+        assert get_pe("FIGNA-M8").cycles_per_group() == 8
+
+    def test_anda_scales_with_mantissa(self):
+        anda = get_pe("Anda")
+        assert anda.cycles_per_group(4) == 5
+        assert anda.cycles_per_group(15) == 16
+
+    def test_anda_requires_mantissa(self):
+        with pytest.raises(HardwareError):
+            get_pe("Anda").cycles_per_group()
+
+    def test_anda_rejects_out_of_range(self):
+        with pytest.raises(HardwareError):
+            get_pe("Anda").cycles_per_group(0)
+        with pytest.raises(HardwareError):
+            get_pe("Anda").cycles_per_group(17)
+
+    def test_unknown_pe(self):
+        with pytest.raises(HardwareError):
+            get_pe("TPU")
+
+
+class TestEnergy:
+    def test_bit_parallel_energy_is_published_ratio(self):
+        assert get_pe("FIGNA").group_energy_rel() == pytest.approx(0.17)
+
+    def test_anda_energy_linear_in_planes(self):
+        anda = get_pe("Anda")
+        assert anda.group_energy_rel(15) == pytest.approx(0.20)
+        assert anda.group_energy_rel(7) == pytest.approx(0.20 * 8 / 16)
+
+    def test_energy_ordering(self):
+        """FP-FP > FP-INT > iFPU > FIGNA per-group energy (Fig. 15b)."""
+        energies = [get_pe(n).group_energy_rel(15) for n in
+                    ("FP-FP", "FP-INT", "iFPU", "FIGNA")]
+        assert energies == sorted(energies, reverse=True)
+
+
+class TestFig15Metrics:
+    def test_area_efficiency_baselines(self):
+        """Fig. 15c: 1/area for bit-parallel PEs."""
+        assert pe_area_efficiency("FP-INT") == pytest.approx(1 / 0.63, rel=1e-6)
+        assert pe_area_efficiency("FIGNA") == pytest.approx(1 / 0.18, rel=1e-6)
+
+    @pytest.mark.parametrize(
+        "mantissa,paper",
+        [(13, 4.96), (11, 5.79), (8, 7.72), (6, 9.92), (4, 13.89)],
+    )
+    def test_anda_area_efficiency_matches_paper(self, mantissa, paper):
+        assert pe_area_efficiency("Anda", mantissa) == pytest.approx(paper, rel=0.02)
+
+    @pytest.mark.parametrize(
+        "mantissa,paper",
+        [(13, 5.74), (11, 6.69), (8, 8.93), (6, 11.48), (4, 16.07)],
+    )
+    def test_anda_energy_efficiency_matches_paper(self, mantissa, paper):
+        assert pe_energy_efficiency("Anda", mantissa) == pytest.approx(paper, rel=0.02)
+
+    def test_figna_energy_efficiency(self):
+        assert pe_energy_efficiency("FIGNA") == pytest.approx(5.88, rel=0.01)
+
+
+class TestStorageFormats:
+    def test_fp16_storage(self):
+        assert get_pe("FIGNA").act_bits_per_element() == 16.0
+
+    def test_anda_storage_scales(self):
+        anda = get_pe("Anda")
+        assert anda.act_bits_per_element(6) == pytest.approx(7 + 8 / 64)
+        assert anda.act_bits_per_element(6) < anda.act_bits_per_element(10) < 16
+
+    def test_anda_storage_requires_mantissa(self):
+        with pytest.raises(HardwareError):
+            get_pe("Anda").act_bits_per_element()
+
+
+class TestComponentModel:
+    def test_every_pe_has_modeled_area(self):
+        for name in PE_ORDER:
+            assert PE_MODELS[name].modeled_area_ge() > 0
+
+    def test_int_datapaths_smaller_than_fp(self):
+        """The structural estimate keeps the key ordering: INT-compute
+        PEs are smaller than the FP-FP FMA datapath."""
+        fp_area = PE_MODELS["FP-FP"].modeled_area_ge()
+        for name in ("FP-INT", "FIGNA", "FIGNA-M11", "FIGNA-M8", "Anda"):
+            assert PE_MODELS[name].modeled_area_ge() < fp_area
+
+    def test_figna_mantissa_monotone(self):
+        a14 = PE_MODELS["FIGNA"].modeled_area_ge()
+        a11 = PE_MODELS["FIGNA-M11"].modeled_area_ge()
+        a8 = PE_MODELS["FIGNA-M8"].modeled_area_ge()
+        assert a14 > a11 > a8

@@ -1,0 +1,174 @@
+"""Tests for the end-to-end transformer pipeline model."""
+
+import pytest
+
+from repro.core.precision import PrecisionCombination
+from repro.errors import HardwareError
+from repro.hw.pipeline import (
+    BlockSchedule,
+    compare_end_to_end,
+    estimate_inference,
+    kv_cache_bytes,
+    schedule_block,
+)
+from repro.llm.config import get_config
+
+COMBO = PrecisionCombination(7, 7, 6, 5)
+MODEL = "opt-1.3b"
+
+
+class TestScheduleBlock:
+    def test_contains_all_four_gemms(self):
+        schedule = schedule_block(MODEL, "Anda", COMBO, 512)
+        names = {stage.name for stage in schedule.stages}
+        assert {"gemm:qkv", "gemm:o", "gemm:u", "gemm:d"} <= names
+
+    def test_contains_attention_and_vector_stages(self):
+        schedule = schedule_block(MODEL, "Anda", COMBO, 512)
+        names = {stage.name for stage in schedule.stages}
+        assert {"attn:scores", "attn:context", "attn:softmax"} <= names
+        assert {"norm:attn", "norm:ffn", "residual", "ffn:activation"} <= names
+
+    def test_llama_gets_rope_stage(self):
+        schedule = schedule_block("llama-7b", "Anda", COMBO, 256)
+        assert any(stage.name == "attn:rope" for stage in schedule.stages)
+
+    def test_opt_has_no_rope(self):
+        schedule = schedule_block(MODEL, "Anda", COMBO, 256)
+        assert all(stage.name != "attn:rope" for stage in schedule.stages)
+
+    def test_positive_costs_everywhere(self):
+        schedule = schedule_block(MODEL, "FP-FP", None, 256)
+        for stage in schedule.stages:
+            assert stage.cycles > 0
+            assert stage.energy_pj > 0
+
+    def test_decode_point_shapes(self):
+        decode = schedule_block(MODEL, "Anda", COMBO, 1, kv_length=2048)
+        prefill = schedule_block(MODEL, "Anda", COMBO, 2048)
+        assert decode.cycles < prefill.cycles
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(HardwareError):
+            schedule_block(MODEL, "Anda", COMBO, 0)
+        with pytest.raises(HardwareError):
+            schedule_block(MODEL, "Anda", COMBO, 128, kv_length=64)
+
+    def test_stage_lookup(self):
+        schedule = schedule_block(MODEL, "Anda", COMBO, 128)
+        assert schedule.stage("gemm:qkv").unit == "mxu"
+        with pytest.raises(HardwareError):
+            schedule.stage("gemm:nonexistent")
+
+    def test_share_partitions(self):
+        schedule = schedule_block(MODEL, "Anda", COMBO, 512)
+        gemm = schedule.share("gemm:")
+        attn = schedule.share("attn:")
+        rest = schedule.share("norm:") + schedule.share("residual") + schedule.share("ffn:")
+        assert gemm + attn + rest == pytest.approx(1.0)
+        assert gemm > 0.5  # FP-INT GeMMs dominate at 512 tokens (Fig. 2)
+
+
+class TestAmdahl:
+    def test_anda_wins_end_to_end_but_less_than_gemm_only(self):
+        cmp = compare_end_to_end(MODEL, COMBO, sequence_length=2048)
+        assert cmp.end_to_end_speedup > 1.0
+        assert cmp.gemm_speedup >= cmp.end_to_end_speedup
+        assert 0.0 < cmp.amdahl_gap <= 1.0
+
+    def test_energy_ratio_positive(self):
+        cmp = compare_end_to_end(MODEL, COMBO)
+        assert cmp.end_to_end_energy_ratio > 1.0
+
+    def test_attention_share_grows_with_context(self):
+        # The same effect that caps Fig. 2's GeMM share.
+        short = schedule_block(MODEL, "Anda", COMBO, 256)
+        long = schedule_block(MODEL, "Anda", COMBO, 4096)
+        assert long.share("attn:") > short.share("attn:")
+
+
+class TestInferenceEstimate:
+    def test_prefill_longer_than_decode_step(self):
+        estimate = estimate_inference(MODEL, "Anda", COMBO, prefill_tokens=1024)
+        assert estimate.prefill_latency_s > estimate.decode_latency_s
+        assert estimate.decode_tokens_per_s > 0
+        assert estimate.time_to_first_token_s == estimate.prefill_latency_s
+
+    def test_anda_beats_fp_fp_prefill(self):
+        anda = estimate_inference(MODEL, "Anda", COMBO, prefill_tokens=1024)
+        fpfp = estimate_inference(MODEL, "FP-FP", None, prefill_tokens=1024)
+        assert anda.prefill_latency_s < fpfp.prefill_latency_s
+        assert anda.prefill_energy_j < fpfp.prefill_energy_j
+
+    def test_bigger_model_slower(self):
+        small = estimate_inference("opt-1.3b", "Anda", COMBO, prefill_tokens=512)
+        large = estimate_inference("opt-13b", "Anda", COMBO, prefill_tokens=512)
+        assert large.prefill_latency_s > small.prefill_latency_s
+        assert large.decode_latency_s > small.decode_latency_s
+
+    def test_energy_positive(self):
+        estimate = estimate_inference(MODEL, "FIGNA", None, prefill_tokens=256)
+        assert estimate.prefill_energy_j > 0
+        assert estimate.decode_energy_j > 0
+
+
+class TestKvCache:
+    def test_linear_in_context(self):
+        config = get_config(MODEL)
+        assert kv_cache_bytes(config, 2048) == 2 * kv_cache_bytes(config, 1024)
+
+    def test_fp16_default(self):
+        config = get_config(MODEL)
+        expected = 2 * config.n_layers * config.d_model * 128 * 2
+        assert kv_cache_bytes(config, 128) == expected
+
+    def test_compressed_cache_smaller(self):
+        config = get_config(MODEL)
+        anda_bits = 1 + 5 + 8 / 64  # M=5 Anda storage per element
+        assert kv_cache_bytes(config, 512, anda_bits) < kv_cache_bytes(config, 512)
+
+    def test_rejects_negative_context(self):
+        with pytest.raises(HardwareError):
+            kv_cache_bytes(get_config(MODEL), -1)
+
+
+class TestKvCompression:
+    def test_compressed_decode_cheaper(self):
+        from repro.hw.pipeline import compare_kv_compression
+
+        cmp = compare_kv_compression(MODEL, COMBO, context_length=4096, kv_mantissa=8)
+        assert cmp.decode_speedup >= 1.0
+        assert cmp.decode_energy_ratio > 1.0
+        assert cmp.cache_compression == pytest.approx(16.0 / (1 + 8 + 8 / 64))
+
+    def test_shorter_kv_mantissa_saves_more_energy(self):
+        from repro.hw.pipeline import compare_kv_compression
+
+        coarse = compare_kv_compression(MODEL, COMBO, 4096, kv_mantissa=4)
+        fine = compare_kv_compression(MODEL, COMBO, 4096, kv_mantissa=11)
+        assert coarse.decode_energy_ratio > fine.decode_energy_ratio
+        assert coarse.cache_compression > fine.cache_compression
+
+    def test_kv_bits_affects_attention_stage_only(self):
+        full = schedule_block(MODEL, "Anda", COMBO, 1, kv_length=2048, kv_bits=16.0)
+        lean = schedule_block(MODEL, "Anda", COMBO, 1, kv_length=2048, kv_bits=6.0)
+        assert lean.stage("attn:scores").energy_pj < full.stage("attn:scores").energy_pj
+        assert lean.stage("gemm:qkv").energy_pj == full.stage("gemm:qkv").energy_pj
+
+    def test_rejects_bad_kv_parameters(self):
+        from repro.hw.pipeline import compare_kv_compression
+
+        with pytest.raises(HardwareError):
+            schedule_block(MODEL, "Anda", COMBO, 1, kv_length=64, kv_bits=0)
+        with pytest.raises(HardwareError):
+            compare_kv_compression(MODEL, COMBO, kv_mantissa=0)
+
+
+class TestBlockScheduleContainer:
+    def test_latency_matches_cycles(self):
+        schedule = schedule_block(MODEL, "Anda", COMBO, 128)
+        assert schedule.latency_s == pytest.approx(schedule.cycles / 285e6)
+
+    def test_empty_share(self):
+        empty = BlockSchedule(MODEL, "Anda", 1, [])
+        assert empty.share("gemm:") == 0.0

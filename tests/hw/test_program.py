@@ -1,0 +1,66 @@
+"""Tests for the controller instruction-stream compiler."""
+
+import pytest
+
+from repro.core.precision import PrecisionCombination, TensorKind
+from repro.errors import HardwareError
+from repro.hw.program import compile_gemm, validate_against_simulator
+from repro.hw.workloads import Gemm
+
+COMB = PrecisionCombination(7, 5, 6, 6)
+GEMM = Gemm(TensorKind.O, rows=64, reduction=256, cols=48)
+
+
+class TestCompileGemm:
+    def test_anda_program_structure(self):
+        program = compile_gemm(GEMM, "Anda", COMB)
+        counts = program.opcode_counts()
+        tiles = 4 * 3  # ceil(64/16) x ceil(48/16)
+        groups = 4  # ceil(256/64)
+        assert counts["COMPUTE"] == tiles * groups
+        assert counts["LOAD_WGT"] == tiles * groups
+        assert counts["LOAD_ACT"] == tiles * groups
+        assert counts["DRAIN"] == tiles
+        assert counts["COMPRESS"] == tiles  # Anda write-back only
+        assert counts["STORE"] == tiles
+
+    def test_baseline_program_has_no_compress(self):
+        program = compile_gemm(GEMM, "FIGNA")
+        assert "COMPRESS" not in program.opcode_counts()
+
+    def test_compute_cycles_scale_with_mantissa(self):
+        short = compile_gemm(GEMM, "Anda", PrecisionCombination.uniform(4))
+        long = compile_gemm(GEMM, "Anda", PrecisionCombination.uniform(12))
+        assert long.compute_cycles() > short.compute_cycles()
+
+    def test_kind_selects_mantissa(self):
+        qkv_gemm = Gemm(TensorKind.QKV, 64, 256, 48)
+        program_o = compile_gemm(GEMM, "Anda", COMB)
+        program_qkv = compile_gemm(qkv_gemm, "Anda", COMB)
+        # COMB has M_qkv=7 > M_o=5: the QKV program runs longer.
+        assert program_qkv.compute_cycles() > program_o.compute_cycles()
+
+    def test_anda_needs_combination(self):
+        with pytest.raises(HardwareError):
+            compile_gemm(GEMM, "Anda")
+
+    def test_load_act_word_count(self):
+        program = compile_gemm(GEMM, "Anda", COMB)
+        load = next(i for i in program.instructions if i.opcode == "LOAD_ACT")
+        assert load.cycles == 1 + COMB.o  # sign word + M_o planes
+
+
+class TestSimulatorAgreement:
+    @pytest.mark.parametrize("arch", ["FP-FP", "FIGNA", "FIGNA-M8"])
+    def test_baseline_agreement(self, arch):
+        program = compile_gemm(GEMM, arch)
+        assert validate_against_simulator(program)
+
+    def test_anda_agreement(self):
+        program = compile_gemm(GEMM, "Anda", COMB)
+        assert validate_against_simulator(program, COMB)
+
+    def test_agreement_on_ragged_shapes(self):
+        ragged = Gemm(TensorKind.U, rows=17, reduction=100, cols=33)
+        program = compile_gemm(ragged, "Anda", COMB)
+        assert validate_against_simulator(program, COMB)

@@ -1,0 +1,197 @@
+"""Tests for workloads, the tile simulator and system comparisons."""
+
+import pytest
+
+from repro.core.precision import PrecisionCombination, TensorKind
+from repro.errors import HardwareError
+from repro.hw.accelerator import (
+    anda_operating_point,
+    compare_architectures,
+    geometric_mean,
+)
+from repro.hw.area import anda_system_breakdown, system_area_mm2
+from repro.hw.params import DEFAULT_BUDGET
+from repro.hw.pe import get_pe
+from repro.hw.simulator import simulate_gemm, simulate_model
+from repro.hw.workloads import Gemm, context_ops, fig2_series, prefill_gemms
+from repro.llm.config import BENCHMARK_MODELS, get_config
+
+COMB6 = PrecisionCombination.uniform(6)
+
+
+class TestWorkloads:
+    def test_prefill_gemm_macs_match_config(self):
+        config = get_config("opt-1.3b")
+        gemms = prefill_gemms(config, 2048)
+        total = sum(g.macs for g in gemms)
+        assert total == 2048 * config.fp_int_macs_per_token()
+
+    def test_llama_gate_counted(self):
+        config = get_config("llama-7b")
+        up = next(
+            g for g in prefill_gemms(config, 128) if g.kind == TensorKind.U
+        )
+        assert up.cols == 2 * config.ffn_dim
+
+    def test_rejects_bad_sequence(self):
+        with pytest.raises(HardwareError):
+            prefill_gemms(get_config("opt-1.3b"), 0)
+
+    def test_fp_int_share_decreases_with_context(self):
+        config = get_config("opt-1.3b")
+        shares = [
+            context_ops(config, c).fp_int_share for c in (1024, 4096, 16384)
+        ]
+        assert shares[0] > shares[1] > shares[2]
+
+    def test_fp_int_dominates_short_context(self):
+        """Paper: >90% of operations below 4K context."""
+        for name in BENCHMARK_MODELS:
+            share = context_ops(get_config(name), 2048).fp_int_share
+            assert share > 0.90, name
+
+    def test_fp_int_still_significant_at_16k(self):
+        share = context_ops(get_config("opt-30b"), 16384).fp_int_share
+        assert 0.4 < share < 1.0
+
+    def test_fig2_series_shape(self):
+        series = fig2_series(("opt-1.3b", "llama-7b"), (1024, 2048))
+        assert set(series) == {"opt-1.3b", "llama-7b"}
+        assert set(series["opt-1.3b"]) == {1024, 2048}
+
+
+class TestSimulateGemm:
+    GEMM = Gemm(TensorKind.O, rows=2048, reduction=4096, cols=4096)
+
+    def test_fpfp_peak_throughput(self):
+        """At the common datapath width the array does 1024 MACs/cycle."""
+        metrics = simulate_gemm(self.GEMM, get_pe("FP-FP"))
+        assert metrics.compute_cycles == self.GEMM.macs / 1024
+
+    def test_anda_speedup_ratio(self):
+        base = simulate_gemm(self.GEMM, get_pe("FP-FP"))
+        anda = simulate_gemm(self.GEMM, get_pe("Anda"), COMB6)
+        assert base.compute_cycles / anda.compute_cycles == pytest.approx(16 / 7)
+
+    def test_anda_needs_combination(self):
+        with pytest.raises(HardwareError):
+            simulate_gemm(self.GEMM, get_pe("Anda"))
+
+    def test_dram_traffic_includes_weights_once(self):
+        metrics = simulate_gemm(self.GEMM, get_pe("FP-FP"))
+        weight_bytes = self.GEMM.reduction * self.GEMM.cols / 2
+        assert metrics.dram_bytes >= weight_bytes
+
+    def test_anda_moves_fewer_dram_bytes(self):
+        base = simulate_gemm(self.GEMM, get_pe("FP-FP"))
+        anda = simulate_gemm(self.GEMM, get_pe("Anda"), COMB6)
+        assert anda.dram_bytes < base.dram_bytes
+
+    def test_memory_compute_overlap(self):
+        metrics = simulate_gemm(self.GEMM, get_pe("FP-FP"))
+        assert metrics.cycles == max(metrics.compute_cycles, metrics.memory_cycles)
+
+    def test_repeats_scale_linearly(self):
+        single = simulate_gemm(self.GEMM, get_pe("FP-FP"))
+        double = simulate_gemm(
+            Gemm(TensorKind.O, 2048, 4096, 4096, repeats=2), get_pe("FP-FP")
+        )
+        assert double.compute_cycles == 2 * single.compute_cycles
+        assert double.dram_bytes == 2 * single.dram_bytes
+
+    def test_small_gemm_padding(self):
+        tiny = Gemm(TensorKind.O, rows=5, reduction=100, cols=10)
+        metrics = simulate_gemm(tiny, get_pe("FP-FP"))
+        # 1 row tile x 1 col tile x 2 groups x 16 cycles.
+        assert metrics.compute_cycles == 32
+
+
+class TestSystemLevel:
+    def test_fpfp_energy_breakdown_matches_paper(self):
+        """Fig. 17 anchor: FP-FP on LLaMA-13B splits ~42/11/48."""
+        run = simulate_model("llama-13b", "FP-FP")
+        shares = run.energy_shares()
+        assert shares["compute"] == pytest.approx(0.42, abs=0.03)
+        assert shares["sram"] == pytest.approx(0.11, abs=0.03)
+        assert shares["dram"] == pytest.approx(0.48, abs=0.03)
+
+    def test_energy_efficiency_ordering(self):
+        """Fig. 17: FP-FP < FP-INT < iFPU < FIGNA < M11 < M8 < Anda."""
+        results = compare_architectures("llama-13b", PrecisionCombination(7, 5, 6, 6))
+        effs = [results[a].energy_efficiency for a in
+                ("FP-FP", "FP-INT", "iFPU", "FIGNA", "FIGNA-M11", "FIGNA-M8", "Anda")]
+        assert effs == sorted(effs)
+
+    def test_figna_energy_efficiency_near_paper(self):
+        results = compare_architectures("llama-13b", PrecisionCombination(7, 5, 6, 6))
+        assert results["FIGNA"].energy_efficiency == pytest.approx(1.53, abs=0.1)
+
+    def test_anda_energy_efficiency_near_paper(self):
+        results = compare_architectures("llama-13b", PrecisionCombination(7, 5, 6, 6))
+        assert results["Anda"].energy_efficiency == pytest.approx(3.1, abs=0.3)
+
+    def test_speedups_match_paper_model(self):
+        results = compare_architectures("opt-6.7b", PrecisionCombination(6, 4, 5, 4))
+        assert results["FIGNA-M11"].speedup == pytest.approx(16 / 11, rel=0.01)
+        assert results["FIGNA-M8"].speedup == pytest.approx(2.0, rel=0.01)
+        assert results["FP-INT"].speedup == pytest.approx(1.0, rel=0.01)
+        # OPT-6.7B 1% combo: effective mantissa ~4.83 -> speedup ~16/5.9.
+        assert results["Anda"].speedup == pytest.approx(16 / 5.9, rel=0.05)
+
+    def test_area_efficiency_near_paper(self):
+        """Fig. 16 geomean area efficiencies (paper: FIGNA 1.72x,
+        FIGNA-M8 3.60x) derive from Table III composition."""
+        results = compare_architectures("llama-13b", PrecisionCombination(7, 5, 6, 6))
+        assert results["FIGNA"].area_efficiency == pytest.approx(1.72, abs=0.15)
+        assert results["FIGNA-M8"].area_efficiency == pytest.approx(3.6, abs=0.3)
+
+    def test_shorter_mantissas_run_faster(self):
+        fast = anda_operating_point("opt-13b", PrecisionCombination.uniform(4), 0.05)
+        slow = anda_operating_point("opt-13b", PrecisionCombination.uniform(10), 0.001)
+        assert fast.speedup > slow.speedup
+        assert fast.energy_efficiency > slow.energy_efficiency
+
+
+class TestAreaModel:
+    def test_total_area_near_paper(self):
+        assert anda_system_breakdown().total_area_mm2 == pytest.approx(2.17, abs=0.1)
+
+    def test_total_power_near_paper(self):
+        assert anda_system_breakdown().total_power_mw == pytest.approx(81.2, abs=5.0)
+
+    def test_buffers_dominate_area(self):
+        """Table III: the two buffers hold ~77% of system area."""
+        breakdown = anda_system_breakdown()
+        buffer_share = breakdown.area_share("Activation Buffer") + breakdown.area_share(
+            "Weight Buffer"
+        )
+        assert buffer_share == pytest.approx(0.77, abs=0.05)
+
+    def test_mxu_dominates_power(self):
+        breakdown = anda_system_breakdown()
+        assert breakdown.power_share("MXU") > 0.5
+
+    def test_system_area_ordering(self):
+        areas = [system_area_mm2(a) for a in
+                 ("FP-FP", "FP-INT", "iFPU", "FIGNA", "FIGNA-M11", "FIGNA-M8")]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_anda_system_smaller_than_fpfp(self):
+        assert system_area_mm2("Anda") < 0.7 * system_area_mm2("FP-FP")
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestBudget:
+    def test_dram_bytes_per_cycle(self):
+        assert DEFAULT_BUDGET.dram_bytes_per_cycle == pytest.approx(256e9 / 285e6)
+
+    def test_pe_count(self):
+        assert DEFAULT_BUDGET.pe_count == 256

@@ -1,0 +1,79 @@
+"""Tests for the Fig. 8 workflow cost model."""
+
+import pytest
+
+from repro.core.precision import TensorKind
+from repro.errors import HardwareError
+from repro.hw.workflows import WORKFLOWS, compare_workflows, workflow_cost
+from repro.hw.workloads import Gemm
+
+GEMM = Gemm(TensorKind.U, rows=128, reduction=512, cols=1024, repeats=2)
+
+
+class TestWorkflowCost:
+    def test_gpu_dequantizes_every_weight(self):
+        cost = workflow_cost(GEMM, "GPU")
+        assert cost.weight_dequants == GEMM.weight_count
+        assert cost.compute_class == "fp16-fma"
+
+    def test_fp_int_gpu_removes_weight_dequant(self):
+        cost = workflow_cost(GEMM, "FP-INT GPU")
+        assert cost.weight_dequants == 0
+        assert cost.act_conversions == 0
+
+    def test_figna_converts_on_every_access(self):
+        cost = workflow_cost(GEMM, "FIGNA")
+        col_tiles = -(-GEMM.cols // 16)
+        assert cost.act_conversions == GEMM.act_in_count * col_tiles
+        assert cost.compute_class == "int-parallel"
+
+    def test_anda_converts_only_on_writeback(self):
+        cost = workflow_cost(GEMM, "Anda")
+        assert cost.act_conversions == 0
+        assert cost.output_requants == GEMM.act_out_count
+        assert cost.compute_class == "int-bit-serial"
+
+    def test_anda_repetitive_conversion_gap(self):
+        # The "(-) repetitive conversion" annotation: FIGNA's conversion
+        # count exceeds Anda's by the re-stream factor.
+        figna = workflow_cost(GEMM, "FIGNA")
+        anda = workflow_cost(GEMM, "Anda")
+        assert figna.total_conversions > 10 * anda.total_conversions
+
+    def test_anda_reduces_memory_and_traffic(self):
+        for mantissa in (4, 8, 13):
+            anda = workflow_cost(GEMM, "Anda", mantissa_bits=mantissa)
+            fp16 = workflow_cost(GEMM, "FIGNA", mantissa_bits=mantissa)
+            assert anda.act_memory_bits < fp16.act_memory_bits
+            assert anda.act_traffic_bits < fp16.act_traffic_bits
+
+    def test_rejects_unknown_workflow(self):
+        with pytest.raises(HardwareError):
+            workflow_cost(GEMM, "TPU")
+
+    def test_rejects_bad_mantissa(self):
+        with pytest.raises(HardwareError):
+            workflow_cost(GEMM, "Anda", mantissa_bits=0)
+
+    def test_repeats_scale_counts(self):
+        single = workflow_cost(
+            Gemm(GEMM.kind, GEMM.rows, GEMM.reduction, GEMM.cols), "FIGNA"
+        )
+        double = workflow_cost(GEMM, "FIGNA")
+        assert double.act_conversions == 2 * single.act_conversions
+
+
+class TestCompareWorkflows:
+    def test_all_four_present(self):
+        costs = compare_workflows(GEMM)
+        assert set(costs) == set(WORKFLOWS)
+
+    def test_memory_ordering_matches_fig8(self):
+        # FP16-resident workflows tie on memory; Anda is strictly lower.
+        costs = compare_workflows(GEMM, mantissa_bits=8)
+        assert (
+            costs["GPU"].act_memory_bits
+            == costs["FP-INT GPU"].act_memory_bits
+            == costs["FIGNA"].act_memory_bits
+        )
+        assert costs["Anda"].act_memory_bits < costs["GPU"].act_memory_bits

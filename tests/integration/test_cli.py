@@ -1,0 +1,74 @@
+"""Tests for the andafile CLI."""
+
+import numpy as np
+import pytest
+
+from repro.tools.andafile import main
+
+
+@pytest.fixture
+def tensor_file(tmp_path):
+    rng = np.random.default_rng(0)
+    path = tmp_path / "acts.npy"
+    np.save(path, rng.normal(size=(8, 256)).astype(np.float32))
+    return path
+
+
+class TestCompress:
+    def test_round_trip(self, tensor_file, tmp_path, capsys):
+        anda_path = tmp_path / "acts.anda"
+        out_path = tmp_path / "back.npy"
+        assert main(["compress", str(tensor_file), "-m", "8", "-o", str(anda_path)]) == 0
+        assert anda_path.exists()
+        assert "footprint" in capsys.readouterr().out
+
+        assert main(["decompress", str(anda_path), "-o", str(out_path)]) == 0
+        original = np.load(tensor_file)
+        restored = np.load(out_path)
+        fp16_ref = original.astype(np.float16).astype(np.float32)
+        assert restored.shape == original.shape
+        scale = np.abs(fp16_ref).max()
+        assert np.abs(restored - fp16_ref).max() < 0.02 * scale
+
+    def test_default_output_name(self, tensor_file, capsys):
+        assert main(["compress", str(tensor_file), "-m", "6"]) == 0
+        assert tensor_file.with_suffix(".anda").exists()
+
+    def test_footprint_beats_fp16(self, tensor_file, tmp_path, capsys):
+        anda_path = tmp_path / "small.anda"
+        main(["compress", str(tensor_file), "-m", "5", "-o", str(anda_path)])
+        fp16_bytes = 8 * 256 * 2
+        assert anda_path.stat().st_size < 0.5 * fp16_bytes
+
+    def test_nearest_rounding_flag(self, tensor_file, tmp_path, capsys):
+        anda_path = tmp_path / "n.anda"
+        assert main([
+            "compress", str(tensor_file), "-m", "6",
+            "-r", "nearest", "-o", str(anda_path),
+        ]) == 0
+
+    def test_stochastic_rounding_flag(self, tensor_file, tmp_path, capsys):
+        anda_path = tmp_path / "s.anda"
+        assert main([
+            "compress", str(tensor_file), "-m", "6",
+            "-r", "stochastic", "-o", str(anda_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(anda_path)]) == 0
+        assert "stochastic" in capsys.readouterr().out
+
+
+class TestInspect:
+    def test_inspect_reports_header(self, tensor_file, tmp_path, capsys):
+        anda_path = tmp_path / "acts.anda"
+        main(["compress", str(tensor_file), "-m", "7", "-o", str(anda_path)])
+        capsys.readouterr()
+        assert main(["inspect", str(anda_path)]) == 0
+        out = capsys.readouterr().out
+        assert "M=7" in out
+        assert "shared exponent range" in out
+        assert "x 64 bits" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["explode", "x"])

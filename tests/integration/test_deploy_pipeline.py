@@ -1,0 +1,122 @@
+"""End-to-end integration: zoo model -> W4A16 -> search -> hardware.
+
+Uses the smallest zoo model (OPT-125M twin) so the whole pipeline runs
+in seconds once the zoo cache is warm (the first invocation trains it).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bops import combination_bops
+from repro.core.precision import PrecisionCombination
+from repro.hw.accelerator import anda_operating_point, compare_architectures
+from repro.llm.config import get_config
+from repro.llm.datasets import validation_sequences
+from repro.llm.hooks import anda_quantizer
+from repro.llm.perplexity import evaluate_perplexity
+from repro.llm.zoo import get_model
+from repro.quant.deploy import deploy_anda, fp16_validation_ppl, reference_model
+
+MODEL = "opt-125m"
+DATASET = "wikitext2-sim"
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return deploy_anda(MODEL, DATASET, tolerance=0.01)
+
+
+class TestDeployment:
+    def test_search_feasible_within_budget(self, deployment):
+        assert deployment.search.feasible
+        assert deployment.search.iterations <= 32
+
+    def test_combination_in_search_range(self, deployment):
+        assert all(4 <= bits <= 13 for bits in deployment.combination)
+
+    def test_bops_saving_consistent_with_combination(self, deployment):
+        weights = get_config(MODEL).mac_weights()
+        expected = 64 * sum(weights.values()) / combination_bops(
+            deployment.combination, weights
+        )
+        assert deployment.bops_saving == pytest.approx(expected)
+
+    def test_anda_beats_figna_saving(self, deployment):
+        assert deployment.bops_saving > 1.23
+
+    def test_validation_ppl_within_loose_bound(self, deployment):
+        """Calibration tolerance is 1%; validation may exceed slightly
+        (paper Sec. V-B) but must stay in a sane band."""
+        assert deployment.anda_ppl_validation <= (
+            deployment.reference_ppl_validation * 1.05
+        )
+
+    def test_reference_chain_ordering(self, deployment):
+        """FP16 <= W4A16 <= W4A16+Anda perplexity (weakly, small slack
+        for eval noise)."""
+        fp16 = fp16_validation_ppl(MODEL, DATASET)
+        assert fp16 <= deployment.reference_ppl_validation * 1.01
+        assert (
+            deployment.reference_ppl_validation
+            <= deployment.anda_ppl_validation * 1.01
+        )
+
+    def test_deployment_cache_hit(self, deployment):
+        again = deploy_anda(MODEL, DATASET, tolerance=0.01)
+        assert again is deployment
+
+    def test_tighter_tolerance_costs_bops(self, deployment):
+        tight = deploy_anda(MODEL, DATASET, tolerance=0.001)
+        assert tight.bops_saving <= deployment.bops_saving + 1e-9
+        assert sum(tight.combination) >= sum(deployment.combination)
+
+
+class TestQuantizedModelBehaviour:
+    def test_reference_model_is_shared(self):
+        assert reference_model(MODEL) is reference_model(MODEL)
+
+    def test_quantizer_swap_is_clean(self, deployment):
+        """Installing and removing the Anda quantizer restores the
+        exact reference perplexity (no state leaks)."""
+        model = reference_model(MODEL)
+        sequences = validation_sequences(DATASET, n_sequences=4, seq_len=96)
+        model.set_quantizer(None)
+        before = evaluate_perplexity(model, sequences)
+        model.set_quantizer(anda_quantizer(deployment.combination))
+        during = evaluate_perplexity(model, sequences)
+        model.set_quantizer(None)
+        after = evaluate_perplexity(model, sequences)
+        assert before == after
+        assert during != before
+
+    def test_zoo_cache_round_trip(self):
+        """A second zoo load returns identical weights."""
+        a = get_model(MODEL)
+        b = get_model(MODEL)
+        assert a is b  # in-process cache
+        state = a.state_dict()
+        assert all(np.isfinite(v).all() for v in state.values())
+
+
+class TestHardwareHandoff:
+    def test_deployment_combination_drives_simulator(self, deployment):
+        point = anda_operating_point(
+            MODEL, deployment.combination, tolerance=0.01
+        )
+        assert point.speedup > 1.0
+        assert point.energy_efficiency > 1.5
+
+    def test_full_architecture_comparison(self, deployment):
+        results = compare_architectures(MODEL, deployment.combination)
+        assert results["Anda"].speedup > results["FIGNA"].speedup
+        assert (
+            results["Anda"].energy_efficiency
+            > results["FIGNA-M8"].energy_efficiency
+        )
+
+    def test_uniform4_is_upper_speed_bound(self, deployment):
+        best_case = anda_operating_point(
+            MODEL, PrecisionCombination.uniform(4), 1.0
+        )
+        real = anda_operating_point(MODEL, deployment.combination, 0.01)
+        assert best_case.speedup >= real.speedup

@@ -1,0 +1,84 @@
+"""Every example script must run clean and print its key results.
+
+Examples are part of the public deliverable; these tests execute them
+as subprocesses exactly as a user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "bit-identical to encoder: True" in out
+        assert "compression" in out
+
+    def test_bitplane_memory(self):
+        out = run_example("bitplane_memory.py")
+        assert "cycle-accurate output == arithmetic encode: True" in out
+        assert "rescaled result" in out
+
+    def test_accelerator_sim(self):
+        out = run_example("accelerator_sim.py")
+        assert "FP-FP" in out and "Anda" in out
+        assert "Table III" in out
+
+    @pytest.mark.slow
+    def test_precision_search(self):
+        out = run_example("precision_search.py")
+        assert "chosen combination" in out
+        assert "BOPs saving" in out
+
+    @pytest.mark.slow
+    def test_quantized_inference(self):
+        out = run_example("quantized_inference.py")
+        assert "W4A16 weight-only" in out
+        assert "VS-Quant" in out
+        assert "Generation from prompt" in out
+
+    @pytest.mark.slow
+    def test_activation_atlas(self):
+        out = run_example("activation_atlas.py")
+        assert "outlier ratio" in out
+        assert "GS=64" in out
+
+    @pytest.mark.slow
+    def test_deployment_pipeline(self):
+        out = run_example("deployment_pipeline.py")
+        assert "round-trip OK: True" in out
+        assert "agrees with the tile simulator: True" in out
+
+    def test_format_comparison(self):
+        out = run_example("format_comparison.py")
+        assert "Round-trip RMSE" in out
+        assert "stochastic" in out
+        assert "brute-force" in out
+
+    def test_layer_pipeline(self):
+        out = run_example("layer_pipeline.py")
+        assert "gemm:qkv" in out
+        assert "end-to-end speedup" in out
+        assert "decode tokens/s" in out
+
+    @pytest.mark.slow
+    def test_qat_finetune(self):
+        out = run_example("qat_finetune.py")
+        assert "PTQ damage recovered" in out
+        assert "QAT perplexity" in out

@@ -1,0 +1,99 @@
+"""Tests for the Anda KV-cache compression extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.llm.config import tiny_test_config
+from repro.llm.generation import generate
+from repro.llm.kv_quant import (
+    AndaKVCache,
+    kv_compression_ratio,
+    quantized_cache_factory,
+)
+from repro.llm.transformer import build_model
+
+
+class TestAndaKVCache:
+    def test_append_quantizes(self):
+        cache = AndaKVCache(mantissa_bits=4)
+        rng = np.random.default_rng(0)
+        k = rng.normal(size=(1, 2, 3, 64)).astype(np.float32)
+        keys, _ = cache.append(k, k)
+        assert keys.shape == k.shape
+        assert not np.array_equal(keys, k)  # quantization happened
+
+    def test_high_precision_nearly_transparent(self):
+        cache = AndaKVCache(mantissa_bits=11)
+        rng = np.random.default_rng(1)
+        k = rng.normal(size=(1, 2, 2, 64)).astype(np.float32)
+        keys, _ = cache.append(k, k)
+        fp16 = k.astype(np.float16).astype(np.float32)
+        assert np.abs(keys - fp16).max() <= np.abs(fp16).max() * 2e-3
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            AndaKVCache(mantissa_bits=0)
+
+    def test_storage_accounting(self):
+        cache = AndaKVCache(mantissa_bits=7)
+        assert cache.storage_bits_per_element() == pytest.approx(8 + 8 / 64)
+        assert kv_compression_ratio(7) == pytest.approx(16 / (8 + 8 / 64))
+
+    def test_compression_monotone(self):
+        assert kv_compression_ratio(4) > kv_compression_ratio(8) > 1.0
+
+
+class TestGenerationWithQuantizedCache:
+    @pytest.mark.parametrize("family", ["opt", "llama"])
+    def test_logits_close_at_high_precision(self, family):
+        model = build_model(tiny_test_config(family=family, seed=31))
+        tokens = np.random.default_rng(2).integers(0, 256, size=(1, 12))
+        fp_caches = model.new_cache()
+        q_caches = quantized_cache_factory(model, mantissa_bits=11)
+        fp_logits = model.forward_step(tokens, fp_caches)
+        q_logits = model.forward_step(tokens, q_caches)
+        scale = np.abs(fp_logits).max()
+        assert np.abs(fp_logits - q_logits).max() < 0.05 * scale
+
+    def test_generation_runs_with_quantized_cache(self):
+        model = build_model(tiny_test_config(seed=37))
+        prompt = np.array([65, 66, 67])
+        caches = quantized_cache_factory(model, mantissa_bits=8)
+        logits = model.forward_step(prompt.reshape(1, -1), caches)
+        assert logits.shape == (1, 3, 256)
+        assert caches[0].length == 3
+
+    def _greedy_with_cache(self, model, prompt, caches, steps):
+        produced = [
+            int(np.argmax(model.forward_step(prompt.reshape(1, -1), caches)[0, -1]))
+        ]
+        for _ in range(steps - 1):
+            step = model.forward_step(np.array([[produced[-1]]]), caches)
+            produced.append(int(np.argmax(step[0, -1])))
+        return produced
+
+    def test_quantized_cache_decoding_is_deterministic(self):
+        model = build_model(tiny_test_config(seed=41))
+        prompt = np.array([65, 66, 67, 68])
+        first = self._greedy_with_cache(
+            model, prompt, quantized_cache_factory(model, 2), steps=12
+        )
+        second = self._greedy_with_cache(
+            model, prompt, quantized_cache_factory(model, 2), steps=12
+        )
+        assert first == second
+        assert all(0 <= token <= 255 for token in first)
+
+    def test_cache_precision_controls_divergence(self):
+        """Error vs the exact FP cache grows as mantissa bits shrink."""
+        model = build_model(tiny_test_config(seed=43))
+        prompt = np.random.default_rng(3).integers(0, 256, size=(1, 16))
+        exact = model.forward_step(prompt, model.new_cache())
+        errors = []
+        for bits in (2, 6, 11):
+            logits = model.forward_step(
+                prompt, quantized_cache_factory(model, bits)
+            )
+            errors.append(float(np.abs(logits - exact).max()))
+        assert errors[0] > errors[1] > errors[2]

@@ -1,0 +1,201 @@
+"""Tests for datasets, training convergence, perplexity and generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.llm.config import tiny_test_config
+from repro.llm.datasets import (
+    DATASETS,
+    calibration_sequences,
+    generate_text,
+    load_corpus,
+    sequence_windows,
+    training_mixture,
+    validation_sequences,
+)
+from repro.llm.generation import generate, generate_text as generate_model_text
+from repro.llm.perplexity import (
+    accuracy_drop_percent,
+    evaluate_perplexity,
+    relative_accuracy,
+)
+from repro.llm.tokenizer import ByteTokenizer
+from repro.llm.training import Adam, cosine_schedule, sample_batch, train_language_model
+from repro.llm.transformer import build_model
+
+
+class TestTokenizer:
+    def test_round_trip(self):
+        tokenizer = ByteTokenizer()
+        text = "The quick brown fox, 1984!"
+        assert tokenizer.decode(tokenizer.encode(text)) == text
+
+    def test_vocab_size(self):
+        assert ByteTokenizer().vocab_size == 256
+
+    def test_rejects_bad_ids(self):
+        with pytest.raises(ModelError):
+            ByteTokenizer().decode(np.array([300]))
+
+
+class TestDatasets:
+    def test_three_registers_exist(self):
+        assert DATASETS == ("wikitext2-sim", "ptb-sim", "c4-sim")
+
+    def test_generation_is_deterministic(self):
+        a = generate_text("wikitext2-sim", 5000, seed=1)
+        b = generate_text("wikitext2-sim", 5000, seed=1)
+        assert a == b
+
+    def test_registers_differ(self):
+        texts = {name: generate_text(name, 3000, seed=1) for name in DATASETS}
+        assert "https://" in texts["c4-sim"]
+        assert "<unk>" in texts["ptb-sim"]
+        assert "https://" not in texts["wikitext2-sim"]
+
+    def test_exact_length(self):
+        assert len(generate_text("ptb-sim", 1234, seed=0)) == 1234
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ModelError):
+            generate_text("imagenet", 100, seed=0)
+
+    def test_corpus_split_disjoint_streams(self):
+        corpus = load_corpus("wikitext2-sim")
+        assert corpus.train_tokens.size > corpus.validation_tokens.size
+        # Different seeds make the streams differ.
+        n = min(corpus.train_tokens.size, corpus.validation_tokens.size)
+        assert not np.array_equal(corpus.train_tokens[:n], corpus.validation_tokens[:n])
+
+    def test_training_mixture_contains_all(self):
+        mixture = training_mixture(chars_per_corpus=8192)
+        assert mixture.size == 3 * 8192
+
+    def test_sequence_windows_shape(self):
+        windows = sequence_windows(np.arange(1000), seq_len=64, n_sequences=5)
+        assert windows.shape == (5, 64)
+
+    def test_sequence_windows_too_short(self):
+        with pytest.raises(ModelError):
+            sequence_windows(np.arange(10), seq_len=64, n_sequences=2)
+
+    def test_calibration_and_validation_differ(self):
+        cal = calibration_sequences("ptb-sim", n_sequences=4, seq_len=64)
+        val = validation_sequences("ptb-sim", n_sequences=4, seq_len=64)
+        assert cal.shape == val.shape == (4, 64)
+        assert not np.array_equal(cal, val)
+
+
+class TestOptimizer:
+    def test_adam_reduces_quadratic(self):
+        from repro.llm.autograd import Tensor
+
+        x = Tensor(np.array([5.0], np.float32), requires_grad=True)
+        opt = Adam([x], learning_rate=0.1, clip_norm=None)
+        for _ in range(200):
+            opt.zero_grad()
+            loss = (x * x).sum()
+            loss.backward()
+            opt.step()
+        assert abs(float(x.data[0])) < 0.1
+
+    def test_adam_requires_parameters(self):
+        with pytest.raises(ModelError):
+            Adam([])
+
+    def test_cosine_schedule_shape(self):
+        peak = 1e-2
+        warm = cosine_schedule(0, 100, peak)
+        mid = cosine_schedule(50, 100, peak)
+        end = cosine_schedule(99, 100, peak)
+        assert warm < peak
+        assert end < mid <= peak
+
+    def test_sample_batch_shape(self):
+        batch = sample_batch(np.arange(500), 4, 32, np.random.default_rng(0))
+        assert batch.shape == (4, 33)
+
+
+class TestTrainingConvergence:
+    def test_loss_decreases_on_tiny_model(self):
+        model = build_model(tiny_test_config(seed=7))
+        tokens = load_corpus("wikitext2-sim").train_tokens[:40_000]
+        result = train_language_model(
+            model, tokens, steps=60, batch_size=8, seq_len=48, seed=7
+        )
+        first = np.mean(result.losses[:5])
+        last = np.mean(result.losses[-5:])
+        assert last < first * 0.8
+        # Byte-level uniform loss is ln(256) = 5.55; training must beat it.
+        assert last < 4.0
+
+    def test_rejects_zero_steps(self):
+        model = build_model(tiny_test_config())
+        with pytest.raises(ModelError):
+            train_language_model(model, np.arange(100), steps=0)
+
+
+class TestPerplexity:
+    def test_untrained_ppl_near_uniform(self):
+        model = build_model(tiny_test_config(seed=11))
+        sequences = validation_sequences("wikitext2-sim", n_sequences=4, seq_len=48)
+        ppl = evaluate_perplexity(model, sequences)
+        assert 100 < ppl < 700  # near 256 for random logits
+
+    def test_training_lowers_ppl(self):
+        model = build_model(tiny_test_config(seed=13))
+        corpus = load_corpus("wikitext2-sim")
+        sequences = validation_sequences("wikitext2-sim", n_sequences=4, seq_len=48)
+        before = evaluate_perplexity(model, sequences)
+        train_language_model(
+            model, corpus.train_tokens, steps=60, batch_size=8, seq_len=48, seed=13
+        )
+        after = evaluate_perplexity(model, sequences)
+        assert after < before / 5
+
+    def test_rejects_bad_shapes(self):
+        model = build_model(tiny_test_config())
+        with pytest.raises(ModelError):
+            evaluate_perplexity(model, np.zeros((4,), dtype=int))
+
+    def test_relative_accuracy_convention(self):
+        assert relative_accuracy(10.0, 10.0) == pytest.approx(1.0)
+        assert relative_accuracy(11.0, 10.0) < 1.0
+        assert accuracy_drop_percent(10.1, 10.0) == pytest.approx(-0.99, abs=0.01)
+
+    def test_relative_accuracy_validation(self):
+        with pytest.raises(ModelError):
+            relative_accuracy(0.0, 1.0)
+
+
+class TestGeneration:
+    def test_greedy_is_deterministic(self):
+        model = build_model(tiny_test_config(seed=17))
+        prompt = np.array([10, 20, 30])
+        a = generate(model, prompt, max_new_tokens=8)
+        b = generate(model, prompt, max_new_tokens=8)
+        np.testing.assert_array_equal(a.tokens, b.tokens)
+        assert a.continuation().size == 8
+
+    def test_sampled_generation_runs(self):
+        model = build_model(tiny_test_config(seed=19))
+        result = generate(
+            model, np.array([65, 66]), max_new_tokens=5, temperature=1.0, seed=3
+        )
+        assert result.tokens.size == 7
+
+    def test_text_wrapper(self):
+        model = build_model(tiny_test_config(seed=23))
+        text = generate_model_text(model, "the ", max_new_tokens=4)
+        assert text.startswith("the ")
+
+    def test_rejects_overlong_generation(self):
+        model = build_model(tiny_test_config())
+        with pytest.raises(ModelError):
+            generate(model, np.zeros(4, dtype=int), max_new_tokens=10_000)
+
+    def test_rejects_empty_prompt(self):
+        model = build_model(tiny_test_config())
+        with pytest.raises(ModelError):
+            generate(model, np.zeros(0, dtype=int), max_new_tokens=2)

@@ -1,0 +1,62 @@
+"""Tests for the model zoo's caching and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.llm.config import SIM_CONFIGS, get_config
+from repro.llm.zoo import (
+    _recipe_fingerprint,
+    cache_dir,
+    clear_memory_cache,
+    get_model,
+)
+
+
+class TestFingerprint:
+    def test_stable_for_same_config(self):
+        config = get_config("opt-125m-sim")
+        assert _recipe_fingerprint(config) == _recipe_fingerprint(config)
+
+    def test_differs_across_configs(self):
+        a = _recipe_fingerprint(get_config("opt-125m-sim"))
+        b = _recipe_fingerprint(get_config("opt-1.3b-sim"))
+        assert a != b
+
+    def test_seed_changes_fingerprint(self):
+        import dataclasses
+
+        config = get_config("opt-125m-sim")
+        other = dataclasses.replace(config, seed=config.seed + 1)
+        assert _recipe_fingerprint(config) != _recipe_fingerprint(other)
+
+
+class TestGetModel:
+    def test_paper_name_resolves_to_twin(self):
+        model = get_model("opt-125m")
+        assert model.config.name == "opt-125m-sim"
+
+    def test_in_process_cache_returns_same_instance(self):
+        assert get_model("opt-125m") is get_model("opt-125m")
+
+    def test_disk_cache_reload_identical(self):
+        model = get_model("opt-125m")
+        state = model.state_dict()
+        clear_memory_cache()
+        reloaded = get_model("opt-125m")
+        for name, value in reloaded.state_dict().items():
+            np.testing.assert_array_equal(value, state[name])
+
+    def test_all_sim_configs_registered(self):
+        assert len(SIM_CONFIGS) == 10
+        for name in SIM_CONFIGS:
+            assert name.endswith("-sim")
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ModelError):
+            get_model("falcon-40b")
+
+    def test_cache_dir_exists_after_use(self):
+        get_model("opt-125m")
+        assert cache_dir().exists()
+        assert any(cache_dir().glob("opt-125m-sim-*.npz"))

@@ -1,0 +1,105 @@
+"""Tests for activation quantization schemes and the format registry."""
+
+import numpy as np
+import pytest
+
+from repro.core import fp16
+from repro.core.precision import PrecisionCombination, TensorKind
+from repro.llm.hooks import per_kind_quantizer
+from repro.quant.act_quant import (
+    FIGNA_MANTISSA_BITS,
+    VSQUANT_MANTISSA_BITS,
+    anda_combination_quantizer,
+    bfp_quantizer,
+    figna_quantizer,
+    fp16_quantizer,
+    vsquant_quantizer,
+)
+from repro.quant.schemes import SCHEME_BOPS_SAVING, TABLE1_FORMATS, get_format
+
+
+def activations(seed=0, shape=(4, 256)):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=shape).astype(np.float32)
+
+
+class TestFp16Scheme:
+    def test_is_fp16_rounding(self):
+        x = activations(1)
+        out = fp16_quantizer()(TensorKind.QKV, x)
+        assert np.array_equal(out, fp16.round_trip(x))
+
+
+class TestBfpSchemes:
+    def test_figna_nearly_lossless(self):
+        x = activations(2)
+        out = figna_quantizer()(TensorKind.U, x)
+        ref = fp16.round_trip(x)
+        assert np.abs(out - ref).max() < 2e-2 * np.abs(ref).max()
+
+    def test_vsquant_much_coarser_than_figna(self):
+        x = activations(3)
+        figna_err = np.abs(figna_quantizer()(TensorKind.U, x) - x).mean()
+        vs_err = np.abs(vsquant_quantizer()(TensorKind.U, x) - x).mean()
+        assert vs_err > 5 * figna_err
+
+    def test_bfp_quantizer_respects_kind_independence(self):
+        """Uniform BFP treats all kinds identically."""
+        x = activations(4)
+        quantizer = bfp_quantizer(6)
+        a = quantizer(TensorKind.QKV, x)
+        b = quantizer(TensorKind.D, x)
+        assert np.array_equal(a, b)
+
+    def test_3d_activations_supported(self):
+        x = activations(5, shape=(2, 8, 128))
+        out = bfp_quantizer(8)(TensorKind.O, x)
+        assert out.shape == x.shape
+
+    def test_mantissa_constants_match_paper(self):
+        assert FIGNA_MANTISSA_BITS == 13
+        assert VSQUANT_MANTISSA_BITS == 4
+
+
+class TestAndaCombinationQuantizer:
+    def test_kind_specific_precision(self):
+        x = activations(6)
+        quantizer = anda_combination_quantizer(PrecisionCombination(13, 13, 13, 2))
+        fine = quantizer(TensorKind.QKV, x)
+        coarse = quantizer(TensorKind.D, x)
+        ref = fp16.round_trip(x)
+        assert np.abs(fine - ref).max() < np.abs(coarse - ref).max()
+
+    def test_per_kind_quantizer_passthrough(self):
+        x = activations(7)
+        quantizer = per_kind_quantizer({TensorKind.D: lambda a: a * 0.0})
+        assert np.array_equal(quantizer(TensorKind.QKV, x), x)
+        assert np.all(quantizer(TensorKind.D, x) == 0)
+
+
+class TestSchemeRegistry:
+    def test_table1_has_ten_rows(self):
+        assert len(TABLE1_FORMATS) == 10
+
+    def test_anda_is_only_variable_length(self):
+        variable = [f for f in TABLE1_FORMATS if f.length_class == "variable"]
+        assert len(variable) == 1
+        assert variable[0].name == "Anda (Ours)"
+
+    def test_get_format_case_insensitive(self):
+        assert get_format("figna").name == "FIGNA"
+
+    def test_get_format_unknown(self):
+        with pytest.raises(KeyError):
+            get_format("mxfp4")
+
+    def test_bops_savings(self):
+        assert SCHEME_BOPS_SAVING["figna"] == pytest.approx(64 / 52)
+        assert SCHEME_BOPS_SAVING["vs-quant"] == pytest.approx(4.0)
+
+    def test_uni_length_quantizers_instantiable(self):
+        x = activations(8)
+        for spec in TABLE1_FORMATS:
+            if spec.quantizer_factory is not None:
+                out = spec.quantizer_factory()(TensorKind.U, x)
+                assert out.shape == x.shape

@@ -1,0 +1,40 @@
+"""Tests for the public calibration-landscape evaluators."""
+
+import pytest
+
+from repro.core.precision import PrecisionCombination
+from repro.quant.deploy import calibration_landscape
+
+
+@pytest.fixture(scope="module")
+def landscape():
+    return calibration_landscape("opt-125m", "wikitext2-sim")
+
+
+class TestCalibrationLandscape:
+    def test_reference_is_unity(self, landscape):
+        _, _, reference = landscape
+        assert reference == 1.0
+
+    def test_full_precision_near_reference(self, landscape):
+        accuracy, _, _ = landscape
+        assert accuracy(PrecisionCombination.uniform(13)) == pytest.approx(
+            1.0, abs=0.005
+        )
+
+    def test_aggressive_truncation_hurts(self, landscape):
+        accuracy, _, _ = landscape
+        assert accuracy(PrecisionCombination.uniform(3)) < accuracy(
+            PrecisionCombination.uniform(10)
+        )
+
+    def test_bops_monotone(self, landscape):
+        _, bops, _ = landscape
+        costs = [bops(PrecisionCombination.uniform(m)) for m in (4, 6, 8, 10)]
+        assert costs == sorted(costs)
+
+    def test_quantizer_cleared_between_calls(self, landscape):
+        # Two identical evaluations must agree exactly (no tap leakage).
+        accuracy, _, _ = landscape
+        combo = PrecisionCombination(7, 6, 5, 5)
+        assert accuracy(combo) == accuracy(combo)

@@ -1,0 +1,72 @@
+"""Tests for the deployment pipeline helpers (fast model only)."""
+
+import pytest
+
+from repro.core.precision import PrecisionCombination
+from repro.errors import ModelError
+from repro.quant.deploy import (
+    deploy_anda,
+    deploy_uniform,
+    reference_model,
+)
+
+MODEL = "opt-125m"
+DATASET = "ptb-sim"
+
+
+class TestDeployAnda:
+    def test_result_fields_consistent(self):
+        result = deploy_anda(MODEL, DATASET, tolerance=0.01)
+        assert result.model_name == MODEL
+        assert result.dataset == DATASET
+        assert result.combination == result.search.best
+        assert result.effective_mantissa <= max(result.combination)
+        assert result.effective_mantissa >= min(result.combination)
+
+    def test_distinct_datasets_cached_separately(self):
+        a = deploy_anda(MODEL, "ptb-sim", tolerance=0.01)
+        b = deploy_anda(MODEL, "c4-sim", tolerance=0.01)
+        assert a is not b
+
+    def test_no_cache_flag(self):
+        a = deploy_anda(MODEL, DATASET, tolerance=0.01)
+        b = deploy_anda(MODEL, DATASET, tolerance=0.01, use_cache=False)
+        assert a is not b
+        assert a.combination == b.combination  # deterministic pipeline
+
+
+class TestDeployUniform:
+    def test_uniform_feasible(self):
+        bits = deploy_uniform(MODEL, DATASET, tolerance=0.01)
+        assert 4 <= bits <= 13
+
+    def test_uniform_at_least_search_maximum(self):
+        """The searched 4-tuple is never worse than the best uniform
+        deployment in BOPs terms (search includes all uniform seeds)."""
+        uniform_bits = deploy_uniform(MODEL, DATASET, tolerance=0.01)
+        searched = deploy_anda(MODEL, DATASET, tolerance=0.01)
+        assert searched.effective_mantissa <= uniform_bits + 1e-9
+
+    def test_uniform_monotone_in_tolerance(self):
+        tight = deploy_uniform(MODEL, DATASET, tolerance=0.001)
+        loose = deploy_uniform(MODEL, DATASET, tolerance=0.02)
+        assert loose <= tight
+
+    def test_uniform_infeasible_raises(self):
+        with pytest.raises(ModelError):
+            deploy_uniform(MODEL, DATASET, tolerance=0.0, candidate_bits=(1,))
+
+
+class TestReferenceModel:
+    def test_reference_differs_from_base(self):
+        from repro.llm.zoo import get_model
+
+        base = get_model(MODEL)
+        ref = reference_model(MODEL)
+        assert base is not ref
+
+    def test_search_space_never_leaves_seed_range(self):
+        result = deploy_anda(MODEL, DATASET, tolerance=0.05)
+        for step in result.search.steps:
+            assert PrecisionCombination(*step.combination).validate()
+            assert all(1 <= bits <= 13 for bits in step.combination)

@@ -1,0 +1,185 @@
+"""Tests for the shared-microexponent (MX-style) extension format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.bfp import BfpConfig, quantization_error
+from repro.errors import FormatError
+from repro.quant.mx import (
+    MX_PRESETS,
+    MxConfig,
+    fake_quantize_mx,
+    mx_error,
+    quantize_mx,
+)
+
+RNG = np.random.default_rng(11)
+
+FINITE = arrays(
+    np.float32,
+    shape=st.tuples(st.integers(1, 4), st.integers(1, 80)),
+    elements=st.floats(
+        min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False,
+        width=32,
+    ),
+)
+
+
+class TestMxConfig:
+    def test_defaults_valid(self):
+        config = MxConfig()
+        assert config.subgroups_per_group == 32
+        assert config.max_offset == 1
+
+    def test_preset_lookup(self):
+        config = MxConfig.preset("mx9", mantissa_bits=7)
+        assert (config.group_size, config.subgroup_size, config.micro_bits) == (
+            64, 8, 2,
+        )
+        assert config.mantissa_bits == 7
+
+    def test_unknown_preset(self):
+        with pytest.raises(FormatError):
+            MxConfig.preset("mx99")
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(FormatError):
+            MxConfig(mantissa_bits=0)
+        with pytest.raises(FormatError):
+            MxConfig(group_size=64, subgroup_size=3)  # must divide
+        with pytest.raises(FormatError):
+            MxConfig(micro_bits=5)
+        with pytest.raises(FormatError):
+            MxConfig(group_size=0)
+
+    def test_all_presets_construct(self):
+        for name in MX_PRESETS:
+            assert MxConfig.preset(name).group_size == 64
+
+
+class TestQuantizeMx:
+    def test_round_trip_exact_at_full_precision(self):
+        # 11 mantissa bits and unsaturated offsets reproduce FP16 exactly
+        # when every subgroup's spread fits in the micro field.
+        values = np.float32([1.0, 1.5, 0.75, 0.875] * 16)
+        config = MxConfig(mantissa_bits=11, subgroup_size=2, micro_bits=2)
+        restored = fake_quantize_mx(values, config)
+        np.testing.assert_allclose(restored, values)
+
+    def test_zero_tensor_encodes_to_zero(self):
+        out = fake_quantize_mx(np.zeros(64, dtype=np.float32), MxConfig())
+        assert np.all(out == 0)
+
+    def test_offsets_bounded_by_field_width(self):
+        values = RNG.normal(size=(4, 64)).astype(np.float32) * np.float32(
+            10.0
+        ) ** RNG.integers(-3, 4, size=(4, 64))
+        tensor = quantize_mx(values, MxConfig(micro_bits=2))
+        assert tensor.micro_offset.min() >= 0
+        assert tensor.micro_offset.max() <= 3
+
+    def test_subgroup_exponents_never_exceed_shared(self):
+        values = RNG.normal(size=(2, 64)).astype(np.float32)
+        tensor = quantize_mx(values, MxConfig())
+        assert np.all(tensor.subgroup_exponents() <= tensor.shared_exponent[:, None])
+
+    def test_shape_restored(self):
+        values = RNG.normal(size=(3, 50)).astype(np.float32)
+        assert fake_quantize_mx(values, MxConfig()).shape == (3, 50)
+
+    @given(FINITE)
+    @settings(max_examples=30, deadline=None)
+    def test_error_bounded_by_group_scale(self, values):
+        config = MxConfig(mantissa_bits=6)
+        tensor = quantize_mx(values, config)
+        restored = tensor.dequantize()
+        # Truncation error per element is below one LSB at the coarse scale.
+        scale = np.ldexp(1.0, tensor.shared_exponent + 1 - config.mantissa_bits)
+        grouped_err = np.abs(np.float64(values) - restored)
+        per_group_max = np.max(
+            np.abs(grouped_err.reshape(-1)), initial=0.0
+        )
+        assert per_group_max <= scale.max() + 1e-6
+
+
+class TestMicroexponentValue:
+    def test_beats_plain_bfp_on_heavy_tails(self):
+        # One outlier per group forces plain BFP to shift small values
+        # away; microexponents recover local alignment.
+        values = RNG.standard_cauchy(size=(16, 64)).astype(np.float32)
+        mantissa = 5
+        mx = mx_error(values, MxConfig(mantissa_bits=mantissa, micro_bits=2,
+                                       subgroup_size=4))
+        bfp = quantization_error(
+            values, BfpConfig(mantissa_bits=mantissa, group_size=64)
+        )
+        assert mx <= bfp
+
+    def test_zero_micro_bits_matches_bfp(self):
+        values = RNG.normal(size=(8, 64)).astype(np.float32)
+        mantissa = 6
+        mx = fake_quantize_mx(
+            values, MxConfig(mantissa_bits=mantissa, micro_bits=0)
+        )
+        from repro.core.bfp import fake_quantize
+
+        bfp = fake_quantize(values, BfpConfig(mantissa_bits=mantissa, group_size=64))
+        np.testing.assert_allclose(mx, bfp)
+
+    def test_more_micro_bits_never_hurt(self):
+        values = RNG.standard_cauchy(size=(8, 64)).astype(np.float32)
+        errors = [
+            mx_error(values, MxConfig(mantissa_bits=4, micro_bits=bits))
+            for bits in (0, 1, 2, 3)
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(errors, errors[1:]))
+
+    def test_finer_subgroups_never_hurt(self):
+        values = RNG.standard_cauchy(size=(8, 64)).astype(np.float32)
+        coarse = mx_error(values, MxConfig(mantissa_bits=4, subgroup_size=16))
+        fine = mx_error(values, MxConfig(mantissa_bits=4, subgroup_size=2))
+        assert fine <= coarse + 1e-9
+
+
+class TestStorage:
+    def test_storage_accounting(self):
+        values = RNG.normal(size=(1, 64)).astype(np.float32)
+        config = MxConfig(mantissa_bits=4, subgroup_size=2, micro_bits=1)
+        tensor = quantize_mx(values, config)
+        expected = (1 + 4) * 64 + 8 + 1 * 32
+        assert tensor.storage_bits() == expected
+
+    def test_bits_per_element_amortized(self):
+        values = RNG.normal(size=(1, 64)).astype(np.float32)
+        tensor = quantize_mx(values, MxConfig(mantissa_bits=4))
+        assert tensor.bits_per_element() == pytest.approx(
+            tensor.storage_bits() / 64
+        )
+
+    def test_micro_bits_cost_storage(self):
+        values = RNG.normal(size=(1, 64)).astype(np.float32)
+        lean = quantize_mx(values, MxConfig(micro_bits=0)).storage_bits()
+        rich = quantize_mx(values, MxConfig(micro_bits=3)).storage_bits()
+        assert rich > lean
+
+
+class TestDeterminism:
+    @given(FINITE)
+    @settings(max_examples=20, deadline=None)
+    def test_quantization_is_pure(self, values):
+        config = MxConfig(mantissa_bits=5)
+        first = fake_quantize_mx(values, config)
+        second = fake_quantize_mx(values, config)
+        np.testing.assert_array_equal(first, second)
+
+    @given(FINITE)
+    @settings(max_examples=20, deadline=None)
+    def test_idempotent(self, values):
+        # Quantizing an already-quantized tensor must be a fixed point.
+        config = MxConfig(mantissa_bits=6)
+        once = fake_quantize_mx(values, config)
+        twice = fake_quantize_mx(once, config)
+        np.testing.assert_allclose(twice, once, rtol=0, atol=0)

@@ -1,0 +1,49 @@
+"""Tests for the deployment artifact (compile-time output)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.quant.report import ARTIFACT_VERSION, DeploymentArtifact, build_artifact
+
+MODEL = "opt-125m"
+DATASET = "wikitext2-sim"
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return build_artifact(MODEL, DATASET, tolerance=0.01)
+
+
+class TestBuildArtifact:
+    def test_fields_populated(self, artifact):
+        assert artifact.model_name == MODEL
+        assert artifact.bops_saving > 1.23
+        assert artifact.projected_speedup > 1.0
+        assert artifact.projected_energy_efficiency > 1.0
+        assert 1 <= artifact.search_iterations <= 32
+
+    def test_accuracy_evidence_consistent(self, artifact):
+        assert artifact.anda_ppl >= artifact.reference_ppl * 0.99
+
+
+class TestSerialization:
+    def test_json_round_trip(self, artifact):
+        restored = DeploymentArtifact.from_json(artifact.to_json())
+        assert restored == artifact
+
+    def test_save_load(self, artifact, tmp_path):
+        path = artifact.save(tmp_path / "opt-125m.anda.json")
+        assert DeploymentArtifact.load(path) == artifact
+
+    def test_json_is_human_readable(self, artifact):
+        text = artifact.to_json()
+        assert '"mantissa_bits"' in text
+        assert '"speedup_vs_fpfp"' in text
+        assert f'"version": {ARTIFACT_VERSION}' in text
+
+    def test_rejects_unknown_version(self, artifact):
+        bad = artifact.to_json().replace(
+            f'"version": {ARTIFACT_VERSION}', '"version": 99'
+        )
+        with pytest.raises(ModelError):
+            DeploymentArtifact.from_json(bad)

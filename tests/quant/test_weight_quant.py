@@ -1,0 +1,150 @@
+"""Tests for group-wise weight-only quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.llm.autograd import no_grad
+from repro.llm.config import tiny_test_config
+from repro.llm.transformer import build_model
+from repro.quant.weight_quant import (
+    WeightQuantConfig,
+    fake_quantize_weights,
+    quantize_model_weights,
+    quantize_weights,
+    weight_quantized_copy,
+)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = WeightQuantConfig()
+        assert config.bits == 4
+        assert config.group_size == 128
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(FormatError):
+            WeightQuantConfig(bits=1)
+        with pytest.raises(FormatError):
+            WeightQuantConfig(bits=9)
+
+    def test_rejects_bad_group(self):
+        with pytest.raises(FormatError):
+            WeightQuantConfig(group_size=0)
+
+
+class TestQuantizeWeights:
+    def test_codes_in_range(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(256, 32)).astype(np.float32)
+        qw = quantize_weights(w, WeightQuantConfig(bits=4))
+        assert qw.codes.min() >= 0
+        assert qw.codes.max() <= 15
+
+    def test_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(size=(128, 16)).astype(np.float32)
+        config = WeightQuantConfig(bits=4, group_size=64)
+        qw = quantize_weights(w, config)
+        restored = qw.dequantize()
+        # Per group/column, error <= scale / 2.
+        err = np.abs(restored - w).reshape(2, 64, 16).max(axis=1)
+        assert np.all(err <= qw.scales / 2 + 1e-6)
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(128, 8)).astype(np.float32)
+        errs = [
+            np.abs(fake_quantize_weights(w, WeightQuantConfig(bits=b)) - w).mean()
+            for b in (2, 4, 8)
+        ]
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_group_size_clipped_to_rows(self):
+        w = np.random.default_rng(3).normal(size=(32, 4)).astype(np.float32)
+        qw = quantize_weights(w, WeightQuantConfig(group_size=128))
+        assert qw.group_size == 32
+        assert qw.scales.shape == (1, 4)
+
+    def test_ragged_rows_pad(self):
+        w = np.random.default_rng(4).normal(size=(100, 4)).astype(np.float32)
+        qw = quantize_weights(w, WeightQuantConfig(group_size=64))
+        assert qw.dequantize().shape == (100, 4)
+
+    def test_constant_column_is_exact(self):
+        w = np.full((64, 2), 3.0, dtype=np.float32)
+        restored = fake_quantize_weights(w, WeightQuantConfig())
+        np.testing.assert_allclose(restored, w, atol=1e-6)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(FormatError):
+            quantize_weights(np.zeros((2, 3, 4)), WeightQuantConfig())
+
+    def test_storage_bits(self):
+        w = np.zeros((128, 4), dtype=np.float32)
+        qw = quantize_weights(w, WeightQuantConfig(bits=4, group_size=64))
+        # 128*4 codes * 4 bits + 2 groups * 4 cols * 2 * 16 bits.
+        assert qw.storage_bits() == 128 * 4 * 4 + 2 * 4 * 32
+
+    @given(seed=st.integers(0, 1000), bits=st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_property_idempotent(self, seed, bits):
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(64, 8)).astype(np.float32)
+        config = WeightQuantConfig(bits=bits, group_size=32)
+        once = fake_quantize_weights(w, config)
+        twice = fake_quantize_weights(once, config)
+        np.testing.assert_allclose(once, twice, atol=1e-5)
+
+
+class TestModelQuantization:
+    def test_quantized_copy_leaves_original(self):
+        model = build_model(tiny_test_config(seed=5))
+        original = model.blocks[0].attention.qkv_proj.weight.data.copy()
+        clone = weight_quantized_copy(model)
+        np.testing.assert_array_equal(
+            model.blocks[0].attention.qkv_proj.weight.data, original
+        )
+        assert not np.array_equal(
+            clone.blocks[0].attention.qkv_proj.weight.data, original
+        )
+
+    def test_embeddings_untouched(self):
+        model = build_model(tiny_test_config(seed=6))
+        emb = model.token_embedding.weight.data.copy()
+        head = model.lm_head.weight.data.copy()
+        quantize_model_weights(model)
+        np.testing.assert_array_equal(model.token_embedding.weight.data, emb)
+        np.testing.assert_array_equal(model.lm_head.weight.data, head)
+
+    @pytest.mark.parametrize("family", ["opt", "llama"])
+    def test_all_gemm_weights_quantized(self, family):
+        model = build_model(tiny_test_config(family=family, seed=7))
+        before = {
+            name: param.data.copy() for name, param in model.named_parameters()
+        }
+        quantize_model_weights(model)
+        changed = {
+            name
+            for name, param in model.named_parameters()
+            if not np.array_equal(param.data, before[name])
+        }
+        expected_fragments = ["qkv_proj", "out_proj", "up_proj", "down_proj"]
+        if family == "llama":
+            expected_fragments.append("gate_proj")
+        for fragment in expected_fragments:
+            assert any(fragment in name for name in changed), fragment
+
+    def test_quantized_model_still_reasonable(self):
+        """W4 quantization should perturb logits, not destroy them."""
+        model = build_model(tiny_test_config(seed=8))
+        tokens = np.random.default_rng(0).integers(0, 256, size=(1, 16))
+        with no_grad():
+            base = model.forward(tokens).data
+        clone = weight_quantized_copy(model)
+        with no_grad():
+            quantized = clone.forward(tokens).data
+        correlation = np.corrcoef(base.ravel(), quantized.ravel())[0, 1]
+        assert correlation > 0.98
