@@ -1,0 +1,234 @@
+"""Serving throughput benchmark: continuous batching vs one-at-a-time.
+
+Compares sequential ``generate()`` decoding against the
+:mod:`repro.serve` engine at several batch sizes, in FP16 and
+Anda-compressed KV modes, and records tokens/sec, per-request latency,
+and simulated DRAM traffic.  Results are written to
+``BENCH_serving.json`` so CI can accumulate a perf trajectory as a
+workflow artifact.
+
+Usage::
+
+    python benchmarks/bench_serving.py                  # full sweep
+    python benchmarks/bench_serving.py --smoke          # CI-sized run
+    python benchmarks/bench_serving.py --kv-mode anda --batch-sizes 1,4,8
+
+Unlike the paper-figure benchmarks (which run under pytest-benchmark),
+this is a standalone script: serving throughput is a trajectory we
+track per commit, not a paper artifact we reproduce once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.llm.generation import generate  # noqa: E402
+from repro.llm.kv_quant import make_cache_factory  # noqa: E402
+from repro.llm.zoo import get_model  # noqa: E402
+from repro.serve import Engine, EngineConfig, serve_batch  # noqa: E402
+
+
+def make_prompts(count: int, vocab_size: int, seed: int = 0) -> list[np.ndarray]:
+    """Deterministic mixed-length prompts (lengths cycle 4..19)."""
+    rng = np.random.default_rng(seed)
+    lengths = [4 + (3 * index) % 16 for index in range(count)]
+    return [rng.integers(0, vocab_size, size=length) for length in lengths]
+
+
+def run_sequential(model, prompts, max_new_tokens, kv_mode, mantissa_bits):
+    """One-at-a-time decode baseline; returns (results, elapsed_seconds)."""
+    factory = make_cache_factory(model, kv_mode, mantissa_bits)
+    started = time.perf_counter()
+    results = [
+        generate(model, prompt, max_new_tokens, cache_factory=factory)
+        for prompt in prompts
+    ]
+    return results, time.perf_counter() - started
+
+
+def run_engine(model, prompts, max_new_tokens, batch_size, kv_mode, mantissa_bits):
+    """Batched serving run; returns (results_by_submission, engine)."""
+    engine = Engine(
+        model,
+        EngineConfig(
+            max_batch_size=batch_size,
+            max_batch_tokens=max(64, 32 * batch_size),
+            kv_mode=kv_mode,
+            kv_mantissa_bits=mantissa_bits,
+        ),
+    )
+    results = serve_batch(model, prompts, max_new_tokens, engine=engine)
+    return results, engine
+
+
+def bench_kv_mode(model, prompts, max_new_tokens, batch_sizes, kv_mode, bits):
+    """Benchmark one KV mode; returns result rows and checks parity."""
+    sequential, seq_seconds = run_sequential(
+        model, prompts, max_new_tokens, kv_mode, bits
+    )
+    total_tokens = max_new_tokens * len(prompts)
+    seq_tps = total_tokens / seq_seconds
+    rows = [
+        {
+            "mode": "sequential",
+            "kv_mode": kv_mode,
+            "batch_size": 1,
+            "tokens_per_second": seq_tps,
+            "speedup_vs_sequential": 1.0,
+            "total_seconds": seq_seconds,
+        }
+    ]
+    for batch_size in batch_sizes:
+        results, engine = run_engine(
+            model, prompts, max_new_tokens, batch_size, kv_mode, bits
+        )
+        for reference_result, served in zip(sequential, results):
+            if not np.array_equal(reference_result.tokens, served.tokens):
+                raise SystemExit(
+                    f"PARITY FAILURE: batched decode (batch={batch_size}, "
+                    f"kv={kv_mode}) diverged from sequential generate()"
+                )
+        metrics = engine.metrics()
+        rows.append(
+            {
+                "mode": "engine",
+                "kv_mode": kv_mode,
+                "batch_size": batch_size,
+                "tokens_per_second": metrics.tokens_per_second,
+                "speedup_vs_sequential": metrics.tokens_per_second / seq_tps,
+                "total_seconds": metrics.total_seconds,
+                "steps": metrics.steps,
+                "mean_batch_size": metrics.mean_batch_size,
+                "mean_ttft_seconds": metrics.mean_ttft_seconds,
+                "mean_latency_seconds": metrics.mean_latency_seconds,
+                "dram_bytes_total": metrics.traffic.total_bytes,
+                "dram_bytes_per_token": (
+                    metrics.traffic.total_bytes / metrics.total_new_tokens
+                ),
+                "kv_read_bytes": metrics.traffic.kv_read_bytes,
+                "weight_bytes": metrics.traffic.weight_bytes,
+            }
+        )
+    return rows
+
+
+def render(rows) -> str:
+    lines = [
+        f"{'kv':>5} {'mode':>10} {'batch':>5} {'tok/s':>9} "
+        f"{'speedup':>8} {'B/token':>10}",
+    ]
+    for row in rows:
+        per_token = row.get("dram_bytes_per_token")
+        per_token_text = "-" if per_token is None else f"{per_token:.0f}"
+        lines.append(
+            f"{row['kv_mode']:>5} {row['mode']:>10} {row['batch_size']:>5} "
+            f"{row['tokens_per_second']:>9.1f} "
+            f"{row['speedup_vs_sequential']:>7.2f}x "
+            f"{per_token_text:>10}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--model", default="opt-125m-sim")
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--num-prompts", type=int, default=None, help="default 16 (8 with --smoke)"
+    )
+    parser.add_argument(
+        "--max-new-tokens", type=int, default=None, help="default 24 (8 with --smoke)"
+    )
+    parser.add_argument(
+        "--batch-sizes",
+        default=None,
+        help="comma-separated engine batch sizes; default 2,4,8 (4 with --smoke)",
+    )
+    parser.add_argument(
+        "--kv-mode",
+        default="both",
+        choices=["fp16", "anda", "both"],
+        help="KV-cache mode(s) to benchmark",
+    )
+    parser.add_argument("--kv-mantissa-bits", type=int, default=8)
+    parser.add_argument(
+        "--output", default="BENCH_serving.json", help="result JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    # --smoke only shrinks knobs the user left at their defaults, so an
+    # explicit flag always wins.
+    if args.num_prompts is None:
+        args.num_prompts = 8 if args.smoke else 16
+    if args.max_new_tokens is None:
+        args.max_new_tokens = 8 if args.smoke else 24
+    if args.batch_sizes is None:
+        args.batch_sizes = "4" if args.smoke else "2,4,8"
+
+    try:
+        batch_sizes = [int(part) for part in args.batch_sizes.split(",") if part]
+    except ValueError:
+        parser.error(
+            f"--batch-sizes must be comma-separated ints, got {args.batch_sizes!r}"
+        )
+    if not batch_sizes:
+        parser.error("--batch-sizes needs at least one batch size")
+    if min(batch_sizes) < 1:
+        parser.error("--batch-sizes entries must be >= 1")
+    kv_modes = ["fp16", "anda"] if args.kv_mode == "both" else [args.kv_mode]
+
+    print(f"training/loading {args.model} ...", flush=True)
+    model = get_model(args.model)
+    prompts = make_prompts(args.num_prompts, model.config.vocab_size)
+
+    rows = []
+    for kv_mode in kv_modes:
+        rows.extend(
+            bench_kv_mode(
+                model,
+                prompts,
+                args.max_new_tokens,
+                batch_sizes,
+                kv_mode,
+                args.kv_mantissa_bits,
+            )
+        )
+    print(render(rows))
+
+    payload = {
+        "benchmark": "serving_throughput",
+        "model": args.model,
+        "num_prompts": args.num_prompts,
+        "max_new_tokens": args.max_new_tokens,
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "results": rows,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+    best = max(
+        (row for row in rows if row["mode"] == "engine"),
+        key=lambda row: row["speedup_vs_sequential"],
+    )
+    print(
+        f"best engine speedup: {best['speedup_vs_sequential']:.2f}x at "
+        f"batch={best['batch_size']} (kv={best['kv_mode']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

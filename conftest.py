@@ -1,0 +1,22 @@
+"""Root conftest: make ``src/`` importable without installation.
+
+``pip install -e .`` is the first-class path (CI uses it); this shim
+keeps the ROADMAP tier-1 command working on a bare checkout whether or
+not ``PYTHONPATH=src`` is set, and in offline environments where an
+editable install is not possible.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+# Subprocess-launching tests (the example scripts) need the path too.
+_existing = os.environ.get("PYTHONPATH")
+if _existing is None:
+    os.environ["PYTHONPATH"] = str(_SRC)
+elif str(_SRC) not in _existing.split(os.pathsep):
+    os.environ["PYTHONPATH"] = os.pathsep.join([str(_SRC), _existing])

@@ -47,7 +47,6 @@ def main() -> None:
 
     print()
     print("2. Storage per element")
-    anda_cfg = BfpConfig(mantissa_bits=6, group_size=64)
     mx_tensor = quantize_mx(activations, MxConfig(mantissa_bits=5))
     anda_bits = 1 + 6 + 8 / 64
     print("  FP16          : 16.00 bits")

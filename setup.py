@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so editable
+installs also work in offline environments whose setuptools predates
+PEP 660 wheel-less editables (``pip install -e . --no-use-pep517
+--no-build-isolation``).  Networked environments (CI) use the standard
+``pip install -e .`` path.
+"""
+
+from setuptools import setup
+
+setup()

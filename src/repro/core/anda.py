@@ -148,7 +148,9 @@ class AndaTensor:
         return np.where(bfp.sign == 1, -magnitude, magnitude).astype(np.float32)
 
 
-def fake_quantize(values: np.ndarray, mantissa_bits: int, rounding: str = "truncate") -> np.ndarray:
+def fake_quantize(
+    values: np.ndarray, mantissa_bits: int, rounding: str = "truncate"
+) -> np.ndarray:
     """Quantize-dequantize a tensor through the Anda format.
 
     Fast path used by the LLM activation hooks: numerically identical to
@@ -163,3 +165,21 @@ def fake_quantize(values: np.ndarray, mantissa_bits: int, rounding: str = "trunc
     magnitude = np.ldexp(bfp.mantissa.astype(np.float64), scale_exp[:, None])
     signed = np.where(bfp.sign == 1, -magnitude, magnitude)
     return from_groups(signed, bfp.layout).astype(np.float32)
+
+
+def fake_quantize_batch(
+    values: np.ndarray, mantissa_bits: int, rounding: str = "truncate"
+) -> np.ndarray:
+    """Batch-axis Anda fake quantization for ``(..., channels)`` stacks.
+
+    The serving engine's batched decode path pushes ``(batch, time,
+    channels)`` activation stacks through the format in one call.
+    Grouping runs along the last axis only (groups never span rows —
+    see :func:`repro.core.groups.to_groups`), so the result is
+    row-for-row identical to fake-quantizing each leading-axis slice
+    independently; a property the engine's token-parity guarantee
+    relies on and the tests pin down.
+    """
+    values = np.asarray(values)
+    flat = values.reshape(-1, values.shape[-1])
+    return fake_quantize(flat, mantissa_bits, rounding=rounding).reshape(values.shape)

@@ -55,6 +55,12 @@ from repro.hw.pe import (
     pe_energy_efficiency,
 )
 from repro.hw.simulator import GemmMetrics, SystemRun, simulate_gemm, simulate_model
+from repro.hw.traffic import (
+    StepTraffic,
+    batching_traffic_advantage,
+    decode_step_traffic,
+    prefill_traffic,
+)
 from repro.hw.workloads import (
     Gemm,
     OpsBreakdown,
@@ -118,4 +124,8 @@ __all__ = [
     "simulate_gemm",
     "simulate_model",
     "system_area_mm2",
+    "StepTraffic",
+    "batching_traffic_advantage",
+    "decode_step_traffic",
+    "prefill_traffic",
 ]

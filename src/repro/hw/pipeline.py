@@ -22,21 +22,18 @@ paper also makes by not counting it at all).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.core.precision import PrecisionCombination, TensorKind
 from repro.errors import HardwareError
 from repro.hw.params import (
     CLOCK_HZ,
-    DRAM_PJ_PER_BIT,
-    SRAM_PJ_PER_BIT,
     VECTOR_UNIT_WIDTH,
     DEFAULT_BUDGET,
     SystemBudget,
 )
 from repro.hw.pe import get_pe
-from repro.hw.simulator import E_MAC_FPFP_PJ, simulate_gemm
+from repro.hw.simulator import simulate_gemm
 from repro.hw.workloads import Gemm, prefill_gemms
 from repro.llm.config import ModelConfig, get_config
 

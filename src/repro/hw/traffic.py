@@ -1,0 +1,178 @@
+"""Decode-phase DRAM traffic accounting for the serving engine.
+
+:mod:`repro.hw.roofline` already shows *why* decode is the bandwidth
+regime: one token per request means no weight reuse, so operational
+intensity collapses to ~2 MACs/byte.  This module quantifies *how much*
+traffic a serving step moves, which is the cost axis continuous
+batching actually optimizes:
+
+* **weights** — every FP-INT GeMM weight (plus the LM head) streams
+  from DRAM once per model step.  A batched step amortizes that stream
+  over the whole batch; one-at-a-time decode re-reads it per request.
+* **KV cache** — each request re-reads its entire key/value history
+  every step and appends one position.  This term scales with context
+  length and is where the Anda KV format's compression
+  (:func:`repro.llm.kv_quant.kv_bits_per_element`) multiplies through.
+* **activations** — per-token hidden-state traffic; small next to the
+  other two but kept for honest totals.
+
+The numbers are analytic (bytes implied by the model config), matching
+how :mod:`repro.hw.workloads` counts GeMM volumes — no simulator run
+is needed per serving step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import HardwareError
+from repro.llm.config import ModelConfig
+
+#: Bytes per FP16 element, the substrate's weight/activation precision.
+_FP16_BYTES = 2.0
+
+
+@dataclass(frozen=True)
+class StepTraffic:
+    """DRAM bytes moved by one serving step, split by stream.
+
+    Attributes:
+        weight_bytes: model weights streamed (once per batched step).
+        kv_read_bytes: key/value history re-read across the batch.
+        kv_write_bytes: newly appended key/value positions.
+        activation_bytes: hidden-state reads/writes across the batch.
+    """
+
+    weight_bytes: float = 0.0
+    kv_read_bytes: float = 0.0
+    kv_write_bytes: float = 0.0
+    activation_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return (
+            self.weight_bytes
+            + self.kv_read_bytes
+            + self.kv_write_bytes
+            + self.activation_bytes
+        )
+
+    def __add__(self, other: "StepTraffic") -> "StepTraffic":
+        return StepTraffic(
+            weight_bytes=self.weight_bytes + other.weight_bytes,
+            kv_read_bytes=self.kv_read_bytes + other.kv_read_bytes,
+            kv_write_bytes=self.kv_write_bytes + other.kv_write_bytes,
+            activation_bytes=self.activation_bytes + other.activation_bytes,
+        )
+
+
+def _weight_bytes(config: ModelConfig) -> float:
+    """FP16 bytes of every weight a decode step streams.
+
+    Counts the per-token FP-INT GeMM weights (each MAC touches one
+    weight element exactly once at sequence length 1) plus the LM head.
+    """
+    gemm_weights = config.fp_int_macs_per_token()
+    lm_head = config.d_model * config.vocab_size
+    return (gemm_weights + lm_head) * _FP16_BYTES
+
+
+def _kv_elements_per_position(config: ModelConfig) -> int:
+    """K + V elements one cached position holds across all layers."""
+    return 2 * config.n_layers * config.d_model
+
+
+def _activation_bytes_per_token(config: ModelConfig) -> float:
+    """Hidden-state write+read per block plus embedding/head I/O."""
+    return (2 * config.n_layers + 2) * config.d_model * _FP16_BYTES
+
+
+def decode_step_traffic(
+    config: ModelConfig,
+    context_lengths: Sequence[int],
+    kv_bits_per_element: float = 16.0,
+    batched: bool = True,
+) -> StepTraffic:
+    """Traffic of one decode step over a batch of requests.
+
+    Args:
+        config: architecture being served.
+        context_lengths: per-request cached positions *before* the step
+            (each request reads that history and appends one position).
+        kv_bits_per_element: stored bits per cached element — 16 for
+            FP16, :func:`repro.llm.kv_quant.kv_bits_per_element` for
+            the Anda-compressed cache.
+        batched: if true, weights stream once for the whole batch
+            (continuous batching); if false, once per request
+            (one-at-a-time decode), which is the baseline the engine's
+            speedup is measured against.
+    """
+    if kv_bits_per_element <= 0:
+        raise HardwareError(
+            f"kv bits per element must be positive, got {kv_bits_per_element}"
+        )
+    batch = len(context_lengths)
+    if batch == 0:
+        return StepTraffic()
+    if min(context_lengths) < 0:
+        raise HardwareError("context lengths must be non-negative")
+    kv_bytes_per_element = kv_bits_per_element / 8.0
+    per_position = _kv_elements_per_position(config)
+    history = sum(context_lengths)
+    return StepTraffic(
+        weight_bytes=_weight_bytes(config) * (1 if batched else batch),
+        kv_read_bytes=history * per_position * kv_bytes_per_element,
+        kv_write_bytes=batch * per_position * kv_bytes_per_element,
+        activation_bytes=batch * _activation_bytes_per_token(config),
+    )
+
+
+def prefill_traffic(
+    config: ModelConfig,
+    prompt_length: int,
+    kv_bits_per_element: float = 16.0,
+) -> StepTraffic:
+    """Traffic of prefilling one prompt (whole-sequence forward).
+
+    Prefill streams the weights once for the whole prompt (that reuse
+    is why prefill is the compute-bound regime), writes the prompt's
+    K/V history, and moves per-token activations.  Attention reads the
+    growing in-flight history from on-chip buffers in this model, so no
+    KV *read* traffic is charged to DRAM during prefill.
+    """
+    if prompt_length < 1:
+        raise HardwareError(f"prompt length must be >= 1, got {prompt_length}")
+    kv_bytes_per_element = kv_bits_per_element / 8.0
+    return StepTraffic(
+        weight_bytes=_weight_bytes(config),
+        kv_write_bytes=prompt_length
+        * _kv_elements_per_position(config)
+        * kv_bytes_per_element,
+        activation_bytes=prompt_length * _activation_bytes_per_token(config),
+    )
+
+
+def batching_traffic_advantage(
+    config: ModelConfig,
+    batch_size: int,
+    context_length: int,
+    kv_bits_per_element: float = 16.0,
+) -> float:
+    """One-at-a-time bytes over batched bytes for one decode step.
+
+    The headline serving ratio: how much DRAM traffic continuous
+    batching saves at a given batch size and (uniform) context length.
+    Grows toward ``batch_size`` when weights dominate (short contexts)
+    and decays toward 1 as the per-request KV history takes over —
+    which is exactly the regime where Anda KV compression extends the
+    advantage.
+    """
+    if batch_size < 1:
+        raise HardwareError(f"batch size must be >= 1, got {batch_size}")
+    contexts = [context_length] * batch_size
+    sequential = decode_step_traffic(
+        config, contexts, kv_bits_per_element, batched=False
+    )
+    batched = decode_step_traffic(config, contexts, kv_bits_per_element, batched=True)
+    return sequential.total_bytes / batched.total_bytes

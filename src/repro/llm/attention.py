@@ -66,6 +66,16 @@ class RotaryTable:
             )
         return self.cos[start:stop], self.sin[start:stop]
 
+    def gather(self, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-request cos/sin rows for arbitrary (unsorted) positions."""
+        limit = int(positions.max(initial=0)) + 1
+        if limit > self.cos.shape[0]:
+            raise ModelError(
+                f"rotary table holds {self.cos.shape[0]} positions, "
+                f"requested up to {limit}"
+            )
+        return self.cos[positions], self.sin[positions]
+
 
 def _rotate_half(x: Tensor) -> Tensor:
     half = x.shape[-1] // 2
@@ -86,12 +96,32 @@ def _rotate_half_np(x: np.ndarray) -> np.ndarray:
 
 @dataclass
 class KVCache:
-    """Per-layer key/value history for incremental decoding (FP16)."""
+    """Per-layer key/value history for incremental decoding (FP16).
+
+    Subclasses override :meth:`compress` (a row-local transform applied
+    on write) and :meth:`compression_key`; the batched decode path uses
+    those to compress a whole batch's K/V in one call and then append
+    per request via :meth:`append_precompressed`.
+    """
 
     keys: np.ndarray = field(default=None)  # type: ignore[assignment]
     values: np.ndarray = field(default=None)  # type: ignore[assignment]
 
+    def compress(self, tensor: np.ndarray) -> np.ndarray:
+        """Write-side transform; must be row-local along leading axes."""
+        return tensor
+
+    def compression_key(self) -> tuple:
+        """Caches with equal keys share one batched compress call."""
+        return ("fp16",)
+
     def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return self.append_precompressed(self.compress(k), self.compress(v))
+
+    def append_precompressed(
+        self, k: np.ndarray, v: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Append K/V already passed through :meth:`compress`."""
         k16 = k.astype(np.float16)
         v16 = v.astype(np.float16)
         if self.keys is None:
@@ -151,31 +181,28 @@ class MultiHeadAttention(Module):
 
     # -- incremental decode path ------------------------------------------
 
-    def step(self, x: np.ndarray, cache: KVCache) -> np.ndarray:
-        """Process new tokens with cached history (plain numpy).
-
-        Args:
-            x: ``(batch, new_tokens, d_model)`` activations.
-            cache: layer cache; extended in place.
-        """
-        batch, new_len, d_model = x.shape
-        start = cache.length
+    def _project_qkv(self, x: np.ndarray) -> np.ndarray:
+        """QKV-tap + fused projection: ``(B, T, D)`` -> ``(3, B, H, T, hd)``."""
+        batch, new_len, _ = x.shape
         if self.tap.quantizer is not None:
             x = self.tap.quantizer(TensorKind.QKV, x)
-        weight = self.qkv_proj.weight.data
-        qkv = x @ weight
+        qkv = x @ self.qkv_proj.weight.data
         if self.qkv_proj.bias is not None:
             qkv = qkv + self.qkv_proj.bias.data
         qkv = qkv.reshape(batch, new_len, 3, self.n_heads, self.head_dim)
-        qkv = qkv.transpose(2, 0, 3, 1, 4)
-        q, k, v = qkv[0], qkv[1], qkv[2]
+        return qkv.transpose(2, 0, 3, 1, 4)
 
-        if self.rotary is not None:
-            cos, sin = self.rotary.slice(start, start + new_len)
-            q = q * cos + _rotate_half_np(q) * sin
-            k = k * cos + _rotate_half_np(k) * sin
+    def _attention_core(
+        self, q: np.ndarray, keys: np.ndarray, values: np.ndarray, start: int
+    ) -> np.ndarray:
+        """Masked softmax attention over one request's exact history.
 
-        keys, values = cache.append(k, v)
+        ``q`` is ``(batch, heads, new, head_dim)``; ``keys``/``values``
+        hold ``start + new`` cached positions.  No padding is involved:
+        scores span exactly the request's history, which is what makes
+        batched decode token-identical to sequential decode.
+        """
+        new_len = q.shape[2]
         scores = (q @ keys.swapaxes(-1, -2)) * self.scale
         total = keys.shape[2]
         positions = np.arange(start, start + new_len)[:, None]
@@ -186,11 +213,98 @@ class MultiHeadAttention(Module):
         scores -= scores.max(axis=-1, keepdims=True)
         weights_np = np.exp(scores)
         weights_np /= weights_np.sum(axis=-1, keepdims=True)
-        context = weights_np @ values
-        context = context.transpose(0, 2, 1, 3).reshape(batch, new_len, d_model)
+        return weights_np @ values
+
+    def _project_out(self, context: np.ndarray) -> np.ndarray:
+        """O-tap + output projection for ``(B, T, D)`` attention context."""
         if self.tap.quantizer is not None:
             context = self.tap.quantizer(TensorKind.O, context)
         out = context @ self.out_proj.weight.data
         if self.out_proj.bias is not None:
             out = out + self.out_proj.bias.data
         return out.astype(np.float32)
+
+    def step(self, x: np.ndarray, cache: KVCache) -> np.ndarray:
+        """Process new tokens with cached history (plain numpy).
+
+        Args:
+            x: ``(batch, new_tokens, d_model)`` activations.
+            cache: layer cache; extended in place.
+        """
+        batch, new_len, d_model = x.shape
+        start = cache.length
+        qkv = self._project_qkv(x)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        if self.rotary is not None:
+            cos, sin = self.rotary.slice(start, start + new_len)
+            q = q * cos + _rotate_half_np(q) * sin
+            k = k * cos + _rotate_half_np(k) * sin
+
+        keys, values = cache.append(k, v)
+        context = self._attention_core(q, keys, values, start)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, new_len, d_model)
+        return self._project_out(context)
+
+    def step_batch(self, x: np.ndarray, caches: list[KVCache]) -> np.ndarray:
+        """Single-token decode for many independent requests at once.
+
+        The projections (QKV, output) run as one batched ``(B, 1, D)``
+        GeMM — numpy applies them per leading-axis slice, so each row is
+        bitwise identical to a ``batch=1`` :meth:`step` call — while
+        attention itself runs per request against that request's
+        *exact-length* cache (no cross-request padding).  Each request
+        may sit at a different position; rotary/positional phases are
+        gathered per request.
+
+        Args:
+            x: ``(batch, 1, d_model)`` activations, one row per request.
+            caches: one :class:`KVCache` per request for *this* layer,
+                each extended in place.
+        """
+        batch, new_len, d_model = x.shape
+        if new_len != 1:
+            raise ModelError(f"step_batch decodes one token per request, got {new_len}")
+        if len(caches) != batch:
+            raise ModelError(
+                f"got {len(caches)} caches for a batch of {batch} requests"
+            )
+        starts = np.array([cache.length for cache in caches])
+        qkv = self._project_qkv(x)
+        q, k, v = qkv[0], qkv[1], qkv[2]  # (B, H, 1, hd)
+
+        if self.rotary is not None:
+            cos, sin = self.rotary.gather(starts)
+            cos = cos[:, None, None, :]  # (B, 1, 1, hd) -> broadcasts over heads
+            sin = sin[:, None, None, :]
+            q = q * cos + _rotate_half_np(q) * sin
+            k = k * cos + _rotate_half_np(k) * sin
+
+        # When every cache shares one compression scheme (the engine's
+        # case), compress the whole batch's K/V in a single call — the
+        # transform is row-local, so this is bitwise identical to the
+        # per-request compress inside append().
+        shared_key = caches[0].compression_key()
+        precompressed = all(
+            cache.compression_key() == shared_key for cache in caches[1:]
+        )
+        if precompressed:
+            k = caches[0].compress(k)
+            v = caches[0].compress(v)
+
+        contexts = []
+        for index, cache in enumerate(caches):
+            k_row = k[index : index + 1]
+            v_row = v[index : index + 1]
+            if precompressed:
+                keys, values = cache.append_precompressed(k_row, v_row)
+            else:
+                keys, values = cache.append(k_row, v_row)
+            contexts.append(
+                self._attention_core(
+                    q[index : index + 1], keys, values, int(starts[index])
+                )
+            )
+        context = np.concatenate(contexts, axis=0)  # (B, H, 1, hd)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, new_len, d_model)
+        return self._project_out(context)

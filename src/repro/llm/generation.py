@@ -8,12 +8,17 @@ values cached in FP16 as in the paper's evaluation setup.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from repro.errors import ModelError
+from repro.llm.attention import KVCache
 from repro.llm.tokenizer import ByteTokenizer
 from repro.llm.transformer import CausalLM
+
+#: Builds fresh per-layer caches for one request (e.g. FP16 or Anda KV).
+CacheFactory = Callable[[], "list[KVCache]"]
 
 
 @dataclass(frozen=True)
@@ -27,6 +32,29 @@ class GenerationResult:
         return self.tokens[self.prompt_length :]
 
 
+def select_next_token(
+    logits: np.ndarray,
+    temperature: float,
+    top_k: int,
+    rng: np.random.Generator,
+) -> int:
+    """Pick the next token from one vocab-sized logit row.
+
+    Greedy argmax at ``temperature <= 0``, else top-k softmax sampling.
+    Shared by :func:`generate` and the serving engine so both paths make
+    bit-identical choices from identical logits and RNG state.
+    """
+    if temperature <= 0.0:
+        return int(np.argmax(logits))
+    if top_k < 1:
+        raise ModelError(f"top_k must be >= 1 when sampling, got {top_k}")
+    scaled = logits.astype(np.float64) / temperature
+    top = np.argsort(scaled)[-top_k:]
+    probs = np.exp(scaled[top] - scaled[top].max())
+    probs /= probs.sum()
+    return int(rng.choice(top, p=probs))
+
+
 def generate(
     model: CausalLM,
     prompt_tokens: np.ndarray,
@@ -34,6 +62,7 @@ def generate(
     temperature: float = 0.0,
     top_k: int = 20,
     seed: int = 0,
+    cache_factory: CacheFactory | None = None,
 ) -> GenerationResult:
     """Greedy (``temperature == 0``) or top-k sampled decoding.
 
@@ -44,6 +73,9 @@ def generate(
         temperature: 0 for greedy, else softmax temperature.
         top_k: sample from the k most likely tokens when sampling.
         seed: sampling seed.
+        cache_factory: optional builder for the per-layer KV caches
+            (default FP16 via ``model.new_cache``; pass e.g.
+            ``lambda: quantized_cache_factory(model, 8)`` for Anda KV).
     """
     prompt = np.asarray(prompt_tokens).reshape(1, -1)
     if prompt.shape[1] < 1:
@@ -54,21 +86,15 @@ def generate(
             f"exceeds max_seq_len {model.config.max_seq_len}"
         )
     rng = np.random.default_rng(seed)
-    caches = model.new_cache()
+    caches = model.new_cache() if cache_factory is None else cache_factory()
     logits = model.forward_step(prompt, caches)[:, -1, :]
 
     produced = [prompt[0]]
-    for _ in range(max_new_tokens):
-        if temperature <= 0.0:
-            next_token = int(np.argmax(logits[0]))
-        else:
-            scaled = logits[0].astype(np.float64) / temperature
-            top = np.argsort(scaled)[-top_k:]
-            probs = np.exp(scaled[top] - scaled[top].max())
-            probs /= probs.sum()
-            next_token = int(rng.choice(top, p=probs))
+    for index in range(max_new_tokens):
+        next_token = select_next_token(logits[0], temperature, top_k, rng)
         produced.append(np.array([next_token]))
-        logits = model.forward_step(np.array([[next_token]]), caches)[:, -1, :]
+        if index + 1 < max_new_tokens:
+            logits = model.forward_step(np.array([[next_token]]), caches)[:, -1, :]
     return GenerationResult(
         tokens=np.concatenate(produced), prompt_length=prompt.shape[1]
     )

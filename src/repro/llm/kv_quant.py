@@ -15,13 +15,52 @@ traffic — the regime :mod:`repro.hw.roofline` shows is bandwidth-bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
-from repro.core.anda import fake_quantize
+from repro.core.anda import fake_quantize_batch
 from repro.errors import ModelError
 from repro.llm.attention import KVCache
 from repro.llm.transformer import CausalLM
+
+
+def _fp16_factory(model: CausalLM, mantissa_bits: int) -> Callable[[], list[KVCache]]:
+    return model.new_cache
+
+
+def _fp16_bits(mantissa_bits: int) -> float:
+    return 16.0
+
+
+def _anda_factory(model: CausalLM, mantissa_bits: int) -> Callable[[], list[KVCache]]:
+    AndaKVCache(mantissa_bits=mantissa_bits)  # validate eagerly
+    return lambda: quantized_cache_factory(model, mantissa_bits)
+
+
+def _anda_bits(mantissa_bits: int) -> float:
+    return AndaKVCache(mantissa_bits=mantissa_bits).storage_bits_per_element()
+
+
+#: Single dispatch table: mode -> (cache factory builder, bits-per-element).
+#: Registering a new KV mode here is the only edit needed for
+#: make_cache_factory, kv_bits_per_element, and EngineConfig validation.
+_KV_MODE_REGISTRY: dict[str, tuple[Callable, Callable]] = {
+    "fp16": (_fp16_factory, _fp16_bits),
+    "anda": (_anda_factory, _anda_bits),
+}
+
+#: KV-cache modes the serving engine understands.
+KV_MODES = tuple(_KV_MODE_REGISTRY)
+
+
+def _lookup_mode(mode: str) -> tuple[Callable, Callable]:
+    try:
+        return _KV_MODE_REGISTRY[mode]
+    except KeyError:
+        raise ModelError(
+            f"unknown KV mode {mode!r}; known: {', '.join(KV_MODES)}"
+        ) from None
 
 
 @dataclass
@@ -40,14 +79,13 @@ class AndaKVCache(KVCache):
                 f"KV mantissa bits must be in [1, 16], got {self.mantissa_bits}"
             )
 
-    def append(self, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        k = self._compress(k)
-        v = self._compress(v)
-        return super().append(k, v)
+    def compress(self, tensor: np.ndarray) -> np.ndarray:
+        """Round-trip K/V through the Anda format (row-local, so the
+        batched decode path may apply it across a whole batch at once)."""
+        return fake_quantize_batch(tensor, self.mantissa_bits)
 
-    def _compress(self, tensor: np.ndarray) -> np.ndarray:
-        flat = tensor.reshape(-1, tensor.shape[-1])
-        return fake_quantize(flat, self.mantissa_bits).reshape(tensor.shape)
+    def compression_key(self) -> tuple:
+        return ("anda", self.mantissa_bits)
 
     def storage_bits_per_element(self) -> float:
         """Cache footprint per element vs FP16's 16 bits."""
@@ -69,3 +107,31 @@ def kv_compression_ratio(mantissa_bits: int) -> float:
     """FP16 cache bits over Anda cache bits per element."""
     cache = AndaKVCache(mantissa_bits=mantissa_bits)
     return 16.0 / cache.storage_bits_per_element()
+
+
+def make_cache_factory(
+    model: CausalLM, mode: str = "fp16", mantissa_bits: int = 8
+) -> Callable[[], list[KVCache]]:
+    """Per-request cache builder for a KV mode (engine plumbing).
+
+    Returns a zero-argument callable producing fresh per-layer caches:
+    plain FP16 for ``"fp16"``, Anda-compressed for ``"anda"``.  The
+    serving engine calls it once per admitted request, and
+    :func:`repro.llm.generation.generate` accepts it directly as its
+    ``cache_factory`` so sequential references use the identical cache
+    path.  Raises :class:`~repro.errors.ModelError` for unknown modes
+    or out-of-range mantissa lengths.
+    """
+    factory_builder, _ = _lookup_mode(mode)
+    return factory_builder(model, mantissa_bits)
+
+
+def kv_bits_per_element(mode: str = "fp16", mantissa_bits: int = 8) -> float:
+    """Stored bits per cached K/V element for a KV mode (for traffic).
+
+    Raises :class:`~repro.errors.ModelError` for unknown modes or
+    out-of-range mantissa lengths, which makes it double as the
+    engine's construct-time validation of its KV configuration.
+    """
+    _, bits_fn = _lookup_mode(mode)
+    return bits_fn(mantissa_bits)

@@ -119,6 +119,19 @@ class TransformerBlock(Module):
             normed = self.ffn_norm(Tensor(x)).data
             return x + self.ffn.step(normed)
 
+    def step_batch(self, x: np.ndarray, caches: list[KVCache]) -> np.ndarray:
+        """One decode step for a batch of requests with per-request caches.
+
+        Norms and the feed-forward reduce along the last axis only, so
+        they batch row-identically as-is; attention routes through
+        :meth:`~repro.llm.attention.MultiHeadAttention.step_batch`.
+        """
+        with no_grad():
+            normed = self.attn_norm(Tensor(x)).data
+            x = x + self.attention.step_batch(normed, caches)
+            normed = self.ffn_norm(Tensor(x)).data
+            return x + self.ffn.step(normed)
+
 
 class CausalLM(Module):
     """A causal language model in the OPT or LLaMA style.
@@ -201,6 +214,53 @@ class CausalLM(Module):
                 hidden = hidden + self.position_embedding(positions).data
             for block, cache in zip(self.blocks, caches):
                 hidden = block.step(hidden, cache)
+            normed = self.final_norm(Tensor(hidden)).data
+            return normed @ self.lm_head.weight.data
+
+    def forward_decode_batch(
+        self, tokens: np.ndarray, request_caches: list[list[KVCache]]
+    ) -> np.ndarray:
+        """Decode one token for many requests in a single batched step.
+
+        This is the serving engine's model step: request states are
+        gathered into one ``(batch, 1)`` token array, the big GeMMs
+        (projections, FFN, LM head) run once over the whole batch, and
+        attention consults each request's own exact-length cache — so
+        requests may sit at arbitrary, different positions.  Every row
+        of the result is bitwise identical to running that request alone
+        through :meth:`forward_step`.
+
+        Args:
+            tokens: ``(batch, 1)`` next-token ids, one row per request.
+            request_caches: per request, the per-layer cache list that
+                earlier :meth:`forward_step` / ``forward_decode_batch``
+                calls extended.
+
+        Returns:
+            Plain-numpy logits ``(batch, 1, vocab)``.
+        """
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2 or tokens.shape[1] != 1:
+            raise ModelError(
+                f"decode batch expects (batch, 1) token ids, got {tokens.shape}"
+            )
+        if len(request_caches) != tokens.shape[0]:
+            raise ModelError(
+                f"got {len(request_caches)} cache sets for "
+                f"{tokens.shape[0]} requests"
+            )
+        starts = np.array([caches[0].length for caches in request_caches])
+        if (starts + 1).max(initial=0) > self.config.max_seq_len:
+            raise ModelError(
+                f"a request would exceed max_seq_len {self.config.max_seq_len}"
+            )
+        with no_grad():
+            hidden = self.token_embedding(tokens).data
+            if self.position_embedding is not None:
+                hidden = hidden + self.position_embedding(starts[:, None]).data
+            for layer_index, block in enumerate(self.blocks):
+                layer_caches = [caches[layer_index] for caches in request_caches]
+                hidden = block.step_batch(hidden, layer_caches)
             normed = self.final_norm(Tensor(hidden)).data
             return normed @ self.lm_head.weight.data
 

@@ -1,0 +1,61 @@
+"""Continuous-batching serving engine over the numpy LLM substrate.
+
+Serving is where the paper's decode-side analysis becomes load-bearing:
+decode is bandwidth-bound (:mod:`repro.hw.roofline`), so throughput
+comes from amortizing the weight stream over many concurrent requests
+and shrinking the per-request KV stream (the Anda KV format of
+:mod:`repro.llm.kv_quant`).  This package provides:
+
+* :class:`~repro.serve.engine.Engine` — ``submit()`` / ``step()`` /
+  ``drain()`` continuous batching with per-request exact-length KV
+  caches and token-parity with sequential ``generate`` calls;
+* :func:`~repro.serve.engine.serve_batch` — synchronous convenience
+  wrapper for a fixed batch of prompts;
+* scheduler policies (FCFS, shortest-prompt-first) under a
+  ``max_batch_tokens`` budget (:mod:`repro.serve.scheduler`);
+* per-request latency and aggregate throughput/traffic metrics
+  (:mod:`repro.serve.metrics`).
+
+See ``src/repro/serve/README.md`` for a walkthrough and
+``benchmarks/bench_serving.py`` for the throughput benchmark.
+"""
+
+from repro.serve.engine import Engine, EngineConfig, serve_batch
+from repro.serve.metrics import EngineMetrics, StepReport, summarize
+from repro.serve.request import (
+    CompletedRequest,
+    Request,
+    RequestMetrics,
+    RequestState,
+    RequestStatus,
+)
+from repro.serve.scheduler import (
+    POLICIES,
+    FcfsPolicy,
+    SchedulerPolicy,
+    ShortestPromptFirstPolicy,
+    StepPlan,
+    get_policy,
+    plan_step,
+)
+
+__all__ = [
+    "POLICIES",
+    "CompletedRequest",
+    "Engine",
+    "EngineConfig",
+    "EngineMetrics",
+    "FcfsPolicy",
+    "Request",
+    "RequestMetrics",
+    "RequestState",
+    "RequestStatus",
+    "SchedulerPolicy",
+    "ShortestPromptFirstPolicy",
+    "StepPlan",
+    "StepReport",
+    "get_policy",
+    "plan_step",
+    "serve_batch",
+    "summarize",
+]

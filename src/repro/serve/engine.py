@@ -1,0 +1,316 @@
+"""The continuous-batching inference engine.
+
+One :class:`Engine` owns a model and serves many requests concurrently:
+
+* :meth:`Engine.submit` enqueues a request (admission is the
+  scheduler's job, so submissions are cheap and can arrive mid-stream);
+* :meth:`Engine.step` runs one scheduler-planned model step — newly
+  admitted requests prefill (producing their first token), and every
+  running request decodes its next token in a *single* batched model
+  call (:meth:`repro.llm.transformer.CausalLM.forward_decode_batch`);
+* :meth:`Engine.drain` steps until the queue is empty and returns the
+  finished requests.
+
+Decode batching keeps per-request KV caches at their exact lengths (no
+cross-request padding): request tokens are gathered into a ``(batch,
+1)`` array, the big GeMMs run once over the batch, and logits scatter
+back to the per-request states.  Every emitted token is bitwise
+identical to what a sequential :func:`repro.llm.generation.generate`
+call would produce — the parity tests pin this down for FP16 and
+Anda-compressed KV caches.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.hw.traffic import StepTraffic, decode_step_traffic, prefill_traffic
+from repro.llm.generation import select_next_token
+from repro.llm.kv_quant import kv_bits_per_element, make_cache_factory
+from repro.llm.transformer import CausalLM
+from repro.serve.metrics import EngineMetrics, StepReport, summarize
+from repro.serve.request import (
+    CompletedRequest,
+    Request,
+    RequestMetrics,
+    RequestState,
+    RequestStatus,
+    complete,
+)
+from repro.serve.scheduler import SchedulerPolicy, get_policy, plan_step
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Serving knobs of one engine instance.
+
+    Args:
+        max_batch_size: concurrent requests resident in KV memory.
+        max_batch_tokens: scheduler token budget per step (decodes cost
+            1, prefills cost their prompt length).
+        policy: admission order — ``"fcfs"`` or
+            ``"shortest-prompt-first"``.
+        kv_mode: ``"fp16"`` (paper baseline) or ``"anda"`` (compressed
+            KV through :mod:`repro.llm.kv_quant`).
+        kv_mantissa_bits: Anda mantissa length when ``kv_mode="anda"``.
+    """
+
+    max_batch_size: int = 8
+    max_batch_tokens: int = 256
+    policy: str = "fcfs"
+    kv_mode: str = "fp16"
+    kv_mantissa_bits: int = 8
+
+    def __post_init__(self) -> None:
+        # A bad config must fail at construction, never mid-step with
+        # requests already accepted.
+        if self.max_batch_size < 1:
+            raise ModelError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_batch_tokens < 1:
+            raise ModelError(
+                f"max_batch_tokens must be >= 1, got {self.max_batch_tokens}"
+            )
+        kv_bits_per_element(self.kv_mode, self.kv_mantissa_bits)
+
+    @property
+    def kv_bits(self) -> float:
+        """Stored bits per cached K/V element under this config."""
+        return kv_bits_per_element(self.kv_mode, self.kv_mantissa_bits)
+
+
+class Engine:
+    """Continuous-batching serving engine over one :class:`CausalLM`."""
+
+    def __init__(self, model: CausalLM, config: EngineConfig | None = None) -> None:
+        self.model = model
+        self.config = config or EngineConfig()
+        self._policy: SchedulerPolicy = get_policy(self.config.policy)
+        self._cache_factory = make_cache_factory(
+            model, self.config.kv_mode, self.config.kv_mantissa_bits
+        )
+        self._ids = itertools.count()
+        self._waiting: list[RequestState] = []
+        self._running: list[RequestState] = []
+        self._finished: dict[int, CompletedRequest] = {}
+        self._request_records: list[RequestMetrics] = []
+        self._reports: list[StepReport] = []
+        self._step_index = 0
+
+    # -- admission --------------------------------------------------------
+
+    def submit(
+        self,
+        prompt_tokens: np.ndarray,
+        max_new_tokens: int,
+        temperature: float = 0.0,
+        top_k: int = 20,
+        seed: int = 0,
+    ) -> int:
+        """Enqueue one request; returns its engine-assigned id.
+
+        Validation mirrors :func:`repro.llm.generation.generate`, so a
+        request the engine accepts is one ``generate`` would accept.
+        """
+        request = Request(
+            request_id=next(self._ids),
+            prompt=np.asarray(prompt_tokens),
+            max_new_tokens=max_new_tokens,
+            temperature=temperature,
+            top_k=top_k,
+            seed=seed,
+        )
+        total = request.prompt_length + max_new_tokens
+        if total > self.model.config.max_seq_len:
+            raise ModelError(
+                f"prompt + continuation ({request.prompt_length} + "
+                f"{max_new_tokens}) exceeds max_seq_len "
+                f"{self.model.config.max_seq_len}"
+            )
+        vocab = self.model.config.vocab_size
+        if int(request.prompt.min()) < 0 or int(request.prompt.max()) >= vocab:
+            raise ModelError(
+                f"prompt token ids must lie in [0, {vocab}); a deferred "
+                "prefill failure would lose the request"
+            )
+        state = RequestState(
+            request=request,
+            arrival_step=self._step_index,
+            arrival_time=time.perf_counter(),
+        )
+        self._waiting.append(state)
+        return request.request_id
+
+    # -- stepping ---------------------------------------------------------
+
+    def has_work(self) -> bool:
+        return bool(self._waiting or self._running)
+
+    def step(self) -> StepReport:
+        """Run one scheduler-planned model step (prefills + one decode).
+
+        Decodes run first against the step's starting context lengths,
+        then admitted prefills run; a freshly prefilled request joins
+        the decode batch from the *next* step.
+        """
+        started = time.perf_counter()  # include scheduling in step cost
+        plan = plan_step(
+            self._waiting,
+            self._running,
+            self._policy,
+            self.config.max_batch_size,
+            self.config.max_batch_tokens,
+        )
+        traffic = StepTraffic()
+        new_tokens = 0
+
+        if plan.decodes:
+            traffic = traffic + decode_step_traffic(
+                self.model.config,
+                [state.context_length for state in plan.decodes],
+                kv_bits_per_element=self.config.kv_bits,
+                batched=True,
+            )
+            tokens = np.array([[state.last_token] for state in plan.decodes])
+            logits = self.model.forward_decode_batch(
+                tokens, [state.caches for state in plan.decodes]
+            )
+            for index, state in enumerate(plan.decodes):
+                self._emit(state, logits[index, -1, :])
+                new_tokens += 1
+
+        for state in plan.prefills:
+            # Run the fallible work (cache build, model prefill) before
+            # dequeuing: if either raises, the request stays queued
+            # instead of vanishing.
+            state.caches = self._cache_factory()
+            logits = self.model.forward_step(
+                state.request.prompt.reshape(1, -1), state.caches
+            )
+            self._waiting.remove(state)
+            state.status = RequestStatus.RUNNING
+            traffic = traffic + prefill_traffic(
+                self.model.config,
+                state.request.prompt_length,
+                kv_bits_per_element=self.config.kv_bits,
+            )
+            self._running.append(state)
+            self._emit(state, logits[0, -1, :], first=True)
+            new_tokens += 1
+
+        self._running = [
+            state for state in self._running if state.status is RequestStatus.RUNNING
+        ]
+        report = StepReport(
+            step=self._step_index,
+            prefills=len(plan.prefills),
+            decodes=len(plan.decodes),
+            new_tokens=new_tokens,
+            batch_tokens=plan.budget_tokens,
+            elapsed_seconds=time.perf_counter() - started,
+            traffic=traffic,
+        )
+        self._reports.append(report)
+        self._step_index += 1
+        return report
+
+    def _emit(
+        self, state: RequestState, logits: np.ndarray, first: bool = False
+    ) -> None:
+        """Select one token for a request and update its lifecycle."""
+        request = state.request
+        token = select_next_token(
+            logits,
+            request.temperature,
+            request.top_k,
+            state.rng,
+        )
+        state.generated.append(token)
+        if first:
+            state.first_token_step = self._step_index
+            state.first_token_time = time.perf_counter()
+        if state.done:
+            state.status = RequestStatus.FINISHED
+            state.finish_step = self._step_index
+            state.finish_time = time.perf_counter()
+            state.caches = None  # release KV memory
+            done = complete(state)
+            self._finished[request.request_id] = done
+            self._request_records.append(done.metrics)
+
+    # -- collection -------------------------------------------------------
+
+    def drain(self) -> list[CompletedRequest]:
+        """Step until idle; return uncollected finished requests by id.
+
+        Collect-once semantics (like :meth:`pop_finished`): returned
+        results are released, so a long-lived engine reused across many
+        batches does not retain every token array ever served.
+        Aggregate metrics keep accumulating regardless.
+        """
+        while self.has_work():
+            self.step()
+        return self.pop_finished()
+
+    def pop_finished(self) -> list[CompletedRequest]:
+        """Return and clear currently finished requests (id order)."""
+        done = [self._finished[key] for key in sorted(self._finished)]
+        self._finished.clear()
+        return done
+
+    def metrics(self) -> EngineMetrics:
+        """Aggregate throughput/latency/traffic over the engine's life.
+
+        Request records accumulate independently of
+        :meth:`pop_finished`, so streaming consumers keep full latency
+        statistics.
+        """
+        return summarize(self._reports, self._request_records)
+
+
+def serve_batch(
+    model: CausalLM,
+    prompts: list[np.ndarray],
+    max_new_tokens: int,
+    temperature: float = 0.0,
+    top_k: int = 20,
+    seed: int = 0,
+    config: EngineConfig | None = None,
+    engine: Engine | None = None,
+) -> list[CompletedRequest]:
+    """Serve a fixed batch of prompts to completion (sync wrapper).
+
+    Submits every prompt up front, drains the engine, and returns
+    results aligned with the input order.  Each request gets the same
+    decoding recipe (including the seed — requests draw from
+    independent per-request RNG streams, as ``generate`` would).
+
+    Pass a pre-built ``engine`` to keep a handle on it afterwards
+    (e.g. for :meth:`Engine.metrics`); ``config`` is ignored then.
+    """
+    if engine is None:
+        engine = Engine(model, config)
+    ids = [
+        engine.submit(
+            prompt,
+            max_new_tokens,
+            temperature=temperature,
+            top_k=top_k,
+            seed=seed,
+        )
+        for prompt in prompts
+    ]
+    wanted = set(ids)
+    by_id = {}
+    for done in engine.drain():
+        if done.request_id in wanted:
+            by_id[done.request_id] = done
+        else:
+            # A shared engine may finish requests submitted elsewhere;
+            # leave those collectable instead of swallowing them.
+            engine._finished[done.request_id] = done
+    return [by_id[request_id] for request_id in ids]

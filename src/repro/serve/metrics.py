@@ -1,0 +1,95 @@
+"""Aggregate serving metrics: throughput, latency, simulated traffic.
+
+The engine accumulates one :class:`StepReport` per step; this module
+rolls those plus the per-request records into an :class:`EngineMetrics`
+summary — the object the serving benchmark serializes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.traffic import StepTraffic
+from repro.serve.request import RequestMetrics
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """What one engine step did and what it cost.
+
+    Attributes:
+        step: the engine's step index.
+        prefills / decodes: request counts per phase this step.
+        new_tokens: tokens emitted (prefills produce their first token).
+        batch_tokens: scheduler budget consumed (prompt lengths + decodes).
+        elapsed_seconds: wall-clock duration of the step.
+        traffic: simulated DRAM traffic of the step.
+    """
+
+    step: int
+    prefills: int
+    decodes: int
+    new_tokens: int
+    batch_tokens: int
+    elapsed_seconds: float
+    traffic: StepTraffic
+
+
+@dataclass(frozen=True)
+class EngineMetrics:
+    """Aggregate view over an engine's lifetime.
+
+    Attributes:
+        steps: engine steps executed.
+        total_new_tokens: continuation tokens emitted overall.
+        total_seconds: wall-clock time spent inside steps.
+        tokens_per_second: aggregate decode throughput.
+        mean_batch_size: average requests per non-empty step.
+        traffic: summed simulated DRAM traffic.
+        requests: per-request latency records (finished requests only).
+    """
+
+    steps: int
+    total_new_tokens: int
+    total_seconds: float
+    tokens_per_second: float
+    mean_batch_size: float
+    traffic: StepTraffic
+    requests: list[RequestMetrics] = field(default_factory=list)
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        if not self.requests:
+            return 0.0
+        return sum(r.latency_seconds for r in self.requests) / len(self.requests)
+
+    @property
+    def mean_ttft_seconds(self) -> float:
+        if not self.requests:
+            return 0.0
+        return sum(r.ttft_seconds for r in self.requests) / len(self.requests)
+
+
+def summarize(
+    reports: list[StepReport], requests: list[RequestMetrics]
+) -> EngineMetrics:
+    """Fold step reports and request records into one summary."""
+    total_tokens = sum(report.new_tokens for report in reports)
+    total_seconds = sum(report.elapsed_seconds for report in reports)
+    active = [
+        report.prefills + report.decodes
+        for report in reports
+        if report.prefills + report.decodes > 0
+    ]
+    traffic = StepTraffic()
+    for report in reports:
+        traffic = traffic + report.traffic
+    return EngineMetrics(
+        steps=len(reports),
+        total_new_tokens=total_tokens,
+        total_seconds=total_seconds,
+        tokens_per_second=(total_tokens / total_seconds if total_seconds > 0 else 0.0),
+        mean_batch_size=sum(active) / len(active) if active else 0.0,
+        traffic=traffic,
+        requests=list(requests),
+    )

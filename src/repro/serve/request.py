@@ -1,0 +1,184 @@
+"""Request lifecycle model for the continuous-batching engine.
+
+A :class:`Request` is the immutable description a client submits; a
+:class:`RequestState` is the engine's mutable per-request record (KV
+caches, generated tokens, timing marks); a :class:`CompletedRequest`
+is the frozen result handed back, carrying both the tokens and the
+request's latency metrics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.llm.attention import KVCache
+
+
+class RequestStatus(enum.Enum):
+    """Where a request sits in the engine's lifecycle."""
+
+    WAITING = "waiting"  # admitted to the queue, no compute yet
+    RUNNING = "running"  # prefilled; decoding one token per step
+    FINISHED = "finished"
+
+
+@dataclass(frozen=True, eq=False)
+class Request:
+    """One client request: a prompt and its decoding recipe.
+
+    Identity semantics (``eq=False``): the ndarray prompt makes field
+    equality ill-defined, and ids are only unique per engine.
+
+    Args:
+        request_id: engine-assigned, unique within an engine instance.
+        prompt: 1-D prompt token ids.
+        max_new_tokens: continuation length to produce.
+        temperature: 0 for greedy, else softmax temperature.
+        top_k: sample from the k most likely tokens when sampling.
+        seed: per-request sampling seed.
+    """
+
+    request_id: int
+    prompt: np.ndarray
+    max_new_tokens: int
+    temperature: float = 0.0
+    top_k: int = 20
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Copy: prefill may run many steps after submit, and the caller
+        # is free to reuse its buffer in the meantime.
+        prompt = np.array(self.prompt).reshape(-1)
+        object.__setattr__(self, "prompt", prompt)
+        if prompt.shape[0] < 1:
+            raise ModelError("prompt must contain at least one token")
+        if self.max_new_tokens < 1:
+            raise ModelError(f"max_new_tokens must be >= 1, got {self.max_new_tokens}")
+        if self.temperature > 0.0 and self.top_k < 1:
+            raise ModelError(f"top_k must be >= 1 when sampling, got {self.top_k}")
+
+    @property
+    def prompt_length(self) -> int:
+        return int(self.prompt.shape[0])
+
+
+@dataclass
+class RequestState:
+    """Mutable engine-side record of one in-flight request.
+
+    Timing marks are recorded in both scheduler steps (deterministic,
+    comparable across runs) and wall-clock seconds (what a client
+    experiences).
+    """
+
+    request: Request
+    status: RequestStatus = RequestStatus.WAITING
+    caches: list[KVCache] | None = None
+    generated: list[int] = field(default_factory=list)
+    rng: np.random.Generator | None = None
+
+    arrival_step: int = 0
+    first_token_step: int | None = None
+    finish_step: int | None = None
+    arrival_time: float = 0.0
+    first_token_time: float | None = None
+    finish_time: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rng is None:
+            self.rng = np.random.default_rng(self.request.seed)
+
+    @property
+    def last_token(self) -> int:
+        """The token the next decode step feeds to the model."""
+        if not self.generated:
+            raise ModelError(
+                f"request {self.request.request_id} has not been prefilled"
+            )
+        return self.generated[-1]
+
+    @property
+    def context_length(self) -> int:
+        """Cached positions so far (prompt plus generated history)."""
+        if self.caches is None:
+            return 0
+        return self.caches[0].length
+
+    @property
+    def done(self) -> bool:
+        return len(self.generated) >= self.request.max_new_tokens
+
+    def tokens(self) -> np.ndarray:
+        """Prompt plus continuation, matching ``GenerationResult.tokens``."""
+        return np.concatenate(
+            [self.request.prompt, np.asarray(self.generated, dtype=np.int64)]
+        )
+
+
+@dataclass(frozen=True)
+class RequestMetrics:
+    """Latency marks of one finished request.
+
+    Attributes:
+        request_id: the request this describes.
+        prompt_length / generated_tokens: token counts.
+        ttft_steps / ttft_seconds: submit-to-first-token latency.
+        latency_steps / latency_seconds: submit-to-finish latency.
+    """
+
+    request_id: int
+    prompt_length: int
+    generated_tokens: int
+    ttft_steps: int
+    latency_steps: int
+    ttft_seconds: float
+    latency_seconds: float
+
+
+@dataclass(frozen=True, eq=False)
+class CompletedRequest:
+    """Final tokens and metrics of one served request.
+
+    Identity semantics (``eq=False``): holds an ndarray; compare
+    ``tokens`` with ``np.array_equal`` instead.
+    """
+
+    request_id: int
+    tokens: np.ndarray
+    prompt_length: int
+    metrics: RequestMetrics
+
+    def continuation(self) -> np.ndarray:
+        return self.tokens[self.prompt_length :]
+
+
+def complete(state: RequestState) -> CompletedRequest:
+    """Freeze a finished :class:`RequestState` into its result."""
+    if state.status is not RequestStatus.FINISHED:
+        raise ModelError(
+            f"request {state.request.request_id} is {state.status.value}, "
+            "not finished"
+        )
+    assert state.first_token_step is not None
+    assert state.finish_step is not None
+    assert state.first_token_time is not None
+    assert state.finish_time is not None
+    metrics = RequestMetrics(
+        request_id=state.request.request_id,
+        prompt_length=state.request.prompt_length,
+        generated_tokens=len(state.generated),
+        ttft_steps=state.first_token_step - state.arrival_step,
+        latency_steps=state.finish_step - state.arrival_step,
+        ttft_seconds=state.first_token_time - state.arrival_time,
+        latency_seconds=state.finish_time - state.arrival_time,
+    )
+    return CompletedRequest(
+        request_id=state.request.request_id,
+        tokens=state.tokens(),
+        prompt_length=state.request.prompt_length,
+        metrics=metrics,
+    )

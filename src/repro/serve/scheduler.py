@@ -1,0 +1,144 @@
+"""Step-level scheduling: which requests prefill or decode this step.
+
+Every engine step is planned under a *token budget*: running requests
+each consume one decode token, and waiting requests consume their whole
+prompt length when admitted for prefill.  The budget
+(``max_batch_tokens``) bounds the work of one model step — the knob
+that trades time-to-first-token against decode throughput — while
+``max_batch_size`` bounds concurrent KV-cache residency.
+
+Admission *order* is a policy:
+
+* **fcfs** — first come, first served (arrival order, the latency-fair
+  default);
+* **shortest-prompt-first** — admit cheap prompts first, maximizing how
+  many requests reach the decode batch per unit of prefill budget
+  (throughput-greedy, can starve long prompts under load).
+
+Policies only order the waiting queue; the budget walk below is shared.
+One guarantee is unconditional: if nothing is running and nothing fits,
+the first candidate is admitted anyway (a prompt longer than the budget
+must not deadlock the engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.serve.request import RequestState
+
+
+class SchedulerPolicy:
+    """Orders the waiting queue for admission (subclass hook)."""
+
+    name = "base"
+
+    def order(self, waiting: list[RequestState]) -> list[RequestState]:
+        raise NotImplementedError
+
+
+class FcfsPolicy(SchedulerPolicy):
+    """Admit in arrival order."""
+
+    name = "fcfs"
+
+    def order(self, waiting: list[RequestState]) -> list[RequestState]:
+        return list(waiting)
+
+
+class ShortestPromptFirstPolicy(SchedulerPolicy):
+    """Admit cheapest prefills first (ties broken by arrival)."""
+
+    name = "shortest-prompt-first"
+
+    def order(self, waiting: list[RequestState]) -> list[RequestState]:
+        return sorted(
+            waiting,
+            key=lambda state: (
+                state.request.prompt_length,
+                state.request.request_id,
+            ),
+        )
+
+
+#: Registry of scheduler policies by name.
+POLICIES: dict[str, type[SchedulerPolicy]] = {
+    FcfsPolicy.name: FcfsPolicy,
+    ShortestPromptFirstPolicy.name: ShortestPromptFirstPolicy,
+}
+
+
+def get_policy(name: str) -> SchedulerPolicy:
+    """Instantiate a scheduler policy by registry name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ModelError(
+            f"unknown scheduler policy {name!r}; known: {', '.join(sorted(POLICIES))}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class StepPlan:
+    """The scheduler's decision for one engine step.
+
+    Attributes:
+        decodes: running requests decoding one token each.
+        prefills: waiting requests admitted for prefill this step.
+        budget_tokens: tokens of model work the plan consumes.
+    """
+
+    decodes: list[RequestState] = field(default_factory=list)
+    prefills: list[RequestState] = field(default_factory=list)
+
+    @property
+    def budget_tokens(self) -> int:
+        return len(self.decodes) + sum(
+            state.request.prompt_length for state in self.prefills
+        )
+
+    @property
+    def empty(self) -> bool:
+        return not self.decodes and not self.prefills
+
+
+def plan_step(
+    waiting: list[RequestState],
+    running: list[RequestState],
+    policy: SchedulerPolicy,
+    max_batch_size: int,
+    max_batch_tokens: int,
+) -> StepPlan:
+    """Plan one step: decodes keep their slots, prefills fill the rest.
+
+    Running requests are never preempted — each reserves one token of
+    budget and one batch slot.  Waiting requests are then admitted in
+    policy order while both the token budget and the slot count hold
+    out.  Admission stops at the first request that does not fit
+    (head-of-line blocking is deliberate: skipping over a big request
+    forever would starve it).
+    """
+    if max_batch_size < 1:
+        raise ModelError(f"max_batch_size must be >= 1, got {max_batch_size}")
+    if max_batch_tokens < 1:
+        raise ModelError(f"max_batch_tokens must be >= 1, got {max_batch_tokens}")
+
+    decodes = list(running)
+    budget = max_batch_tokens - len(decodes)
+    slots = max_batch_size - len(decodes)
+    prefills: list[RequestState] = []
+    for state in policy.order(waiting):
+        if slots < 1:
+            break
+        cost = state.request.prompt_length
+        if cost > budget:
+            if not decodes and not prefills:
+                # Forward-progress override: an oversized prompt runs
+                # alone rather than deadlocking the queue.
+                prefills.append(state)
+            break
+        prefills.append(state)
+        budget -= cost
+        slots -= 1
+    return StepPlan(decodes=decodes, prefills=prefills)

@@ -6,7 +6,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import fp16
-from repro.core.anda import ANDA_GROUP_SIZE, AndaTensor, fake_quantize
+from repro.core.anda import (
+    ANDA_GROUP_SIZE,
+    AndaTensor,
+    fake_quantize,
+    fake_quantize_batch,
+)
 from repro.core.bfp import BfpConfig, quantize
 from repro.errors import FormatError
 
@@ -105,3 +110,26 @@ class TestGroupViews:
         signed = tensor.signed_mantissa()
         assert np.all(signed[0, :32] < 0)
         assert np.all(signed[0, 32:] > 0)
+
+
+class TestFakeQuantizeBatch:
+    def test_rows_match_independent_quantization(self):
+        # The serving engine's parity guarantee: quantizing a stacked
+        # (batch, time, channels) tensor must equal quantizing each
+        # leading-axis slice alone, bit for bit.
+        x = random_activations(7, (4, 3, 96))
+        batched = fake_quantize_batch(x, mantissa_bits=6)
+        for row in range(x.shape[0]):
+            np.testing.assert_array_equal(
+                batched[row], fake_quantize_batch(x[row], mantissa_bits=6)
+            )
+
+    def test_matches_flat_fake_quantize(self):
+        x = random_activations(8, (5, 128))
+        np.testing.assert_array_equal(
+            fake_quantize_batch(x, 5), fake_quantize(x, 5)
+        )
+
+    def test_shape_preserved(self):
+        x = random_activations(9, (2, 3, 4, 64))
+        assert fake_quantize_batch(x, 8).shape == x.shape

@@ -57,12 +57,21 @@ def test_best_is_always_feasible_and_cheapest_seen(seed, tolerance):
 @given(seed=st.integers(0, 10_000))
 @settings(max_examples=40, deadline=None)
 def test_looser_tolerance_never_costs_bops(seed):
+    # End-to-end best-vs-best monotonicity is NOT a theorem of the
+    # greedy search: acceptances reshape the queue, so a looser run can
+    # finish on a costlier incumbent (hypothesis counterexample:
+    # seed=197, loose [9,9,8,8] vs tight [10,9,9,6]).  What the shared
+    # pop prefix does guarantee: both runs pop identically until the
+    # first acceptance, any tight-feasible candidate is loose-feasible,
+    # and a run's incumbent only improves — so the loose best can never
+    # cost more than the tight run's *first accepted* candidate.
     accuracy = random_monotone_landscape(seed)
     tight = adaptive_precision_search(accuracy, bops_fn, 1.0, 0.005, max_iterations=48)
     loose = adaptive_precision_search(accuracy, bops_fn, 1.0, 0.05, max_iterations=48)
     if tight.best is not None:
         assert loose.best is not None
-        assert loose.best_bops <= tight.best_bops
+        first_accepted = next(step for step in tight.steps if step.accepted)
+        assert loose.best_bops <= first_accepted.bops
 
 
 @given(seed=st.integers(0, 10_000))

@@ -87,3 +87,7 @@ class TestValidation:
     def test_overlong_continuation_rejected(self, model, prompt_tokens):
         with pytest.raises(ModelError):
             generate(model, prompt_tokens, model.config.max_seq_len + 1)
+
+    def test_sampling_with_bad_top_k_rejected(self, model, prompt_tokens):
+        with pytest.raises(ModelError):
+            generate(model, prompt_tokens, 4, temperature=1.0, top_k=0)

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import ModelError
 from repro.llm.config import tiny_test_config
-from repro.llm.generation import generate
 from repro.llm.kv_quant import (
     AndaKVCache,
     kv_compression_ratio,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.precision import PrecisionCombination, TensorKind
+from repro.core.precision import PrecisionCombination
 from repro.errors import ModelError
 from repro.llm.autograd import no_grad
 from repro.llm.config import ModelConfig

@@ -1,0 +1,118 @@
+"""Tests for the step-level scheduler: policies, budget, progress."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.serve.request import Request, RequestState, RequestStatus
+from repro.serve.scheduler import (
+    FcfsPolicy,
+    ShortestPromptFirstPolicy,
+    get_policy,
+    plan_step,
+)
+
+
+def make_state(request_id: int, prompt_length: int, running: bool = False):
+    state = RequestState(
+        request=Request(
+            request_id=request_id,
+            prompt=np.arange(prompt_length) % 256,
+            max_new_tokens=4,
+        )
+    )
+    if running:
+        state.status = RequestStatus.RUNNING
+    return state
+
+
+class TestPolicies:
+    def test_fcfs_keeps_arrival_order(self):
+        waiting = [make_state(0, 9), make_state(1, 2), make_state(2, 5)]
+        ordered = FcfsPolicy().order(waiting)
+        assert [s.request.request_id for s in ordered] == [0, 1, 2]
+
+    def test_shortest_prompt_first_sorts_by_length(self):
+        waiting = [make_state(0, 9), make_state(1, 2), make_state(2, 5)]
+        ordered = ShortestPromptFirstPolicy().order(waiting)
+        assert [s.request.request_id for s in ordered] == [1, 2, 0]
+
+    def test_shortest_prompt_ties_break_by_id(self):
+        waiting = [make_state(3, 4), make_state(1, 4), make_state(2, 4)]
+        ordered = ShortestPromptFirstPolicy().order(waiting)
+        assert [s.request.request_id for s in ordered] == [1, 2, 3]
+
+    def test_get_policy_by_name(self):
+        assert isinstance(get_policy("fcfs"), FcfsPolicy)
+        assert isinstance(
+            get_policy("shortest-prompt-first"), ShortestPromptFirstPolicy
+        )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ModelError):
+            get_policy("round-robin")
+
+
+class TestPlanStep:
+    def test_decodes_reserve_budget_first(self):
+        running = [make_state(0, 4, running=True), make_state(1, 4, running=True)]
+        waiting = [make_state(2, 6)]
+        plan = plan_step(waiting, running, FcfsPolicy(), 8, 8)
+        # 2 decode tokens leave 6 tokens of budget: the prefill fits.
+        assert len(plan.decodes) == 2
+        assert [s.request.request_id for s in plan.prefills] == [2]
+        assert plan.budget_tokens == 8
+
+    def test_token_budget_caps_admissions(self):
+        waiting = [make_state(0, 5), make_state(1, 5), make_state(2, 5)]
+        plan = plan_step(waiting, [], FcfsPolicy(), 8, 11)
+        assert [s.request.request_id for s in plan.prefills] == [0, 1]
+
+    def test_admission_stops_at_first_misfit(self):
+        # Head-of-line blocking is deliberate: request 1 does not fit,
+        # so request 2 (which would fit) must wait behind it.
+        waiting = [make_state(0, 4), make_state(1, 10), make_state(2, 1)]
+        plan = plan_step(waiting, [], FcfsPolicy(), 8, 8)
+        assert [s.request.request_id for s in plan.prefills] == [0]
+
+    def test_batch_size_caps_admissions(self):
+        waiting = [make_state(i, 1) for i in range(5)]
+        plan = plan_step(waiting, [], FcfsPolicy(), 3, 100)
+        assert len(plan.prefills) == 3
+
+    def test_running_at_capacity_blocks_prefill(self):
+        running = [make_state(i, 2, running=True) for i in range(4)]
+        waiting = [make_state(9, 1)]
+        plan = plan_step(waiting, running, FcfsPolicy(), 4, 100)
+        assert plan.prefills == []
+        assert len(plan.decodes) == 4
+
+    def test_oversized_prompt_runs_alone(self):
+        waiting = [make_state(0, 50), make_state(1, 2)]
+        plan = plan_step(waiting, [], FcfsPolicy(), 8, 8)
+        assert [s.request.request_id for s in plan.prefills] == [0]
+        assert plan.budget_tokens == 50
+
+    def test_oversized_prompt_waits_while_decodes_run(self):
+        running = [make_state(1, 2, running=True)]
+        waiting = [make_state(0, 50)]
+        plan = plan_step(waiting, running, FcfsPolicy(), 8, 8)
+        assert plan.prefills == []
+
+    def test_policy_shapes_admission(self):
+        waiting = [make_state(0, 7), make_state(1, 3)]
+        fcfs = plan_step(waiting, [], FcfsPolicy(), 8, 8)
+        spf = plan_step(waiting, [], ShortestPromptFirstPolicy(), 8, 8)
+        assert [s.request.request_id for s in fcfs.prefills] == [0]
+        assert [s.request.request_id for s in spf.prefills] == [1]
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ModelError):
+            plan_step([], [], FcfsPolicy(), 0, 8)
+        with pytest.raises(ModelError):
+            plan_step([], [], FcfsPolicy(), 8, 0)
+
+    def test_empty_plan(self):
+        plan = plan_step([], [], FcfsPolicy(), 8, 8)
+        assert plan.empty
+        assert plan.budget_tokens == 0
