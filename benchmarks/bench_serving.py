@@ -3,15 +3,19 @@
 Compares sequential ``generate()`` decoding against the
 :mod:`repro.serve` engine at several batch sizes, in FP16 and
 Anda-compressed KV modes, and records tokens/sec, per-request latency,
-and simulated DRAM traffic.  Results are written to
-``BENCH_serving.json`` so CI can accumulate a perf trajectory as a
-workflow artifact.
+and simulated DRAM traffic.  A second section benchmarks the paged KV
+pool on a *shared-prefix* workload (N requests behind one common
+system prompt): prefix caching on vs off, tracking prefill positions
+actually computed, prefix-hit tokens, and the simulated DRAM bytes the
+hits avoided.  Results are written to ``BENCH_serving.json`` so CI can
+accumulate a perf trajectory as a workflow artifact.
 
 Usage::
 
     python benchmarks/bench_serving.py                  # full sweep
     python benchmarks/bench_serving.py --smoke          # CI-sized run
     python benchmarks/bench_serving.py --kv-mode anda --batch-sizes 1,4,8
+    python benchmarks/bench_serving.py --shared-prefix 0   # skip that section
 
 Unlike the paper-figure benchmarks (which run under pytest-benchmark),
 this is a standalone script: serving throughput is a trajectory we
@@ -37,6 +41,10 @@ from repro.llm.generation import generate  # noqa: E402
 from repro.llm.kv_quant import make_cache_factory  # noqa: E402
 from repro.llm.zoo import get_model  # noqa: E402
 from repro.serve import Engine, EngineConfig, serve_batch  # noqa: E402
+
+#: Shared-prefix workload sizes (requests) for full and --smoke runs.
+SHARED_PREFIX_DEFAULT = 8
+SHARED_PREFIX_SMOKE = 4
 
 
 def make_prompts(count: int, vocab_size: int, seed: int = 0) -> list[np.ndarray]:
@@ -123,6 +131,98 @@ def bench_kv_mode(model, prompts, max_new_tokens, batch_sizes, kv_mode, bits):
     return rows
 
 
+def make_shared_prefix_prompts(
+    count: int, vocab_size: int, common_len: int = 48, tail_len: int = 4, seed: int = 1
+) -> list[np.ndarray]:
+    """N requests sharing one system prompt, each with a unique tail."""
+    rng = np.random.default_rng(seed)
+    system = rng.integers(0, vocab_size, size=common_len)
+    return [
+        np.concatenate([system, rng.integers(0, vocab_size, size=tail_len)])
+        for _ in range(count)
+    ]
+
+
+def bench_shared_prefix(model, num_requests, max_new_tokens, kv_mode, bits):
+    """Paged-pool shared-prefix workload: prefix caching on vs off.
+
+    Returns one row per configuration; parity across configurations is
+    asserted (same tokens with and without sharing).
+    """
+    prompts = make_shared_prefix_prompts(num_requests, model.config.vocab_size)
+    prompt_positions = sum(len(prompt) for prompt in prompts)
+    rows = []
+    results_by_variant = {}
+    for variant, prefix_caching in (("kv_pool", False), ("kv_pool+prefix", True)):
+        engine = Engine(
+            model,
+            EngineConfig(
+                max_batch_size=num_requests,
+                max_batch_tokens=max(256, 64 * num_requests),
+                kv_mode=kv_mode,
+                kv_mantissa_bits=bits,
+                kv_pool=True,
+                kv_pool_blocks=max(64, 8 * num_requests),
+                kv_block_size=16,
+                prefix_caching=prefix_caching,
+            ),
+        )
+        results_by_variant[variant] = serve_batch(
+            model, prompts, max_new_tokens, engine=engine
+        )
+        metrics = engine.metrics()
+        rows.append(
+            {
+                "mode": variant,
+                "workload": "shared_prefix",
+                "kv_mode": kv_mode,
+                "batch_size": num_requests,
+                "tokens_per_second": metrics.tokens_per_second,
+                "total_seconds": metrics.total_seconds,
+                "prefill_positions_computed": (
+                    prompt_positions - metrics.prefix_hit_tokens
+                ),
+                "prefix_hit_tokens": metrics.prefix_hit_tokens,
+                "prefix_saved_bytes": metrics.prefix_saved_bytes,
+                "preemptions": metrics.preemptions,
+                "dram_bytes_total": metrics.traffic.total_bytes,
+            }
+        )
+    for first, second in zip(
+        results_by_variant["kv_pool"], results_by_variant["kv_pool+prefix"]
+    ):
+        if not np.array_equal(first.tokens, second.tokens):
+            raise SystemExit(
+                "PARITY FAILURE: prefix-cached decode diverged from the "
+                "uncached paged engine"
+            )
+    baseline, cached = rows
+    cached["speedup_vs_no_prefix"] = (
+        cached["tokens_per_second"] / baseline["tokens_per_second"]
+        if baseline["tokens_per_second"]
+        else 0.0
+    )
+    cached["dram_saved_vs_no_prefix"] = (
+        baseline["dram_bytes_total"] - cached["dram_bytes_total"]
+    )
+    return rows
+
+
+def render_shared_prefix(rows) -> str:
+    lines = [
+        f"{'kv':>5} {'mode':>15} {'reqs':>5} {'tok/s':>9} "
+        f"{'hit tok':>8} {'saved MB':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['kv_mode']:>5} {row['mode']:>15} {row['batch_size']:>5} "
+            f"{row['tokens_per_second']:>9.1f} "
+            f"{row['prefix_hit_tokens']:>8} "
+            f"{row['prefix_saved_bytes'] / 1e6:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
 def render(rows) -> str:
     lines = [
         f"{'kv':>5} {'mode':>10} {'batch':>5} {'tok/s':>9} "
@@ -163,6 +263,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--kv-mantissa-bits", type=int, default=8)
     parser.add_argument(
+        "--shared-prefix",
+        type=int,
+        default=None,
+        help=(
+            "requests in the shared-prefix KV-pool workload; 0 skips it "
+            f"(default {SHARED_PREFIX_DEFAULT}, {SHARED_PREFIX_SMOKE} "
+            "with --smoke)"
+        ),
+    )
+    parser.add_argument(
         "--output", default="BENCH_serving.json", help="result JSON path"
     )
     args = parser.parse_args(argv)
@@ -175,6 +285,12 @@ def main(argv: list[str] | None = None) -> int:
         args.max_new_tokens = 8 if args.smoke else 24
     if args.batch_sizes is None:
         args.batch_sizes = "4" if args.smoke else "2,4,8"
+    if args.shared_prefix is None:
+        args.shared_prefix = SHARED_PREFIX_SMOKE if args.smoke else (
+            SHARED_PREFIX_DEFAULT
+        )
+    if args.shared_prefix < 0:
+        parser.error("--shared-prefix must be >= 0")
 
     try:
         batch_sizes = [int(part) for part in args.batch_sizes.split(",") if part]
@@ -206,6 +322,21 @@ def main(argv: list[str] | None = None) -> int:
         )
     print(render(rows))
 
+    shared_rows = []
+    if args.shared_prefix:
+        for kv_mode in kv_modes:
+            shared_rows.extend(
+                bench_shared_prefix(
+                    model,
+                    args.shared_prefix,
+                    args.max_new_tokens,
+                    kv_mode,
+                    args.kv_mantissa_bits,
+                )
+            )
+        print()
+        print(render_shared_prefix(shared_rows))
+
     payload = {
         "benchmark": "serving_throughput",
         "model": args.model,
@@ -214,6 +345,7 @@ def main(argv: list[str] | None = None) -> int:
         "smoke": args.smoke,
         "python": platform.python_version(),
         "results": rows,
+        "shared_prefix_results": shared_rows,
     }
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2) + "\n")

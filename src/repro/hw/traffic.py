@@ -132,6 +132,7 @@ def prefill_traffic(
     config: ModelConfig,
     prompt_length: int,
     kv_bits_per_element: float = 16.0,
+    cached_prefix_tokens: int = 0,
 ) -> StepTraffic:
     """Traffic of prefilling one prompt (whole-sequence forward).
 
@@ -140,16 +141,55 @@ def prefill_traffic(
     K/V history, and moves per-token activations.  Attention reads the
     growing in-flight history from on-chip buffers in this model, so no
     KV *read* traffic is charged to DRAM during prefill.
+
+    ``cached_prefix_tokens`` accounts a prefix-cache hit: positions
+    served from shared physical blocks are neither recomputed nor
+    re-written, so only the uncached suffix is charged for KV writes
+    and activation movement (:func:`prefix_cache_savings` quantifies
+    the avoided bytes).
     """
     if prompt_length < 1:
         raise HardwareError(f"prompt length must be >= 1, got {prompt_length}")
+    if not 0 <= cached_prefix_tokens < prompt_length:
+        raise HardwareError(
+            f"cached prefix ({cached_prefix_tokens}) must lie in "
+            f"[0, {prompt_length}) — a fully cached prompt runs no prefill"
+        )
+    computed = prompt_length - cached_prefix_tokens
     kv_bytes_per_element = kv_bits_per_element / 8.0
     return StepTraffic(
         weight_bytes=_weight_bytes(config),
-        kv_write_bytes=prompt_length
+        kv_write_bytes=computed
         * _kv_elements_per_position(config)
         * kv_bytes_per_element,
-        activation_bytes=prompt_length * _activation_bytes_per_token(config),
+        activation_bytes=computed * _activation_bytes_per_token(config),
+    )
+
+
+def prefix_cache_savings(
+    config: ModelConfig,
+    cached_prefix_tokens: int,
+    kv_bits_per_element: float = 16.0,
+) -> StepTraffic:
+    """DRAM traffic a prefix-cache hit avoided for one prefill.
+
+    The avoided streams are the cached positions' K/V writes and
+    activation movement — the difference between a full
+    :func:`prefill_traffic` charge and the suffix-only charge the
+    paged engine actually pays.  (The weight stream is not avoided:
+    the suffix forward still reads every weight once.)
+    """
+    if cached_prefix_tokens < 0:
+        raise HardwareError(
+            f"cached prefix tokens must be >= 0, got {cached_prefix_tokens}"
+        )
+    kv_bytes_per_element = kv_bits_per_element / 8.0
+    return StepTraffic(
+        kv_write_bytes=cached_prefix_tokens
+        * _kv_elements_per_position(config)
+        * kv_bytes_per_element,
+        activation_bytes=cached_prefix_tokens
+        * _activation_bytes_per_token(config),
     )
 
 

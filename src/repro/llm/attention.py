@@ -98,10 +98,19 @@ def _rotate_half_np(x: np.ndarray) -> np.ndarray:
 class KVCache:
     """Per-layer key/value history for incremental decoding (FP16).
 
-    Subclasses override :meth:`compress` (a row-local transform applied
-    on write) and :meth:`compression_key`; the batched decode path uses
-    those to compress a whole batch's K/V in one call and then append
-    per request via :meth:`append_precompressed`.
+    Two subclass seams keep every cache variant on one append path:
+
+    * **compression** — :meth:`compress` (a row-local transform applied
+      on write) and :meth:`compression_key`; the batched decode path
+      uses those to compress a whole batch's K/V in one call and then
+      append per request via :meth:`append_precompressed`.
+    * **storage** — :meth:`_store` (persist float16 rows) and
+      :meth:`view` (return the full float32 history).  This class keeps
+      one contiguous array per tensor; the paged subclass
+      (:class:`repro.serve.kvpool.paged.PagedKVCache`) scatters rows
+      into pool blocks on write and gathers the non-contiguous blocks
+      on read.  Because both store the same float16 bytes, the two are
+      bitwise interchangeable under ``step`` / ``step_batch``.
     """
 
     keys: np.ndarray = field(default=None)  # type: ignore[assignment]
@@ -122,13 +131,19 @@ class KVCache:
         self, k: np.ndarray, v: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Append K/V already passed through :meth:`compress`."""
-        k16 = k.astype(np.float16)
-        v16 = v.astype(np.float16)
+        self._store(k.astype(np.float16), v.astype(np.float16))
+        return self.view()
+
+    def _store(self, k16: np.ndarray, v16: np.ndarray) -> None:
+        """Persist new float16 rows (contiguous growth here)."""
         if self.keys is None:
             self.keys, self.values = k16, v16
         else:
             self.keys = np.concatenate([self.keys, k16], axis=2)
             self.values = np.concatenate([self.values, v16], axis=2)
+
+    def view(self) -> tuple[np.ndarray, np.ndarray]:
+        """Full cached history as float32 ``(batch, heads, time, hd)``."""
         return self.keys.astype(np.float32), self.values.astype(np.float32)
 
     @property

@@ -25,6 +25,20 @@ from repro.llm.attention import KVCache
 from repro.llm.transformer import CausalLM
 
 
+def validate_kv_mantissa_bits(mantissa_bits: int) -> None:
+    """Reject out-of-range Anda KV mantissa lengths."""
+    if not 1 <= mantissa_bits <= 16:
+        raise ModelError(
+            f"KV mantissa bits must be in [1, 16], got {mantissa_bits}"
+        )
+
+
+def anda_kv_bits_per_element(mantissa_bits: int) -> float:
+    """Stored bits per Anda-cached element: sign + mantissa + shared exp."""
+    validate_kv_mantissa_bits(mantissa_bits)
+    return 1 + mantissa_bits + 8 / 64
+
+
 def _fp16_factory(model: CausalLM, mantissa_bits: int) -> Callable[[], list[KVCache]]:
     return model.new_cache
 
@@ -33,28 +47,37 @@ def _fp16_bits(mantissa_bits: int) -> float:
     return 16.0
 
 
+def _fp16_codec(mantissa_bits: int) -> KVCache:
+    return KVCache()
+
+
 def _anda_factory(model: CausalLM, mantissa_bits: int) -> Callable[[], list[KVCache]]:
-    AndaKVCache(mantissa_bits=mantissa_bits)  # validate eagerly
+    validate_kv_mantissa_bits(mantissa_bits)  # fail eagerly, not mid-step
     return lambda: quantized_cache_factory(model, mantissa_bits)
 
 
 def _anda_bits(mantissa_bits: int) -> float:
-    return AndaKVCache(mantissa_bits=mantissa_bits).storage_bits_per_element()
+    return anda_kv_bits_per_element(mantissa_bits)
 
 
-#: Single dispatch table: mode -> (cache factory builder, bits-per-element).
-#: Registering a new KV mode here is the only edit needed for
-#: make_cache_factory, kv_bits_per_element, and EngineConfig validation.
-_KV_MODE_REGISTRY: dict[str, tuple[Callable, Callable]] = {
-    "fp16": (_fp16_factory, _fp16_bits),
-    "anda": (_anda_factory, _anda_bits),
+def _anda_codec(mantissa_bits: int) -> KVCache:
+    return AndaKVCache(mantissa_bits=mantissa_bits)
+
+
+#: Single dispatch table: mode -> (cache factory builder, bits-per-element,
+#: block codec).  Registering a new KV mode here is the only edit needed
+#: for make_cache_factory, kv_bits_per_element, make_kv_codec, and
+#: EngineConfig validation.
+_KV_MODE_REGISTRY: dict[str, tuple[Callable, Callable, Callable]] = {
+    "fp16": (_fp16_factory, _fp16_bits, _fp16_codec),
+    "anda": (_anda_factory, _anda_bits, _anda_codec),
 }
 
 #: KV-cache modes the serving engine understands.
 KV_MODES = tuple(_KV_MODE_REGISTRY)
 
 
-def _lookup_mode(mode: str) -> tuple[Callable, Callable]:
+def _lookup_mode(mode: str) -> tuple[Callable, Callable, Callable]:
     try:
         return _KV_MODE_REGISTRY[mode]
     except KeyError:
@@ -74,10 +97,7 @@ class AndaKVCache(KVCache):
     mantissa_bits: int = 8
 
     def __post_init__(self) -> None:
-        if not 1 <= self.mantissa_bits <= 16:
-            raise ModelError(
-                f"KV mantissa bits must be in [1, 16], got {self.mantissa_bits}"
-            )
+        validate_kv_mantissa_bits(self.mantissa_bits)
 
     def compress(self, tensor: np.ndarray) -> np.ndarray:
         """Round-trip K/V through the Anda format (row-local, so the
@@ -89,7 +109,7 @@ class AndaKVCache(KVCache):
 
     def storage_bits_per_element(self) -> float:
         """Cache footprint per element vs FP16's 16 bits."""
-        return 1 + self.mantissa_bits + 8 / 64
+        return anda_kv_bits_per_element(self.mantissa_bits)
 
 
 def quantized_cache_factory(model: CausalLM, mantissa_bits: int):
@@ -122,7 +142,7 @@ def make_cache_factory(
     path.  Raises :class:`~repro.errors.ModelError` for unknown modes
     or out-of-range mantissa lengths.
     """
-    factory_builder, _ = _lookup_mode(mode)
+    factory_builder, _, _ = _lookup_mode(mode)
     return factory_builder(model, mantissa_bits)
 
 
@@ -133,5 +153,17 @@ def kv_bits_per_element(mode: str = "fp16", mantissa_bits: int = 8) -> float:
     out-of-range mantissa lengths, which makes it double as the
     engine's construct-time validation of its KV configuration.
     """
-    _, bits_fn = _lookup_mode(mode)
+    _, bits_fn, _ = _lookup_mode(mode)
     return bits_fn(mantissa_bits)
+
+
+def make_kv_codec(mode: str = "fp16", mantissa_bits: int = 8) -> KVCache:
+    """Write-side codec for the paged KV pool.
+
+    Returns an *unpaged* cache instance of the mode's class; the pool's
+    block-backed caches delegate ``compress`` / ``compression_key`` to
+    it, so paged storage round-trips bytes through exactly the transform
+    the unpaged path applies.
+    """
+    _, _, codec_builder = _lookup_mode(mode)
+    return codec_builder(mantissa_bits)

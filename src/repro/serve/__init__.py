@@ -12,8 +12,14 @@ and shrinking the per-request KV stream (the Anda KV format of
 * :func:`~repro.serve.engine.serve_batch` — synchronous convenience
   wrapper for a fixed batch of prompts;
 * scheduler policies (FCFS, shortest-prompt-first) under a
-  ``max_batch_tokens`` budget (:mod:`repro.serve.scheduler`);
-* per-request latency and aggregate throughput/traffic metrics
+  ``max_batch_tokens`` budget — and, in paged mode, the KV pool's
+  free-block budget (:mod:`repro.serve.scheduler`);
+* the paged KV-cache memory subsystem — block allocator with
+  copy-on-write, prefix-sharing radix cache, recompute-on-resume
+  preemption — enabled per engine with ``EngineConfig(kv_pool=True)``
+  (:mod:`repro.serve.kvpool`);
+* per-request latency and aggregate throughput/traffic metrics,
+  including preemption / eviction / prefix-hit counters
   (:mod:`repro.serve.metrics`).
 
 See ``src/repro/serve/README.md`` for a walkthrough and
@@ -21,6 +27,15 @@ See ``src/repro/serve/README.md`` for a walkthrough and
 """
 
 from repro.serve.engine import Engine, EngineConfig, serve_batch
+from repro.serve.kvpool import (
+    BlockAllocator,
+    KVPool,
+    OutOfBlocksError,
+    PagedKVCache,
+    Preemptor,
+    PrefixCache,
+    SequenceKV,
+)
 from repro.serve.metrics import EngineMetrics, StepReport, summarize
 from repro.serve.request import (
     CompletedRequest,
@@ -32,6 +47,7 @@ from repro.serve.request import (
 from repro.serve.scheduler import (
     POLICIES,
     FcfsPolicy,
+    KVBlockPlanner,
     SchedulerPolicy,
     ShortestPromptFirstPolicy,
     StepPlan,
@@ -41,16 +57,24 @@ from repro.serve.scheduler import (
 
 __all__ = [
     "POLICIES",
+    "BlockAllocator",
     "CompletedRequest",
     "Engine",
     "EngineConfig",
     "EngineMetrics",
     "FcfsPolicy",
+    "KVBlockPlanner",
+    "KVPool",
+    "OutOfBlocksError",
+    "PagedKVCache",
+    "Preemptor",
+    "PrefixCache",
     "Request",
     "RequestMetrics",
     "RequestState",
     "RequestStatus",
     "SchedulerPolicy",
+    "SequenceKV",
     "ShortestPromptFirstPolicy",
     "StepPlan",
     "StepReport",

@@ -18,10 +18,21 @@ back to the per-request states.  Every emitted token is bitwise
 identical to what a sequential :func:`repro.llm.generation.generate`
 call would produce — the parity tests pin this down for FP16 and
 Anda-compressed KV caches.
+
+With ``kv_pool=True`` the engine swaps per-request exact-length caches
+for the paged memory subsystem (:mod:`repro.serve.kvpool`): KV lives
+in a fixed pool of refcounted blocks, requests sharing a prompt prefix
+map the same physical blocks (skipping the shared prefill compute and
+KV writes), admission is planned against the free-block budget, and
+under pool pressure the engine preempts the latest-arrived running
+requests (recompute-on-resume) so admission never deadlocks.  Paged
+decode stores the same float16 bytes the unpaged path stores, so token
+parity is preserved bitwise in both KV modes.
 """
 
 from __future__ import annotations
 
+import bisect
 import itertools
 import time
 from dataclasses import dataclass
@@ -29,10 +40,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ModelError
-from repro.hw.traffic import StepTraffic, decode_step_traffic, prefill_traffic
+from repro.hw.traffic import (
+    StepTraffic,
+    decode_step_traffic,
+    prefill_traffic,
+    prefix_cache_savings,
+)
 from repro.llm.generation import select_next_token
-from repro.llm.kv_quant import kv_bits_per_element, make_cache_factory
+from repro.llm.kv_quant import kv_bits_per_element, make_cache_factory, make_kv_codec
 from repro.llm.transformer import CausalLM
+from repro.serve.kvpool.pool import DEFAULT_BLOCK_SIZE, KVPool
+from repro.serve.kvpool.preempt import Preemptor
 from repro.serve.metrics import EngineMetrics, StepReport, summarize
 from repro.serve.request import (
     CompletedRequest,
@@ -58,6 +76,15 @@ class EngineConfig:
         kv_mode: ``"fp16"`` (paper baseline) or ``"anda"`` (compressed
             KV through :mod:`repro.llm.kv_quant`).
         kv_mantissa_bits: Anda mantissa length when ``kv_mode="anda"``.
+        kv_pool: store KV in the paged block pool
+            (:mod:`repro.serve.kvpool`) instead of per-request
+            exact-length caches.
+        kv_pool_blocks: physical blocks in the pool (kv_pool mode).
+        kv_block_size: token positions per block; defaults to 64, the
+            Anda group size (any size stays bitwise exact — grouping is
+            per position along the head dimension).
+        prefix_caching: share prompt-prefix blocks across requests
+            (kv_pool mode).
     """
 
     max_batch_size: int = 8
@@ -65,6 +92,10 @@ class EngineConfig:
     policy: str = "fcfs"
     kv_mode: str = "fp16"
     kv_mantissa_bits: int = 8
+    kv_pool: bool = False
+    kv_pool_blocks: int = 64
+    kv_block_size: int = DEFAULT_BLOCK_SIZE
+    prefix_caching: bool = True
 
     def __post_init__(self) -> None:
         # A bad config must fail at construction, never mid-step with
@@ -75,6 +106,12 @@ class EngineConfig:
             raise ModelError(
                 f"max_batch_tokens must be >= 1, got {self.max_batch_tokens}"
             )
+        if self.kv_pool_blocks < 2:
+            # One block of CoW slack is always reserved, so a 1-block
+            # pool could not hold even a 1-token request.
+            raise ModelError(f"kv_pool_blocks must be >= 2, got {self.kv_pool_blocks}")
+        if self.kv_block_size < 1:
+            raise ModelError(f"kv_block_size must be >= 1, got {self.kv_block_size}")
         kv_bits_per_element(self.kv_mode, self.kv_mantissa_bits)
 
     @property
@@ -93,6 +130,16 @@ class Engine:
         self._cache_factory = make_cache_factory(
             model, self.config.kv_mode, self.config.kv_mantissa_bits
         )
+        self._pool: KVPool | None = None
+        self._preemptor = Preemptor()
+        if self.config.kv_pool:
+            self._pool = KVPool(
+                model.config,
+                num_blocks=self.config.kv_pool_blocks,
+                block_size=self.config.kv_block_size,
+                codec=make_kv_codec(self.config.kv_mode, self.config.kv_mantissa_bits),
+                enable_prefix_cache=self.config.prefix_caching,
+            )
         self._ids = itertools.count()
         self._waiting: list[RequestState] = []
         self._running: list[RequestState] = []
@@ -137,6 +184,16 @@ class Engine:
                 f"prompt token ids must lie in [0, {vocab}); a deferred "
                 "prefill failure would lose the request"
             )
+        if self._pool is not None:
+            needed = self._pool.blocks_for_tokens(total)
+            limit = self._pool.max_sequence_blocks()
+            if needed > limit:
+                raise ModelError(
+                    f"request needs {needed} KV blocks "
+                    f"({total} tokens at block size "
+                    f"{self._pool.block_size}) but the pool guarantees "
+                    f"only {limit}; raise kv_pool_blocks"
+                )
         state = RequestState(
             request=request,
             arrival_step=self._step_index,
@@ -155,7 +212,10 @@ class Engine:
 
         Decodes run first against the step's starting context lengths,
         then admitted prefills run; a freshly prefilled request joins
-        the decode batch from the *next* step.
+        the decode batch from the *next* step.  In kv_pool mode the
+        decode batch first reserves its block growth — preempting the
+        latest-arrived running requests when the pool cannot cover it —
+        and prefills go through the prefix cache.
         """
         started = time.perf_counter()  # include scheduling in step cost
         plan = plan_step(
@@ -164,59 +224,183 @@ class Engine:
             self._policy,
             self.config.max_batch_size,
             self.config.max_batch_tokens,
+            blocks=(None if self._pool is None else self._pool.planner(self._running)),
         )
         traffic = StepTraffic()
         new_tokens = 0
+        preemptions = 0
+        prefix_hit_tokens = 0
+        saved = StepTraffic()
+        evicted_before = 0 if self._pool is None else self._pool.evicted_blocks
 
-        if plan.decodes:
+        decodes = list(plan.decodes)
+        if self._pool is not None:
+            decodes, preemptions = self._reserve_decode_blocks(decodes)
+
+        if decodes:
             traffic = traffic + decode_step_traffic(
                 self.model.config,
-                [state.context_length for state in plan.decodes],
+                [state.context_length for state in decodes],
                 kv_bits_per_element=self.config.kv_bits,
                 batched=True,
             )
-            tokens = np.array([[state.last_token] for state in plan.decodes])
+            tokens = np.array([[state.last_token] for state in decodes])
             logits = self.model.forward_decode_batch(
-                tokens, [state.caches for state in plan.decodes]
+                tokens, [state.caches for state in decodes]
             )
-            for index, state in enumerate(plan.decodes):
+            for index, state in enumerate(decodes):
                 self._emit(state, logits[index, -1, :])
                 new_tokens += 1
 
         for state in plan.prefills:
-            # Run the fallible work (cache build, model prefill) before
-            # dequeuing: if either raises, the request stays queued
-            # instead of vanishing.
-            state.caches = self._cache_factory()
-            logits = self.model.forward_step(
-                state.request.prompt.reshape(1, -1), state.caches
-            )
-            self._waiting.remove(state)
-            state.status = RequestStatus.RUNNING
-            traffic = traffic + prefill_traffic(
-                self.model.config,
-                state.request.prompt_length,
-                kv_bits_per_element=self.config.kv_bits,
-            )
-            self._running.append(state)
-            self._emit(state, logits[0, -1, :], first=True)
-            new_tokens += 1
+            if self._pool is None:
+                # Run the fallible work (cache build, model prefill)
+                # before dequeuing: if either raises, the request stays
+                # queued instead of vanishing.
+                state.caches = self._cache_factory()
+                logits = self.model.forward_step(
+                    state.request.prompt.reshape(1, -1), state.caches
+                )
+                self._waiting.remove(state)
+                state.status = RequestStatus.RUNNING
+                traffic = traffic + prefill_traffic(
+                    self.model.config,
+                    state.request.prompt_length,
+                    kv_bits_per_element=self.config.kv_bits,
+                )
+                self._running.append(state)
+                self._emit(state, logits[0, -1, :], first=True)
+                new_tokens += 1
+            else:
+                hit, prefill_cost, emitted = self._prefill_paged(state)
+                traffic = traffic + prefill_cost
+                new_tokens += emitted
+                prefix_hit_tokens += hit
+                if hit:
+                    saved = saved + prefix_cache_savings(
+                        self.model.config,
+                        hit,
+                        kv_bits_per_element=self.config.kv_bits,
+                    )
 
-        self._running = [
-            state for state in self._running if state.status is RequestStatus.RUNNING
-        ]
         report = StepReport(
             step=self._step_index,
             prefills=len(plan.prefills),
-            decodes=len(plan.decodes),
+            decodes=len(decodes),
             new_tokens=new_tokens,
-            batch_tokens=plan.budget_tokens,
+            batch_tokens=len(decodes)
+            + sum(state.prefill_tokens for state in plan.prefills),
             elapsed_seconds=time.perf_counter() - started,
             traffic=traffic,
+            preemptions=preemptions,
+            evicted_blocks=(
+                0
+                if self._pool is None
+                else self._pool.evicted_blocks - evicted_before
+            ),
+            prefix_hit_tokens=prefix_hit_tokens,
+            prefix_saved_bytes=saved.total_bytes,
         )
         self._reports.append(report)
         self._step_index += 1
         return report
+
+    # -- paged KV pool paths ----------------------------------------------
+
+    def _reserve_decode_blocks(
+        self, decodes: list[RequestState]
+    ) -> tuple[list[RequestState], int]:
+        """Shrink the decode batch until its block growth fits the pool.
+
+        Every surviving decode appends one position this step; when the
+        pool (free plus reclaimable prefix-cache blocks) cannot cover
+        the worst-case growth, the latest-arrived request is preempted —
+        its blocks return to the pool and it re-enters the waiting
+        queue for recompute-on-resume.
+        """
+        assert self._pool is not None
+        preemptions = 0
+        while decodes:
+            demand = sum(state.kv.blocks_for_append(1) for state in decodes)
+            if demand <= self._pool.free_blocks + self._pool.reclaimable_blocks:
+                break
+            victim = self._preemptor.select_victim(decodes)
+            decodes.remove(victim)
+            self._preempt(victim)
+            preemptions += 1
+        return decodes, preemptions
+
+    def _preempt(self, state: RequestState) -> None:
+        """Evict a running request's KV residency (recompute-on-resume)."""
+        self._running.remove(state)
+        state.kv.release()
+        state.kv = None
+        state.caches = None
+        state.status = RequestStatus.WAITING
+        state.preemptions += 1
+        # Re-enter the waiting queue in arrival order so FCFS resumes
+        # the oldest preempted request first.
+        index = bisect.bisect_left(
+            [waiting.request.request_id for waiting in self._waiting],
+            state.request.request_id,
+        )
+        self._waiting.insert(index, state)
+
+    def _prefill_paged(self, state: RequestState) -> tuple[int, StepTraffic, int]:
+        """Prefill (or resume) one request through the paged pool.
+
+        A fresh request maps any cached prompt prefix, prefills only
+        the uncached suffix, and emits its first token.  A resumed
+        (previously preempted) request rebuilds its cache bitwise by
+        replaying its exact original call pattern — suffix prefill,
+        then one single-token step per already-emitted token — and
+        emits nothing until it rejoins the decode batch.
+
+        Returns ``(prefix_hit_tokens, traffic, tokens_emitted)``.
+        """
+        assert self._pool is not None
+        request = state.request
+        prompt = request.prompt
+        resumed = bool(state.generated)
+        seq = self._pool.create_sequence(prompt, reserve_logits=not resumed)
+        hit = seq.shared_tokens
+        logits = None
+        try:
+            state.kv = seq
+            state.caches = seq.caches
+            traffic = StepTraffic()
+            suffix = prompt[hit:]
+            if suffix.size:
+                logits = self.model.forward_step(suffix.reshape(1, -1), state.caches)
+                traffic = traffic + prefill_traffic(
+                    self.model.config,
+                    request.prompt_length,
+                    kv_bits_per_element=self.config.kv_bits,
+                    cached_prefix_tokens=hit,
+                )
+            for token in state.generated[:-1]:
+                context = state.context_length
+                self.model.forward_step(np.array([[token]]), state.caches)
+                traffic = traffic + decode_step_traffic(
+                    self.model.config,
+                    [context],
+                    kv_bits_per_element=self.config.kv_bits,
+                )
+        except Exception:
+            # The request stays queued; give its references back so a
+            # failed prefill cannot leak pool blocks.
+            seq.release()
+            state.kv = None
+            state.caches = None
+            raise
+        self._waiting.remove(state)
+        state.status = RequestStatus.RUNNING
+        self._pool.register_prefix(seq, prompt)
+        self._running.append(state)
+        if resumed:
+            return hit, traffic, 0
+        self._emit(state, logits[0, -1, :], first=True)
+        return hit, traffic, 1
 
     def _emit(
         self, state: RequestState, logits: np.ndarray, first: bool = False
@@ -237,23 +421,67 @@ class Engine:
             state.status = RequestStatus.FINISHED
             state.finish_step = self._step_index
             state.finish_time = time.perf_counter()
+            if state.kv is not None:
+                # Drop the request's block references; blocks shared
+                # through the prefix cache stay resident for future hits.
+                state.kv.release()
+                state.kv = None
             state.caches = None  # release KV memory
+            # Leave the running set immediately (not at end of step): if
+            # a later prefill in the same step raises, the request must
+            # not linger in _running with its caches already released.
+            if state in self._running:
+                self._running.remove(state)
             done = complete(state)
             self._finished[request.request_id] = done
             self._request_records.append(done.metrics)
 
     # -- collection -------------------------------------------------------
 
-    def drain(self) -> list[CompletedRequest]:
+    def drain(self, max_steps: int | None = None) -> list[CompletedRequest]:
         """Step until idle; return uncollected finished requests by id.
 
         Collect-once semantics (like :meth:`pop_finished`): returned
         results are released, so a long-lived engine reused across many
         batches does not retain every token array ever served.
         Aggregate metrics keep accumulating regardless.
+
+        Args:
+            max_steps: optional guard — raise
+                :class:`~repro.errors.ModelError` instead of looping
+                forever if the queue has not drained after this many
+                steps (e.g. a scheduler bug starving a request, or
+                preemption thrash in an undersized KV pool).
+
+        A step that makes no progress at all (no prefill, no decode, no
+        preemption) while requests are still queued is a scheduler
+        invariant violation and raises immediately, ``max_steps`` or
+        not.
         """
+        if max_steps is not None and max_steps < 1:
+            raise ModelError(f"max_steps must be >= 1, got {max_steps}")
+        steps = 0
         while self.has_work():
-            self.step()
+            if max_steps is not None and steps >= max_steps:
+                raise ModelError(
+                    f"drain did not finish within max_steps={max_steps}: "
+                    f"{len(self._waiting)} waiting / {len(self._running)} "
+                    "running requests remain"
+                )
+            report = self.step()
+            steps += 1
+            no_progress = (
+                report.prefills == 0
+                and report.decodes == 0
+                and report.preemptions == 0
+            )
+            if no_progress and self.has_work():
+                raise ModelError(
+                    "scheduler made no progress with requests queued "
+                    f"({len(self._waiting)} waiting / {len(self._running)} "
+                    "running); this is a scheduling bug, not a capacity "
+                    "limit"
+                )
         return self.pop_finished()
 
     def pop_finished(self) -> list[CompletedRequest]:

@@ -1,0 +1,35 @@
+"""Paged KV-cache memory subsystem for the serving engine.
+
+vLLM-style KV paging over the numpy substrate: a fixed pool of
+physical blocks (:class:`~repro.serve.kvpool.pool.KVPool`) managed by
+a refcounted free-list allocator with copy-on-write
+(:class:`~repro.serve.kvpool.allocator.BlockAllocator`), block-backed
+per-request caches that plug into the existing attention paths
+(:class:`~repro.serve.kvpool.paged.PagedKVCache` /
+:class:`~repro.serve.kvpool.paged.SequenceKV`), a radix-trie prefix
+cache that maps shared prompt prefixes onto shared physical blocks
+(:class:`~repro.serve.kvpool.prefix.PrefixCache`), and a preemption
+policy for recompute-on-resume eviction under pool pressure
+(:class:`~repro.serve.kvpool.preempt.Preemptor`).
+
+Enable it per engine with ``EngineConfig(kv_pool=True)``; see
+``src/repro/serve/README.md`` for sizing and policy notes.
+"""
+
+from repro.serve.kvpool.allocator import BlockAllocator, OutOfBlocksError
+from repro.serve.kvpool.paged import PagedKVCache, SequenceKV
+from repro.serve.kvpool.pool import DEFAULT_BLOCK_SIZE, KVPool, PoolPlanner
+from repro.serve.kvpool.preempt import Preemptor
+from repro.serve.kvpool.prefix import PrefixCache
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "BlockAllocator",
+    "KVPool",
+    "OutOfBlocksError",
+    "PagedKVCache",
+    "PoolPlanner",
+    "Preemptor",
+    "PrefixCache",
+    "SequenceKV",
+]

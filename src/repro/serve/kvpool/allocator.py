@@ -1,0 +1,98 @@
+"""Fixed-size physical block allocator for the paged KV pool.
+
+The allocator manages *block ids* only — the :class:`~repro.serve.
+kvpool.pool.KVPool` owns the physical K/V storage those ids index.
+Blocks are reference counted so one physical block can back many
+logical owners at once: a prefix-cache entry, the request that wrote
+it, and any number of requests sharing that prompt prefix.  Frees are
+deferred until the last reference drops, and copy-on-write forks keep
+writers from ever mutating a block another owner can still read.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+
+
+class OutOfBlocksError(ModelError):
+    """The pool has no free block and nothing left to reclaim."""
+
+
+class BlockAllocator:
+    """Free-list allocator with reference counts over a fixed pool.
+
+    Invariants (pinned by the property tests):
+
+    * every block id is either on the free list (refcount 0) or held
+      (refcount >= 1) — never both;
+    * ``free_blocks + used_blocks == num_blocks`` at all times;
+    * a block returns to the free list exactly when its refcount drops
+      to zero.
+
+    Args:
+        num_blocks: physical blocks in the pool.
+    """
+
+    def __init__(self, num_blocks: int) -> None:
+        if num_blocks < 1:
+            raise ModelError(f"num_blocks must be >= 1, got {num_blocks}")
+        self.num_blocks = num_blocks
+        # LIFO free list: recently freed blocks are reused first, which
+        # keeps the working set compact under churn.
+        self._free: list[int] = list(range(num_blocks - 1, -1, -1))
+        self._refcounts: list[int] = [0] * num_blocks
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_blocks(self) -> int:
+        return self.num_blocks - len(self._free)
+
+    def refcount(self, block_id: int) -> int:
+        self._check_id(block_id)
+        return self._refcounts[block_id]
+
+    def is_shared(self, block_id: int) -> bool:
+        """True when more than one owner references the block (CoW gate)."""
+        return self.refcount(block_id) > 1
+
+    # -- lifecycle --------------------------------------------------------
+
+    def allocate(self) -> int:
+        """Take one free block (refcount 1); raises when exhausted."""
+        if not self._free:
+            raise OutOfBlocksError(
+                f"KV pool exhausted: all {self.num_blocks} blocks are in use"
+            )
+        block_id = self._free.pop()
+        self._refcounts[block_id] = 1
+        return block_id
+
+    def incref(self, block_id: int) -> None:
+        """Add an owner to a held block (prefix sharing, cache pinning)."""
+        self._check_held(block_id)
+        self._refcounts[block_id] += 1
+
+    def decref(self, block_id: int) -> bool:
+        """Drop one owner; returns True when the block became free."""
+        self._check_held(block_id)
+        self._refcounts[block_id] -= 1
+        if self._refcounts[block_id] == 0:
+            self._free.append(block_id)
+            return True
+        return False
+
+    # -- helpers ----------------------------------------------------------
+
+    def _check_id(self, block_id: int) -> None:
+        if not 0 <= block_id < self.num_blocks:
+            raise ModelError(f"block id {block_id} out of range [0, {self.num_blocks})")
+
+    def _check_held(self, block_id: int) -> None:
+        self._check_id(block_id)
+        if self._refcounts[block_id] == 0:
+            raise ModelError(f"block {block_id} is not allocated")

@@ -1,0 +1,178 @@
+"""Block-table-backed KV caches: the paged counterpart of ``KVCache``.
+
+A :class:`SequenceKV` is one request's view of the pool: an ordered
+block table (shared across layers — a block holds every layer's K/V
+for its token positions) plus one :class:`PagedKVCache` per layer that
+plugs into the existing attention ``step`` / ``step_batch`` paths.
+Writes scatter new positions into blocks (allocating or copy-on-write
+forking as needed); reads gather the non-contiguous blocks back into
+one contiguous history.  Stored bytes are identical to the unpaged
+``KVCache`` — float16 rows, compressed per position — so paged decode
+is bitwise identical to unpaged decode.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.llm.attention import KVCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pool -> paged)
+    from repro.serve.kvpool.pool import KVPool
+
+
+class PagedKVCache(KVCache):
+    """One layer's KV history stored in pool blocks.
+
+    Drop-in for :class:`~repro.llm.attention.KVCache`: ``append`` /
+    ``append_precompressed`` write through the sequence's block table
+    and return the gathered float32 history, and ``compress`` /
+    ``compression_key`` delegate to the pool's codec so the batched
+    decode path can precompress a whole batch in one call exactly as it
+    does for unpaged caches.
+    """
+
+    def __init__(self, sequence: "SequenceKV", layer: int) -> None:
+        self._sequence = sequence
+        self._layer = layer
+        self._length = sequence.shared_tokens
+
+    def compress(self, tensor: np.ndarray) -> np.ndarray:
+        return self._sequence.pool.codec.compress(tensor)
+
+    def compression_key(self) -> tuple:
+        return self._sequence.pool.codec.compression_key()
+
+    def _store(self, k16: np.ndarray, v16: np.ndarray) -> None:
+        if k16.shape[0] != 1:
+            raise ModelError(f"paged caches hold one request, got batch {k16.shape[0]}")
+        self._sequence.write(self._layer, self._length, k16, v16)
+        self._length += k16.shape[2]
+
+    def view(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._sequence.gather(self._layer, self._length)
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+
+class SequenceKV:
+    """One request's block table plus its per-layer paged caches.
+
+    Created by :meth:`~repro.serve.kvpool.pool.KVPool.create_sequence`,
+    possibly seeded with shared prefix blocks (``shared_tokens`` cached
+    positions the request never recomputes).  The table is append-only
+    from the writer's point of view; the only in-place mutation is the
+    copy-on-write fork that replaces a shared block with a private copy
+    the first time this request writes into it.
+    """
+
+    def __init__(
+        self, pool: "KVPool", block_table: list[int], shared_tokens: int
+    ) -> None:
+        self.pool = pool
+        self.block_table = block_table
+        self.shared_tokens = shared_tokens
+        self.caches = [PagedKVCache(self, layer) for layer in range(pool.n_layers)]
+        self._released = False
+
+    @property
+    def length(self) -> int:
+        """Positions written (layer 0 leads during a forward pass)."""
+        return self.caches[0].length
+
+    @property
+    def capacity(self) -> int:
+        return len(self.block_table) * self.pool.block_size
+
+    def blocks_for_append(self, n_new: int) -> int:
+        """Upper bound on fresh blocks appending ``n_new`` positions needs.
+
+        Counts capacity growth plus one block when the first write
+        would land in a shared block (the copy-on-write fork allocates
+        a private copy while other owners keep the original).
+        """
+        size = self.pool.block_size
+        start, end = self.length, self.length + n_new
+        needed = max(0, -(-end // size) - len(self.block_table))
+        if start < self.capacity and self.pool.allocator.is_shared(
+            self.block_table[start // size]
+        ):
+            needed += 1
+        return needed
+
+    # -- write path -------------------------------------------------------
+
+    def _ensure_writable(self, start: int, end: int) -> None:
+        """Grow the table to ``end`` and privatize touched shared blocks."""
+        size = self.pool.block_size
+        while self.capacity < end:
+            self.block_table.append(self.pool.take_block())
+        allocator = self.pool.allocator
+        for index in range(start // size, -(-end // size)):
+            if allocator.is_shared(self.block_table[index]):
+                self._fork(index)
+
+    def _fork(self, index: int) -> None:
+        """Copy-on-write: replace a shared block with a private copy."""
+        old = self.block_table[index]
+        new = self.pool.take_block()
+        # A block carries every layer's K/V for its positions, so one
+        # fork copies the whole position range across layers.
+        self.pool.keys[:, new] = self.pool.keys[:, old]
+        self.pool.values[:, new] = self.pool.values[:, old]
+        self.pool.allocator.decref(old)
+        self.block_table[index] = new
+        self.pool.cow_forks += 1
+
+    def write(self, layer: int, start: int, k16: np.ndarray, v16: np.ndarray) -> None:
+        """Scatter ``(1, H, T, hd)`` float16 rows into blocks."""
+        new_len = k16.shape[2]
+        self._ensure_writable(start, start + new_len)
+        size = self.pool.block_size
+        position, offset = start, 0
+        while offset < new_len:
+            block = self.block_table[position // size]
+            row = position % size
+            count = min(size - row, new_len - offset)
+            self.pool.keys[layer, block, :, row : row + count] = k16[
+                0, :, offset : offset + count
+            ]
+            self.pool.values[layer, block, :, row : row + count] = v16[
+                0, :, offset : offset + count
+            ]
+            position += count
+            offset += count
+
+    # -- read path --------------------------------------------------------
+
+    def gather(self, layer: int, length: int) -> tuple[np.ndarray, np.ndarray]:
+        """Contiguous float32 ``(1, H, length, hd)`` K/V history."""
+        size = self.pool.block_size
+        k_parts, v_parts = [], []
+        remaining = length
+        for block in self.block_table:
+            if remaining <= 0:
+                break
+            rows = min(size, remaining)
+            k_parts.append(self.pool.keys[layer, block, :, :rows])
+            v_parts.append(self.pool.values[layer, block, :, :rows])
+            remaining -= rows
+        keys = np.concatenate(k_parts, axis=1)[None].astype(np.float32)
+        values = np.concatenate(v_parts, axis=1)[None].astype(np.float32)
+        return keys, values
+
+    # -- teardown ---------------------------------------------------------
+
+    def release(self) -> None:
+        """Drop this sequence's references (blocks may live on, shared)."""
+        if self._released:
+            return
+        for block in self.block_table:
+            self.pool.allocator.decref(block)
+        self.block_table = []
+        self._released = True

@@ -1,0 +1,37 @@
+"""Preemption policy: who loses KV residency under pool pressure.
+
+When a decode step needs more blocks than the pool can free (even
+after reclaiming unreferenced prefix-cache blocks), some running
+request must give its blocks back.  The :class:`Preemptor` picks the
+victims; the engine evicts them with *recompute-on-resume* semantics —
+the victim keeps its emitted tokens and RNG state, returns to the
+waiting queue, and on re-admission replays its exact original call
+pattern (whole-prompt prefill, then one single-token step per decoded
+token) so the rebuilt cache, and every later token, is bitwise
+identical to an uninterrupted run.
+
+Evicting the *latest* arrival first keeps the policy FCFS-fair: the
+oldest requests — the ones closest to finishing, holding the most
+already-paid-for KV — are the last to lose their residency, so
+admission pressure never deadlocks and early requests always drain.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.serve.request import RequestState
+
+
+class Preemptor:
+    """Latest-arrival-first victim selection (lowest priority = newest)."""
+
+    name = "latest-arrival"
+
+    def select_victim(self, candidates: list[RequestState]) -> RequestState:
+        """Pick the running request to evict from ``candidates``."""
+        if not candidates:
+            raise ModelError("no preemption candidates: pool sizing bug")
+        return max(
+            candidates,
+            key=lambda state: (state.arrival_step, state.request.request_id),
+        )

@@ -2,7 +2,10 @@
 
 The engine accumulates one :class:`StepReport` per step; this module
 rolls those plus the per-request records into an :class:`EngineMetrics`
-summary — the object the serving benchmark serializes.
+summary — the object the serving benchmark serializes.  In paged
+KV-pool mode the reports additionally carry the memory subsystem's
+counters: preemptions, prefix-cache block evictions, prefix-hit tokens
+and the DRAM traffic those hits avoided.
 """
 
 from __future__ import annotations
@@ -24,6 +27,10 @@ class StepReport:
         batch_tokens: scheduler budget consumed (prompt lengths + decodes).
         elapsed_seconds: wall-clock duration of the step.
         traffic: simulated DRAM traffic of the step.
+        preemptions: running requests evicted for blocks this step.
+        evicted_blocks: prefix-cache blocks reclaimed this step.
+        prefix_hit_tokens: prompt positions served from shared blocks.
+        prefix_saved_bytes: simulated DRAM bytes those hits avoided.
     """
 
     step: int
@@ -33,6 +40,10 @@ class StepReport:
     batch_tokens: int
     elapsed_seconds: float
     traffic: StepTraffic
+    preemptions: int = 0
+    evicted_blocks: int = 0
+    prefix_hit_tokens: int = 0
+    prefix_saved_bytes: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -46,6 +57,10 @@ class EngineMetrics:
         tokens_per_second: aggregate decode throughput.
         mean_batch_size: average requests per non-empty step.
         traffic: summed simulated DRAM traffic.
+        preemptions: total recompute-on-resume evictions.
+        evicted_blocks: total prefix-cache blocks reclaimed.
+        prefix_hit_tokens: total prompt positions shared, not computed.
+        prefix_saved_bytes: total simulated DRAM bytes avoided by hits.
         requests: per-request latency records (finished requests only).
     """
 
@@ -55,6 +70,10 @@ class EngineMetrics:
     tokens_per_second: float
     mean_batch_size: float
     traffic: StepTraffic
+    preemptions: int = 0
+    evicted_blocks: int = 0
+    prefix_hit_tokens: int = 0
+    prefix_saved_bytes: float = 0.0
     requests: list[RequestMetrics] = field(default_factory=list)
 
     @property
@@ -91,5 +110,9 @@ def summarize(
         tokens_per_second=(total_tokens / total_seconds if total_seconds > 0 else 0.0),
         mean_batch_size=sum(active) / len(active) if active else 0.0,
         traffic=traffic,
+        preemptions=sum(report.preemptions for report in reports),
+        evicted_blocks=sum(report.evicted_blocks for report in reports),
+        prefix_hit_tokens=sum(report.prefix_hit_tokens for report in reports),
+        prefix_saved_bytes=sum(report.prefix_saved_bytes for report in reports),
         requests=list(requests),
     )

@@ -19,7 +19,12 @@ from repro.llm.attention import KVCache
 
 
 class RequestStatus(enum.Enum):
-    """Where a request sits in the engine's lifecycle."""
+    """Where a request sits in the engine's lifecycle.
+
+    A preempted request goes back to WAITING with its generated tokens
+    and RNG state intact; re-admission replays its cache
+    (recompute-on-resume) before decoding continues.
+    """
 
     WAITING = "waiting"  # admitted to the queue, no compute yet
     RUNNING = "running"  # prefilled; decoding one token per step
@@ -78,8 +83,12 @@ class RequestState:
     request: Request
     status: RequestStatus = RequestStatus.WAITING
     caches: list[KVCache] | None = None
+    #: Paged-pool handle (``repro.serve.kvpool.SequenceKV``) when the
+    #: engine runs in kv_pool mode; None for unpaged caches.
+    kv: object | None = None
     generated: list[int] = field(default_factory=list)
     rng: np.random.Generator | None = None
+    preemptions: int = 0
 
     arrival_step: int = 0
     first_token_step: int | None = None
@@ -107,6 +116,17 @@ class RequestState:
         if self.caches is None:
             return 0
         return self.caches[0].length
+
+    @property
+    def prefill_tokens(self) -> int:
+        """Positions the next admission must compute (schedule cost).
+
+        A fresh request prefills its prompt.  A preempted request
+        additionally replays each already-emitted token except the
+        last (whose KV the next decode step writes), rebuilding its
+        cache bitwise before decoding resumes.
+        """
+        return self.request.prompt_length + max(0, len(self.generated) - 1)
 
     @property
     def done(self) -> bool:

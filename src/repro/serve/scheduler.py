@@ -19,6 +19,13 @@ Policies only order the waiting queue; the budget walk below is shared.
 One guarantee is unconditional: if nothing is running and nothing fits,
 the first candidate is admitted anyway (a prompt longer than the budget
 must not deadlock the engine).
+
+When the engine runs a paged KV pool, admission is additionally planned
+against the pool's *free-block budget* (a :class:`KVBlockPlanner`):
+a waiting request is only admitted when its prefill's block footprint —
+after prefix-cache sharing — fits in what is free or reclaimable once
+the running requests' decode growth is reserved.  Token budget bounds
+the *work* of a step; block budget bounds the *memory* it commits.
 """
 
 from __future__ import annotations
@@ -27,6 +34,26 @@ from dataclasses import dataclass, field
 
 from repro.errors import ModelError
 from repro.serve.request import RequestState
+
+
+class KVBlockPlanner:
+    """Block-budget view the engine hands the scheduler in pool mode.
+
+    ``available_blocks`` is the pool headroom admissions may claim
+    (free plus reclaimable prefix-cache blocks, minus the running
+    requests' reserved decode growth); ``prefill_blocks`` is one
+    candidate's fresh-block footprint after prefix sharing; ``admit``
+    commits an already-computed footprint against the budget.
+    """
+
+    def available_blocks(self) -> int:
+        raise NotImplementedError
+
+    def prefill_blocks(self, state: RequestState) -> int:
+        raise NotImplementedError
+
+    def admit(self, blocks_needed: int) -> None:
+        raise NotImplementedError
 
 
 class SchedulerPolicy:
@@ -94,9 +121,7 @@ class StepPlan:
 
     @property
     def budget_tokens(self) -> int:
-        return len(self.decodes) + sum(
-            state.request.prompt_length for state in self.prefills
-        )
+        return len(self.decodes) + sum(state.prefill_tokens for state in self.prefills)
 
     @property
     def empty(self) -> bool:
@@ -109,15 +134,22 @@ def plan_step(
     policy: SchedulerPolicy,
     max_batch_size: int,
     max_batch_tokens: int,
+    blocks: KVBlockPlanner | None = None,
 ) -> StepPlan:
     """Plan one step: decodes keep their slots, prefills fill the rest.
 
-    Running requests are never preempted — each reserves one token of
-    budget and one batch slot.  Waiting requests are then admitted in
-    policy order while both the token budget and the slot count hold
-    out.  Admission stops at the first request that does not fit
-    (head-of-line blocking is deliberate: skipping over a big request
-    forever would starve it).
+    Running requests are never displaced by admissions — each reserves
+    one token of budget and one batch slot (preemption, when a paged
+    pool runs dry mid-decode, is the engine's move, not the planner's).
+    Waiting requests are then admitted in policy order while the token
+    budget, the slot count and (when ``blocks`` is given) the pool's
+    free-block budget all hold out.  Admission stops at the first
+    request that does not fit (head-of-line blocking is deliberate:
+    skipping over a big request forever would starve it).
+
+    A resumed request's prefill cost covers its whole replay — prompt
+    plus already-emitted tokens (``RequestState.prefill_tokens``) — so
+    recompute-on-resume work is budgeted like any other prefill.
     """
     if max_batch_size < 1:
         raise ModelError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -131,14 +163,24 @@ def plan_step(
     for state in policy.order(waiting):
         if slots < 1:
             break
-        cost = state.request.prompt_length
-        if cost > budget:
+        cost = state.prefill_tokens
+        block_cost = 0 if blocks is None else blocks.prefill_blocks(state)
+        fits_tokens = cost <= budget
+        fits_blocks = blocks is None or block_cost <= blocks.available_blocks()
+        if not (fits_tokens and fits_blocks):
             if not decodes and not prefills:
-                # Forward-progress override: an oversized prompt runs
-                # alone rather than deadlocking the queue.
+                # Forward-progress override: with nothing running, an
+                # oversized prompt runs alone rather than deadlocking
+                # the queue (with nothing running, the whole pool is
+                # free or reclaimable, so submit-time validation
+                # guarantees the blocks exist).
                 prefills.append(state)
+                if blocks is not None:
+                    blocks.admit(block_cost)
             break
         prefills.append(state)
         budget -= cost
         slots -= 1
+        if blocks is not None:
+            blocks.admit(block_cost)
     return StepPlan(decodes=decodes, prefills=prefills)

@@ -8,6 +8,7 @@ from repro.hw.traffic import (
     batching_traffic_advantage,
     decode_step_traffic,
     prefill_traffic,
+    prefix_cache_savings,
 )
 from repro.llm.config import get_config
 from repro.llm.kv_quant import kv_bits_per_element
@@ -61,6 +62,40 @@ class TestPrefillTraffic:
     def test_empty_prompt_rejected(self, config):
         with pytest.raises(HardwareError):
             prefill_traffic(config, 0)
+
+    def test_cached_prefix_charges_suffix_only(self, config):
+        full = prefill_traffic(config, 64)
+        hit = prefill_traffic(config, 64, cached_prefix_tokens=48)
+        suffix = prefill_traffic(config, 16)
+        assert hit.kv_write_bytes == suffix.kv_write_bytes
+        assert hit.activation_bytes == suffix.activation_bytes
+        # Weights still stream once: the suffix forward reads them all.
+        assert hit.weight_bytes == full.weight_bytes
+
+    def test_cached_prefix_bounds_enforced(self, config):
+        with pytest.raises(HardwareError):
+            prefill_traffic(config, 16, cached_prefix_tokens=16)
+        with pytest.raises(HardwareError):
+            prefill_traffic(config, 16, cached_prefix_tokens=-1)
+
+
+class TestPrefixCacheSavings:
+    def test_savings_close_the_full_vs_suffix_gap(self, config):
+        full = prefill_traffic(config, 64)
+        hit = prefill_traffic(config, 64, cached_prefix_tokens=48)
+        saved = prefix_cache_savings(config, 48)
+        assert saved.total_bytes == pytest.approx(full.total_bytes - hit.total_bytes)
+        assert saved.weight_bytes == 0.0
+
+    def test_savings_scale_with_kv_bits(self, config):
+        bits = kv_bits_per_element("anda", mantissa_bits=6)
+        fp16 = prefix_cache_savings(config, 32)
+        anda = prefix_cache_savings(config, 32, kv_bits_per_element=bits)
+        assert anda.kv_write_bytes == pytest.approx(fp16.kv_write_bytes * bits / 16.0)
+
+    def test_negative_cached_tokens_rejected(self, config):
+        with pytest.raises(HardwareError):
+            prefix_cache_savings(config, -1)
 
 
 class TestStepTraffic:
