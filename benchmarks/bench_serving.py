@@ -7,8 +7,13 @@ and simulated DRAM traffic.  A second section benchmarks the paged KV
 pool on a *shared-prefix* workload (N requests behind one common
 system prompt): prefix caching on vs off, tracking prefill positions
 actually computed, prefix-hit tokens, and the simulated DRAM bytes the
-hits avoided.  Results are written to ``BENCH_serving.json`` so CI can
-accumulate a perf trajectory as a workflow artifact.
+hits avoided.  A third section benchmarks chunked prefill on a
+*long-prompt* mixed workload (one long prompt arriving while short
+requests decode): chunking on vs off, reporting TTFT and inter-token
+latency percentiles — the latency surface
+``benchmarks/check_bench_regression.py`` gates in CI.  Results are
+written to ``BENCH_serving.json`` so CI can accumulate a perf
+trajectory as a workflow artifact.
 
 Usage::
 
@@ -16,6 +21,7 @@ Usage::
     python benchmarks/bench_serving.py --smoke          # CI-sized run
     python benchmarks/bench_serving.py --kv-mode anda --batch-sizes 1,4,8
     python benchmarks/bench_serving.py --shared-prefix 0   # skip that section
+    python benchmarks/bench_serving.py --long-prompt 0     # skip that section
 
 Unlike the paper-figure benchmarks (which run under pytest-benchmark),
 this is a standalone script: serving throughput is a trajectory we
@@ -45,6 +51,14 @@ from repro.serve import Engine, EngineConfig, serve_batch  # noqa: E402
 #: Shared-prefix workload sizes (requests) for full and --smoke runs.
 SHARED_PREFIX_DEFAULT = 8
 SHARED_PREFIX_SMOKE = 4
+
+#: Long-prompt workload: length of the prompt that arrives mid-stream.
+LONG_PROMPT_DEFAULT = 192
+#: Chunked engine's token budget on that workload (the TTFT/ITL dial).
+LONG_PROMPT_CHUNK_BUDGET = 32
+#: Short requests decoding when the long prompt lands (their gaps are
+#: what the monolithic prefill stalls, so they dominate the ITL tail).
+LONG_PROMPT_DECODERS = 6
 
 
 def make_prompts(count: int, vocab_size: int, seed: int = 0) -> list[np.ndarray]:
@@ -208,6 +222,101 @@ def bench_shared_prefix(model, num_requests, max_new_tokens, kv_mode, bits):
     return rows
 
 
+def bench_long_prompt(model, kv_mode, bits, long_len, max_new_tokens):
+    """Chunked vs unchunked on a long prompt arriving mid-stream.
+
+    Short requests are decoding when a ``long_len``-token prompt (and
+    more short requests) arrive.  The unchunked engine needs a token
+    budget that covers the whole prompt, so its prefill rides one step
+    with the running decodes and stalls them for the whole prompt
+    forward; the chunked engine runs a small budget
+    (``LONG_PROMPT_CHUNK_BUDGET``) and splits the prompt into chunks
+    that ride along step by step.  Tokens are bitwise identical either
+    way — the rows differ only in the latency percentiles, which is
+    the point.
+    """
+    vocab = model.config.vocab_size
+    rows = []
+    tokens_by_variant = {}
+    for chunked in (False, True):
+        rng = np.random.default_rng(7)
+        early = [
+            rng.integers(0, vocab, size=6) for _ in range(LONG_PROMPT_DECODERS)
+        ]
+        long_prompt = rng.integers(0, vocab, size=long_len)
+        late = [rng.integers(0, vocab, size=6) for _ in range(2)]
+        budget = LONG_PROMPT_CHUNK_BUDGET if chunked else long_len + 16
+        engine = Engine(
+            model,
+            EngineConfig(
+                max_batch_size=LONG_PROMPT_DECODERS + 2,
+                max_batch_tokens=budget,
+                chunked_prefill=chunked,
+                kv_mode=kv_mode,
+                kv_mantissa_bits=bits,
+            ),
+        )
+        ids = [engine.submit(prompt, 12) for prompt in early]
+        for _ in range(2):
+            engine.step()
+        ids.append(engine.submit(long_prompt, max_new_tokens))
+        ids.extend(engine.submit(prompt, max_new_tokens) for prompt in late)
+        done = {result.request_id: result for result in engine.drain(max_steps=2000)}
+        tokens_by_variant[chunked] = [done[request_id].tokens for request_id in ids]
+        metrics = engine.metrics()
+        rows.append(
+            {
+                "mode": "engine+chunked" if chunked else "engine",
+                "workload": "long_prompt",
+                "chunked_prefill": chunked,
+                "kv_mode": kv_mode,
+                "long_prompt_tokens": long_len,
+                "max_batch_tokens": budget,
+                "batch_size": LONG_PROMPT_DECODERS + 2,
+                "tokens_per_second": metrics.tokens_per_second,
+                "total_seconds": metrics.total_seconds,
+                "steps": metrics.steps,
+                "partial_prefills": metrics.partial_prefills,
+                "ttft_p50_seconds": metrics.ttft_p50_seconds,
+                "ttft_p95_seconds": metrics.ttft_p95_seconds,
+                "itl_p50_seconds": metrics.itl_p50_seconds,
+                "itl_p95_seconds": metrics.itl_p95_seconds,
+                "dram_bytes_total": metrics.traffic.total_bytes,
+            }
+        )
+    for unchunked_tokens, chunked_tokens in zip(
+        tokens_by_variant[False], tokens_by_variant[True]
+    ):
+        if not np.array_equal(unchunked_tokens, chunked_tokens):
+            raise SystemExit(
+                f"PARITY FAILURE: chunked prefill (kv={kv_mode}) diverged "
+                "from unchunked on the long-prompt workload"
+            )
+    unchunked_row, chunked_row = rows
+    chunked_row["itl_p95_ratio_vs_unchunked"] = (
+        chunked_row["itl_p95_seconds"] / unchunked_row["itl_p95_seconds"]
+        if unchunked_row["itl_p95_seconds"]
+        else 0.0
+    )
+    return rows
+
+
+def render_long_prompt(rows) -> str:
+    lines = [
+        f"{'kv':>5} {'mode':>15} {'ttft p95':>9} {'itl p50':>8} "
+        f"{'itl p95':>8} {'tok/s':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['kv_mode']:>5} {row['mode']:>15} "
+            f"{row['ttft_p95_seconds'] * 1e3:>7.1f}ms "
+            f"{row['itl_p50_seconds'] * 1e3:>6.2f}ms "
+            f"{row['itl_p95_seconds'] * 1e3:>6.2f}ms "
+            f"{row['tokens_per_second']:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
 def render_shared_prefix(rows) -> str:
     lines = [
         f"{'kv':>5} {'mode':>15} {'reqs':>5} {'tok/s':>9} "
@@ -273,6 +382,15 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--long-prompt",
+        type=int,
+        default=None,
+        help=(
+            "long-prompt length for the chunked-prefill latency "
+            f"workload; 0 skips it (default {LONG_PROMPT_DEFAULT})"
+        ),
+    )
+    parser.add_argument(
         "--output", default="BENCH_serving.json", help="result JSON path"
     )
     args = parser.parse_args(argv)
@@ -291,6 +409,10 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.shared_prefix < 0:
         parser.error("--shared-prefix must be >= 0")
+    if args.long_prompt is None:
+        args.long_prompt = LONG_PROMPT_DEFAULT
+    if args.long_prompt < 0:
+        parser.error("--long-prompt must be >= 0")
 
     try:
         batch_sizes = [int(part) for part in args.batch_sizes.split(",") if part]
@@ -337,6 +459,21 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(render_shared_prefix(shared_rows))
 
+    long_rows = []
+    if args.long_prompt:
+        for kv_mode in kv_modes:
+            long_rows.extend(
+                bench_long_prompt(
+                    model,
+                    kv_mode,
+                    args.kv_mantissa_bits,
+                    args.long_prompt,
+                    args.max_new_tokens,
+                )
+            )
+        print()
+        print(render_long_prompt(long_rows))
+
     payload = {
         "benchmark": "serving_throughput",
         "model": args.model,
@@ -346,6 +483,7 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "results": rows,
         "shared_prefix_results": shared_rows,
+        "long_prompt_results": long_rows,
     }
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2) + "\n")

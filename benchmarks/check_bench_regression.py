@@ -1,0 +1,209 @@
+"""CI regression gate over the serving benchmark's JSON output.
+
+Reads ``BENCH_serving.json`` (produced by ``bench_serving.py``) and a
+committed baseline (``benchmarks/baselines/serving.json``), and fails
+the build when the serving engine got slower or its latency tail got
+worse than the baseline allows.
+
+Two kinds of checks run:
+
+1. **Structural** (no baseline needed): on the long-prompt workload,
+   chunked prefill must beat unchunked on p95 inter-token latency in
+   every KV mode.  This is the acceptance bar for chunked prefill —
+   mixed steps exist to keep the decode tail flat while a long prompt
+   prefills, so a build where chunking stops helping is broken however
+   fast the runner is.
+
+2. **Baseline-relative** (within ``--tolerance``, default 25%): the
+   gated metrics are deliberately *machine-normalized ratios* —
+   ``speedup_vs_sequential`` for throughput and the chunked/unchunked
+   ``itl_p95`` ratio for latency — not absolute tokens/sec or
+   milliseconds.  CI runners vary wildly in absolute speed between
+   generations and even between runs; ratios measured inside one
+   process on one machine cancel that out, so the gate trips on real
+   regressions (a slower engine relative to its own sequential
+   baseline, a fatter tail relative to its own unchunked run) instead
+   of on runner lottery.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BENCH_serving.json
+    python benchmarks/check_bench_regression.py results.json \
+        --baseline benchmarks/baselines/serving.json --tolerance 0.25
+
+Exits non-zero with a per-check report when any check fails.  To
+re-baseline after an intentional perf change, edit
+``benchmarks/baselines/serving.json`` in the same PR and say why.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "serving.json"
+
+
+class CheckFailure(Exception):
+    """One gated metric fell outside its allowed band."""
+
+
+def load_json(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"missing input: {path}")
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"unparseable JSON in {path}: {error}")
+
+
+def engine_speedups(results: dict) -> dict[tuple[str, int], float]:
+    """(kv_mode, batch_size) -> speedup_vs_sequential for engine rows."""
+    return {
+        (row["kv_mode"], row["batch_size"]): row["speedup_vs_sequential"]
+        for row in results.get("results", [])
+        if row.get("mode") == "engine"
+    }
+
+
+def long_prompt_rows(results: dict) -> dict[tuple[str, bool], dict]:
+    """(kv_mode, chunked_prefill) -> long-prompt workload row."""
+    return {
+        (row["kv_mode"], row["chunked_prefill"]): row
+        for row in results.get("long_prompt_results", [])
+    }
+
+
+def check_chunking_beats_unchunked(results: dict) -> list[str]:
+    """Structural gate: chunked p95 ITL strictly below unchunked."""
+    rows = long_prompt_rows(results)
+    kv_modes = sorted({kv_mode for kv_mode, _ in rows})
+    if not kv_modes:
+        raise CheckFailure(
+            "no long_prompt_results in the benchmark output; run "
+            "bench_serving.py without --long-prompt 0"
+        )
+    lines = []
+    for kv_mode in kv_modes:
+        try:
+            chunked = rows[(kv_mode, True)]
+            unchunked = rows[(kv_mode, False)]
+        except KeyError:
+            raise CheckFailure(
+                f"long-prompt workload missing a chunked/unchunked pair "
+                f"for kv={kv_mode}"
+            ) from None
+        chunked_p95 = chunked["itl_p95_seconds"]
+        unchunked_p95 = unchunked["itl_p95_seconds"]
+        if chunked_p95 >= unchunked_p95:
+            raise CheckFailure(
+                f"chunked prefill no longer improves p95 ITL for "
+                f"kv={kv_mode}: chunked {chunked_p95 * 1e3:.2f}ms >= "
+                f"unchunked {unchunked_p95 * 1e3:.2f}ms"
+            )
+        lines.append(
+            f"ok   itl p95 (kv={kv_mode}): chunked "
+            f"{chunked_p95 * 1e3:.2f}ms < unchunked "
+            f"{unchunked_p95 * 1e3:.2f}ms"
+        )
+    return lines
+
+
+def check_throughput(results: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Engine speedup-vs-sequential must not drop below baseline band."""
+    measured = engine_speedups(results)
+    lines = []
+    for kv_mode, by_batch in baseline.get("speedup_vs_sequential", {}).items():
+        for batch_text, base in by_batch.items():
+            key = (kv_mode, int(batch_text))
+            if key not in measured:
+                raise CheckFailure(
+                    f"baseline expects an engine row for kv={kv_mode} "
+                    f"batch={batch_text}, none in the benchmark output"
+                )
+            floor = base * (1.0 - tolerance)
+            actual = measured[key]
+            if actual < floor:
+                raise CheckFailure(
+                    f"throughput regression (kv={kv_mode}, batch="
+                    f"{batch_text}): speedup {actual:.2f}x < "
+                    f"{floor:.2f}x (baseline {base:.2f}x - {tolerance:.0%})"
+                )
+            lines.append(
+                f"ok   speedup (kv={kv_mode}, batch={batch_text}): "
+                f"{actual:.2f}x >= {floor:.2f}x"
+            )
+    return lines
+
+
+def check_itl_ratio(results: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Chunked/unchunked p95 ITL ratio must not rise beyond baseline band."""
+    rows = long_prompt_rows(results)
+    lines = []
+    for kv_mode, base in baseline.get("long_prompt_itl_p95_ratio", {}).items():
+        row = rows.get((kv_mode, True))
+        if row is None:
+            raise CheckFailure(
+                f"baseline expects a chunked long-prompt row for "
+                f"kv={kv_mode}, none in the benchmark output"
+            )
+        ceiling = base * (1.0 + tolerance)
+        actual = row["itl_p95_ratio_vs_unchunked"]
+        if actual > ceiling:
+            raise CheckFailure(
+                f"p95 ITL regression (kv={kv_mode}): chunked/unchunked "
+                f"ratio {actual:.2f} > {ceiling:.2f} (baseline "
+                f"{base:.2f} + {tolerance:.0%})"
+            )
+        lines.append(f"ok   itl ratio (kv={kv_mode}): {actual:.2f} <= {ceiling:.2f}")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "results",
+        nargs="?",
+        default="BENCH_serving.json",
+        help="bench_serving.py output JSON",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="committed baseline JSON",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional drift from baseline (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must lie in [0, 1)")
+
+    results = load_json(Path(args.results))
+    baseline = load_json(Path(args.baseline))
+
+    try:
+        report = []
+        report.extend(check_chunking_beats_unchunked(results))
+        report.extend(check_throughput(results, baseline, args.tolerance))
+        report.extend(check_itl_ratio(results, baseline, args.tolerance))
+    except CheckFailure as failure:
+        print(f"FAIL {failure}")
+        print(
+            "hint: if this perf change is intentional, re-baseline "
+            f"{args.baseline} in the same PR and explain why"
+        )
+        return 1
+    for line in report:
+        print(line)
+    print(f"bench regression gate passed ({len(report)} checks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -166,6 +166,46 @@ def prefill_traffic(
     )
 
 
+def prefill_chunk_traffic(
+    config: ModelConfig,
+    chunk_tokens: int,
+    cached_context_tokens: int = 0,
+    kv_bits_per_element: float = 16.0,
+    include_weights: bool = True,
+) -> StepTraffic:
+    """Traffic of one prompt chunk inside a mixed serving step.
+
+    Chunked prefill changes the prefill traffic shape in two ways.
+    First, the chunk's queries attend over the *already cached*
+    context — earlier chunks and any shared prefix — which, unlike the
+    in-flight rows of a monolithic prefill, must be re-read from DRAM
+    (that re-read is chunking's bandwidth cost, and it is exactly the
+    KV stream the Anda format compresses).  Second, the weight stream
+    is charged once per *model step*, not per chunk: a chunk riding
+    along with decode tokens — or a later chunk in the same step —
+    shares the step's weight stream, so pass ``include_weights=False``
+    for it.  That sharing is the point of mixed steps: the prompt
+    chunk amortizes the weight stream the decode batch already pays
+    for.
+    """
+    if chunk_tokens < 1:
+        raise HardwareError(f"chunk must hold >= 1 token, got {chunk_tokens}")
+    if cached_context_tokens < 0:
+        raise HardwareError(f"cached context must be >= 0, got {cached_context_tokens}")
+    if kv_bits_per_element <= 0:
+        raise HardwareError(
+            f"kv bits per element must be positive, got {kv_bits_per_element}"
+        )
+    kv_bytes_per_element = kv_bits_per_element / 8.0
+    per_position = _kv_elements_per_position(config)
+    return StepTraffic(
+        weight_bytes=_weight_bytes(config) if include_weights else 0.0,
+        kv_read_bytes=cached_context_tokens * per_position * kv_bytes_per_element,
+        kv_write_bytes=chunk_tokens * per_position * kv_bytes_per_element,
+        activation_bytes=chunk_tokens * _activation_bytes_per_token(config),
+    )
+
+
 def prefix_cache_savings(
     config: ModelConfig,
     cached_prefix_tokens: int,

@@ -323,3 +323,71 @@ class MultiHeadAttention(Module):
         context = np.concatenate(contexts, axis=0)  # (B, H, 1, hd)
         context = context.transpose(0, 2, 1, 3).reshape(batch, new_len, d_model)
         return self._project_out(context)
+
+    def step_mixed(
+        self, x: np.ndarray, caches: list[KVCache], lengths: list[int]
+    ) -> np.ndarray:
+        """Variable-length prompt segments for many requests at once.
+
+        The chunk lane of a mixed step: prompt chunks — a budget-sized
+        slice of a long prompt, or a whole short prompt — are
+        flattened along the time axis into one ``(1, total, d_model)``
+        array so the projections, norms and FFN run as a single GeMM
+        over every prefill token in the step, while attention runs per
+        segment against that request's exact-length cache.  A segment
+        may start anywhere (``cache.length`` positions already
+        cached): rotary phases are gathered per flattened position
+        (:meth:`RotaryTable.gather`), and the causal mask spans
+        ``cache_len + segment`` so chunk queries see the whole cached
+        history plus their own prefix.  Because multi-row GeMM results
+        are row-local (every ``M >= 2`` matmul kernel accumulates rows
+        identically), each segment is bitwise identical to the same
+        rows of a monolithic prefill — which is what makes chunked
+        prefill token-identical to unchunked prefill.  Single-token
+        decodes do *not* belong in this lane: OpenBLAS's ``M == 1``
+        kernel accumulates differently, so the engine keeps decodes on
+        :meth:`step_batch` to preserve their own bitwise guarantee.
+
+        Args:
+            x: ``(1, total, d_model)`` activations, segments
+                concatenated in request order.
+            caches: one :class:`KVCache` per segment for *this* layer,
+                each extended in place by its segment's positions.
+            lengths: per-segment token counts summing to ``total``.
+        """
+        batch, total, d_model = x.shape
+        if batch != 1:
+            raise ModelError(f"mixed steps flatten to batch 1, got {batch}")
+        if sum(lengths) != total or min(lengths, default=0) < 1:
+            raise ModelError(
+                f"segment lengths {lengths} must be positive and sum to {total}"
+            )
+        if len(caches) != len(lengths):
+            raise ModelError(f"got {len(caches)} caches for {len(lengths)} segments")
+        starts = [cache.length for cache in caches]
+        qkv = self._project_qkv(x)
+        q, k, v = qkv[0], qkv[1], qkv[2]  # (1, H, total, hd)
+
+        if self.rotary is not None:
+            positions = np.concatenate(
+                [
+                    np.arange(start, start + length)
+                    for start, length in zip(starts, lengths)
+                ]
+            )
+            cos, sin = self.rotary.gather(positions)  # (total, hd)
+            q = q * cos + _rotate_half_np(q) * sin
+            k = k * cos + _rotate_half_np(k) * sin
+
+        contexts = []
+        offset = 0
+        for cache, start, length in zip(caches, starts, lengths):
+            stop = offset + length
+            keys, values = cache.append(k[:, :, offset:stop], v[:, :, offset:stop])
+            contexts.append(
+                self._attention_core(q[:, :, offset:stop], keys, values, start)
+            )
+            offset = stop
+        context = np.concatenate(contexts, axis=2)  # (1, H, total, hd)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, total, d_model)
+        return self._project_out(context)

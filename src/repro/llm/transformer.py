@@ -132,6 +132,22 @@ class TransformerBlock(Module):
             normed = self.ffn_norm(Tensor(x)).data
             return x + self.ffn.step(normed)
 
+    def step_mixed(
+        self, x: np.ndarray, caches: list[KVCache], lengths: list[int]
+    ) -> np.ndarray:
+        """One mixed step over variable-length per-request segments.
+
+        Same row-local batching argument as :meth:`step_batch`, with
+        attention routed through
+        :meth:`~repro.llm.attention.MultiHeadAttention.step_mixed` so
+        decodes and prompt chunks share the step's GeMMs.
+        """
+        with no_grad():
+            normed = self.attn_norm(Tensor(x)).data
+            x = x + self.attention.step_mixed(normed, caches, lengths)
+            normed = self.ffn_norm(Tensor(x)).data
+            return x + self.ffn.step(normed)
+
 
 class CausalLM(Module):
     """A causal language model in the OPT or LLaMA style.
@@ -263,6 +279,108 @@ class CausalLM(Module):
                 hidden = block.step_batch(hidden, layer_caches)
             normed = self.final_norm(Tensor(hidden)).data
             return normed @ self.lm_head.weight.data
+
+    def forward_mixed_step(
+        self,
+        chunk_groups: list[np.ndarray],
+        chunk_caches: list[list[KVCache]],
+        decode_tokens: np.ndarray | None = None,
+        decode_caches: list[list[KVCache]] | None = None,
+    ) -> tuple[list[np.ndarray], np.ndarray | None]:
+        """Run prompt chunks and decodes for many requests in one step.
+
+        This is the chunked-prefill serving step, executed as two lanes
+        inside one invocation:
+
+        * the **chunk lane** flattens every prompt chunk along the time
+          axis into one ``(1, total, d_model)`` pass
+          (:meth:`~repro.llm.transformer.TransformerBlock.step_mixed`),
+          so its GeMM rows are bitwise identical to a monolithic
+          prefill of the same prompt;
+        * the **decode lane** is :meth:`forward_decode_batch`, keeping
+          each decode row bitwise identical to sequential decoding.
+
+        The two lanes deliberately do *not* share one GeMM: OpenBLAS
+        switches accumulation kernels between single-row (``M == 1``)
+        and multi-row (``M >= 2``) matmuls, so folding decode rows into
+        the chunk lane's flat GeMM would silently change decode logits
+        in the low bits.  Keeping the lanes separate preserves both
+        bitwise guarantees at once.  The chunk lane runs *first*: if it
+        raises, no decode cache has been touched, so the engine can
+        release the chunk participants' caches and recover.
+
+        Args:
+            chunk_groups: per chunked request, a 1-D array of prompt
+                token ids (length >= 1) continuing that request's
+                cache.
+            chunk_caches: per chunked request, the per-layer cache list
+                to extend, aligned with ``chunk_groups``.
+            decode_tokens: optional ``(batch, 1)`` next-token ids for
+                the decode lane.
+            decode_caches: per decode request, the per-layer cache
+                list (required when ``decode_tokens`` is given).
+
+        Returns:
+            ``(chunk_logits, decode_logits)`` — per chunk, plain-numpy
+            logits ``(len(group), vocab)``; decode logits ``(batch, 1,
+            vocab)`` or ``None`` when the decode lane is empty.
+        """
+        if not chunk_groups and decode_tokens is None:
+            raise ModelError("mixed step needs at least one chunk or decode")
+        chunk_logits = self._forward_chunk_lane(chunk_groups, chunk_caches)
+        decode_logits = None
+        if decode_tokens is not None:
+            decode_logits = self.forward_decode_batch(
+                decode_tokens, decode_caches or []
+            )
+        return chunk_logits, decode_logits
+
+    def _forward_chunk_lane(
+        self,
+        chunk_groups: list[np.ndarray],
+        chunk_caches: list[list[KVCache]],
+    ) -> list[np.ndarray]:
+        """Flat-GeMM pass over every prompt chunk of a mixed step."""
+        if not chunk_groups:
+            return []
+        if len(chunk_caches) != len(chunk_groups):
+            raise ModelError(
+                f"got {len(chunk_caches)} cache sets for "
+                f"{len(chunk_groups)} chunk groups"
+            )
+        groups = [np.asarray(group).reshape(-1) for group in chunk_groups]
+        if min(group.shape[0] for group in groups) < 1:
+            raise ModelError("every chunk group must hold at least one token")
+        lengths = [group.shape[0] for group in groups]
+        starts = [caches[0].length for caches in chunk_caches]
+        if max(
+            start + length for start, length in zip(starts, lengths)
+        ) > self.config.max_seq_len:
+            raise ModelError(
+                f"a request would exceed max_seq_len {self.config.max_seq_len}"
+            )
+        flat = np.concatenate(groups)[None, :]  # (1, total)
+        with no_grad():
+            hidden = self.token_embedding(flat).data
+            if self.position_embedding is not None:
+                positions = np.concatenate(
+                    [
+                        np.arange(start, start + length)
+                        for start, length in zip(starts, lengths)
+                    ]
+                )
+                hidden = hidden + self.position_embedding(positions).data
+            for layer_index, block in enumerate(self.blocks):
+                layer_caches = [caches[layer_index] for caches in chunk_caches]
+                hidden = block.step_mixed(hidden, layer_caches, lengths)
+            normed = self.final_norm(Tensor(hidden)).data
+            logits = normed @ self.lm_head.weight.data  # (1, total, vocab)
+        split: list[np.ndarray] = []
+        offset = 0
+        for length in lengths:
+            split.append(logits[0, offset : offset + length, :])
+            offset += length
+        return split
 
     # -- tap plumbing ----------------------------------------------------------
 

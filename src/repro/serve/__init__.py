@@ -7,12 +7,14 @@ and shrinking the per-request KV stream (the Anda KV format of
 :mod:`repro.llm.kv_quant`).  This package provides:
 
 * :class:`~repro.serve.engine.Engine` — ``submit()`` / ``step()`` /
-  ``drain()`` continuous batching with per-request exact-length KV
-  caches and token-parity with sequential ``generate`` calls;
+  ``drain()`` continuous batching with chunked prefill (long prompts
+  split into budget-sized chunks that ride along with the decode batch
+  in mixed steps, bounding TTFT and inter-token latency) and
+  token-parity with sequential ``generate`` calls;
 * :func:`~repro.serve.engine.serve_batch` — synchronous convenience
   wrapper for a fixed batch of prompts;
-* scheduler policies (FCFS, shortest-prompt-first) under a
-  ``max_batch_tokens`` budget — and, in paged mode, the KV pool's
+* scheduler policies (FCFS, shortest-prompt-first, decode-first) under
+  a ``max_batch_tokens`` budget — and, in paged mode, the KV pool's
   free-block budget (:mod:`repro.serve.scheduler`);
 * the paged KV-cache memory subsystem — block allocator with
   copy-on-write, prefix-sharing radix cache, recompute-on-resume
@@ -46,8 +48,10 @@ from repro.serve.request import (
 )
 from repro.serve.scheduler import (
     POLICIES,
+    DecodeFirstPolicy,
     FcfsPolicy,
     KVBlockPlanner,
+    PrefillChunk,
     SchedulerPolicy,
     ShortestPromptFirstPolicy,
     StepPlan,
@@ -59,11 +63,13 @@ __all__ = [
     "POLICIES",
     "BlockAllocator",
     "CompletedRequest",
+    "DecodeFirstPolicy",
     "Engine",
     "EngineConfig",
     "EngineMetrics",
     "FcfsPolicy",
     "KVBlockPlanner",
+    "PrefillChunk",
     "KVPool",
     "OutOfBlocksError",
     "PagedKVCache",

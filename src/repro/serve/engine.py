@@ -4,12 +4,26 @@ One :class:`Engine` owns a model and serves many requests concurrently:
 
 * :meth:`Engine.submit` enqueues a request (admission is the
   scheduler's job, so submissions are cheap and can arrive mid-stream);
-* :meth:`Engine.step` runs one scheduler-planned model step — newly
-  admitted requests prefill (producing their first token), and every
-  running request decodes its next token in a *single* batched model
-  call (:meth:`repro.llm.transformer.CausalLM.forward_decode_batch`);
+* :meth:`Engine.step` runs one scheduler-planned model step — every
+  running request decodes its next token, and waiting requests prefill
+  *prompt chunks* sized to the budget left after decodes, both inside
+  one mixed model invocation
+  (:meth:`repro.llm.transformer.CausalLM.forward_mixed_step`);
 * :meth:`Engine.drain` steps until the queue is empty and returns the
   finished requests.
+
+**Chunked prefill** (``EngineConfig.chunked_prefill``, on by default)
+is what bounds latency under long-prompt traffic: instead of stalling
+the whole decode batch for one monolithic prompt forward, a long
+prompt prefills across several steps — each step reserves one token of
+budget per running decode and gives the remainder to the prompt as a
+chunk.  ``RequestState.prefill_pos`` tracks progress; a half-prefilled
+request waits in the queue holding its partial cache until its final
+chunk completes and emits its first token.  Chunked output is
+token-bitwise-identical to unchunked prefill: multi-row GeMMs are
+row-local, attention masks span ``cache_len + chunk``, and decode
+tokens keep their own batched lane (see ``forward_mixed_step`` for why
+the lanes must not share one GeMM).
 
 Decode batching keeps per-request KV caches at their exact lengths (no
 cross-request padding): request tokens are gathered into a ``(batch,
@@ -17,17 +31,18 @@ cross-request padding): request tokens are gathered into a ``(batch,
 back to the per-request states.  Every emitted token is bitwise
 identical to what a sequential :func:`repro.llm.generation.generate`
 call would produce — the parity tests pin this down for FP16 and
-Anda-compressed KV caches.
+Anda-compressed KV caches, chunked and unchunked.
 
 With ``kv_pool=True`` the engine swaps per-request exact-length caches
 for the paged memory subsystem (:mod:`repro.serve.kvpool`): KV lives
 in a fixed pool of refcounted blocks, requests sharing a prompt prefix
 map the same physical blocks (skipping the shared prefill compute and
-KV writes), admission is planned against the free-block budget, and
-under pool pressure the engine preempts the latest-arrived running
-requests (recompute-on-resume) so admission never deadlocks.  Paged
-decode stores the same float16 bytes the unpaged path stores, so token
-parity is preserved bitwise in both KV modes.
+KV writes), admission is planned against the free-block budget — for a
+chunk, only the chunk's block growth — and under pool pressure the
+engine preempts the latest-arrived request, running *or*
+half-prefilled (recompute-on-resume), so admission never deadlocks.
+Paged decode stores the same float16 bytes the unpaged path stores, so
+token parity is preserved bitwise in both KV modes.
 """
 
 from __future__ import annotations
@@ -43,6 +58,7 @@ from repro.errors import ModelError
 from repro.hw.traffic import (
     StepTraffic,
     decode_step_traffic,
+    prefill_chunk_traffic,
     prefill_traffic,
     prefix_cache_savings,
 )
@@ -60,7 +76,12 @@ from repro.serve.request import (
     RequestStatus,
     complete,
 )
-from repro.serve.scheduler import SchedulerPolicy, get_policy, plan_step
+from repro.serve.scheduler import (
+    PrefillChunk,
+    SchedulerPolicy,
+    get_policy,
+    plan_step,
+)
 
 
 @dataclass(frozen=True)
@@ -68,11 +89,22 @@ class EngineConfig:
     """Serving knobs of one engine instance.
 
     Args:
-        max_batch_size: concurrent requests resident in KV memory.
+        max_batch_size: concurrent requests resident in KV memory
+            (running decodes plus half-prefilled prompts).
         max_batch_tokens: scheduler token budget per step (decodes cost
-            1, prefills cost their prompt length).
-        policy: admission order — ``"fcfs"`` or
-            ``"shortest-prompt-first"``.
+            1, prefill chunks cost their length).  With chunked prefill
+            this is *the* time-to-first-token vs throughput dial: small
+            budgets bound every step's work (tight inter-token latency,
+            more chunk steps per prompt), large budgets prefill prompts
+            in fewer, longer steps.
+        policy: admission order — ``"fcfs"``,
+            ``"shortest-prompt-first"`` or ``"decode-first"`` (finish
+            in-flight chunked prefills before admitting new requests).
+        chunked_prefill: admit waiting prompts for budget-sized chunks
+            that ride along with the decode batch (mixed steps) instead
+            of requiring the whole prompt to fit one step.  Token
+            output is bitwise identical either way; chunking only
+            changes step composition — and therefore latency.
         kv_mode: ``"fp16"`` (paper baseline) or ``"anda"`` (compressed
             KV through :mod:`repro.llm.kv_quant`).
         kv_mantissa_bits: Anda mantissa length when ``kv_mode="anda"``.
@@ -90,6 +122,7 @@ class EngineConfig:
     max_batch_size: int = 8
     max_batch_tokens: int = 256
     policy: str = "fcfs"
+    chunked_prefill: bool = True
     kv_mode: str = "fp16"
     kv_mantissa_bits: int = 8
     kv_pool: bool = False
@@ -118,6 +151,27 @@ class EngineConfig:
     def kv_bits(self) -> float:
         """Stored bits per cached K/V element under this config."""
         return kv_bits_per_element(self.kv_mode, self.kv_mantissa_bits)
+
+
+def _common_prefix(first: np.ndarray, second: np.ndarray) -> int:
+    """Length of the shared leading run of two token arrays."""
+    limit = min(first.shape[0], second.shape[0])
+    mismatch = np.nonzero(first[:limit] != second[:limit])[0]
+    return int(mismatch[0]) if mismatch.size else limit
+
+
+@dataclass
+class _ChunkRun:
+    """One prompt chunk scheduled for execution in this step.
+
+    ``tokens`` is the positions actually executed (the scheduler's
+    grant, shrunk by any prefix-cache hit); ``prefix_hit`` the cached
+    positions a fresh paged request mapped instead of computing.
+    """
+
+    state: RequestState
+    tokens: int
+    prefix_hit: int = 0
 
 
 class Engine:
@@ -208,14 +262,20 @@ class Engine:
         return bool(self._waiting or self._running)
 
     def step(self) -> StepReport:
-        """Run one scheduler-planned model step (prefills + one decode).
+        """Run one scheduler-planned mixed step (decodes + prompt chunks).
 
-        Decodes run first against the step's starting context lengths,
-        then admitted prefills run; a freshly prefilled request joins
-        the decode batch from the *next* step.  In kv_pool mode the
-        decode batch first reserves its block growth — preempting the
-        latest-arrived running requests when the pool cannot cover it —
-        and prefills go through the prefix cache.
+        Fresh prompt chunks and the decode batch execute in one
+        :meth:`~repro.llm.transformer.CausalLM.forward_mixed_step`
+        invocation; a chunk that completes its prompt emits the
+        request's first token (that is the moment TTFT is recorded),
+        an incomplete chunk leaves the request half-prefilled in the
+        waiting queue.  Resumed (previously preempted, mid-decode)
+        requests replay their whole call pattern in one legacy
+        admission so the rebuilt cache stays bitwise.  In kv_pool mode
+        the step first reserves its block growth — preempting the
+        latest-arrived request, running or half-prefilled, when the
+        pool cannot cover it — and fresh prefills go through the
+        prefix cache.
         """
         started = time.perf_counter()  # include scheduling in step cost
         plan = plan_step(
@@ -225,34 +285,145 @@ class Engine:
             self.config.max_batch_size,
             self.config.max_batch_tokens,
             blocks=(None if self._pool is None else self._pool.planner(self._running)),
+            chunking=self.config.chunked_prefill,
         )
         traffic = StepTraffic()
         new_tokens = 0
         preemptions = 0
+        prefill_done = 0
+        partial = 0
         prefix_hit_tokens = 0
         saved = StepTraffic()
         evicted_before = 0 if self._pool is None else self._pool.evicted_blocks
 
+        chunked: list[PrefillChunk] = []
+        legacy: list[PrefillChunk] = []
+        for chunk in plan.prefills:
+            if self.config.chunked_prefill and not chunk.state.generated:
+                chunked.append(chunk)
+            else:
+                legacy.append(chunk)
+
         decodes = list(plan.decodes)
-        if self._pool is not None:
-            decodes, preemptions = self._reserve_decode_blocks(decodes)
+        waves = self._plan_waves(chunked)
+        executed_chunks = 0
+        first_wave = True
+        # The weight stream is charged once per *step*: the mixed step
+        # is the fusion quantum of the analytic traffic model, so the
+        # decode lane's charge covers every chunk riding along, and an
+        # all-prefill step pays it exactly once however its waves fall.
+        weights_charged = False
+        for wave in waves:
+            runs = self._begin_chunks(wave)
+            if self._pool is not None:
+                step_decodes = decodes if first_wave else []
+                step_decodes, runs, evicted = self._reserve_step_blocks(
+                    step_decodes, runs
+                )
+                if first_wave:
+                    decodes = step_decodes
+                preemptions += evicted
+            wave_decodes = decodes if first_wave else []
+            if not runs and not wave_decodes:
+                first_wave = False
+                continue
+            decode_contexts = [state.context_length for state in wave_decodes]
+            try:
+                chunk_logits, decode_logits = self.model.forward_mixed_step(
+                    [
+                        run.state.request.prompt[
+                            run.state.prefill_pos : run.state.prefill_pos + run.tokens
+                        ]
+                        for run in runs
+                    ],
+                    [run.state.caches for run in runs],
+                    decode_tokens=(
+                        np.array([[state.last_token] for state in wave_decodes])
+                        if wave_decodes
+                        else None
+                    ),
+                    decode_caches=[state.caches for state in wave_decodes],
+                )
+            except Exception:
+                # The chunk lane runs before the decode lane, so a
+                # failure there leaves decode caches untouched;
+                # releasing the chunk participants' partial caches puts
+                # them back to a clean un-prefilled waiting state (no
+                # pool blocks leak).  Earlier waves already committed
+                # consistent states (completed or half-prefilled).
+                for run in runs:
+                    self._rollback_chunk(run.state)
+                raise
+            first_wave = False
+            executed_chunks += len(runs)
 
-        if decodes:
-            traffic = traffic + decode_step_traffic(
-                self.model.config,
-                [state.context_length for state in decodes],
-                kv_bits_per_element=self.config.kv_bits,
-                batched=True,
-            )
-            tokens = np.array([[state.last_token] for state in decodes])
-            logits = self.model.forward_decode_batch(
-                tokens, [state.caches for state in decodes]
-            )
-            for index, state in enumerate(decodes):
-                self._emit(state, logits[index, -1, :])
-                new_tokens += 1
+            if wave_decodes:
+                traffic = traffic + decode_step_traffic(
+                    self.model.config,
+                    decode_contexts,
+                    kv_bits_per_element=self.config.kv_bits,
+                    batched=True,
+                )
+                weights_charged = True
+                for index, state in enumerate(wave_decodes):
+                    self._emit(state, decode_logits[index, -1, :])
+                    new_tokens += 1
 
-        for state in plan.prefills:
+            for run, logits in zip(runs, chunk_logits):
+                state = run.state
+                traffic = traffic + prefill_chunk_traffic(
+                    self.model.config,
+                    run.tokens,
+                    cached_context_tokens=state.prefill_pos,
+                    kv_bits_per_element=self.config.kv_bits,
+                    include_weights=not weights_charged,
+                )
+                weights_charged = True
+                state.prefill_pos += run.tokens
+                prefill_done += run.tokens
+                if run.prefix_hit:
+                    prefix_hit_tokens += run.prefix_hit
+                    saved = saved + prefix_cache_savings(
+                        self.model.config,
+                        run.prefix_hit,
+                        kv_bits_per_element=self.config.kv_bits,
+                    )
+                if state.prefill_pos >= state.request.prompt_length:
+                    self._waiting.remove(state)
+                    state.status = RequestStatus.RUNNING
+                    if self._pool is not None:
+                        self._pool.register_prefix(state.kv, state.request.prompt)
+                    self._running.append(state)
+                    self._emit(state, logits[-1, :], first=True)
+                    new_tokens += 1
+                else:
+                    state.status = RequestStatus.PREFILLING
+                    partial += 1
+
+        if first_wave and decodes:
+            # No chunks this step: plain batched decode (still reserving
+            # its block growth first in pool mode).
+            if self._pool is not None:
+                decodes, _, evicted = self._reserve_step_blocks(decodes, [])
+                preemptions += evicted
+            if decodes:
+                decode_contexts = [state.context_length for state in decodes]
+                tokens = np.array([[state.last_token] for state in decodes])
+                decode_logits = self.model.forward_decode_batch(
+                    tokens, [state.caches for state in decodes]
+                )
+                traffic = traffic + decode_step_traffic(
+                    self.model.config,
+                    decode_contexts,
+                    kv_bits_per_element=self.config.kv_bits,
+                    batched=True,
+                )
+                for index, state in enumerate(decodes):
+                    self._emit(state, decode_logits[index, -1, :])
+                    new_tokens += 1
+
+        for chunk in legacy:
+            state = chunk.state
             if self._pool is None:
                 # Run the fallible work (cache build, model prefill)
                 # before dequeuing: if either raises, the request stays
@@ -263,19 +434,23 @@ class Engine:
                 )
                 self._waiting.remove(state)
                 state.status = RequestStatus.RUNNING
+                state.prefill_pos = state.request.prompt_length
                 traffic = traffic + prefill_traffic(
                     self.model.config,
                     state.request.prompt_length,
                     kv_bits_per_element=self.config.kv_bits,
                 )
+                prefill_done += state.request.prompt_length
                 self._running.append(state)
                 self._emit(state, logits[0, -1, :], first=True)
                 new_tokens += 1
             else:
+                cost = state.prefill_tokens
                 hit, prefill_cost, emitted = self._prefill_paged(state)
                 traffic = traffic + prefill_cost
                 new_tokens += emitted
                 prefix_hit_tokens += hit
+                prefill_done += cost - hit
                 if hit:
                     saved = saved + prefix_cache_savings(
                         self.model.config,
@@ -285,11 +460,12 @@ class Engine:
 
         report = StepReport(
             step=self._step_index,
-            prefills=len(plan.prefills),
+            prefills=executed_chunks + len(legacy),
             decodes=len(decodes),
             new_tokens=new_tokens,
-            batch_tokens=len(decodes)
-            + sum(state.prefill_tokens for state in plan.prefills),
+            batch_tokens=len(decodes) + sum(chunk.tokens for chunk in plan.prefills),
+            prefill_tokens=prefill_done,
+            partial_prefills=partial,
             elapsed_seconds=time.perf_counter() - started,
             traffic=traffic,
             preemptions=preemptions,
@@ -305,30 +481,142 @@ class Engine:
         self._step_index += 1
         return report
 
+    # -- chunked prefill --------------------------------------------------
+
+    def _plan_waves(self, chunks: list[PrefillChunk]) -> list[list[PrefillChunk]]:
+        """Partition one step's chunks into prefix-ordered waves.
+
+        The chunk lane fuses every chunk into one flat pass, but a
+        fresh request can only map a prefix-cache hit *after* the
+        donor's blocks are registered — which happens when the donor's
+        prompt completes.  So a chunk whose prompt shares at least one
+        whole block with an earlier same-step chunk that completes is
+        deferred to a later wave: the earlier prompt registers first,
+        and the deferred request maps its blocks instead of recomputing
+        them (exactly what the sequential admission order used to
+        give).  Requests with distinct prompts all land in wave one.
+        """
+        if (
+            self._pool is None
+            or self._pool.prefix_cache is None
+            or len(chunks) <= 1
+        ):
+            return [chunks] if chunks else []
+        block = self._pool.block_size
+        waves: list[list[PrefillChunk]] = []
+        committed: list[PrefillChunk] = []
+        remaining = list(chunks)
+        while remaining:
+            wave: list[PrefillChunk] = []
+            deferred: list[PrefillChunk] = []
+            for chunk in remaining:
+                if chunk.state.caches is not None:
+                    # A continuation already holds its cache; its hit
+                    # opportunity has passed.
+                    wave.append(chunk)
+                    continue
+                prompt = chunk.request.prompt
+
+                def blocks_from(donors) -> int:
+                    return max(
+                        (
+                            _common_prefix(prompt, donor.request.prompt) // block
+                            for donor in donors
+                            if donor.completes
+                        ),
+                        default=0,
+                    )
+
+                # Defer only when waiting strictly improves on what the
+                # pool (or an earlier wave) already offers this prompt.
+                have = max(
+                    self._pool.peek_shared(prompt) // block,
+                    blocks_from(committed),
+                )
+                if blocks_from(wave) > have:
+                    deferred.append(chunk)
+                else:
+                    wave.append(chunk)
+            waves.append(wave)
+            committed.extend(wave)
+            remaining = deferred
+        return waves
+
+    def _begin_chunks(self, chunks: list[PrefillChunk]) -> list[_ChunkRun]:
+        """Materialize caches for this step's chunks (fallible setup).
+
+        A fresh request gets its cache here — through the prefix cache
+        in pool mode, which may shrink the executed chunk (cached
+        positions are mapped, not computed).  If any setup step raises,
+        every chunk already set up is rolled back so no request loses
+        pool blocks or its queue slot.
+        """
+        runs: list[_ChunkRun] = []
+        try:
+            for chunk in chunks:
+                state = chunk.state
+                hit = 0
+                if state.caches is None:
+                    if self._pool is not None:
+                        seq = self._pool.create_sequence(state.request.prompt)
+                        state.kv = seq
+                        state.caches = seq.caches
+                        state.prefill_pos = seq.shared_tokens
+                        hit = seq.shared_tokens
+                    else:
+                        state.caches = self._cache_factory()
+                tokens = min(
+                    chunk.tokens,
+                    state.request.prompt_length - state.prefill_pos,
+                )
+                runs.append(_ChunkRun(state=state, tokens=tokens, prefix_hit=hit))
+        except Exception:
+            for run in runs:
+                self._rollback_chunk(run.state)
+            raise
+        return runs
+
+    def _rollback_chunk(self, state: RequestState) -> None:
+        """Undo a chunk participant: release its cache, stay queued."""
+        if state.kv is not None:
+            state.kv.release()
+            state.kv = None
+        state.caches = None
+        state.prefill_pos = 0
+        state.status = RequestStatus.WAITING
+
     # -- paged KV pool paths ----------------------------------------------
 
-    def _reserve_decode_blocks(
-        self, decodes: list[RequestState]
-    ) -> tuple[list[RequestState], int]:
-        """Shrink the decode batch until its block growth fits the pool.
+    def _reserve_step_blocks(
+        self, decodes: list[RequestState], runs: list[_ChunkRun]
+    ) -> tuple[list[RequestState], list[_ChunkRun], int]:
+        """Shrink the step until its block growth fits the pool.
 
-        Every surviving decode appends one position this step; when the
-        pool (free plus reclaimable prefix-cache blocks) cannot cover
-        the worst-case growth, the latest-arrived request is preempted —
-        its blocks return to the pool and it re-enters the waiting
-        queue for recompute-on-resume.
+        Every surviving decode appends one position and every chunk its
+        token count; when the pool (free plus reclaimable prefix-cache
+        blocks) cannot cover the worst-case growth, the latest-arrived
+        request — running, chunked this step, or half-prefilled but
+        unscheduled — is preempted: its blocks return to the pool and
+        it recomputes from scratch on re-admission.
         """
         assert self._pool is not None
         preemptions = 0
-        while decodes:
-            demand = sum(state.kv.blocks_for_append(1) for state in decodes)
+        while decodes or runs:
+            demand = sum(state.kv.blocks_for_append(1) for state in decodes) + sum(
+                run.state.kv.blocks_for_append(run.tokens) for run in runs
+            )
             if demand <= self._pool.free_blocks + self._pool.reclaimable_blocks:
                 break
-            victim = self._preemptor.select_victim(decodes)
-            decodes.remove(victim)
-            self._preempt(victim)
+            holders = [state for state in self._waiting if state.kv is not None]
+            victim = self._preemptor.select_victim(decodes + holders)
+            if victim in decodes:
+                decodes.remove(victim)
+                self._preempt(victim)
+            else:
+                runs = [run for run in runs if run.state is not victim]
+                self._preempt_prefill(victim)
             preemptions += 1
-        return decodes, preemptions
+        return decodes, runs, preemptions
 
     def _preempt(self, state: RequestState) -> None:
         """Evict a running request's KV residency (recompute-on-resume)."""
@@ -336,6 +624,7 @@ class Engine:
         state.kv.release()
         state.kv = None
         state.caches = None
+        state.prefill_pos = 0
         state.status = RequestStatus.WAITING
         state.preemptions += 1
         # Re-enter the waiting queue in arrival order so FCFS resumes
@@ -346,15 +635,30 @@ class Engine:
         )
         self._waiting.insert(index, state)
 
+    def _preempt_prefill(self, state: RequestState) -> None:
+        """Evict a half-prefilled request's partial cache.
+
+        The request keeps its waiting-queue position (arrival order)
+        but restarts its prefill from scratch when re-admitted; with
+        prefix caching on, any blocks its earlier chunks registered
+        may still be re-mapped instead of recomputed.
+        """
+        state.kv.release()
+        state.kv = None
+        state.caches = None
+        state.prefill_pos = 0
+        state.status = RequestStatus.WAITING
+        state.preemptions += 1
+
     def _prefill_paged(self, state: RequestState) -> tuple[int, StepTraffic, int]:
         """Prefill (or resume) one request through the paged pool.
 
-        A fresh request maps any cached prompt prefix, prefills only
-        the uncached suffix, and emits its first token.  A resumed
-        (previously preempted) request rebuilds its cache bitwise by
-        replaying its exact original call pattern — suffix prefill,
-        then one single-token step per already-emitted token — and
-        emits nothing until it rejoins the decode batch.
+        The legacy whole-admission path, kept for resumed requests (a
+        previously preempted, mid-decode request rebuilds its cache
+        bitwise by replaying its exact original call pattern — suffix
+        prefill, then one single-token step per already-emitted token —
+        and emits nothing until it rejoins the decode batch) and for
+        fresh prefills when chunking is off.
 
         Returns ``(prefix_hit_tokens, traffic, tokens_emitted)``.
         """
@@ -395,6 +699,7 @@ class Engine:
             raise
         self._waiting.remove(state)
         state.status = RequestStatus.RUNNING
+        state.prefill_pos = request.prompt_length
         self._pool.register_prefix(seq, prompt)
         self._running.append(state)
         if resumed:
@@ -413,14 +718,16 @@ class Engine:
             request.top_k,
             state.rng,
         )
+        now = time.perf_counter()
         state.generated.append(token)
+        state.token_times.append(now)
         if first:
             state.first_token_step = self._step_index
-            state.first_token_time = time.perf_counter()
+            state.first_token_time = now
         if state.done:
             state.status = RequestStatus.FINISHED
             state.finish_step = self._step_index
-            state.finish_time = time.perf_counter()
+            state.finish_time = now
             if state.kv is not None:
                 # Drop the request's block references; blocks shared
                 # through the prefix cache stay resident for future hits.
@@ -438,6 +745,13 @@ class Engine:
 
     # -- collection -------------------------------------------------------
 
+    def _stuck_ids(self) -> str:
+        """Comma-separated ids of every request still queued or running."""
+        ids = sorted(
+            state.request.request_id for state in self._waiting + self._running
+        )
+        return ", ".join(str(request_id) for request_id in ids)
+
     def drain(self, max_steps: int | None = None) -> list[CompletedRequest]:
         """Step until idle; return uncollected finished requests by id.
 
@@ -451,7 +765,8 @@ class Engine:
                 :class:`~repro.errors.ModelError` instead of looping
                 forever if the queue has not drained after this many
                 steps (e.g. a scheduler bug starving a request, or
-                preemption thrash in an undersized KV pool).
+                preemption thrash in an undersized KV pool).  The error
+                names the stuck request ids.
 
         A step that makes no progress at all (no prefill, no decode, no
         preemption) while requests are still queued is a scheduler
@@ -466,7 +781,8 @@ class Engine:
                 raise ModelError(
                     f"drain did not finish within max_steps={max_steps}: "
                     f"{len(self._waiting)} waiting / {len(self._running)} "
-                    "running requests remain"
+                    f"running requests remain (stuck request ids: "
+                    f"{self._stuck_ids()})"
                 )
             report = self.step()
             steps += 1
@@ -479,8 +795,8 @@ class Engine:
                 raise ModelError(
                     "scheduler made no progress with requests queued "
                     f"({len(self._waiting)} waiting / {len(self._running)} "
-                    "running); this is a scheduling bug, not a capacity "
-                    "limit"
+                    f"running; stuck request ids: {self._stuck_ids()}); "
+                    "this is a scheduling bug, not a capacity limit"
                 )
         return self.pop_finished()
 

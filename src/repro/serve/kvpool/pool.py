@@ -184,6 +184,28 @@ class KVPool:
         budget stops being reclaimable the moment this request maps it,
         so it must be charged against the same budget.
         """
+        return self._admission_cost(prompt_tokens, total_positions, reserve_logits)
+
+    def chunk_block_cost(self, prompt_tokens: np.ndarray, chunk_tokens: int) -> int:
+        """Pool-budget cost (blocks) of a fresh request's *first chunk*.
+
+        Chunked admissions only commit the chunk's footprint: blocks to
+        hold the positions written this step (beyond any shared
+        prefix), plus the same CoW-slack and pinning charges as a full
+        prefill.  Later chunks of a half-prefilled request are costed
+        by the planner as plain cache growth
+        (:meth:`SequenceKV.blocks_for_append`).
+        """
+        shared = self.peek_shared(prompt_tokens, reserve_logits=True)
+        end = min(int(len(prompt_tokens)), shared + chunk_tokens)
+        return self._admission_cost(prompt_tokens, end, reserve_logits=True)
+
+    def _admission_cost(
+        self,
+        prompt_tokens: np.ndarray,
+        total_positions: int,
+        reserve_logits: bool,
+    ) -> int:
         shared_blocks: list[int] = []
         shared = 0
         if self.prefix_cache is not None:
@@ -228,6 +250,12 @@ class PoolPlanner(KVBlockPlanner):
             state.prefill_tokens,
             reserve_logits=not state.generated,
         )
+
+    def chunk_blocks(self, state, tokens: int) -> int:
+        if state.kv is not None:
+            # Half-prefilled: the chunk is plain growth of its cache.
+            return state.kv.blocks_for_append(tokens)
+        return self._pool.chunk_block_cost(state.request.prompt, tokens)
 
     def admit(self, blocks_needed: int) -> None:
         self._available -= blocks_needed

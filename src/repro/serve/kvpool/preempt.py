@@ -1,14 +1,18 @@
 """Preemption policy: who loses KV residency under pool pressure.
 
-When a decode step needs more blocks than the pool can free (even
-after reclaiming unreferenced prefix-cache blocks), some running
-request must give its blocks back.  The :class:`Preemptor` picks the
-victims; the engine evicts them with *recompute-on-resume* semantics —
-the victim keeps its emitted tokens and RNG state, returns to the
-waiting queue, and on re-admission replays its exact original call
-pattern (whole-prompt prefill, then one single-token step per decoded
-token) so the rebuilt cache, and every later token, is bitwise
-identical to an uninterrupted run.
+When a step needs more blocks than the pool can free (even after
+reclaiming unreferenced prefix-cache blocks), some resident request
+must give its blocks back.  The :class:`Preemptor` picks the victims
+from every block holder — running decodes *and* half-prefilled chunked
+prompts — and the engine evicts them with *recompute-on-resume*
+semantics.  A decoding victim keeps its emitted tokens and RNG state,
+returns to the waiting queue, and on re-admission replays its exact
+original call pattern (whole-prompt prefill, then one single-token
+step per decoded token) so the rebuilt cache, and every later token,
+is bitwise identical to an uninterrupted run.  A half-prefilled victim
+has emitted nothing yet; it simply drops its partial cache and
+restarts its chunked prefill from scratch (re-mapping any prompt
+blocks the prefix cache still holds).
 
 Evicting the *latest* arrival first keeps the policy FCFS-fair: the
 oldest requests — the ones closest to finishing, holding the most

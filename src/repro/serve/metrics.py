@@ -6,14 +6,40 @@ summary — the object the serving benchmark serializes.  In paged
 KV-pool mode the reports additionally carry the memory subsystem's
 counters: preemptions, prefix-cache block evictions, prefix-hit tokens
 and the DRAM traffic those hits avoided.
+
+Latency is summarized as percentiles, the form a serving SLO is
+written in: **TTFT** (time to first token — what chunked prefill
+bounds for the long prompt itself) and **ITL** (inter-token latency —
+what mixed steps bound for everyone else, by never letting a monolithic
+prefill stall the decode batch).  TTFT percentiles are taken across
+requests; ITL percentiles are taken across every consecutive
+token-to-token gap of every request, so one long stall in one request
+shows up in the tail instead of averaging away.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 from repro.hw.traffic import StepTraffic
 from repro.serve.request import RequestMetrics
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 1]) of ``values``.
+
+    Thin wrapper over :func:`numpy.quantile` that returns 0.0 for an
+    empty sequence, so metric objects are safe to render before any
+    request finishes.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile q must lie in [0, 1], got {q}")
+    if not values:
+        return 0.0
+    return float(np.quantile(np.asarray(values), q))
 
 
 @dataclass(frozen=True)
@@ -22,12 +48,19 @@ class StepReport:
 
     Attributes:
         step: the engine's step index.
-        prefills / decodes: request counts per phase this step.
-        new_tokens: tokens emitted (prefills produce their first token).
-        batch_tokens: scheduler budget consumed (prompt lengths + decodes).
+        prefills / decodes: request counts per phase this step (a
+            prefill here is one admitted chunk — a whole prompt when
+            chunking is off or the budget covers it).
+        new_tokens: tokens emitted (completed prefills produce their
+            first token).
+        batch_tokens: scheduler budget consumed (chunk grants + decodes).
+        prefill_tokens: prompt positions actually computed this step.
+        partial_prefills: chunks that did not complete their prompt
+            (the request stays in the waiting queue, half-prefilled).
         elapsed_seconds: wall-clock duration of the step.
         traffic: simulated DRAM traffic of the step.
-        preemptions: running requests evicted for blocks this step.
+        preemptions: running or half-prefilled requests evicted for
+            blocks this step.
         evicted_blocks: prefix-cache blocks reclaimed this step.
         prefix_hit_tokens: prompt positions served from shared blocks.
         prefix_saved_bytes: simulated DRAM bytes those hits avoided.
@@ -40,6 +73,8 @@ class StepReport:
     batch_tokens: int
     elapsed_seconds: float
     traffic: StepTraffic
+    prefill_tokens: int = 0
+    partial_prefills: int = 0
     preemptions: int = 0
     evicted_blocks: int = 0
     prefix_hit_tokens: int = 0
@@ -57,6 +92,9 @@ class EngineMetrics:
         tokens_per_second: aggregate decode throughput.
         mean_batch_size: average requests per non-empty step.
         traffic: summed simulated DRAM traffic.
+        prefill_tokens: prompt positions computed across all steps.
+        partial_prefills: chunk admissions that left a prompt in
+            flight (0 everywhere when chunking is off).
         preemptions: total recompute-on-resume evictions.
         evicted_blocks: total prefix-cache blocks reclaimed.
         prefix_hit_tokens: total prompt positions shared, not computed.
@@ -70,6 +108,8 @@ class EngineMetrics:
     tokens_per_second: float
     mean_batch_size: float
     traffic: StepTraffic
+    prefill_tokens: int = 0
+    partial_prefills: int = 0
     preemptions: int = 0
     evicted_blocks: int = 0
     prefix_hit_tokens: int = 0
@@ -87,6 +127,32 @@ class EngineMetrics:
         if not self.requests:
             return 0.0
         return sum(r.ttft_seconds for r in self.requests) / len(self.requests)
+
+    def _ttfts(self) -> list[float]:
+        return [r.ttft_seconds for r in self.requests]
+
+    def _itl_gaps(self) -> list[float]:
+        return [gap for r in self.requests for gap in r.itl_seconds]
+
+    @property
+    def ttft_p50_seconds(self) -> float:
+        """Median time-to-first-token across finished requests."""
+        return percentile(self._ttfts(), 0.50)
+
+    @property
+    def ttft_p95_seconds(self) -> float:
+        """Tail time-to-first-token across finished requests."""
+        return percentile(self._ttfts(), 0.95)
+
+    @property
+    def itl_p50_seconds(self) -> float:
+        """Median inter-token gap across every request's token stream."""
+        return percentile(self._itl_gaps(), 0.50)
+
+    @property
+    def itl_p95_seconds(self) -> float:
+        """Tail inter-token gap — the stall a monolithic prefill causes."""
+        return percentile(self._itl_gaps(), 0.95)
 
 
 def summarize(
@@ -110,6 +176,8 @@ def summarize(
         tokens_per_second=(total_tokens / total_seconds if total_seconds > 0 else 0.0),
         mean_batch_size=sum(active) / len(active) if active else 0.0,
         traffic=traffic,
+        prefill_tokens=sum(report.prefill_tokens for report in reports),
+        partial_prefills=sum(report.partial_prefills for report in reports),
         preemptions=sum(report.preemptions for report in reports),
         evicted_blocks=sum(report.evicted_blocks for report in reports),
         prefix_hit_tokens=sum(report.prefix_hit_tokens for report in reports),

@@ -23,10 +23,13 @@ class RequestStatus(enum.Enum):
 
     A preempted request goes back to WAITING with its generated tokens
     and RNG state intact; re-admission replays its cache
-    (recompute-on-resume) before decoding continues.
+    (recompute-on-resume) before decoding continues.  A half-prefilled
+    request preempted mid-chunk also returns to WAITING, with its
+    partial cache released (``prefill_pos`` reset to zero).
     """
 
     WAITING = "waiting"  # admitted to the queue, no compute yet
+    PREFILLING = "prefilling"  # chunked prefill in flight, cache partial
     RUNNING = "running"  # prefilled; decoding one token per step
     FINISHED = "finished"
 
@@ -86,6 +89,10 @@ class RequestState:
     #: Paged-pool handle (``repro.serve.kvpool.SequenceKV``) when the
     #: engine runs in kv_pool mode; None for unpaged caches.
     kv: object | None = None
+    #: Prompt positions already prefilled (chunked prefill progress).
+    #: Strictly between 0 and the prompt length, the request holds a
+    #: partial KV cache and is mid-way through a chunked prefill.
+    prefill_pos: int = 0
     generated: list[int] = field(default_factory=list)
     rng: np.random.Generator | None = None
     preemptions: int = 0
@@ -96,6 +103,10 @@ class RequestState:
     arrival_time: float = 0.0
     first_token_time: float | None = None
     finish_time: float | None = None
+    #: Wall-clock mark of every emitted token, in emission order; the
+    #: gaps between consecutive marks are the request's inter-token
+    #: latencies (what the ITL percentiles aggregate).
+    token_times: list[float] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.rng is None:
@@ -121,12 +132,14 @@ class RequestState:
     def prefill_tokens(self) -> int:
         """Positions the next admission must compute (schedule cost).
 
-        A fresh request prefills its prompt.  A preempted request
+        A fresh request prefills its prompt; a half-prefilled request
+        only the part beyond ``prefill_pos``.  A preempted request
         additionally replays each already-emitted token except the
         last (whose KV the next decode step writes), rebuilding its
         cache bitwise before decoding resumes.
         """
-        return self.request.prompt_length + max(0, len(self.generated) - 1)
+        remaining = self.request.prompt_length - self.prefill_pos
+        return remaining + max(0, len(self.generated) - 1)
 
     @property
     def done(self) -> bool:
@@ -148,6 +161,9 @@ class RequestMetrics:
         prompt_length / generated_tokens: token counts.
         ttft_steps / ttft_seconds: submit-to-first-token latency.
         latency_steps / latency_seconds: submit-to-finish latency.
+        itl_seconds: gap between each consecutive pair of emitted
+            tokens (``generated_tokens - 1`` entries) — the raw
+            inter-token latencies the p50/p95 summaries aggregate.
     """
 
     request_id: int
@@ -157,6 +173,7 @@ class RequestMetrics:
     latency_steps: int
     ttft_seconds: float
     latency_seconds: float
+    itl_seconds: tuple[float, ...] = ()
 
 
 @dataclass(frozen=True, eq=False)
@@ -195,6 +212,10 @@ def complete(state: RequestState) -> CompletedRequest:
         latency_steps=state.finish_step - state.arrival_step,
         ttft_seconds=state.first_token_time - state.arrival_time,
         latency_seconds=state.finish_time - state.arrival_time,
+        itl_seconds=tuple(
+            later - earlier
+            for earlier, later in zip(state.token_times, state.token_times[1:])
+        ),
     )
     return CompletedRequest(
         request_id=state.request.request_id,

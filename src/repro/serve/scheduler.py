@@ -1,11 +1,21 @@
 """Step-level scheduling: which requests prefill or decode this step.
 
 Every engine step is planned under a *token budget*: running requests
-each consume one decode token, and waiting requests consume their whole
-prompt length when admitted for prefill.  The budget
-(``max_batch_tokens``) bounds the work of one model step — the knob
-that trades time-to-first-token against decode throughput — while
+each consume one decode token, and waiting requests consume prompt
+positions when admitted for prefill.  The budget (``max_batch_tokens``)
+bounds the work of one model step — the knob that trades
+time-to-first-token against decode throughput — while
 ``max_batch_size`` bounds concurrent KV-cache residency.
+
+With **chunked prefill** (the engine's default), a waiting request no
+longer has to fit its whole prompt into one step: the budget walk
+reserves one token per running decode first, then hands whatever
+budget is left to prefill work as a *chunk* — so a long prompt
+prefills across several steps while every running request keeps
+decoding (Sarathi/vLLM-style mixed steps).  A half-prefilled request
+(``RequestState.prefill_pos`` > 0) stays in the waiting queue holding
+its partial cache; it keeps its residency slot, and admitting its next
+chunk never consumes a new one.
 
 Admission *order* is a policy:
 
@@ -13,19 +23,27 @@ Admission *order* is a policy:
   default);
 * **shortest-prompt-first** — admit cheap prompts first, maximizing how
   many requests reach the decode batch per unit of prefill budget
-  (throughput-greedy, can starve long prompts under load).
+  (throughput-greedy, can starve long prompts under load);
+* **decode-first** — continue in-flight chunked prefills before
+  admitting new requests, FCFS otherwise.  Decode tokens are reserved
+  off the top of the budget structurally; this policy additionally
+  keeps the prefill side of the budget focused on one prompt at a
+  time, so a chunked prefill finishes (and starts decoding) as early
+  as possible instead of smearing several partial caches across steps.
 
 Policies only order the waiting queue; the budget walk below is shared.
 One guarantee is unconditional: if nothing is running and nothing fits,
 the first candidate is admitted anyway (a prompt longer than the budget
-must not deadlock the engine).
+must not deadlock the engine — with chunking on, it simply gets a
+budget-sized chunk).
 
 When the engine runs a paged KV pool, admission is additionally planned
 against the pool's *free-block budget* (a :class:`KVBlockPlanner`):
 a waiting request is only admitted when its prefill's block footprint —
-after prefix-cache sharing — fits in what is free or reclaimable once
-the running requests' decode growth is reserved.  Token budget bounds
-the *work* of a step; block budget bounds the *memory* it commits.
+after prefix-cache sharing, and for a chunk only the chunk's growth —
+fits in what is free or reclaimable once the running requests' decode
+growth is reserved.  Token budget bounds the *work* of a step; block
+budget bounds the *memory* it commits.
 """
 
 from __future__ import annotations
@@ -42,14 +60,20 @@ class KVBlockPlanner:
     ``available_blocks`` is the pool headroom admissions may claim
     (free plus reclaimable prefix-cache blocks, minus the running
     requests' reserved decode growth); ``prefill_blocks`` is one
-    candidate's fresh-block footprint after prefix sharing; ``admit``
-    commits an already-computed footprint against the budget.
+    candidate's fresh-block footprint after prefix sharing;
+    ``chunk_blocks`` is the footprint of prefilling just the next
+    ``tokens`` positions of a candidate (its partial cache's block
+    growth); ``admit`` commits an already-computed footprint against
+    the budget.
     """
 
     def available_blocks(self) -> int:
         raise NotImplementedError
 
     def prefill_blocks(self, state: RequestState) -> int:
+        raise NotImplementedError
+
+    def chunk_blocks(self, state: RequestState, tokens: int) -> int:
         raise NotImplementedError
 
     def admit(self, blocks_needed: int) -> None:
@@ -89,10 +113,35 @@ class ShortestPromptFirstPolicy(SchedulerPolicy):
         )
 
 
+class DecodeFirstPolicy(SchedulerPolicy):
+    """Finish in-flight chunked prefills before admitting new work.
+
+    A half-prefilled request holds KV memory but produces nothing
+    until its prompt completes; front-running it with fresh admissions
+    both delays its first token and multiplies the number of partial
+    caches resident at once.  This policy pins in-flight prefills to
+    the head of the queue (FCFS among themselves and among the rest),
+    which bounds partial-cache residency to one prompt at a time under
+    steady traffic.
+    """
+
+    name = "decode-first"
+
+    def order(self, waiting: list[RequestState]) -> list[RequestState]:
+        return sorted(
+            waiting,
+            key=lambda state: (
+                0 if state.prefill_pos > 0 else 1,
+                state.request.request_id,
+            ),
+        )
+
+
 #: Registry of scheduler policies by name.
 POLICIES: dict[str, type[SchedulerPolicy]] = {
     FcfsPolicy.name: FcfsPolicy,
     ShortestPromptFirstPolicy.name: ShortestPromptFirstPolicy,
+    DecodeFirstPolicy.name: DecodeFirstPolicy,
 }
 
 
@@ -107,21 +156,47 @@ def get_policy(name: str) -> SchedulerPolicy:
 
 
 @dataclass(frozen=True)
+class PrefillChunk:
+    """One admitted slice of prefill work: a request and a token count.
+
+    ``tokens`` is the scheduler's budget grant; the engine may execute
+    fewer positions when a prefix-cache hit shortens the fresh request
+    (the grant is an upper bound, never a shortfall).  An unchunked
+    admission is simply a chunk spanning the request's whole remaining
+    prefill.
+    """
+
+    state: RequestState
+    tokens: int
+
+    @property
+    def request(self):
+        """The underlying request (convenience passthrough)."""
+        return self.state.request
+
+    @property
+    def completes(self) -> bool:
+        """Whether this grant covers the rest of the prefill."""
+        return self.tokens >= self.state.prefill_tokens
+
+
+@dataclass(frozen=True)
 class StepPlan:
     """The scheduler's decision for one engine step.
 
     Attributes:
         decodes: running requests decoding one token each.
-        prefills: waiting requests admitted for prefill this step.
+        prefills: prefill chunks admitted this step (full prompts when
+            chunking is off or the budget covers them).
         budget_tokens: tokens of model work the plan consumes.
     """
 
     decodes: list[RequestState] = field(default_factory=list)
-    prefills: list[RequestState] = field(default_factory=list)
+    prefills: list[PrefillChunk] = field(default_factory=list)
 
     @property
     def budget_tokens(self) -> int:
-        return len(self.decodes) + sum(state.prefill_tokens for state in self.prefills)
+        return len(self.decodes) + sum(chunk.tokens for chunk in self.prefills)
 
     @property
     def empty(self) -> bool:
@@ -135,6 +210,7 @@ def plan_step(
     max_batch_size: int,
     max_batch_tokens: int,
     blocks: KVBlockPlanner | None = None,
+    chunking: bool = False,
 ) -> StepPlan:
     """Plan one step: decodes keep their slots, prefills fill the rest.
 
@@ -147,9 +223,14 @@ def plan_step(
     request that does not fit (head-of-line blocking is deliberate:
     skipping over a big request forever would starve it).
 
-    A resumed request's prefill cost covers its whole replay — prompt
-    plus already-emitted tokens (``RequestState.prefill_tokens``) — so
-    recompute-on-resume work is budgeted like any other prefill.
+    With ``chunking`` on, a fresh request that does not fit whole is
+    admitted for a *partial* chunk — whatever token budget remains
+    after decodes — and continues across steps; a half-prefilled
+    request already holds its residency slot, so continuing it never
+    consumes a new one.  A resumed (previously preempted, mid-decode)
+    request is never chunked: its prefill cost covers its whole bitwise
+    replay — prompt plus already-emitted tokens
+    (``RequestState.prefill_tokens``) — in one admission.
     """
     if max_batch_size < 1:
         raise ModelError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -158,13 +239,32 @@ def plan_step(
 
     decodes = list(running)
     budget = max_batch_tokens - len(decodes)
-    slots = max_batch_size - len(decodes)
-    prefills: list[RequestState] = []
+    # Half-prefilled requests hold KV residency from the waiting queue;
+    # count them against the slot cap so fresh admissions cannot strand
+    # them, but let their own continuation through for free.
+    inflight = sum(1 for state in waiting if state.prefill_pos > 0)
+    slots = max_batch_size - len(decodes) - inflight
+    prefills: list[PrefillChunk] = []
     for state in policy.order(waiting):
-        if slots < 1:
-            break
-        cost = state.prefill_tokens
-        block_cost = 0 if blocks is None else blocks.prefill_blocks(state)
+        continuing = state.prefill_pos > 0
+        if not continuing and slots < 1:
+            # Skip, don't stop: a slot-exempt in-flight continuation
+            # later in policy order (e.g. a long prompt under
+            # shortest-prompt-first) must still get its chunk, or it
+            # would pin its KV blocks while never progressing.
+            continue
+        remaining = state.prefill_tokens
+        chunkable = chunking and not state.generated
+        cost = min(remaining, budget) if chunkable else remaining
+        if cost < 1:
+            break  # decodes (or earlier chunks) consumed the budget
+        block_cost = 0
+        if blocks is not None:
+            block_cost = (
+                blocks.chunk_blocks(state, cost)
+                if chunkable
+                else blocks.prefill_blocks(state)
+            )
         fits_tokens = cost <= budget
         fits_blocks = blocks is None or block_cost <= blocks.available_blocks()
         if not (fits_tokens and fits_blocks):
@@ -174,13 +274,14 @@ def plan_step(
                 # the queue (with nothing running, the whole pool is
                 # free or reclaimable, so submit-time validation
                 # guarantees the blocks exist).
-                prefills.append(state)
+                prefills.append(PrefillChunk(state, cost))
                 if blocks is not None:
                     blocks.admit(block_cost)
             break
-        prefills.append(state)
+        prefills.append(PrefillChunk(state, cost))
         budget -= cost
-        slots -= 1
+        if not continuing:
+            slots -= 1
         if blocks is not None:
             blocks.admit(block_cost)
     return StepPlan(decodes=decodes, prefills=prefills)

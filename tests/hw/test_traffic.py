@@ -7,6 +7,7 @@ from repro.hw.traffic import (
     StepTraffic,
     batching_traffic_advantage,
     decode_step_traffic,
+    prefill_chunk_traffic,
     prefill_traffic,
     prefix_cache_savings,
 )
@@ -77,6 +78,50 @@ class TestPrefillTraffic:
             prefill_traffic(config, 16, cached_prefix_tokens=16)
         with pytest.raises(HardwareError):
             prefill_traffic(config, 16, cached_prefix_tokens=-1)
+
+
+class TestPrefillChunkTraffic:
+    def test_first_chunk_matches_monolithic_prefill(self, config):
+        # A whole-prompt chunk with no cached context is exactly a
+        # monolithic prefill charge.
+        chunk = prefill_chunk_traffic(config, 64)
+        mono = prefill_traffic(config, 64)
+        assert chunk.total_bytes == pytest.approx(mono.total_bytes)
+        assert chunk.kv_read_bytes == 0.0
+
+    def test_later_chunks_reread_cached_context(self, config):
+        # Chunking's bandwidth cost: chunk N re-reads the N-1 earlier
+        # chunks' KV from DRAM, scaling with how deep it starts.
+        shallow = prefill_chunk_traffic(config, 16, cached_context_tokens=16)
+        deep = prefill_chunk_traffic(config, 16, cached_context_tokens=48)
+        assert deep.kv_read_bytes == 3 * shallow.kv_read_bytes
+        assert deep.kv_write_bytes == shallow.kv_write_bytes
+
+    def test_riding_chunk_shares_the_weight_stream(self, config):
+        # A chunk in a mixed step amortizes the decode batch's weight
+        # stream instead of paying its own.
+        alone = prefill_chunk_traffic(config, 16)
+        riding = prefill_chunk_traffic(config, 16, include_weights=False)
+        assert riding.weight_bytes == 0.0
+        assert alone.weight_bytes > 0.0
+        assert alone.kv_write_bytes == riding.kv_write_bytes
+
+    def test_anda_kv_bits_shrink_the_context_reread(self, config):
+        bits = kv_bits_per_element("anda", mantissa_bits=6)
+        fp16 = prefill_chunk_traffic(config, 16, cached_context_tokens=64)
+        anda = prefill_chunk_traffic(
+            config, 16, cached_context_tokens=64, kv_bits_per_element=bits
+        )
+        assert anda.kv_read_bytes == pytest.approx(fp16.kv_read_bytes * bits / 16.0)
+        assert anda.weight_bytes == fp16.weight_bytes
+
+    def test_invalid_inputs_rejected(self, config):
+        with pytest.raises(HardwareError):
+            prefill_chunk_traffic(config, 0)
+        with pytest.raises(HardwareError):
+            prefill_chunk_traffic(config, 8, cached_context_tokens=-1)
+        with pytest.raises(HardwareError):
+            prefill_chunk_traffic(config, 8, kv_bits_per_element=0.0)
 
 
 class TestPrefixCacheSavings:

@@ -1,0 +1,442 @@
+"""Chunked-prefill tests: bitwise parity, mixed steps, starvation.
+
+The acceptance bar for chunked prefill: splitting a prompt into
+budget-sized chunks that ride along with the decode batch changes step
+composition — and therefore latency — but **never** changes a token.
+Parity is pinned across {fp16, anda} x {paged, unpaged}, greedy and
+sampled, tiny budgets (many chunks per prompt) and generous ones.  The
+scheduler side is pinned too: mixed steps keep decoding while a long
+prompt prefills (no head-of-line starvation), half-prefilled requests
+hold their residency slot, can be preempted under pool pressure, and
+recover cleanly from a mid-step model failure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.llm.config import tiny_test_config
+from repro.llm.generation import generate
+from repro.llm.kv_quant import make_cache_factory
+from repro.llm.transformer import build_model
+from repro.serve import (
+    DecodeFirstPolicy,
+    Engine,
+    EngineConfig,
+    RequestStatus,
+    get_policy,
+    plan_step,
+    serve_batch,
+)
+from repro.serve.request import Request, RequestState
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model(tiny_test_config("opt", d_model=32, n_layers=2))
+
+
+@pytest.fixture(scope="module")
+def llama():
+    return build_model(tiny_test_config("llama", d_model=32, n_layers=2))
+
+
+@pytest.fixture(scope="module")
+def prompts():
+    rng = np.random.default_rng(7)
+    # Mixed lengths around and far beyond the tiny budgets used below.
+    return [rng.integers(0, 256, size=length) for length in (5, 37, 3, 61, 16)]
+
+
+def chunked_config(**overrides):
+    defaults = dict(chunked_prefill=True, max_batch_tokens=16, max_batch_size=4)
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+def assert_parity(results, references):
+    for served, expected in zip(results, references):
+        np.testing.assert_array_equal(served.tokens, expected.tokens)
+
+
+class TestChunkedParity:
+    """Token-bitwise identity across every KV mode and storage layout."""
+
+    @pytest.mark.parametrize("kv_mode", ["fp16", "anda"])
+    @pytest.mark.parametrize("paged", [False, True])
+    def test_chunked_matches_unchunked(self, model, prompts, kv_mode, paged):
+        pool = dict(kv_pool=True, kv_pool_blocks=64, kv_block_size=4) if paged else {}
+        chunked = serve_batch(
+            model,
+            prompts,
+            max_new_tokens=8,
+            config=chunked_config(kv_mode=kv_mode, kv_mantissa_bits=6, **pool),
+        )
+        unchunked = serve_batch(
+            model,
+            prompts,
+            max_new_tokens=8,
+            config=chunked_config(
+                chunked_prefill=False,
+                kv_mode=kv_mode,
+                kv_mantissa_bits=6,
+                **pool,
+            ),
+        )
+        assert_parity(chunked, unchunked)
+
+    @pytest.mark.parametrize("kv_mode", ["fp16", "anda"])
+    def test_chunked_matches_sequential_generate(self, model, prompts, kv_mode):
+        engine = Engine(model, chunked_config(kv_mode=kv_mode, kv_mantissa_bits=6))
+        results = serve_batch(model, prompts, max_new_tokens=8, engine=engine)
+        assert engine.metrics().partial_prefills > 0  # chunking actually ran
+        factory = make_cache_factory(model, kv_mode, 6)
+        for prompt, result in zip(prompts, results):
+            expected = generate(model, prompt, 8, cache_factory=factory)
+            np.testing.assert_array_equal(result.tokens, expected.tokens)
+
+    @pytest.mark.parametrize("kv_mode", ["fp16", "anda"])
+    def test_rotary_family_chunked_parity(self, llama, prompts, kv_mode):
+        # Chunk positions offset into the rotary table via gather.
+        chunked = serve_batch(
+            llama,
+            prompts,
+            max_new_tokens=8,
+            config=chunked_config(kv_mode=kv_mode, kv_mantissa_bits=6),
+        )
+        for prompt, result in zip(prompts, chunked):
+            expected = generate(
+                llama,
+                prompt,
+                8,
+                cache_factory=make_cache_factory(llama, kv_mode, 6),
+            )
+            np.testing.assert_array_equal(result.tokens, expected.tokens)
+
+    @pytest.mark.parametrize("budget", [4, 7, 16, 64])
+    def test_chunk_size_never_changes_tokens(self, model, prompts, budget):
+        # Different budgets mean different chunk boundaries; tokens
+        # must not move.
+        results = serve_batch(
+            model,
+            prompts,
+            max_new_tokens=6,
+            config=chunked_config(max_batch_tokens=budget),
+        )
+        for prompt, result in zip(prompts, results):
+            expected = generate(model, prompt, 6)
+            np.testing.assert_array_equal(result.tokens, expected.tokens)
+
+    def test_sampled_chunked_parity(self, model, prompts):
+        results = serve_batch(
+            model,
+            prompts,
+            max_new_tokens=8,
+            temperature=1.0,
+            seed=5,
+            config=chunked_config(),
+        )
+        for prompt, result in zip(prompts, results):
+            expected = generate(model, prompt, 8, temperature=1.0, seed=5)
+            np.testing.assert_array_equal(result.tokens, expected.tokens)
+
+    def test_paged_prefix_sharing_chunked_parity(self, model):
+        # Shared prefixes + chunking: later requests map the prompt
+        # blocks an earlier same-step admission registered.
+        rng = np.random.default_rng(3)
+        system = rng.integers(0, 256, size=12)
+        prompts = [
+            np.concatenate([system, rng.integers(0, 256, size=3)]) for _ in range(4)
+        ]
+        engine = Engine(
+            model,
+            chunked_config(
+                max_batch_tokens=64,
+                kv_pool=True,
+                kv_pool_blocks=32,
+                kv_block_size=4,
+            ),
+        )
+        results = serve_batch(model, prompts, max_new_tokens=6, engine=engine)
+        for prompt, result in zip(prompts, results):
+            expected = generate(model, prompt, 6)
+            np.testing.assert_array_equal(result.tokens, expected.tokens)
+        metrics = engine.metrics()
+        assert metrics.prefix_hit_tokens == 3 * 12
+        # Gross savings (avoided writes + activations) bound the net
+        # delta: the chunk lane re-reads the shared context it attends
+        # over, which monolithic prefill never paid.
+        assert metrics.prefix_saved_bytes > 0
+
+
+class TestMixedSteps:
+    def test_long_prompt_chunks_ride_with_decodes(self, model):
+        rng = np.random.default_rng(1)
+        engine = Engine(model, chunked_config(max_batch_tokens=8))
+        engine.submit(rng.integers(0, 256, size=4), 12)
+        engine.step()  # short prompt prefills whole, starts decoding
+        engine.submit(rng.integers(0, 256, size=40), 4)
+        mixed = engine.step()
+        # One decode and one partial chunk share the step.
+        assert mixed.decodes == 1
+        assert mixed.prefills == 1
+        assert mixed.partial_prefills == 1
+        assert 0 < mixed.prefill_tokens <= 7  # budget 8 minus one decode
+        state = engine._waiting[0]
+        assert state.status is RequestStatus.PREFILLING
+        assert 0 < state.prefill_pos < 40
+        done = {r.request_id: r for r in engine.drain()}
+        assert len(done) == 2
+
+    def test_prefill_pos_tracks_progress_to_first_token(self, model):
+        rng = np.random.default_rng(2)
+        prompt = rng.integers(0, 256, size=30)
+        engine = Engine(model, chunked_config(max_batch_tokens=8))
+        engine.submit(prompt, 2)
+        positions = []
+        state = engine._waiting[0]
+        while state.status is not RequestStatus.RUNNING:
+            engine.step()
+            positions.append(state.prefill_pos)
+        # Monotone progress in budget-sized strides, TTFT at completion.
+        assert positions == [8, 16, 24, 30]
+        assert state.first_token_step == 3
+        expected = generate(model, prompt, 2)
+        done = engine.drain()[0]
+        np.testing.assert_array_equal(done.tokens, expected.tokens)
+
+    def test_ttft_steps_scale_with_budget(self, model):
+        # The max_batch_tokens dial: a bigger budget means fewer chunk
+        # steps before the first token.
+        rng = np.random.default_rng(4)
+        prompt = rng.integers(0, 256, size=48)
+        ttfts = {}
+        for budget in (8, 48):
+            engine = Engine(model, chunked_config(max_batch_tokens=budget))
+            engine.submit(prompt, 2)
+            engine.drain()
+            ttfts[budget] = engine.metrics().requests[0].ttft_steps
+        assert ttfts[48] == 0
+        assert ttfts[8] == 5  # ceil(48 / 8) - 1 extra steps
+
+    def test_chunk_failure_rolls_back_cleanly(self, model):
+        # A mid-step model failure in the chunk lane must not corrupt
+        # running decodes or leak the chunk's cache; the request stays
+        # queued and servable.
+        rng = np.random.default_rng(6)
+        engine = Engine(
+            model,
+            chunked_config(
+                max_batch_tokens=8,
+                kv_pool=True,
+                kv_pool_blocks=32,
+                kv_block_size=4,
+            ),
+        )
+        engine.submit(rng.integers(0, 256, size=4), max_new_tokens=6)
+        engine.step()
+        free_before = engine._pool.free_blocks
+        engine.submit(rng.integers(0, 256, size=30), max_new_tokens=2)
+
+        real = engine.model.forward_mixed_step
+
+        def failing(*args, **kwargs):
+            raise ModelError("injected chunk failure")
+
+        engine.model.forward_mixed_step = failing
+        try:
+            with pytest.raises(ModelError, match="injected"):
+                engine.step()
+        finally:
+            engine.model.forward_mixed_step = real
+        state = engine._waiting[0]
+        assert state.status is RequestStatus.WAITING
+        assert state.prefill_pos == 0
+        assert state.caches is None and state.kv is None
+        assert engine._pool.free_blocks == free_before  # no block leak
+        done = engine.drain(max_steps=50)
+        assert sorted(result.request_id for result in done) == [0, 1]
+
+    def test_half_prefilled_request_preempted_under_pool_pressure(self, model):
+        # Decode growth outranks a half-prefilled prompt: when the pool
+        # runs dry, the (latest-arrived) half-prefilled request loses
+        # its partial cache, restarts from scratch, and still finishes
+        # with bitwise-identical tokens.
+        rng = np.random.default_rng(8)
+        shorts = [rng.integers(0, 256, size=4) for _ in range(3)]
+        long_prompt = rng.integers(0, 256, size=24)
+        engine = Engine(
+            model,
+            chunked_config(
+                max_batch_tokens=8,
+                max_batch_size=8,
+                kv_pool=True,
+                kv_pool_blocks=10,
+                kv_block_size=4,
+                prefix_caching=False,
+            ),
+        )
+        for prompt in shorts:
+            engine.submit(prompt, 12)
+        engine.submit(long_prompt, 2)
+        done = {r.request_id: r for r in engine.drain(max_steps=200)}
+        assert engine.metrics().preemptions > 0
+        for index, prompt in enumerate(shorts + [long_prompt]):
+            count = 12 if index < 3 else 2
+            expected = generate(model, prompt, count)
+            np.testing.assert_array_equal(done[index].tokens, expected.tokens)
+
+
+class TestNoStarvation:
+    def test_huge_prompt_never_stalls_decodes(self, model):
+        # FCFS, one huge prompt behind steady short arrivals: once
+        # chunking is on, every step with running requests makes decode
+        # progress — the huge prefill never monopolizes a step — and
+        # first-token progress happens every step (a decode, a chunk
+        # advancing toward a first token, or both).
+        rng = np.random.default_rng(9)
+        engine = Engine(model, chunked_config(max_batch_tokens=8, max_batch_size=4))
+        engine.submit(rng.integers(0, 256, size=4), 20)
+        engine.step()
+        engine.submit(rng.integers(0, 256, size=120), 2)  # the monster
+        stalled = 0
+        steps = 0
+        while engine.has_work() and steps < 200:
+            had_running = bool(engine._running)
+            report = engine.step()
+            steps += 1
+            if had_running and report.decodes == 0:
+                stalled += 1
+            assert report.decodes > 0 or report.prefill_tokens > 0
+        assert stalled == 0
+        assert not engine.has_work()
+
+    def test_unchunked_huge_prompt_does_stall(self, model):
+        # The contrast case.  Serving this workload unchunked requires
+        # a budget >= the longest prompt (a smaller budget would park
+        # the monster until the engine idles), and then the monolithic
+        # prefill shares one step with running decodes — stalling them
+        # for the whole 120-token forward.  Chunked steps never exceed
+        # their (much smaller) budget.
+        rng = np.random.default_rng(9)
+        short = rng.integers(0, 256, size=4)
+        monster = rng.integers(0, 256, size=120)
+        worst_step_work = {}
+        for chunked, budget in ((False, 128), (True, 16)):
+            engine = Engine(
+                model,
+                chunked_config(
+                    chunked_prefill=chunked,
+                    max_batch_tokens=budget,
+                    max_batch_size=4,
+                ),
+            )
+            engine.submit(short, 20)
+            engine.step()
+            engine.submit(monster, 2)
+            worst = 0
+            steps = 0
+            while engine.has_work() and steps < 300:
+                report = engine.step()
+                steps += 1
+                if report.decodes > 0:
+                    worst = max(worst, report.decodes + report.prefill_tokens)
+            worst_step_work[chunked] = worst
+        assert worst_step_work[False] >= 121  # prefill rode whole with a decode
+        assert worst_step_work[True] <= 16  # chunked never exceeds the budget
+
+    def test_short_arrivals_keep_flowing_during_long_prefill(self, model):
+        # Shorter requests submitted while the monster prefills still
+        # finish promptly (they are behind it in FCFS order, so they
+        # wait for its first token, but decodes already running never
+        # stop).
+        rng = np.random.default_rng(10)
+        engine = Engine(model, chunked_config(max_batch_tokens=12, max_batch_size=4))
+        first = engine.submit(rng.integers(0, 256, size=4), 30)
+        engine.step()
+        engine.submit(rng.integers(0, 256, size=100), 2)
+        for _ in range(4):
+            engine.step()
+        done = {r.request_id for r in engine.drain(max_steps=100)}
+        assert first in done
+
+
+class TestDecodeFirstPolicy:
+    def make_state(self, request_id, prompt_length, prefill_pos=0):
+        state = RequestState(
+            request=Request(
+                request_id=request_id,
+                prompt=np.arange(prompt_length) % 256,
+                max_new_tokens=4,
+            )
+        )
+        state.prefill_pos = prefill_pos
+        return state
+
+    def test_registry_and_ordering(self):
+        assert isinstance(get_policy("decode-first"), DecodeFirstPolicy)
+        fresh_a = self.make_state(0, 30)
+        inflight = self.make_state(1, 50, prefill_pos=16)
+        fresh_b = self.make_state(2, 4)
+        ordered = DecodeFirstPolicy().order([fresh_a, inflight, fresh_b])
+        assert [s.request.request_id for s in ordered] == [1, 0, 2]
+
+    def test_inflight_prefill_finishes_before_new_admissions(self):
+        inflight = self.make_state(0, 50, prefill_pos=40)
+        fresh = self.make_state(1, 4)
+        plan = plan_step(
+            [inflight, fresh], [], DecodeFirstPolicy(), 4, 16, chunking=True
+        )
+        assert [c.state.request.request_id for c in plan.prefills] == [0, 1]
+        assert plan.prefills[0].tokens == 10  # finishes the in-flight prompt
+
+    def test_engine_parity_under_decode_first(self, model, prompts):
+        results = serve_batch(
+            model,
+            prompts,
+            max_new_tokens=6,
+            config=chunked_config(policy="decode-first"),
+        )
+        for prompt, result in zip(prompts, results):
+            expected = generate(model, prompt, 6)
+            np.testing.assert_array_equal(result.tokens, expected.tokens)
+
+
+class TestLatencyMetrics:
+    def test_ttft_and_itl_percentiles_populate(self, model, prompts):
+        engine = Engine(model, chunked_config())
+        serve_batch(model, prompts, max_new_tokens=6, engine=engine)
+        metrics = engine.metrics()
+        assert 0.0 < metrics.ttft_p50_seconds <= metrics.ttft_p95_seconds
+        assert 0.0 < metrics.itl_p50_seconds <= metrics.itl_p95_seconds
+        for record in metrics.requests:
+            assert len(record.itl_seconds) == record.generated_tokens - 1
+            assert all(gap >= 0.0 for gap in record.itl_seconds)
+
+    def test_percentiles_empty_engine_are_zero(self, model):
+        metrics = Engine(model, chunked_config()).metrics()
+        assert metrics.ttft_p95_seconds == 0.0
+        assert metrics.itl_p95_seconds == 0.0
+
+
+class TestDrainDiagnostics:
+    def test_drain_timeout_names_stuck_request_ids(self, model):
+        engine = Engine(model, EngineConfig())
+        first = engine.submit(np.arange(4, dtype=np.int64), max_new_tokens=8)
+        second = engine.submit(np.arange(6, dtype=np.int64), max_new_tokens=8)
+        with pytest.raises(ModelError, match=rf"{first}, {second}"):
+            engine.drain(max_steps=2)
+
+    def test_no_progress_error_names_stuck_request_ids(self, model, monkeypatch):
+        import repro.serve.engine as engine_module
+        from repro.serve.scheduler import StepPlan
+
+        engine = Engine(model, EngineConfig())
+        stuck = engine.submit(np.arange(4, dtype=np.int64), 4)
+        monkeypatch.setattr(
+            engine_module,
+            "plan_step",
+            lambda *args, **kwargs: StepPlan(decodes=[], prefills=[]),
+        )
+        with pytest.raises(ModelError, match=rf"stuck request ids: {stuck}"):
+            engine.drain()

@@ -146,10 +146,18 @@ class TestPrefixSharing:
         assert metrics.prefix_saved_bytes > 0
 
     def test_shared_prefix_saves_prefill_compute_and_traffic(self, model):
+        # Unchunked engines: monolithic prefill never re-reads cached
+        # context, so gross savings equal the traffic delta exactly
+        # (the chunked counterpart is pinned in test_chunked_prefill).
         prompts = self.shared_prompts(count=6, common=16, tail=2)
-        with_cache = Engine(model, paged_config(kv_pool_blocks=64))
+        with_cache = Engine(
+            model, paged_config(kv_pool_blocks=64, chunked_prefill=False)
+        )
         without_cache = Engine(
-            model, paged_config(kv_pool_blocks=64, prefix_caching=False)
+            model,
+            paged_config(
+                kv_pool_blocks=64, prefix_caching=False, chunked_prefill=False
+            ),
         )
         results = serve_batch(model, prompts, 4, engine=with_cache)
         baseline = serve_batch(model, prompts, 4, engine=without_cache)
@@ -253,7 +261,9 @@ class TestMidStepFailureRecovery:
         # the prefill raises, the finished request (caches already
         # released) must already be out of the running set, and the
         # failed request must stay queued and be servable afterwards.
-        engine = Engine(model, paged_config())
+        # (Legacy whole-prompt path; the chunked-path recovery is
+        # pinned in test_chunked_prefill.)
+        engine = Engine(model, paged_config(chunked_prefill=False))
         engine.submit(np.arange(4, dtype=np.int64), max_new_tokens=2)
         engine.step()  # prefill: emits token 1 of 2
         engine.submit(np.arange(6, dtype=np.int64), max_new_tokens=3)

@@ -1,4 +1,4 @@
-"""Tests for the step-level scheduler: policies, budget, progress."""
+"""Tests for the step-level scheduler: policies, budget, chunking."""
 
 import numpy as np
 import pytest
@@ -13,7 +13,12 @@ from repro.serve.scheduler import (
 )
 
 
-def make_state(request_id: int, prompt_length: int, running: bool = False):
+def make_state(
+    request_id: int,
+    prompt_length: int,
+    running: bool = False,
+    prefill_pos: int = 0,
+):
     state = RequestState(
         request=Request(
             request_id=request_id,
@@ -23,6 +28,9 @@ def make_state(request_id: int, prompt_length: int, running: bool = False):
     )
     if running:
         state.status = RequestStatus.RUNNING
+    if prefill_pos:
+        state.prefill_pos = prefill_pos
+        state.status = RequestStatus.PREFILLING
     return state
 
 
@@ -116,3 +124,80 @@ class TestPlanStep:
         plan = plan_step([], [], FcfsPolicy(), 8, 8)
         assert plan.empty
         assert plan.budget_tokens == 0
+
+
+class TestChunkedPlanning:
+    def test_oversized_prompt_gets_budget_sized_chunk(self):
+        waiting = [make_state(0, 50)]
+        plan = plan_step(waiting, [], FcfsPolicy(), 8, 8, chunking=True)
+        assert len(plan.prefills) == 1
+        chunk = plan.prefills[0]
+        assert chunk.tokens == 8
+        assert not chunk.completes
+
+    def test_chunk_rides_with_decodes_on_leftover_budget(self):
+        running = [make_state(0, 4, running=True), make_state(1, 4, running=True)]
+        waiting = [make_state(2, 50)]
+        plan = plan_step(waiting, running, FcfsPolicy(), 8, 10, chunking=True)
+        assert len(plan.decodes) == 2
+        assert plan.prefills[0].tokens == 8  # 10 budget - 2 decode tokens
+        assert plan.budget_tokens == 10
+
+    def test_decodes_consuming_whole_budget_block_chunks(self):
+        running = [make_state(index, 2, running=True) for index in range(4)]
+        waiting = [make_state(9, 50)]
+        plan = plan_step(waiting, running, FcfsPolicy(), 8, 4, chunking=True)
+        assert plan.prefills == []
+        assert len(plan.decodes) == 4
+
+    def test_inflight_continuation_exempt_from_slot_cap(self):
+        # Three running decodes fill a 4-slot engine alongside the
+        # half-prefilled request's reserved slot; its continuation must
+        # still be admitted while a fresh request is not.
+        running = [make_state(index, 2, running=True) for index in range(3)]
+        inflight = make_state(3, 40, prefill_pos=16)
+        fresh = make_state(4, 4)
+        plan = plan_step([inflight, fresh], running, FcfsPolicy(), 4, 32, chunking=True)
+        assert [c.state.request.request_id for c in plan.prefills] == [3]
+        assert plan.prefills[0].tokens == 24  # finishes the prompt
+
+    def test_slot_exhaustion_skips_fresh_but_not_continuations(self):
+        # Shortest-prompt-first orders a fresh short prompt ahead of a
+        # half-prefilled long one.  With every slot taken, the fresh
+        # candidate is skipped — not head-of-line-blocking the walk —
+        # so the slot-exempt continuation still gets its chunk instead
+        # of pinning its KV blocks forever.
+        running = [make_state(index, 2, running=True) for index in range(3)]
+        inflight = make_state(3, 60, prefill_pos=16)
+        fresh = make_state(4, 2)
+        plan = plan_step(
+            [inflight, fresh],
+            running,
+            ShortestPromptFirstPolicy(),
+            4,
+            64,
+            chunking=True,
+        )
+        assert [c.state.request.request_id for c in plan.prefills] == [3]
+
+    def test_final_chunk_marks_completion(self):
+        inflight = make_state(0, 20, prefill_pos=16)
+        plan = plan_step([inflight], [], FcfsPolicy(), 8, 32, chunking=True)
+        chunk = plan.prefills[0]
+        assert chunk.tokens == 4
+        assert chunk.completes
+
+    def test_resumed_request_never_chunked(self):
+        # A preempted mid-decode request replays prompt + emitted
+        # tokens in one admission (bitwise rebuild), even when the
+        # budget only covers part of it.
+        resumed = make_state(0, 10)
+        resumed.generated = [5, 6, 7]
+        plan = plan_step([resumed], [], FcfsPolicy(), 8, 8, chunking=True)
+        # Forward-progress override admits the whole 12-token replay.
+        assert plan.prefills[0].tokens == 12
+
+    def test_chunking_off_preserves_whole_prompt_admissions(self):
+        waiting = [make_state(0, 50), make_state(1, 2)]
+        plan = plan_step(waiting, [], FcfsPolicy(), 8, 8, chunking=False)
+        assert plan.prefills[0].tokens == 50  # oversized override, unchunked
