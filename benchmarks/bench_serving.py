@@ -1,19 +1,25 @@
 """Serving throughput benchmark: continuous batching vs one-at-a-time.
 
 Compares sequential ``generate()`` decoding against the
-:mod:`repro.serve` engine at several batch sizes, in FP16 and
-Anda-compressed KV modes, and records tokens/sec, per-request latency,
-and simulated DRAM traffic.  A second section benchmarks the paged KV
-pool on a *shared-prefix* workload (N requests behind one common
-system prompt): prefix caching on vs off, tracking prefill positions
-actually computed, prefix-hit tokens, and the simulated DRAM bytes the
-hits avoided.  A third section benchmarks chunked prefill on a
-*long-prompt* mixed workload (one long prompt arriving while short
-requests decode): chunking on vs off, reporting TTFT and inter-token
-latency percentiles — the latency surface
-``benchmarks/check_bench_regression.py`` gates in CI.  Results are
-written to ``BENCH_serving.json`` so CI can accumulate a perf
-trajectory as a workflow artifact.
+:mod:`repro.serve` engine — driven through the redesigned ``LLM``
+facade, streaming :class:`TokenDelta` s — at several batch sizes, in
+FP16 and Anda-compressed KV modes, and records tokens/sec, per-request
+latency (TTFT measured from each request's *first streamed delta*, not
+reconstructed after drain), and simulated DRAM traffic.  A second
+section benchmarks the paged KV pool on a *shared-prefix* workload (N
+requests behind one common system prompt): prefix caching on vs off,
+tracking prefill positions actually computed, prefix-hit tokens, and
+the simulated DRAM bytes the hits avoided.  A third section benchmarks
+chunked prefill on a *long-prompt* mixed workload (one long prompt
+arriving while short requests decode): chunking on vs off, reporting
+TTFT and inter-token latency percentiles — the latency surface
+``benchmarks/check_bench_regression.py`` gates in CI.  A fourth
+section exercises the *abort* lifecycle: a paged engine serving a
+batch from which a fraction of requests is cancelled mid-flight,
+recording the abort rate, wasted (pre-abort) tokens, and that the
+allocator leaks nothing.  Results are written to
+``BENCH_serving.json`` so CI can accumulate a perf trajectory as a
+workflow artifact.
 
 Usage::
 
@@ -22,6 +28,7 @@ Usage::
     python benchmarks/bench_serving.py --kv-mode anda --batch-sizes 1,4,8
     python benchmarks/bench_serving.py --shared-prefix 0   # skip that section
     python benchmarks/bench_serving.py --long-prompt 0     # skip that section
+    python benchmarks/bench_serving.py --abort 0           # skip that section
 
 Unlike the paper-figure benchmarks (which run under pytest-benchmark),
 this is a standalone script: serving throughput is a trajectory we
@@ -46,7 +53,8 @@ if str(REPO_ROOT / "src") not in sys.path:
 from repro.llm.generation import generate  # noqa: E402
 from repro.llm.kv_quant import make_cache_factory  # noqa: E402
 from repro.llm.zoo import get_model  # noqa: E402
-from repro.serve import Engine, EngineConfig, serve_batch  # noqa: E402
+from repro.serve import LLM, Engine, EngineConfig, SamplingParams  # noqa: E402
+from repro.serve.metrics import percentile  # noqa: E402
 
 #: Shared-prefix workload sizes (requests) for full and --smoke runs.
 SHARED_PREFIX_DEFAULT = 8
@@ -59,6 +67,12 @@ LONG_PROMPT_CHUNK_BUDGET = 32
 #: Short requests decoding when the long prompt lands (their gaps are
 #: what the monolithic prefill stalls, so they dominate the ITL tail).
 LONG_PROMPT_DECODERS = 6
+
+#: Abort workload sizes (requests) for full and --smoke runs; every
+#: third request is cancelled mid-flight.
+ABORT_DEFAULT = 8
+ABORT_SMOKE = 4
+ABORT_EVERY = 3
 
 
 def make_prompts(count: int, vocab_size: int, seed: int = 0) -> list[np.ndarray]:
@@ -80,7 +94,14 @@ def run_sequential(model, prompts, max_new_tokens, kv_mode, mantissa_bits):
 
 
 def run_engine(model, prompts, max_new_tokens, batch_size, kv_mode, mantissa_bits):
-    """Batched serving run; returns (results_by_submission, engine)."""
+    """Batched serving run through the streaming LLM facade.
+
+    Returns ``(results_by_submission, engine, stream_ttfts)`` where
+    ``stream_ttfts`` is each request's time-to-first-token measured the
+    streaming way: first :class:`TokenDelta` timestamp minus the
+    handle's submission mark — observed live, not reconstructed from
+    drain-time records.
+    """
     engine = Engine(
         model,
         EngineConfig(
@@ -90,8 +111,16 @@ def run_engine(model, prompts, max_new_tokens, batch_size, kv_mode, mantissa_bit
             kv_mantissa_bits=mantissa_bits,
         ),
     )
-    results = serve_batch(model, prompts, max_new_tokens, engine=engine)
-    return results, engine
+    llm = LLM(engine=engine)
+    params = SamplingParams(max_new_tokens=max_new_tokens)
+    handles = [llm.submit(prompt, params) for prompt in prompts]
+    arrivals = {handle.request_id: handle.arrival_time for handle in handles}
+    stream_ttfts = {}
+    for delta in llm.stream(handles):
+        if delta.is_first:
+            stream_ttfts[delta.request_id] = delta.time - arrivals[delta.request_id]
+    results = [handle.result() for handle in handles]
+    return results, engine, [stream_ttfts[h.request_id] for h in handles]
 
 
 def bench_kv_mode(model, prompts, max_new_tokens, batch_sizes, kv_mode, bits):
@@ -112,7 +141,7 @@ def bench_kv_mode(model, prompts, max_new_tokens, batch_sizes, kv_mode, bits):
         }
     ]
     for batch_size in batch_sizes:
-        results, engine = run_engine(
+        results, engine, stream_ttfts = run_engine(
             model, prompts, max_new_tokens, batch_size, kv_mode, bits
         )
         for reference_result, served in zip(sequential, results):
@@ -133,6 +162,13 @@ def bench_kv_mode(model, prompts, max_new_tokens, batch_sizes, kv_mode, bits):
                 "steps": metrics.steps,
                 "mean_batch_size": metrics.mean_batch_size,
                 "mean_ttft_seconds": metrics.mean_ttft_seconds,
+                # TTFT from streamed deltas (first-token observation),
+                # not drain-time reconstruction:
+                "ttft_stream_mean_seconds": (
+                    sum(stream_ttfts) / len(stream_ttfts)
+                ),
+                "ttft_stream_p50_seconds": percentile(stream_ttfts, 0.50),
+                "ttft_stream_p95_seconds": percentile(stream_ttfts, 0.95),
                 "mean_latency_seconds": metrics.mean_latency_seconds,
                 "dram_bytes_total": metrics.traffic.total_bytes,
                 "dram_bytes_per_token": (
@@ -181,8 +217,8 @@ def bench_shared_prefix(model, num_requests, max_new_tokens, kv_mode, bits):
                 prefix_caching=prefix_caching,
             ),
         )
-        results_by_variant[variant] = serve_batch(
-            model, prompts, max_new_tokens, engine=engine
+        results_by_variant[variant] = LLM(engine=engine).generate(
+            prompts, SamplingParams(max_new_tokens=max_new_tokens)
         )
         metrics = engine.metrics()
         rows.append(
@@ -256,11 +292,13 @@ def bench_long_prompt(model, kv_mode, bits, long_len, max_new_tokens):
                 kv_mantissa_bits=bits,
             ),
         )
-        ids = [engine.submit(prompt, 12) for prompt in early]
+        ids = [engine.submit(prompt, 12).request_id for prompt in early]
         for _ in range(2):
             engine.step()
-        ids.append(engine.submit(long_prompt, max_new_tokens))
-        ids.extend(engine.submit(prompt, max_new_tokens) for prompt in late)
+        ids.append(engine.submit(long_prompt, max_new_tokens).request_id)
+        ids.extend(
+            engine.submit(prompt, max_new_tokens).request_id for prompt in late
+        )
         done = {result.request_id: result for result in engine.drain(max_steps=2000)}
         tokens_by_variant[chunked] = [done[request_id].tokens for request_id in ids]
         metrics = engine.metrics()
@@ -299,6 +337,89 @@ def bench_long_prompt(model, kv_mode, bits, long_len, max_new_tokens):
         else 0.0
     )
     return rows
+
+
+def bench_abort(model, num_requests, max_new_tokens, kv_mode, bits):
+    """Abort-rate workload: cancel every third request mid-flight.
+
+    A paged, prefix-cached engine serves ``num_requests`` requests;
+    once decoding is underway, every ``ABORT_EVERY``-th request is
+    aborted through its handle.  The row records the abort rate, the
+    tokens the aborted requests had already produced (wasted decode
+    work the cancellation reclaimed), survivor throughput, and — the
+    invariant the test suite pins — that the allocator leaked nothing:
+    every pool block ends free or as a reclaimable prefix-cache
+    resident.
+    """
+    rng = np.random.default_rng(23)
+    prompts = [
+        rng.integers(0, model.config.vocab_size, size=6 + (index % 5))
+        for index in range(num_requests)
+    ]
+    engine = Engine(
+        model,
+        EngineConfig(
+            max_batch_size=num_requests,
+            max_batch_tokens=max(64, 16 * num_requests),
+            kv_mode=kv_mode,
+            kv_mantissa_bits=bits,
+            kv_pool=True,
+            kv_pool_blocks=max(64, 8 * num_requests),
+            kv_block_size=16,
+        ),
+    )
+    llm = LLM(engine=engine)
+    params = SamplingParams(max_new_tokens=max_new_tokens)
+    handles = [llm.submit(prompt, params) for prompt in prompts]
+    for _ in range(2):
+        engine.step()
+    doomed = handles[::ABORT_EVERY]
+    wasted_tokens = 0
+    for handle in doomed:
+        wasted_tokens += len(handle.generated_tokens())
+        handle.abort()
+    engine.run_until_idle(max_steps=2000)
+    survivors = [handle for handle in handles if not handle.aborted]
+    for handle in survivors:
+        handle.result()  # all complete despite the churn
+    leaked = engine._pool.leaked_blocks()
+    if leaked:
+        raise SystemExit(
+            f"ABORT LEAK: {leaked} pool blocks still referenced after "
+            f"drain (kv={kv_mode})"
+        )
+    metrics = engine.metrics()
+    return [
+        {
+            "mode": "engine+abort",
+            "workload": "abort",
+            "kv_mode": kv_mode,
+            "batch_size": num_requests,
+            "aborted": metrics.aborted,
+            "completed": len(survivors),
+            "abort_rate": metrics.aborted / num_requests,
+            "wasted_tokens": wasted_tokens,
+            "tokens_per_second": metrics.tokens_per_second,
+            "total_seconds": metrics.total_seconds,
+            "preemptions": metrics.preemptions,
+            "leaked_blocks": leaked,
+            "dram_bytes_total": metrics.traffic.total_bytes,
+        }
+    ]
+
+
+def render_abort(rows) -> str:
+    lines = [
+        f"{'kv':>5} {'mode':>13} {'reqs':>5} {'aborted':>8} "
+        f"{'wasted':>7} {'leaked':>7} {'tok/s':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['kv_mode']:>5} {row['mode']:>13} {row['batch_size']:>5} "
+            f"{row['aborted']:>8} {row['wasted_tokens']:>7} "
+            f"{row['leaked_blocks']:>7} {row['tokens_per_second']:>8.1f}"
+        )
+    return "\n".join(lines)
 
 
 def render_long_prompt(rows) -> str:
@@ -391,6 +512,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--abort",
+        type=int,
+        default=None,
+        help=(
+            "requests in the abort-rate workload (every "
+            f"{ABORT_EVERY}rd is cancelled mid-flight); 0 skips it "
+            f"(default {ABORT_DEFAULT}, {ABORT_SMOKE} with --smoke)"
+        ),
+    )
+    parser.add_argument(
         "--output", default="BENCH_serving.json", help="result JSON path"
     )
     args = parser.parse_args(argv)
@@ -413,6 +544,10 @@ def main(argv: list[str] | None = None) -> int:
         args.long_prompt = LONG_PROMPT_DEFAULT
     if args.long_prompt < 0:
         parser.error("--long-prompt must be >= 0")
+    if args.abort is None:
+        args.abort = ABORT_SMOKE if args.smoke else ABORT_DEFAULT
+    if args.abort < 0:
+        parser.error("--abort must be >= 0")
 
     try:
         batch_sizes = [int(part) for part in args.batch_sizes.split(",") if part]
@@ -474,6 +609,21 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(render_long_prompt(long_rows))
 
+    abort_rows = []
+    if args.abort:
+        for kv_mode in kv_modes:
+            abort_rows.extend(
+                bench_abort(
+                    model,
+                    args.abort,
+                    args.max_new_tokens,
+                    kv_mode,
+                    args.kv_mantissa_bits,
+                )
+            )
+        print()
+        print(render_abort(abort_rows))
+
     payload = {
         "benchmark": "serving_throughput",
         "model": args.model,
@@ -484,6 +634,7 @@ def main(argv: list[str] | None = None) -> int:
         "results": rows,
         "shared_prefix_results": shared_rows,
         "long_prompt_results": long_rows,
+        "abort_results": abort_rows,
     }
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2) + "\n")

@@ -9,15 +9,22 @@ Covers the core public API end to end:
    dot product) agree with the arithmetic definitions,
 3. run an FP-INT GeMM through the Anda datapath and compare its error
    against the plain float result,
-4. sweep the mantissa length to see the accuracy/footprint trade-off.
+4. sweep the mantissa length to see the accuracy/footprint trade-off,
+5. serve a model through the ``LLM`` facade: per-request
+   ``SamplingParams``, token-by-token streaming, and ``abort()``.
 
 Run:  python examples/quickstart.py
+(Step 5 trains a small sim model on first run; it is cached under
+``.anda_zoo_cache/`` afterwards.)
 """
 
 import numpy as np
 
 from repro import AndaTensor, BitPlaneCompressor, anda_matvec
 from repro.core import fp16
+from repro.llm import ByteTokenizer
+from repro.llm.zoo import get_model
+from repro.serve import LLM, EngineConfig, SamplingParams
 
 
 def main() -> None:
@@ -33,9 +40,11 @@ def main() -> None:
     error = np.abs(encoded.decode() - fp16.round_trip(activations)).max()
     print(f"shape {encoded.shape}, {encoded.n_groups} groups of 64")
     print(f"mantissa bits: {encoded.mantissa_bits}")
-    print(f"storage: {encoded.storage_bits() / 8 / 1024:.2f} KiB "
-          f"(FP16 would be {activations.size * 2 / 1024:.2f} KiB, "
-          f"{encoded.compression_ratio():.2f}x compression)")
+    print(
+        f"storage: {encoded.storage_bits() / 8 / 1024:.2f} KiB "
+        f"(FP16 would be {activations.size * 2 / 1024:.2f} KiB, "
+        f"{encoded.compression_ratio():.2f}x compression)"
+    )
     print(f"max abs decode error vs FP16: {error:.5f}")
 
     print("\n=== 2. Hardware-exact views ===")
@@ -44,8 +53,10 @@ def main() -> None:
         compressed.store.mantissa_planes, encoded.store.mantissa_planes
     )
     print(f"cycle-explicit BPC output bit-identical to encoder: {identical}")
-    print(f"BPC cost: {stats.cycles} aligner cycles over {stats.passes} "
-          f"passes of {stats.lanes} lanes")
+    print(
+        f"BPC cost: {stats.cycles} aligner cycles over {stats.passes} "
+        f"passes of {stats.lanes} lanes"
+    )
 
     print("\n=== 3. FP-INT GeMM through the Anda datapath ===")
     weights = rng.integers(-8, 8, size=(512, 64))  # INT4 range
@@ -62,6 +73,42 @@ def main() -> None:
         rel = np.abs(approx - exact).max() / np.abs(exact).max()
         bits = tensor.storage_bits() / activations.size
         print(f"{mantissa:>3} {rel * 100:>14.4f}% {bits:>13.2f}")
+
+    print("\n=== 5. Serve it: LLM facade, streaming, abort ===")
+    model = get_model("opt-125m-sim")  # trained once, then cached
+    llm = LLM(model, EngineConfig(kv_mode="anda"))  # Anda-compressed KV
+    tokenizer = ByteTokenizer()
+
+    # Each request carries its own frozen decoding recipe.
+    params = SamplingParams(
+        max_new_tokens=24, temperature=0.8, top_k=40, top_p=0.95, seed=7
+    )
+    streamed = llm.submit(tokenizer.encode("the anda format"), params)
+    doomed = llm.submit(
+        tokenizer.encode("a request we change our mind about"),
+        SamplingParams(max_new_tokens=200),
+    )
+
+    # Tokens arrive as the engine steps — both requests decode in the
+    # same batched steps; the first delta marks this request's TTFT.
+    pieces = []
+    for delta in streamed.tokens():
+        pieces.append(delta.token)
+        if delta.index == 2:
+            # Cancel the other request mid-flight: its KV memory is
+            # released immediately, the stream above keeps flowing.
+            doomed.abort()
+    print(
+        f"streamed {len(pieces)} tokens "
+        f"({streamed.status().value}, reason: "
+        f"{streamed.deltas()[-1].finish_reason})"
+    )
+    print(f"text: {tokenizer.decode(np.asarray(pieces))!r}")
+    print(
+        f"aborted request produced {len(doomed.generated_tokens())} "
+        f"tokens before cancellation "
+        f"(engine aborted count: {llm.metrics().aborted})"
+    )
 
 
 if __name__ == "__main__":

@@ -29,5 +29,26 @@ class ModelError(ReproError):
     """LLM substrate misuse (bad config, shape mismatch, missing cache)."""
 
 
+class RequestError(ModelError):
+    """A client request the serving front end rejects at submission.
+
+    Raised for invalid :class:`repro.serve.SamplingParams` (e.g.
+    ``max_new_tokens <= 0``), empty prompts, out-of-vocab token ids, or
+    a request too large for the engine's KV pool — always *before* the
+    request enters the scheduler, so a bad request can never fail deep
+    in a later step and vanish.  Subclasses :class:`ModelError` so
+    pre-redesign ``except ModelError`` callers keep working.
+    """
+
+
+class RequestAbortedError(ReproError):
+    """The result of an aborted request was demanded.
+
+    Raised by :meth:`repro.serve.RequestHandle.result` when the request
+    was cancelled via ``abort()`` — an aborted request has no final
+    token array; its partial tokens remain readable on the handle.
+    """
+
+
 class HardwareError(ReproError):
     """Hardware model misuse (bad tiling, unknown architecture, ...)."""

@@ -6,6 +6,13 @@ built on a minimal autograd engine, trained from scratch on synthetic
 corpora, with activation tap points on the four FP-INT GeMM tensor
 types so post-training activation quantization can be evaluated exactly
 as the paper does.
+
+Decoding (:func:`generate` / :func:`generate_text`) shares its
+per-request recipe type with the serving stack: both accept a
+:class:`repro.serve.SamplingParams` via ``params=`` and draw tokens
+through the same :func:`~repro.llm.generation.select_next_token`,
+which is what keeps sequential and batched-engine decoding
+token-bitwise identical.
 """
 
 from repro.llm.config import (
@@ -27,7 +34,12 @@ from repro.llm.analysis import (
     mean_spread_by_group_size,
     outlier_stats,
 )
-from repro.llm.generation import generate, generate_text
+from repro.llm.generation import (
+    GenerationResult,
+    generate,
+    generate_text,
+    select_next_token,
+)
 from repro.llm.hooks import ActivationStatsRecorder, anda_quantizer, per_kind_quantizer
 from repro.llm.kv_quant import AndaKVCache, kv_compression_ratio, quantized_cache_factory
 from repro.llm.perplexity import (
@@ -61,10 +73,12 @@ __all__ = [
     "group_exponent_spread",
     "mean_spread_by_group_size",
     "outlier_stats",
+    "GenerationResult",
     "generate",
     "generate_text",
     "get_config",
     "get_model",
+    "select_next_token",
     "load_corpus",
     "per_kind_quantizer",
     "prewarm",

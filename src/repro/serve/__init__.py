@@ -4,31 +4,46 @@ Serving is where the paper's decode-side analysis becomes load-bearing:
 decode is bandwidth-bound (:mod:`repro.hw.roofline`), so throughput
 comes from amortizing the weight stream over many concurrent requests
 and shrinking the per-request KV stream (the Anda KV format of
-:mod:`repro.llm.kv_quant`).  This package provides:
+:mod:`repro.llm.kv_quant`).
 
-* :class:`~repro.serve.engine.Engine` — ``submit()`` / ``step()`` /
-  ``drain()`` continuous batching with chunked prefill (long prompts
-  split into budget-sized chunks that ride along with the decode batch
-  in mixed steps, bounding TTFT and inter-token latency) and
-  token-parity with sequential ``generate`` calls;
-* :func:`~repro.serve.engine.serve_batch` — synchronous convenience
-  wrapper for a fixed batch of prompts;
-* scheduler policies (FCFS, shortest-prompt-first, decode-first) under
-  a ``max_batch_tokens`` budget — and, in paged mode, the KV pool's
-  free-block budget (:mod:`repro.serve.scheduler`);
-* the paged KV-cache memory subsystem — block allocator with
-  copy-on-write, prefix-sharing radix cache, recompute-on-resume
-  preemption — enabled per engine with ``EngineConfig(kv_pool=True)``
-  (:mod:`repro.serve.kvpool`);
-* per-request latency and aggregate throughput/traffic metrics,
-  including preemption / eviction / prefix-hit counters
-  (:mod:`repro.serve.metrics`).
+The public front end is three abstractions:
+
+* :class:`~repro.serve.llm.LLM` — the facade: ``generate(prompts,
+  sampling_params)`` for batches, ``stream(...)`` for per-token
+  delivery, ``submit(...)`` for incremental control;
+* :class:`~repro.serve.params.SamplingParams` — the frozen per-request
+  decoding recipe (temperature, top-k, top-p, stop tokens, length cap,
+  seed), validated at construction and shared with the sequential
+  :func:`repro.llm.generation.generate` path so both stay
+  token-bitwise identical;
+* :class:`~repro.serve.handle.RequestHandle` — one in-flight request:
+  incremental token iteration fed by per-step
+  :class:`~repro.serve.handle.TokenDelta` emissions, ``status()``,
+  blocking ``result()``, and ``abort()`` (cancellation releases paged
+  blocks and prefix-cache references through the preemption rollback
+  path).
+
+Beneath the facade, :class:`~repro.serve.engine.Engine` is the
+internal-but-public layer: ``submit()`` / ``step()`` / ``drain()``
+continuous batching with chunked prefill (mixed steps bounding TTFT
+and inter-token latency), scheduler policies (FCFS,
+shortest-prompt-first, decode-first) under a ``max_batch_tokens``
+budget (:mod:`repro.serve.scheduler`), the paged KV-cache memory
+subsystem — refcounted block allocator with copy-on-write,
+prefix-sharing radix cache, recompute-on-resume preemption — enabled
+with ``EngineConfig(kv_pool=True)`` (:mod:`repro.serve.kvpool`), and
+per-request latency plus aggregate throughput/traffic metrics
+(:mod:`repro.serve.metrics`).
+
+:func:`~repro.serve.llm.serve_batch` survives as a deprecated shim
+over ``LLM.generate`` with identical outputs.
 
 See ``src/repro/serve/README.md`` for a walkthrough and
 ``benchmarks/bench_serving.py`` for the throughput benchmark.
 """
 
-from repro.serve.engine import Engine, EngineConfig, serve_batch
+from repro.serve.engine import Engine, EngineConfig
+from repro.serve.handle import RequestHandle, StepOutputs, TokenDelta
 from repro.serve.kvpool import (
     BlockAllocator,
     KVPool,
@@ -38,7 +53,9 @@ from repro.serve.kvpool import (
     PrefixCache,
     SequenceKV,
 )
+from repro.serve.llm import LLM, serve_batch
 from repro.serve.metrics import EngineMetrics, StepReport, summarize
+from repro.serve.params import SamplingParams
 from repro.serve.request import (
     CompletedRequest,
     Request,
@@ -57,6 +74,7 @@ from repro.serve.scheduler import (
     StepPlan,
     get_policy,
     plan_step,
+    validate_admission,
 )
 
 __all__ = [
@@ -69,23 +87,29 @@ __all__ = [
     "EngineMetrics",
     "FcfsPolicy",
     "KVBlockPlanner",
-    "PrefillChunk",
     "KVPool",
+    "LLM",
     "OutOfBlocksError",
     "PagedKVCache",
     "Preemptor",
+    "PrefillChunk",
     "PrefixCache",
     "Request",
+    "RequestHandle",
     "RequestMetrics",
     "RequestState",
     "RequestStatus",
+    "SamplingParams",
     "SchedulerPolicy",
     "SequenceKV",
     "ShortestPromptFirstPolicy",
+    "StepOutputs",
     "StepPlan",
     "StepReport",
+    "TokenDelta",
     "get_policy",
     "plan_step",
     "serve_batch",
     "summarize",
+    "validate_admission",
 ]

@@ -1,14 +1,25 @@
 """The continuous-batching inference engine.
 
-One :class:`Engine` owns a model and serves many requests concurrently:
+One :class:`Engine` owns a model and serves many requests concurrently.
+It is the *internal* layer of the serving stack — clients normally talk
+to the :class:`repro.serve.llm.LLM` facade — but its surface is fully
+usable on its own:
 
-* :meth:`Engine.submit` enqueues a request (admission is the
+* :meth:`Engine.submit` enqueues a request under a per-request
+  :class:`~repro.serve.params.SamplingParams` recipe and returns a
+  :class:`~repro.serve.handle.RequestHandle` (admission is the
   scheduler's job, so submissions are cheap and can arrive mid-stream);
 * :meth:`Engine.step` runs one scheduler-planned model step — every
   running request decodes its next token, and waiting requests prefill
   *prompt chunks* sized to the budget left after decodes, both inside
   one mixed model invocation
-  (:meth:`repro.llm.transformer.CausalLM.forward_mixed_step`);
+  (:meth:`repro.llm.transformer.CausalLM.forward_mixed_step`) — and
+  returns a :class:`~repro.serve.handle.StepOutputs`: the step's
+  aggregate report plus one :class:`~repro.serve.handle.TokenDelta` per
+  token emitted, so tokens are observable the step they are produced;
+* :meth:`Engine.abort` cancels an in-flight request, releasing its
+  paged blocks / prefix-cache references through the same rollback path
+  preemption uses (a half-done chunked prefill leaks nothing);
 * :meth:`Engine.drain` steps until the queue is empty and returns the
   finished requests.
 
@@ -54,7 +65,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ModelError
+from repro.errors import ModelError, RequestError
 from repro.hw.traffic import (
     StepTraffic,
     decode_step_traffic,
@@ -65,9 +76,11 @@ from repro.hw.traffic import (
 from repro.llm.generation import select_next_token
 from repro.llm.kv_quant import kv_bits_per_element, make_cache_factory, make_kv_codec
 from repro.llm.transformer import CausalLM
+from repro.serve.handle import RequestHandle, StepOutputs, TokenDelta
 from repro.serve.kvpool.pool import DEFAULT_BLOCK_SIZE, KVPool
 from repro.serve.kvpool.preempt import Preemptor
 from repro.serve.metrics import EngineMetrics, StepReport, summarize
+from repro.serve.params import SamplingParams
 from repro.serve.request import (
     CompletedRequest,
     Request,
@@ -81,6 +94,7 @@ from repro.serve.scheduler import (
     SchedulerPolicy,
     get_policy,
     plan_step,
+    validate_admission,
 )
 
 
@@ -198,70 +212,136 @@ class Engine:
         self._waiting: list[RequestState] = []
         self._running: list[RequestState] = []
         self._finished: dict[int, CompletedRequest] = {}
+        self._handles: dict[int, RequestHandle] = {}
         self._request_records: list[RequestMetrics] = []
         self._reports: list[StepReport] = []
+        self._step_deltas: list[TokenDelta] = []
         self._step_index = 0
+        self._aborted = 0
 
     # -- admission --------------------------------------------------------
 
     def submit(
         self,
         prompt_tokens: np.ndarray,
-        max_new_tokens: int,
-        temperature: float = 0.0,
-        top_k: int = 20,
-        seed: int = 0,
-    ) -> int:
-        """Enqueue one request; returns its engine-assigned id.
+        params: "SamplingParams | int | None" = None,
+        *,
+        max_new_tokens: int | None = None,
+        temperature: float | None = None,
+        top_k: int | None = None,
+        seed: int | None = None,
+    ) -> RequestHandle:
+        """Enqueue one request; returns its :class:`RequestHandle`.
 
-        Validation mirrors :func:`repro.llm.generation.generate`, so a
-        request the engine accepts is one ``generate`` would accept.
+        The decoding recipe is a per-request
+        :class:`~repro.serve.params.SamplingParams`.  For migration, a
+        bare int in the ``params`` position (the pre-redesign
+        ``max_new_tokens`` argument) or the legacy scalar kwargs build
+        a default recipe; combining a full ``params`` with any scalar
+        kwarg is a contradiction and raises (nothing is silently
+        dropped).
+
+        Validation happens *here*, with ``errors``-module exceptions —
+        empty prompts, non-positive ``max_new_tokens``, out-of-vocab
+        ids and pool-overflowing requests are rejected before they can
+        fail deep in a scheduler step (mirroring what
+        :func:`repro.llm.generation.generate` would accept).
         """
+        if params is not None and not isinstance(params, SamplingParams):
+            if not isinstance(params, (int, np.integer)):
+                raise RequestError(
+                    "params must be a SamplingParams (or a legacy "
+                    f"max_new_tokens int), got {type(params).__name__}"
+                )
+            if max_new_tokens is not None:
+                raise RequestError(
+                    "pass max_new_tokens positionally or by keyword, not both"
+                )
+            max_new_tokens = int(params)
+            params = None
+        if isinstance(params, SamplingParams):
+            conflicts = {
+                "max_new_tokens": max_new_tokens,
+                "temperature": temperature,
+                "top_k": top_k,
+                "seed": seed,
+            }
+            given = sorted(k for k, v in conflicts.items() if v is not None)
+            if given:
+                raise RequestError(
+                    f"scalar kwargs {given} conflict with the explicit "
+                    "SamplingParams; put them in the params instead"
+                )
+        else:
+            if max_new_tokens is None:
+                raise RequestError(
+                    "submit needs a SamplingParams (or max_new_tokens)"
+                )
+            params = SamplingParams(
+                max_new_tokens=max_new_tokens,
+                temperature=0.0 if temperature is None else temperature,
+                top_k=20 if top_k is None else top_k,
+                seed=0 if seed is None else seed,
+            )
+        prompt = np.asarray(prompt_tokens).reshape(-1)
+        validate_admission(prompt, params, self.model.config, pool=self._pool)
         request = Request(
             request_id=next(self._ids),
-            prompt=np.asarray(prompt_tokens),
-            max_new_tokens=max_new_tokens,
-            temperature=temperature,
-            top_k=top_k,
-            seed=seed,
+            prompt=prompt,
+            params=params,
         )
-        total = request.prompt_length + max_new_tokens
-        if total > self.model.config.max_seq_len:
-            raise ModelError(
-                f"prompt + continuation ({request.prompt_length} + "
-                f"{max_new_tokens}) exceeds max_seq_len "
-                f"{self.model.config.max_seq_len}"
-            )
-        vocab = self.model.config.vocab_size
-        if int(request.prompt.min()) < 0 or int(request.prompt.max()) >= vocab:
-            raise ModelError(
-                f"prompt token ids must lie in [0, {vocab}); a deferred "
-                "prefill failure would lose the request"
-            )
-        if self._pool is not None:
-            needed = self._pool.blocks_for_tokens(total)
-            limit = self._pool.max_sequence_blocks()
-            if needed > limit:
-                raise ModelError(
-                    f"request needs {needed} KV blocks "
-                    f"({total} tokens at block size "
-                    f"{self._pool.block_size}) but the pool guarantees "
-                    f"only {limit}; raise kv_pool_blocks"
-                )
         state = RequestState(
             request=request,
             arrival_step=self._step_index,
             arrival_time=time.perf_counter(),
         )
         self._waiting.append(state)
-        return request.request_id
+        handle = RequestHandle(self, state)
+        self._handles[request.request_id] = handle
+        return handle
+
+    # -- cancellation ------------------------------------------------------
+
+    def abort(self, request_id: int) -> bool:
+        """Cancel an in-flight request; returns True if it was active.
+
+        The request's KV residency — paged blocks, prefix-cache
+        references, a half-done chunked prefill's partial cache — is
+        released through the same rollback path preemption uses, so
+        allocator refcounts stay balanced whatever state the request
+        was aborted in.  Its partial tokens stay readable on the
+        handle; it never produces a :class:`CompletedRequest`.
+        Aborting a finished or unknown id is a no-op returning False.
+        """
+        state = next(
+            (
+                candidate
+                for candidate in itertools.chain(self._running, self._waiting)
+                if candidate.request.request_id == request_id
+            ),
+            None,
+        )
+        if state is None:
+            return False
+        if state in self._running:
+            self._running.remove(state)
+        else:
+            self._waiting.remove(state)
+        self._release_residency(state)
+        state.status = RequestStatus.ABORTED
+        state.finish_reason = "abort"
+        state.finish_step = self._step_index
+        state.finish_time = time.perf_counter()
+        self._aborted += 1
+        self._handles.pop(request_id, None)
+        return True
 
     # -- stepping ---------------------------------------------------------
 
     def has_work(self) -> bool:
         return bool(self._waiting or self._running)
 
-    def step(self) -> StepReport:
+    def step(self) -> StepOutputs:
         """Run one scheduler-planned mixed step (decodes + prompt chunks).
 
         Fresh prompt chunks and the decode batch execute in one
@@ -276,8 +356,16 @@ class Engine:
         latest-arrived request, running or half-prefilled, when the
         pool cannot cover it — and fresh prefills go through the
         prefix cache.
+
+        Returns a :class:`~repro.serve.handle.StepOutputs`: the step's
+        aggregate :class:`StepReport` plus one
+        :class:`~repro.serve.handle.TokenDelta` per token emitted this
+        step (also fed to the emitting requests'
+        :class:`RequestHandle` buffers), so streaming consumers observe
+        tokens — and measure TTFT — the step they are produced.
         """
         started = time.perf_counter()  # include scheduling in step cost
+        self._step_deltas = []
         plan = plan_step(
             self._waiting,
             self._running,
@@ -479,7 +567,7 @@ class Engine:
         )
         self._reports.append(report)
         self._step_index += 1
-        return report
+        return StepOutputs(report=report, deltas=tuple(self._step_deltas))
 
     # -- chunked prefill --------------------------------------------------
 
@@ -576,13 +664,24 @@ class Engine:
             raise
         return runs
 
-    def _rollback_chunk(self, state: RequestState) -> None:
-        """Undo a chunk participant: release its cache, stay queued."""
+    def _release_residency(self, state: RequestState) -> None:
+        """Give a request's KV memory back (shared rollback primitive).
+
+        The one place residency is torn down — chunk-failure rollback,
+        preemption of running or half-prefilled requests, and client
+        aborts all release through here, so every path returns paged
+        blocks (and the references taken on shared prefix blocks) to
+        the pool identically.
+        """
         if state.kv is not None:
             state.kv.release()
             state.kv = None
         state.caches = None
         state.prefill_pos = 0
+
+    def _rollback_chunk(self, state: RequestState) -> None:
+        """Undo a chunk participant: release its cache, stay queued."""
+        self._release_residency(state)
         state.status = RequestStatus.WAITING
 
     # -- paged KV pool paths ----------------------------------------------
@@ -621,10 +720,7 @@ class Engine:
     def _preempt(self, state: RequestState) -> None:
         """Evict a running request's KV residency (recompute-on-resume)."""
         self._running.remove(state)
-        state.kv.release()
-        state.kv = None
-        state.caches = None
-        state.prefill_pos = 0
+        self._release_residency(state)
         state.status = RequestStatus.WAITING
         state.preemptions += 1
         # Re-enter the waiting queue in arrival order so FCFS resumes
@@ -643,10 +739,7 @@ class Engine:
         prefix caching on, any blocks its earlier chunks registered
         may still be re-mapped instead of recomputed.
         """
-        state.kv.release()
-        state.kv = None
-        state.caches = None
-        state.prefill_pos = 0
+        self._release_residency(state)
         state.status = RequestStatus.WAITING
         state.preemptions += 1
 
@@ -710,13 +803,23 @@ class Engine:
     def _emit(
         self, state: RequestState, logits: np.ndarray, first: bool = False
     ) -> None:
-        """Select one token for a request and update its lifecycle."""
+        """Select one token for a request and update its lifecycle.
+
+        Every emission produces a :class:`TokenDelta` — appended to the
+        step's outputs and pushed to the request's handle — so the
+        token is observable immediately, not only after ``drain``.  A
+        token in the request's ``stop_token_ids`` ends the request
+        early (``finish_reason="stop"``); the length cap ends it with
+        ``finish_reason="length"``.
+        """
         request = state.request
+        params = request.params
         token = select_next_token(
             logits,
-            request.temperature,
-            request.top_k,
+            params.temperature,
+            params.top_k,
             state.rng,
+            top_p=params.top_p,
         )
         now = time.perf_counter()
         state.generated.append(token)
@@ -724,7 +827,24 @@ class Engine:
         if first:
             state.first_token_step = self._step_index
             state.first_token_time = now
-        if state.done:
+        if params.is_stop(token):
+            state.stopped = True
+        finished = state.done
+        if finished:
+            state.finish_reason = "stop" if state.stopped else "length"
+        delta = TokenDelta(
+            request_id=request.request_id,
+            index=len(state.generated) - 1,
+            token=token,
+            finished=finished,
+            finish_reason=state.finish_reason if finished else None,
+            time=now,
+        )
+        self._step_deltas.append(delta)
+        handle = self._handles.get(request.request_id)
+        if handle is not None:
+            handle._push(delta)
+        if finished:
             state.status = RequestStatus.FINISHED
             state.finish_step = self._step_index
             state.finish_time = now
@@ -742,6 +862,9 @@ class Engine:
             done = complete(state)
             self._finished[request.request_id] = done
             self._request_records.append(done.metrics)
+            if handle is not None:
+                handle._complete(done)
+            self._handles.pop(request.request_id, None)
 
     # -- collection -------------------------------------------------------
 
@@ -751,6 +874,73 @@ class Engine:
             state.request.request_id for state in self._waiting + self._running
         )
         return ", ".join(str(request_id) for request_id in ids)
+
+    def run_until(
+        self,
+        condition,
+        max_steps: int | None = None,
+        what: str = "run_until",
+    ) -> None:
+        """Step the engine until ``condition()`` holds.
+
+        The shared stepping loop under every blocking consumer —
+        :meth:`drain`, :meth:`RequestHandle.result`, handle token
+        iteration, and :meth:`LLM.generate` — with the engine's
+        progress guards applied once, here:
+
+        * ``max_steps`` bounds the wait (raising
+          :class:`~repro.errors.ModelError` naming the stuck request
+          ids) — the guard for preemption thrash in an undersized pool;
+          ``what`` names the waiting operation in that error, so a
+          timeout points at the call the client actually made;
+        * a step that makes no progress at all (no prefill, no decode,
+          no preemption) while requests are queued is a scheduler
+          invariant violation and raises immediately;
+        * an engine that goes idle before the condition holds raises
+          (the condition can never become true by stepping further).
+        """
+        if max_steps is not None and max_steps < 1:
+            raise ModelError(f"max_steps must be >= 1, got {max_steps}")
+        steps = 0
+        while not condition():
+            if not self.has_work():
+                raise ModelError(
+                    "engine drained idle before the awaited condition held "
+                    "(e.g. waiting on a request that can no longer emit)"
+                )
+            if max_steps is not None and steps >= max_steps:
+                raise ModelError(
+                    f"{what} did not finish within max_steps={max_steps}: "
+                    f"{len(self._waiting)} waiting / {len(self._running)} "
+                    f"running requests remain (stuck request ids: "
+                    f"{self._stuck_ids()})"
+                )
+            report = self.step().report
+            steps += 1
+            no_progress = (
+                report.prefills == 0
+                and report.decodes == 0
+                and report.preemptions == 0
+            )
+            if no_progress and self.has_work():
+                raise ModelError(
+                    "scheduler made no progress with requests queued "
+                    f"({len(self._waiting)} waiting / {len(self._running)} "
+                    f"running; stuck request ids: {self._stuck_ids()}); "
+                    "this is a scheduling bug, not a capacity limit"
+                )
+
+    def run_until_idle(self, max_steps: int | None = None) -> None:
+        """Step until no request is waiting or running.
+
+        Unlike :meth:`drain` this does not collect: finished requests
+        stay claimable through their handles or :meth:`pop_finished`,
+        which is what lets :meth:`LLM.generate` drain a shared engine
+        without swallowing results submitted elsewhere.
+        """
+        self.run_until(
+            lambda: not self.has_work(), max_steps=max_steps, what="drain"
+        )
 
     def drain(self, max_steps: int | None = None) -> list[CompletedRequest]:
         """Step until idle; return uncollected finished requests by id.
@@ -767,37 +957,8 @@ class Engine:
                 steps (e.g. a scheduler bug starving a request, or
                 preemption thrash in an undersized KV pool).  The error
                 names the stuck request ids.
-
-        A step that makes no progress at all (no prefill, no decode, no
-        preemption) while requests are still queued is a scheduler
-        invariant violation and raises immediately, ``max_steps`` or
-        not.
         """
-        if max_steps is not None and max_steps < 1:
-            raise ModelError(f"max_steps must be >= 1, got {max_steps}")
-        steps = 0
-        while self.has_work():
-            if max_steps is not None and steps >= max_steps:
-                raise ModelError(
-                    f"drain did not finish within max_steps={max_steps}: "
-                    f"{len(self._waiting)} waiting / {len(self._running)} "
-                    f"running requests remain (stuck request ids: "
-                    f"{self._stuck_ids()})"
-                )
-            report = self.step()
-            steps += 1
-            no_progress = (
-                report.prefills == 0
-                and report.decodes == 0
-                and report.preemptions == 0
-            )
-            if no_progress and self.has_work():
-                raise ModelError(
-                    "scheduler made no progress with requests queued "
-                    f"({len(self._waiting)} waiting / {len(self._running)} "
-                    f"running; stuck request ids: {self._stuck_ids()}); "
-                    "this is a scheduling bug, not a capacity limit"
-                )
+        self.run_until_idle(max_steps=max_steps)
         return self.pop_finished()
 
     def pop_finished(self) -> list[CompletedRequest]:
@@ -813,48 +974,4 @@ class Engine:
         :meth:`pop_finished`, so streaming consumers keep full latency
         statistics.
         """
-        return summarize(self._reports, self._request_records)
-
-
-def serve_batch(
-    model: CausalLM,
-    prompts: list[np.ndarray],
-    max_new_tokens: int,
-    temperature: float = 0.0,
-    top_k: int = 20,
-    seed: int = 0,
-    config: EngineConfig | None = None,
-    engine: Engine | None = None,
-) -> list[CompletedRequest]:
-    """Serve a fixed batch of prompts to completion (sync wrapper).
-
-    Submits every prompt up front, drains the engine, and returns
-    results aligned with the input order.  Each request gets the same
-    decoding recipe (including the seed — requests draw from
-    independent per-request RNG streams, as ``generate`` would).
-
-    Pass a pre-built ``engine`` to keep a handle on it afterwards
-    (e.g. for :meth:`Engine.metrics`); ``config`` is ignored then.
-    """
-    if engine is None:
-        engine = Engine(model, config)
-    ids = [
-        engine.submit(
-            prompt,
-            max_new_tokens,
-            temperature=temperature,
-            top_k=top_k,
-            seed=seed,
-        )
-        for prompt in prompts
-    ]
-    wanted = set(ids)
-    by_id = {}
-    for done in engine.drain():
-        if done.request_id in wanted:
-            by_id[done.request_id] = done
-        else:
-            # A shared engine may finish requests submitted elsewhere;
-            # leave those collectable instead of swallowing them.
-            engine._finished[done.request_id] = done
-    return [by_id[request_id] for request_id in ids]
+        return summarize(self._reports, self._request_records, aborted=self._aborted)

@@ -1,0 +1,237 @@
+"""Streaming request handles and structured per-step outputs.
+
+The pre-redesign engine was fire-and-forget: ``submit`` returned a bare
+id and tokens only became visible when ``drain()`` returned the
+finished batch.  This module is the observable half of the new front
+end:
+
+* every :meth:`Engine.step` returns a :class:`StepOutputs` — the step's
+  :class:`~repro.serve.metrics.StepReport` plus one :class:`TokenDelta`
+  per token emitted that step, so callers see tokens the step they are
+  produced (per-request TTFT falls straight out of the first delta);
+* every :meth:`Engine.submit` returns a :class:`RequestHandle` — the
+  client's view of one in-flight request, with incremental token
+  iteration (:meth:`RequestHandle.tokens`), :meth:`~RequestHandle.status`,
+  a blocking :meth:`~RequestHandle.result`, and
+  :meth:`~RequestHandle.abort` (cancel and release KV residency).
+
+Handles drive the engine cooperatively: iterating tokens or demanding a
+result steps the engine until the request progresses, so one handle can
+be consumed while other requests keep decoding in the same steps —
+continuous batching observed one request at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import ModelError, RequestAbortedError
+from repro.serve.metrics import StepReport
+from repro.serve.request import CompletedRequest, RequestState, RequestStatus
+
+if TYPE_CHECKING:  # pragma: no cover - engine imports this module
+    from repro.serve.engine import Engine
+
+
+@dataclass(frozen=True)
+class TokenDelta:
+    """One token, the step it was emitted.
+
+    Attributes:
+        request_id: the emitting request.
+        index: position in the continuation (0 = first token; its
+            delta is the request's time-to-first-token mark).
+        token: the emitted token id.
+        finished: this token ended the request.
+        finish_reason: ``"length"`` or ``"stop"`` when ``finished``,
+            else None.
+        time: ``perf_counter`` stamp of the emission — streaming
+            consumers compute per-request TTFT/ITL from these directly
+            instead of reconstructing them after ``drain``.
+    """
+
+    request_id: int
+    index: int
+    token: int
+    finished: bool
+    finish_reason: str | None
+    time: float
+
+    @property
+    def is_first(self) -> bool:
+        return self.index == 0
+
+
+@dataclass(frozen=True)
+class StepOutputs:
+    """Everything one engine step produced.
+
+    Attributes:
+        report: the step's aggregate counters and simulated traffic
+            (the pre-redesign return value of ``Engine.step``).
+        deltas: per-request token emissions, in emission order.
+    """
+
+    report: StepReport
+    deltas: tuple[TokenDelta, ...] = field(default_factory=tuple)
+
+    def for_request(self, request_id: int) -> tuple[TokenDelta, ...]:
+        """This step's deltas belonging to one request."""
+        return tuple(d for d in self.deltas if d.request_id == request_id)
+
+
+class RequestHandle:
+    """The client's view of one submitted request.
+
+    Returned by :meth:`Engine.submit` (and :meth:`LLM.submit`).  A
+    handle never holds model state — it observes the engine-side
+    :class:`~repro.serve.request.RequestState` and buffers the deltas
+    the engine emits for it, so reading a handle is cheap and aborting
+    it releases every engine resource the request held.
+    """
+
+    def __init__(self, engine: "Engine", state: RequestState) -> None:
+        self._engine = engine
+        self._state = state
+        self._deltas: list[TokenDelta] = []
+        self._result: CompletedRequest | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RequestHandle(id={self.request_id}, "
+            f"status={self.status().value}, "
+            f"tokens={len(self._deltas)})"
+        )
+
+    # -- identity & status -------------------------------------------------
+
+    @property
+    def request_id(self) -> int:
+        return self._state.request.request_id
+
+    def __int__(self) -> int:
+        return self.request_id
+
+    @property
+    def arrival_time(self) -> float:
+        """``perf_counter`` stamp of submission (TTFT zero point)."""
+        return self._state.arrival_time
+
+    def status(self) -> RequestStatus:
+        """Current lifecycle state (WAITING … FINISHED/ABORTED)."""
+        return self._state.status
+
+    @property
+    def finished(self) -> bool:
+        return self._state.status is RequestStatus.FINISHED
+
+    @property
+    def aborted(self) -> bool:
+        return self._state.status is RequestStatus.ABORTED
+
+    @property
+    def terminal(self) -> bool:
+        return self._state.status.terminal
+
+    # -- engine-side feed --------------------------------------------------
+
+    def _push(self, delta: TokenDelta) -> None:
+        """Engine hook: record one emitted token."""
+        self._deltas.append(delta)
+
+    def _complete(self, result: CompletedRequest) -> None:
+        """Engine hook: the request finished; cache its frozen result."""
+        self._result = result
+
+    # -- client surface ----------------------------------------------------
+
+    @property
+    def delta_count(self) -> int:
+        """Deltas emitted so far — cheap progress probe (no copying)."""
+        return len(self._deltas)
+
+    def deltas(self, start: int = 0) -> tuple[TokenDelta, ...]:
+        """Deltas emitted so far, optionally from ``start`` (no stepping)."""
+        return tuple(self._deltas[start:])
+
+    def generated_tokens(self) -> list[int]:
+        """Continuation tokens emitted so far (no stepping).
+
+        Readable in every state — including after ``abort()``, where it
+        is the partial output the request produced before cancellation.
+        """
+        return list(self._state.generated)
+
+    def tokens(self, max_steps: int | None = None) -> Iterator[TokenDelta]:
+        """Iterate this request's deltas, stepping the engine as needed.
+
+        Yields each emitted token exactly once, in order, driving
+        :meth:`Engine.step` whenever the buffer runs dry and the
+        request is still in flight (other requests in the engine make
+        progress in those same steps).  The iterator ends when the
+        request finishes — or silently when it is aborted, including
+        an ``abort()`` issued from inside the loop.
+
+        Args:
+            max_steps: bound on engine steps per dry spell (the wait
+                for one more delta); raises
+                :class:`~repro.errors.ModelError` when exceeded — the
+                same guard against preemption thrash in an undersized
+                pool that ``drain``/``result`` take.  None waits
+                unboundedly.
+        """
+        index = 0
+        while True:
+            if index < len(self._deltas):
+                delta = self._deltas[index]
+                index += 1
+                yield delta
+                continue
+            if self.terminal:
+                return
+            self._engine.run_until(
+                lambda: len(self._deltas) > index or self.terminal,
+                max_steps=max_steps,
+                what=f"token iteration for request {self.request_id}",
+            )
+
+    def __iter__(self) -> Iterator[TokenDelta]:
+        return self.tokens()
+
+    def result(self, max_steps: int | None = None) -> CompletedRequest:
+        """Block (stepping the engine) until finished; return the result.
+
+        Raises :class:`~repro.errors.RequestAbortedError` if the
+        request was aborted, and :class:`~repro.errors.ModelError` if
+        ``max_steps`` elapse first.  Collect-once semantics compose
+        with :meth:`Engine.pop_finished`/``drain``: claiming a result
+        through its handle removes it from the engine's finished set.
+        """
+        if not self.terminal:
+            self._engine.run_until(
+                lambda: self.terminal,
+                max_steps=max_steps,
+                what=f"result() for request {self.request_id}",
+            )
+        if self.aborted:
+            raise RequestAbortedError(
+                f"request {self.request_id} was aborted after "
+                f"{len(self._state.generated)} tokens"
+            )
+        self._engine._finished.pop(self.request_id, None)
+        if self._result is None:  # pragma: no cover - engine invariant
+            raise ModelError(
+                f"request {self.request_id} finished without a result"
+            )
+        return self._result
+
+    def abort(self) -> bool:
+        """Cancel the request; returns True if it was still in flight.
+
+        Releases the request's KV residency immediately — paged blocks
+        and prefix-cache references return to the pool through the same
+        rollback path preemption uses, so an abort mid-chunked-prefill
+        leaks nothing.  Aborting a terminal request is a no-op.
+        """
+        return self._engine.abort(self.request_id)

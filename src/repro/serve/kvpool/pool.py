@@ -101,6 +101,27 @@ class KVPool:
         """Blocks a private sequence of ``tokens`` positions occupies."""
         return -(-tokens // self.block_size)
 
+    def leaked_blocks(self) -> int:
+        """Blocks still referenced beyond the prefix cache's own hold.
+
+        Once every live sequence has released — finish, preemption
+        rollback, or a client ``abort()`` — each pool block must be
+        either on the free list or a *reclaimable* (refcount-1)
+        prefix-cache resident.  Two leak classes are counted: blocks
+        held by no cache node at all (a sequence that never released),
+        and cache residents stuck at refcount > 1 (a release path that
+        forgot a decref — such a block can never be evicted, so it is
+        leaked even though the cache still names it).  The abort test
+        suite and the serving benchmark's abort workload assert this
+        is zero after drain.
+        """
+        cached = 0
+        stuck = 0
+        if self.prefix_cache is not None:
+            cached = len(self.prefix_cache)
+            stuck = cached - self.prefix_cache.reclaimable_blocks()
+        return self.allocator.used_blocks - cached + stuck
+
     def max_sequence_blocks(self) -> int:
         """Largest block footprint one request may claim (admission cap).
 

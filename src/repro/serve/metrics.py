@@ -99,6 +99,9 @@ class EngineMetrics:
         evicted_blocks: total prefix-cache blocks reclaimed.
         prefix_hit_tokens: total prompt positions shared, not computed.
         prefix_saved_bytes: total simulated DRAM bytes avoided by hits.
+        aborted: requests cancelled via ``abort()`` (they release their
+            KV residency immediately and never produce a request
+            record, so they appear here and nowhere in ``requests``).
         requests: per-request latency records (finished requests only).
     """
 
@@ -114,6 +117,7 @@ class EngineMetrics:
     evicted_blocks: int = 0
     prefix_hit_tokens: int = 0
     prefix_saved_bytes: float = 0.0
+    aborted: int = 0
     requests: list[RequestMetrics] = field(default_factory=list)
 
     @property
@@ -156,7 +160,9 @@ class EngineMetrics:
 
 
 def summarize(
-    reports: list[StepReport], requests: list[RequestMetrics]
+    reports: list[StepReport],
+    requests: list[RequestMetrics],
+    aborted: int = 0,
 ) -> EngineMetrics:
     """Fold step reports and request records into one summary."""
     total_tokens = sum(report.new_tokens for report in reports)
@@ -182,5 +188,6 @@ def summarize(
         evicted_blocks=sum(report.evicted_blocks for report in reports),
         prefix_hit_tokens=sum(report.prefix_hit_tokens for report in reports),
         prefix_saved_bytes=sum(report.prefix_saved_bytes for report in reports),
+        aborted=aborted,
         requests=list(requests),
     )

@@ -1,0 +1,72 @@
+"""Per-request sampling parameters for the serving front end.
+
+A :class:`SamplingParams` is the immutable decoding recipe one request
+carries through the whole stack — submission, scheduling, decode, and
+the sequential :func:`repro.llm.generation.generate` reference path —
+replacing the scattered per-call kwargs the pre-redesign
+``Engine.submit`` took.  It is validated at construction, so an invalid
+recipe fails at the API boundary (``repro.errors.RequestError``) rather
+than deep inside a scheduler step with the request already accepted.
+
+Defaults reproduce the engine's historical behavior exactly: greedy
+decoding (``temperature=0``), no nucleus truncation (``top_p=1``), no
+stop tokens.  Because ``top_p=1.0`` and ``stop_token_ids=()`` take the
+pre-existing code paths verbatim, the new-API parity suite can pin
+token-bitwise identity against the pre-redesign engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RequestError
+
+
+@dataclass(frozen=True)
+class SamplingParams:
+    """Frozen per-request decoding recipe.
+
+    Args:
+        max_new_tokens: continuation length to produce (the cap; stop
+            tokens may end the request earlier).
+        temperature: 0 for greedy argmax, else softmax temperature.
+        top_k: sample from the k most likely tokens when sampling.
+        top_p: nucleus truncation — keep the smallest set of top-k
+            tokens whose cumulative probability reaches ``top_p``.
+            1.0 (the default) disables truncation and is bitwise
+            identical to the pre-``top_p`` sampler.
+        stop_token_ids: token ids that end the request early.  The stop
+            token itself is emitted (it is part of the continuation);
+            the request then finishes with ``finish_reason="stop"``.
+        seed: per-request sampling seed (each request draws from its
+            own RNG stream, as sequential ``generate`` calls would).
+    """
+
+    max_new_tokens: int = 16
+    temperature: float = 0.0
+    top_k: int = 20
+    top_p: float = 1.0
+    stop_token_ids: tuple[int, ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_new_tokens < 1:
+            raise RequestError(
+                f"max_new_tokens must be >= 1, got {self.max_new_tokens}"
+            )
+        if self.temperature < 0.0:
+            raise RequestError(f"temperature must be >= 0, got {self.temperature}")
+        if self.temperature > 0.0 and self.top_k < 1:
+            raise RequestError(f"top_k must be >= 1 when sampling, got {self.top_k}")
+        if not 0.0 < self.top_p <= 1.0:
+            raise RequestError(f"top_p must lie in (0, 1], got {self.top_p}")
+        # Normalize to a plain tuple of ints so membership checks and
+        # equality are exact whatever iterable the caller handed in.
+        stop = tuple(int(token) for token in self.stop_token_ids)
+        object.__setattr__(self, "stop_token_ids", stop)
+        if any(token < 0 for token in stop):
+            raise RequestError(f"stop token ids must be >= 0, got {stop}")
+
+    def is_stop(self, token: int) -> bool:
+        """Whether emitting ``token`` ends the request."""
+        return token in self.stop_token_ids

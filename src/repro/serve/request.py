@@ -1,10 +1,11 @@
 """Request lifecycle model for the continuous-batching engine.
 
-A :class:`Request` is the immutable description a client submits; a
-:class:`RequestState` is the engine's mutable per-request record (KV
-caches, generated tokens, timing marks); a :class:`CompletedRequest`
-is the frozen result handed back, carrying both the tokens and the
-request's latency metrics.
+A :class:`Request` is the immutable description a client submits — a
+prompt plus its per-request :class:`~repro.serve.params.SamplingParams`
+recipe; a :class:`RequestState` is the engine's mutable per-request
+record (KV caches, generated tokens, timing marks); a
+:class:`CompletedRequest` is the frozen result handed back, carrying
+both the tokens and the request's latency metrics.
 """
 
 from __future__ import annotations
@@ -14,8 +15,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ModelError
+from repro.errors import ModelError, RequestError
 from repro.llm.attention import KVCache
+from repro.serve.params import SamplingParams
 
 
 class RequestStatus(enum.Enum):
@@ -26,12 +28,22 @@ class RequestStatus(enum.Enum):
     (recompute-on-resume) before decoding continues.  A half-prefilled
     request preempted mid-chunk also returns to WAITING, with its
     partial cache released (``prefill_pos`` reset to zero).
+
+    FINISHED and ABORTED are the two terminal states: finished requests
+    freeze into a :class:`CompletedRequest`; aborted requests release
+    their KV residency immediately (the same rollback preemption uses)
+    and never produce a result.
     """
 
     WAITING = "waiting"  # admitted to the queue, no compute yet
     PREFILLING = "prefilling"  # chunked prefill in flight, cache partial
     RUNNING = "running"  # prefilled; decoding one token per step
     FINISHED = "finished"
+    ABORTED = "aborted"  # cancelled by the client; residency released
+
+    @property
+    def terminal(self) -> bool:
+        return self in (RequestStatus.FINISHED, RequestStatus.ABORTED)
 
 
 @dataclass(frozen=True, eq=False)
@@ -41,18 +53,24 @@ class Request:
     Identity semantics (``eq=False``): the ndarray prompt makes field
     equality ill-defined, and ids are only unique per engine.
 
+    ``params`` is the canonical recipe.  The scalar fields
+    (``max_new_tokens``, ``temperature``, ``top_k``, ``seed``) are
+    retained as a construction convenience and as read mirrors of the
+    params — legacy callers building ``Request(..., max_new_tokens=4)``
+    get a default recipe around that cap, and scheduler/engine code may
+    read either spelling and see the same values.
+
     Args:
         request_id: engine-assigned, unique within an engine instance.
         prompt: 1-D prompt token ids.
-        max_new_tokens: continuation length to produce.
-        temperature: 0 for greedy, else softmax temperature.
-        top_k: sample from the k most likely tokens when sampling.
-        seed: per-request sampling seed.
+        params: the per-request :class:`SamplingParams`; when omitted,
+            one is built from the scalar fields.
     """
 
     request_id: int
     prompt: np.ndarray
-    max_new_tokens: int
+    params: SamplingParams | None = None
+    max_new_tokens: int | None = None
     temperature: float = 0.0
     top_k: int = 20
     seed: int = 0
@@ -63,11 +81,29 @@ class Request:
         prompt = np.array(self.prompt).reshape(-1)
         object.__setattr__(self, "prompt", prompt)
         if prompt.shape[0] < 1:
-            raise ModelError("prompt must contain at least one token")
-        if self.max_new_tokens < 1:
-            raise ModelError(f"max_new_tokens must be >= 1, got {self.max_new_tokens}")
-        if self.temperature > 0.0 and self.top_k < 1:
-            raise ModelError(f"top_k must be >= 1 when sampling, got {self.top_k}")
+            raise RequestError("prompt must contain at least one token")
+        params = self.params
+        if params is None:
+            if self.max_new_tokens is None:
+                raise RequestError(
+                    "a Request needs params (or legacy max_new_tokens)"
+                )
+            params = SamplingParams(
+                max_new_tokens=self.max_new_tokens,
+                temperature=self.temperature,
+                top_k=self.top_k,
+                seed=self.seed,
+            )
+        elif not isinstance(params, SamplingParams):
+            raise RequestError(
+                f"params must be a SamplingParams, got {type(params).__name__}"
+            )
+        object.__setattr__(self, "params", params)
+        # Mirror the canonical recipe into the legacy scalar fields.
+        object.__setattr__(self, "max_new_tokens", params.max_new_tokens)
+        object.__setattr__(self, "temperature", params.temperature)
+        object.__setattr__(self, "top_k", params.top_k)
+        object.__setattr__(self, "seed", params.seed)
 
     @property
     def prompt_length(self) -> int:
@@ -96,6 +132,12 @@ class RequestState:
     generated: list[int] = field(default_factory=list)
     rng: np.random.Generator | None = None
     preemptions: int = 0
+    #: True once a ``stop_token_ids`` member was emitted; ends the
+    #: request before ``max_new_tokens``.
+    stopped: bool = False
+    #: Why the request ended (``"length"`` / ``"stop"`` / ``"abort"``);
+    #: None while still in flight.
+    finish_reason: str | None = None
 
     arrival_step: int = 0
     first_token_step: int | None = None
@@ -110,7 +152,7 @@ class RequestState:
 
     def __post_init__(self) -> None:
         if self.rng is None:
-            self.rng = np.random.default_rng(self.request.seed)
+            self.rng = np.random.default_rng(self.request.params.seed)
 
     @property
     def last_token(self) -> int:
@@ -143,7 +185,10 @@ class RequestState:
 
     @property
     def done(self) -> bool:
-        return len(self.generated) >= self.request.max_new_tokens
+        """Decoding is over: length cap reached or a stop token emitted."""
+        return self.stopped or (
+            len(self.generated) >= self.request.params.max_new_tokens
+        )
 
     def tokens(self) -> np.ndarray:
         """Prompt plus continuation, matching ``GenerationResult.tokens``."""
@@ -164,6 +209,8 @@ class RequestMetrics:
         itl_seconds: gap between each consecutive pair of emitted
             tokens (``generated_tokens - 1`` entries) — the raw
             inter-token latencies the p50/p95 summaries aggregate.
+        finish_reason: ``"length"`` or ``"stop"`` (aborted requests
+            never produce metrics records).
     """
 
     request_id: int
@@ -174,6 +221,7 @@ class RequestMetrics:
     ttft_seconds: float
     latency_seconds: float
     itl_seconds: tuple[float, ...] = ()
+    finish_reason: str = "length"
 
 
 @dataclass(frozen=True, eq=False)
@@ -188,6 +236,7 @@ class CompletedRequest:
     tokens: np.ndarray
     prompt_length: int
     metrics: RequestMetrics
+    finish_reason: str = "length"
 
     def continuation(self) -> np.ndarray:
         return self.tokens[self.prompt_length :]
@@ -204,6 +253,7 @@ def complete(state: RequestState) -> CompletedRequest:
     assert state.finish_step is not None
     assert state.first_token_time is not None
     assert state.finish_time is not None
+    reason = state.finish_reason or "length"
     metrics = RequestMetrics(
         request_id=state.request.request_id,
         prompt_length=state.request.prompt_length,
@@ -216,10 +266,12 @@ def complete(state: RequestState) -> CompletedRequest:
             later - earlier
             for earlier, later in zip(state.token_times, state.token_times[1:])
         ),
+        finish_reason=reason,
     )
     return CompletedRequest(
         request_id=state.request.request_id,
         tokens=state.tokens(),
         prompt_length=state.request.prompt_length,
         metrics=metrics,
+        finish_reason=reason,
     )

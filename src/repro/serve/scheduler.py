@@ -44,14 +44,72 @@ after prefix-cache sharing, and for a chunk only the chunk's growth —
 fits in what is free or reclaimable once the running requests' decode
 growth is reserved.  Token budget bounds the *work* of a step; block
 budget bounds the *memory* it commits.
+
+Admission-time request costing also lives here
+(:func:`validate_admission`): each request is costed against its own
+``SamplingParams.max_new_tokens`` — worst-case sequence length and
+worst-case pool footprint are per-request quantities now that the
+decoding recipe is no longer an engine-wide setting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ModelError
+import numpy as np
+
+from repro.errors import ModelError, RequestError
+from repro.serve.params import SamplingParams
 from repro.serve.request import RequestState
+
+
+def validate_admission(
+    prompt: np.ndarray,
+    params: SamplingParams,
+    model_config,
+    pool=None,
+) -> None:
+    """Per-request worst-case token costing at the admission boundary.
+
+    A request's schedulable footprint is ``prompt_length +
+    params.max_new_tokens`` — its own cap, not an engine-wide one
+    (stop tokens may end it earlier; admission must still plan for the
+    worst case).  Rejects, with :class:`~repro.errors.RequestError`
+    *before* the request enters the queue:
+
+    * an empty prompt;
+    * a total exceeding the model's ``max_seq_len``;
+    * prompt token ids outside ``[0, vocab_size)`` (a deferred prefill
+      failure would lose the request);
+    * in paged mode (``pool`` given, duck-typed to
+      :class:`~repro.serve.kvpool.pool.KVPool`), a block footprint the
+      pool could never guarantee even with every other request evicted.
+    """
+    if int(prompt.shape[0]) < 1:
+        raise RequestError("prompt must contain at least one token")
+    total = int(prompt.shape[0]) + params.max_new_tokens
+    if total > model_config.max_seq_len:
+        raise RequestError(
+            f"prompt + continuation ({int(prompt.shape[0])} + "
+            f"{params.max_new_tokens}) exceeds max_seq_len "
+            f"{model_config.max_seq_len}"
+        )
+    vocab = model_config.vocab_size
+    if int(prompt.min()) < 0 or int(prompt.max()) >= vocab:
+        raise RequestError(
+            f"prompt token ids must lie in [0, {vocab}); a deferred "
+            "prefill failure would lose the request"
+        )
+    if pool is not None:
+        needed = pool.blocks_for_tokens(total)
+        limit = pool.max_sequence_blocks()
+        if needed > limit:
+            raise RequestError(
+                f"request needs {needed} KV blocks "
+                f"({total} tokens at block size "
+                f"{pool.block_size}) but the pool guarantees "
+                f"only {limit}; raise kv_pool_blocks"
+            )
 
 
 class KVBlockPlanner:

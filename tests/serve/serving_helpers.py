@@ -1,0 +1,22 @@
+"""Shared helpers for the serving test suites.
+
+Importable as a plain module from any ``tests/serve/test_*.py`` file:
+pytest's default (rootdir-prepend) import mode puts this directory on
+``sys.path`` when collecting the suite.
+"""
+
+from repro.serve import LLM, SamplingParams
+
+
+def serve(model, prompts, max_new_tokens, config=None, engine=None, **sampling):
+    """Batch-serve through the redesigned LLM facade.
+
+    The post-redesign spelling of what ``serve_batch`` used to do in
+    these suites: one recipe for the whole batch, results in input
+    order.  ``**sampling`` forwards recipe fields (``temperature``,
+    ``top_k``, ``seed``, ...) into :class:`SamplingParams`.
+    """
+    llm = LLM(model=model, config=config, engine=engine)
+    return llm.generate(
+        prompts, SamplingParams(max_new_tokens=max_new_tokens, **sampling)
+    )

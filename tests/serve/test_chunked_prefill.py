@@ -26,9 +26,9 @@ from repro.serve import (
     RequestStatus,
     get_policy,
     plan_step,
-    serve_batch,
 )
 from repro.serve.request import Request, RequestState
+from serving_helpers import serve
 
 
 @pytest.fixture(scope="module")
@@ -66,13 +66,13 @@ class TestChunkedParity:
     @pytest.mark.parametrize("paged", [False, True])
     def test_chunked_matches_unchunked(self, model, prompts, kv_mode, paged):
         pool = dict(kv_pool=True, kv_pool_blocks=64, kv_block_size=4) if paged else {}
-        chunked = serve_batch(
+        chunked = serve(
             model,
             prompts,
             max_new_tokens=8,
             config=chunked_config(kv_mode=kv_mode, kv_mantissa_bits=6, **pool),
         )
-        unchunked = serve_batch(
+        unchunked = serve(
             model,
             prompts,
             max_new_tokens=8,
@@ -88,7 +88,7 @@ class TestChunkedParity:
     @pytest.mark.parametrize("kv_mode", ["fp16", "anda"])
     def test_chunked_matches_sequential_generate(self, model, prompts, kv_mode):
         engine = Engine(model, chunked_config(kv_mode=kv_mode, kv_mantissa_bits=6))
-        results = serve_batch(model, prompts, max_new_tokens=8, engine=engine)
+        results = serve(model, prompts, max_new_tokens=8, engine=engine)
         assert engine.metrics().partial_prefills > 0  # chunking actually ran
         factory = make_cache_factory(model, kv_mode, 6)
         for prompt, result in zip(prompts, results):
@@ -98,7 +98,7 @@ class TestChunkedParity:
     @pytest.mark.parametrize("kv_mode", ["fp16", "anda"])
     def test_rotary_family_chunked_parity(self, llama, prompts, kv_mode):
         # Chunk positions offset into the rotary table via gather.
-        chunked = serve_batch(
+        chunked = serve(
             llama,
             prompts,
             max_new_tokens=8,
@@ -117,7 +117,7 @@ class TestChunkedParity:
     def test_chunk_size_never_changes_tokens(self, model, prompts, budget):
         # Different budgets mean different chunk boundaries; tokens
         # must not move.
-        results = serve_batch(
+        results = serve(
             model,
             prompts,
             max_new_tokens=6,
@@ -128,7 +128,7 @@ class TestChunkedParity:
             np.testing.assert_array_equal(result.tokens, expected.tokens)
 
     def test_sampled_chunked_parity(self, model, prompts):
-        results = serve_batch(
+        results = serve(
             model,
             prompts,
             max_new_tokens=8,
@@ -157,7 +157,7 @@ class TestChunkedParity:
                 kv_block_size=4,
             ),
         )
-        results = serve_batch(model, prompts, max_new_tokens=6, engine=engine)
+        results = serve(model, prompts, max_new_tokens=6, engine=engine)
         for prompt, result in zip(prompts, results):
             expected = generate(model, prompt, 6)
             np.testing.assert_array_equal(result.tokens, expected.tokens)
@@ -176,7 +176,7 @@ class TestMixedSteps:
         engine.submit(rng.integers(0, 256, size=4), 12)
         engine.step()  # short prompt prefills whole, starts decoding
         engine.submit(rng.integers(0, 256, size=40), 4)
-        mixed = engine.step()
+        mixed = engine.step().report
         # One decode and one partial chunk share the step.
         assert mixed.decodes == 1
         assert mixed.prefills == 1
@@ -303,7 +303,7 @@ class TestNoStarvation:
         steps = 0
         while engine.has_work() and steps < 200:
             had_running = bool(engine._running)
-            report = engine.step()
+            report = engine.step().report
             steps += 1
             if had_running and report.decodes == 0:
                 stalled += 1
@@ -337,7 +337,7 @@ class TestNoStarvation:
             worst = 0
             steps = 0
             while engine.has_work() and steps < 300:
-                report = engine.step()
+                report = engine.step().report
                 steps += 1
                 if report.decodes > 0:
                     worst = max(worst, report.decodes + report.prefill_tokens)
@@ -352,7 +352,7 @@ class TestNoStarvation:
         # stop).
         rng = np.random.default_rng(10)
         engine = Engine(model, chunked_config(max_batch_tokens=12, max_batch_size=4))
-        first = engine.submit(rng.integers(0, 256, size=4), 30)
+        first = engine.submit(rng.integers(0, 256, size=4), 30).request_id
         engine.step()
         engine.submit(rng.integers(0, 256, size=100), 2)
         for _ in range(4):
@@ -391,7 +391,7 @@ class TestDecodeFirstPolicy:
         assert plan.prefills[0].tokens == 10  # finishes the in-flight prompt
 
     def test_engine_parity_under_decode_first(self, model, prompts):
-        results = serve_batch(
+        results = serve(
             model,
             prompts,
             max_new_tokens=6,
@@ -405,7 +405,7 @@ class TestDecodeFirstPolicy:
 class TestLatencyMetrics:
     def test_ttft_and_itl_percentiles_populate(self, model, prompts):
         engine = Engine(model, chunked_config())
-        serve_batch(model, prompts, max_new_tokens=6, engine=engine)
+        serve(model, prompts, max_new_tokens=6, engine=engine)
         metrics = engine.metrics()
         assert 0.0 < metrics.ttft_p50_seconds <= metrics.ttft_p95_seconds
         assert 0.0 < metrics.itl_p50_seconds <= metrics.itl_p95_seconds
@@ -422,8 +422,10 @@ class TestLatencyMetrics:
 class TestDrainDiagnostics:
     def test_drain_timeout_names_stuck_request_ids(self, model):
         engine = Engine(model, EngineConfig())
-        first = engine.submit(np.arange(4, dtype=np.int64), max_new_tokens=8)
-        second = engine.submit(np.arange(6, dtype=np.int64), max_new_tokens=8)
+        first = engine.submit(np.arange(4, dtype=np.int64), max_new_tokens=8).request_id
+        second = engine.submit(
+            np.arange(6, dtype=np.int64), max_new_tokens=8
+        ).request_id
         with pytest.raises(ModelError, match=rf"{first}, {second}"):
             engine.drain(max_steps=2)
 
@@ -432,7 +434,7 @@ class TestDrainDiagnostics:
         from repro.serve.scheduler import StepPlan
 
         engine = Engine(model, EngineConfig())
-        stuck = engine.submit(np.arange(4, dtype=np.int64), 4)
+        stuck = engine.submit(np.arange(4, dtype=np.int64), 4).request_id
         monkeypatch.setattr(
             engine_module,
             "plan_step",

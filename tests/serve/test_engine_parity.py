@@ -15,7 +15,8 @@ from repro.llm.generation import generate
 from repro.llm.kv_quant import make_cache_factory
 from repro.llm.transformer import build_model
 from repro.llm.zoo import get_model
-from repro.serve import Engine, EngineConfig, RequestStatus, serve_batch
+from repro.serve import Engine, EngineConfig, RequestStatus
+from serving_helpers import serve
 
 
 @pytest.fixture(scope="module")
@@ -43,13 +44,13 @@ class TestGreedyParity:
     @pytest.mark.parametrize("kv_mode", ["fp16", "anda"])
     def test_mixed_prompt_lengths_token_identical(self, model, prompts, kv_mode):
         config = EngineConfig(kv_mode=kv_mode, kv_mantissa_bits=6)
-        results = serve_batch(model, prompts, max_new_tokens=8, config=config)
+        results = serve(model, prompts, max_new_tokens=8, config=config)
         for prompt, result in zip(prompts, results):
             expected = reference(model, prompt, 8, kv_mode=kv_mode, bits=6)
             np.testing.assert_array_equal(result.tokens, expected.tokens)
 
     def test_results_align_with_submission_order(self, model, prompts):
-        results = serve_batch(model, prompts, max_new_tokens=4)
+        results = serve(model, prompts, max_new_tokens=4)
         for prompt, result in zip(prompts, results):
             np.testing.assert_array_equal(result.tokens[: prompt.shape[0]], prompt)
             assert result.prompt_length == prompt.shape[0]
@@ -61,7 +62,7 @@ class TestGreedyParity:
         # batched path; untrained weights suffice for token parity.
         llama = build_model(tiny_test_config("llama", d_model=32, n_layers=2))
         config = EngineConfig(kv_mode=kv_mode, kv_mantissa_bits=6)
-        results = serve_batch(llama, prompts, max_new_tokens=8, config=config)
+        results = serve(llama, prompts, max_new_tokens=8, config=config)
         for prompt, result in zip(prompts, results):
             expected = reference(llama, prompt, 8, kv_mode=kv_mode, bits=6)
             np.testing.assert_array_equal(result.tokens, expected.tokens)
@@ -70,7 +71,7 @@ class TestGreedyParity:
         # A starved scheduler (one admission at a time) changes step
         # composition but must not change any emitted token.
         config = EngineConfig(max_batch_size=2, max_batch_tokens=18)
-        results = serve_batch(model, prompts, max_new_tokens=6, config=config)
+        results = serve(model, prompts, max_new_tokens=6, config=config)
         for prompt, result in zip(prompts, results):
             expected = generate(model, prompt, 6)
             np.testing.assert_array_equal(result.tokens, expected.tokens)
@@ -79,11 +80,11 @@ class TestGreedyParity:
 class TestMidStreamArrival:
     def test_late_submission_token_identical(self, model, prompts):
         engine = Engine(model, EngineConfig(max_batch_tokens=64))
-        early_a = engine.submit(prompts[0], 10)
-        early_b = engine.submit(prompts[1], 6)
+        early_a = engine.submit(prompts[0], 10).request_id
+        early_b = engine.submit(prompts[1], 6).request_id
         for _ in range(3):
             engine.step()
-        late = engine.submit(prompts[2], 12)
+        late = engine.submit(prompts[2], 12).request_id
         done = {result.request_id: result for result in engine.drain()}
         for request_id, prompt, count in [
             (early_a, prompts[0], 10),
@@ -98,7 +99,7 @@ class TestMidStreamArrival:
         engine.submit(prompts[0], 12)
         engine.step()
         engine.submit(prompts[1], 4)
-        report = engine.step()
+        report = engine.step().report
         # One running decode plus the late arrival's prefill share a step.
         assert report.decodes == 1
         assert report.prefills == 1
@@ -106,7 +107,7 @@ class TestMidStreamArrival:
 
 class TestSampledParity:
     def test_same_seed_matches_generate(self, model, prompts):
-        results = serve_batch(
+        results = serve(
             model, prompts[:2], max_new_tokens=8, temperature=1.0, seed=9
         )
         for prompt, result in zip(prompts, results):
@@ -147,7 +148,7 @@ class TestLifecycle:
 
     def test_serve_batch_accepts_prebuilt_engine(self, model, prompts):
         engine = Engine(model)
-        results = serve_batch(model, prompts[:2], 3, engine=engine)
+        results = serve(model, prompts[:2], 3, engine=engine)
         assert len(results) == 2
         assert engine.metrics().total_new_tokens == 6
 
@@ -155,8 +156,8 @@ class TestLifecycle:
         self, model, prompts
     ):
         engine = Engine(model)
-        foreign = engine.submit(prompts[0], 4)
-        results = serve_batch(model, [prompts[1]], 3, engine=engine)
+        foreign = engine.submit(prompts[0], 4).request_id
+        results = serve(model, [prompts[1]], 3, engine=engine)
         assert [len(r.continuation()) for r in results] == [3]
         leftover = engine.pop_finished()
         assert [done.request_id for done in leftover] == [foreign]

@@ -309,3 +309,41 @@ class TestPlanning:
         seq.caches[0]._length = 3
         assert seq.blocks_for_append(1) == 1  # shared tail: CoW fork
         assert seq.blocks_for_append(2) == 2  # fork + growth
+
+
+class TestLeakAccounting:
+    def test_fresh_pool_reports_no_leaks(self, config):
+        assert make_pool(config).leaked_blocks() == 0
+
+    def test_released_sequence_blocks_are_not_leaks(self, config):
+        pool = make_pool(config, block_size=4)
+        prompt = np.arange(8)
+        seq = pool.create_sequence(prompt)
+        seq.block_table.extend(pool.take_block() for _ in range(2))
+        pool.register_prefix(seq, prompt)
+        # Held by a live sequence *and* the cache: the sequence's share
+        # counts as a (transient) leak-check miss only until release.
+        seq.release()
+        assert pool.leaked_blocks() == 0
+        assert pool.reclaimable_blocks == len(pool.prefix_cache)
+
+    def test_unreleased_sequence_counts_as_leak(self, config):
+        pool = make_pool(config, prefix=False)
+        seq = pool.create_sequence(np.arange(2))
+        seq.block_table.append(pool.take_block())
+        assert pool.leaked_blocks() == 1  # still held: not yet released
+        seq.release()
+        assert pool.leaked_blocks() == 0
+
+    def test_cache_resident_stuck_above_refcount_one_is_a_leak(self, config):
+        # A release path that forgets a decref leaves a cache node at
+        # refcount > 1: never evictable, so it must count as leaked
+        # even though the cache still names it.
+        pool = make_pool(config, block_size=4)
+        prompt = np.arange(8)
+        seq = pool.create_sequence(prompt)
+        seq.block_table.extend(pool.take_block() for _ in range(2))
+        pool.register_prefix(seq, prompt)
+        pool.allocator.incref(seq.block_table[0])  # the forgotten ref
+        seq.release()
+        assert pool.leaked_blocks() == 1

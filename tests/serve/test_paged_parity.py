@@ -16,7 +16,8 @@ from repro.llm.config import tiny_test_config
 from repro.llm.generation import generate
 from repro.llm.kv_quant import make_cache_factory
 from repro.llm.transformer import build_model
-from repro.serve import Engine, EngineConfig, serve_batch
+from repro.serve import Engine, EngineConfig
+from serving_helpers import serve
 
 
 @pytest.fixture(scope="module")
@@ -49,13 +50,13 @@ def assert_parity(results, references):
 class TestPagedParity:
     @pytest.mark.parametrize("kv_mode", ["fp16", "anda"])
     def test_paged_tokens_match_unpaged_engine(self, model, prompts, kv_mode):
-        paged = serve_batch(
+        paged = serve(
             model,
             prompts,
             max_new_tokens=8,
             config=paged_config(kv_mode=kv_mode, kv_mantissa_bits=6),
         )
-        unpaged = serve_batch(
+        unpaged = serve(
             model,
             prompts,
             max_new_tokens=8,
@@ -65,7 +66,7 @@ class TestPagedParity:
 
     @pytest.mark.parametrize("kv_mode", ["fp16", "anda"])
     def test_paged_tokens_match_sequential_generate(self, model, prompts, kv_mode):
-        results = serve_batch(
+        results = serve(
             model,
             prompts,
             max_new_tokens=8,
@@ -78,13 +79,13 @@ class TestPagedParity:
 
     @pytest.mark.parametrize("kv_mode", ["fp16", "anda"])
     def test_rotary_family_paged_parity(self, llama, prompts, kv_mode):
-        paged = serve_batch(
+        paged = serve(
             llama,
             prompts,
             max_new_tokens=8,
             config=paged_config(kv_mode=kv_mode, kv_mantissa_bits=6),
         )
-        unpaged = serve_batch(
+        unpaged = serve(
             llama,
             prompts,
             max_new_tokens=8,
@@ -96,7 +97,7 @@ class TestPagedParity:
     def test_block_size_never_changes_tokens(self, model, prompts, block_size):
         # Anda groups per position along the head dimension, so even
         # unaligned block sizes stay bitwise exact.
-        paged = serve_batch(
+        paged = serve(
             model,
             prompts,
             max_new_tokens=6,
@@ -107,7 +108,7 @@ class TestPagedParity:
                 kv_pool_blocks=64,
             ),
         )
-        unpaged = serve_batch(
+        unpaged = serve(
             model,
             prompts,
             max_new_tokens=6,
@@ -116,7 +117,7 @@ class TestPagedParity:
         assert_parity(paged, unpaged)
 
     def test_sampled_decoding_parity(self, model, prompts):
-        paged = serve_batch(
+        paged = serve(
             model, prompts, max_new_tokens=8, temperature=1.0, seed=9,
             config=paged_config(),
         )
@@ -137,8 +138,8 @@ class TestPrefixSharing:
     def test_shared_prefix_hits_and_parity(self, model):
         prompts = self.shared_prompts()
         engine = Engine(model, paged_config())
-        results = serve_batch(model, prompts, max_new_tokens=6, engine=engine)
-        unpaged = serve_batch(model, prompts, max_new_tokens=6, config=EngineConfig())
+        results = serve(model, prompts, max_new_tokens=6, engine=engine)
+        unpaged = serve(model, prompts, max_new_tokens=6, config=EngineConfig())
         assert_parity(results, unpaged)
         metrics = engine.metrics()
         # 3 of 4 requests share the 12-token system prompt's 3 blocks.
@@ -159,8 +160,8 @@ class TestPrefixSharing:
                 kv_pool_blocks=64, prefix_caching=False, chunked_prefill=False
             ),
         )
-        results = serve_batch(model, prompts, 4, engine=with_cache)
-        baseline = serve_batch(model, prompts, 4, engine=without_cache)
+        results = serve(model, prompts, 4, engine=with_cache)
+        baseline = serve(model, prompts, 4, engine=without_cache)
         assert_parity(results, baseline)
         hit, miss = with_cache.metrics(), without_cache.metrics()
         assert hit.prefix_hit_tokens >= 5 * 16
@@ -179,7 +180,7 @@ class TestPrefixSharing:
         rng = np.random.default_rng(3)
         prompt = rng.integers(0, 256, size=8)
         engine = Engine(model, paged_config())
-        results = serve_batch(
+        results = serve(
             model, [prompt.copy() for _ in range(3)], 5, engine=engine
         )
         assert engine._pool.cow_forks >= 2
@@ -190,9 +191,9 @@ class TestPrefixSharing:
     def test_prefix_cache_survives_request_completion(self, model):
         prompt = np.arange(10, dtype=np.int64)
         engine = Engine(model, paged_config())
-        serve_batch(model, [prompt], 4, engine=engine)
+        serve(model, [prompt], 4, engine=engine)
         assert engine._pool.reclaimable_blocks > 0  # cached, evictable
-        serve_batch(model, [prompt.copy()], 4, engine=engine)
+        serve(model, [prompt.copy()], 4, engine=engine)
         assert engine.metrics().prefix_hit_tokens == 8  # 2 full blocks
 
 
@@ -205,11 +206,11 @@ class TestPreemption:
             model,
             paged_config(kv_pool_blocks=8, max_batch_tokens=128),
         )
-        results = serve_batch(model, prompts, max_new_tokens=10, engine=engine)
+        results = serve(model, prompts, max_new_tokens=10, engine=engine)
         metrics = engine.metrics()
         assert metrics.preemptions > 0
         assert len(results) == len(prompts)
-        unpaged = serve_batch(model, prompts, max_new_tokens=10, config=EngineConfig())
+        unpaged = serve(model, prompts, max_new_tokens=10, config=EngineConfig())
         assert_parity(results, unpaged)
 
     def test_preempted_sampled_requests_resume_bitwise(self, model):
@@ -219,7 +220,7 @@ class TestPreemption:
             model,
             paged_config(kv_pool_blocks=6, prefix_caching=False),
         )
-        results = serve_batch(
+        results = serve(
             model, prompts, max_new_tokens=12, temperature=1.0, seed=3,
             engine=engine,
         )
@@ -232,13 +233,13 @@ class TestPreemption:
         rng = np.random.default_rng(17)
         prompts = [rng.integers(0, 256, size=6) for _ in range(4)]
         engine = Engine(model, paged_config(kv_pool_blocks=8))
-        first = engine.submit(prompts[0], 10)
+        first = engine.submit(prompts[0], 10).request_id
         for prompt in prompts[1:]:
             engine.submit(prompt, 10)
         # Step until the first preemption: the earliest arrival must
         # still be resident (latest-arrival-first victim selection).
         for _ in range(200):
-            if engine.step().preemptions:
+            if engine.step().report.preemptions:
                 break
         else:
             pytest.fail("undersized pool never preempted")
@@ -328,7 +329,7 @@ class TestPoolConfigValidation:
 
     def test_pool_metrics_counters_default_zero_unpaged(self, model, prompts):
         engine = Engine(model, EngineConfig())
-        serve_batch(model, prompts[:2], 3, engine=engine)
+        serve(model, prompts[:2], 3, engine=engine)
         metrics = engine.metrics()
         assert metrics.preemptions == 0
         assert metrics.evicted_blocks == 0
