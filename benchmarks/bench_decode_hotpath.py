@@ -1,0 +1,287 @@
+"""Decode hot-path microbenchmark: amortized KV storage vs the O(L) path.
+
+Measures what one batched decode step costs as context grows, isolating
+the Python-side KV re-materialization the serving loop used to pay:
+
+* **reference** storage — per-append ``np.concatenate`` plus a full
+  float16 -> float32 re-dequantization of the whole history every
+  layer, every step (``ReferenceKVCache`` / ``gather_reference``, the
+  exact pre-optimization implementations);
+* **optimized** storage — preallocated capacity-doubling buffers with
+  memoized incremental dequant views (unpaged), and the vectorized
+  fancy-index gather into persistent per-sequence scratch (paged).
+
+Each ``{fp16, anda} x {unpaged, paged}`` cell prefills ``--batch``
+requests to a context length, then times ``forward_decode_batch`` steps
+on both storages and checks their logits are **bitwise identical** —
+the speedup is pure allocation/copy savings, never a numerics change.
+Per-step ``kv_copy_bytes`` / ``kv_dequant_bytes`` (from
+``repro.llm.attention.HOT_PATH_STATS``) are recorded alongside latency:
+the reference bytes grow with context, the optimized bytes stay flat.
+
+Results land in ``BENCH_decode_hotpath.json``;
+``benchmarks/check_bench_regression.py --decode-hotpath`` gates the
+speedups against ``benchmarks/baselines/decode_hotpath.json`` in CI so
+future PRs cannot silently reintroduce O(history) work per step.
+
+Usage::
+
+    python benchmarks/bench_decode_hotpath.py                 # full sweep
+    python benchmarks/bench_decode_hotpath.py --smoke         # CI-sized run
+    python benchmarks/bench_decode_hotpath.py --seq-lens 128,512
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.llm.attention import HOT_PATH_STATS, ReferenceKVCache  # noqa: E402
+from repro.llm.config import tiny_test_config  # noqa: E402
+from repro.llm.kv_quant import make_cache_factory, make_kv_codec  # noqa: E402
+from repro.llm.transformer import CausalLM, build_model  # noqa: E402
+from repro.serve.kvpool.paged import PagedKVCache  # noqa: E402
+from repro.serve.kvpool.pool import DEFAULT_BLOCK_SIZE, KVPool  # noqa: E402
+
+#: Decode batch the acceptance criterion is stated at.
+DEFAULT_BATCH = 8
+#: Anda KV mantissa length (the serving default).
+MANTISSA_BITS = 8
+#: Context lengths before the timed decode window.
+SEQ_LENS_DEFAULT = (128, 512)
+SEQ_LENS_SMOKE = (512,)
+#: Timed decode steps (after warmup).
+STEPS_DEFAULT = 16
+STEPS_SMOKE = 8
+WARMUP_STEPS = 2
+
+
+class _ReferencePagedKVCache(PagedKVCache):
+    """Paged cache whose reads use the pre-optimization block-loop gather."""
+
+    __slots__ = ()
+
+    def view(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._sequence.gather_reference(self._layer, self._length)
+
+
+def build_bench_model() -> CausalLM:
+    """A small LLaMA-style model with headroom for long contexts.
+
+    ``d_model=128`` with 2 heads gives ``head_dim=64`` — the Anda
+    group size and the hardware word the rest of the stack models —
+    so the anda codec runs its unpadded fast path, as it would on a
+    real serving geometry.
+    """
+    config = replace(
+        tiny_test_config(family="llama", d_model=128, n_layers=2, seed=7),
+        max_seq_len=1024,
+    )
+    return build_model(config)
+
+
+def build_request_caches(
+    model: CausalLM,
+    kv_mode: str,
+    paged: bool,
+    reference: bool,
+    prompts: np.ndarray,
+    decode_steps: int,
+) -> list[list]:
+    """Per-request per-layer caches, prefilled with each request's prompt."""
+    batch, seq_len = prompts.shape
+    if paged:
+        blocks_per_request = -(-(seq_len + decode_steps) // DEFAULT_BLOCK_SIZE) + 1
+        pool = KVPool(
+            model.config,
+            num_blocks=batch * blocks_per_request + 2,
+            codec=make_kv_codec(kv_mode, MANTISSA_BITS),
+            enable_prefix_cache=False,
+        )
+        sequences = [pool.create_sequence(prompt) for prompt in prompts]
+        if reference:
+            for sequence in sequences:
+                sequence.caches = [
+                    _ReferencePagedKVCache(sequence, layer)
+                    for layer in range(pool.n_layers)
+                ]
+        all_caches = [sequence.caches for sequence in sequences]
+    elif reference:
+        codec = make_kv_codec(kv_mode, MANTISSA_BITS)
+        all_caches = [
+            [ReferenceKVCache(codec=codec) for _ in model.blocks] for _ in prompts
+        ]
+    else:
+        factory = make_cache_factory(model, kv_mode, MANTISSA_BITS)
+        all_caches = [factory() for _ in prompts]
+    for prompt, caches in zip(prompts, all_caches):
+        model.forward_step(prompt.reshape(1, -1), caches)
+    return all_caches
+
+
+def run_decode(
+    model: CausalLM, all_caches: list[list], token_rows: list[np.ndarray]
+) -> tuple[list[np.ndarray], float, tuple[int, int]]:
+    """Run scripted decode steps; time and meter the post-warmup window."""
+    logits_per_step: list[np.ndarray] = []
+    elapsed = 0.0
+    copy0 = dequant0 = 0
+    for step, tokens in enumerate(token_rows):
+        if step == WARMUP_STEPS:
+            copy0, dequant0 = HOT_PATH_STATS.snapshot()
+            started = time.perf_counter()
+        logits = model.forward_decode_batch(tokens, all_caches)
+        if step >= WARMUP_STEPS:
+            elapsed = time.perf_counter() - started
+        logits_per_step.append(logits)
+    copy1, dequant1 = HOT_PATH_STATS.snapshot()
+    return logits_per_step, elapsed, (copy1 - copy0, dequant1 - dequant0)
+
+
+def bench_cell(
+    model: CausalLM,
+    kv_mode: str,
+    paged: bool,
+    seq_len: int,
+    batch: int,
+    steps: int,
+    repeats: int = 1,
+) -> dict:
+    """Reference-vs-optimized comparison for one (kv, storage, seq) cell.
+
+    Each variant's timed window runs ``repeats`` times from freshly
+    prefilled caches and keeps the *minimum* elapsed time — the
+    standard microbenchmark defence against scheduler noise, which
+    matters because CI gates the reference/optimized ratio.  Decoding
+    is deterministic, so parity is checked on every repeat.
+    """
+    rng = np.random.default_rng(11 * seq_len + (17 if paged else 0))
+    vocab = model.config.vocab_size
+    prompts = rng.integers(0, vocab, size=(batch, seq_len))
+    total_steps = WARMUP_STEPS + steps
+    token_rows = [rng.integers(0, vocab, size=(batch, 1)) for _ in range(total_steps)]
+
+    outputs = {}
+    for label, reference in (("reference", True), ("optimized", False)):
+        best = None
+        for _ in range(repeats):
+            all_caches = build_request_caches(
+                model, kv_mode, paged, reference, prompts, total_steps
+            )
+            logits, seconds, counters = run_decode(model, all_caches, token_rows)
+            if best is not None and not all(
+                np.array_equal(a, b) for a, b in zip(best[0], logits)
+            ):
+                raise AssertionError(f"{label} decode is not deterministic")
+            if best is None or seconds < best[1]:
+                best = (logits, seconds, counters)
+        outputs[label] = best
+
+    ref_logits, ref_seconds, (ref_copy, ref_dequant) = outputs["reference"]
+    opt_logits, opt_seconds, (opt_copy, opt_dequant) = outputs["optimized"]
+    # Bit equality, not == (which would let -0.0 / +0.0 slip through).
+    parity = all(
+        ref.tobytes() == opt.tobytes() for ref, opt in zip(ref_logits, opt_logits)
+    )
+    return {
+        "kv_mode": kv_mode,
+        "paged": paged,
+        "seq_len": seq_len,
+        "batch_size": batch,
+        "decode_steps": steps,
+        "ms_per_step_reference": ref_seconds / steps * 1e3,
+        "ms_per_step_optimized": opt_seconds / steps * 1e3,
+        "speedup": ref_seconds / opt_seconds if opt_seconds > 0 else float("inf"),
+        "reference_kv_copy_bytes_per_step": ref_copy / steps,
+        "optimized_kv_copy_bytes_per_step": opt_copy / steps,
+        "reference_kv_dequant_bytes_per_step": ref_dequant / steps,
+        "optimized_kv_dequant_bytes_per_step": opt_dequant / steps,
+        "parity": bool(parity),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--batch", type=int, default=DEFAULT_BATCH, help="decode batch size"
+    )
+    parser.add_argument(
+        "--seq-lens",
+        type=str,
+        default=None,
+        help="comma-separated context lengths (default 128,512; 512 with --smoke)",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=None, help="timed decode steps per cell"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repeats per variant; minimum elapsed is kept "
+        "(default 3, 5 with --smoke: CI runners are noisy and the "
+        "gated ratio rides on the minima)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_decode_hotpath.json"),
+        help="result JSON path",
+    )
+    args = parser.parse_args(argv)
+    if args.seq_lens is not None:
+        seq_lens = tuple(int(part) for part in args.seq_lens.split(","))
+    else:
+        seq_lens = SEQ_LENS_SMOKE if args.smoke else SEQ_LENS_DEFAULT
+    steps = args.steps or (STEPS_SMOKE if args.smoke else STEPS_DEFAULT)
+    repeats = args.repeats or (5 if args.smoke else 3)
+
+    model = build_bench_model()
+    results = []
+    for seq_len in seq_lens:
+        for kv_mode in ("fp16", "anda"):
+            for paged in (False, True):
+                row = bench_cell(
+                    model, kv_mode, paged, seq_len, args.batch, steps, repeats
+                )
+                results.append(row)
+                storage = "paged" if paged else "unpaged"
+                print(
+                    f"seq={seq_len:4d} kv={kv_mode:5s} {storage:7s}: "
+                    f"ref {row['ms_per_step_reference']:8.2f} ms/step -> "
+                    f"opt {row['ms_per_step_optimized']:8.2f} ms/step "
+                    f"({row['speedup']:.2f}x, parity={row['parity']})"
+                )
+                if not row["parity"]:
+                    print("FAIL decode logits diverged from the reference storage")
+                    return 1
+
+    payload = {
+        "benchmark": "decode_hotpath",
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "smoke": args.smoke,
+        "batch_size": args.batch,
+        "mantissa_bits": MANTISSA_BITS,
+        "results": results,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,15 +25,26 @@ Two kinds of checks run:
    baseline, a fatter tail relative to its own unchunked run) instead
    of on runner lottery.
 
+With ``--decode-hotpath`` the gate additionally checks
+``BENCH_decode_hotpath.json`` (from ``bench_decode_hotpath.py``):
+every cell must report bitwise parity between the reference and
+optimized KV storages, the anda+paged cell at ``seq_len >= 512`` must
+clear a structural 2.0x speedup floor (the decode hot-path acceptance
+bar), and each baselined cell's reference/optimized ratio — again a
+machine-normalized, in-process ratio — must stay inside the tolerance
+band of ``benchmarks/baselines/decode_hotpath.json``.
+
 Usage::
 
     python benchmarks/check_bench_regression.py BENCH_serving.json
     python benchmarks/check_bench_regression.py results.json \
         --baseline benchmarks/baselines/serving.json --tolerance 0.25
+    python benchmarks/check_bench_regression.py BENCH_serving.json \
+        --decode-hotpath BENCH_decode_hotpath.json
 
 Exits non-zero with a per-check report when any check fails.  To
-re-baseline after an intentional perf change, edit
-``benchmarks/baselines/serving.json`` in the same PR and say why.
+re-baseline after an intentional perf change, edit the matching file
+under ``benchmarks/baselines/`` in the same PR and say why.
 """
 
 from __future__ import annotations
@@ -44,6 +55,13 @@ import sys
 from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "serving.json"
+DEFAULT_DECODE_BASELINE = Path(__file__).parent / "baselines" / "decode_hotpath.json"
+
+#: Structural floor for the decode hot path: the optimized storage must
+#: at least halve step latency vs the reference O(history) storage on
+#: the anda+paged cell at long context (the PR acceptance bar).
+DECODE_HOTPATH_FLOOR = 2.0
+DECODE_HOTPATH_FLOOR_SEQ = 512
 
 
 class CheckFailure(Exception):
@@ -161,6 +179,86 @@ def check_itl_ratio(results: dict, baseline: dict, tolerance: float) -> list[str
     return lines
 
 
+def decode_hotpath_cells(results: dict) -> dict[str, dict]:
+    """'kv|storage|seq' -> row for decode hot-path benchmark output."""
+    cells = {}
+    for row in results.get("results", []):
+        storage = "paged" if row["paged"] else "unpaged"
+        cells[f"{row['kv_mode']}|{storage}|{row['seq_len']}"] = row
+    return cells
+
+
+def check_decode_parity(results: dict) -> list[str]:
+    """Structural gate: optimized storage is bitwise-identical everywhere."""
+    cells = decode_hotpath_cells(results)
+    if not cells:
+        raise CheckFailure(
+            "no results in the decode hot-path output; run "
+            "bench_decode_hotpath.py first"
+        )
+    for name, row in sorted(cells.items()):
+        if not row.get("parity"):
+            raise CheckFailure(
+                f"decode hot path lost bitwise parity with the reference "
+                f"storage at {name}"
+            )
+    return [f"ok   parity: {len(cells)} decode hot-path cells bitwise-identical"]
+
+
+def check_decode_floor(results: dict) -> list[str]:
+    """Structural gate: anda+paged long-context speedup >= the 2x floor."""
+    rows = [
+        row
+        for row in results.get("results", [])
+        if row["kv_mode"] == "anda"
+        and row["paged"]
+        and row["seq_len"] >= DECODE_HOTPATH_FLOOR_SEQ
+    ]
+    if not rows:
+        raise CheckFailure(
+            f"decode hot-path output has no anda+paged cell at seq_len >= "
+            f"{DECODE_HOTPATH_FLOOR_SEQ}; the acceptance cell must be measured"
+        )
+    lines = []
+    for row in rows:
+        if row["speedup"] < DECODE_HOTPATH_FLOOR:
+            raise CheckFailure(
+                f"decode hot path below the structural floor at anda|paged|"
+                f"{row['seq_len']}: {row['speedup']:.2f}x < "
+                f"{DECODE_HOTPATH_FLOOR:.1f}x"
+            )
+        lines.append(
+            f"ok   hot-path floor (anda|paged|{row['seq_len']}): "
+            f"{row['speedup']:.2f}x >= {DECODE_HOTPATH_FLOOR:.1f}x"
+        )
+    return lines
+
+
+def check_decode_speedups(
+    results: dict, baseline: dict, tolerance: float
+) -> list[str]:
+    """Per-cell step-latency speedup must not drop below baseline band."""
+    cells = decode_hotpath_cells(results)
+    lines = []
+    for name, base in baseline.get("speedup", {}).items():
+        row = cells.get(name)
+        if row is None:
+            raise CheckFailure(
+                f"baseline expects a decode hot-path cell {name}, none in "
+                "the benchmark output"
+            )
+        floor = base * (1.0 - tolerance)
+        actual = row["speedup"]
+        if actual < floor:
+            raise CheckFailure(
+                f"decode hot-path regression at {name}: speedup "
+                f"{actual:.2f}x < {floor:.2f}x (baseline {base:.2f}x "
+                f"- {tolerance:.0%})"
+            )
+        lines.append(f"ok   hot-path speedup ({name}): {actual:.2f}x >= {floor:.2f}x")
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -180,6 +278,17 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="allowed fractional drift from baseline (default 0.25)",
     )
+    parser.add_argument(
+        "--decode-hotpath",
+        default=None,
+        help="bench_decode_hotpath.py output JSON; enables the decode "
+        "hot-path gates",
+    )
+    parser.add_argument(
+        "--decode-baseline",
+        default=str(DEFAULT_DECODE_BASELINE),
+        help="committed decode hot-path baseline JSON",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must lie in [0, 1)")
@@ -192,6 +301,14 @@ def main(argv: list[str] | None = None) -> int:
         report.extend(check_chunking_beats_unchunked(results))
         report.extend(check_throughput(results, baseline, args.tolerance))
         report.extend(check_itl_ratio(results, baseline, args.tolerance))
+        if args.decode_hotpath is not None:
+            decode_results = load_json(Path(args.decode_hotpath))
+            decode_baseline = load_json(Path(args.decode_baseline))
+            report.extend(check_decode_parity(decode_results))
+            report.extend(check_decode_floor(decode_results))
+            report.extend(
+                check_decode_speedups(decode_results, decode_baseline, args.tolerance)
+            )
     except CheckFailure as failure:
         print(f"FAIL {failure}")
         print(

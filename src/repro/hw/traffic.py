@@ -33,9 +33,13 @@ from repro.llm.config import ModelConfig
 _FP16_BYTES = 2.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StepTraffic:
     """DRAM bytes moved by one serving step, split by stream.
+
+    ``slots=True``: the engine folds one of these per lane per step
+    into its accumulators, so construction stays allocation-light on
+    the decode hot path.
 
     Attributes:
         weight_bytes: model weights streamed (once per batched step).

@@ -14,7 +14,6 @@ traffic — the regime :mod:`repro.hw.roofline` shows is bandwidth-bound.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -86,7 +85,6 @@ def _lookup_mode(mode: str) -> tuple[Callable, Callable, Callable]:
         ) from None
 
 
-@dataclass
 class AndaKVCache(KVCache):
     """KV cache whose entries round-trip through the Anda format.
 
@@ -94,10 +92,14 @@ class AndaKVCache(KVCache):
         mantissa_bits: Anda mantissa length for cached keys/values.
     """
 
-    mantissa_bits: int = 8
+    __slots__ = ("mantissa_bits", "_key")
 
-    def __post_init__(self) -> None:
-        validate_kv_mantissa_bits(self.mantissa_bits)
+    def __init__(self, mantissa_bits: int = 8) -> None:
+        super().__init__()
+        validate_kv_mantissa_bits(mantissa_bits)
+        self.mantissa_bits = mantissa_bits
+        # Built once: the hot decode loop asks for the key per append.
+        self._key = ("anda", mantissa_bits)
 
     def compress(self, tensor: np.ndarray) -> np.ndarray:
         """Round-trip K/V through the Anda format (row-local, so the
@@ -105,7 +107,7 @@ class AndaKVCache(KVCache):
         return fake_quantize_batch(tensor, self.mantissa_bits)
 
     def compression_key(self) -> tuple:
-        return ("anda", self.mantissa_bits)
+        return self._key
 
     def storage_bits_per_element(self) -> float:
         """Cache footprint per element vs FP16's 16 bits."""

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.core.precision import TensorKind
 from repro.errors import ModelError
-from repro.llm.attention import KVCache, MultiHeadAttention
+from repro.llm.attention import KVCache, MultiHeadAttention, chunk_positions
 from repro.llm.autograd import Tensor, no_grad, softmax_cross_entropy
 from repro.llm.config import ModelConfig
 from repro.llm.hooks import ActivationTap
@@ -363,12 +363,9 @@ class CausalLM(Module):
         with no_grad():
             hidden = self.token_embedding(flat).data
             if self.position_embedding is not None:
-                positions = np.concatenate(
-                    [
-                        np.arange(start, start + length)
-                        for start, length in zip(starts, lengths)
-                    ]
-                )
+                # Shared with the attention layers' rotary gather: one
+                # memoized build per mixed step, not one per consumer.
+                positions = chunk_positions(starts, lengths)
                 hidden = hidden + self.position_embedding(positions).data
             for layer_index, block in enumerate(self.blocks):
                 layer_caches = [caches[layer_index] for caches in chunk_caches]

@@ -73,6 +73,7 @@ from repro.hw.traffic import (
     prefill_traffic,
     prefix_cache_savings,
 )
+from repro.llm.attention import HOT_PATH_STATS
 from repro.llm.generation import select_next_token
 from repro.llm.kv_quant import kv_bits_per_element, make_cache_factory, make_kv_codec
 from repro.llm.transformer import CausalLM
@@ -174,7 +175,7 @@ def _common_prefix(first: np.ndarray, second: np.ndarray) -> int:
     return int(mismatch[0]) if mismatch.size else limit
 
 
-@dataclass
+@dataclass(slots=True)
 class _ChunkRun:
     """One prompt chunk scheduled for execution in this step.
 
@@ -218,6 +219,10 @@ class Engine:
         self._step_deltas: list[TokenDelta] = []
         self._step_index = 0
         self._aborted = 0
+        # Reusable (capacity, 1) decode-token scratch; grown by
+        # doubling, filled in place each step instead of building a
+        # fresh (batch, 1) array per step.
+        self._decode_token_buf: np.ndarray | None = None
 
     # -- admission --------------------------------------------------------
 
@@ -366,6 +371,7 @@ class Engine:
         """
         started = time.perf_counter()  # include scheduling in step cost
         self._step_deltas = []
+        copy_before, dequant_before = HOT_PATH_STATS.snapshot()
         plan = plan_step(
             self._waiting,
             self._running,
@@ -426,9 +432,7 @@ class Engine:
                     ],
                     [run.state.caches for run in runs],
                     decode_tokens=(
-                        np.array([[state.last_token] for state in wave_decodes])
-                        if wave_decodes
-                        else None
+                        self._decode_tokens(wave_decodes) if wave_decodes else None
                     ),
                     decode_caches=[state.caches for state in wave_decodes],
                 )
@@ -496,9 +500,8 @@ class Engine:
                 preemptions += evicted
             if decodes:
                 decode_contexts = [state.context_length for state in decodes]
-                tokens = np.array([[state.last_token] for state in decodes])
                 decode_logits = self.model.forward_decode_batch(
-                    tokens, [state.caches for state in decodes]
+                    self._decode_tokens(decodes), [state.caches for state in decodes]
                 )
                 traffic = traffic + decode_step_traffic(
                     self.model.config,
@@ -564,10 +567,28 @@ class Engine:
             ),
             prefix_hit_tokens=prefix_hit_tokens,
             prefix_saved_bytes=saved.total_bytes,
+            kv_copy_bytes=HOT_PATH_STATS.copy_bytes - copy_before,
+            kv_dequant_bytes=HOT_PATH_STATS.dequant_bytes - dequant_before,
         )
         self._reports.append(report)
         self._step_index += 1
         return StepOutputs(report=report, deltas=tuple(self._step_deltas))
+
+    def _decode_tokens(self, states: list[RequestState]) -> np.ndarray:
+        """Gather the decode batch's next-token ids into reused scratch.
+
+        The model's embedding lookup copies out of the array, so the
+        engine-held buffer can be refilled in place next step.
+        """
+        batch = len(states)
+        buf = self._decode_token_buf
+        if buf is None or buf.shape[0] < batch:
+            capacity = max(batch, self.config.max_batch_size)
+            buf = np.empty((capacity, 1), dtype=np.int64)
+            self._decode_token_buf = buf
+        for index, state in enumerate(states):
+            buf[index, 0] = state.last_token
+        return buf[:batch]
 
     # -- chunked prefill --------------------------------------------------
 

@@ -34,9 +34,13 @@ if TYPE_CHECKING:  # pragma: no cover - engine imports this module
     from repro.serve.engine import Engine
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TokenDelta:
     """One token, the step it was emitted.
+
+    ``slots=True``: one delta is allocated per emitted token per step
+    (plus its handle-buffer reference), so the steady-state decode
+    loop keeps these as light as a plain tuple.
 
     Attributes:
         request_id: the emitting request.
@@ -63,7 +67,7 @@ class TokenDelta:
         return self.index == 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StepOutputs:
     """Everything one engine step produced.
 

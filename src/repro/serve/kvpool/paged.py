@@ -9,6 +9,18 @@ forking as needed); reads gather the non-contiguous blocks back into
 one contiguous history.  Stored bytes are identical to the unpaged
 ``KVCache`` — float16 rows, compressed per position — so paged decode
 is bitwise identical to unpaged decode.
+
+The gather is the decode hot path: every layer of every step reads a
+request's whole history.  :meth:`SequenceKV.gather` therefore keeps a
+persistent per-layer float32 scratch per sequence and extends it
+incrementally — one vectorized fancy-index gather over the block table
+covers exactly the positions appended since the last step, so a decode
+step costs O(new tokens), not O(history).  Copy-on-write forks copy
+bytes verbatim, so they never invalidate the scratch; a write below
+the dequantized watermark (only possible through direct
+:meth:`SequenceKV.write` calls, e.g. in tests) rolls the watermark
+back.  :meth:`SequenceKV.gather_reference` keeps the original
+per-block-loop gather as the parity oracle.
 """
 
 from __future__ import annotations
@@ -18,7 +30,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.errors import ModelError
-from repro.llm.attention import KVCache
+from repro.llm.attention import HOT_PATH_STATS, KVCache, grow_buffer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pool -> paged)
     from repro.serve.kvpool.pool import KVPool
@@ -35,7 +47,13 @@ class PagedKVCache(KVCache):
     does for unpaged caches.
     """
 
+    __slots__ = ("_sequence", "_layer", "_length")
+
     def __init__(self, sequence: "SequenceKV", layer: int) -> None:
+        # Initialize the base storage slots (left empty — rows live in
+        # pool blocks) so the inherited keys/values properties keep
+        # returning None, as the pre-paged cache did for no history.
+        super().__init__()
         self._sequence = sequence
         self._layer = layer
         self._length = sequence.shared_tokens
@@ -71,6 +89,17 @@ class SequenceKV:
     the first time this request writes into it.
     """
 
+    __slots__ = (
+        "pool",
+        "block_table",
+        "shared_tokens",
+        "caches",
+        "_released",
+        "_deq_k",
+        "_deq_v",
+        "_deq_len",
+    )
+
     def __init__(
         self, pool: "KVPool", block_table: list[int], shared_tokens: int
     ) -> None:
@@ -79,6 +108,12 @@ class SequenceKV:
         self.shared_tokens = shared_tokens
         self.caches = [PagedKVCache(self, layer) for layer in range(pool.n_layers)]
         self._released = False
+        # Per-layer float32 gather scratch: dequantized history prefix
+        # [0, _deq_len[layer]) lives in _deq_k/_deq_v[layer], shaped
+        # (heads, capacity, head_dim) and grown by doubling.
+        self._deq_k: list[np.ndarray | None] = [None] * pool.n_layers
+        self._deq_v: list[np.ndarray | None] = [None] * pool.n_layers
+        self._deq_len = [0] * pool.n_layers
 
     @property
     def length(self) -> int:
@@ -110,8 +145,9 @@ class SequenceKV:
     def _ensure_writable(self, start: int, end: int) -> None:
         """Grow the table to ``end`` and privatize touched shared blocks."""
         size = self.pool.block_size
-        while self.capacity < end:
-            self.block_table.append(self.pool.take_block())
+        missing = -(-end // size) - len(self.block_table)
+        if missing > 0:
+            self.block_table.extend(self.pool.take_blocks(missing))
         allocator = self.pool.allocator
         for index in range(start // size, -(-end // size)):
             if allocator.is_shared(self.block_table[index]):
@@ -133,6 +169,11 @@ class SequenceKV:
         """Scatter ``(1, H, T, hd)`` float16 rows into blocks."""
         new_len = k16.shape[2]
         self._ensure_writable(start, start + new_len)
+        if start < self._deq_len[layer]:
+            # Rewriting already-dequantized positions (direct write()
+            # callers only; the engine path is append-only): roll the
+            # scratch watermark back so gather re-reads them.
+            self._deq_len[layer] = start
         size = self.pool.block_size
         position, offset = start, 0
         while offset < new_len:
@@ -151,7 +192,64 @@ class SequenceKV:
     # -- read path --------------------------------------------------------
 
     def gather(self, layer: int, length: int) -> tuple[np.ndarray, np.ndarray]:
-        """Contiguous float32 ``(1, H, length, hd)`` K/V history."""
+        """Contiguous float32 ``(1, H, length, hd)`` K/V history.
+
+        Incremental: positions below the layer's dequant watermark are
+        served straight from the persistent scratch; the tail is
+        fetched with one fancy-index gather over the block table
+        (``O(new positions)``, including the table slice converted —
+        never the whole table), not a per-block Python loop over the
+        whole history.
+        """
+        if length < 1:
+            raise ModelError("gather needs at least one cached position")
+        kept = self._deq_len[layer]
+        k = self._deq_k[layer]
+        v = self._deq_v[layer]
+        if k is None or k.shape[1] < length:
+            capacity = max(
+                length, self.pool.block_size, 2 * (0 if k is None else k.shape[1])
+            )
+            shape = (self.pool.keys.shape[2], capacity, self.pool.keys.shape[4])
+            k = grow_buffer(k, shape, 1, kept, np.float32)
+            v = grow_buffer(v, shape, 1, kept, np.float32)
+            self._deq_k[layer] = k
+            self._deq_v[layer] = v
+        if kept < length:
+            size = self.pool.block_size
+            positions = np.arange(kept, length)
+            first = kept // size
+            table = np.asarray(
+                self.block_table[first : -(-length // size)], dtype=np.intp
+            )
+            blocks = table[positions // size - first]
+            rows = positions % size
+            # (tail, H, hd) fancy gather, dequantized on assignment.
+            k[:, kept:length] = self.pool.keys[layer, blocks, :, rows].transpose(
+                1, 0, 2
+            )
+            v[:, kept:length] = self.pool.values[layer, blocks, :, rows].transpose(
+                1, 0, 2
+            )
+            HOT_PATH_STATS.dequant_bytes += 2 * k[:, kept:length].nbytes
+            self._deq_len[layer] = length
+        keys = k[None, :, :length]
+        values = v[None, :, :length]
+        # Read-only views: these alias the persistent scratch (the old
+        # gather returned private copies).
+        keys.setflags(write=False)
+        values.setflags(write=False)
+        return keys, values
+
+    def gather_reference(
+        self, layer: int, length: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The pre-optimization gather: per-block loop + concatenate.
+
+        Re-materializes and re-dequantizes the entire history on every
+        call — kept as the bitwise oracle for the growth property tests
+        and the decode hot-path benchmark.
+        """
         size = self.pool.block_size
         k_parts, v_parts = [], []
         remaining = length
@@ -164,6 +262,8 @@ class SequenceKV:
             remaining -= rows
         keys = np.concatenate(k_parts, axis=1)[None].astype(np.float32)
         values = np.concatenate(v_parts, axis=1)[None].astype(np.float32)
+        HOT_PATH_STATS.copy_bytes += (keys.nbytes + values.nbytes) // 2
+        HOT_PATH_STATS.dequant_bytes += keys.nbytes + values.nbytes
         return keys, values
 
     # -- teardown ---------------------------------------------------------
@@ -176,3 +276,7 @@ class SequenceKV:
             self.pool.allocator.decref(block)
         self.block_table = []
         self._released = True
+        # Free the gather scratch with the residency it mirrors.
+        self._deq_k = [None] * self.pool.n_layers
+        self._deq_v = [None] * self.pool.n_layers
+        self._deq_len = [0] * self.pool.n_layers

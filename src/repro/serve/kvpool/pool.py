@@ -144,6 +144,24 @@ class KVPool:
                 )
         return self.allocator.allocate()
 
+    def take_blocks(self, count: int) -> list[int]:
+        """Allocate ``count`` blocks at once (chunk-write growth).
+
+        Same eviction-on-dry behavior as :meth:`take_block`, but
+        all-or-nothing: if the pool runs dry mid-way, the blocks
+        already taken are returned to the free list before the error
+        propagates, so a failed multi-block grow leaks nothing.
+        """
+        blocks: list[int] = []
+        try:
+            for _ in range(count):
+                blocks.append(self.take_block())
+        except OutOfBlocksError:
+            for block in blocks:
+                self.allocator.decref(block)
+            raise
+        return blocks
+
     # -- sequence lifecycle -----------------------------------------------
 
     def _shared_cap(self, prompt_tokens: np.ndarray, reserve_logits: bool) -> int:

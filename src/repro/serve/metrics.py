@@ -64,6 +64,13 @@ class StepReport:
         evicted_blocks: prefix-cache blocks reclaimed this step.
         prefix_hit_tokens: prompt positions served from shared blocks.
         prefix_saved_bytes: simulated DRAM bytes those hits avoided.
+        kv_copy_bytes: host bytes memcpy'd re-materializing KV history
+            this step (buffer/scratch growth; O(history) per step on
+            the reference storage, amortized O(new tokens) on the
+            preallocated path).
+        kv_dequant_bytes: host bytes converted float16 -> float32 for
+            attention reads this step (the incremental views convert
+            only the appended tail).
     """
 
     step: int
@@ -79,6 +86,8 @@ class StepReport:
     evicted_blocks: int = 0
     prefix_hit_tokens: int = 0
     prefix_saved_bytes: float = 0.0
+    kv_copy_bytes: int = 0
+    kv_dequant_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -99,6 +108,12 @@ class EngineMetrics:
         evicted_blocks: total prefix-cache blocks reclaimed.
         prefix_hit_tokens: total prompt positions shared, not computed.
         prefix_saved_bytes: total simulated DRAM bytes avoided by hits.
+        kv_copy_bytes: total host bytes memcpy'd re-materializing KV
+            history (the decode hot path's waste metric — amortized
+            O(1) per token on the preallocated storage).
+        kv_dequant_bytes: total host bytes converted float16 ->
+            float32 for attention reads (incremental views convert
+            each stored position once, not once per step).
         aborted: requests cancelled via ``abort()`` (they release their
             KV residency immediately and never produce a request
             record, so they appear here and nowhere in ``requests``).
@@ -117,6 +132,8 @@ class EngineMetrics:
     evicted_blocks: int = 0
     prefix_hit_tokens: int = 0
     prefix_saved_bytes: float = 0.0
+    kv_copy_bytes: int = 0
+    kv_dequant_bytes: int = 0
     aborted: int = 0
     requests: list[RequestMetrics] = field(default_factory=list)
 
@@ -188,6 +205,8 @@ def summarize(
         evicted_blocks=sum(report.evicted_blocks for report in reports),
         prefix_hit_tokens=sum(report.prefix_hit_tokens for report in reports),
         prefix_saved_bytes=sum(report.prefix_saved_bytes for report in reports),
+        kv_copy_bytes=sum(report.kv_copy_bytes for report in reports),
+        kv_dequant_bytes=sum(report.kv_dequant_bytes for report in reports),
         aborted=aborted,
         requests=list(requests),
     )

@@ -1,0 +1,303 @@
+"""Growth property tests for the zero-copy decode hot path.
+
+The optimized KV storage (preallocated capacity-doubling buffers +
+incremental dequant views, and the paged vectorized gather into
+persistent scratch) must be **bitwise** indistinguishable from the
+pre-optimization reference (per-append concatenate + full re-astype,
+kept alive as ``ReferenceKVCache`` / ``SequenceKV.gather_reference``).
+These tests pin that across the edges where the optimized storage does
+something structurally different:
+
+* capacity-doubling boundaries (buffer growth copies),
+* block boundaries and fragmented block tables (paged gather),
+* copy-on-write forks under prefix sharing (scratch must stay valid),
+* release + replay (the preempt/resume path rebuilds from scratch),
+
+for both KV modes (fp16, anda) and both storages (unpaged, paged).
+Comparisons use ``tobytes()`` — bit equality, not ``==`` (which would
+let ``-0.0`` / ``+0.0`` slip through).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.attention import (
+    KVCache,
+    ReferenceKVCache,
+    causal_mask,
+    history_mask,
+)
+from repro.llm.config import tiny_test_config
+from repro.llm.kv_quant import AndaKVCache, make_kv_codec
+from repro.llm.transformer import build_model
+from repro.serve import Engine, EngineConfig
+from repro.serve.kvpool.paged import SequenceKV
+from repro.serve.kvpool.pool import KVPool
+
+#: Chunk sizes crossing the initial capacity (16) and two doublings.
+chunk_lists = st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=14)
+
+KV_MODES = ["fp16", "anda"]
+HEADS, HEAD_DIM = 2, 16
+
+
+def bitwise_equal(left: np.ndarray, right: np.ndarray) -> bool:
+    return left.shape == right.shape and left.tobytes() == right.tobytes()
+
+
+def make_unpaged(mode: str) -> KVCache:
+    return KVCache() if mode == "fp16" else AndaKVCache(mantissa_bits=8)
+
+
+def make_reference(mode: str) -> ReferenceKVCache:
+    codec = None if mode == "fp16" else AndaKVCache(mantissa_bits=8)
+    return ReferenceKVCache(codec=codec)
+
+
+def random_kv(rng: np.random.Generator, length: int) -> np.ndarray:
+    return rng.normal(size=(1, HEADS, length, HEAD_DIM)).astype(np.float32)
+
+
+class TestUnpagedGrowthParity:
+    @pytest.mark.parametrize("mode", KV_MODES)
+    @given(lengths=chunk_lists, seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_view_matches_reference_after_every_append(self, mode, lengths, seed):
+        rng = np.random.default_rng(seed)
+        optimized, reference = make_unpaged(mode), make_reference(mode)
+        for length in lengths:
+            k, v = random_kv(rng, length), random_kv(rng, length)
+            opt_k, opt_v = optimized.append(k, v)
+            ref_k, ref_v = reference.append(k, v)
+            assert bitwise_equal(opt_k, ref_k)
+            assert bitwise_equal(opt_v, ref_v)
+            assert optimized.length == reference.length
+            # The stored float16 bytes are the parity bedrock.
+            assert bitwise_equal(optimized.keys, reference.keys)
+            assert bitwise_equal(optimized.values, reference.values)
+
+    @pytest.mark.parametrize("mode", KV_MODES)
+    def test_view_is_memoized_and_stable_across_calls(self, mode):
+        rng = np.random.default_rng(3)
+        cache = make_unpaged(mode)
+        cache.append(random_kv(rng, 5), random_kv(rng, 5))
+        first_k, first_v = cache.view()
+        again_k, again_v = cache.view()
+        assert again_k is not None and bitwise_equal(first_k, again_k)
+        assert bitwise_equal(first_v, again_v)
+
+
+class TestPagedGrowthParity:
+    def make_pool(self, mode: str, prefix: bool = False) -> KVPool:
+        config = tiny_test_config(d_model=HEADS * HEAD_DIM, n_layers=2)
+        return KVPool(
+            config,
+            num_blocks=96,
+            block_size=4,
+            codec=make_kv_codec(mode, 8),
+            enable_prefix_cache=prefix,
+        )
+
+    @pytest.mark.parametrize("mode", KV_MODES)
+    @given(lengths=chunk_lists, seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_gather_matches_reference_and_unpaged(self, mode, lengths, seed):
+        rng = np.random.default_rng(seed)
+        pool = self.make_pool(mode)
+        sequence = pool.create_sequence(np.array([1, 2, 3]))
+        reference = make_reference(mode)
+        for length in lengths:
+            k, v = random_kv(rng, length), random_kv(rng, length)
+            for layer in range(pool.n_layers):
+                paged_k, paged_v = sequence.caches[layer].append(k, v)
+                if layer == 0:
+                    ref_k, ref_v = reference.append(k, v)
+                assert bitwise_equal(paged_k, ref_k)
+                assert bitwise_equal(paged_v, ref_v)
+            total = sequence.length
+            old_k, old_v = sequence.gather_reference(0, total)
+            new_k, new_v = sequence.gather(0, total)
+            assert bitwise_equal(new_k, old_k)
+            assert bitwise_equal(new_v, old_v)
+
+    @pytest.mark.parametrize("mode", KV_MODES)
+    def test_cow_fork_keeps_warm_scratch_valid(self, mode):
+        """A sharer that gathered before forking must re-read nothing stale.
+
+        The fork is set up the way the kvpool suite does (a mid-block
+        manual share): the sharer's first private write lands *inside*
+        a block another sequence still references, forcing the
+        copy-on-write fork while the sharer's gather scratch is
+        already warm over that block.
+        """
+        rng = np.random.default_rng(7)
+        pool = self.make_pool(mode)
+        donor = pool.create_sequence(np.array([1]))
+        for layer in range(pool.n_layers):
+            donor.caches[layer].append(random_kv(rng, 4), random_kv(rng, 4))
+        donor_before = donor.gather(0, 4)[0].tobytes()
+
+        shared_block = donor.block_table[0]
+        pool.allocator.incref(shared_block)
+        sharer = SequenceKV(pool, [shared_block], shared_tokens=2)
+        # Warm the sharer's gather scratch over the shared block...
+        warm_k, _ = sharer.gather(0, 2)
+        assert bitwise_equal(warm_k, sharer.gather_reference(0, 2)[0])
+        # ...then append: position 2 lands mid-way into the shared
+        # block, so the write forks it (donor keeps the original).
+        forks_before = pool.cow_forks
+        for layer in range(pool.n_layers):
+            sharer.caches[layer].append(random_kv(rng, 5), random_kv(rng, 5))
+        assert pool.cow_forks > forks_before
+        assert sharer.block_table[0] != shared_block
+        for layer in range(pool.n_layers):
+            length = sharer.caches[layer].length
+            new_k, new_v = sharer.gather(layer, length)
+            old_k, old_v = sharer.gather_reference(layer, length)
+            assert bitwise_equal(new_k, old_k)
+            assert bitwise_equal(new_v, old_v)
+        # The donor's stored bytes are untouched by the fork.
+        assert donor.gather(0, 4)[0].tobytes() == donor_before
+        assert donor.gather_reference(0, 4)[0].tobytes() == donor_before
+
+    @pytest.mark.parametrize("mode", KV_MODES)
+    def test_release_and_replay_rebuilds_bitwise(self, mode):
+        """The preempt/resume path: a replayed sequence gathers identically."""
+        rng = np.random.default_rng(11)
+        pool = self.make_pool(mode)
+        appends = [
+            (random_kv(rng, length), random_kv(rng, length))
+            for length in (5, 1, 1, 7, 1, 3)
+        ]
+
+        def run() -> tuple[bytes, bytes]:
+            sequence = pool.create_sequence(np.array([1]))
+            for k, v in appends:
+                for layer in range(pool.n_layers):
+                    sequence.caches[layer].append(k, v)
+            keys, values = sequence.gather(0, sequence.length)
+            snapshot = (keys.tobytes(), values.tobytes())
+            sequence.release()
+            return snapshot
+
+        assert run() == run()
+
+
+class TestMaskMemo:
+    def test_prefill_mask_matches_causal_mask(self):
+        mask = history_mask(0, 6)
+        assert mask is not None
+        assert bitwise_equal(mask, causal_mask(6))
+        assert history_mask(0, 6) is mask  # memoized
+
+    def test_decode_mask_is_elided(self):
+        # A single new token attends to its entire history: the
+        # additive mask is all zeros, and adding zeros is a bitwise
+        # no-op through the softmax, so the hot path skips it.
+        assert history_mask(41, 1) is None
+
+    def test_mid_sequence_chunk_mask_values(self):
+        start, new_len = 3, 4
+        mask = history_mask(start, new_len)
+        total = start + new_len
+        positions = np.arange(start, total)[:, None]
+        history = np.arange(total)[None, :]
+        expected = np.where(history > positions, -1e9, 0.0).astype(np.float32)
+        assert bitwise_equal(mask, expected)
+
+
+class TestBatchedLogitsBitwise:
+    """Logits-level parity: stricter than the token-level suites.
+
+    Token parity can mask sub-ULP drift (argmax/sampling rarely flip on
+    a 1e-6 logit change); comparing raw logits bytes catches it.  This
+    pinned a real bug during this refactor: the reused context scratch
+    was float32 while the attention core's score pipeline runs in
+    float64 (the float64 ``scale`` scalar promotes it), silently
+    rounding batched-decode contexts before the output projection.
+    """
+
+    @pytest.mark.parametrize("family", ["opt", "llama"])
+    @pytest.mark.parametrize("mode", KV_MODES)
+    def test_decode_batch_logits_bitwise_equal_sequential(self, family, mode):
+        model = build_model(tiny_test_config(family=family, seed=17))
+        factory = (
+            model.new_cache
+            if mode == "fp16"
+            else (lambda: [AndaKVCache(8) for _ in model.blocks])
+        )
+        rng = np.random.default_rng(5)
+        prompt = rng.integers(0, 255, size=(1, 11))
+        seq_caches, bat_caches = factory(), factory()
+        prefill_a = model.forward_step(prompt, seq_caches)
+        prefill_b = model.forward_step(prompt, bat_caches)
+        assert bitwise_equal(prefill_a, prefill_b)
+        token = np.array([[7]])
+        for _ in range(6):
+            sequential = model.forward_step(token, seq_caches)
+            batched = model.forward_decode_batch(token, [bat_caches])
+            assert bitwise_equal(sequential[0, -1], batched[0, -1])
+            token = np.array([[int(np.argmax(sequential[0, -1]))]])
+
+    @pytest.mark.parametrize("mode", KV_MODES)
+    def test_mixed_chunk_logits_bitwise_equal_monolithic(self, mode):
+        model = build_model(tiny_test_config(family="llama", seed=19))
+        factory = (
+            model.new_cache
+            if mode == "fp16"
+            else (lambda: [AndaKVCache(8) for _ in model.blocks])
+        )
+        rng = np.random.default_rng(9)
+        prompt = rng.integers(0, 255, size=13)
+        mono = model.forward_step(prompt.reshape(1, -1), factory())
+        chunk_caches = factory()
+        chunk_logits, _ = model.forward_mixed_step(
+            [prompt[:8]], [chunk_caches], decode_tokens=None, decode_caches=None
+        )
+        tail_logits, _ = model.forward_mixed_step(
+            [prompt[8:]], [chunk_caches], decode_tokens=None, decode_caches=None
+        )
+        assert bitwise_equal(chunk_logits[0], mono[0, :8])
+        assert bitwise_equal(tail_logits[0], mono[0, 8:])
+
+
+class TestEngineHotPathCounters:
+    @pytest.mark.parametrize("kv_pool", [False, True])
+    def test_decode_dequant_bytes_amortize_flat(self, kv_pool):
+        """Steady-state decode converts O(new tokens), not O(history)."""
+        model = build_model(tiny_test_config(seed=13))
+        config = EngineConfig(
+            chunked_prefill=False,
+            kv_pool=kv_pool,
+            kv_pool_blocks=64,
+            kv_block_size=8,
+            prefix_caching=False,
+        )
+        engine = Engine(model, config)
+        engine.submit(np.array([5, 6, 7, 8, 9]), max_new_tokens=30)
+        engine.drain(max_steps=64)
+        decode_steps = [
+            report
+            for report in engine._reports
+            if report.decodes == 1 and report.prefills == 0
+        ]
+        assert len(decode_steps) >= 20
+        dequant = {report.kv_dequant_bytes for report in decode_steps}
+        # Incremental views dequantize exactly the appended tail every
+        # step, so the per-step byte count is one constant.
+        assert len(dequant) == 1
+        assert dequant.pop() > 0
+        # Capacity crossings (5 prompt + 30 tokens passes 16 and 32)
+        # show up as growth copies on a few steps, not every step.
+        growth_steps = [r for r in decode_steps if r.kv_copy_bytes > 0]
+        assert growth_steps
+        assert len(growth_steps) < len(decode_steps) / 2
+        metrics = engine.metrics()
+        assert metrics.kv_dequant_bytes == sum(
+            report.kv_dequant_bytes for report in engine._reports
+        )
+        assert metrics.kv_copy_bytes == sum(
+            report.kv_copy_bytes for report in engine._reports
+        )
