@@ -19,10 +19,20 @@ Per-step ``kv_copy_bytes`` / ``kv_dequant_bytes`` (from
 ``repro.llm.attention.HOT_PATH_STATS``) are recorded alongside latency:
 the reference bytes grow with context, the optimized bytes stay flat.
 
+A second, scaled-up scenario measures **grouped batched attention**
+(``--grouped-batch 32`` requests at ``--grouped-seq 2048`` context):
+per-request decode vs ``BucketedAttention`` dispatch on the same
+optimized storage.  The gated quantity is structural, not a wall-clock
+ratio: attention pipeline launches per step drop from
+``layers x batch`` to ``layers x buckets`` (``ATTENTION_STATS``
+deltas), with the two variants' logits again bitwise identical.
+
 Results land in ``BENCH_decode_hotpath.json``;
 ``benchmarks/check_bench_regression.py --decode-hotpath`` gates the
-speedups against ``benchmarks/baselines/decode_hotpath.json`` in CI so
-future PRs cannot silently reintroduce O(history) work per step.
+speedups and dispatch counts against
+``benchmarks/baselines/decode_hotpath.json`` in CI so future PRs
+cannot silently reintroduce O(history) copies — or O(batch) attention
+dispatches — per step.
 
 Usage::
 
@@ -47,7 +57,12 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.llm.attention import HOT_PATH_STATS, ReferenceKVCache  # noqa: E402
+from repro.llm.attention import (  # noqa: E402
+    ATTENTION_STATS,
+    HOT_PATH_STATS,
+    BucketedAttention,
+    ReferenceKVCache,
+)
 from repro.llm.config import tiny_test_config  # noqa: E402
 from repro.llm.kv_quant import make_cache_factory, make_kv_codec  # noqa: E402
 from repro.llm.transformer import CausalLM, build_model  # noqa: E402
@@ -66,6 +81,20 @@ STEPS_DEFAULT = 16
 STEPS_SMOKE = 8
 WARMUP_STEPS = 2
 
+#: Grouped-attention scenario: the scale the O(batch) -> O(buckets)
+#: dispatch reduction is stated at.
+GROUPED_BATCH = 32
+GROUPED_SEQ = 2048
+GROUPED_STEPS_DEFAULT = 8
+GROUPED_STEPS_SMOKE = 4
+#: One cell per storage backend (fp16 unpaged + anda paged) bounds the
+#: scenario's cost while still covering both view() implementations.
+GROUPED_CELLS = (("fp16", False), ("anda", True))
+#: Prompt positions per prefill call while building the scenario's
+#: caches: chunking keeps the O(L^2) mask/score intermediates bounded
+#: (a monolithic 2048-position prefill is ~4x slower here).
+PREFILL_CHUNK = 512
+
 
 class _ReferencePagedKVCache(PagedKVCache):
     """Paged cache whose reads use the pre-optimization block-loop gather."""
@@ -76,17 +105,18 @@ class _ReferencePagedKVCache(PagedKVCache):
         return self._sequence.gather_reference(self._layer, self._length)
 
 
-def build_bench_model() -> CausalLM:
+def build_bench_model(max_seq_len: int = 1024) -> CausalLM:
     """A small LLaMA-style model with headroom for long contexts.
 
     ``d_model=128`` with 2 heads gives ``head_dim=64`` — the Anda
     group size and the hardware word the rest of the stack models —
     so the anda codec runs its unpadded fast path, as it would on a
-    real serving geometry.
+    real serving geometry.  The grouped scenario passes a larger
+    ``max_seq_len`` for its 2k contexts.
     """
     config = replace(
         tiny_test_config(family="llama", d_model=128, n_layers=2, seed=7),
-        max_seq_len=1024,
+        max_seq_len=max_seq_len,
     )
     return build_model(config)
 
@@ -98,6 +128,7 @@ def build_request_caches(
     reference: bool,
     prompts: np.ndarray,
     decode_steps: int,
+    prefill_chunk: int | None = None,
 ) -> list[list]:
     """Per-request per-layer caches, prefilled with each request's prompt."""
     batch, seq_len = prompts.shape
@@ -126,27 +157,42 @@ def build_request_caches(
         factory = make_cache_factory(model, kv_mode, MANTISSA_BITS)
         all_caches = [factory() for _ in prompts]
     for prompt, caches in zip(prompts, all_caches):
-        model.forward_step(prompt.reshape(1, -1), caches)
+        row = prompt.reshape(1, -1)
+        if prefill_chunk is None:
+            model.forward_step(row, caches)
+        else:
+            for start in range(0, row.shape[1], prefill_chunk):
+                model.forward_step(row[:, start : start + prefill_chunk], caches)
     return all_caches
 
 
 def run_decode(
-    model: CausalLM, all_caches: list[list], token_rows: list[np.ndarray]
-) -> tuple[list[np.ndarray], float, tuple[int, int]]:
-    """Run scripted decode steps; time and meter the post-warmup window."""
+    model: CausalLM,
+    all_caches: list[list],
+    token_rows: list[np.ndarray],
+    dispatcher: BucketedAttention | None = None,
+) -> tuple[list[np.ndarray], float, tuple[int, int], int]:
+    """Run scripted decode steps; time and meter the post-warmup window.
+
+    Returns per-step logits, the timed window's elapsed seconds, the
+    window's ``(copy, dequant)`` byte deltas and its attention-dispatch
+    delta (``ATTENTION_STATS`` launches across the timed steps).
+    """
     logits_per_step: list[np.ndarray] = []
     elapsed = 0.0
-    copy0 = dequant0 = 0
+    copy0 = dequant0 = dispatch0 = 0
     for step, tokens in enumerate(token_rows):
         if step == WARMUP_STEPS:
             copy0, dequant0 = HOT_PATH_STATS.snapshot()
+            dispatch0 = ATTENTION_STATS.dispatches
             started = time.perf_counter()
-        logits = model.forward_decode_batch(tokens, all_caches)
+        logits = model.forward_decode_batch(tokens, all_caches, dispatcher=dispatcher)
         if step >= WARMUP_STEPS:
             elapsed = time.perf_counter() - started
         logits_per_step.append(logits)
     copy1, dequant1 = HOT_PATH_STATS.snapshot()
-    return logits_per_step, elapsed, (copy1 - copy0, dequant1 - dequant0)
+    dispatches = ATTENTION_STATS.dispatches - dispatch0
+    return logits_per_step, elapsed, (copy1 - copy0, dequant1 - dequant0), dispatches
 
 
 def bench_cell(
@@ -179,17 +225,21 @@ def bench_cell(
             all_caches = build_request_caches(
                 model, kv_mode, paged, reference, prompts, total_steps
             )
-            logits, seconds, counters = run_decode(model, all_caches, token_rows)
+            logits, seconds, counters, dispatches = run_decode(
+                model, all_caches, token_rows
+            )
             if best is not None and not all(
                 np.array_equal(a, b) for a, b in zip(best[0], logits)
             ):
                 raise AssertionError(f"{label} decode is not deterministic")
             if best is None or seconds < best[1]:
-                best = (logits, seconds, counters)
+                best = (logits, seconds, counters, dispatches)
         outputs[label] = best
 
-    ref_logits, ref_seconds, (ref_copy, ref_dequant) = outputs["reference"]
-    opt_logits, opt_seconds, (opt_copy, opt_dequant) = outputs["optimized"]
+    ref_logits, ref_seconds, (ref_copy, ref_dequant), _ = outputs["reference"]
+    opt_logits, opt_seconds, (opt_copy, opt_dequant), opt_dispatches = outputs[
+        "optimized"
+    ]
     # Bit equality, not == (which would let -0.0 / +0.0 slip through).
     parity = all(
         ref.tobytes() == opt.tobytes() for ref, opt in zip(ref_logits, opt_logits)
@@ -207,6 +257,94 @@ def bench_cell(
         "optimized_kv_copy_bytes_per_step": opt_copy / steps,
         "reference_kv_dequant_bytes_per_step": ref_dequant / steps,
         "optimized_kv_dequant_bytes_per_step": opt_dequant / steps,
+        "attention_dispatches_per_step": opt_dispatches // steps,
+        "parity": bool(parity),
+    }
+
+
+def bench_grouped_cell(
+    model: CausalLM,
+    kv_mode: str,
+    paged: bool,
+    seq_len: int,
+    batch: int,
+    steps: int,
+    repeats: int = 1,
+    pad_waste_cap: float = 0.125,
+) -> dict:
+    """Per-request vs grouped attention dispatch for one scaled-up cell.
+
+    Both variants run the *optimized* storage; what changes is the
+    attention dispatch shape: ``layers x batch`` per-request core calls
+    vs ``layers x buckets`` bucket launches.  The scripted decode is
+    deterministic and the bench prompts share one context length, so
+    the planner resolves to a known bucket count
+    (``planned_buckets``) the regression gate can check structurally —
+    and the two variants' logits must stay bitwise identical, which is
+    the grouped path's whole contract.
+    """
+    rng = np.random.default_rng(23 * seq_len + (29 if paged else 0))
+    vocab = model.config.vocab_size
+    prompts = rng.integers(0, vocab, size=(batch, seq_len))
+    total_steps = WARMUP_STEPS + steps
+    token_rows = [rng.integers(0, vocab, size=(batch, 1)) for _ in range(total_steps)]
+
+    outputs = {}
+    for label, grouped in (("per_request", False), ("grouped", True)):
+        best = None
+        for _ in range(repeats):
+            # Fresh dispatcher per repeat: its workspaces are keyed on
+            # the (fresh) caches' uids, so reuse would only hold dead
+            # entries.
+            dispatcher = BucketedAttention(pad_waste_cap) if grouped else None
+            all_caches = build_request_caches(
+                model,
+                kv_mode,
+                paged,
+                False,
+                prompts,
+                total_steps,
+                prefill_chunk=PREFILL_CHUNK,
+            )
+            logits, seconds, _, dispatches = run_decode(
+                model, all_caches, token_rows, dispatcher=dispatcher
+            )
+            if best is not None and not all(
+                np.array_equal(a, b) for a, b in zip(best[0], logits)
+            ):
+                raise AssertionError(f"{label} decode is not deterministic")
+            if best is None or seconds < best[1]:
+                best = (logits, seconds, dispatches)
+        outputs[label] = best
+
+    request_logits, request_seconds, request_dispatches = outputs["per_request"]
+    grouped_logits, grouped_seconds, grouped_dispatches = outputs["grouped"]
+    parity = all(
+        a.tobytes() == b.tobytes() for a, b in zip(request_logits, grouped_logits)
+    )
+    # Every timed step decodes the same batch at uniform lengths, so the
+    # dispatch deltas divide evenly; a remainder would mean a stray
+    # attention launch leaked into the window.
+    if request_dispatches % steps or grouped_dispatches % steps:
+        raise AssertionError("attention dispatches not uniform across timed steps")
+    planned = BucketedAttention(pad_waste_cap).plan(
+        [seq_len + WARMUP_STEPS + 1] * batch
+    )
+    return {
+        "kv_mode": kv_mode,
+        "paged": paged,
+        "seq_len": seq_len,
+        "batch_size": batch,
+        "decode_steps": steps,
+        "n_layers": model.config.n_layers,
+        "ms_per_step_per_request": request_seconds / steps * 1e3,
+        "ms_per_step_grouped": grouped_seconds / steps * 1e3,
+        "grouped_speedup": (
+            request_seconds / grouped_seconds if grouped_seconds > 0 else float("inf")
+        ),
+        "attention_dispatches_per_step_per_request": request_dispatches // steps,
+        "attention_dispatches_per_step_grouped": grouped_dispatches // steps,
+        "planned_buckets": planned.num_buckets,
         "parity": bool(parity),
     }
 
@@ -235,6 +373,24 @@ def main(argv: list[str] | None = None) -> int:
         "gated ratio rides on the minima)",
     )
     parser.add_argument(
+        "--grouped-batch",
+        type=int,
+        default=GROUPED_BATCH,
+        help="grouped-attention scenario batch size (0 skips the scenario)",
+    )
+    parser.add_argument(
+        "--grouped-seq",
+        type=int,
+        default=GROUPED_SEQ,
+        help="grouped-attention scenario context length",
+    )
+    parser.add_argument(
+        "--grouped-steps",
+        type=int,
+        default=None,
+        help="timed decode steps per grouped cell",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path("BENCH_decode_hotpath.json"),
@@ -247,6 +403,13 @@ def main(argv: list[str] | None = None) -> int:
         seq_lens = SEQ_LENS_SMOKE if args.smoke else SEQ_LENS_DEFAULT
     steps = args.steps or (STEPS_SMOKE if args.smoke else STEPS_DEFAULT)
     repeats = args.repeats or (5 if args.smoke else 3)
+    grouped_steps = args.grouped_steps or (
+        GROUPED_STEPS_SMOKE if args.smoke else GROUPED_STEPS_DEFAULT
+    )
+    # The grouped scenario's gated metrics (dispatch counts, parity) are
+    # deterministic, so it affords fewer repeats than the timing-gated
+    # base cells; its wall-clock columns are informational.
+    grouped_repeats = 1 if args.smoke else 2
 
     model = build_bench_model()
     results = []
@@ -268,6 +431,35 @@ def main(argv: list[str] | None = None) -> int:
                     print("FAIL decode logits diverged from the reference storage")
                     return 1
 
+    grouped_results = []
+    if args.grouped_batch > 0:
+        grouped_model = build_bench_model(
+            max_seq_len=args.grouped_seq + WARMUP_STEPS + grouped_steps + 1
+        )
+        for kv_mode, paged in GROUPED_CELLS:
+            row = bench_grouped_cell(
+                grouped_model,
+                kv_mode,
+                paged,
+                args.grouped_seq,
+                args.grouped_batch,
+                grouped_steps,
+                grouped_repeats,
+            )
+            grouped_results.append(row)
+            storage = "paged" if paged else "unpaged"
+            print(
+                f"grouped seq={args.grouped_seq:4d} batch={args.grouped_batch:2d} "
+                f"kv={kv_mode:5s} {storage:7s}: "
+                f"{row['attention_dispatches_per_step_per_request']:3d} -> "
+                f"{row['attention_dispatches_per_step_grouped']:3d} dispatches/step "
+                f"({row['planned_buckets']} buckets, "
+                f"{row['grouped_speedup']:.2f}x, parity={row['parity']})"
+            )
+            if not row["parity"]:
+                print("FAIL grouped decode logits diverged from per-request")
+                return 1
+
     payload = {
         "benchmark": "decode_hotpath",
         "machine": platform.machine(),
@@ -277,6 +469,9 @@ def main(argv: list[str] | None = None) -> int:
         "batch_size": args.batch,
         "mantissa_bits": MANTISSA_BITS,
         "results": results,
+        "grouped_batch": args.grouped_batch,
+        "grouped_seq": args.grouped_seq,
+        "grouped_results": grouped_results,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")

@@ -97,6 +97,7 @@ def decode_step_traffic(
     context_lengths: Sequence[int],
     kv_bits_per_element: float = 16.0,
     batched: bool = True,
+    padded_read_positions: int = 0,
 ) -> StepTraffic:
     """Traffic of one decode step over a batch of requests.
 
@@ -111,10 +112,20 @@ def decode_step_traffic(
             (continuous batching); if false, once per request
             (one-at-a-time decode), which is the baseline the engine's
             speedup is measured against.
+        padded_read_positions: extra key/value positions scored beyond
+            the requests' real histories — the waste grouped attention's
+            padded buckets introduce (``Bucket.padded_slots`` summed
+            over the step, per layer group).  Charged as KV reads: a
+            padded slot streams the same K/V bytes as a real one, which
+            is exactly why the planner's pad-waste cap exists.
     """
     if kv_bits_per_element <= 0:
         raise HardwareError(
             f"kv bits per element must be positive, got {kv_bits_per_element}"
+        )
+    if padded_read_positions < 0:
+        raise HardwareError(
+            f"padded read positions must be >= 0, got {padded_read_positions}"
         )
     batch = len(context_lengths)
     if batch == 0:
@@ -123,7 +134,7 @@ def decode_step_traffic(
         raise HardwareError("context lengths must be non-negative")
     kv_bytes_per_element = kv_bits_per_element / 8.0
     per_position = _kv_elements_per_position(config)
-    history = sum(context_lengths)
+    history = sum(context_lengths) + padded_read_positions
     return StepTraffic(
         weight_bytes=_weight_bytes(config) * (1 if batched else batch),
         kv_read_bytes=history * per_position * kv_bytes_per_element,

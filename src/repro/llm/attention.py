@@ -17,6 +17,7 @@ Two forward paths are provided:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -78,6 +79,47 @@ class KVHotPathStats:
 
 #: The process-wide instance every cache variant reports into.
 HOT_PATH_STATS = KVHotPathStats()
+
+
+@dataclass
+class AttentionDispatchStats:
+    """Process-wide counters of attention kernel launches.
+
+    ``dispatches`` counts attention-pipeline launches: one per
+    :meth:`MultiHeadAttention._attention_core` call (the per-request
+    oracle — prefill segments and ungrouped decode both land here) plus
+    one per multi-request bucket run by :class:`BucketedAttention`.
+    The per-request decode path costs ``layers x batch`` dispatches per
+    step; the grouped path costs ``layers x buckets`` — that ratio is
+    the structural win the decode hot-path benchmark gates.
+
+    ``grouped_requests`` counts requests served through a multi-request
+    bucket (a measure of how much of the batch the planner managed to
+    group), and ``padded_slots`` counts wasted key positions scored in
+    padded buckets (``sum(bucket_len - request_len)`` — what the
+    pad-waste cap bounds, and what :func:`repro.hw.traffic.
+    decode_step_traffic` charges as padded reads).
+
+    The engine snapshots these around each step and reports the deltas
+    (``StepReport.attention_dispatches`` etc.), mirroring
+    :class:`KVHotPathStats`.
+    """
+
+    dispatches: int = 0
+    grouped_requests: int = 0
+    padded_slots: int = 0
+
+    def snapshot(self) -> tuple[int, int, int]:
+        return (self.dispatches, self.grouped_requests, self.padded_slots)
+
+    def reset(self) -> None:
+        self.dispatches = 0
+        self.grouped_requests = 0
+        self.padded_slots = 0
+
+
+#: The process-wide instance every attention path reports into.
+ATTENTION_STATS = AttentionDispatchStats()
 
 
 def grow_buffer(
@@ -305,6 +347,9 @@ def _rotate_half_np(x: np.ndarray) -> np.ndarray:
 #: every one of the first appends.
 _INITIAL_CAPACITY = 16
 
+#: Monotonic id source for cache identity (see :attr:`KVCache.uid`).
+_CACHE_UID_COUNTER = itertools.count()
+
 
 class KVCache:
     """Per-layer key/value history for incremental decoding (FP16).
@@ -344,7 +389,16 @@ class KVCache:
     decode hot-path benchmark compare against.
     """
 
-    __slots__ = ("_k16", "_v16", "_len", "_deq_k", "_deq_v", "_deq_len", "_deq_key")
+    __slots__ = (
+        "_k16",
+        "_v16",
+        "_len",
+        "_deq_k",
+        "_deq_v",
+        "_deq_len",
+        "_deq_key",
+        "_uid",
+    )
 
     def __init__(self) -> None:
         self._k16: np.ndarray | None = None
@@ -354,6 +408,19 @@ class KVCache:
         self._deq_v: np.ndarray | None = None
         self._deq_len = 0
         self._deq_key: tuple | None = None
+        self._uid = next(_CACHE_UID_COUNTER)
+
+    @property
+    def uid(self) -> int:
+        """Process-unique cache identity, stable for the cache's lifetime.
+
+        :class:`BucketedAttention` keys its per-bucket gather
+        workspaces on member uid tuples, so a workspace is reused (and
+        synced incrementally) exactly as long as the same cache objects
+        stay grouped together, and can never be confused with a new
+        cache that reuses the same memory address.
+        """
+        return self._uid
 
     def compress(self, tensor: np.ndarray) -> np.ndarray:
         """Write-side transform; must be row-local along leading axes."""
@@ -499,6 +566,353 @@ class ReferenceKVCache(KVCache):
         return 0 if self._ref_k is None else self._ref_k.shape[2]
 
 
+# -- grouped batched attention ------------------------------------------------
+#
+# PackInfer-style KV-length bucketing for the decode lane: instead of
+# one attention pipeline launch per (layer, request), requests whose
+# histories share a KV length run as one batched launch per
+# (layer, bucket).  Bitwise discipline mirrors the chunked-prefill lane
+# rules: stacked numpy matmuls apply BLAS per leading-axis slice, so a
+# fully batched exact-length bucket reproduces the per-request bits,
+# while a bucket of size 1 stays on the M == 1 kernel path through
+# ``_attention_core`` itself.  Padded buckets never feed padded
+# operands to a matmul (BLAS edge kernels change bits when the reduced
+# or written extent changes): per-member exact-length matmuls write
+# into a shared padded scores workspace whose pad tail is MASK_VALUE,
+# and only the alignment-insensitive elementwise softmax middle runs
+# batched.
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One dispatch group: request rows sharing a (target) KV length.
+
+    Attributes:
+        indices: batch positions of the member requests.
+        lengths: each member's exact KV length (post-append, i.e. the
+            length attention reads), in ``indices`` order.
+        length: the bucket's target KV length — ``max(lengths)``; the
+            padded scores extent for mixed-length buckets.
+    """
+
+    indices: tuple[int, ...]
+    lengths: tuple[int, ...]
+    length: int
+
+    @property
+    def size(self) -> int:
+        return len(self.indices)
+
+    @property
+    def padded(self) -> bool:
+        return any(length != self.length for length in self.lengths)
+
+    @property
+    def padded_slots(self) -> int:
+        """Wasted key positions scored: ``sum(target - member length)``."""
+        return sum(self.length - length for length in self.lengths)
+
+
+@dataclass(frozen=True)
+class BucketPlan:
+    """One decode step's bucket assignment (shared by every layer)."""
+
+    buckets: tuple[Bucket, ...]
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.buckets)
+
+    @property
+    def grouped_requests(self) -> int:
+        return sum(bucket.size for bucket in self.buckets if bucket.size > 1)
+
+    @property
+    def padded_slots(self) -> int:
+        return sum(bucket.padded_slots for bucket in self.buckets)
+
+
+def plan_buckets(lengths: list[int], pad_waste_cap: float = 0.125) -> BucketPlan:
+    """Group request rows by KV length into dispatch buckets.
+
+    Exact-length groups come first: every length shared by >= 2
+    requests becomes one unpadded bucket (the fully batched fast
+    path).  Leftover singletons are then greedily merged, longest
+    first, into padded buckets as long as the padded fraction
+    ``padded_slots / (size * target)`` stays within ``pad_waste_cap``
+    — the knob trading fewer dispatches against wasted key reads.
+    Whatever still stands alone stays a singleton bucket, which the
+    dispatcher routes through the per-request oracle so it keeps the
+    M == 1 kernel path (and its bitwise guarantee) untouched.
+
+    The plan depends only on the lengths, so one plan per step serves
+    every layer.
+    """
+    if not 0.0 <= pad_waste_cap < 1.0:
+        raise ModelError(f"pad_waste_cap must lie in [0, 1), got {pad_waste_cap}")
+    groups: dict[int, list[int]] = {}
+    for index, length in enumerate(lengths):
+        if length < 1:
+            raise ModelError(f"request {index} has KV length {length}")
+        groups.setdefault(length, []).append(index)
+
+    buckets: list[Bucket] = []
+    singles: list[tuple[int, int]] = []
+    for length, indices in groups.items():
+        if len(indices) >= 2:
+            buckets.append(
+                Bucket(
+                    indices=tuple(indices),
+                    lengths=(length,) * len(indices),
+                    length=length,
+                )
+            )
+        else:
+            singles.append((length, indices[0]))
+
+    singles.sort(reverse=True)
+    pending: list[tuple[int, int]] = []
+
+    def close(members: list[tuple[int, int]]) -> None:
+        if not members:
+            return
+        target = members[0][0]
+        buckets.append(
+            Bucket(
+                indices=tuple(index for _, index in members),
+                lengths=tuple(length for length, _ in members),
+                length=target,
+            )
+        )
+
+    for length, index in singles:
+        if not pending:
+            pending = [(length, index)]
+            continue
+        target = pending[0][0]
+        candidate = pending + [(length, index)]
+        waste = sum(target - member_len for member_len, _ in candidate)
+        if pad_waste_cap > 0.0 and waste <= pad_waste_cap * len(candidate) * target:
+            pending = candidate
+        else:
+            close(pending)
+            pending = [(length, index)]
+    close(pending)
+    return BucketPlan(buckets=tuple(buckets))
+
+
+class _BucketWorkspace:
+    """Persistent K/V gather buffers for one bucket membership.
+
+    ``keys`` stays float32 — the scores matmul must run in float32 and
+    be upcast by the float64 scale afterwards, exactly as the oracle
+    does, or the bits change.  ``values`` is stored float64: numpy
+    promotes the mixed ``float64 weights @ float32 values`` context
+    matmul to float64 before BLAS sees it, so pre-promoting into the
+    workspace is bitwise invisible — and it turns a pathologically slow
+    batched mixed-dtype matmul (a fresh O(bucket * len) cast per layer
+    per step) into a straight dgemm over persistent memory.
+
+    ``synced`` is the shared dequant watermark: exact buckets hold
+    equal-length members, and a workspace is only ever reused by the
+    identical member tuple, so one integer tracks all members.
+    """
+
+    __slots__ = ("keys", "values", "synced")
+
+    def __init__(self) -> None:
+        self.keys: np.ndarray | None = None
+        self.values: np.ndarray | None = None
+        self.synced = 0
+
+
+class BucketedAttention:
+    """KV-length-bucketed decode dispatcher (one instance per engine).
+
+    Owns the bucket planning policy (:meth:`plan` wraps
+    :func:`plan_buckets` with the configured pad-waste cap) and the
+    per-bucket gather workspaces.  Workspaces are keyed by the member
+    caches' uid tuples: as long as the same requests stay bucketed
+    together — the steady decode state — each step's sync copies only
+    the tail appended since the last step (O(new tokens), preserving
+    the hot-path contract), and a membership change simply starts a
+    fresh workspace.  The caches are assumed append-only, as on the
+    engine path; rewriting stored history through direct ``write()``
+    calls would require a new cache (new uid) to stay coherent.
+
+    Composes with both storage backends by construction: it reads
+    histories only through ``cache.view()``'s float32
+    ``(1, H, len, hd)`` contract, which unpaged :class:`KVCache` and
+    the paged gather scratch both satisfy.
+    """
+
+    def __init__(self, pad_waste_cap: float = 0.125, max_workspaces: int = 32) -> None:
+        if not 0.0 <= pad_waste_cap < 1.0:
+            raise ModelError(f"pad_waste_cap must lie in [0, 1), got {pad_waste_cap}")
+        if max_workspaces < 1:
+            raise ModelError(f"max_workspaces must be positive, got {max_workspaces}")
+        self.pad_waste_cap = pad_waste_cap
+        self._max_workspaces = max_workspaces
+        self._workspaces: dict[tuple[int, ...], _BucketWorkspace] = {}
+
+    def plan(self, lengths: list[int]) -> BucketPlan:
+        """Bucket assignment for one decode step's post-append lengths."""
+        return plan_buckets(lengths, self.pad_waste_cap)
+
+    def run_bucket(
+        self,
+        attention: "MultiHeadAttention",
+        bucket: Bucket,
+        q: np.ndarray,
+        views: list[tuple[np.ndarray, np.ndarray]],
+        caches: list["KVCache"],
+    ) -> np.ndarray:
+        """Attention context rows ``(bucket, H, 1, hd)`` for one bucket.
+
+        Singleton buckets fall through to the per-request oracle so
+        their rows stay on the M == 1 kernel path, bitwise identical
+        to sequential decode.
+        """
+        for slot, index in enumerate(bucket.indices):
+            have = views[index][0].shape[2]
+            if have != bucket.lengths[slot]:
+                raise ModelError(
+                    f"bucket expects request {index} at KV length "
+                    f"{bucket.lengths[slot]}, cache holds {have}"
+                )
+        if bucket.size == 1:
+            index = bucket.indices[0]
+            keys, values = views[index]
+            return attention._attention_core(
+                q[index : index + 1], keys, values, bucket.length - 1
+            )
+        ATTENTION_STATS.dispatches += 1
+        ATTENTION_STATS.grouped_requests += bucket.size
+        if bucket.padded:
+            ATTENTION_STATS.padded_slots += bucket.padded_slots
+            return self._run_padded(attention, bucket, q, views)
+        return self._run_exact(attention, bucket, q, views, caches)
+
+    # -- exact-length buckets ---------------------------------------------
+
+    def _workspace(
+        self,
+        bucket: Bucket,
+        views: list[tuple[np.ndarray, np.ndarray]],
+        caches: list["KVCache"],
+    ) -> _BucketWorkspace:
+        """Sync (incrementally) and return the bucket's gather workspace."""
+        key = tuple(caches[index].uid for index in bucket.indices)
+        length = bucket.length
+        workspace = self._workspaces.get(key)
+        if workspace is None:
+            if len(self._workspaces) >= self._max_workspaces:
+                self._workspaces.clear()
+            workspace = _BucketWorkspace()
+            self._workspaces[key] = workspace
+        if workspace.synced > length:
+            # History shrank under us (direct write() rollback): the
+            # cached prefix can no longer be trusted.
+            workspace.synced = 0
+        if workspace.keys is None or workspace.keys.shape[2] < length:
+            capacity = max(
+                length,
+                _INITIAL_CAPACITY,
+                2 * (0 if workspace.keys is None else workspace.keys.shape[2]),
+            )
+            heads, head_dim = views[bucket.indices[0]][0].shape[1], views[
+                bucket.indices[0]
+            ][0].shape[3]
+            shape = (bucket.size, heads, capacity, head_dim)
+            workspace.keys = grow_buffer(
+                workspace.keys, shape, 2, workspace.synced, np.float32
+            )
+            workspace.values = grow_buffer(
+                workspace.values, shape, 2, workspace.synced, np.float64
+            )
+        if workspace.synced < length:
+            tail = slice(workspace.synced, length)
+            for slot, index in enumerate(bucket.indices):
+                keys, values = views[index]
+                workspace.keys[slot, :, tail] = keys[0, :, tail]
+                workspace.values[slot, :, tail] = values[0, :, tail]
+            HOT_PATH_STATS.copy_bytes += bucket.size * (
+                workspace.keys[0, :, tail].nbytes + workspace.values[0, :, tail].nbytes
+            )
+            workspace.synced = length
+        return workspace
+
+    def _run_exact(
+        self,
+        attention: "MultiHeadAttention",
+        bucket: Bucket,
+        q: np.ndarray,
+        views: list[tuple[np.ndarray, np.ndarray]],
+        caches: list["KVCache"],
+    ) -> np.ndarray:
+        """Fully batched attention over equal-length histories.
+
+        One stacked pipeline — scores matmul, max, exp, sum, divide,
+        context matmul — over ``(bucket, H, ...)`` operands.  numpy
+        runs BLAS per leading-axis slice and every elementwise /
+        reduction op is row-local with an unchanged reduced extent, so
+        each row's bits match the per-request oracle exactly (verified
+        by the singleton/padded parity tests and the benchmark gate).
+        """
+        workspace = self._workspace(bucket, views, caches)
+        length = bucket.length
+        keys = workspace.keys[:, :, :length]
+        values = workspace.values[:, :, :length]
+        q_rows = q[list(bucket.indices)]
+        scores = (q_rows @ keys.swapaxes(-1, -2)) * attention.scale
+        scores -= scores.max(axis=-1, keepdims=True)
+        weights = np.exp(scores)
+        weights /= weights.sum(axis=-1, keepdims=True)
+        return weights @ values
+
+    # -- padded buckets ----------------------------------------------------
+
+    def _run_padded(
+        self,
+        attention: "MultiHeadAttention",
+        bucket: Bucket,
+        q: np.ndarray,
+        views: list[tuple[np.ndarray, np.ndarray]],
+    ) -> np.ndarray:
+        """Padded masked attention over near-equal-length histories.
+
+        Matmuls and sums run per member at the member's *exact* length
+        — padding an operand fed to BLAS, or widening a reduction,
+        changes bits at unaligned lengths — while the shared padded
+        scores workspace lets the elementwise softmax middle (max /
+        subtract / exp / divide, all row-local) run batched.  Pad
+        columns are assigned ``MASK_VALUE`` directly (never computed),
+        so ``exp`` maps them to 0.0 and they influence nothing; the
+        per-member sum reads only real columns regardless.
+        """
+        size, target = bucket.size, bucket.length
+        heads, head_dim = attention.n_heads, attention.head_dim
+        scores = np.empty((size, heads, 1, target))
+        for slot, (index, length) in enumerate(zip(bucket.indices, bucket.lengths)):
+            keys = views[index][0]
+            row = (q[index : index + 1] @ keys.swapaxes(-1, -2)) * attention.scale
+            scores[slot, :, :, :length] = row[0]
+            scores[slot, :, :, length:] = MASK_VALUE
+        scores -= scores.max(axis=-1, keepdims=True)
+        weights = np.exp(scores)
+        denominators = np.empty((size, heads, 1, 1))
+        for slot, length in enumerate(bucket.lengths):
+            denominators[slot] = weights[slot, :, :, :length].sum(
+                axis=-1, keepdims=True
+            )
+        weights /= denominators
+        context = np.empty((size, heads, 1, head_dim))
+        for slot, (index, length) in enumerate(zip(bucket.indices, bucket.lengths)):
+            values = views[index][1]
+            context[slot] = (weights[slot : slot + 1, :, :, :length] @ values)[0]
+        return context
+
+
 class MultiHeadAttention(Module):
     """Fused-QKV causal attention with activation taps."""
 
@@ -566,6 +980,7 @@ class MultiHeadAttention(Module):
         batched decode token-identical to sequential decode.
         """
         new_len = q.shape[2]
+        ATTENTION_STATS.dispatches += 1
         scores = (q @ keys.swapaxes(-1, -2)) * self.scale
         mask = history_mask(start, new_len)
         if mask is not None:
@@ -606,21 +1021,40 @@ class MultiHeadAttention(Module):
         context = context.transpose(0, 2, 1, 3).reshape(batch, new_len, d_model)
         return self._project_out(context)
 
-    def step_batch(self, x: np.ndarray, caches: list[KVCache]) -> np.ndarray:
+    def step_batch(
+        self,
+        x: np.ndarray,
+        caches: list[KVCache],
+        plan: BucketPlan | None = None,
+        dispatcher: BucketedAttention | None = None,
+    ) -> np.ndarray:
         """Single-token decode for many independent requests at once.
 
         The projections (QKV, output) run as one batched ``(B, 1, D)``
         GeMM — numpy applies them per leading-axis slice, so each row is
-        bitwise identical to a ``batch=1`` :meth:`step` call — while
-        attention itself runs per request against that request's
-        *exact-length* cache (no cross-request padding).  Each request
-        may sit at a different position; rotary/positional phases are
-        gathered per request.
+        bitwise identical to a ``batch=1`` :meth:`step` call.  Each
+        request may sit at a different position; rotary/positional
+        phases are gathered per request.
+
+        Attention itself runs in one of two modes, both token-bitwise
+        identical to sequential decode:
+
+        * **per request** (``plan is None``): one
+          :meth:`_attention_core` call per request against that
+          request's exact-length cache — O(batch) dispatches per layer.
+        * **grouped** (``plan`` + ``dispatcher`` given): appends and
+          views are collected first, then each :class:`Bucket` of the
+          plan runs as one batched launch — O(buckets) dispatches per
+          layer (singleton buckets still route through the oracle to
+          stay on the M == 1 kernel path).
 
         Args:
             x: ``(batch, 1, d_model)`` activations, one row per request.
             caches: one :class:`KVCache` per request for *this* layer,
                 each extended in place.
+            plan: the step's bucket assignment (computed once from the
+                post-append lengths, shared across layers).
+            dispatcher: the engine's :class:`BucketedAttention`.
         """
         batch, new_len, d_model = x.shape
         if new_len != 1:
@@ -656,10 +1090,34 @@ class MultiHeadAttention(Module):
             k = stacked[:batch]
             v = stacked[batch:]
 
+        if plan is not None and dispatcher is not None:
+            # Grouped mode: land every request's append first (views of
+            # one request's cache are never invalidated by another
+            # request's append — per-request buffers, or per-sequence
+            # gather scratch in the paged pool), then launch once per
+            # bucket.
+            views: list[tuple[np.ndarray, np.ndarray]] = []
+            for index, cache in enumerate(caches):
+                k_row = k[index : index + 1]
+                v_row = v[index : index + 1]
+                if precompressed:
+                    views.append(cache.append_precompressed(k_row, v_row))
+                else:
+                    views.append(cache.append(k_row, v_row))
+            context: np.ndarray | None = None
+            for bucket in plan.buckets:
+                rows = dispatcher.run_bucket(self, bucket, q, views, caches)
+                if context is None:
+                    context = _context_scratch((batch,) + rows.shape[1:], rows.dtype)
+                for slot, index in enumerate(bucket.indices):
+                    context[index] = rows[slot]
+            context = context.transpose(0, 2, 1, 3).reshape(batch, new_len, d_model)
+            return self._project_out(context)
+
         # (B, H, 1, hd) scratch reused across the step's layers; the
         # transpose+reshape below hands a fresh copy (or a view consumed
         # before the next layer) to the output projection.
-        context: np.ndarray | None = None
+        context = None
         for index, cache in enumerate(caches):
             k_row = k[index : index + 1]
             v_row = v[index : index + 1]

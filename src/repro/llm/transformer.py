@@ -26,7 +26,13 @@ import numpy as np
 
 from repro.core.precision import TensorKind
 from repro.errors import ModelError
-from repro.llm.attention import KVCache, MultiHeadAttention, chunk_positions
+from repro.llm.attention import (
+    BucketedAttention,
+    BucketPlan,
+    KVCache,
+    MultiHeadAttention,
+    chunk_positions,
+)
 from repro.llm.autograd import Tensor, no_grad, softmax_cross_entropy
 from repro.llm.config import ModelConfig
 from repro.llm.hooks import ActivationTap
@@ -119,16 +125,25 @@ class TransformerBlock(Module):
             normed = self.ffn_norm(Tensor(x)).data
             return x + self.ffn.step(normed)
 
-    def step_batch(self, x: np.ndarray, caches: list[KVCache]) -> np.ndarray:
+    def step_batch(
+        self,
+        x: np.ndarray,
+        caches: list[KVCache],
+        plan: BucketPlan | None = None,
+        dispatcher: BucketedAttention | None = None,
+    ) -> np.ndarray:
         """One decode step for a batch of requests with per-request caches.
 
         Norms and the feed-forward reduce along the last axis only, so
         they batch row-identically as-is; attention routes through
-        :meth:`~repro.llm.attention.MultiHeadAttention.step_batch`.
+        :meth:`~repro.llm.attention.MultiHeadAttention.step_batch`,
+        grouped into KV-length buckets when a ``plan`` is given.
         """
         with no_grad():
             normed = self.attn_norm(Tensor(x)).data
-            x = x + self.attention.step_batch(normed, caches)
+            x = x + self.attention.step_batch(
+                normed, caches, plan=plan, dispatcher=dispatcher
+            )
             normed = self.ffn_norm(Tensor(x)).data
             return x + self.ffn.step(normed)
 
@@ -234,7 +249,10 @@ class CausalLM(Module):
             return normed @ self.lm_head.weight.data
 
     def forward_decode_batch(
-        self, tokens: np.ndarray, request_caches: list[list[KVCache]]
+        self,
+        tokens: np.ndarray,
+        request_caches: list[list[KVCache]],
+        dispatcher: BucketedAttention | None = None,
     ) -> np.ndarray:
         """Decode one token for many requests in a single batched step.
 
@@ -246,11 +264,19 @@ class CausalLM(Module):
         of the result is bitwise identical to running that request alone
         through :meth:`forward_step`.
 
+        With a ``dispatcher``, attention runs grouped: the step's
+        post-append KV lengths are bucketed once
+        (:meth:`~repro.llm.attention.BucketedAttention.plan` — all
+        layers sit at the same lengths, so the plan is shared) and each
+        layer launches one attention pipeline per bucket instead of one
+        per request, still token-bitwise identical.
+
         Args:
             tokens: ``(batch, 1)`` next-token ids, one row per request.
             request_caches: per request, the per-layer cache list that
                 earlier :meth:`forward_step` / ``forward_decode_batch``
                 calls extended.
+            dispatcher: optional grouped-attention dispatcher.
 
         Returns:
             Plain-numpy logits ``(batch, 1, vocab)``.
@@ -270,13 +296,20 @@ class CausalLM(Module):
             raise ModelError(
                 f"a request would exceed max_seq_len {self.config.max_seq_len}"
             )
+        plan: BucketPlan | None = None
+        if dispatcher is not None and len(request_caches) > 1:
+            # Post-append lengths: each cache gains one position this
+            # step before attention reads it.
+            plan = dispatcher.plan([int(start) + 1 for start in starts])
         with no_grad():
             hidden = self.token_embedding(tokens).data
             if self.position_embedding is not None:
                 hidden = hidden + self.position_embedding(starts[:, None]).data
             for layer_index, block in enumerate(self.blocks):
                 layer_caches = [caches[layer_index] for caches in request_caches]
-                hidden = block.step_batch(hidden, layer_caches)
+                hidden = block.step_batch(
+                    hidden, layer_caches, plan=plan, dispatcher=dispatcher
+                )
             normed = self.final_norm(Tensor(hidden)).data
             return normed @ self.lm_head.weight.data
 
@@ -286,6 +319,7 @@ class CausalLM(Module):
         chunk_caches: list[list[KVCache]],
         decode_tokens: np.ndarray | None = None,
         decode_caches: list[list[KVCache]] | None = None,
+        dispatcher: BucketedAttention | None = None,
     ) -> tuple[list[np.ndarray], np.ndarray | None]:
         """Run prompt chunks and decodes for many requests in one step.
 
@@ -319,6 +353,8 @@ class CausalLM(Module):
                 the decode lane.
             decode_caches: per decode request, the per-layer cache
                 list (required when ``decode_tokens`` is given).
+            dispatcher: optional grouped-attention dispatcher for the
+                decode lane (the chunk lane always runs per segment).
 
         Returns:
             ``(chunk_logits, decode_logits)`` — per chunk, plain-numpy
@@ -331,7 +367,7 @@ class CausalLM(Module):
         decode_logits = None
         if decode_tokens is not None:
             decode_logits = self.forward_decode_batch(
-                decode_tokens, decode_caches or []
+                decode_tokens, decode_caches or [], dispatcher=dispatcher
             )
         return chunk_logits, decode_logits
 

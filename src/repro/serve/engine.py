@@ -73,7 +73,7 @@ from repro.hw.traffic import (
     prefill_traffic,
     prefix_cache_savings,
 )
-from repro.llm.attention import HOT_PATH_STATS
+from repro.llm.attention import ATTENTION_STATS, HOT_PATH_STATS, BucketedAttention
 from repro.llm.generation import select_next_token
 from repro.llm.kv_quant import kv_bits_per_element, make_cache_factory, make_kv_codec
 from repro.llm.transformer import CausalLM
@@ -132,6 +132,18 @@ class EngineConfig:
             per position along the head dimension).
         prefix_caching: share prompt-prefix blocks across requests
             (kv_pool mode).
+        grouped_attention: bucket the decode batch by KV length and run
+            one batched attention launch per (layer, bucket) instead of
+            one per (layer, request)
+            (:class:`repro.llm.attention.BucketedAttention`).  Token
+            output is bitwise identical either way; grouping only cuts
+            Python/BLAS dispatch count from O(batch) to O(buckets) per
+            layer.
+        attention_pad_waste: padded-bucket waste cap in [0, 1): the
+            maximum fraction of scored key positions that may be
+            padding when merging near-equal-length singletons into one
+            padded bucket.  0 disables padded merging (exact-length
+            grouping only).
     """
 
     max_batch_size: int = 8
@@ -144,6 +156,8 @@ class EngineConfig:
     kv_pool_blocks: int = 64
     kv_block_size: int = DEFAULT_BLOCK_SIZE
     prefix_caching: bool = True
+    grouped_attention: bool = True
+    attention_pad_waste: float = 0.125
 
     def __post_init__(self) -> None:
         # A bad config must fail at construction, never mid-step with
@@ -160,6 +174,11 @@ class EngineConfig:
             raise ModelError(f"kv_pool_blocks must be >= 2, got {self.kv_pool_blocks}")
         if self.kv_block_size < 1:
             raise ModelError(f"kv_block_size must be >= 1, got {self.kv_block_size}")
+        if not 0.0 <= self.attention_pad_waste < 1.0:
+            raise ModelError(
+                f"attention_pad_waste must lie in [0, 1), got "
+                f"{self.attention_pad_waste}"
+            )
         kv_bits_per_element(self.kv_mode, self.kv_mantissa_bits)
 
     @property
@@ -209,6 +228,11 @@ class Engine:
                 codec=make_kv_codec(self.config.kv_mode, self.config.kv_mantissa_bits),
                 enable_prefix_cache=self.config.prefix_caching,
             )
+        self._dispatcher: BucketedAttention | None = (
+            BucketedAttention(pad_waste_cap=self.config.attention_pad_waste)
+            if self.config.grouped_attention
+            else None
+        )
         self._ids = itertools.count()
         self._waiting: list[RequestState] = []
         self._running: list[RequestState] = []
@@ -372,6 +396,9 @@ class Engine:
         started = time.perf_counter()  # include scheduling in step cost
         self._step_deltas = []
         copy_before, dequant_before = HOT_PATH_STATS.snapshot()
+        dispatches_before, grouped_before, _ = ATTENTION_STATS.snapshot()
+        n_layers = self.model.config.n_layers
+        padded_reads = 0
         plan = plan_step(
             self._waiting,
             self._running,
@@ -422,6 +449,7 @@ class Engine:
                 first_wave = False
                 continue
             decode_contexts = [state.context_length for state in wave_decodes]
+            padded_before = ATTENTION_STATS.padded_slots
             try:
                 chunk_logits, decode_logits = self.model.forward_mixed_step(
                     [
@@ -435,6 +463,7 @@ class Engine:
                         self._decode_tokens(wave_decodes) if wave_decodes else None
                     ),
                     decode_caches=[state.caches for state in wave_decodes],
+                    dispatcher=self._dispatcher,
                 )
             except Exception:
                 # The chunk lane runs before the decode lane, so a
@@ -450,11 +479,20 @@ class Engine:
             executed_chunks += len(runs)
 
             if wave_decodes:
+                # Only the decode lane can pad (the chunk lane always
+                # runs per segment), so the step's padded-slot delta is
+                # the lane's waste; one layer group's worth is the unit
+                # the traffic model charges.
+                lane_padded = (ATTENTION_STATS.padded_slots - padded_before) // (
+                    n_layers
+                )
+                padded_reads += lane_padded
                 traffic = traffic + decode_step_traffic(
                     self.model.config,
                     decode_contexts,
                     kv_bits_per_element=self.config.kv_bits,
                     batched=True,
+                    padded_read_positions=lane_padded,
                 )
                 weights_charged = True
                 for index, state in enumerate(wave_decodes):
@@ -500,14 +538,22 @@ class Engine:
                 preemptions += evicted
             if decodes:
                 decode_contexts = [state.context_length for state in decodes]
+                padded_before = ATTENTION_STATS.padded_slots
                 decode_logits = self.model.forward_decode_batch(
-                    self._decode_tokens(decodes), [state.caches for state in decodes]
+                    self._decode_tokens(decodes),
+                    [state.caches for state in decodes],
+                    dispatcher=self._dispatcher,
                 )
+                lane_padded = (ATTENTION_STATS.padded_slots - padded_before) // (
+                    n_layers
+                )
+                padded_reads += lane_padded
                 traffic = traffic + decode_step_traffic(
                     self.model.config,
                     decode_contexts,
                     kv_bits_per_element=self.config.kv_bits,
                     batched=True,
+                    padded_read_positions=lane_padded,
                 )
                 for index, state in enumerate(decodes):
                     self._emit(state, decode_logits[index, -1, :])
@@ -569,6 +615,11 @@ class Engine:
             prefix_saved_bytes=saved.total_bytes,
             kv_copy_bytes=HOT_PATH_STATS.copy_bytes - copy_before,
             kv_dequant_bytes=HOT_PATH_STATS.dequant_bytes - dequant_before,
+            attention_dispatches=ATTENTION_STATS.dispatches - dispatches_before,
+            attention_grouped_requests=(
+                ATTENTION_STATS.grouped_requests - grouped_before
+            ),
+            attention_padded_reads=padded_reads,
         )
         self._reports.append(report)
         self._step_index += 1

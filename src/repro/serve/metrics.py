@@ -71,6 +71,16 @@ class StepReport:
         kv_dequant_bytes: host bytes converted float16 -> float32 for
             attention reads this step (the incremental views convert
             only the appended tail).
+        attention_dispatches: attention pipeline launches this step —
+            one per per-request core call plus one per grouped bucket.
+            O(layers x batch) per decode step ungrouped, O(layers x
+            buckets) with grouped attention on.
+        attention_grouped_requests: decode requests served through a
+            multi-request bucket this step (summed over layers).
+        attention_padded_reads: wasted KV positions scored by padded
+            buckets this step (per layer group, i.e. divided by
+            n_layers — the unit ``decode_step_traffic`` charges
+            as padded KV reads).
     """
 
     step: int
@@ -88,6 +98,9 @@ class StepReport:
     prefix_saved_bytes: float = 0.0
     kv_copy_bytes: int = 0
     kv_dequant_bytes: int = 0
+    attention_dispatches: int = 0
+    attention_grouped_requests: int = 0
+    attention_padded_reads: int = 0
 
 
 @dataclass(frozen=True)
@@ -114,6 +127,14 @@ class EngineMetrics:
         kv_dequant_bytes: total host bytes converted float16 ->
             float32 for attention reads (incremental views convert
             each stored position once, not once per step).
+        attention_dispatches: total attention pipeline launches —
+            grouped attention's headline metric, dropping from
+            O(layers x batch) to O(layers x buckets) per decode step.
+        attention_grouped_requests: total requests served through
+            multi-request buckets (summed over layers and steps).
+        attention_padded_reads: total wasted KV positions padded
+            buckets scored (per layer group; what the pad-waste cap
+            bounds).
         aborted: requests cancelled via ``abort()`` (they release their
             KV residency immediately and never produce a request
             record, so they appear here and nowhere in ``requests``).
@@ -134,6 +155,9 @@ class EngineMetrics:
     prefix_saved_bytes: float = 0.0
     kv_copy_bytes: int = 0
     kv_dequant_bytes: int = 0
+    attention_dispatches: int = 0
+    attention_grouped_requests: int = 0
+    attention_padded_reads: int = 0
     aborted: int = 0
     requests: list[RequestMetrics] = field(default_factory=list)
 
@@ -207,6 +231,13 @@ def summarize(
         prefix_saved_bytes=sum(report.prefix_saved_bytes for report in reports),
         kv_copy_bytes=sum(report.kv_copy_bytes for report in reports),
         kv_dequant_bytes=sum(report.kv_dequant_bytes for report in reports),
+        attention_dispatches=sum(report.attention_dispatches for report in reports),
+        attention_grouped_requests=sum(
+            report.attention_grouped_requests for report in reports
+        ),
+        attention_padded_reads=sum(
+            report.attention_padded_reads for report in reports
+        ),
         aborted=aborted,
         requests=list(requests),
     )
