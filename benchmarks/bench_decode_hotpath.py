@@ -60,14 +60,18 @@ if str(REPO_ROOT / "src") not in sys.path:
 from repro.llm.attention import (  # noqa: E402
     ATTENTION_STATS,
     HOT_PATH_STATS,
+    AttentionDispatchStats,
     BucketedAttention,
+    KVHotPathStats,
     ReferenceKVCache,
+    stats_scope,
 )
 from repro.llm.config import tiny_test_config  # noqa: E402
 from repro.llm.kv_quant import make_cache_factory, make_kv_codec  # noqa: E402
 from repro.llm.transformer import CausalLM, build_model  # noqa: E402
 from repro.serve.kvpool.paged import PagedKVCache  # noqa: E402
 from repro.serve.kvpool.pool import DEFAULT_BLOCK_SIZE, KVPool  # noqa: E402
+from repro.serve.telemetry import StepTracer  # noqa: E402
 
 #: Decode batch the acceptance criterion is stated at.
 DEFAULT_BATCH = 8
@@ -349,6 +353,114 @@ def bench_grouped_cell(
     }
 
 
+def bench_telemetry_overhead(
+    model: CausalLM,
+    kv_mode: str,
+    seq_len: int,
+    batch: int,
+    steps: int,
+    repeats: int = 1,
+) -> dict:
+    """Decode-step cost of the telemetry plumbing, off and on.
+
+    The same scripted decode window runs three ways on the optimized
+    unpaged storage:
+
+    * ``unscoped`` — stat increments hit the module globals (the
+      pre-telemetry hot path, and still the path for direct model
+      calls);
+    * ``scoped`` — inside ``stats_scope(..., tracer=None)``, exactly
+      what every ``Engine.step`` installs with telemetry *disabled*:
+      the increments pay one contextvar load and every span site pays
+      one ``is not None`` check;
+    * ``traced`` — a live :class:`StepTracer` recording span events.
+
+    ``check_bench_regression.py`` gates ``disabled_overhead_ratio`` at
+    <= 2%: enabling the telemetry *capability* must stay free; only
+    actually tracing may cost.  Logits from all three runs must be
+    bitwise identical — telemetry never touches numerics.
+
+    Measurement discipline: the gated ratio is ~1.00, far below runner
+    noise, so the three variants advance *in lockstep* — three cache
+    sets, one step of each timed back-to-back within the same few
+    milliseconds, with the in-step order rotating to cancel
+    cache-warmth bias — and the reported ratio is the **median of the
+    paired per-step ratios**.  Window sums or floors-of-minima proved
+    an order of magnitude noisier on shared runners: a mid-window
+    interruption or a multi-second slow phase lands on one variant's
+    whole window, while a paired ratio only sees jitter *between* two
+    adjacent ~ms measurements.
+    """
+    rng = np.random.default_rng(31 * seq_len)
+    vocab = model.config.vocab_size
+    prompts = rng.integers(0, vocab, size=(batch, seq_len))
+    total_steps = WARMUP_STEPS + steps
+    token_rows = [rng.integers(0, vocab, size=(batch, 1)) for _ in range(total_steps)]
+    labels = ("unscoped", "scoped", "traced")
+
+    samples: dict[str, list[float]] = {label: [] for label in labels}
+    logits_by_label: dict[str, list[np.ndarray]] = {label: [] for label in labels}
+    for _ in range(repeats):
+        caches = {
+            label: build_request_caches(
+                model, kv_mode, False, False, prompts, total_steps
+            )
+            for label in labels
+        }
+        scopes = {
+            "scoped": (KVHotPathStats(), AttentionDispatchStats(), None),
+            "traced": (KVHotPathStats(), AttentionDispatchStats(), StepTracer()),
+        }
+        for step, tokens in enumerate(token_rows):
+            for offset in range(len(labels)):
+                label = labels[(step + offset) % len(labels)]
+                if label == "unscoped":
+                    started = time.perf_counter()
+                    logits = model.forward_decode_batch(tokens, caches[label])
+                    elapsed = time.perf_counter() - started
+                else:
+                    with stats_scope(*scopes[label]):
+                        started = time.perf_counter()
+                        logits = model.forward_decode_batch(tokens, caches[label])
+                        elapsed = time.perf_counter() - started
+                if step >= WARMUP_STEPS:
+                    samples[label].append(elapsed)
+                logits_by_label[label].append(logits)
+
+    reference = logits_by_label["unscoped"]
+    parity = all(
+        all(
+            a.tobytes() == b.tobytes()
+            for a, b in zip(reference, logits_by_label[label])
+        )
+        for label in ("scoped", "traced")
+    )
+    unscoped_ms = min(samples["unscoped"]) * 1e3
+    scoped_ms = min(samples["scoped"]) * 1e3
+    traced_ms = min(samples["traced"]) * 1e3
+    scoped_ratios = sorted(
+        scoped / unscoped
+        for scoped, unscoped in zip(samples["scoped"], samples["unscoped"])
+    )
+    traced_ratios = sorted(
+        traced / unscoped
+        for traced, unscoped in zip(samples["traced"], samples["unscoped"])
+    )
+    return {
+        "kv_mode": kv_mode,
+        "seq_len": seq_len,
+        "batch_size": batch,
+        "decode_steps": steps,
+        "paired_samples": len(scoped_ratios),
+        "ms_per_step_unscoped": unscoped_ms,
+        "ms_per_step_scoped": scoped_ms,
+        "ms_per_step_traced": traced_ms,
+        "disabled_overhead_ratio": scoped_ratios[len(scoped_ratios) // 2],
+        "traced_overhead_ratio": traced_ratios[len(traced_ratios) // 2],
+        "parity": bool(parity),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="CI-sized run")
@@ -460,6 +572,26 @@ def main(argv: list[str] | None = None) -> int:
                 print("FAIL grouped decode logits diverged from per-request")
                 return 1
 
+    # The overhead ratio gates at 1.02, so each variant gets at least
+    # 8 x steps per-step samples for its floor regardless of the base
+    # cells' repeat count.
+    telemetry_overhead = bench_telemetry_overhead(
+        model, "fp16", max(seq_lens), args.batch, steps, max(repeats, 8)
+    )
+    print(
+        f"telemetry seq={telemetry_overhead['seq_len']:4d} "
+        f"batch={telemetry_overhead['batch_size']:2d}: "
+        f"unscoped {telemetry_overhead['ms_per_step_unscoped']:.3f} ms/step, "
+        f"scoped {telemetry_overhead['ms_per_step_scoped']:.3f} "
+        f"({telemetry_overhead['disabled_overhead_ratio']:.4f}x), "
+        f"traced {telemetry_overhead['ms_per_step_traced']:.3f} "
+        f"({telemetry_overhead['traced_overhead_ratio']:.4f}x, "
+        f"parity={telemetry_overhead['parity']})"
+    )
+    if not telemetry_overhead["parity"]:
+        print("FAIL telemetry-scoped decode logits diverged from unscoped")
+        return 1
+
     payload = {
         "benchmark": "decode_hotpath",
         "machine": platform.machine(),
@@ -472,6 +604,7 @@ def main(argv: list[str] | None = None) -> int:
         "grouped_batch": args.grouped_batch,
         "grouped_seq": args.grouped_seq,
         "grouped_results": grouped_results,
+        "telemetry_overhead": telemetry_overhead,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")

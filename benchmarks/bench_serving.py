@@ -53,7 +53,14 @@ if str(REPO_ROOT / "src") not in sys.path:
 from repro.llm.generation import generate  # noqa: E402
 from repro.llm.kv_quant import make_cache_factory  # noqa: E402
 from repro.llm.zoo import get_model  # noqa: E402
-from repro.serve import LLM, Engine, EngineConfig, SamplingParams  # noqa: E402
+from repro.serve import (  # noqa: E402
+    LLM,
+    Engine,
+    EngineConfig,
+    SamplingParams,
+    TelemetryConfig,
+    validate_chrome_trace,
+)
 from repro.serve.metrics import percentile  # noqa: E402
 
 #: Shared-prefix workload sizes (requests) for full and --smoke runs.
@@ -408,6 +415,62 @@ def bench_abort(model, num_requests, max_new_tokens, kv_mode, bits):
     ]
 
 
+def bench_traced(model, trace_path, kv_mode, bits):
+    """Traced mixed workload: chunked prefill + grouped decode + abort.
+
+    Runs a small grouped-attention engine with tracing enabled over a
+    workload that exercises every span family (prefill chunks, decode
+    batches, per-bucket attention, sampling, lifecycle transitions
+    including an abort), writes the Chrome trace-event JSON to
+    ``trace_path`` (load it at https://ui.perfetto.dev), and validates
+    the emitted file against the trace-event schema — a structural
+    failure exits non-zero so CI catches a malformed exporter.
+    """
+    vocab = model.config.vocab_size
+    rng = np.random.default_rng(11)
+    prompts = [rng.integers(0, vocab, size=6 + (index % 9)) for index in range(6)]
+    long_prompt = rng.integers(0, vocab, size=96)
+    engine = Engine(
+        model,
+        EngineConfig(
+            max_batch_size=8,
+            max_batch_tokens=48,
+            chunked_prefill=True,
+            kv_mode=kv_mode,
+            kv_mantissa_bits=bits,
+            telemetry=TelemetryConfig(trace=True),
+        ),
+    )
+    llm = LLM(engine=engine)
+    params = SamplingParams(max_new_tokens=10)
+    handles = [llm.submit(prompt, params) for prompt in prompts]
+    for _ in range(2):
+        engine.step()
+    handles.append(llm.submit(long_prompt, params))
+    engine.step()
+    handles[1].abort()
+    engine.run_until_idle(max_steps=2000)
+    engine.telemetry.write_trace(trace_path)
+    problems = validate_chrome_trace(engine.telemetry.chrome_trace())
+    if problems:
+        raise SystemExit(
+            "TRACE SCHEMA FAILURE: " + "; ".join(problems[:5])
+        )
+    metrics = engine.metrics()
+    events = engine.telemetry.tracer.events
+    return {
+        "workload": "traced_mixed",
+        "kv_mode": kv_mode,
+        "trace_path": str(trace_path),
+        "trace_events": len(events),
+        "tracks": len({event.track for event in events}),
+        "steps": metrics.steps,
+        "aborted": metrics.aborted,
+        "attention_dispatches": metrics.attention_dispatches,
+        "tokens_per_second": metrics.tokens_per_second,
+    }
+
+
 def render_abort(rows) -> str:
     lines = [
         f"{'kv':>5} {'mode':>13} {'reqs':>5} {'aborted':>8} "
@@ -522,6 +585,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also run a traced mixed workload and write Perfetto-loadable "
+            "Chrome trace-event JSON to PATH (validated; schema problems "
+            "exit non-zero)"
+        ),
+    )
+    parser.add_argument(
         "--output", default="BENCH_serving.json", help="result JSON path"
     )
     args = parser.parse_args(argv)
@@ -624,6 +697,18 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(render_abort(abort_rows))
 
+    trace_row = None
+    if args.trace:
+        trace_row = bench_traced(
+            model, Path(args.trace), kv_modes[0], args.kv_mantissa_bits
+        )
+        print()
+        print(
+            f"trace: {trace_row['trace_events']} events on "
+            f"{trace_row['tracks']} tracks over {trace_row['steps']} steps "
+            f"-> {trace_row['trace_path']} (open in https://ui.perfetto.dev)"
+        )
+
     payload = {
         "benchmark": "serving_throughput",
         "model": args.model,
@@ -635,6 +720,7 @@ def main(argv: list[str] | None = None) -> int:
         "shared_prefix_results": shared_rows,
         "long_prompt_results": long_rows,
         "abort_results": abort_rows,
+        "trace_result": trace_row,
     }
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2) + "\n")

@@ -43,6 +43,13 @@ below per-request (the O(batch) -> O(buckets) claim, checked by
 counting, not timing) — and its grouped/per-request step-latency
 speedup must stay inside the baseline band.
 
+The same file's ``telemetry_overhead`` section gates the serving
+telemetry subsystem structurally: decoding inside the engine's
+disabled-telemetry ``stats_scope`` must cost <= 2% step latency over
+the unscoped hot path (an in-process median of paired per-step
+ratios, measured in lockstep so runner noise cancels), with
+bitwise-identical logits across unscoped, scoped and traced runs.
+
 Both baseline files are validated up front: a baseline missing a
 required section fails with a message naming the missing keys instead
 of a bare ``KeyError`` deep inside a check.
@@ -75,6 +82,14 @@ DEFAULT_DECODE_BASELINE = Path(__file__).parent / "baselines" / "decode_hotpath.
 #: the anda+paged cell at long context (the PR acceptance bar).
 DECODE_HOTPATH_FLOOR = 2.0
 DECODE_HOTPATH_FLOOR_SEQ = 512
+
+#: Structural ceiling on disabled-telemetry decode overhead: decoding
+#: inside the engine's ``stats_scope(..., tracer=None)`` (what every
+#: Engine.step installs when telemetry is off) may cost at most 2% over
+#: the unscoped hot path.  The gated number is the median of paired
+#: per-step ratios measured in lockstep, so runner speed and slow-phase
+#: noise cancel out.
+TELEMETRY_OVERHEAD_CEILING = 1.02
 
 
 class CheckFailure(Exception):
@@ -372,6 +387,41 @@ def check_grouped_speedups(
     return lines
 
 
+def check_telemetry_overhead(results: dict) -> list[str]:
+    """Structural gates on the telemetry-overhead scenario.
+
+    Disabled-mode telemetry (the per-engine ``stats_scope`` with no
+    tracer) must cost <= 2% step latency over the unscoped hot path,
+    and all three variants (unscoped / scoped / traced) must have
+    produced bitwise-identical logits — instrumentation never touches
+    numerics.
+    """
+    row = results.get("telemetry_overhead")
+    if not row:
+        raise CheckFailure(
+            "no telemetry_overhead section in the decode hot-path output; "
+            "re-run bench_decode_hotpath.py"
+        )
+    if not row.get("parity"):
+        raise CheckFailure(
+            "telemetry-scoped decode lost bitwise parity with the "
+            "unscoped hot path"
+        )
+    ratio = row["disabled_overhead_ratio"]
+    if ratio > TELEMETRY_OVERHEAD_CEILING:
+        raise CheckFailure(
+            f"disabled-telemetry overhead too high: scoped/unscoped step "
+            f"latency {ratio:.4f} > {TELEMETRY_OVERHEAD_CEILING:.2f} "
+            f"(scoped {row['ms_per_step_scoped']:.3f} ms/step vs unscoped "
+            f"{row['ms_per_step_unscoped']:.3f})"
+        )
+    return [
+        f"ok   telemetry overhead (disabled): {ratio:.4f}x <= "
+        f"{TELEMETRY_OVERHEAD_CEILING:.2f}x "
+        f"(traced {row['traced_overhead_ratio']:.4f}x, informational)"
+    ]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -436,6 +486,7 @@ def main(argv: list[str] | None = None) -> int:
             report.extend(
                 check_grouped_speedups(decode_results, decode_baseline, args.tolerance)
             )
+            report.extend(check_telemetry_overhead(decode_results))
     except CheckFailure as failure:
         print(f"FAIL {failure}")
         print(

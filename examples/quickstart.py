@@ -16,6 +16,10 @@ Covers the core public API end to end:
 Run:  python examples/quickstart.py
 (Step 5 trains a small sim model on first run; it is cached under
 ``.anda_zoo_cache/`` afterwards.)
+
+To *observe* the serving engine — Perfetto step traces, Prometheus
+counters, per-request lifecycle events — continue with
+``examples/telemetry_tour.py``.
 """
 
 import numpy as np

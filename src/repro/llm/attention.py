@@ -17,7 +17,9 @@ Two forward paths are provided:
 
 from __future__ import annotations
 
+import contextvars
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -122,6 +124,62 @@ class AttentionDispatchStats:
 ATTENTION_STATS = AttentionDispatchStats()
 
 
+@dataclass
+class StatScope:
+    """Where hot-path counters (and optional trace spans) are routed.
+
+    Every increment site on the decode hot path — buffer growth,
+    dequant views, bucket dispatches, the paged gather — reports into
+    the *active* scope instead of naming the module globals directly.
+    The default scope wraps :data:`HOT_PATH_STATS` /
+    :data:`ATTENTION_STATS` (tracer ``None``), so direct model calls
+    (benchmarks, tests, sequential ``generate``) behave exactly as
+    before; an :class:`~repro.serve.engine.Engine` installs its own
+    per-engine stats around each step via :func:`stats_scope`, which is
+    what keeps two engines in one process — or one per thread, since
+    contextvars are thread-local — from double-counting each other.
+
+    ``tracer`` is an optional :class:`repro.serve.telemetry.StepTracer`
+    duck type (``span``/``begin``/``end``/``instant``); hot sites guard
+    every use with an ``is not None`` check so the disabled cost is one
+    contextvar load per site.
+    """
+
+    hot: KVHotPathStats
+    attention: AttentionDispatchStats
+    tracer: object | None = None
+
+
+_DEFAULT_SCOPE = StatScope(HOT_PATH_STATS, ATTENTION_STATS)
+_ACTIVE_SCOPE: contextvars.ContextVar[StatScope] = contextvars.ContextVar(
+    "repro_stats_scope", default=_DEFAULT_SCOPE
+)
+
+
+def active_scope() -> StatScope:
+    """The scope hot-path counters currently report into."""
+    return _ACTIVE_SCOPE.get()
+
+
+@contextmanager
+def stats_scope(
+    hot: KVHotPathStats,
+    attention: AttentionDispatchStats,
+    tracer: object | None = None,
+):
+    """Route hot-path counters (and spans) into private stats objects.
+
+    Reentrant and exception-safe: the previous scope is restored on
+    exit via the contextvar token, so nested engine steps (or an engine
+    stepping inside another engine's traced region) unwind correctly.
+    """
+    token = _ACTIVE_SCOPE.set(StatScope(hot, attention, tracer))
+    try:
+        yield
+    finally:
+        _ACTIVE_SCOPE.reset(token)
+
+
 def grow_buffer(
     buffer: np.ndarray | None,
     shape: tuple[int, ...],
@@ -146,7 +204,7 @@ def grow_buffer(
     if buffer is not None and kept:
         index = (slice(None),) * axis + (slice(0, kept),)
         grown[index] = buffer[index]
-        HOT_PATH_STATS.copy_bytes += grown[index].nbytes
+        _ACTIVE_SCOPE.get().hot.copy_bytes += grown[index].nbytes
     return grown
 
 
@@ -495,7 +553,9 @@ class KVCache:
             tail = slice(self._deq_len, self._len)
             self._deq_k[:, :, tail] = self._k16[:, :, tail]
             self._deq_v[:, :, tail] = self._v16[:, :, tail]
-            HOT_PATH_STATS.dequant_bytes += 2 * self._deq_k[:, :, tail].nbytes
+            _ACTIVE_SCOPE.get().hot.dequant_bytes += (
+                2 * self._deq_k[:, :, tail].nbytes
+            )
             self._deq_len = self._len
         keys = self._deq_k[:, :, : self._len]
         values = self._deq_v[:, :, : self._len]
@@ -551,14 +611,16 @@ class ReferenceKVCache(KVCache):
         else:
             self._ref_k = np.concatenate([self._ref_k, k16], axis=2)
             self._ref_v = np.concatenate([self._ref_v, v16], axis=2)
-            HOT_PATH_STATS.copy_bytes += self._ref_k.nbytes + self._ref_v.nbytes
+            _ACTIVE_SCOPE.get().hot.copy_bytes += (
+                self._ref_k.nbytes + self._ref_v.nbytes
+            )
 
     def view(self) -> tuple[np.ndarray, np.ndarray]:
         if self._ref_k is None:
             raise ModelError("view() on an empty KV cache")
         keys = self._ref_k.astype(np.float32)
         values = self._ref_v.astype(np.float32)
-        HOT_PATH_STATS.dequant_bytes += keys.nbytes + values.nbytes
+        _ACTIVE_SCOPE.get().hot.dequant_bytes += keys.nbytes + values.nbytes
         return keys, values
 
     @property
@@ -786,12 +848,26 @@ class BucketedAttention:
             return attention._attention_core(
                 q[index : index + 1], keys, values, bucket.length - 1
             )
-        ATTENTION_STATS.dispatches += 1
-        ATTENTION_STATS.grouped_requests += bucket.size
+        scope = _ACTIVE_SCOPE.get()
+        stats = scope.attention
+        stats.dispatches += 1
+        stats.grouped_requests += bucket.size
         if bucket.padded:
-            ATTENTION_STATS.padded_slots += bucket.padded_slots
-            return self._run_padded(attention, bucket, q, views)
-        return self._run_exact(attention, bucket, q, views, caches)
+            stats.padded_slots += bucket.padded_slots
+        tracer = scope.tracer
+        if tracer is None:
+            if bucket.padded:
+                return self._run_padded(attention, bucket, q, views)
+            return self._run_exact(attention, bucket, q, views, caches)
+        with tracer.span(
+            "decode.attention",
+            size=bucket.size,
+            kv_length=bucket.length,
+            padded=bucket.padded,
+        ):
+            if bucket.padded:
+                return self._run_padded(attention, bucket, q, views)
+            return self._run_exact(attention, bucket, q, views, caches)
 
     # -- exact-length buckets ---------------------------------------------
 
@@ -836,7 +912,7 @@ class BucketedAttention:
                 keys, values = views[index]
                 workspace.keys[slot, :, tail] = keys[0, :, tail]
                 workspace.values[slot, :, tail] = values[0, :, tail]
-            HOT_PATH_STATS.copy_bytes += bucket.size * (
+            _ACTIVE_SCOPE.get().hot.copy_bytes += bucket.size * (
                 workspace.keys[0, :, tail].nbytes + workspace.values[0, :, tail].nbytes
             )
             workspace.synced = length
@@ -980,7 +1056,7 @@ class MultiHeadAttention(Module):
         batched decode token-identical to sequential decode.
         """
         new_len = q.shape[2]
-        ATTENTION_STATS.dispatches += 1
+        _ACTIVE_SCOPE.get().attention.dispatches += 1
         scores = (q @ keys.swapaxes(-1, -2)) * self.scale
         mask = history_mask(start, new_len)
         if mask is not None:
@@ -1086,7 +1162,12 @@ class MultiHeadAttention(Module):
             cache.compression_key() == shared_key for cache in caches[1:]
         )
         if precompressed and shared_key != ("fp16",):
-            stacked = caches[0].compress(np.concatenate([k, v], axis=0))
+            tracer = _ACTIVE_SCOPE.get().tracer
+            if tracer is None:
+                stacked = caches[0].compress(np.concatenate([k, v], axis=0))
+            else:
+                with tracer.span("decode.codec", batch=batch):
+                    stacked = caches[0].compress(np.concatenate([k, v], axis=0))
             k = stacked[:batch]
             v = stacked[batch:]
 

@@ -31,6 +31,7 @@ from repro.llm.attention import (
     BucketPlan,
     KVCache,
     MultiHeadAttention,
+    active_scope,
     chunk_positions,
 )
 from repro.llm.autograd import Tensor, no_grad, softmax_cross_entropy
@@ -301,6 +302,13 @@ class CausalLM(Module):
             # Post-append lengths: each cache gains one position this
             # step before attention reads it.
             plan = dispatcher.plan([int(start) + 1 for start in starts])
+        tracer = active_scope().tracer
+        if tracer is not None:
+            tracer.begin(
+                "step.decode_batch",
+                batch=tokens.shape[0],
+                grouped=plan is not None,
+            )
         with no_grad():
             hidden = self.token_embedding(tokens).data
             if self.position_embedding is not None:
@@ -311,7 +319,10 @@ class CausalLM(Module):
                     hidden, layer_caches, plan=plan, dispatcher=dispatcher
                 )
             normed = self.final_norm(Tensor(hidden)).data
-            return normed @ self.lm_head.weight.data
+            logits = normed @ self.lm_head.weight.data
+        if tracer is not None:
+            tracer.end("step.decode_batch")
+        return logits
 
     def forward_mixed_step(
         self,
@@ -396,6 +407,13 @@ class CausalLM(Module):
                 f"a request would exceed max_seq_len {self.config.max_seq_len}"
             )
         flat = np.concatenate(groups)[None, :]  # (1, total)
+        tracer = active_scope().tracer
+        if tracer is not None:
+            tracer.begin(
+                "step.prefill_chunks",
+                chunks=len(groups),
+                tokens=int(flat.shape[1]),
+            )
         with no_grad():
             hidden = self.token_embedding(flat).data
             if self.position_embedding is not None:
@@ -408,6 +426,8 @@ class CausalLM(Module):
                 hidden = block.step_mixed(hidden, layer_caches, lengths)
             normed = self.final_norm(Tensor(hidden)).data
             logits = normed @ self.lm_head.weight.data  # (1, total, vocab)
+        if tracer is not None:
+            tracer.end("step.prefill_chunks")
         split: list[np.ndarray] = []
         offset = 0
         for length in lengths:

@@ -76,15 +76,28 @@ from repro.serve.scheduler import (
     plan_step,
     validate_admission,
 )
+from repro.serve.telemetry import (
+    CounterRegistry,
+    EngineTelemetry,
+    StepTracer,
+    TelemetryConfig,
+    TraceEvent,
+    chrome_trace,
+    prometheus_exposition,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 
 __all__ = [
     "POLICIES",
     "BlockAllocator",
     "CompletedRequest",
+    "CounterRegistry",
     "DecodeFirstPolicy",
     "Engine",
     "EngineConfig",
     "EngineMetrics",
+    "EngineTelemetry",
     "FcfsPolicy",
     "KVBlockPlanner",
     "KVPool",
@@ -106,10 +119,17 @@ __all__ = [
     "StepOutputs",
     "StepPlan",
     "StepReport",
+    "StepTracer",
+    "TelemetryConfig",
     "TokenDelta",
+    "TraceEvent",
+    "chrome_trace",
     "get_policy",
     "plan_step",
+    "prometheus_exposition",
     "serve_batch",
     "summarize",
     "validate_admission",
+    "validate_chrome_trace",
+    "write_chrome_trace",
 ]

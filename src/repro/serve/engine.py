@@ -73,7 +73,12 @@ from repro.hw.traffic import (
     prefill_traffic,
     prefix_cache_savings,
 )
-from repro.llm.attention import ATTENTION_STATS, HOT_PATH_STATS, BucketedAttention
+from repro.llm.attention import (
+    AttentionDispatchStats,
+    BucketedAttention,
+    KVHotPathStats,
+    stats_scope,
+)
 from repro.llm.generation import select_next_token
 from repro.llm.kv_quant import kv_bits_per_element, make_cache_factory, make_kv_codec
 from repro.llm.transformer import CausalLM
@@ -97,6 +102,11 @@ from repro.serve.scheduler import (
     plan_step,
     validate_admission,
 )
+from repro.serve.telemetry import EngineTelemetry, TelemetryConfig
+from repro.serve.telemetry.export import log_step_summary
+
+#: Process-wide engine numbering for default telemetry labels.
+_ENGINE_LABELS = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -144,6 +154,11 @@ class EngineConfig:
             padding when merging near-equal-length singletons into one
             padded bucket.  0 disables padded merging (exact-length
             grouping only).
+        telemetry: optional instruments
+            (:class:`~repro.serve.telemetry.TelemetryConfig`) — phase
+            span tracing for Chrome-trace export and per-step summary
+            logging.  The per-engine counter registry exists regardless
+            of this config; only the tracer and log lines are optional.
     """
 
     max_batch_size: int = 8
@@ -158,6 +173,7 @@ class EngineConfig:
     prefix_caching: bool = True
     grouped_attention: bool = True
     attention_pad_waste: float = 0.125
+    telemetry: TelemetryConfig = TelemetryConfig()
 
     def __post_init__(self) -> None:
         # A bad config must fail at construction, never mid-step with
@@ -233,6 +249,17 @@ class Engine:
             if self.config.grouped_attention
             else None
         )
+        # Per-engine hot-path stats: installed around every step via
+        # stats_scope, so two engines in one process (or one per
+        # thread) never bleed kv_copy_bytes / attention_dispatches into
+        # each other through the module globals.  The globals remain
+        # the default sink for direct model calls outside any engine.
+        self._hot_stats = KVHotPathStats()
+        self._attn_stats = AttentionDispatchStats()
+        self.telemetry = EngineTelemetry(
+            self.config.telemetry, f"engine{next(_ENGINE_LABELS)}", self.metrics
+        )
+        self._tracer = self.telemetry.tracer
         self._ids = itertools.count()
         self._waiting: list[RequestState] = []
         self._running: list[RequestState] = []
@@ -327,6 +354,10 @@ class Engine:
         self._waiting.append(state)
         handle = RequestHandle(self, state)
         self._handles[request.request_id] = handle
+        if self._tracer is not None:
+            self._tracer.lifecycle(
+                request.request_id, "QUEUED", prompt_tokens=int(prompt.shape[0])
+            )
         return handle
 
     # -- cancellation ------------------------------------------------------
@@ -363,6 +394,10 @@ class Engine:
         state.finish_time = time.perf_counter()
         self._aborted += 1
         self._handles.pop(request_id, None)
+        if self._tracer is not None:
+            self._tracer.lifecycle(
+                request_id, "ABORTED", tokens=len(state.generated)
+            )
         return True
 
     # -- stepping ---------------------------------------------------------
@@ -393,12 +428,31 @@ class Engine:
         :class:`RequestHandle` buffers), so streaming consumers observe
         tokens — and measure TTFT — the step they are produced.
         """
+        # Route every hot-path counter (and span) this step produces
+        # into the engine's own stats; the module globals only ever see
+        # direct model calls made outside an engine.
+        with stats_scope(self._hot_stats, self._attn_stats, self._tracer):
+            return self._step_scoped()
+
+    def _step_scoped(self) -> StepOutputs:
         started = time.perf_counter()  # include scheduling in step cost
+        tracer = self._tracer
+        if tracer is not None:
+            # The root span reuses the exact perf_counter readings that
+            # define StepReport.elapsed_seconds, so its duration and
+            # the report agree to the clock tick.
+            tracer.begin("step", ts=tracer.to_us(started), step=self._step_index)
         self._step_deltas = []
-        copy_before, dequant_before = HOT_PATH_STATS.snapshot()
-        dispatches_before, grouped_before, _ = ATTENTION_STATS.snapshot()
+        copy_before, dequant_before = self._hot_stats.snapshot()
+        dispatches_before, grouped_before, _ = self._attn_stats.snapshot()
         n_layers = self.model.config.n_layers
         padded_reads = 0
+        if tracer is not None:
+            tracer.begin(
+                "step.schedule",
+                waiting=len(self._waiting),
+                running=len(self._running),
+            )
         plan = plan_step(
             self._waiting,
             self._running,
@@ -408,6 +462,8 @@ class Engine:
             blocks=(None if self._pool is None else self._pool.planner(self._running)),
             chunking=self.config.chunked_prefill,
         )
+        if tracer is not None:
+            tracer.end("step.schedule")
         traffic = StepTraffic()
         new_tokens = 0
         preemptions = 0
@@ -449,7 +505,7 @@ class Engine:
                 first_wave = False
                 continue
             decode_contexts = [state.context_length for state in wave_decodes]
-            padded_before = ATTENTION_STATS.padded_slots
+            padded_before = self._attn_stats.padded_slots
             try:
                 chunk_logits, decode_logits = self.model.forward_mixed_step(
                     [
@@ -483,7 +539,7 @@ class Engine:
                 # runs per segment), so the step's padded-slot delta is
                 # the lane's waste; one layer group's worth is the unit
                 # the traffic model charges.
-                lane_padded = (ATTENTION_STATS.padded_slots - padded_before) // (
+                lane_padded = (self._attn_stats.padded_slots - padded_before) // (
                     n_layers
                 )
                 padded_reads += lane_padded
@@ -521,12 +577,25 @@ class Engine:
                 if state.prefill_pos >= state.request.prompt_length:
                     self._waiting.remove(state)
                     state.status = RequestStatus.RUNNING
+                    if self._tracer is not None:
+                        self._tracer.lifecycle(
+                            state.request.request_id, "RUNNING"
+                        )
                     if self._pool is not None:
                         self._pool.register_prefix(state.kv, state.request.prompt)
                     self._running.append(state)
                     self._emit(state, logits[-1, :], first=True)
                     new_tokens += 1
                 else:
+                    if (
+                        self._tracer is not None
+                        and state.status is not RequestStatus.PREFILLING
+                    ):
+                        self._tracer.lifecycle(
+                            state.request.request_id,
+                            "PREFILLING",
+                            prefill_pos=state.prefill_pos,
+                        )
                     state.status = RequestStatus.PREFILLING
                     partial += 1
 
@@ -538,13 +607,13 @@ class Engine:
                 preemptions += evicted
             if decodes:
                 decode_contexts = [state.context_length for state in decodes]
-                padded_before = ATTENTION_STATS.padded_slots
+                padded_before = self._attn_stats.padded_slots
                 decode_logits = self.model.forward_decode_batch(
                     self._decode_tokens(decodes),
                     [state.caches for state in decodes],
                     dispatcher=self._dispatcher,
                 )
-                lane_padded = (ATTENTION_STATS.padded_slots - padded_before) // (
+                lane_padded = (self._attn_stats.padded_slots - padded_before) // (
                     n_layers
                 )
                 padded_reads += lane_padded
@@ -559,6 +628,8 @@ class Engine:
                     self._emit(state, decode_logits[index, -1, :])
                     new_tokens += 1
 
+        if legacy and tracer is not None:
+            tracer.begin("step.prefill", requests=len(legacy))
         for chunk in legacy:
             state = chunk.state
             if self._pool is None:
@@ -571,6 +642,8 @@ class Engine:
                 )
                 self._waiting.remove(state)
                 state.status = RequestStatus.RUNNING
+                if tracer is not None:
+                    tracer.lifecycle(state.request.request_id, "RUNNING")
                 state.prefill_pos = state.request.prompt_length
                 traffic = traffic + prefill_traffic(
                     self.model.config,
@@ -594,7 +667,10 @@ class Engine:
                         hit,
                         kv_bits_per_element=self.config.kv_bits,
                     )
+        if legacy and tracer is not None:
+            tracer.end("step.prefill")
 
+        ended = time.perf_counter()
         report = StepReport(
             step=self._step_index,
             prefills=executed_chunks + len(legacy),
@@ -603,7 +679,7 @@ class Engine:
             batch_tokens=len(decodes) + sum(chunk.tokens for chunk in plan.prefills),
             prefill_tokens=prefill_done,
             partial_prefills=partial,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=ended - started,
             traffic=traffic,
             preemptions=preemptions,
             evicted_blocks=(
@@ -613,16 +689,23 @@ class Engine:
             ),
             prefix_hit_tokens=prefix_hit_tokens,
             prefix_saved_bytes=saved.total_bytes,
-            kv_copy_bytes=HOT_PATH_STATS.copy_bytes - copy_before,
-            kv_dequant_bytes=HOT_PATH_STATS.dequant_bytes - dequant_before,
-            attention_dispatches=ATTENTION_STATS.dispatches - dispatches_before,
+            kv_copy_bytes=self._hot_stats.copy_bytes - copy_before,
+            kv_dequant_bytes=self._hot_stats.dequant_bytes - dequant_before,
+            attention_dispatches=self._attn_stats.dispatches - dispatches_before,
             attention_grouped_requests=(
-                ATTENTION_STATS.grouped_requests - grouped_before
+                self._attn_stats.grouped_requests - grouped_before
             ),
             attention_padded_reads=padded_reads,
         )
         self._reports.append(report)
         self._step_index += 1
+        if tracer is not None:
+            tracer.end("step", ts=tracer.to_us(ended))
+        telemetry_config = self.config.telemetry
+        if telemetry_config.log_steps and (
+            report.step % telemetry_config.log_every == 0
+        ):
+            log_step_summary(self.telemetry.engine_label, report)
         return StepOutputs(report=report, deltas=tuple(self._step_deltas))
 
     def _decode_tokens(self, states: list[RequestState]) -> np.ndarray:
@@ -772,6 +855,9 @@ class Engine:
         """
         assert self._pool is not None
         preemptions = 0
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.begin("step.preempt", decodes=len(decodes), chunks=len(runs))
         while decodes or runs:
             demand = sum(state.kv.blocks_for_append(1) for state in decodes) + sum(
                 run.state.kv.blocks_for_append(run.tokens) for run in runs
@@ -787,6 +873,8 @@ class Engine:
                 runs = [run for run in runs if run.state is not victim]
                 self._preempt_prefill(victim)
             preemptions += 1
+        if tracer is not None:
+            tracer.end("step.preempt")
         return decodes, runs, preemptions
 
     def _preempt(self, state: RequestState) -> None:
@@ -795,6 +883,8 @@ class Engine:
         self._release_residency(state)
         state.status = RequestStatus.WAITING
         state.preemptions += 1
+        if self._tracer is not None:
+            self._tracer.lifecycle(state.request.request_id, "PREEMPTED")
         # Re-enter the waiting queue in arrival order so FCFS resumes
         # the oldest preempted request first.
         index = bisect.bisect_left(
@@ -814,6 +904,8 @@ class Engine:
         self._release_residency(state)
         state.status = RequestStatus.WAITING
         state.preemptions += 1
+        if self._tracer is not None:
+            self._tracer.lifecycle(state.request.request_id, "PREEMPTED")
 
     def _prefill_paged(self, state: RequestState) -> tuple[int, StepTraffic, int]:
         """Prefill (or resume) one request through the paged pool.
@@ -864,6 +956,8 @@ class Engine:
             raise
         self._waiting.remove(state)
         state.status = RequestStatus.RUNNING
+        if self._tracer is not None:
+            self._tracer.lifecycle(request.request_id, "RUNNING", resumed=resumed)
         state.prefill_pos = request.prompt_length
         self._pool.register_prefix(seq, prompt)
         self._running.append(state)
@@ -886,13 +980,24 @@ class Engine:
         """
         request = state.request
         params = request.params
-        token = select_next_token(
-            logits,
-            params.temperature,
-            params.top_k,
-            state.rng,
-            top_p=params.top_p,
-        )
+        tracer = self._tracer
+        if tracer is None:
+            token = select_next_token(
+                logits,
+                params.temperature,
+                params.top_k,
+                state.rng,
+                top_p=params.top_p,
+            )
+        else:
+            with tracer.span("step.sample", request=request.request_id):
+                token = select_next_token(
+                    logits,
+                    params.temperature,
+                    params.top_k,
+                    state.rng,
+                    top_p=params.top_p,
+                )
         now = time.perf_counter()
         state.generated.append(token)
         state.token_times.append(now)
@@ -920,6 +1025,13 @@ class Engine:
             state.status = RequestStatus.FINISHED
             state.finish_step = self._step_index
             state.finish_time = now
+            if tracer is not None:
+                tracer.lifecycle(
+                    request.request_id,
+                    "FINISHED",
+                    reason=state.finish_reason,
+                    tokens=len(state.generated),
+                )
             if state.kv is not None:
                 # Drop the request's block references; blocks shared
                 # through the prefix cache stay resident for future hits.

@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.errors import ModelError
-from repro.llm.attention import HOT_PATH_STATS, KVCache, grow_buffer
+from repro.llm.attention import KVCache, active_scope, grow_buffer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pool -> paged)
     from repro.serve.kvpool.pool import KVPool
@@ -231,7 +231,7 @@ class SequenceKV:
             v[:, kept:length] = self.pool.values[layer, blocks, :, rows].transpose(
                 1, 0, 2
             )
-            HOT_PATH_STATS.dequant_bytes += 2 * k[:, kept:length].nbytes
+            active_scope().hot.dequant_bytes += 2 * k[:, kept:length].nbytes
             self._deq_len[layer] = length
         keys = k[None, :, :length]
         values = v[None, :, :length]
@@ -262,8 +262,9 @@ class SequenceKV:
             remaining -= rows
         keys = np.concatenate(k_parts, axis=1)[None].astype(np.float32)
         values = np.concatenate(v_parts, axis=1)[None].astype(np.float32)
-        HOT_PATH_STATS.copy_bytes += (keys.nbytes + values.nbytes) // 2
-        HOT_PATH_STATS.dequant_bytes += keys.nbytes + values.nbytes
+        scope = active_scope()
+        scope.hot.copy_bytes += (keys.nbytes + values.nbytes) // 2
+        scope.hot.dequant_bytes += keys.nbytes + values.nbytes
         return keys, values
 
     # -- teardown ---------------------------------------------------------

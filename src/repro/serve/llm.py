@@ -215,6 +215,12 @@ class LLM:
         """Aggregate engine metrics (throughput, latency, traffic)."""
         return self.engine.metrics()
 
+    @property
+    def telemetry(self):
+        """The engine's :class:`~repro.serve.telemetry.EngineTelemetry`
+        bundle (counter registry, optional tracer, exporters)."""
+        return self.engine.telemetry
+
 
 def serve_batch(
     model: CausalLM,

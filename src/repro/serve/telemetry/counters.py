@@ -1,0 +1,173 @@
+"""Engine-scoped counter/gauge registry with Prometheus-style labels.
+
+One :class:`CounterRegistry` belongs to one engine (it lives on
+:class:`~repro.serve.telemetry.export.EngineTelemetry`), which is the
+fix for the cross-engine counter-bleed the old module-global
+``HOT_PATH_STATS``/``ATTENTION_STATS`` suffered: nothing in a registry
+is process-global, and every mutation takes the registry's lock so two
+engines stepping on different threads stay isolated *and* consistent.
+
+The model is deliberately the Prometheus client-library core:
+
+* a metric *family* has a name, a kind (``counter`` monotonically
+  increases, ``gauge`` is set to the latest value), a help string and
+  fixed label names;
+* ``family.labels(engine="e0")`` returns the child time series for one
+  label combination (created on first use, cached after);
+* ``registry.collect()`` snapshots every sample for the text
+  exposition (:func:`repro.serve.telemetry.export.prometheus_exposition`).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+@dataclass(frozen=True, slots=True)
+class Sample:
+    """One collected time series value.
+
+    Attributes:
+        name: the owning family's metric name.
+        labels: ``(label, value)`` pairs in the family's declared order.
+        value: current value.
+    """
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+
+class Metric:
+    """One label combination's value within a family."""
+
+    __slots__ = ("_family", "_key", "_value")
+
+    def __init__(self, family: "MetricFamily", key: tuple[str, ...]) -> None:
+        self._family = family
+        self._key = key
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add to the value (counters must only ever grow)."""
+        if self._family.kind == "counter" and amount < 0:
+            raise ModelError(
+                f"counter {self._family.name} cannot decrease (inc {amount})"
+            )
+        with self._family._lock:
+            self._value += amount
+
+    def set(self, value: float) -> None:
+        """Overwrite the value (gauges only — counters are monotonic)."""
+        if self._family.kind != "gauge":
+            raise ModelError(
+                f"set() is gauge-only; {self._family.name} is a "
+                f"{self._family.kind}"
+            )
+        with self._family._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class MetricFamily:
+    """A named metric with fixed label names and per-combination children."""
+
+    __slots__ = ("name", "kind", "help", "label_names", "_lock", "_children")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: tuple[str, ...],
+        lock: threading.Lock,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = label_names
+        self._lock = lock
+        self._children: dict[tuple[str, ...], Metric] = {}
+
+    def labels(self, **labels: str) -> Metric:
+        """The child series for one label-value combination."""
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ModelError(
+                f"metric {self.name} takes labels "
+                f"{sorted(self.label_names)}, got {sorted(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = Metric(self, key)
+                self._children[key] = child
+        return child
+
+    def samples(self) -> list[Sample]:
+        with self._lock:
+            return [
+                Sample(
+                    self.name,
+                    tuple(zip(self.label_names, key)),
+                    child._value,
+                )
+                for key, child in sorted(self._children.items())
+            ]
+
+
+class CounterRegistry:
+    """Thread-safe registry of counter/gauge families for one engine."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+
+    def _family(
+        self, name: str, kind: str, help: str, labels: tuple[str, ...]
+    ) -> MetricFamily:
+        if not _NAME_RE.match(name):
+            raise ModelError(f"invalid metric name {name!r}")
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ModelError(f"invalid label name {label!r} on {name}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(name, kind, help, tuple(labels), self._lock)
+                self._families[name] = family
+                return family
+        if family.kind != kind or family.label_names != tuple(labels):
+            raise ModelError(
+                f"metric {name} re-registered with a different kind or "
+                f"labels ({family.kind}{family.label_names} vs "
+                f"{kind}{tuple(labels)})"
+            )
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labels: tuple[str, ...] = ()
+    ) -> MetricFamily:
+        """Register (or fetch) a monotonically increasing counter family."""
+        return self._family(name, "counter", help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: tuple[str, ...] = ()
+    ) -> MetricFamily:
+        """Register (or fetch) a set-to-latest gauge family."""
+        return self._family(name, "gauge", help, labels)
+
+    def collect(self) -> list[MetricFamily]:
+        """Families in registration order (exposition iterates these)."""
+        with self._lock:
+            return list(self._families.values())
