@@ -57,6 +57,10 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.core.anda import (  # noqa: E402
+    fake_quantize_batch,
+    fake_quantize_batch_reference,
+)
 from repro.llm.attention import (  # noqa: E402
     ATTENTION_STATS,
     HOT_PATH_STATS,
@@ -353,6 +357,104 @@ def bench_grouped_cell(
     }
 
 
+def bench_codec_cell(
+    model: CausalLM,
+    seq_len: int,
+    batch: int,
+    steps: int,
+    repeats: int = 1,
+) -> dict:
+    """Vectorized vs reference Anda codec on the decode hot-path shape.
+
+    Times exactly the tensor the batched decode path compresses once
+    per layer per step — the stacked K+V single-position batch,
+    ``(2 x batch, heads, 1, head_dim)`` — through the vectorized
+    truncate-mode pipeline and through the pre-vectorization
+    field-decomposition reference, over ``n_layers`` calls per step.
+    The stored float16 bytes (what the KV caches persist) must be
+    **bitwise identical** between the two; the speedup is pure dispatch
+    fusion, never a numerics change.
+
+    ``codec_step_share`` reports what fraction of a real optimized
+    anda decode step (same batch, ``seq_len`` context) the vectorized
+    codec accounts for — the Amdahl bound on further codec work.
+    """
+    config = model.config
+    n_layers = config.n_layers
+    rng = np.random.default_rng(41 * seq_len + batch)
+    shape = (2 * batch, config.n_heads, 1, config.head_dim)
+    total_steps = WARMUP_STEPS + steps
+    # One activation-scaled tensor per layer per step, like the live path.
+    tensors = [
+        [
+            (
+                rng.normal(size=shape)
+                * 10 ** (rng.normal(size=shape) / 2)
+            ).astype(np.float32)
+            for _ in range(n_layers)
+        ]
+        for _ in range(total_steps)
+    ]
+
+    outputs = {}
+    for label, codec in (
+        ("reference", fake_quantize_batch_reference),
+        ("vectorized", fake_quantize_batch),
+    ):
+        best = None
+        for _ in range(repeats):
+            outs: list[np.ndarray] = []
+            started = 0.0
+            elapsed = 0.0
+            for step, layer_tensors in enumerate(tensors):
+                if step == WARMUP_STEPS:
+                    started = time.perf_counter()
+                for tensor in layer_tensors:
+                    outs.append(codec(tensor, MANTISSA_BITS))
+                if step >= WARMUP_STEPS:
+                    elapsed = time.perf_counter() - started
+            if best is None or elapsed < best[1]:
+                best = (outs, elapsed)
+        outputs[label] = best
+
+    ref_outs, ref_seconds = outputs["reference"]
+    vec_outs, vec_seconds = outputs["vectorized"]
+    # Stored-byte parity: the float16 rows the KV caches persist.
+    parity = all(
+        ref.astype(np.float16).tobytes() == vec.astype(np.float16).tobytes()
+        for ref, vec in zip(ref_outs, vec_outs)
+    )
+
+    # Codec share of a real optimized anda decode step at this context.
+    prompts = rng.integers(0, config.vocab_size, size=(batch, seq_len))
+    token_rows = [
+        rng.integers(0, config.vocab_size, size=(batch, 1))
+        for _ in range(total_steps)
+    ]
+    all_caches = build_request_caches(
+        model, "anda", False, False, prompts, total_steps
+    )
+    _, decode_seconds, _, _ = run_decode(model, all_caches, token_rows)
+
+    vec_ms = vec_seconds / steps * 1e3
+    decode_ms = decode_seconds / steps * 1e3
+    return {
+        "seq_len": seq_len,
+        "batch_size": batch,
+        "decode_steps": steps,
+        "n_layers": n_layers,
+        "mantissa_bits": MANTISSA_BITS,
+        "ms_per_step_reference": ref_seconds / steps * 1e3,
+        "ms_per_step_vectorized": vec_ms,
+        "codec_speedup": (
+            ref_seconds / vec_seconds if vec_seconds > 0 else float("inf")
+        ),
+        "decode_ms_per_step": decode_ms,
+        "codec_step_share": vec_ms / decode_ms if decode_ms > 0 else 0.0,
+        "parity": bool(parity),
+    }
+
+
 def bench_telemetry_overhead(
     model: CausalLM,
     kv_mode: str,
@@ -572,6 +674,23 @@ def main(argv: list[str] | None = None) -> int:
                 print("FAIL grouped decode logits diverged from per-request")
                 return 1
 
+    # Codec scenario at the acceptance context (the largest measured
+    # seq len, 512 by default): vectorized-vs-reference speedup with
+    # stored-byte parity, plus the codec's share of a live decode step.
+    codec = bench_codec_cell(model, max(seq_lens), args.batch, steps, repeats)
+    print(
+        f"codec seq={codec['seq_len']:4d} batch={codec['batch_size']:2d} "
+        f"M={codec['mantissa_bits']}: "
+        f"ref {codec['ms_per_step_reference']:6.3f} ms/step -> "
+        f"vec {codec['ms_per_step_vectorized']:6.3f} ms/step "
+        f"({codec['codec_speedup']:.2f}x, "
+        f"{codec['codec_step_share']:.1%} of decode step, "
+        f"parity={codec['parity']})"
+    )
+    if not codec["parity"]:
+        print("FAIL vectorized codec stored bytes diverged from the reference")
+        return 1
+
     # The overhead ratio gates at 1.02, so each variant gets at least
     # 8 x steps per-step samples for its floor regardless of the base
     # cells' repeat count.
@@ -604,6 +723,7 @@ def main(argv: list[str] | None = None) -> int:
         "grouped_batch": args.grouped_batch,
         "grouped_seq": args.grouped_seq,
         "grouped_results": grouped_results,
+        "codec": codec,
         "telemetry_overhead": telemetry_overhead,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")

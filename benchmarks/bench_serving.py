@@ -51,7 +51,7 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.llm.generation import generate  # noqa: E402
-from repro.llm.kv_quant import make_cache_factory  # noqa: E402
+from repro.llm.kv_quant import KVFormat, make_cache_factory  # noqa: E402
 from repro.llm.zoo import get_model  # noqa: E402
 from repro.serve import (  # noqa: E402
     LLM,
@@ -114,8 +114,7 @@ def run_engine(model, prompts, max_new_tokens, batch_size, kv_mode, mantissa_bit
         EngineConfig(
             max_batch_size=batch_size,
             max_batch_tokens=max(64, 32 * batch_size),
-            kv_mode=kv_mode,
-            kv_mantissa_bits=mantissa_bits,
+            kv_format=KVFormat(mode=kv_mode, mantissa_bits=mantissa_bits),
         ),
     )
     llm = LLM(engine=engine)
@@ -216,8 +215,7 @@ def bench_shared_prefix(model, num_requests, max_new_tokens, kv_mode, bits):
             EngineConfig(
                 max_batch_size=num_requests,
                 max_batch_tokens=max(256, 64 * num_requests),
-                kv_mode=kv_mode,
-                kv_mantissa_bits=bits,
+                kv_format=KVFormat(mode=kv_mode, mantissa_bits=bits),
                 kv_pool=True,
                 kv_pool_blocks=max(64, 8 * num_requests),
                 kv_block_size=16,
@@ -295,8 +293,7 @@ def bench_long_prompt(model, kv_mode, bits, long_len, max_new_tokens):
                 max_batch_size=LONG_PROMPT_DECODERS + 2,
                 max_batch_tokens=budget,
                 chunked_prefill=chunked,
-                kv_mode=kv_mode,
-                kv_mantissa_bits=bits,
+                kv_format=KVFormat(mode=kv_mode, mantissa_bits=bits),
             ),
         )
         ids = [engine.submit(prompt, 12).request_id for prompt in early]
@@ -368,8 +365,7 @@ def bench_abort(model, num_requests, max_new_tokens, kv_mode, bits):
         EngineConfig(
             max_batch_size=num_requests,
             max_batch_tokens=max(64, 16 * num_requests),
-            kv_mode=kv_mode,
-            kv_mantissa_bits=bits,
+            kv_format=KVFormat(mode=kv_mode, mantissa_bits=bits),
             kv_pool=True,
             kv_pool_blocks=max(64, 8 * num_requests),
             kv_block_size=16,
@@ -436,8 +432,7 @@ def bench_traced(model, trace_path, kv_mode, bits):
             max_batch_size=8,
             max_batch_tokens=48,
             chunked_prefill=True,
-            kv_mode=kv_mode,
-            kv_mantissa_bits=bits,
+            kv_format=KVFormat(mode=kv_mode, mantissa_bits=bits),
             telemetry=TelemetryConfig(trace=True),
         ),
     )

@@ -83,6 +83,12 @@ DEFAULT_DECODE_BASELINE = Path(__file__).parent / "baselines" / "decode_hotpath.
 DECODE_HOTPATH_FLOOR = 2.0
 DECODE_HOTPATH_FLOOR_SEQ = 512
 
+#: Structural floor for the vectorized Anda codec: at the acceptance
+#: context (512) the fused truncate-mode pipeline must beat the
+#: field-decomposition reference by at least 1.5x on the decode-shape
+#: stacked K+V batch, with bitwise-identical stored float16 bytes.
+CODEC_SPEEDUP_FLOOR = 1.5
+
 #: Structural ceiling on disabled-telemetry decode overhead: decoding
 #: inside the engine's ``stats_scope(..., tracer=None)`` (what every
 #: Engine.step installs when telemetry is off) may cost at most 2% over
@@ -387,6 +393,51 @@ def check_grouped_speedups(
     return lines
 
 
+def check_codec_vectorization(
+    results: dict, baseline: dict, tolerance: float
+) -> list[str]:
+    """Gates on the vectorized-codec scenario.
+
+    Structural: the stored float16 bytes must be bitwise identical to
+    the reference codec (the serving stack's parity bedrock), and the
+    vectorized/reference speedup must clear the 1.5x floor.  Baseline-
+    relative: the same speedup — an in-process ratio, so runner speed
+    cancels — must stay inside the committed band.
+    """
+    row = results.get("codec")
+    if not row:
+        raise CheckFailure(
+            "no codec section in the decode hot-path output; re-run "
+            "bench_decode_hotpath.py"
+        )
+    if not row.get("parity"):
+        raise CheckFailure(
+            "vectorized codec stored bytes diverged from the reference "
+            "(float16 parity lost)"
+        )
+    actual = row["codec_speedup"]
+    if actual < CODEC_SPEEDUP_FLOOR:
+        raise CheckFailure(
+            f"vectorized codec below the structural floor at seq="
+            f"{row['seq_len']}: {actual:.2f}x < {CODEC_SPEEDUP_FLOOR:.1f}x"
+        )
+    lines = [
+        f"ok   codec floor (seq={row['seq_len']}): {actual:.2f}x >= "
+        f"{CODEC_SPEEDUP_FLOOR:.1f}x "
+        f"({row['codec_step_share']:.1%} of decode step, informational)"
+    ]
+    base = baseline.get("codec_speedup")
+    if base is not None:
+        floor = base * (1.0 - tolerance)
+        if actual < floor:
+            raise CheckFailure(
+                f"vectorized codec regression: speedup {actual:.2f}x < "
+                f"{floor:.2f}x (baseline {base:.2f}x - {tolerance:.0%})"
+            )
+        lines.append(f"ok   codec speedup: {actual:.2f}x >= {floor:.2f}x")
+    return lines
+
+
 def check_telemetry_overhead(results: dict) -> list[str]:
     """Structural gates on the telemetry-overhead scenario.
 
@@ -474,7 +525,7 @@ def main(argv: list[str] | None = None) -> int:
             decode_baseline = load_json(Path(args.decode_baseline))
             require_baseline_keys(
                 decode_baseline,
-                ("speedup", "grouped_speedup"),
+                ("speedup", "grouped_speedup", "codec_speedup"),
                 args.decode_baseline,
             )
             report.extend(check_decode_parity(decode_results))
@@ -485,6 +536,11 @@ def main(argv: list[str] | None = None) -> int:
             report.extend(check_grouped_attention(decode_results))
             report.extend(
                 check_grouped_speedups(decode_results, decode_baseline, args.tolerance)
+            )
+            report.extend(
+                check_codec_vectorization(
+                    decode_results, decode_baseline, args.tolerance
+                )
             )
             report.extend(check_telemetry_overhead(decode_results))
     except CheckFailure as failure:

@@ -28,7 +28,7 @@ from repro import AndaTensor, BitPlaneCompressor, anda_matvec
 from repro.core import fp16
 from repro.llm import ByteTokenizer
 from repro.llm.zoo import get_model
-from repro.serve import LLM, EngineConfig, SamplingParams
+from repro.serve import LLM, EngineConfig, KVFormat, SamplingParams
 
 
 def main() -> None:
@@ -80,7 +80,7 @@ def main() -> None:
 
     print("\n=== 5. Serve it: LLM facade, streaming, abort ===")
     model = get_model("opt-125m-sim")  # trained once, then cached
-    llm = LLM(model, EngineConfig(kv_mode="anda"))  # Anda-compressed KV
+    llm = LLM(model, EngineConfig(kv_format=KVFormat.anda(8)))  # Anda KV
     tokenizer = ByteTokenizer()
 
     # Each request carries its own frozen decoding recipe.

@@ -148,14 +148,15 @@ class AndaTensor:
         return np.where(bfp.sign == 1, -magnitude, magnitude).astype(np.float32)
 
 
-def fake_quantize(
-    values: np.ndarray, mantissa_bits: int, rounding: str = "truncate"
+def _fake_quantize_reference(
+    values: np.ndarray, mantissa_bits: int, rounding: str
 ) -> np.ndarray:
-    """Quantize-dequantize a tensor through the Anda format.
+    """The field-decomposition quantize-dequantize pipeline.
 
-    Fast path used by the LLM activation hooks: numerically identical to
-    ``AndaTensor.from_float(...).decode()`` but skips the bit-plane
-    packing (validated equivalent by tests).
+    Numerically identical to ``AndaTensor.from_float(...).decode()``
+    but skips the bit-plane packing.  This is the oracle the vectorized
+    path below is pinned against — exact integer arithmetic over FP16
+    fields, one numpy op per conversion stage.
     """
     config = BfpConfig(
         mantissa_bits=mantissa_bits, group_size=ANDA_GROUP_SIZE, rounding=rounding
@@ -165,6 +166,103 @@ def fake_quantize(
     magnitude = np.ldexp(bfp.mantissa.astype(np.float64), scale_exp[:, None])
     signed = np.where(bfp.sign == 1, -magnitude, magnitude)
     return from_groups(signed, bfp.layout).astype(np.float32)
+
+
+#: Memoized scratch rows for ragged channel counts, keyed by padded 2-D
+#: shape.  Distinct channel counts can pad to the same shape, so both
+#: the data region and the pad tail are rewritten every call (the tail
+#: must be zero — it participates in the group max).  Bounded so
+#: pathological shape churn cannot grow it without limit.
+_PAD_SCRATCH: dict[tuple[int, int], np.ndarray] = {}
+_PAD_SCRATCH_LIMIT = 16
+
+
+def _fake_quantize_rows_vectorized(rows: np.ndarray, mantissa_bits: int) -> np.ndarray:
+    """Fused truncate-mode codec over ``(rows, channels)`` float rows.
+
+    Bitwise identical to :func:`_fake_quantize_reference` (pinned by the
+    hypothesis parity suite) but collapses its ~35 numpy dispatches to
+    ~15 by staying in the float domain:
+
+    * after FP16 rounding, the shared exponent of a group is just
+      ``frexp(max |v|) - 1``, clamped to the subnormal convention;
+    * aligning and truncating an 11-bit significand to ``M`` kept bits
+      is ``trunc(|v| * 2**(M - 1 - shared))`` — exact, because FP16
+      values scaled by powers of two carry at most 11 significant bits
+      and every intermediate stays inside float32's exact range;
+    * dequantization is the inverse ``ldexp``; adding ``+0.0`` restores
+      the canonical positive zero the reference's sign-canonicalization
+      produces for truncated-to-zero negatives.
+
+    The recurring decode shape — the stacked K+V single-position batch —
+    hits the no-pad branch (head dims are multiples of the 64-wide
+    group), so the group decomposition is a plain reshape; ragged rows
+    reuse a memoized zero-padded scratch instead of ``np.pad``-ing a
+    fresh array per call.
+    """
+    # float32 first, exactly like fp16.to_fp16_bits: float64 inputs
+    # double-round through float32, and values overflowing float32
+    # become non-finite and raise, matching the reference path bitwise.
+    rows = np.asarray(rows, dtype=np.float32)
+    if not np.all(np.isfinite(rows)):
+        raise FormatError("cannot encode non-finite values as FP16")
+    halves = np.clip(rows, -fp16.MAX_FINITE, fp16.MAX_FINITE).astype(np.float16)
+    n_rows, cols = rows.shape
+    pad = (-cols) % ANDA_GROUP_SIZE
+    if pad:
+        key = (n_rows, cols + pad)
+        padded = _PAD_SCRATCH.get(key)
+        if padded is None:
+            if len(_PAD_SCRATCH) >= _PAD_SCRATCH_LIMIT:
+                _PAD_SCRATCH.clear()
+            padded = np.zeros(key, dtype=np.float32)
+            _PAD_SCRATCH[key] = padded
+        padded[:, :cols] = halves
+        padded[:, cols:] = 0.0
+        flat = padded
+    else:
+        flat = halves.astype(np.float32)
+    grouped = flat.reshape(-1, ANDA_GROUP_SIZE)
+    peak = np.abs(grouped).max(axis=1)
+    # frexp exponent of the group max, shifted into the unbiased
+    # integer-significand convention; a subnormal max clamps to the
+    # fixed subnormal exponent (all-zero groups land there too, where
+    # the value is irrelevant — every mantissa truncates to zero).
+    shared = np.maximum(np.frexp(peak)[1] - 1, fp16.SUBNORMAL_EXPONENT)
+    up = (mantissa_bits - 1) - shared
+    quantized = np.trunc(np.ldexp(grouped, up[:, None]))
+    out = np.ldexp(quantized, -up[:, None]) + np.float32(0.0)
+    if pad:
+        return np.ascontiguousarray(out.reshape(n_rows, cols + pad)[:, :cols])
+    return out.reshape(n_rows, cols)
+
+
+def fake_quantize(
+    values: np.ndarray, mantissa_bits: int, rounding: str = "truncate"
+) -> np.ndarray:
+    """Quantize-dequantize a tensor through the Anda format.
+
+    Fast path used by the LLM activation hooks and the serving KV
+    codec: numerically identical to
+    ``AndaTensor.from_float(...).decode()`` but skips the bit-plane
+    packing, and routes truncate-mode conversions (the hardware default
+    and the serving codec's mode) through the fused vectorized pipeline
+    (validated bitwise-equivalent by tests).
+    """
+    values = np.asarray(values)
+    if rounding == "truncate" and values.ndim >= 1 and values.shape[-1] > 0:
+        # Validate config eagerly so bad mantissa lengths raise the
+        # same FormatError the reference path raises.
+        BfpConfig(
+            mantissa_bits=mantissa_bits,
+            group_size=ANDA_GROUP_SIZE,
+            rounding=rounding,
+        )
+        flat = values.reshape(-1, values.shape[-1])
+        return _fake_quantize_rows_vectorized(flat, mantissa_bits).reshape(
+            values.shape
+        )
+    return _fake_quantize_reference(values, mantissa_bits, rounding)
 
 
 def fake_quantize_batch(
@@ -183,3 +281,20 @@ def fake_quantize_batch(
     values = np.asarray(values)
     flat = values.reshape(-1, values.shape[-1])
     return fake_quantize(flat, mantissa_bits, rounding=rounding).reshape(values.shape)
+
+
+def fake_quantize_batch_reference(
+    values: np.ndarray, mantissa_bits: int, rounding: str = "truncate"
+) -> np.ndarray:
+    """Pre-vectorization :func:`fake_quantize_batch`, kept as the oracle.
+
+    The parity tests and ``benchmarks/bench_decode_hotpath.py``'s codec
+    scenario compare the vectorized codec against this bitwise —
+    including the ``.astype(float16)`` stored bytes the KV caches
+    persist, which are the serving stack's parity bedrock.
+    """
+    values = np.asarray(values)
+    flat = values.reshape(-1, values.shape[-1])
+    return _fake_quantize_reference(flat, mantissa_bits, rounding).reshape(
+        values.shape
+    )

@@ -95,7 +95,7 @@ def _activation_bytes_per_token(config: ModelConfig) -> float:
 def decode_step_traffic(
     config: ModelConfig,
     context_lengths: Sequence[int],
-    kv_bits_per_element: float = 16.0,
+    kv_bits_per_element: "float | Sequence[float]" = 16.0,
     batched: bool = True,
     padded_read_positions: int = 0,
 ) -> StepTraffic:
@@ -106,8 +106,12 @@ def decode_step_traffic(
         context_lengths: per-request cached positions *before* the step
             (each request reads that history and appends one position).
         kv_bits_per_element: stored bits per cached element — 16 for
-            FP16, :func:`repro.llm.kv_quant.kv_bits_per_element` for
-            the Anda-compressed cache.
+            FP16, :func:`repro.llm.kv_quant.kv_bits_per_element` for a
+            compressed cache.  A *sequence* gives per-request widths
+            (mixed-format serving: each request's history is read and
+            its appended position written at its own width; padded
+            reads, which belong to no single request, are charged at
+            the batch's mean width).
         batched: if true, weights stream once for the whole batch
             (continuous batching); if false, once per request
             (one-at-a-time decode), which is the baseline the engine's
@@ -119,28 +123,84 @@ def decode_step_traffic(
             padded slot streams the same K/V bytes as a real one, which
             is exactly why the planner's pad-waste cap exists.
     """
-    if kv_bits_per_element <= 0:
-        raise HardwareError(
-            f"kv bits per element must be positive, got {kv_bits_per_element}"
-        )
     if padded_read_positions < 0:
         raise HardwareError(
             f"padded read positions must be >= 0, got {padded_read_positions}"
         )
     batch = len(context_lengths)
+    uniform = isinstance(kv_bits_per_element, (int, float))
+    if not uniform:
+        per_request_bits = [float(bits) for bits in kv_bits_per_element]
+        if len(per_request_bits) != batch:
+            raise HardwareError(
+                f"got {len(per_request_bits)} per-request KV widths for a "
+                f"batch of {batch} requests"
+            )
+        if len(set(per_request_bits)) == 1:
+            # A same-width batch takes the uniform arithmetic, keeping
+            # its float rounding identical to the scalar call.
+            uniform = True
+            kv_bits_per_element = per_request_bits[0]
+    if uniform:
+        if kv_bits_per_element <= 0:
+            raise HardwareError(
+                f"kv bits per element must be positive, got {kv_bits_per_element}"
+            )
+        if batch == 0:
+            return StepTraffic()
+        if min(context_lengths) < 0:
+            raise HardwareError("context lengths must be non-negative")
+        kv_bytes_per_element = kv_bits_per_element / 8.0
+        per_position = _kv_elements_per_position(config)
+        history = sum(context_lengths) + padded_read_positions
+        return StepTraffic(
+            weight_bytes=_weight_bytes(config) * (1 if batched else batch),
+            kv_read_bytes=history * per_position * kv_bytes_per_element,
+            kv_write_bytes=batch * per_position * kv_bytes_per_element,
+            activation_bytes=batch * _activation_bytes_per_token(config),
+        )
+    if any(bits <= 0 for bits in per_request_bits):
+        raise HardwareError(
+            f"kv bits per element must be positive, got {kv_bits_per_element}"
+        )
     if batch == 0:
         return StepTraffic()
     if min(context_lengths) < 0:
         raise HardwareError("context lengths must be non-negative")
-    kv_bytes_per_element = kv_bits_per_element / 8.0
+    mean_bits = sum(per_request_bits) / batch
     per_position = _kv_elements_per_position(config)
-    history = sum(context_lengths) + padded_read_positions
+    kv_read = sum(
+        context * bits / 8.0
+        for context, bits in zip(context_lengths, per_request_bits)
+    ) + padded_read_positions * mean_bits / 8.0
+    kv_write = sum(bits / 8.0 for bits in per_request_bits)
     return StepTraffic(
         weight_bytes=_weight_bytes(config) * (1 if batched else batch),
-        kv_read_bytes=history * per_position * kv_bytes_per_element,
-        kv_write_bytes=batch * per_position * kv_bytes_per_element,
+        kv_read_bytes=kv_read * per_position,
+        kv_write_bytes=kv_write * per_position,
         activation_bytes=batch * _activation_bytes_per_token(config),
     )
+
+
+def decode_request_kv_bytes(
+    config: ModelConfig, context_length: int, kv_bits_per_element: float = 16.0
+) -> float:
+    """One request's KV bytes within a decode step (read + write).
+
+    The per-request share of :func:`decode_step_traffic`'s KV streams —
+    its ``context_length`` history re-read plus the one appended
+    position, at its own stored width — used by the engine to split a
+    mixed-format step's KV traffic by format (padded reads belong to no
+    request and are excluded from the split).
+    """
+    if context_length < 0:
+        raise HardwareError(f"context length must be >= 0, got {context_length}")
+    if kv_bits_per_element <= 0:
+        raise HardwareError(
+            f"kv bits per element must be positive, got {kv_bits_per_element}"
+        )
+    per_position = _kv_elements_per_position(config)
+    return (context_length + 1) * per_position * kv_bits_per_element / 8.0
 
 
 def prefill_traffic(

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import contextvars
 import itertools
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -1150,26 +1150,45 @@ class MultiHeadAttention(Module):
             q = q * cos + _rotate_half_np(q) * sin
             k = k * cos + _rotate_half_np(k) * sin
 
-        # When every cache shares one compression scheme (the engine's
-        # case), compress the whole batch's K *and* V in a single
-        # stacked call — the transform is row-local along leading
-        # axes, so this is bitwise identical to the per-request,
-        # per-tensor compress inside append() while paying the codec's
-        # fixed overhead once per layer instead of 2x batch times.
-        # The fp16 codec is the identity, so it skips even the stack.
-        shared_key = caches[0].compression_key()
-        precompressed = all(
-            cache.compression_key() == shared_key for cache in caches[1:]
-        )
-        if precompressed and shared_key != ("fp16",):
+        # Group the batch by compression scheme and compress each
+        # group's K *and* V in a single stacked call per scheme — the
+        # transform is row-local along leading axes, so this is
+        # bitwise identical to the per-request, per-tensor compress
+        # inside append() while paying the codec's fixed overhead once
+        # per (layer, scheme) instead of 2x batch times.  A uniform
+        # batch (the engine's common case) degenerates to exactly one
+        # stacked call over the whole k/v arrays; fp16 rows are the
+        # identity and skip the stack entirely.  Afterwards every row
+        # holds its stored form, so the append loops below always take
+        # the precompressed path.
+        groups: dict[tuple, list[int]] = {}
+        for index, cache in enumerate(caches):
+            key = cache.compression_key()
+            if key != ("fp16",):
+                groups.setdefault(key, []).append(index)
+        if groups:
             tracer = _ACTIVE_SCOPE.get().tracer
-            if tracer is None:
-                stacked = caches[0].compress(np.concatenate([k, v], axis=0))
-            else:
-                with tracer.span("decode.codec", batch=batch):
-                    stacked = caches[0].compress(np.concatenate([k, v], axis=0))
-            k = stacked[:batch]
-            v = stacked[batch:]
+            span = (
+                nullcontext()
+                if tracer is None
+                else tracer.span("decode.codec", batch=batch)
+            )
+            with span:
+                for indices in groups.values():
+                    n = len(indices)
+                    if n == batch:
+                        stacked = caches[indices[0]].compress(
+                            np.concatenate([k, v], axis=0)
+                        )
+                        k = stacked[:n]
+                        v = stacked[n:]
+                    else:
+                        stacked = caches[indices[0]].compress(
+                            np.concatenate([k[indices], v[indices]], axis=0)
+                        )
+                        k[indices] = stacked[:n]
+                        v[indices] = stacked[n:]
+        precompressed = True
 
         if plan is not None and dispatcher is not None:
             # Grouped mode: land every request's append first (views of

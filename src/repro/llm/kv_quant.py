@@ -14,14 +14,29 @@ traffic — the regime :mod:`repro.hw.roofline` shows is bandwidth-bound.
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.core.anda import fake_quantize_batch
+from repro.core.bfp import BfpConfig
+from repro.core.bfp import fake_quantize as bfp_fake_quantize
+from repro.core.precision import PrecisionCombination, TensorKind
 from repro.errors import ModelError
 from repro.llm.attention import KVCache
 from repro.llm.transformer import CausalLM
+
+
+def _mx_module():
+    # Imported lazily: ``repro.quant.__init__`` pulls in report paths
+    # that import back through ``repro.hw`` into ``repro.llm``, so a
+    # module-level import here is circular when ``repro.hw`` (which
+    # re-exports this module's registry through ``repro.llm``) loads
+    # first.  ``sys.modules`` caching makes repeat calls free.
+    from repro.quant import mx
+
+    return mx
 
 
 def validate_kv_mantissa_bits(mantissa_bits: int) -> None:
@@ -63,13 +78,50 @@ def _anda_codec(mantissa_bits: int) -> KVCache:
     return AndaKVCache(mantissa_bits=mantissa_bits)
 
 
+def _uniform_factory(codec_builder: Callable) -> Callable:
+    def build(model: CausalLM, mantissa_bits: int) -> Callable[[], list[KVCache]]:
+        codec_builder(mantissa_bits)  # fail eagerly, not mid-step
+        return lambda: [codec_builder(mantissa_bits) for _ in model.blocks]
+
+    return build
+
+
+def bfp_kv_bits_per_element(mantissa_bits: int) -> float:
+    """Stored bits per BFP-cached element (element layout, group 64)."""
+    validate_kv_mantissa_bits(mantissa_bits)
+    return 1 + mantissa_bits + 8 / 64
+
+
+def _bfp_codec(mantissa_bits: int) -> KVCache:
+    return BfpKVCache(mantissa_bits=mantissa_bits)
+
+
+def mx_kv_bits_per_element(mantissa_bits: int) -> float:
+    """Stored bits per MX-cached element: sign + mantissa + both exponent
+    levels (coarse per 64-group, microexponent per subgroup), amortized."""
+    validate_kv_mantissa_bits(mantissa_bits)
+    config = _mx_module().MxConfig(mantissa_bits=mantissa_bits)
+    return (
+        1
+        + mantissa_bits
+        + 8 / config.group_size
+        + config.micro_bits / config.subgroup_size
+    )
+
+
+def _mx_codec(mantissa_bits: int) -> KVCache:
+    return MxKVCache(mantissa_bits=mantissa_bits)
+
+
 #: Single dispatch table: mode -> (cache factory builder, bits-per-element,
 #: block codec).  Registering a new KV mode here is the only edit needed
-#: for make_cache_factory, kv_bits_per_element, make_kv_codec, and
-#: EngineConfig validation.
+#: for make_cache_factory, kv_bits_per_element, make_kv_codec,
+#: :class:`KVFormat` validation, and EngineConfig validation.
 _KV_MODE_REGISTRY: dict[str, tuple[Callable, Callable, Callable]] = {
     "fp16": (_fp16_factory, _fp16_bits, _fp16_codec),
     "anda": (_anda_factory, _anda_bits, _anda_codec),
+    "bfp": (_uniform_factory(_bfp_codec), bfp_kv_bits_per_element, _bfp_codec),
+    "mx": (_uniform_factory(_mx_codec), mx_kv_bits_per_element, _mx_codec),
 }
 
 #: KV-cache modes the serving engine understands.
@@ -125,47 +177,318 @@ def quantized_cache_factory(model: CausalLM, mantissa_bits: int):
     return [AndaKVCache(mantissa_bits=mantissa_bits) for _ in model.blocks]
 
 
+class BfpKVCache(KVCache):
+    """KV cache round-tripping entries through plain BFP (group 64,
+    nearest rounding) — the paper's baseline grouped format without the
+    Anda bit-plane truncation convention."""
+
+    __slots__ = ("mantissa_bits", "_config", "_key")
+
+    def __init__(self, mantissa_bits: int = 8) -> None:
+        super().__init__()
+        validate_kv_mantissa_bits(mantissa_bits)
+        self.mantissa_bits = mantissa_bits
+        self._config = BfpConfig(
+            mantissa_bits=mantissa_bits, group_size=64, rounding="nearest"
+        )
+        self._key = ("bfp", mantissa_bits)
+
+    def compress(self, tensor: np.ndarray) -> np.ndarray:
+        tensor = np.asarray(tensor)
+        flat = tensor.reshape(-1, tensor.shape[-1])
+        return bfp_fake_quantize(flat, self._config).reshape(tensor.shape)
+
+    def compression_key(self) -> tuple:
+        return self._key
+
+    def storage_bits_per_element(self) -> float:
+        return bfp_kv_bits_per_element(self.mantissa_bits)
+
+
+class MxKVCache(KVCache):
+    """KV cache round-tripping entries through the two-level
+    shared-microexponent (MX) format at its default geometry."""
+
+    __slots__ = ("mantissa_bits", "_config", "_key")
+
+    def __init__(self, mantissa_bits: int = 4) -> None:
+        super().__init__()
+        validate_kv_mantissa_bits(mantissa_bits)
+        self.mantissa_bits = mantissa_bits
+        self._config = _mx_module().MxConfig(mantissa_bits=mantissa_bits)
+        self._key = ("mx", mantissa_bits)
+
+    def compress(self, tensor: np.ndarray) -> np.ndarray:
+        tensor = np.asarray(tensor)
+        flat = tensor.reshape(-1, tensor.shape[-1])
+        return _mx_module().fake_quantize_mx(flat, self._config).reshape(tensor.shape)
+
+    def compression_key(self) -> tuple:
+        return self._key
+
+    def storage_bits_per_element(self) -> float:
+        return mx_kv_bits_per_element(self.mantissa_bits)
+
+
 def kv_compression_ratio(mantissa_bits: int) -> float:
     """FP16 cache bits over Anda cache bits per element."""
     cache = AndaKVCache(mantissa_bits=mantissa_bits)
     return 16.0 / cache.storage_bits_per_element()
 
 
+#: Sentinel mode naming a heterogeneous per-layer format stack.
+PER_LAYER_MODE = "per_layer"
+
+
+@dataclass(frozen=True)
+class KVFormat:
+    """First-class KV-cache format spec for the serving engine.
+
+    A frozen value object naming how cached keys/values are stored:
+    one of the registered uniform modes (``fp16``, ``anda``, ``bfp``,
+    ``mx``) with a mantissa length, or a heterogeneous per-layer stack
+    of uniform formats (mode :data:`PER_LAYER_MODE`).  Resolvable
+    engine-wide (``EngineConfig.kv_format``), per request
+    (``SamplingParams.kv_format``), and per layer
+    (:meth:`KVFormat.per_layer`).
+
+    Construct through the classmethods::
+
+        KVFormat.fp16()
+        KVFormat.anda(8)
+        KVFormat.bfp(8)
+        KVFormat.mx(4)
+        KVFormat.per_layer([KVFormat.anda(4), KVFormat.fp16()])
+        KVFormat.from_search(search_result)
+
+    Raises :class:`~repro.errors.ModelError` for unknown modes,
+    out-of-range mantissa lengths, or malformed per-layer stacks.
+    """
+
+    mode: str = "fp16"
+    mantissa_bits: int = 8
+    layers: tuple["KVFormat", ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mode == PER_LAYER_MODE:
+            object.__setattr__(self, "layers", tuple(self.layers))
+            if not self.layers:
+                raise ModelError(
+                    "per-layer KVFormat needs at least one layer entry"
+                )
+            for entry in self.layers:
+                if not isinstance(entry, KVFormat) or not entry.uniform:
+                    raise ModelError(
+                        "per-layer KVFormat entries must be uniform "
+                        f"KVFormat instances, got {entry!r}"
+                    )
+        else:
+            if self.layers:
+                raise ModelError(
+                    "layers are only valid with mode "
+                    f"{PER_LAYER_MODE!r}; use KVFormat.per_layer(...)"
+                )
+            # Validates both the mode name and the mantissa length.
+            _lookup_mode(self.mode)[1](self.mantissa_bits)
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def fp16(cls) -> "KVFormat":
+        """Uncompressed FP16 storage (the parity baseline)."""
+        return cls(mode="fp16")
+
+    @classmethod
+    def anda(cls, mantissa_bits: int = 8) -> "KVFormat":
+        """Anda truncate-mode grouped format (group 64)."""
+        return cls(mode="anda", mantissa_bits=mantissa_bits)
+
+    @classmethod
+    def bfp(cls, mantissa_bits: int = 8) -> "KVFormat":
+        """Plain BFP, group 64, round-to-nearest."""
+        return cls(mode="bfp", mantissa_bits=mantissa_bits)
+
+    @classmethod
+    def mx(cls, mantissa_bits: int = 4) -> "KVFormat":
+        """Two-level shared-microexponent format, default geometry."""
+        return cls(mode="mx", mantissa_bits=mantissa_bits)
+
+    @classmethod
+    def per_layer(cls, formats: Iterable["KVFormat"]) -> "KVFormat":
+        """Heterogeneous stack: one uniform format per model layer."""
+        return cls(mode=PER_LAYER_MODE, layers=tuple(formats))
+
+    @classmethod
+    def from_search(cls, source, mode: str = "anda") -> "KVFormat":
+        """Build a KV format from precision-search output.
+
+        Accepts a :class:`~repro.core.search.SearchResult` (its
+        ``best`` combination; infeasible searches raise), a bare
+        :class:`~repro.core.precision.PrecisionCombination`, or a
+        sequence of either — which yields a per-layer stack.  The KV
+        cache stores the QKV-projection activations, so the
+        combination's ``qkv`` mantissa length is the one that applies;
+        ``mode`` picks which grouped format spends those bits.
+        """
+        best = getattr(source, "best", None)
+        if best is not None:
+            source = best
+        if isinstance(source, PrecisionCombination):
+            return cls(mode=mode, mantissa_bits=source[TensorKind.QKV])
+        if hasattr(source, "feasible") and not source.feasible:
+            raise ModelError(
+                "precision search found no feasible combination; "
+                "cannot derive a KV format from it"
+            )
+        if isinstance(source, Sequence) and not isinstance(source, (str, bytes)):
+            return cls.per_layer(
+                cls.from_search(entry, mode=mode) for entry in source
+            )
+        raise ModelError(
+            "KVFormat.from_search expects a SearchResult, a "
+            f"PrecisionCombination, or a sequence of them, got {source!r}"
+        )
+
+    # -- resolution ----------------------------------------------------
+
+    @property
+    def uniform(self) -> bool:
+        """True when every layer shares one mode/mantissa pair."""
+        return self.mode != PER_LAYER_MODE
+
+    def resolve(self, layer: int) -> "KVFormat":
+        """The uniform format governing one model layer."""
+        if self.uniform:
+            return self
+        if not 0 <= layer < len(self.layers):
+            raise ModelError(
+                f"layer {layer} outside per-layer KVFormat of "
+                f"{len(self.layers)} layers"
+            )
+        return self.layers[layer]
+
+    def bits_per_element(self, n_layers: int | None = None) -> float:
+        """Stored bits per cached K/V element (mean across layers)."""
+        if self.uniform:
+            return _lookup_mode(self.mode)[1](self.mantissa_bits)
+        if n_layers is not None and n_layers != len(self.layers):
+            raise ModelError(
+                f"per-layer KVFormat covers {len(self.layers)} layers, "
+                f"model has {n_layers}"
+            )
+        return float(
+            np.mean([entry.bits_per_element() for entry in self.layers])
+        )
+
+    def signature(self, n_layers: int) -> tuple:
+        """Per-layer compression keys — the byte-compatibility identity.
+
+        Two sequences may share prefix-cache blocks only when their
+        signatures match: equal signatures mean every layer's stored
+        bytes went through the identical transform.
+        """
+        return tuple(
+            self.resolve(layer).codec().compression_key()
+            for layer in range(self._check_layers(n_layers))
+        )
+
+    def codec(self) -> KVCache:
+        """Write-side codec instance for a uniform format."""
+        if not self.uniform:
+            raise ModelError(
+                "per-layer KVFormat has no single codec; use .codecs(n_layers)"
+            )
+        return _lookup_mode(self.mode)[2](self.mantissa_bits)
+
+    def codecs(self, n_layers: int) -> list[KVCache]:
+        """One write-side codec per model layer."""
+        return [
+            self.resolve(layer).codec()
+            for layer in range(self._check_layers(n_layers))
+        ]
+
+    def cache_factory(self, model: CausalLM) -> Callable[[], list[KVCache]]:
+        """Zero-argument per-request cache builder for ``model``."""
+        if self.uniform:
+            factory_builder, _, _ = _lookup_mode(self.mode)
+            return factory_builder(model, self.mantissa_bits)
+        n_layers = self._check_layers(len(model.blocks))
+        return lambda: self.codecs(n_layers)
+
+    @property
+    def label(self) -> str:
+        """Compact human/telemetry label (``fp16``, ``anda8``, ...)."""
+        if self.uniform:
+            if self.mode == "fp16":
+                return "fp16"
+            return f"{self.mode}{self.mantissa_bits}"
+        labels = [entry.label for entry in self.layers]
+        if len(set(labels)) == 1:
+            return f"per_layer({labels[0]}x{len(labels)})"
+        return "per_layer(" + ",".join(labels) + ")"
+
+    def _check_layers(self, n_layers: int) -> int:
+        if not self.uniform and n_layers != len(self.layers):
+            raise ModelError(
+                f"per-layer KVFormat covers {len(self.layers)} layers, "
+                f"model has {n_layers}"
+            )
+        return n_layers
+
+
 def make_cache_factory(
-    model: CausalLM, mode: str = "fp16", mantissa_bits: int = 8
+    model: CausalLM,
+    mode: "str | KVFormat" = "fp16",
+    mantissa_bits: int = 8,
 ) -> Callable[[], list[KVCache]]:
     """Per-request cache builder for a KV mode (engine plumbing).
 
     Returns a zero-argument callable producing fresh per-layer caches:
-    plain FP16 for ``"fp16"``, Anda-compressed for ``"anda"``.  The
-    serving engine calls it once per admitted request, and
+    plain FP16 for ``"fp16"``, Anda-compressed for ``"anda"``, and so
+    on through the registry; a :class:`KVFormat` (including per-layer
+    stacks) may be passed in place of the ``(mode, mantissa_bits)``
+    pair.  The serving engine calls it once per admitted request, and
     :func:`repro.llm.generation.generate` accepts it directly as its
     ``cache_factory`` so sequential references use the identical cache
     path.  Raises :class:`~repro.errors.ModelError` for unknown modes
     or out-of-range mantissa lengths.
     """
+    if isinstance(mode, KVFormat):
+        return mode.cache_factory(model)
     factory_builder, _, _ = _lookup_mode(mode)
     return factory_builder(model, mantissa_bits)
 
 
-def kv_bits_per_element(mode: str = "fp16", mantissa_bits: int = 8) -> float:
+def kv_bits_per_element(
+    mode: "str | KVFormat" = "fp16", mantissa_bits: int = 8
+) -> float:
     """Stored bits per cached K/V element for a KV mode (for traffic).
 
-    Raises :class:`~repro.errors.ModelError` for unknown modes or
-    out-of-range mantissa lengths, which makes it double as the
-    engine's construct-time validation of its KV configuration.
+    Accepts a :class:`KVFormat` in place of the pair (per-layer stacks
+    report their mean).  Raises :class:`~repro.errors.ModelError` for
+    unknown modes or out-of-range mantissa lengths, which makes it
+    double as the engine's construct-time validation of its KV
+    configuration.
     """
+    if isinstance(mode, KVFormat):
+        return mode.bits_per_element()
     _, bits_fn, _ = _lookup_mode(mode)
     return bits_fn(mantissa_bits)
 
 
-def make_kv_codec(mode: str = "fp16", mantissa_bits: int = 8) -> KVCache:
+def make_kv_codec(
+    mode: "str | KVFormat" = "fp16", mantissa_bits: int = 8
+) -> KVCache:
     """Write-side codec for the paged KV pool.
 
     Returns an *unpaged* cache instance of the mode's class; the pool's
     block-backed caches delegate ``compress`` / ``compression_key`` to
     it, so paged storage round-trips bytes through exactly the transform
-    the unpaged path applies.
+    the unpaged path applies.  A uniform :class:`KVFormat` may be passed
+    in place of the pair; per-layer stacks raise (use
+    :meth:`KVFormat.codecs`).
     """
+    if isinstance(mode, KVFormat):
+        return mode.codec()
     _, _, codec_builder = _lookup_mode(mode)
     return codec_builder(mantissa_bits)

@@ -42,6 +42,7 @@ See ``src/repro/serve/README.md`` for a walkthrough and
 ``benchmarks/bench_serving.py`` for the throughput benchmark.
 """
 
+from repro.llm.kv_quant import KVFormat
 from repro.serve.engine import Engine, EngineConfig
 from repro.serve.handle import RequestHandle, StepOutputs, TokenDelta
 from repro.serve.kvpool import (
@@ -100,6 +101,7 @@ __all__ = [
     "EngineTelemetry",
     "FcfsPolicy",
     "KVBlockPlanner",
+    "KVFormat",
     "KVPool",
     "LLM",
     "OutOfBlocksError",

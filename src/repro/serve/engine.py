@@ -61,6 +61,7 @@ from __future__ import annotations
 import bisect
 import itertools
 import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -68,6 +69,7 @@ import numpy as np
 from repro.errors import ModelError, RequestError
 from repro.hw.traffic import (
     StepTraffic,
+    decode_request_kv_bytes,
     decode_step_traffic,
     prefill_chunk_traffic,
     prefill_traffic,
@@ -80,9 +82,14 @@ from repro.llm.attention import (
     stats_scope,
 )
 from repro.llm.generation import select_next_token
-from repro.llm.kv_quant import kv_bits_per_element, make_cache_factory, make_kv_codec
+from repro.llm.kv_quant import (
+    KVFormat,
+    kv_bits_per_element,
+    make_cache_factory,
+)
 from repro.llm.transformer import CausalLM
 from repro.serve.handle import RequestHandle, StepOutputs, TokenDelta
+from repro.serve.kvpool.paged import SequenceKV
 from repro.serve.kvpool.pool import DEFAULT_BLOCK_SIZE, KVPool
 from repro.serve.kvpool.preempt import Preemptor
 from repro.serve.metrics import EngineMetrics, StepReport, summarize
@@ -130,9 +137,19 @@ class EngineConfig:
             of requiring the whole prompt to fit one step.  Token
             output is bitwise identical either way; chunking only
             changes step composition — and therefore latency.
-        kv_mode: ``"fp16"`` (paper baseline) or ``"anda"`` (compressed
-            KV through :mod:`repro.llm.kv_quant`).
-        kv_mantissa_bits: Anda mantissa length when ``kv_mode="anda"``.
+        kv_format: the engine-wide KV-cache format
+            (:class:`repro.llm.kv_quant.KVFormat`): ``KVFormat.fp16()``
+            (paper baseline, the default), ``KVFormat.anda(M)``,
+            ``KVFormat.bfp(M)``, ``KVFormat.mx(M)``, or a
+            ``KVFormat.per_layer([...])`` stack.  Requests may override
+            it individually via ``SamplingParams.kv_format``.
+        kv_mode: deprecated spelling of the format's mode string; use
+            ``kv_format``.  Passing it (or ``kv_mantissa_bits``) emits
+            a :class:`DeprecationWarning` and builds the equivalent
+            ``kv_format``; both fields remain readable as mirrors of
+            the resolved format.
+        kv_mantissa_bits: deprecated Anda/BFP/MX mantissa length; use
+            ``kv_format``.
         kv_pool: store KV in the paged block pool
             (:mod:`repro.serve.kvpool`) instead of per-request
             exact-length caches.
@@ -165,8 +182,8 @@ class EngineConfig:
     max_batch_tokens: int = 256
     policy: str = "fcfs"
     chunked_prefill: bool = True
-    kv_mode: str = "fp16"
-    kv_mantissa_bits: int = 8
+    kv_mode: str | None = None
+    kv_mantissa_bits: int | None = None
     kv_pool: bool = False
     kv_pool_blocks: int = 64
     kv_block_size: int = DEFAULT_BLOCK_SIZE
@@ -174,6 +191,7 @@ class EngineConfig:
     grouped_attention: bool = True
     attention_pad_waste: float = 0.125
     telemetry: TelemetryConfig = TelemetryConfig()
+    kv_format: KVFormat | None = None
 
     def __post_init__(self) -> None:
         # A bad config must fail at construction, never mid-step with
@@ -195,12 +213,52 @@ class EngineConfig:
                 f"attention_pad_waste must lie in [0, 1), got "
                 f"{self.attention_pad_waste}"
             )
-        kv_bits_per_element(self.kv_mode, self.kv_mantissa_bits)
+        # kv_format is canonical; the legacy kv_mode/kv_mantissa_bits
+        # kwargs are deprecation shims that build the equivalent format
+        # (same pattern as the serve_batch shim).  After resolution both
+        # scalar fields hold read mirrors of the format, so pre-redesign
+        # readers of config.kv_mode keep seeing the same values.
+        if self.kv_mode is not None or self.kv_mantissa_bits is not None:
+            warnings.warn(
+                "EngineConfig.kv_mode / kv_mantissa_bits are deprecated; "
+                "pass EngineConfig(kv_format=KVFormat.anda(8)) (or "
+                ".fp16()/.bfp()/.mx()/.per_layer()) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if self.kv_format is not None:
+                raise ModelError(
+                    "kv_format conflicts with the legacy kv_mode/"
+                    "kv_mantissa_bits kwargs; pass only kv_format"
+                )
+            resolved = KVFormat(
+                mode=self.kv_mode if self.kv_mode is not None else "fp16",
+                mantissa_bits=(
+                    self.kv_mantissa_bits
+                    if self.kv_mantissa_bits is not None
+                    else 8
+                ),
+            )
+            object.__setattr__(self, "kv_format", resolved)
+        elif self.kv_format is None:
+            object.__setattr__(self, "kv_format", KVFormat.fp16())
+        elif not isinstance(self.kv_format, KVFormat):
+            raise ModelError(
+                "kv_format must be a repro.llm.kv_quant.KVFormat, got "
+                f"{type(self.kv_format).__name__}"
+            )
+        object.__setattr__(self, "kv_mode", self.kv_format.mode)
+        object.__setattr__(self, "kv_mantissa_bits", self.kv_format.mantissa_bits)
+        kv_bits_per_element(self.kv_format)
 
     @property
     def kv_bits(self) -> float:
-        """Stored bits per cached K/V element under this config."""
-        return kv_bits_per_element(self.kv_mode, self.kv_mantissa_bits)
+        """Stored bits per cached K/V element under this config.
+
+        For a per-layer format this is the mean across layers — the
+        width the analytic traffic model charges per element.
+        """
+        return kv_bits_per_element(self.kv_format)
 
 
 def _common_prefix(first: np.ndarray, second: np.ndarray) -> int:
@@ -231,9 +289,10 @@ class Engine:
         self.model = model
         self.config = config or EngineConfig()
         self._policy: SchedulerPolicy = get_policy(self.config.policy)
-        self._cache_factory = make_cache_factory(
-            model, self.config.kv_mode, self.config.kv_mantissa_bits
-        )
+        fmt = self.config.kv_format
+        self._cache_factory = make_cache_factory(model, fmt)
+        self._n_layers = model.config.n_layers
+        self._default_signature = fmt.signature(self._n_layers)
         self._pool: KVPool | None = None
         self._preemptor = Preemptor()
         if self.config.kv_pool:
@@ -241,7 +300,8 @@ class Engine:
                 model.config,
                 num_blocks=self.config.kv_pool_blocks,
                 block_size=self.config.kv_block_size,
-                codec=make_kv_codec(self.config.kv_mode, self.config.kv_mantissa_bits),
+                codec=fmt.codec() if fmt.uniform else None,
+                codecs=None if fmt.uniform else fmt.codecs(self._n_layers),
                 enable_prefix_cache=self.config.prefix_caching,
             )
         self._dispatcher: BucketedAttention | None = (
@@ -341,6 +401,15 @@ class Engine:
             )
         prompt = np.asarray(prompt_tokens).reshape(-1)
         validate_admission(prompt, params, self.model.config, pool=self._pool)
+        # Resolve the request's KV format once at admission: an explicit
+        # per-request override, else the engine default.  A request is
+        # "private" when its resolved byte layout differs from the
+        # default — it then opts out of prefix sharing entirely.
+        fmt = params.kv_format if params.kv_format is not None else self.config.kv_format
+        kv_private = (
+            params.kv_format is not None
+            and fmt.signature(self._n_layers) != self._default_signature
+        )
         request = Request(
             request_id=next(self._ids),
             prompt=prompt,
@@ -350,6 +419,9 @@ class Engine:
             request=request,
             arrival_step=self._step_index,
             arrival_time=time.perf_counter(),
+            kv_format=fmt,
+            kv_bits=fmt.bits_per_element(self._n_layers),
+            kv_private=kv_private,
         )
         self._waiting.append(state)
         handle = RequestHandle(self, state)
@@ -472,6 +544,15 @@ class Engine:
         prefix_hit_tokens = 0
         saved = StepTraffic()
         evicted_before = 0 if self._pool is None else self._pool.evicted_blocks
+        # Per-format attribution of the step's KV bytes.  Padded decode
+        # reads belong to no request and stay in the aggregate only.
+        fmt_bytes: dict[str, float] = {}
+
+        def charge_format(state: RequestState, nbytes: float) -> None:
+            if nbytes <= 0.0:
+                return
+            label = state.kv_format.label if state.kv_format is not None else "fp16"
+            fmt_bytes[label] = fmt_bytes.get(label, 0.0) + nbytes
 
         chunked: list[PrefillChunk] = []
         legacy: list[PrefillChunk] = []
@@ -546,23 +627,34 @@ class Engine:
                 traffic = traffic + decode_step_traffic(
                     self.model.config,
                     decode_contexts,
-                    kv_bits_per_element=self.config.kv_bits,
+                    kv_bits_per_element=[state.kv_bits for state in wave_decodes],
                     batched=True,
                     padded_read_positions=lane_padded,
                 )
                 weights_charged = True
                 for index, state in enumerate(wave_decodes):
+                    charge_format(
+                        state,
+                        decode_request_kv_bytes(
+                            self.model.config, decode_contexts[index], state.kv_bits
+                        ),
+                    )
                     self._emit(state, decode_logits[index, -1, :])
                     new_tokens += 1
 
             for run, logits in zip(runs, chunk_logits):
                 state = run.state
-                traffic = traffic + prefill_chunk_traffic(
+                chunk_traffic = prefill_chunk_traffic(
                     self.model.config,
                     run.tokens,
                     cached_context_tokens=state.prefill_pos,
-                    kv_bits_per_element=self.config.kv_bits,
+                    kv_bits_per_element=state.kv_bits,
                     include_weights=not weights_charged,
+                )
+                traffic = traffic + chunk_traffic
+                charge_format(
+                    state,
+                    chunk_traffic.kv_read_bytes + chunk_traffic.kv_write_bytes,
                 )
                 weights_charged = True
                 state.prefill_pos += run.tokens
@@ -572,7 +664,7 @@ class Engine:
                     saved = saved + prefix_cache_savings(
                         self.model.config,
                         run.prefix_hit,
-                        kv_bits_per_element=self.config.kv_bits,
+                        kv_bits_per_element=state.kv_bits,
                     )
                 if state.prefill_pos >= state.request.prompt_length:
                     self._waiting.remove(state)
@@ -620,11 +712,17 @@ class Engine:
                 traffic = traffic + decode_step_traffic(
                     self.model.config,
                     decode_contexts,
-                    kv_bits_per_element=self.config.kv_bits,
+                    kv_bits_per_element=[state.kv_bits for state in decodes],
                     batched=True,
                     padded_read_positions=lane_padded,
                 )
                 for index, state in enumerate(decodes):
+                    charge_format(
+                        state,
+                        decode_request_kv_bytes(
+                            self.model.config, decode_contexts[index], state.kv_bits
+                        ),
+                    )
                     self._emit(state, decode_logits[index, -1, :])
                     new_tokens += 1
 
@@ -636,7 +734,7 @@ class Engine:
                 # Run the fallible work (cache build, model prefill)
                 # before dequeuing: if either raises, the request stays
                 # queued instead of vanishing.
-                state.caches = self._cache_factory()
+                state.caches = self._caches_for(state)
                 logits = self.model.forward_step(
                     state.request.prompt.reshape(1, -1), state.caches
                 )
@@ -645,10 +743,15 @@ class Engine:
                 if tracer is not None:
                     tracer.lifecycle(state.request.request_id, "RUNNING")
                 state.prefill_pos = state.request.prompt_length
-                traffic = traffic + prefill_traffic(
+                request_traffic = prefill_traffic(
                     self.model.config,
                     state.request.prompt_length,
-                    kv_bits_per_element=self.config.kv_bits,
+                    kv_bits_per_element=state.kv_bits,
+                )
+                traffic = traffic + request_traffic
+                charge_format(
+                    state,
+                    request_traffic.kv_read_bytes + request_traffic.kv_write_bytes,
                 )
                 prefill_done += state.request.prompt_length
                 self._running.append(state)
@@ -658,6 +761,10 @@ class Engine:
                 cost = state.prefill_tokens
                 hit, prefill_cost, emitted = self._prefill_paged(state)
                 traffic = traffic + prefill_cost
+                charge_format(
+                    state,
+                    prefill_cost.kv_read_bytes + prefill_cost.kv_write_bytes,
+                )
                 new_tokens += emitted
                 prefix_hit_tokens += hit
                 prefill_done += cost - hit
@@ -665,7 +772,7 @@ class Engine:
                     saved = saved + prefix_cache_savings(
                         self.model.config,
                         hit,
-                        kv_bits_per_element=self.config.kv_bits,
+                        kv_bits_per_element=state.kv_bits,
                     )
         if legacy and tracer is not None:
             tracer.end("step.prefill")
@@ -696,6 +803,7 @@ class Engine:
                 self._attn_stats.grouped_requests - grouped_before
             ),
             attention_padded_reads=padded_reads,
+            kv_format_bytes=tuple(sorted(fmt_bytes.items())),
         )
         self._reports.append(report)
         self._step_index += 1
@@ -723,6 +831,39 @@ class Engine:
         for index, state in enumerate(states):
             buf[index, 0] = state.last_token
         return buf[:batch]
+
+    # -- per-request KV formats -------------------------------------------
+
+    def _caches_for(self, state: RequestState) -> list:
+        """Unpaged per-layer caches honoring the request's KV format.
+
+        Non-private requests (no override, or an override whose byte
+        layout matches the engine default) share the engine's memoized
+        factory; private requests build their own codec stack.
+        """
+        if not state.kv_private:
+            return self._cache_factory()
+        return state.kv_format.codecs(self._n_layers)
+
+    def _sequence_for(
+        self, state: RequestState, reserve_logits: bool = True
+    ) -> "SequenceKV":
+        """Paged sequence for one request, honoring its KV format.
+
+        A private request carries per-layer codec overrides and opts
+        out of prefix sharing — cached blocks hold default-format
+        bytes it can neither read nor contribute to.
+        """
+        assert self._pool is not None
+        codecs = (
+            state.kv_format.codecs(self._n_layers) if state.kv_private else None
+        )
+        return self._pool.create_sequence(
+            state.request.prompt,
+            reserve_logits=reserve_logits,
+            codecs=codecs,
+            shareable=not state.kv_private,
+        )
 
     # -- chunked prefill --------------------------------------------------
 
@@ -801,13 +942,13 @@ class Engine:
                 hit = 0
                 if state.caches is None:
                     if self._pool is not None:
-                        seq = self._pool.create_sequence(state.request.prompt)
+                        seq = self._sequence_for(state)
                         state.kv = seq
                         state.caches = seq.caches
                         state.prefill_pos = seq.shared_tokens
                         hit = seq.shared_tokens
                     else:
-                        state.caches = self._cache_factory()
+                        state.caches = self._caches_for(state)
                 tokens = min(
                     chunk.tokens,
                     state.request.prompt_length - state.prefill_pos,
@@ -923,7 +1064,7 @@ class Engine:
         request = state.request
         prompt = request.prompt
         resumed = bool(state.generated)
-        seq = self._pool.create_sequence(prompt, reserve_logits=not resumed)
+        seq = self._sequence_for(state, reserve_logits=not resumed)
         hit = seq.shared_tokens
         logits = None
         try:
@@ -936,7 +1077,7 @@ class Engine:
                 traffic = traffic + prefill_traffic(
                     self.model.config,
                     request.prompt_length,
-                    kv_bits_per_element=self.config.kv_bits,
+                    kv_bits_per_element=state.kv_bits,
                     cached_prefix_tokens=hit,
                 )
             for token in state.generated[:-1]:
@@ -945,7 +1086,7 @@ class Engine:
                 traffic = traffic + decode_step_traffic(
                     self.model.config,
                     [context],
-                    kv_bits_per_element=self.config.kv_bits,
+                    kv_bits_per_element=state.kv_bits,
                 )
         except Exception:
             # The request stays queued; give its references back so a

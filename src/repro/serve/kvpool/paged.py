@@ -59,10 +59,10 @@ class PagedKVCache(KVCache):
         self._length = sequence.shared_tokens
 
     def compress(self, tensor: np.ndarray) -> np.ndarray:
-        return self._sequence.pool.codec.compress(tensor)
+        return self._sequence.codec_for(self._layer).compress(tensor)
 
     def compression_key(self) -> tuple:
-        return self._sequence.pool.codec.compression_key()
+        return self._sequence.codec_for(self._layer).compression_key()
 
     def _store(self, k16: np.ndarray, v16: np.ndarray) -> None:
         if k16.shape[0] != 1:
@@ -94,6 +94,7 @@ class SequenceKV:
         "block_table",
         "shared_tokens",
         "caches",
+        "codecs",
         "_released",
         "_deq_k",
         "_deq_v",
@@ -101,11 +102,26 @@ class SequenceKV:
     )
 
     def __init__(
-        self, pool: "KVPool", block_table: list[int], shared_tokens: int
+        self,
+        pool: "KVPool",
+        block_table: list[int],
+        shared_tokens: int,
+        codecs: "list[KVCache] | None" = None,
     ) -> None:
         self.pool = pool
         self.block_table = block_table
         self.shared_tokens = shared_tokens
+        #: Per-layer write-side codec overrides for requests whose KV
+        #: format differs from the pool's engine-wide default; None
+        #: delegates every layer to ``pool.codec``.  A sequence with
+        #: overrides stores bytes other sequences cannot interpret, so
+        #: the pool refuses to register its blocks for prefix sharing.
+        if codecs is not None and len(codecs) != pool.n_layers:
+            raise ModelError(
+                f"per-layer codecs cover {len(codecs)} layers, pool has "
+                f"{pool.n_layers}"
+            )
+        self.codecs = codecs
         self.caches = [PagedKVCache(self, layer) for layer in range(pool.n_layers)]
         self._released = False
         # Per-layer float32 gather scratch: dequantized history prefix
@@ -114,6 +130,14 @@ class SequenceKV:
         self._deq_k: list[np.ndarray | None] = [None] * pool.n_layers
         self._deq_v: list[np.ndarray | None] = [None] * pool.n_layers
         self._deq_len = [0] * pool.n_layers
+
+    def codec_for(self, layer: int) -> KVCache:
+        """The write-side codec governing one layer of this sequence."""
+        if self.codecs is not None:
+            return self.codecs[layer]
+        if self.pool.codecs is not None:
+            return self.pool.codecs[layer]
+        return self.pool.codec
 
     @property
     def length(self) -> int:

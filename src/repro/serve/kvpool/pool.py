@@ -47,6 +47,10 @@ class KVPool:
             ``compress`` / ``compression_key`` the paged caches
             delegate to, keeping stored bytes identical to the unpaged
             path.
+        codecs: per-layer default codecs for a pool whose engine runs a
+            per-layer :class:`~repro.llm.kv_quant.KVFormat`; overrides
+            ``codec`` layer-by-layer for every sequence that does not
+            carry its own per-request overrides.
         enable_prefix_cache: share prompt-prefix blocks across requests.
     """
 
@@ -56,14 +60,21 @@ class KVPool:
         num_blocks: int,
         block_size: int = DEFAULT_BLOCK_SIZE,
         codec: KVCache | None = None,
+        codecs: list[KVCache] | None = None,
         enable_prefix_cache: bool = True,
     ) -> None:
         if block_size < 1:
             raise ModelError(f"block_size must be >= 1, got {block_size}")
+        if codecs is not None and len(codecs) != config.n_layers:
+            raise ModelError(
+                f"pool codecs must cover all {config.n_layers} layers, "
+                f"got {len(codecs)}"
+            )
         self.n_layers = config.n_layers
         self.block_size = block_size
         self.num_blocks = num_blocks
         self.codec = codec if codec is not None else KVCache()
+        self.codecs = codecs
         self.allocator = BlockAllocator(num_blocks)
         shape = (
             config.n_layers,
@@ -172,32 +183,52 @@ class KVPool:
         return max(0, length - 1) if reserve_logits else length
 
     def peek_shared(
-        self, prompt_tokens: np.ndarray, reserve_logits: bool = True
+        self,
+        prompt_tokens: np.ndarray,
+        reserve_logits: bool = True,
+        shareable: bool = True,
     ) -> int:
         """Prefix-cache hit length (tokens) without taking references."""
-        if self.prefix_cache is None:
+        if self.prefix_cache is None or not shareable:
             return 0
         self._clock += 1
         cap = self._shared_cap(prompt_tokens, reserve_logits)
         return self.prefix_cache.peek(prompt_tokens, cap, self._clock)
 
     def create_sequence(
-        self, prompt_tokens: np.ndarray, reserve_logits: bool = True
+        self,
+        prompt_tokens: np.ndarray,
+        reserve_logits: bool = True,
+        codecs: list[KVCache] | None = None,
+        shareable: bool = True,
     ) -> SequenceKV:
-        """New request view, seeded with any cached prompt prefix."""
+        """New request view, seeded with any cached prompt prefix.
+
+        ``codecs`` installs per-layer write-side codec overrides for a
+        request whose KV format differs from the pool default;
+        ``shareable=False`` opts the sequence out of prefix-cache
+        matching — cached blocks hold the *default* format's bytes,
+        which a different format must neither read nor contribute to.
+        """
         blocks: list[int] = []
         shared_tokens = 0
-        if self.prefix_cache is not None:
+        if self.prefix_cache is not None and shareable:
             self._clock += 1
             cap = self._shared_cap(prompt_tokens, reserve_logits)
             blocks, shared_tokens = self.prefix_cache.match(
                 prompt_tokens, cap, self._clock
             )
-        return SequenceKV(self, list(blocks), shared_tokens)
+        return SequenceKV(self, list(blocks), shared_tokens, codecs=codecs)
 
     def register_prefix(self, sequence: SequenceKV, prompt_tokens: np.ndarray) -> int:
-        """Cache a prefilled prompt's full blocks for future sharing."""
-        if self.prefix_cache is None:
+        """Cache a prefilled prompt's full blocks for future sharing.
+
+        Sequences carrying per-layer codec overrides are refused (they
+        return 0 registered blocks): their bytes are not what the
+        pool's default codec would have written, so a later sharer
+        would silently read the wrong format.
+        """
+        if self.prefix_cache is None or sequence.codecs is not None:
             return 0
         self._clock += 1
         return self.prefix_cache.insert(
@@ -211,6 +242,7 @@ class KVPool:
         prompt_tokens: np.ndarray,
         total_positions: int,
         reserve_logits: bool = True,
+        shareable: bool = True,
     ) -> int:
         """Pool-budget cost (blocks) of admitting one prefill.
 
@@ -222,10 +254,22 @@ class KVPool:
         a cache-only (refcount 1) block counted in the reclaimable
         budget stops being reclaimable the moment this request maps it,
         so it must be charged against the same budget.
-        """
-        return self._admission_cost(prompt_tokens, total_positions, reserve_logits)
 
-    def chunk_block_cost(self, prompt_tokens: np.ndarray, chunk_tokens: int) -> int:
+        ``shareable=False`` (a request whose KV format differs from the
+        pool default) prices the prefill with no prefix sharing at all
+        — its full fresh-block footprint — matching what
+        :meth:`create_sequence` will actually allocate for it.
+        """
+        return self._admission_cost(
+            prompt_tokens, total_positions, reserve_logits, shareable
+        )
+
+    def chunk_block_cost(
+        self,
+        prompt_tokens: np.ndarray,
+        chunk_tokens: int,
+        shareable: bool = True,
+    ) -> int:
         """Pool-budget cost (blocks) of a fresh request's *first chunk*.
 
         Chunked admissions only commit the chunk's footprint: blocks to
@@ -235,19 +279,24 @@ class KVPool:
         by the planner as plain cache growth
         (:meth:`SequenceKV.blocks_for_append`).
         """
-        shared = self.peek_shared(prompt_tokens, reserve_logits=True)
+        shared = self.peek_shared(
+            prompt_tokens, reserve_logits=True, shareable=shareable
+        )
         end = min(int(len(prompt_tokens)), shared + chunk_tokens)
-        return self._admission_cost(prompt_tokens, end, reserve_logits=True)
+        return self._admission_cost(
+            prompt_tokens, end, reserve_logits=True, shareable=shareable
+        )
 
     def _admission_cost(
         self,
         prompt_tokens: np.ndarray,
         total_positions: int,
         reserve_logits: bool,
+        shareable: bool = True,
     ) -> int:
         shared_blocks: list[int] = []
         shared = 0
-        if self.prefix_cache is not None:
+        if self.prefix_cache is not None and shareable:
             self._clock += 1
             cap = self._shared_cap(prompt_tokens, reserve_logits)
             shared_blocks, shared = self.prefix_cache.peek_blocks(
@@ -288,13 +337,18 @@ class PoolPlanner(KVBlockPlanner):
             state.request.prompt,
             state.prefill_tokens,
             reserve_logits=not state.generated,
+            shareable=not getattr(state, "kv_private", False),
         )
 
     def chunk_blocks(self, state, tokens: int) -> int:
         if state.kv is not None:
             # Half-prefilled: the chunk is plain growth of its cache.
             return state.kv.blocks_for_append(tokens)
-        return self._pool.chunk_block_cost(state.request.prompt, tokens)
+        return self._pool.chunk_block_cost(
+            state.request.prompt,
+            tokens,
+            shareable=not getattr(state, "kv_private", False),
+        )
 
     def admit(self, blocks_needed: int) -> None:
         self._available -= blocks_needed

@@ -81,6 +81,12 @@ class StepReport:
             buckets this step (per layer group, i.e. divided by
             n_layers — the unit ``decode_step_traffic`` charges
             as padded KV reads).
+        kv_format_bytes: per-format split of the step's simulated KV
+            traffic — ``((format_label, bytes), ...)`` sorted by label,
+            where each request's KV reads+writes are attributed to its
+            resolved :class:`~repro.llm.kv_quant.KVFormat` (padded
+            reads belong to no request and are excluded).  Empty when
+            the step moved no KV bytes.
     """
 
     step: int
@@ -101,6 +107,7 @@ class StepReport:
     attention_dispatches: int = 0
     attention_grouped_requests: int = 0
     attention_padded_reads: int = 0
+    kv_format_bytes: tuple[tuple[str, float], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -135,6 +142,8 @@ class EngineMetrics:
         attention_padded_reads: total wasted KV positions padded
             buckets scored (per layer group; what the pad-waste cap
             bounds).
+        kv_format_bytes: lifetime per-format split of simulated KV
+            traffic, merged across steps (sorted by format label).
         aborted: requests cancelled via ``abort()`` (they release their
             KV residency immediately and never produce a request
             record, so they appear here and nowhere in ``requests``).
@@ -158,6 +167,7 @@ class EngineMetrics:
     attention_dispatches: int = 0
     attention_grouped_requests: int = 0
     attention_padded_reads: int = 0
+    kv_format_bytes: tuple[tuple[str, float], ...] = ()
     aborted: int = 0
     requests: list[RequestMetrics] = field(default_factory=list)
 
@@ -216,6 +226,10 @@ def summarize(
     traffic = StepTraffic()
     for report in reports:
         traffic = traffic + report.traffic
+    format_bytes: dict[str, float] = {}
+    for report in reports:
+        for label, nbytes in report.kv_format_bytes:
+            format_bytes[label] = format_bytes.get(label, 0.0) + nbytes
     return EngineMetrics(
         steps=len(reports),
         total_new_tokens=total_tokens,
@@ -238,6 +252,7 @@ def summarize(
         attention_padded_reads=sum(
             report.attention_padded_reads for report in reports
         ),
+        kv_format_bytes=tuple(sorted(format_bytes.items())),
         aborted=aborted,
         requests=list(requests),
     )

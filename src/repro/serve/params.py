@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import RequestError
+from repro.llm.kv_quant import KVFormat
 
 
 @dataclass(frozen=True)
@@ -40,6 +41,13 @@ class SamplingParams:
             the request then finishes with ``finish_reason="stop"``.
         seed: per-request sampling seed (each request draws from its
             own RNG stream, as sequential ``generate`` calls would).
+        kv_format: optional per-request KV-cache format override
+            (:class:`repro.llm.kv_quant.KVFormat`).  ``None`` (the
+            default) inherits the engine-wide
+            ``EngineConfig.kv_format``, so existing recipes are
+            untouched; a value makes this request's cached keys/values
+            go through that format instead — one engine serving
+            heterogeneous-precision traffic.
     """
 
     max_new_tokens: int = 16
@@ -48,6 +56,7 @@ class SamplingParams:
     top_p: float = 1.0
     stop_token_ids: tuple[int, ...] = field(default_factory=tuple)
     seed: int = 0
+    kv_format: KVFormat | None = None
 
     def __post_init__(self) -> None:
         if self.max_new_tokens < 1:
@@ -66,6 +75,11 @@ class SamplingParams:
         object.__setattr__(self, "stop_token_ids", stop)
         if any(token < 0 for token in stop):
             raise RequestError(f"stop token ids must be >= 0, got {stop}")
+        if self.kv_format is not None and not isinstance(self.kv_format, KVFormat):
+            raise RequestError(
+                "kv_format must be a repro.llm.kv_quant.KVFormat or None, "
+                f"got {type(self.kv_format).__name__}"
+            )
 
     def is_stop(self, token: int) -> bool:
         """Whether emitting ``token`` ends the request."""

@@ -132,6 +132,16 @@ class RequestState:
     generated: list[int] = field(default_factory=list)
     rng: np.random.Generator | None = None
     preemptions: int = 0
+    #: Resolved KV format for this request (the per-request override or
+    #: the engine-wide default), set at submit time; None before then.
+    kv_format: object | None = None
+    #: Mean stored bits per cached K/V element under ``kv_format`` —
+    #: what the per-request traffic model charges.
+    kv_bits: float = 16.0
+    #: True when ``kv_format`` differs from the pool's engine-wide
+    #: default: the request's blocks hold bytes other sequences cannot
+    #: share, so it opts out of prefix-cache matching/registration.
+    kv_private: bool = False
     #: True once a ``stop_token_ids`` member was emitted; ends the
     #: request before ``max_new_tokens``.
     stopped: bool = False

@@ -81,12 +81,20 @@ def validate_admission(
     * a total exceeding the model's ``max_seq_len``;
     * prompt token ids outside ``[0, vocab_size)`` (a deferred prefill
       failure would lose the request);
+    * a per-request ``params.kv_format`` whose per-layer stack does not
+      cover the model's layer count (bits-per-element costing and cache
+      construction both need one format per layer);
     * in paged mode (``pool`` given, duck-typed to
       :class:`~repro.serve.kvpool.pool.KVPool`), a block footprint the
       pool could never guarantee even with every other request evicted.
     """
     if int(prompt.shape[0]) < 1:
         raise RequestError("prompt must contain at least one token")
+    if params.kv_format is not None:
+        try:
+            params.kv_format.bits_per_element(model_config.n_layers)
+        except ModelError as exc:
+            raise RequestError(f"kv_format does not fit the model: {exc}") from exc
     total = int(prompt.shape[0]) + params.max_new_tokens
     if total > model_config.max_seq_len:
         raise RequestError(

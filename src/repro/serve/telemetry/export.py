@@ -393,6 +393,14 @@ class EngineTelemetry:
             labels=("engine",),
         ).labels(engine=self.engine_label)
         finished.inc(float(len(metrics.requests)) - finished.value)
+        format_family = self.registry.counter(
+            "repro_engine_kv_format_bytes_total",
+            "Simulated KV traffic attributed per KV format",
+            labels=("engine", "format"),
+        )
+        for label, nbytes in metrics.kv_format_bytes:
+            series = format_family.labels(engine=self.engine_label, format=label)
+            series.inc(float(nbytes) - series.value)
         for attribute, name, help in ENGINE_GAUGE_FIELDS:
             self.registry.gauge(name, help, labels=("engine",)).labels(
                 engine=self.engine_label

@@ -1,0 +1,240 @@
+"""The KVFormat API: spec semantics, config shim, per-request override.
+
+Covers the format value object itself (modes, per-layer stacks,
+search-derived policies, labels, signatures), the ``EngineConfig``
+deprecation shim over the legacy ``kv_mode``/``kv_mantissa_bits``
+knobs, and admission-time validation of ``SamplingParams.kv_format``.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.precision import PrecisionCombination
+from repro.core.search import SearchResult
+from repro.errors import ModelError, RequestError
+from repro.llm.config import tiny_test_config
+from repro.llm.kv_quant import (
+    KVFormat,
+    kv_bits_per_element,
+    make_cache_factory,
+)
+from repro.llm.transformer import build_model
+from repro.llm.zoo import get_model
+from repro.serve import Engine, EngineConfig, SamplingParams
+from serving_helpers import serve
+
+
+@pytest.fixture(scope="module")
+def model():
+    return get_model("opt-125m-sim")
+
+
+@pytest.fixture(scope="module")
+def prompts():
+    rng = np.random.default_rng(7)
+    return [rng.integers(0, 256, size=length) for length in (5, 9, 13)]
+
+
+class TestSpec:
+    def test_uniform_constructors(self):
+        assert KVFormat.fp16().label == "fp16"
+        assert KVFormat.anda(4).label == "anda4"
+        assert KVFormat.bfp(6).label == "bfp6"
+        assert KVFormat.mx(4).label == "mx4"
+
+    def test_bits_per_element(self):
+        assert KVFormat.fp16().bits_per_element() == 16.0
+        assert KVFormat.anda(4).bits_per_element() == 1 + 4 + 8 / 64
+        assert KVFormat.bfp(6).bits_per_element() == 1 + 6 + 8 / 64
+        # MX adds the per-subgroup microexponent on top.
+        assert KVFormat.mx(4).bits_per_element() > 1 + 4 + 8 / 64
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            KVFormat(mode="nope")
+        with pytest.raises(ModelError):
+            KVFormat.anda(0)
+        with pytest.raises(ModelError):
+            KVFormat.anda(17)
+        with pytest.raises(ModelError):
+            KVFormat.per_layer([])
+        with pytest.raises(ModelError):
+            KVFormat.per_layer([KVFormat.anda(4), "fp16"])
+        with pytest.raises(ModelError):
+            # layers only belong to the per-layer sentinel mode
+            KVFormat(mode="anda", layers=(KVFormat.fp16(),))
+
+    def test_per_layer_resolution_and_mean_bits(self):
+        stack = KVFormat.per_layer([KVFormat.anda(4), KVFormat.fp16()])
+        assert not stack.uniform
+        assert stack.resolve(0) == KVFormat.anda(4)
+        assert stack.resolve(1) == KVFormat.fp16()
+        assert stack.bits_per_element() == ((1 + 4 + 8 / 64) + 16.0) / 2
+        with pytest.raises(ModelError):
+            stack.bits_per_element(n_layers=3)
+        with pytest.raises(ModelError):
+            stack.resolve(2)
+
+    def test_signature_is_per_layer_compression_keys(self):
+        stack = KVFormat.per_layer([KVFormat.anda(4), KVFormat.fp16()])
+        assert stack.signature(2) == (("anda", 4), ("fp16",))
+        # A uniform format broadcast over n layers.
+        assert KVFormat.anda(4).signature(2) == (("anda", 4), ("anda", 4))
+        # Byte-equivalent spellings share a signature.
+        broadcast = KVFormat.per_layer([KVFormat.anda(4)] * 2)
+        assert broadcast.signature(2) == KVFormat.anda(4).signature(2)
+
+    def test_per_layer_codec_raises(self):
+        stack = KVFormat.per_layer([KVFormat.anda(4), KVFormat.fp16()])
+        with pytest.raises(ModelError):
+            stack.codec()
+        keys = [codec.compression_key() for codec in stack.codecs(2)]
+        assert keys == [("anda", 4), ("fp16",)]
+
+    def test_labels_for_stacks(self):
+        assert (
+            KVFormat.per_layer([KVFormat.anda(4), KVFormat.fp16()]).label
+            == "per_layer(anda4,fp16)"
+        )
+        assert (
+            KVFormat.per_layer([KVFormat.anda(5)] * 3).label
+            == "per_layer(anda5x3)"
+        )
+
+    def test_registry_helpers_accept_formats(self, model):
+        fmt = KVFormat.anda(6)
+        assert kv_bits_per_element(fmt) == fmt.bits_per_element()
+        caches = make_cache_factory(model, fmt)()
+        assert len(caches) == len(model.blocks)
+        assert all(c.compression_key() == ("anda", 6) for c in caches)
+
+
+class TestFromSearch:
+    def combo(self, qkv):
+        return PrecisionCombination(qkv=qkv, o=8, u=8, d=8)
+
+    def result(self, qkv):
+        return SearchResult(
+            best=self.combo(qkv),
+            best_bops=1.0,
+            reference_accuracy=0.9,
+            tolerance=0.01,
+        )
+
+    def test_combination_uses_qkv_bits(self):
+        assert KVFormat.from_search(self.combo(5)) == KVFormat.anda(5)
+        assert KVFormat.from_search(self.combo(5), mode="bfp") == KVFormat.bfp(5)
+
+    def test_search_result_unwraps_best(self):
+        assert KVFormat.from_search(self.result(6)) == KVFormat.anda(6)
+
+    def test_infeasible_search_raises(self):
+        infeasible = SearchResult(
+            best=None,
+            best_bops=float("inf"),
+            reference_accuracy=0.9,
+            tolerance=0.01,
+        )
+        with pytest.raises(ModelError):
+            KVFormat.from_search(infeasible)
+
+    def test_sequence_builds_per_layer_policy(self):
+        fmt = KVFormat.from_search([self.result(4), self.combo(8)])
+        assert fmt == KVFormat.per_layer([KVFormat.anda(4), KVFormat.anda(8)])
+
+    def test_search_policy_serves(self, prompts):
+        # First serving consumer of the search path: a per-layer policy
+        # straight from (mock) search output drives a live engine.
+        tiny = build_model(tiny_test_config("opt", d_model=32, n_layers=2))
+        fmt = KVFormat.from_search([self.result(4), self.result(8)])
+        results = serve(
+            tiny, prompts, max_new_tokens=4, config=EngineConfig(kv_format=fmt)
+        )
+        assert all(r.continuation().shape[0] == 4 for r in results)
+
+
+class TestEngineConfigShim:
+    def test_legacy_kwargs_warn_and_mirror(self):
+        with pytest.warns(DeprecationWarning):
+            config = EngineConfig(kv_mode="anda", kv_mantissa_bits=4)
+        assert config.kv_format == KVFormat.anda(4)
+        assert config.kv_mode == "anda"
+        assert config.kv_mantissa_bits == 4
+        assert config.kv_bits == KVFormat.anda(4).bits_per_element()
+
+    def test_partial_legacy_kwargs_fill_defaults(self):
+        with pytest.warns(DeprecationWarning):
+            config = EngineConfig(kv_mode="anda")
+        assert config.kv_format == KVFormat.anda(8)
+        with pytest.warns(DeprecationWarning):
+            config = EngineConfig(kv_mantissa_bits=5)
+        assert config.kv_format == KVFormat(mode="fp16", mantissa_bits=5)
+
+    def test_default_is_fp16(self):
+        config = EngineConfig()
+        assert config.kv_format == KVFormat.fp16()
+        assert config.kv_mode == "fp16"
+        assert config.kv_bits == 16.0
+
+    def test_conflict_raises(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ModelError):
+                EngineConfig(kv_mode="anda", kv_format=KVFormat.anda(4))
+
+    def test_non_format_kv_format_raises(self):
+        with pytest.raises(ModelError):
+            EngineConfig(kv_format="anda")
+
+    def test_per_layer_config_mirrors_sentinel_mode(self):
+        stack = KVFormat.per_layer([KVFormat.anda(4), KVFormat.fp16()])
+        config = EngineConfig(kv_format=stack)
+        assert config.kv_mode == "per_layer"
+        assert config.kv_bits == stack.bits_per_element()
+
+    def test_legacy_and_new_spellings_serve_identically(self, model, prompts):
+        with pytest.warns(DeprecationWarning):
+            legacy = EngineConfig(kv_mode="anda", kv_mantissa_bits=6)
+        modern = EngineConfig(kv_format=KVFormat.anda(6))
+        old = serve(model, prompts, max_new_tokens=6, config=legacy)
+        new = serve(model, prompts, max_new_tokens=6, config=modern)
+        for a, b in zip(old, new):
+            np.testing.assert_array_equal(a.tokens, b.tokens)
+
+
+class TestPerRequestValidation:
+    def test_params_reject_non_format(self):
+        with pytest.raises(RequestError):
+            SamplingParams(max_new_tokens=4, kv_format="anda")
+
+    def test_params_default_is_inherit(self):
+        assert SamplingParams(max_new_tokens=4).kv_format is None
+
+    def test_submit_rejects_model_mismatched_stack(self):
+        tiny = build_model(tiny_test_config("opt", d_model=32, n_layers=2))
+        engine = Engine(tiny, EngineConfig())
+        wrong_depth = KVFormat.per_layer([KVFormat.anda(4)] * 3)
+        with pytest.raises(RequestError):
+            engine.submit(
+                np.array([1, 2, 3]),
+                SamplingParams(max_new_tokens=2, kv_format=wrong_depth),
+            )
+
+    def test_submit_accepts_matching_stack(self):
+        tiny = build_model(tiny_test_config("opt", d_model=32, n_layers=2))
+        engine = Engine(tiny, EngineConfig())
+        stack = KVFormat.per_layer([KVFormat.anda(4), KVFormat.fp16()])
+        handle = engine.submit(
+            np.array([1, 2, 3]), SamplingParams(max_new_tokens=2, kv_format=stack)
+        )
+        while engine.has_work():
+            engine.step()
+        assert handle.result().continuation().shape[0] == 2
+
+
+def test_serve_module_exports_kvformat():
+    import repro.serve as serve_module
+
+    assert serve_module.KVFormat is KVFormat
+    assert "KVFormat" in serve_module.__all__
