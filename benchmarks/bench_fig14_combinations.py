@@ -6,7 +6,7 @@ from repro.experiments import fig14_combinations
 
 def test_fig14_combinations(run_once):
     result = run_once(fig14_combinations.run)
-    for (dataset, tolerance), grid in result.combos.items():
+    for (dataset, _tolerance), grid in result.combos.items():
         for model, comb in grid.items():
             assert all(4 <= bits <= 13 for bits in comb), (dataset, model)
     # Tighter tolerance keeps at-least-as-long mantissas on average.

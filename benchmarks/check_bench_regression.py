@@ -118,10 +118,10 @@ def require_baseline_keys(
 def load_json(path: Path) -> dict:
     try:
         return json.loads(path.read_text())
-    except FileNotFoundError:
-        raise SystemExit(f"missing input: {path}")
+    except FileNotFoundError as error:
+        raise SystemExit(f"missing input: {path}") from error
     except json.JSONDecodeError as error:
-        raise SystemExit(f"unparseable JSON in {path}: {error}")
+        raise SystemExit(f"unparseable JSON in {path}: {error}") from error
 
 
 def engine_speedups(results: dict) -> dict[tuple[str, int], float]:

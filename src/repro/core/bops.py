@@ -15,7 +15,7 @@ covers three projections, ``u`` covers both up and gate for gated FFNs).
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.core.precision import PrecisionCombination, TensorKind
 from repro.errors import FormatError

@@ -16,7 +16,8 @@ the 4-tuple ``[M_qkv, M_o, M_u, M_d]`` that Algorithm 1 searches over.
 from __future__ import annotations
 
 import enum
-from typing import Iterator, Mapping, NamedTuple
+from collections.abc import Iterator, Mapping
+from typing import NamedTuple
 
 from repro.core.bfp import MAX_MANTISSA_BITS, MIN_MANTISSA_BITS
 from repro.errors import FormatError

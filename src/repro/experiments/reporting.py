@@ -7,7 +7,7 @@ same number formatting as the paper where possible).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 
 def format_table(

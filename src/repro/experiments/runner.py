@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import Callable, Protocol
+from collections.abc import Callable
+from typing import Protocol
 
 
 class _Renderable(Protocol):

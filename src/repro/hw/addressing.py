@@ -16,7 +16,7 @@ exponent partition of the activation buffer), addressed by group index.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.core.anda import AndaTensor
 from repro.errors import HardwareError

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.core.precision import PrecisionCombination
 from repro.errors import HardwareError

@@ -24,7 +24,7 @@ is needed per serving step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.errors import HardwareError
 from repro.llm.config import ModelConfig

@@ -1,0 +1,124 @@
+"""Conservative intra-package call graph for the hot-path rules.
+
+RPL002 must flag allocation-shaped numpy calls in any function that can
+run during ``Engine.step``.  Python has no static dispatch, so we build
+a deliberately over-approximate graph:
+
+* ``name(...)`` resolves to every function in the same module whose
+  name matches, plus any same-named function explicitly imported from a
+  scanned module;
+* ``anything.method(...)`` resolves to *every* method named ``method``
+  across the scanned package (receiver types are unknown);
+* defining a nested function counts as calling it (closures like the
+  engine's per-step charging hooks are invoked through local names the
+  resolver cannot see).
+
+Over-approximation only ever adds findings, never hides one; the
+intentional ones (reference oracles, finish-time assembly) are
+grandfathered in ``lint_baseline.json`` with tracking notes.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class FunctionInfo:
+    """One function or method definition in the scanned package."""
+
+    qualname: str  # "repro.serve.engine:Engine.step"
+    name: str  # last component, e.g. "step"
+    module: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    calls: list[ast.Call] = field(default_factory=list)
+    edges: set[str] = field(default_factory=set)
+
+
+class CallGraph:
+    """Name-based over-approximate call graph over scanned modules."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self._by_name: dict[str, set[str]] = {}
+        self._imports: dict[str, dict[str, str]] = {}  # module -> alias -> target
+
+    def add_module(self, module: str, tree: ast.Module) -> None:
+        imports: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = f"{node.module}:{alias.name}"
+        self._imports[module] = imports
+        self._collect(module, tree, prefix="", parent=None)
+
+    def _collect(
+        self,
+        module: str,
+        node: ast.AST,
+        prefix: str,
+        parent: FunctionInfo | None,
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}.{child.name}" if prefix else child.name
+                info = FunctionInfo(
+                    qualname=f"{module}:{qual}",
+                    name=child.name,
+                    module=module,
+                    node=child,
+                )
+                self.functions[info.qualname] = info
+                self._by_name.setdefault(child.name, set()).add(info.qualname)
+                if parent is not None:
+                    # Defining a nested function counts as calling it.
+                    parent.edges.add(info.qualname)
+                self._collect_body(info, child)
+                self._collect(module, child, prefix=qual, parent=info)
+            elif isinstance(child, ast.ClassDef):
+                qual = f"{prefix}.{child.name}" if prefix else child.name
+                self._collect(module, child, prefix=qual, parent=parent)
+            else:
+                self._collect(module, child, prefix=prefix, parent=parent)
+
+    def _collect_body(self, info: FunctionInfo, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested defs get their own FunctionInfo
+            if isinstance(child, ast.Call):
+                info.calls.append(child)
+            self._collect_body(info, child)
+
+    def resolve(self) -> None:
+        """Turn the recorded calls into edges (name-based, conservative)."""
+        for info in self.functions.values():
+            imports = self._imports.get(info.module, {})
+            for call in info.calls:
+                func = call.func
+                if isinstance(func, ast.Name):
+                    # Same-module functions with that name (any nesting).
+                    for qual in self._by_name.get(func.id, ()):
+                        if self.functions[qual].module == info.module:
+                            info.edges.add(qual)
+                    target = imports.get(func.id)
+                    if target is not None:
+                        mod, _, name = target.partition(":")
+                        qual = f"{mod}:{name}"
+                        if qual in self.functions:
+                            info.edges.add(qual)
+                elif isinstance(func, ast.Attribute):
+                    # Unknown receiver: every scanned method with that name.
+                    info.edges.update(self._by_name.get(func.attr, ()))
+
+    def reachable(self, roots: list[str]) -> set[str]:
+        seen = set(root for root in roots if root in self.functions)
+        queue = deque(seen)
+        while queue:
+            qual = queue.popleft()
+            for edge in self.functions[qual].edges:
+                if edge not in seen:
+                    seen.add(edge)
+                    queue.append(edge)
+        return seen

@@ -1,0 +1,127 @@
+"""Command-line entry point: ``python -m repro.lint``.
+
+Exit codes: 0 clean (grandfathered findings allowed), 1 new findings or
+stale baseline entries or a crashed rule, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import TextIO
+
+from repro.lint.findings import Baseline
+from repro.lint.runner import DEFAULT_BASELINE, LintResult, run_lint
+from repro.lint.rules import RULES, get_rule
+
+
+def _find_repo_root(start: Path) -> Path:
+    """Walk up from ``start`` to the directory containing src/repro."""
+    for candidate in (start, *start.parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    raise SystemExit(f"could not locate src/repro above {start}")
+
+
+def _explain(code: str) -> int:
+    rule = get_rule(code)
+    if rule is None:
+        print(f"unknown rule code: {code}", file=sys.stderr)
+        print("known codes:", ", ".join(r.code for r in RULES), file=sys.stderr)
+        return 2
+    print(f"{rule.code}: {rule.title}")
+    print(f"  rationale: {rule.rationale}")
+    print(f"  invariant: {rule.invariant}")
+    print()
+    print(rule.explain)
+    return 0
+
+
+def _report(
+    result: LintResult, baseline_path: Path, stream: TextIO = sys.stdout
+) -> None:
+    def emit(line: str) -> None:
+        print(line, file=stream)
+
+    for finding in result.new:
+        emit(finding.render())
+    for error in result.errors:
+        emit(f"error: {error}")
+    for entry in result.stale_baseline:
+        emit(
+            f"stale baseline entry (fixed? delete it from {baseline_path.name}): "
+            f"{entry.key}"
+        )
+    parts = [f"{len(result.findings)} finding(s)"]
+    if result.grandfathered:
+        parts.append(f"{len(result.grandfathered)} grandfathered")
+    if result.new:
+        parts.append(f"{len(result.new)} NEW")
+    if result.stale_baseline:
+        parts.append(f"{len(result.stale_baseline)} stale baseline entr(ies)")
+    status = "OK" if result.ok else "FAIL"
+    emit(f"repro.lint: {status} — {', '.join(parts)}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Invariant-enforcing static analysis for the repro serving stack.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root (directory containing src/repro); default: walk up from cwd",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline and report every finding as new",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        metavar="PATH",
+        default=None,
+        help="write machine-readable findings to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help="print the rationale and guarded invariant for a rule code, then exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.explain is not None:
+        return _explain(args.explain)
+
+    root = args.root if args.root is not None else _find_repo_root(Path.cwd())
+    if not (root / "src" / "repro").is_dir():
+        print(f"no src/repro under {root}", file=sys.stderr)
+        return 2
+    baseline_path = (
+        args.baseline if args.baseline is not None else root / DEFAULT_BASELINE
+    )
+    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    result = run_lint(root, baseline=baseline)
+
+    report_stream = sys.stdout
+    if args.json is not None:
+        payload = json.dumps(result.to_json(), indent=2, sort_keys=True)
+        if str(args.json) == "-":
+            print(payload)
+            report_stream = sys.stderr  # keep stdout pure JSON
+        else:
+            args.json.write_text(payload + "\n")
+    _report(result, baseline_path, stream=report_stream)
+    return 0 if result.ok else 1

@@ -1,0 +1,77 @@
+"""Finding and baseline primitives for repro.lint.
+
+A :class:`Finding` is one rule violation at one source location.  The
+committed ``lint_baseline.json`` grandfathers intentional findings
+(reference oracles, finish-time buffers) so the run stays at exit 0
+while the ratchet guarantees the set can only shrink: a *new* finding
+fails the run, and a baseline entry that no longer matches anything
+("stale") also fails until it is deleted.
+
+Baseline entries are keyed by ``(code, path, context, message)`` — no
+line numbers — so unrelated edits to a file do not invalidate them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    path: str  # posix path relative to the scan root's parent (e.g. src/...)
+    line: int
+    message: str
+    context: str = ""  # enclosing qualname ("Engine.step") or "<module>"
+
+    @property
+    def key(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        return f"{self.code}|{self.path}|{self.context}|{self.message}"
+
+    def render(self) -> str:
+        where = f"{self.path}:{self.line}"
+        ctx = f" [{self.context}]" if self.context else ""
+        return f"{where}: {self.code} {self.message}{ctx}"
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    key: str
+    note: str = ""
+
+
+@dataclass(slots=True)
+class Baseline:
+    """The committed set of grandfathered findings (shrink-only)."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        raw = json.loads(path.read_text())
+        entries = [
+            BaselineEntry(key=item["key"], note=item.get("note", ""))
+            for item in raw.get("findings", [])
+        ]
+        return cls(entries=entries)
+
+    def keys(self) -> set[str]:
+        return {entry.key for entry in self.entries}
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Partition into (new, grandfathered, stale-baseline-entries)."""
+        known = self.keys()
+        new = [f for f in findings if f.key not in known]
+        old = [f for f in findings if f.key in known]
+        seen = {f.key for f in findings}
+        stale = [entry for entry in self.entries if entry.key not in seen]
+        return new, old, stale

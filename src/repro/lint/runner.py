@@ -1,0 +1,114 @@
+"""Scan ``src/repro`` and evaluate every rule against the parsed index."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Baseline, BaselineEntry, Finding
+from repro.lint.rules import (
+    RULES,
+    Module,
+    ModuleIndex,
+    Rule,
+    parse_slots_allowlist,
+)
+
+DEFAULT_BASELINE = "lint_baseline.json"
+DEFAULT_ALLOWLIST = Path(__file__).with_name("slots_allowlist.txt")
+
+
+def discover_modules(repo_root: Path) -> list[Module]:
+    """Parse every module under ``<repo_root>/src/repro``.
+
+    Paths are recorded relative to ``repo_root`` (``src/repro/...``) so
+    findings and baseline keys are stable regardless of where the
+    linter is invoked from.
+    """
+    package_root = repo_root / "src" / "repro"
+    modules: list[Module] = []
+    for path in sorted(package_root.rglob("*.py")):
+        rel = path.relative_to(repo_root)
+        parts = list(rel.parts[1:])  # drop "src"
+        if parts[-1] == "__init__.py":
+            parts = parts[:-1]
+        else:
+            parts[-1] = parts[-1].removesuffix(".py")
+        name = ".".join(parts)
+        source = path.read_text()
+        modules.append(
+            Module(
+                name=name,
+                path=rel.as_posix(),
+                tree=ast.parse(source, filename=str(path)),
+                lines=source.splitlines(),
+            )
+        )
+    return modules
+
+
+@dataclass(slots=True)
+class LintResult:
+    findings: list[Finding]
+    new: list[Finding]
+    grandfathered: list[Finding]
+    stale_baseline: list[BaselineEntry]
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new and not self.stale_baseline and not self.errors
+
+    def to_json(self) -> dict:
+        def finding_dict(finding: Finding) -> dict:
+            return {
+                "code": finding.code,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+                "context": finding.context,
+                "key": finding.key,
+            }
+
+        return {
+            "ok": self.ok,
+            "findings": [finding_dict(f) for f in self.findings],
+            "new": [finding_dict(f) for f in self.new],
+            "grandfathered": [finding_dict(f) for f in self.grandfathered],
+            "stale_baseline": [
+                {"key": entry.key, "note": entry.note} for entry in self.stale_baseline
+            ],
+            "errors": list(self.errors),
+        }
+
+
+def run_lint(
+    repo_root: Path,
+    baseline: Baseline | None = None,
+    rules: tuple[Rule, ...] = RULES,
+    allowlist_path: Path | None = None,
+) -> LintResult:
+    modules = discover_modules(repo_root)
+    allowlist = parse_slots_allowlist(
+        allowlist_path if allowlist_path is not None else DEFAULT_ALLOWLIST
+    )
+    index = ModuleIndex(modules=modules, slots_allowlist=allowlist)
+    findings: list[Finding] = []
+    errors: list[str] = []
+    for rule in rules:
+        try:
+            findings.extend(rule.check(index))
+        except Exception as exc:  # a crashing rule must fail the run, not hide
+            errors.append(f"{rule.code} crashed: {type(exc).__name__}: {exc}")
+    findings.sort(key=lambda f: (f.path, f.line, f.code, f.message))
+    if baseline is None:
+        baseline = Baseline()
+    new, grandfathered, stale = baseline.split(findings)
+    return LintResult(
+        findings=findings,
+        new=new,
+        grandfathered=grandfathered,
+        stale_baseline=stale,
+        errors=errors,
+    )

@@ -645,7 +645,7 @@ class ReferenceKVCache(KVCache):
 # batched.
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Bucket:
     """One dispatch group: request rows sharing a (target) KV length.
 
@@ -675,7 +675,7 @@ class Bucket:
         return sum(self.length - length for length in self.lengths)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BucketPlan:
     """One decode step's bucket assignment (shared by every layer)."""
 

@@ -15,7 +15,7 @@ precision combination maps directly onto a tap configuration.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 import numpy as np
 

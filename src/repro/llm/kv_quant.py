@@ -15,7 +15,8 @@ traffic — the regime :mod:`repro.hw.roofline` shows is bandwidth-bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
+from types import ModuleType
 
 import numpy as np
 
@@ -28,7 +29,7 @@ from repro.llm.attention import KVCache
 from repro.llm.transformer import CausalLM
 
 
-def _mx_module():
+def _mx_module() -> ModuleType:
     # Imported lazily: ``repro.quant.__init__`` pulls in report paths
     # that import back through ``repro.hw`` into ``repro.llm``, so a
     # module-level import here is circular when ``repro.hw`` (which
@@ -166,7 +167,7 @@ class AndaKVCache(KVCache):
         return anda_kv_bits_per_element(self.mantissa_bits)
 
 
-def quantized_cache_factory(model: CausalLM, mantissa_bits: int):
+def quantized_cache_factory(model: CausalLM, mantissa_bits: int) -> list[KVCache]:
     """Build per-layer Anda KV caches for ``model.forward_step``.
 
     Example::
@@ -319,7 +320,7 @@ class KVFormat:
         return cls(mode=PER_LAYER_MODE, layers=tuple(formats))
 
     @classmethod
-    def from_search(cls, source, mode: str = "anda") -> "KVFormat":
+    def from_search(cls, source: object, mode: str = "anda") -> "KVFormat":
         """Build a KV format from precision-search output.
 
         Accepts a :class:`~repro.core.search.SearchResult` (its

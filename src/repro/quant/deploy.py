@@ -47,6 +47,9 @@ CALIBRATION_LENGTH = 128
 VALIDATION_SEQUENCES = 16
 VALIDATION_LENGTH = 128
 
+#: Mantissa widths the uniform deployment sweep considers.
+DEFAULT_CANDIDATE_BITS = tuple(range(4, 14))
+
 
 @dataclass
 class DeploymentResult:
@@ -319,7 +322,7 @@ def deploy_uniform(
     model_name: str,
     dataset: str,
     tolerance: float,
-    candidate_bits: tuple[int, ...] = tuple(range(4, 14)),
+    candidate_bits: tuple[int, ...] = DEFAULT_CANDIDATE_BITS,
 ) -> int:
     """Pick the shortest *uniform* mantissa meeting the tolerance.
 

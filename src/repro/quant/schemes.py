@@ -9,7 +9,7 @@ the LLM substrate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.llm.hooks import Quantizer
 from repro.quant.act_quant import (

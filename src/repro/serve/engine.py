@@ -62,6 +62,7 @@ import bisect
 import itertools
 import time
 import warnings
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -78,6 +79,7 @@ from repro.hw.traffic import (
 from repro.llm.attention import (
     AttentionDispatchStats,
     BucketedAttention,
+    KVCache,
     KVHotPathStats,
     stats_scope,
 )
@@ -116,7 +118,7 @@ from repro.serve.telemetry.export import log_step_summary
 _ENGINE_LABELS = itertools.count()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EngineConfig:
     """Serving knobs of one engine instance.
 
@@ -834,7 +836,7 @@ class Engine:
 
     # -- per-request KV formats -------------------------------------------
 
-    def _caches_for(self, state: RequestState) -> list:
+    def _caches_for(self, state: RequestState) -> list[KVCache]:
         """Unpaged per-layer caches honoring the request's KV format.
 
         Non-private requests (no override, or an override whose byte
@@ -843,6 +845,7 @@ class Engine:
         """
         if not state.kv_private:
             return self._cache_factory()
+        assert state.kv_format is not None  # kv_private implies an override
         return state.kv_format.codecs(self._n_layers)
 
     def _sequence_for(
@@ -855,9 +858,10 @@ class Engine:
         bytes it can neither read nor contribute to.
         """
         assert self._pool is not None
-        codecs = (
-            state.kv_format.codecs(self._n_layers) if state.kv_private else None
-        )
+        codecs = None
+        if state.kv_private:
+            assert state.kv_format is not None  # kv_private implies an override
+            codecs = state.kv_format.codecs(self._n_layers)
         return self._pool.create_sequence(
             state.request.prompt,
             reserve_logits=reserve_logits,
@@ -901,7 +905,12 @@ class Engine:
                     continue
                 prompt = chunk.request.prompt
 
-                def blocks_from(donors) -> int:
+                def blocks_from(
+                    donors: list[PrefillChunk], prompt: np.ndarray = prompt
+                ) -> int:
+                    # `prompt` bound as a default: the closure is only
+                    # called within this iteration, but binding keeps
+                    # the capture explicit (and loop-safe).
                     return max(
                         (
                             _common_prefix(prompt, donor.request.prompt) // block
@@ -1104,6 +1113,16 @@ class Engine:
         self._running.append(state)
         if resumed:
             return hit, traffic, 0
+        if logits is None:
+            # Unreachable by construction — reserve_logits caps prefix
+            # sharing at prompt_length - 1, so a fresh prefill always
+            # recomputes at least the final prompt position — but a
+            # shared-cap regression must fail loudly here, not as an
+            # AttributeError on None inside _emit.
+            raise ModelError(
+                "paged prefill produced no logits for a fresh request "
+                "(prefix sharing must leave >= 1 position to compute)"
+            )
         self._emit(state, logits[0, -1, :], first=True)
         return hit, traffic, 1
 
@@ -1202,7 +1221,7 @@ class Engine:
 
     def run_until(
         self,
-        condition,
+        condition: Callable[[], bool],
         max_steps: int | None = None,
         what: str = "run_until",
     ) -> None:

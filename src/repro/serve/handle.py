@@ -24,7 +24,8 @@ continuous batching observed one request at a time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.errors import ModelError, RequestAbortedError
 from repro.serve.metrics import StepReport

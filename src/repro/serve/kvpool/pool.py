@@ -20,6 +20,8 @@ matched to the hardware word the rest of the stack models.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.errors import ModelError
@@ -29,6 +31,9 @@ from repro.serve.kvpool.allocator import BlockAllocator, OutOfBlocksError
 from repro.serve.kvpool.paged import SequenceKV
 from repro.serve.kvpool.prefix import PrefixCache
 from repro.serve.scheduler import KVBlockPlanner
+
+if TYPE_CHECKING:
+    from repro.serve.request import RequestState
 
 #: Default positions per block: the Anda group size / hardware word.
 DEFAULT_BLOCK_SIZE = 64
@@ -310,7 +315,7 @@ class KVPool:
         )
         return fresh + pinned
 
-    def planner(self, running: list) -> "PoolPlanner":
+    def planner(self, running: list[RequestState]) -> "PoolPlanner":
         return PoolPlanner(self, running)
 
 
@@ -322,7 +327,7 @@ class PoolPlanner(KVBlockPlanner):
     requests are never starved of blocks by new admissions.
     """
 
-    def __init__(self, pool: KVPool, running: list) -> None:
+    def __init__(self, pool: KVPool, running: list[RequestState]) -> None:
         self._pool = pool
         decode_growth = sum(
             state.kv.blocks_for_append(1) for state in running if state.kv is not None
@@ -332,7 +337,7 @@ class PoolPlanner(KVBlockPlanner):
     def available_blocks(self) -> int:
         return self._available
 
-    def prefill_blocks(self, state) -> int:
+    def prefill_blocks(self, state: RequestState) -> int:
         return self._pool.prefill_block_cost(
             state.request.prompt,
             state.prefill_tokens,
@@ -340,7 +345,7 @@ class PoolPlanner(KVBlockPlanner):
             shareable=not getattr(state, "kv_private", False),
         )
 
-    def chunk_blocks(self, state, tokens: int) -> int:
+    def chunk_blocks(self, state: RequestState, tokens: int) -> int:
         if state.kv is not None:
             # Half-prefilled: the chunk is plain growth of its cache.
             return state.kv.blocks_for_append(tokens)

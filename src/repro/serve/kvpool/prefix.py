@@ -18,6 +18,7 @@ describes contiguous, resident prefix KV.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,7 +27,7 @@ from repro.errors import ModelError
 from repro.serve.kvpool.allocator import BlockAllocator
 
 
-@dataclass
+@dataclass(slots=True)
 class TrieNode:
     """One full block of a cached prompt prefix."""
 
@@ -57,7 +58,7 @@ class PrefixCache:
     def __len__(self) -> int:
         return len(self._nodes)
 
-    def _chunks(self, tokens: np.ndarray):
+    def _chunks(self, tokens: np.ndarray) -> Iterator[tuple[int, ...]]:
         """Full-block token tuples, lazily — walks usually break early."""
         size = self._block_size
         for i in range(len(tokens) // size):

@@ -27,7 +27,7 @@ requests enter and results leave.  The pre-redesign
 from __future__ import annotations
 
 import warnings
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -38,6 +38,7 @@ from repro.serve.handle import RequestHandle, TokenDelta
 from repro.serve.metrics import EngineMetrics
 from repro.serve.params import SamplingParams
 from repro.serve.request import CompletedRequest
+from repro.serve.telemetry import EngineTelemetry
 
 
 class LLM:
@@ -216,7 +217,7 @@ class LLM:
         return self.engine.metrics()
 
     @property
-    def telemetry(self):
+    def telemetry(self) -> EngineTelemetry:
         """The engine's :class:`~repro.serve.telemetry.EngineTelemetry`
         bundle (counter registry, optional tracer, exporters)."""
         return self.engine.telemetry

@@ -20,7 +20,7 @@ shows up in the tail instead of averaging away.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

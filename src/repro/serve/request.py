@@ -12,12 +12,17 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ModelError, RequestError
 from repro.llm.attention import KVCache
 from repro.serve.params import SamplingParams
+
+if TYPE_CHECKING:
+    from repro.llm.kv_quant import KVFormat
+    from repro.serve.kvpool.paged import SequenceKV
 
 
 class RequestStatus(enum.Enum):
@@ -69,7 +74,10 @@ class Request:
 
     request_id: int
     prompt: np.ndarray
-    params: SamplingParams | None = None
+    # Declared non-optional: __post_init__ builds a recipe from the
+    # legacy scalars when the caller omits one, so every constructed
+    # Request carries a SamplingParams.
+    params: SamplingParams = None  # type: ignore[assignment]
     max_new_tokens: int | None = None
     temperature: float = 0.0
     top_k: int = 20
@@ -122,19 +130,21 @@ class RequestState:
     request: Request
     status: RequestStatus = RequestStatus.WAITING
     caches: list[KVCache] | None = None
-    #: Paged-pool handle (``repro.serve.kvpool.SequenceKV``) when the
-    #: engine runs in kv_pool mode; None for unpaged caches.
-    kv: object | None = None
+    #: Paged-pool handle when the engine runs in kv_pool mode; None for
+    #: unpaged caches.
+    kv: SequenceKV | None = None
     #: Prompt positions already prefilled (chunked prefill progress).
     #: Strictly between 0 and the prompt length, the request holds a
     #: partial KV cache and is mid-way through a chunked prefill.
     prefill_pos: int = 0
     generated: list[int] = field(default_factory=list)
-    rng: np.random.Generator | None = None
+    # Declared non-optional: __post_init__ seeds a default generator,
+    # so decode code never has to narrow it.
+    rng: np.random.Generator = None  # type: ignore[assignment]
     preemptions: int = 0
     #: Resolved KV format for this request (the per-request override or
     #: the engine-wide default), set at submit time; None before then.
-    kv_format: object | None = None
+    kv_format: KVFormat | None = None
     #: Mean stored bits per cached K/V element under ``kv_format`` —
     #: what the per-request traffic model charges.
     kv_bits: float = 16.0

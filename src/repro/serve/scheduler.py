@@ -55,19 +55,24 @@ decoding recipe is no longer an engine-wide setting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ModelError, RequestError
 from repro.serve.params import SamplingParams
-from repro.serve.request import RequestState
+from repro.serve.request import Request, RequestState
+
+if TYPE_CHECKING:
+    from repro.llm.config import ModelConfig
+    from repro.serve.kvpool.pool import KVPool
 
 
 def validate_admission(
     prompt: np.ndarray,
     params: SamplingParams,
-    model_config,
-    pool=None,
+    model_config: ModelConfig,
+    pool: KVPool | None = None,
 ) -> None:
     """Per-request worst-case token costing at the admission boundary.
 
@@ -77,6 +82,11 @@ def validate_admission(
     worst case).  Rejects, with :class:`~repro.errors.RequestError`
     *before* the request enters the queue:
 
+    * a prompt that is not a 1-D array of an integer dtype (a float
+      prompt passes every range check, then blows up steps later as a
+      fancy-index failure inside the embedding — wedging the engine,
+      since the failed request would stay queued and re-raise on every
+      subsequent step);
     * an empty prompt;
     * a total exceeding the model's ``max_seq_len``;
     * prompt token ids outside ``[0, vocab_size)`` (a deferred prefill
@@ -88,8 +98,19 @@ def validate_admission(
       :class:`~repro.serve.kvpool.pool.KVPool`), a block footprint the
       pool could never guarantee even with every other request evicted.
     """
+    if prompt.ndim != 1:
+        raise RequestError(
+            f"prompt must be a 1-D token array, got shape {prompt.shape}"
+        )
     if int(prompt.shape[0]) < 1:
         raise RequestError("prompt must contain at least one token")
+    if not np.issubdtype(prompt.dtype, np.integer):
+        # Checked after emptiness: np.asarray([]) defaults to float64.
+        raise RequestError(
+            f"prompt token ids must have an integer dtype, got {prompt.dtype}; "
+            "a non-integer prompt fails as a deferred indexing error inside "
+            "the embedding and would wedge the engine"
+        )
     if params.kv_format is not None:
         try:
             params.kv_format.bits_per_element(model_config.n_layers)
@@ -236,7 +257,7 @@ class PrefillChunk:
     tokens: int
 
     @property
-    def request(self):
+    def request(self) -> Request:
         """The underlying request (convenience passthrough)."""
         return self.state.request
 

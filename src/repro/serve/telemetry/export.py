@@ -29,7 +29,8 @@ from __future__ import annotations
 import json
 import logging
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.errors import ModelError
 from repro.serve.telemetry.config import TelemetryConfig

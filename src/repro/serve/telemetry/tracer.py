@@ -25,6 +25,7 @@ compare span durations to the report tightly instead of within slop.
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -130,7 +131,9 @@ class StepTracer:
         )
 
     @contextmanager
-    def span(self, name: str, *, track: str | None = None, **args: object):
+    def span(
+        self, name: str, *, track: str | None = None, **args: object
+    ) -> Iterator[None]:
         """``with tracer.span("decode.attention", size=...):`` region."""
         self.begin(name, track=track, **args)
         try:

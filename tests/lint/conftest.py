@@ -1,0 +1,32 @@
+"""Fixture helpers: fabricate miniature src/repro trees for rule tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def make_repo(tmp_path):
+    """Build ``<tmp>/src/repro/...`` from {relative_path: source} and
+    return the repo root (the directory containing ``src``)."""
+
+    def build(files: dict[str, str]) -> Path:
+        root = tmp_path / "repo"
+        package = root / "src" / "repro"
+        package.mkdir(parents=True, exist_ok=True)
+        (package / "__init__.py").write_text("")
+        for rel, source in files.items():
+            path = package / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            for parent in path.parents:
+                if parent == package:
+                    break
+                init = parent / "__init__.py"
+                if not init.exists():
+                    init.write_text("")
+            path.write_text(source)
+        return root
+
+    return build

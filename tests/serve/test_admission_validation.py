@@ -1,0 +1,78 @@
+"""Regression: non-integer prompts must be rejected at the admission
+boundary, not explode steps later inside the embedding.
+
+Before the fix, ``validate_admission`` range-checked token ids without
+checking the dtype, so a float prompt (e.g. the output of tokenizer
+math gone wrong) sailed through ``submit`` and then raised IndexError
+deep inside the embedding on the *next step* — and, because the failed
+request stayed queued, on every step after that: one bad request
+permanently wedged the engine for all tenants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import RequestError
+from repro.llm.zoo import get_model
+from repro.serve import Engine, EngineConfig, SamplingParams
+from repro.serve.scheduler import validate_admission
+
+
+@pytest.fixture(scope="module")
+def model():
+    return get_model("opt-125m-sim")
+
+
+def test_float_prompt_rejected_at_submit(model):
+    engine = Engine(model, config=EngineConfig(max_batch_size=2))
+    with pytest.raises(RequestError, match="integer dtype"):
+        engine.submit(np.array([1.5, 2.5]), SamplingParams(max_new_tokens=2))
+    # The boundary rejection must leave the engine serviceable.
+    assert not engine.has_work()
+    handle = engine.submit([3, 1, 2], SamplingParams(max_new_tokens=2))
+    engine.run_until_idle()
+    result = handle.result()
+    assert len(result.tokens) - result.prompt_length == 2
+
+
+def test_float_prompt_no_longer_wedges_the_step_loop(model):
+    # The pre-fix failure mode: submit succeeded, then every step
+    # raised IndexError forever.  Now the engine never sees the request.
+    engine = Engine(model, config=EngineConfig(max_batch_size=2))
+    with pytest.raises(RequestError):
+        engine.submit(np.array([0.25, 1.75, 2.0]), SamplingParams(max_new_tokens=1))
+    outputs = engine.step()  # must not raise, must be a no-op
+    assert outputs.deltas == ()
+
+
+def test_validate_admission_dtype_matrix(model):
+    params = SamplingParams(max_new_tokens=1)
+    config = model.config
+    for good in (np.array([1, 2]), np.array([1, 2], dtype=np.uint16)):
+        validate_admission(good, params, config)
+    for bad in (
+        np.array([1.0, 2.0]),
+        np.array([1, 2], dtype=np.float16),
+        np.array([True, False]),
+        np.array([1 + 0j, 2 + 0j]),
+    ):
+        with pytest.raises(RequestError, match="integer dtype"):
+            validate_admission(bad, params, config)
+
+
+def test_empty_prompt_message_unchanged(model):
+    # np.asarray([]) is float64; emptiness must still win the race so
+    # the long-standing empty-prompt message stays stable.
+    with pytest.raises(RequestError, match="at least one token"):
+        validate_admission(
+            np.asarray([]), SamplingParams(max_new_tokens=1), model.config
+        )
+
+
+def test_non_1d_prompt_rejected(model):
+    with pytest.raises(RequestError, match="1-D"):
+        validate_admission(
+            np.array([[1, 2], [3, 4]]), SamplingParams(max_new_tokens=1), model.config
+        )
