@@ -17,7 +17,11 @@ TTFT and inter-token latency percentiles — the latency surface
 section exercises the *abort* lifecycle: a paged engine serving a
 batch from which a fraction of requests is cancelled mid-flight,
 recording the abort rate, wasted (pre-abort) tokens, and that the
-allocator leaks nothing.  Results are written to
+allocator leaks nothing.  A fifth section is the *chaos* smoke: a
+fixed-seed :class:`FaultPlan` injected into a paged chunked engine,
+hard-gating bitwise parity of surviving requests against a fault-free
+twin, zero leaked blocks, and exact failure accounting (results in
+``BENCH_chaos.json``).  Results are written to
 ``BENCH_serving.json`` so CI can accumulate a perf trajectory as a
 workflow artifact.
 
@@ -57,6 +61,10 @@ from repro.serve import (  # noqa: E402
     LLM,
     Engine,
     EngineConfig,
+    FaultPlan,
+    FaultRule,
+    RequestStatus,
+    RetryPolicy,
     SamplingParams,
     TelemetryConfig,
     validate_chrome_trace,
@@ -80,6 +88,11 @@ LONG_PROMPT_DECODERS = 6
 ABORT_DEFAULT = 8
 ABORT_SMOKE = 4
 ABORT_EVERY = 3
+
+#: Chaos workload sizes (requests) for full and --smoke runs; the
+#: fixed-seed plan targets request ids up to 3, so keep >= 4.
+CHAOS_DEFAULT = 8
+CHAOS_SMOKE = 6
 
 
 def make_prompts(count: int, vocab_size: int, seed: int = 0) -> list[np.ndarray]:
@@ -411,6 +424,132 @@ def bench_abort(model, num_requests, max_new_tokens, kv_mode, bits):
     ]
 
 
+#: The fixed-seed chaos plan the --chaos workload injects: a transient
+#: decode fault (retried, must stay bitwise), a permanent decode fault
+#: (quarantined), probabilistic chunk-prefill faults, and one
+#: batch-level pool-allocation fault (whole-step rollback).
+CHAOS_SEED = 1234
+
+
+def chaos_plan() -> FaultPlan:
+    return FaultPlan(
+        rules=(
+            FaultRule(site="model.decode", kind="transient", request_id=1),
+            FaultRule(site="model.decode", kind="permanent", request_id=3),
+            FaultRule(
+                site="model.chunk",
+                kind="transient",
+                probability=0.5,
+                max_fires=2,
+            ),
+            FaultRule(site="pool.allocate", kind="transient", step=4),
+        ),
+        seed=CHAOS_SEED,
+    )
+
+
+def bench_chaos(model, num_requests, max_new_tokens, kv_mode, bits):
+    """Chaos workload: a fixed-seed fault plan against a live engine.
+
+    Runs the same paged, chunked workload twice — once fault-free,
+    once under :func:`chaos_plan` — and enforces the failure-isolation
+    invariants as hard gates (non-zero exit on violation, so CI
+    catches a regression):
+
+    * every request the faults did not fail is token-bitwise identical
+      to the fault-free twin (retried requests included);
+    * the pool leaks zero blocks after drain;
+    * accounting is exact — every injected fault is either a retry or
+      a failure;
+    * the engine still completes new work after the faults.
+    """
+    rng = np.random.default_rng(29)
+    prompts = [
+        rng.integers(0, model.config.vocab_size, size=8 + (index % 7))
+        for index in range(num_requests)
+    ]
+
+    def build(plan):
+        return Engine(
+            model,
+            EngineConfig(
+                max_batch_size=num_requests,
+                max_batch_tokens=max(48, 8 * num_requests),
+                chunked_prefill=True,
+                kv_format=KVFormat(mode=kv_mode, mantissa_bits=bits),
+                kv_pool=True,
+                kv_pool_blocks=max(64, 8 * num_requests),
+                kv_block_size=16,
+                faults=plan,
+                retry=RetryPolicy(max_retries=2, backoff_steps=1),
+            ),
+        )
+
+    params = SamplingParams(max_new_tokens=max_new_tokens)
+
+    twin = build(None)
+    twin_handles = [twin.submit(prompt, params) for prompt in prompts]
+    twin.run_until_idle(max_steps=2000)
+    expected = [handle.result().tokens for handle in twin_handles]
+
+    engine = build(chaos_plan())
+    handles = [engine.submit(prompt, params) for prompt in prompts]
+    engine.run_until_idle(max_steps=2000)
+
+    survivors = 0
+    for index, handle in enumerate(handles):
+        if handle.status() is not RequestStatus.FINISHED:
+            continue
+        survivors += 1
+        if not np.array_equal(handle.result().tokens, expected[index]):
+            raise SystemExit(
+                f"CHAOS PARITY: request {index} diverged from its "
+                f"fault-free twin (kv={kv_mode})"
+            )
+    leaked = engine._pool.leaked_blocks()
+    if leaked:
+        raise SystemExit(
+            f"CHAOS LEAK: {leaked} pool blocks still referenced after "
+            f"drain (kv={kv_mode})"
+        )
+    metrics = engine.metrics()
+    fired = engine.fault_injector.fired_total
+    if fired != metrics.fault_retries + metrics.failed:
+        raise SystemExit(
+            f"CHAOS ACCOUNTING: {fired} faults fired but "
+            f"{metrics.fault_retries} retries + {metrics.failed} "
+            f"failures recorded (kv={kv_mode})"
+        )
+    probe = engine.submit(prompts[0], params)
+    engine.run_until_idle(max_steps=2000)
+    if probe.status() is not RequestStatus.FINISHED:
+        raise SystemExit(
+            f"CHAOS SERVICEABILITY: post-fault submission ended "
+            f"{probe.status().value} (kv={kv_mode})"
+        )
+    if engine._pool.leaked_blocks():
+        raise SystemExit(
+            f"CHAOS LEAK: post-fault submission leaked blocks (kv={kv_mode})"
+        )
+    return [
+        {
+            "mode": "engine+chaos",
+            "workload": "chaos",
+            "kv_mode": kv_mode,
+            "requests": num_requests,
+            "plan_seed": CHAOS_SEED,
+            "faults_fired": fired,
+            "fired_by_site": dict(engine.fault_injector.fired_by_site),
+            "failed": metrics.failed,
+            "fault_retries": metrics.fault_retries,
+            "survivors": survivors,
+            "leaked_blocks": leaked,
+            "tokens_per_second": metrics.tokens_per_second,
+            "preemptions": metrics.preemptions,
+        }
+    ]
+
+
 def bench_traced(model, trace_path, kv_mode, bits):
     """Traced mixed workload: chunked prefill + grouped decode + abort.
 
@@ -476,6 +615,21 @@ def render_abort(rows) -> str:
             f"{row['kv_mode']:>5} {row['mode']:>13} {row['batch_size']:>5} "
             f"{row['aborted']:>8} {row['wasted_tokens']:>7} "
             f"{row['leaked_blocks']:>7} {row['tokens_per_second']:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_chaos(rows) -> str:
+    lines = [
+        f"{'kv':>5} {'mode':>13} {'reqs':>5} {'fired':>6} "
+        f"{'failed':>7} {'retries':>8} {'leaked':>7} {'tok/s':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['kv_mode']:>5} {row['mode']:>13} {row['requests']:>5} "
+            f"{row['faults_fired']:>6} {row['failed']:>7} "
+            f"{row['fault_retries']:>8} {row['leaked_blocks']:>7} "
+            f"{row['tokens_per_second']:>8.1f}"
         )
     return "\n".join(lines)
 
@@ -580,6 +734,21 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--chaos",
+        type=int,
+        default=None,
+        help=(
+            "requests in the chaos workload (fixed-seed fault plan; "
+            "parity-, leak- and accounting-gated); 0 skips it "
+            f"(default {CHAOS_DEFAULT}, {CHAOS_SMOKE} with --smoke)"
+        ),
+    )
+    parser.add_argument(
+        "--chaos-output",
+        default="BENCH_chaos.json",
+        help="chaos workload result JSON path",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -616,6 +785,10 @@ def main(argv: list[str] | None = None) -> int:
         args.abort = ABORT_SMOKE if args.smoke else ABORT_DEFAULT
     if args.abort < 0:
         parser.error("--abort must be >= 0")
+    if args.chaos is None:
+        args.chaos = CHAOS_SMOKE if args.smoke else CHAOS_DEFAULT
+    if args.chaos < 0:
+        parser.error("--chaos must be >= 0")
 
     try:
         batch_sizes = [int(part) for part in args.batch_sizes.split(",") if part]
@@ -691,6 +864,37 @@ def main(argv: list[str] | None = None) -> int:
             )
         print()
         print(render_abort(abort_rows))
+
+    chaos_rows = []
+    if args.chaos:
+        for kv_mode in kv_modes:
+            chaos_rows.extend(
+                bench_chaos(
+                    model,
+                    args.chaos,
+                    args.max_new_tokens,
+                    kv_mode,
+                    args.kv_mantissa_bits,
+                )
+            )
+        print()
+        print(render_chaos(chaos_rows))
+        chaos_output = Path(args.chaos_output)
+        chaos_output.write_text(
+            json.dumps(
+                {
+                    "benchmark": "serving_chaos",
+                    "model": args.model,
+                    "plan_seed": CHAOS_SEED,
+                    "smoke": args.smoke,
+                    "python": platform.python_version(),
+                    "results": chaos_rows,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote {chaos_output}")
 
     trace_row = None
     if args.trace:

@@ -41,12 +41,45 @@ class RequestError(ModelError):
     """
 
 
-class RequestAbortedError(ReproError):
+class RequestAbortedError(ModelError):
     """The result of an aborted request was demanded.
 
     Raised by :meth:`repro.serve.RequestHandle.result` when the request
     was cancelled via ``abort()`` — an aborted request has no final
     token array; its partial tokens remain readable on the handle.
+    Subclasses :class:`ModelError` so the serving layer's fault
+    taxonomy (every serve/ raise is a ModelError) holds uniformly.
+    """
+
+
+class RequestFailedError(ModelError):
+    """The result of a failed request was demanded.
+
+    Raised by :meth:`repro.serve.RequestHandle.result` when the request
+    reached the terminal ``FAILED`` status — quarantined after a
+    permanent fault, retries exhausted, past its deadline, or shed at
+    admission under KV pressure.  Carries the original fault (also the
+    ``__cause__``) so callers can distinguish failure classes; the
+    partial tokens remain readable on the handle.
+    """
+
+    def __init__(self, message: str, fault: BaseException | None = None) -> None:
+        super().__init__(message)
+        #: The original exception that failed the request (an
+        #: :class:`~repro.serve.faults.InjectedFault`,
+        #: :class:`DeadlineExceededError`, ...); None when the failure
+        #: carried no exception (e.g. load shedding).
+        self.fault = fault
+
+
+class DeadlineExceededError(ModelError):
+    """A request outlived its ``SamplingParams.deadline_s`` budget.
+
+    Enforced at step boundaries: the engine sweeps waiting and running
+    requests at the start of every step and fails any whose deadline
+    has passed, releasing their KV residency.  Stored as the failed
+    request's ``failure`` and surfaced through
+    :class:`RequestFailedError` by ``RequestHandle.result()``.
     """
 
 

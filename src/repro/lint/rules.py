@@ -1,4 +1,4 @@
-"""The repo-specific rules (RPL001–RPL010).
+"""The repo-specific rules (RPL001–RPL011).
 
 Each rule carries a one-line rationale and a pointer to the invariant
 it guards (the "Enforced invariants" section of ``serve/README.md``
@@ -480,17 +480,20 @@ class FrozenFieldsOnlyInPostInit(Rule):
 
 class NoSwallowedExceptions(Rule):
     code = "RPL007"
-    title = "no bare except / blanket except-pass in serve/"
+    title = "no bare except / blanket except without re-raise in serve/"
     rationale = "a swallowed exception mid-step leaves engine state (block refcounts, request queues) silently corrupted"
     invariant = "PR 2/4 rollback paths: serve/README.md 'Preemption & abort' (failures must propagate or roll back)"
     explain = (
         "src/repro/serve may not contain bare 'except:' handlers, nor\n"
-        "'except Exception:' / 'except BaseException:' handlers whose body\n"
-        "is only pass/...  The engine's mid-step failure contract is\n"
+        "'except Exception:' / 'except BaseException:' handlers that do not\n"
+        "re-raise.  The engine's mid-step failure contract is\n"
         "rollback-then-reraise (block refcounts, wave queues, handle states\n"
-        "are restored before the exception propagates); swallowing instead\n"
-        "leaves the pool and scheduler silently inconsistent.  Broad handlers\n"
-        "that do real work and re-raise remain fine."
+        "are restored before the exception propagates); a blanket handler\n"
+        "that absorbs the failure instead — whether its body is 'pass' or\n"
+        "does real work — leaves the pool and scheduler silently\n"
+        "inconsistent.  Blanket handlers containing a 'raise' remain fine;\n"
+        "handlers naming a specific exception class are the engine's own\n"
+        "failure-semantics business (RPL011 covers what they may raise)."
     )
 
     def check(self, index: ModuleIndex) -> list[Finding]:
@@ -517,7 +520,9 @@ class NoSwallowedExceptions(Rule):
                     if isinstance(node.type, ast.Attribute)
                     else getattr(node.type, "id", "")
                 )
-                if type_name in ("Exception", "BaseException") and all(
+                if type_name not in ("Exception", "BaseException"):
+                    continue
+                swallows = all(
                     isinstance(stmt, ast.Pass)
                     or (
                         isinstance(stmt, ast.Expr)
@@ -525,13 +530,30 @@ class NoSwallowedExceptions(Rule):
                         and stmt.value.value is Ellipsis
                     )
                     for stmt in node.body
-                ):
+                )
+                reraises = any(
+                    isinstance(sub, ast.Raise)
+                    for stmt in node.body
+                    for sub in ast.walk(stmt)
+                )
+                if swallows:
                     findings.append(
                         self.finding(
                             module,
                             node,
                             f"'except {type_name}: pass' swallows mid-step failures "
                             "(roll back and re-raise instead)",
+                            qual,
+                        )
+                    )
+                elif not reraises:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"blanket 'except {type_name}:' without a re-raise "
+                            "absorbs unknown failure classes (roll back what "
+                            "you can, then propagate)",
                             qual,
                         )
                     )
@@ -779,6 +801,87 @@ class MatmulsRouteThroughAttention(Rule):
         return findings
 
 
+class RaisesModelErrors(Rule):
+    code = "RPL011"
+    title = "serve/ raises ModelError subclasses only"
+    rationale = "clients catch ReproError/ModelError at the LLM boundary; a stray ValueError from deep in the engine escapes every typed handler"
+    invariant = "PR 11 failure semantics: serve/README.md 'Failure semantics' (one fault taxonomy rooted at ModelError)"
+    explain = (
+        "Every 'raise' in src/repro/serve must raise a subclass of\n"
+        "repro.errors.ModelError, so callers can catch the serving stack's\n"
+        "entire failure surface with one typed handler and\n"
+        "RequestHandle.result() can re-wrap any stored failure as a\n"
+        "RequestFailedError.  The member set is computed as a fixpoint over\n"
+        "every ClassDef in the package (seeded with ModelError itself), so\n"
+        "locally defined fault types count.  Bare 're-raise' statements and\n"
+        "raises of lowercase-named variables (e.g. 'raise cls(...)') are\n"
+        "not statically resolvable and are skipped."
+    )
+
+    SEED = "ModelError"
+
+    @staticmethod
+    def _base_names(node: ast.ClassDef) -> list[str]:
+        names = []
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                names.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                names.append(base.attr)
+        return names
+
+    def _members(self, index: ModuleIndex) -> frozenset[str]:
+        """Fixpoint: class names transitively based on ModelError."""
+        bases_by_class: dict[str, list[str]] = {}
+        for module in index.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    bases_by_class.setdefault(node.name, []).extend(
+                        self._base_names(node)
+                    )
+        members = {self.SEED}
+        changed = True
+        while changed:
+            changed = False
+            for name, bases in bases_by_class.items():
+                if name not in members and any(base in members for base in bases):
+                    members.add(name)
+                    changed = True
+        return frozenset(members)
+
+    def check(self, index: ModuleIndex) -> list[Finding]:
+        members = self._members(index)
+        findings: list[Finding] = []
+        for module in index.modules:
+            if not module.name.startswith("repro.serve"):
+                continue
+            for node, qual in _walk_with_context(module.tree):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                exc = node.exc
+                if isinstance(exc, ast.Call):
+                    exc = exc.func
+                if isinstance(exc, ast.Attribute):
+                    name = exc.attr
+                elif isinstance(exc, ast.Name):
+                    name = exc.id
+                else:
+                    continue
+                if not name[:1].isupper():
+                    continue  # a variable holding the class, not a class name
+                if name not in members:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"raise {name} in serve/ (not a ModelError subclass; "
+                            "clients catch the stack via ModelError)",
+                            qual,
+                        )
+                    )
+        return findings
+
+
 RULES: tuple[Rule, ...] = (
     NoWallClock(),
     NoHotPathAllocation(),
@@ -790,6 +893,7 @@ RULES: tuple[Rule, ...] = (
     AllMatchesBindings(),
     NoImportCycles(),
     MatmulsRouteThroughAttention(),
+    RaisesModelErrors(),
 )
 
 

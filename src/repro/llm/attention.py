@@ -570,6 +570,23 @@ class KVCache:
     def length(self) -> int:
         return self._len
 
+    def truncate(self, length: int) -> None:
+        """Roll the cache back to ``length`` stored positions.
+
+        The engine's batch-level fault rollback: positions beyond
+        ``length`` are logically dropped (the preallocated buffers keep
+        their capacity) and the float32 memo is clamped so the next
+        :meth:`view` re-dequantizes nothing stale.  Re-appending the
+        same rows afterwards reproduces the pre-truncation bytes
+        exactly.
+        """
+        if not 0 <= length <= self._len:
+            raise ModelError(
+                f"truncate({length}) outside stored length {self._len}"
+            )
+        self._len = length
+        self._deq_len = min(self._deq_len, length)
+
 
 class ReferenceKVCache(KVCache):
     """The pre-optimization O(history)-per-step storage, kept as oracle.
@@ -626,6 +643,19 @@ class ReferenceKVCache(KVCache):
     @property
     def length(self) -> int:
         return 0 if self._ref_k is None else self._ref_k.shape[2]
+
+    def truncate(self, length: int) -> None:
+        if not 0 <= length <= self.length:
+            raise ModelError(
+                f"truncate({length}) outside stored length {self.length}"
+            )
+        if self._ref_k is not None:
+            if length == 0:
+                self._ref_k = None
+                self._ref_v = None
+            else:
+                self._ref_k = self._ref_k[:, :, :length]
+                self._ref_v = self._ref_v[:, :, :length]
 
 
 # -- grouped batched attention ------------------------------------------------

@@ -35,6 +35,19 @@ with ``EngineConfig(kv_pool=True)`` (:mod:`repro.serve.kvpool`), and
 per-request latency plus aggregate throughput/traffic metrics
 (:mod:`repro.serve.metrics`).
 
+Failure semantics (:mod:`repro.serve.faults`) make the engine
+fault-tolerant: deterministic seeded fault injection
+(:class:`~repro.serve.faults.FaultPlan` /
+:class:`~repro.serve.faults.FaultInjector`) drives per-request
+quarantine (terminal ``FAILED`` status, residency released through the
+shared rollback path), batch-level step rollback that leaves
+surviving requests' KV bitwise-untouched, bounded-backoff retry of
+transient faults (:class:`~repro.serve.faults.RetryPolicy`),
+per-request deadlines (``SamplingParams.deadline_s``), and graceful
+degradation under KV-pool pressure
+(:class:`~repro.serve.faults.PressurePolicy`: load-shedding and
+opt-in KV-format downgrades).
+
 :func:`~repro.serve.llm.serve_batch` survives as a deprecated shim
 over ``LLM.generate`` with identical outputs.
 
@@ -44,6 +57,16 @@ See ``src/repro/serve/README.md`` for a walkthrough and
 
 from repro.llm.kv_quant import KVFormat
 from repro.serve.engine import Engine, EngineConfig
+from repro.serve.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    PermanentFault,
+    PressurePolicy,
+    RetryPolicy,
+    TransientFault,
+)
 from repro.serve.handle import RequestHandle, StepOutputs, TokenDelta
 from repro.serve.kvpool import (
     BlockAllocator,
@@ -99,21 +122,28 @@ __all__ = [
     "EngineConfig",
     "EngineMetrics",
     "EngineTelemetry",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "FcfsPolicy",
+    "InjectedFault",
     "KVBlockPlanner",
     "KVFormat",
     "KVPool",
     "LLM",
     "OutOfBlocksError",
     "PagedKVCache",
+    "PermanentFault",
     "Preemptor",
     "PrefillChunk",
     "PrefixCache",
+    "PressurePolicy",
     "Request",
     "RequestHandle",
     "RequestMetrics",
     "RequestState",
     "RequestStatus",
+    "RetryPolicy",
     "SamplingParams",
     "SchedulerPolicy",
     "SequenceKV",
@@ -125,6 +155,7 @@ __all__ = [
     "TelemetryConfig",
     "TokenDelta",
     "TraceEvent",
+    "TransientFault",
     "chrome_trace",
     "get_policy",
     "plan_step",

@@ -67,7 +67,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ModelError, RequestError
+from repro.errors import DeadlineExceededError, ModelError, RequestError
 from repro.hw.traffic import (
     StepTraffic,
     decode_request_kv_bytes,
@@ -90,6 +90,17 @@ from repro.llm.kv_quant import (
     make_cache_factory,
 )
 from repro.llm.transformer import CausalLM
+from repro.serve.faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    PressurePolicy,
+    RetryPolicy,
+    TransientFault,
+    inject,
+    injection_scope,
+    request_scope,
+)
 from repro.serve.handle import RequestHandle, StepOutputs, TokenDelta
 from repro.serve.kvpool.paged import SequenceKV
 from repro.serve.kvpool.pool import DEFAULT_BLOCK_SIZE, KVPool
@@ -178,6 +189,19 @@ class EngineConfig:
             span tracing for Chrome-trace export and per-step summary
             logging.  The per-engine counter registry exists regardless
             of this config; only the tracer and log lines are optional.
+        faults: optional seeded
+            :class:`~repro.serve.faults.FaultPlan` evaluated at the
+            named injection points threaded through the stack
+            (chaos testing).  None (the default) makes every probe a
+            no-op.
+        retry: bounded-backoff
+            :class:`~repro.serve.faults.RetryPolicy` applied to
+            transient faults — retried requests replay through the
+            bitwise recompute-on-resume path.
+        pressure: :class:`~repro.serve.faults.PressurePolicy` for
+            graceful degradation under KV-pool exhaustion (load
+            shedding / KV-format downgrade at admission); inert by
+            default and outside kv_pool mode.
     """
 
     max_batch_size: int = 8
@@ -194,6 +218,9 @@ class EngineConfig:
     attention_pad_waste: float = 0.125
     telemetry: TelemetryConfig = TelemetryConfig()
     kv_format: KVFormat | None = None
+    faults: FaultPlan | None = None
+    retry: RetryPolicy = RetryPolicy()
+    pressure: PressurePolicy = PressurePolicy()
 
     def __post_init__(self) -> None:
         # A bad config must fail at construction, never mid-step with
@@ -214,6 +241,21 @@ class EngineConfig:
             raise ModelError(
                 f"attention_pad_waste must lie in [0, 1), got "
                 f"{self.attention_pad_waste}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ModelError(
+                "faults must be a repro.serve.faults.FaultPlan or None, "
+                f"got {type(self.faults).__name__}"
+            )
+        if not isinstance(self.retry, RetryPolicy):
+            raise ModelError(
+                "retry must be a repro.serve.faults.RetryPolicy, "
+                f"got {type(self.retry).__name__}"
+            )
+        if not isinstance(self.pressure, PressurePolicy):
+            raise ModelError(
+                "pressure must be a repro.serve.faults.PressurePolicy, "
+                f"got {type(self.pressure).__name__}"
             )
         # kv_format is canonical; the legacy kv_mode/kv_mantissa_bits
         # kwargs are deprecation shims that build the equivalent format
@@ -332,10 +374,28 @@ class Engine:
         self._step_deltas: list[TokenDelta] = []
         self._step_index = 0
         self._aborted = 0
+        # Failure-semantics state: the seeded injector (None without a
+        # plan) and the engine-level failure counters summarize() folds
+        # in alongside `aborted`.
+        self._injector: FaultInjector | None = (
+            FaultInjector(self.config.faults)
+            if self.config.faults is not None
+            else None
+        )
+        self._failed = 0
+        self._fault_retries = 0
+        self._deadline_expired = 0
+        self._shed = 0
+        self._degraded = 0
         # Reusable (capacity, 1) decode-token scratch; grown by
         # doubling, filled in place each step instead of building a
         # fresh (batch, 1) array per step.
         self._decode_token_buf: np.ndarray | None = None
+
+    @property
+    def fault_injector(self) -> FaultInjector | None:
+        """The engine's seeded injector (None without a fault plan)."""
+        return self._injector
 
     # -- admission --------------------------------------------------------
 
@@ -408,8 +468,32 @@ class Engine:
         # "private" when its resolved byte layout differs from the
         # default — it then opts out of prefix sharing entirely.
         fmt = params.kv_format if params.kv_format is not None else self.config.kv_format
+        # Graceful degradation under KV pressure: headroom below the
+        # shed threshold refuses the admission outright (a FAILED
+        # handle, not an exception — the caller still observes it);
+        # below the degrade threshold, a request without an explicit
+        # format override is admitted at the policy's lower-bit format
+        # instead (prefix-signature privacy keeps it out of shared
+        # prefixes automatically when the layouts differ).
+        shed = False
+        degraded = False
+        pressure = self.config.pressure
+        if self._pool is not None and pressure.active:
+            headroom = (
+                self._pool.free_blocks + self._pool.reclaimable_blocks
+            ) / self._pool.num_blocks
+            if headroom < pressure.shed_below_free_fraction:
+                shed = True
+            elif (
+                params.kv_format is None
+                and pressure.degrade_below_free_fraction > 0.0
+                and headroom < pressure.degrade_below_free_fraction
+            ):
+                assert pressure.degraded_format is not None  # validated
+                fmt = pressure.degraded_format
+                degraded = True
         kv_private = (
-            params.kv_format is not None
+            (params.kv_format is not None or degraded)
             and fmt.signature(self._n_layers) != self._default_signature
         )
         request = Request(
@@ -417,13 +501,17 @@ class Engine:
             prompt=prompt,
             params=params,
         )
+        arrival = time.perf_counter()
         state = RequestState(
             request=request,
             arrival_step=self._step_index,
-            arrival_time=time.perf_counter(),
+            arrival_time=arrival,
             kv_format=fmt,
             kv_bits=fmt.bits_per_element(self._n_layers),
             kv_private=kv_private,
+            deadline=(
+                None if params.deadline_s is None else arrival + params.deadline_s
+            ),
         )
         self._waiting.append(state)
         handle = RequestHandle(self, state)
@@ -432,6 +520,27 @@ class Engine:
             self._tracer.lifecycle(
                 request.request_id, "QUEUED", prompt_tokens=int(prompt.shape[0])
             )
+        if degraded:
+            self._degraded += 1
+            if self._tracer is not None:
+                self._tracer.lifecycle(
+                    request.request_id, "DEGRADED", format=fmt.label
+                )
+        if shed:
+            self._waiting.remove(state)
+            self._release_residency(state)
+            self._shed += 1
+            self._fail_terminal(state, None, reason="shed")
+            return handle
+        if self._injector is not None:
+            # The admission injection site: a transient fault re-queues
+            # the request with backoff, a permanent one fails it at the
+            # gate.  Either way the handle is returned to the caller.
+            try:
+                self._injector.begin_step(self._step_index)
+                self._injector.probe("admission", request.request_id)
+            except InjectedFault as fault:
+                self._handle_request_fault(state, fault)
         return handle
 
     # -- cancellation ------------------------------------------------------
@@ -506,7 +615,11 @@ class Engine:
         # into the engine's own stats; the module globals only ever see
         # direct model calls made outside an engine.
         with stats_scope(self._hot_stats, self._attn_stats, self._tracer):
-            return self._step_scoped()
+            if self._injector is None:
+                return self._step_scoped()
+            self._injector.begin_step(self._step_index)
+            with injection_scope(self._injector):
+                return self._step_scoped()
 
     def _step_scoped(self) -> StepOutputs:
         started = time.perf_counter()  # include scheduling in step cost
@@ -521,14 +634,25 @@ class Engine:
         dispatches_before, grouped_before, _ = self._attn_stats.snapshot()
         n_layers = self.model.config.n_layers
         padded_reads = 0
+        # Deadlines are enforced at step boundaries: sweep before
+        # planning so an expired request never costs another forward.
+        self._expire_deadlines(started)
         if tracer is not None:
             tracer.begin(
                 "step.schedule",
                 waiting=len(self._waiting),
                 running=len(self._running),
             )
+        # Requests backing off after a transient fault keep their queue
+        # slot but are hidden from the planner until their retry step
+        # (they hold no residency, so inflight accounting is unchanged).
+        eligible = [
+            state
+            for state in self._waiting
+            if state.retry_at_step <= self._step_index
+        ]
         plan = plan_step(
-            self._waiting,
+            eligible,
             self._running,
             self._policy,
             self.config.max_batch_size,
@@ -568,6 +692,11 @@ class Engine:
         waves = self._plan_waves(chunked)
         executed_chunks = 0
         first_wave = True
+        # Set when an injected fault aborts the forward lanes: the rest
+        # of the step (later waves, decode-only lane, legacy prefills)
+        # is skipped; every participant was rolled back to its pre-step
+        # KV state, so the next step replays it bitwise.
+        faulted = False
         # The weight stream is charged once per *step*: the mixed step
         # is the fusion quantum of the analytic traffic model, so the
         # decode lane's charge covers every chunk riding along, and an
@@ -590,6 +719,8 @@ class Engine:
             decode_contexts = [state.context_length for state in wave_decodes]
             padded_before = self._attn_stats.padded_slots
             try:
+                for state in wave_decodes:
+                    inject("model.decode", state.request.request_id)
                 chunk_logits, decode_logits = self.model.forward_mixed_step(
                     [
                         run.state.request.prompt[
@@ -604,13 +735,28 @@ class Engine:
                     decode_caches=[state.caches for state in wave_decodes],
                     dispatcher=self._dispatcher,
                 )
+            except InjectedFault as fault:
+                # Injected faults have precise rollback semantics: every
+                # participant's KV returns to its pre-step watermark, an
+                # attributed victim is quarantined or retried, and the
+                # step is abandoned (the survivors replay bitwise next
+                # step).  The engine stays serviceable.
+                self._recover_step_fault(fault, runs, wave_decodes, decode_contexts)
+                decodes = []
+                faulted = True
+                break
             except Exception:
-                # The chunk lane runs before the decode lane, so a
-                # failure there leaves decode caches untouched;
-                # releasing the chunk participants' partial caches puts
-                # them back to a clean un-prefilled waiting state (no
-                # pool blocks leak).  Earlier waves already committed
-                # consistent states (completed or half-prefilled).
+                # Blanket-with-reraise, deliberately: an *unknown*
+                # failure class mid-forward may have corrupted shared
+                # engine state, so the engine must not absorb it — but
+                # it still rolls back what it provably can before
+                # propagating.  The chunk lane runs before the decode
+                # lane, so a failure there leaves decode caches
+                # untouched; releasing the chunk participants' partial
+                # caches puts them back to a clean un-prefilled waiting
+                # state (no pool blocks leak).  Earlier waves already
+                # committed consistent states (completed or
+                # half-prefilled).
                 for run in runs:
                     self._rollback_chunk(run.state)
                 raise
@@ -693,7 +839,7 @@ class Engine:
                     state.status = RequestStatus.PREFILLING
                     partial += 1
 
-        if first_wave and decodes:
+        if first_wave and decodes and not faulted:
             # No chunks this step: plain batched decode (still reserving
             # its block growth first in pool mode).
             if self._pool is not None:
@@ -702,11 +848,22 @@ class Engine:
             if decodes:
                 decode_contexts = [state.context_length for state in decodes]
                 padded_before = self._attn_stats.padded_slots
-                decode_logits = self.model.forward_decode_batch(
-                    self._decode_tokens(decodes),
-                    [state.caches for state in decodes],
-                    dispatcher=self._dispatcher,
-                )
+                try:
+                    for state in decodes:
+                        inject("model.decode", state.request.request_id)
+                    decode_logits = self.model.forward_decode_batch(
+                        self._decode_tokens(decodes),
+                        [state.caches for state in decodes],
+                        dispatcher=self._dispatcher,
+                    )
+                except InjectedFault as fault:
+                    # Same recovery as the mixed lane: caches back to
+                    # their pre-step watermarks, victim handled, step
+                    # abandoned.
+                    self._recover_step_fault(fault, [], decodes, decode_contexts)
+                    decodes = []
+                    faulted = True
+            if decodes:
                 lane_padded = (self._attn_stats.padded_slots - padded_before) // (
                     n_layers
                 )
@@ -728,54 +885,92 @@ class Engine:
                     self._emit(state, decode_logits[index, -1, :])
                     new_tokens += 1
 
+        if faulted:
+            # A batch-level rollback already abandoned this step; the
+            # legacy prefills stay queued and run next step.
+            legacy = []
         if legacy and tracer is not None:
             tracer.begin("step.prefill", requests=len(legacy))
         for chunk in legacy:
             state = chunk.state
-            if self._pool is None:
-                # Run the fallible work (cache build, model prefill)
-                # before dequeuing: if either raises, the request stays
-                # queued instead of vanishing.
-                state.caches = self._caches_for(state)
-                logits = self.model.forward_step(
-                    state.request.prompt.reshape(1, -1), state.caches
-                )
-                self._waiting.remove(state)
-                state.status = RequestStatus.RUNNING
-                if tracer is not None:
-                    tracer.lifecycle(state.request.request_id, "RUNNING")
-                state.prefill_pos = state.request.prompt_length
-                request_traffic = prefill_traffic(
-                    self.model.config,
-                    state.request.prompt_length,
-                    kv_bits_per_element=state.kv_bits,
-                )
-                traffic = traffic + request_traffic
-                charge_format(
-                    state,
-                    request_traffic.kv_read_bytes + request_traffic.kv_write_bytes,
-                )
-                prefill_done += state.request.prompt_length
-                self._running.append(state)
-                self._emit(state, logits[0, -1, :], first=True)
-                new_tokens += 1
-            else:
-                cost = state.prefill_tokens
-                hit, prefill_cost, emitted = self._prefill_paged(state)
-                traffic = traffic + prefill_cost
-                charge_format(
-                    state,
-                    prefill_cost.kv_read_bytes + prefill_cost.kv_write_bytes,
-                )
-                new_tokens += emitted
-                prefix_hit_tokens += hit
-                prefill_done += cost - hit
-                if hit:
-                    saved = saved + prefix_cache_savings(
-                        self.model.config,
-                        hit,
-                        kv_bits_per_element=state.kv_bits,
-                    )
+            request_id = state.request.request_id
+            try:
+                # The legacy lane is per-request, so faults here are
+                # always attributable; the ambient scope additionally
+                # attributes pool/codec/gather probes fired inside.
+                with request_scope(request_id):
+                    inject("model.prefill", request_id)
+                    if self._pool is None:
+                        # Run the fallible work (cache build, model
+                        # prefill) before dequeuing: if either raises,
+                        # the request stays queued instead of vanishing.
+                        # A resumed request (re-queued mid-decode by a
+                        # transient-fault backoff) replays its exact
+                        # original call pattern — prompt prefill, then
+                        # one single-token step per already-emitted
+                        # token — so the rebuilt cache is bitwise and
+                        # it emits nothing until it rejoins decode.
+                        resumed = bool(state.generated)
+                        state.caches = self._caches_for(state)
+                        logits = self.model.forward_step(
+                            state.request.prompt.reshape(1, -1), state.caches
+                        )
+                        request_traffic = prefill_traffic(
+                            self.model.config,
+                            state.request.prompt_length,
+                            kv_bits_per_element=state.kv_bits,
+                        )
+                        for token in state.generated[:-1]:
+                            context = state.context_length
+                            self.model.forward_step(
+                                np.array([[token]]), state.caches
+                            )
+                            request_traffic = request_traffic + decode_step_traffic(
+                                self.model.config,
+                                [context],
+                                kv_bits_per_element=state.kv_bits,
+                            )
+                        self._waiting.remove(state)
+                        state.status = RequestStatus.RUNNING
+                        if tracer is not None:
+                            tracer.lifecycle(request_id, "RUNNING", resumed=resumed)
+                        state.prefill_pos = state.request.prompt_length
+                        traffic = traffic + request_traffic
+                        charge_format(
+                            state,
+                            request_traffic.kv_read_bytes
+                            + request_traffic.kv_write_bytes,
+                        )
+                        prefill_done += state.request.prompt_length
+                        self._running.append(state)
+                        if not resumed:
+                            self._emit(state, logits[0, -1, :], first=True)
+                            new_tokens += 1
+                    else:
+                        cost = state.prefill_tokens
+                        hit, prefill_cost, emitted = self._prefill_paged(state)
+                        traffic = traffic + prefill_cost
+                        charge_format(
+                            state,
+                            prefill_cost.kv_read_bytes
+                            + prefill_cost.kv_write_bytes,
+                        )
+                        new_tokens += emitted
+                        prefix_hit_tokens += hit
+                        prefill_done += cost - hit
+                        if hit:
+                            saved = saved + prefix_cache_savings(
+                                self.model.config,
+                                hit,
+                                kv_bits_per_element=state.kv_bits,
+                            )
+            except InjectedFault as fault:
+                # Per-request isolation: the inner rollback paths have
+                # already released this request's partial residency
+                # (release is idempotent); quarantine or back off just
+                # this request and keep serving the rest of the lane.
+                self._release_residency(state)
+                self._handle_request_fault(state, fault)
         if legacy and tracer is not None:
             tracer.end("step.prefill")
 
@@ -940,33 +1135,47 @@ class Engine:
 
         A fresh request gets its cache here — through the prefix cache
         in pool mode, which may shrink the executed chunk (cached
-        positions are mapped, not computed).  If any setup step raises,
-        every chunk already set up is rolled back so no request loses
-        pool blocks or its queue slot.
+        positions are mapped, not computed).  Setup runs per chunk
+        inside that request's fault-attribution scope: an injected
+        fault drops only the faulted chunk (quarantine or backoff) and
+        the rest of the wave proceeds.  If setup raises anything
+        *else*, every chunk already set up is rolled back and the error
+        propagates (blanket-with-reraise: an unknown failure class must
+        not be absorbed) so no request loses pool blocks or its queue
+        slot.
         """
         runs: list[_ChunkRun] = []
-        try:
-            for chunk in chunks:
-                state = chunk.state
-                hit = 0
-                if state.caches is None:
-                    if self._pool is not None:
-                        seq = self._sequence_for(state)
-                        state.kv = seq
-                        state.caches = seq.caches
-                        state.prefill_pos = seq.shared_tokens
-                        hit = seq.shared_tokens
-                    else:
-                        state.caches = self._caches_for(state)
-                tokens = min(
-                    chunk.tokens,
-                    state.request.prompt_length - state.prefill_pos,
-                )
-                runs.append(_ChunkRun(state=state, tokens=tokens, prefix_hit=hit))
-        except Exception:
-            for run in runs:
-                self._rollback_chunk(run.state)
-            raise
+        for chunk in chunks:
+            state = chunk.state
+            request_id = state.request.request_id
+            try:
+                with request_scope(request_id):
+                    hit = 0
+                    if state.caches is None:
+                        if self._pool is not None:
+                            seq = self._sequence_for(state)
+                            seq.owner = request_id
+                            state.kv = seq
+                            state.caches = seq.caches
+                            state.prefill_pos = seq.shared_tokens
+                            hit = seq.shared_tokens
+                        else:
+                            state.caches = self._caches_for(state)
+                    inject("model.chunk", request_id)
+            except InjectedFault as fault:
+                self._release_residency(state)
+                self._handle_request_fault(state, fault)
+                continue
+            except Exception:
+                for run in runs:
+                    self._rollback_chunk(run.state)
+                self._release_residency(state)
+                raise
+            tokens = min(
+                chunk.tokens,
+                state.request.prompt_length - state.prefill_pos,
+            )
+            runs.append(_ChunkRun(state=state, tokens=tokens, prefix_hit=hit))
         return runs
 
     def _release_residency(self, state: RequestState) -> None:
@@ -988,6 +1197,163 @@ class Engine:
         """Undo a chunk participant: release its cache, stay queued."""
         self._release_residency(state)
         state.status = RequestStatus.WAITING
+
+    # -- failure semantics ------------------------------------------------
+
+    def _expire_deadlines(self, now: float) -> None:
+        """Fail every queued/running request past its deadline."""
+        expired = [
+            state
+            for state in itertools.chain(self._waiting, self._running)
+            if state.deadline is not None and now >= state.deadline
+        ]
+        for state in expired:
+            if state in self._running:
+                self._running.remove(state)
+            else:
+                self._waiting.remove(state)
+            self._release_residency(state)
+            self._deadline_expired += 1
+            self._fail_terminal(
+                state,
+                DeadlineExceededError(
+                    f"request {state.request.request_id} exceeded "
+                    f"deadline_s={state.request.params.deadline_s} after "
+                    f"{len(state.generated)} tokens"
+                ),
+                reason="deadline",
+            )
+
+    def _handle_request_fault(
+        self, state: RequestState, fault: InjectedFault
+    ) -> None:
+        """Route an attributed fault: bounded retry, else quarantine."""
+        if (
+            isinstance(fault, TransientFault)
+            and state.retries < self.config.retry.max_retries
+        ):
+            self._backoff(state, fault)
+        else:
+            self._quarantine(state, fault)
+
+    def _backoff(self, state: RequestState, fault: InjectedFault) -> None:
+        """Re-queue a transiently faulted request with bounded backoff.
+
+        Residency is released and the request re-enters the waiting
+        queue in arrival order (exactly the preemption path), hidden
+        from the planner until ``retry_at_step``; re-admission replays
+        its cache bitwise, so a retried request's tokens are identical
+        to an unfaulted run's.
+        """
+        if state in self._running:
+            self._running.remove(state)
+            index = bisect.bisect_left(
+                [waiting.request.request_id for waiting in self._waiting],
+                state.request.request_id,
+            )
+            self._waiting.insert(index, state)
+        self._release_residency(state)
+        state.status = RequestStatus.WAITING
+        state.failure = fault
+        state.retries += 1
+        state.retry_at_step = (
+            self._step_index + 1 + self.config.retry.delay_steps(state.retries)
+        )
+        self._fault_retries += 1
+        if self._tracer is not None:
+            self._tracer.lifecycle(
+                state.request.request_id,
+                "RETRY",
+                site=fault.site,
+                retries=state.retries,
+                at_step=state.retry_at_step,
+            )
+
+    def _quarantine(self, state: RequestState, fault: InjectedFault) -> None:
+        """Terminal isolation of one faulted request.
+
+        The victim moves to FAILED and releases its residency through
+        the shared rollback primitive; its batchmates' KV state is
+        untouched (the caller already rolled any shared step work back
+        to the pre-step watermarks).
+        """
+        if state in self._running:
+            self._running.remove(state)
+        elif state in self._waiting:
+            self._waiting.remove(state)
+        self._release_residency(state)
+        self._fail_terminal(state, fault, reason="error")
+
+    def _fail_terminal(
+        self, state: RequestState, failure: BaseException | None, reason: str
+    ) -> None:
+        """Move a request to FAILED (residency already released)."""
+        state.status = RequestStatus.FAILED
+        state.finish_reason = reason
+        state.failure = failure
+        state.finish_step = self._step_index
+        state.finish_time = time.perf_counter()
+        self._failed += 1
+        # The handle keeps its state reference, so result() raises the
+        # typed failure; like aborts, the id leaves the live-handle map.
+        self._handles.pop(state.request.request_id, None)
+        if self._tracer is not None:
+            self._tracer.lifecycle(
+                state.request.request_id,
+                "FAILED",
+                reason=reason,
+                tokens=len(state.generated),
+            )
+
+    def _truncate_caches(self, state: RequestState, length: int) -> None:
+        """Roll one request's KV back to ``length`` positions."""
+        if state.kv is not None:
+            state.kv.rollback(length)
+        elif state.caches is not None:
+            for cache in state.caches:
+                if cache.length > length:
+                    cache.truncate(length)
+
+    def _recover_step_fault(
+        self,
+        fault: InjectedFault,
+        runs: list[_ChunkRun],
+        decodes: list[RequestState],
+        watermarks: list[int],
+    ) -> None:
+        """Batch-level rollback after a mid-forward injected fault.
+
+        Every decode participant's KV is truncated back to its
+        pre-step watermark (captured before the forward), every chunk
+        participant returns to a clean waiting state, and the grouped-
+        attention dispatcher is rebuilt (its workspaces track synced
+        cache lengths that a truncation would invalidate; fresh
+        workspaces re-sync bitwise).  An attributed victim is then
+        quarantined or backed off; an unattributed fault counts as one
+        batch retry — the whole step simply replays next tick, bitwise.
+        """
+        for state, length in zip(decodes, watermarks):
+            self._truncate_caches(state, length)
+        victim: RequestState | None = None
+        if fault.request_id is not None:
+            for state in itertools.chain(
+                (run.state for run in runs), decodes
+            ):
+                if state.request.request_id == fault.request_id:
+                    victim = state
+                    break
+        for run in runs:
+            if run.state is not victim:
+                self._rollback_chunk(run.state)
+        if self._dispatcher is not None:
+            self._dispatcher = BucketedAttention(
+                pad_waste_cap=self.config.attention_pad_waste
+            )
+        if victim is None:
+            self._fault_retries += 1
+            return
+        self._release_residency(victim)
+        self._handle_request_fault(victim, fault)
 
     # -- paged KV pool paths ----------------------------------------------
 
@@ -1074,6 +1440,7 @@ class Engine:
         prompt = request.prompt
         resumed = bool(state.generated)
         seq = self._sequence_for(state, reserve_logits=not resumed)
+        seq.owner = request.request_id
         hit = seq.shared_tokens
         logits = None
         try:
@@ -1212,12 +1579,32 @@ class Engine:
 
     # -- collection -------------------------------------------------------
 
-    def _stuck_ids(self) -> str:
-        """Comma-separated ids of every request still queued or running."""
-        ids = sorted(
-            state.request.request_id for state in self._waiting + self._running
+    def _stuck_summary(self) -> str:
+        """Ids of every stuck request, with status/failure detail.
+
+        The comma-separated id list stays contiguous (tooling greps
+        ``stuck request ids: 0, 1``); per-request detail — status,
+        retry count, and the last recorded failure — follows in
+        brackets so a drain timeout explains *why* each request is
+        stuck, not just that it is.
+        """
+        states = sorted(
+            self._waiting + self._running,
+            key=lambda state: state.request.request_id,
         )
-        return ", ".join(str(request_id) for request_id in ids)
+        ids = ", ".join(str(state.request.request_id) for state in states)
+        details = []
+        for state in states:
+            parts = [state.status.value]
+            if state.retries:
+                parts.append(f"{state.retries} retries")
+            if state.failure is not None:
+                parts.append(
+                    f"last failure: {type(state.failure).__name__}: "
+                    f"{state.failure}"
+                )
+            details.append(f"{state.request.request_id}: {', '.join(parts)}")
+        return f"{ids} [{'; '.join(details)}]"
 
     def run_until(
         self,
@@ -1257,20 +1644,30 @@ class Engine:
                     f"{what} did not finish within max_steps={max_steps}: "
                     f"{len(self._waiting)} waiting / {len(self._running)} "
                     f"running requests remain (stuck request ids: "
-                    f"{self._stuck_ids()})"
+                    f"{self._stuck_summary()})"
                 )
+            # A step that only fails/retries requests, or that idles
+            # because every waiting request is inside its retry backoff
+            # window, still counts as progress.
+            failures_before = self._failed + self._fault_retries
+            backoff_pending = any(
+                state.retry_at_step > self._step_index
+                for state in self._waiting
+            )
             report = self.step().report
             steps += 1
             no_progress = (
                 report.prefills == 0
                 and report.decodes == 0
                 and report.preemptions == 0
+                and self._failed + self._fault_retries == failures_before
+                and not backoff_pending
             )
             if no_progress and self.has_work():
                 raise ModelError(
                     "scheduler made no progress with requests queued "
                     f"({len(self._waiting)} waiting / {len(self._running)} "
-                    f"running; stuck request ids: {self._stuck_ids()}); "
+                    f"running; stuck request ids: {self._stuck_summary()}); "
                     "this is a scheduling bug, not a capacity limit"
                 )
 
@@ -1318,4 +1715,13 @@ class Engine:
         :meth:`pop_finished`, so streaming consumers keep full latency
         statistics.
         """
-        return summarize(self._reports, self._request_records, aborted=self._aborted)
+        return summarize(
+            self._reports,
+            self._request_records,
+            aborted=self._aborted,
+            failed=self._failed,
+            fault_retries=self._fault_retries,
+            deadline_expired=self._deadline_expired,
+            shed=self._shed,
+            degraded=self._degraded,
+        )

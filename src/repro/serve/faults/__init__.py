@@ -1,0 +1,40 @@
+"""Seeded fault injection and failure-handling policies for serving.
+
+See :mod:`repro.serve.faults.plan` for the declarative plan/policy
+objects and :mod:`repro.serve.faults.injector` for the probe layer the
+engine threads through the stack.
+"""
+
+from repro.serve.faults.injector import (
+    SITES,
+    FaultInjector,
+    active_injector,
+    inject,
+    injection_scope,
+    request_scope,
+)
+from repro.serve.faults.plan import (
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    PermanentFault,
+    PressurePolicy,
+    RetryPolicy,
+    TransientFault,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "PermanentFault",
+    "PressurePolicy",
+    "RetryPolicy",
+    "SITES",
+    "TransientFault",
+    "active_injector",
+    "inject",
+    "injection_scope",
+    "request_scope",
+]

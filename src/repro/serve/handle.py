@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from collections.abc import Iterator
 from typing import TYPE_CHECKING
 
-from repro.errors import ModelError, RequestAbortedError
+from repro.errors import ModelError, RequestAbortedError, RequestFailedError
 from repro.serve.metrics import StepReport
 from repro.serve.request import CompletedRequest, RequestState, RequestStatus
 
@@ -136,6 +136,20 @@ class RequestHandle:
         return self._state.status is RequestStatus.ABORTED
 
     @property
+    def failed(self) -> bool:
+        """The engine quarantined this request (fault/deadline/shed)."""
+        return self._state.status is RequestStatus.FAILED
+
+    def failure(self) -> BaseException | None:
+        """The exception that failed this request, if it has failed.
+
+        None while in flight, after a clean finish, and for failures
+        that carry no exception (load shedding records only the
+        ``finish_reason``).
+        """
+        return self._state.failure
+
+    @property
     def terminal(self) -> bool:
         return self._state.status.terminal
 
@@ -208,9 +222,12 @@ class RequestHandle:
         """Block (stepping the engine) until finished; return the result.
 
         Raises :class:`~repro.errors.RequestAbortedError` if the
-        request was aborted, and :class:`~repro.errors.ModelError` if
-        ``max_steps`` elapse first.  Collect-once semantics compose
-        with :meth:`Engine.pop_finished`/``drain``: claiming a result
+        request was aborted, :class:`~repro.errors.RequestFailedError`
+        (carrying the original fault, when there is one) if the engine
+        failed it — quarantine, deadline expiry, or load shedding —
+        and :class:`~repro.errors.ModelError` if ``max_steps`` elapse
+        first.  Collect-once semantics compose with
+        :meth:`Engine.pop_finished`/``drain``: claiming a result
         through its handle removes it from the engine's finished set.
         """
         if not self.terminal:
@@ -224,6 +241,15 @@ class RequestHandle:
                 f"request {self.request_id} was aborted after "
                 f"{len(self._state.generated)} tokens"
             )
+        if self.failed:
+            fault = self._state.failure
+            reason = self._state.finish_reason or "error"
+            raise RequestFailedError(
+                f"request {self.request_id} failed ({reason}) after "
+                f"{len(self._state.generated)} tokens"
+                + (f": {fault}" if fault is not None else ""),
+                fault=fault,
+            ) from fault
         self._engine._finished.pop(self.request_id, None)
         if self._result is None:  # pragma: no cover - engine invariant
             raise ModelError(

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.llm.attention import KVCache, active_scope, grow_buffer
+from repro.serve.faults.injector import inject
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pool -> paged)
     from repro.serve.kvpool.pool import KVPool
@@ -59,6 +60,12 @@ class PagedKVCache(KVCache):
         self._length = sequence.shared_tokens
 
     def compress(self, tensor: np.ndarray) -> np.ndarray:
+        # Attribution caveat: a stacked-group compress call reaches
+        # here through one member cache on behalf of the whole group;
+        # the owner id is still the right attribution because the
+        # engine rolls the entire step back on any mid-forward fault
+        # before quarantining/retrying the attributed request.
+        inject("codec.encode", self._sequence.owner)
         return self._sequence.codec_for(self._layer).compress(tensor)
 
     def compression_key(self) -> tuple:
@@ -76,6 +83,22 @@ class PagedKVCache(KVCache):
     @property
     def length(self) -> int:
         return self._length
+
+    def truncate(self, length: int) -> None:
+        """Roll this layer back to ``length`` positions (fault rollback).
+
+        Positions beyond ``length`` stay in their blocks but are
+        logically dropped; the sequence-level gather watermark is
+        clamped so re-appended positions are re-dequantized.  Block
+        trimming is the sequence's job (:meth:`SequenceKV.rollback`).
+        """
+        if not 0 <= length <= self._length:
+            raise ModelError(
+                f"truncate({length}) outside stored length {self._length}"
+            )
+        self._length = length
+        deq = self._sequence._deq_len
+        deq[self._layer] = min(deq[self._layer], length)
 
 
 class SequenceKV:
@@ -95,6 +118,7 @@ class SequenceKV:
         "shared_tokens",
         "caches",
         "codecs",
+        "owner",
         "_released",
         "_deq_k",
         "_deq_v",
@@ -122,6 +146,10 @@ class SequenceKV:
                 f"{pool.n_layers}"
             )
         self.codecs = codecs
+        #: Owning request id for fault attribution; set by the engine
+        #: when it binds this sequence to a request, None for
+        #: free-standing sequences (tests, benchmarks).
+        self.owner: int | None = None
         self.caches = [PagedKVCache(self, layer) for layer in range(pool.n_layers)]
         self._released = False
         # Per-layer float32 gather scratch: dequantized history prefix
@@ -227,6 +255,7 @@ class SequenceKV:
         """
         if length < 1:
             raise ModelError("gather needs at least one cached position")
+        inject("paged.gather", self.owner)
         kept = self._deq_len[layer]
         k = self._deq_k[layer]
         v = self._deq_v[layer]
@@ -292,6 +321,33 @@ class SequenceKV:
         return keys, values
 
     # -- teardown ---------------------------------------------------------
+
+    def rollback(self, length: int) -> None:
+        """Roll the whole sequence back to ``length`` positions.
+
+        The engine's batch-level fault recovery: every layer cache is
+        truncated to ``length`` (layers the aborted forward never
+        reached are already there) and blocks past the kept range are
+        returned to the pool.  Copy-on-write forks taken during the
+        aborted step are kept — a fork copies its block's bytes
+        verbatim, so the kept prefix is bitwise intact and replaying
+        the dropped positions reproduces the pre-fault bytes exactly.
+        """
+        if self._released:
+            raise ModelError("rollback() on a released sequence")
+        if length < self.shared_tokens:
+            raise ModelError(
+                f"rollback({length}) below the shared prefix "
+                f"({self.shared_tokens} tokens)"
+            )
+        for cache in self.caches:
+            if cache.length > length:
+                cache.truncate(length)
+        size = self.pool.block_size
+        keep = -(-length // size)
+        for block in self.block_table[keep:]:
+            self.pool.allocator.decref(block)
+        del self.block_table[keep:]
 
     def release(self) -> None:
         """Drop this sequence's references (blocks may live on, shared)."""

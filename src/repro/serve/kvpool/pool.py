@@ -27,6 +27,7 @@ import numpy as np
 from repro.errors import ModelError
 from repro.llm.attention import KVCache
 from repro.llm.config import ModelConfig
+from repro.serve.faults.injector import inject
 from repro.serve.kvpool.allocator import BlockAllocator, OutOfBlocksError
 from repro.serve.kvpool.paged import SequenceKV
 from repro.serve.kvpool.prefix import PrefixCache
@@ -151,6 +152,10 @@ class KVPool:
 
     def take_block(self) -> int:
         """Allocate one block, reclaiming LRU prefix-cache blocks if dry."""
+        # Attribution comes from the engine's ambient request scope
+        # (set around per-request cache setup); mid-forward growth
+        # allocations probe unattributed and fault batch-level.
+        inject("pool.allocate")
         while self.allocator.free_blocks == 0:
             if self.prefix_cache is None or self.prefix_cache.evict_lru() is None:
                 raise OutOfBlocksError(

@@ -24,6 +24,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.errors import ModelError
 from repro.hw.traffic import StepTraffic
 from repro.serve.request import RequestMetrics
 
@@ -36,7 +37,7 @@ def percentile(values: Sequence[float], q: float) -> float:
     request finishes.
     """
     if not 0.0 <= q <= 1.0:
-        raise ValueError(f"percentile q must lie in [0, 1], got {q}")
+        raise ModelError(f"percentile q must lie in [0, 1], got {q}")
     if not values:
         return 0.0
     return float(np.quantile(np.asarray(values), q))
@@ -147,6 +148,20 @@ class EngineMetrics:
         aborted: requests cancelled via ``abort()`` (they release their
             KV residency immediately and never produce a request
             record, so they appear here and nowhere in ``requests``).
+        failed: requests the engine quarantined into the terminal
+            FAILED status — permanent faults, exhausted retries,
+            deadline expiries and shed admissions all land here (like
+            aborts, they produce no request record).
+        fault_retries: transient-fault recoveries — per-request
+            backoff retries plus batch-level step rollbacks (each
+            replays bitwise through recompute-on-resume).
+        deadline_expired: requests failed because their
+            ``SamplingParams.deadline_s`` budget elapsed (a subset of
+            ``failed``).
+        shed: admissions refused under KV-pool pressure (a subset of
+            ``failed``).
+        degraded: admissions downgraded to the pressure policy's
+            lower-bit KV format (these still finish normally).
         requests: per-request latency records (finished requests only).
     """
 
@@ -169,6 +184,11 @@ class EngineMetrics:
     attention_padded_reads: int = 0
     kv_format_bytes: tuple[tuple[str, float], ...] = ()
     aborted: int = 0
+    failed: int = 0
+    fault_retries: int = 0
+    deadline_expired: int = 0
+    shed: int = 0
+    degraded: int = 0
     requests: list[RequestMetrics] = field(default_factory=list)
 
     @property
@@ -214,6 +234,11 @@ def summarize(
     reports: list[StepReport],
     requests: list[RequestMetrics],
     aborted: int = 0,
+    failed: int = 0,
+    fault_retries: int = 0,
+    deadline_expired: int = 0,
+    shed: int = 0,
+    degraded: int = 0,
 ) -> EngineMetrics:
     """Fold step reports and request records into one summary."""
     total_tokens = sum(report.new_tokens for report in reports)
@@ -254,5 +279,10 @@ def summarize(
         ),
         kv_format_bytes=tuple(sorted(format_bytes.items())),
         aborted=aborted,
+        failed=failed,
+        fault_retries=fault_retries,
+        deadline_expired=deadline_expired,
+        shed=shed,
+        degraded=degraded,
         requests=list(requests),
     )

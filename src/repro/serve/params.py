@@ -41,6 +41,14 @@ class SamplingParams:
             the request then finishes with ``finish_reason="stop"``.
         seed: per-request sampling seed (each request draws from its
             own RNG stream, as sequential ``generate`` calls would).
+        deadline_s: optional per-request latency budget in seconds,
+            measured from submission.  Enforced at step boundaries:
+            a request still unfinished when its budget elapses is
+            failed with ``finish_reason="deadline"`` and its handle's
+            ``result()`` raises
+            :class:`~repro.errors.RequestFailedError` carrying a
+            :class:`~repro.errors.DeadlineExceededError`.  None (the
+            default) never expires.
         kv_format: optional per-request KV-cache format override
             (:class:`repro.llm.kv_quant.KVFormat`).  ``None`` (the
             default) inherits the engine-wide
@@ -56,6 +64,7 @@ class SamplingParams:
     top_p: float = 1.0
     stop_token_ids: tuple[int, ...] = field(default_factory=tuple)
     seed: int = 0
+    deadline_s: float | None = None
     kv_format: KVFormat | None = None
 
     def __post_init__(self) -> None:
@@ -75,6 +84,10 @@ class SamplingParams:
         object.__setattr__(self, "stop_token_ids", stop)
         if any(token < 0 for token in stop):
             raise RequestError(f"stop token ids must be >= 0, got {stop}")
+        if self.deadline_s is not None and not self.deadline_s > 0.0:
+            raise RequestError(
+                f"deadline_s must be > 0 (or None), got {self.deadline_s}"
+            )
         if self.kv_format is not None and not isinstance(self.kv_format, KVFormat):
             raise RequestError(
                 "kv_format must be a repro.llm.kv_quant.KVFormat or None, "

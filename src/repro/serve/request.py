@@ -34,10 +34,13 @@ class RequestStatus(enum.Enum):
     request preempted mid-chunk also returns to WAITING, with its
     partial cache released (``prefill_pos`` reset to zero).
 
-    FINISHED and ABORTED are the two terminal states: finished requests
-    freeze into a :class:`CompletedRequest`; aborted requests release
-    their KV residency immediately (the same rollback preemption uses)
-    and never produce a result.
+    FINISHED, ABORTED and FAILED are the terminal states: finished
+    requests freeze into a :class:`CompletedRequest`; aborted requests
+    release their KV residency immediately (the same rollback
+    preemption uses) and never produce a result; failed requests are
+    quarantined by the engine — permanent fault, retries exhausted,
+    deadline expired, or shed at admission — with residency released
+    and the original fault stored in ``RequestState.failure``.
     """
 
     WAITING = "waiting"  # admitted to the queue, no compute yet
@@ -45,10 +48,15 @@ class RequestStatus(enum.Enum):
     RUNNING = "running"  # prefilled; decoding one token per step
     FINISHED = "finished"
     ABORTED = "aborted"  # cancelled by the client; residency released
+    FAILED = "failed"  # quarantined by the engine; residency released
 
     @property
     def terminal(self) -> bool:
-        return self in (RequestStatus.FINISHED, RequestStatus.ABORTED)
+        return self in (
+            RequestStatus.FINISHED,
+            RequestStatus.ABORTED,
+            RequestStatus.FAILED,
+        )
 
 
 @dataclass(frozen=True, eq=False)
@@ -155,9 +163,23 @@ class RequestState:
     #: True once a ``stop_token_ids`` member was emitted; ends the
     #: request before ``max_new_tokens``.
     stopped: bool = False
-    #: Why the request ended (``"length"`` / ``"stop"`` / ``"abort"``);
-    #: None while still in flight.
+    #: Why the request ended (``"length"`` / ``"stop"`` / ``"abort"`` /
+    #: ``"error"`` / ``"deadline"`` / ``"shed"``); None while in flight.
     finish_reason: str | None = None
+    #: Transient-fault retries consumed so far (bounded by
+    #: ``RetryPolicy.max_retries``; each retry replays the request
+    #: through the bitwise recompute-on-resume path).
+    retries: int = 0
+    #: First engine step at which a backed-off request may be scheduled
+    #: again; 0 means schedulable now.
+    retry_at_step: int = 0
+    #: The exception that failed (or last faulted) this request; set on
+    #: quarantine and on each transient retry, surfaced by
+    #: ``RequestHandle.result()`` via RequestFailedError.
+    failure: BaseException | None = None
+    #: Absolute ``perf_counter`` deadline resolved from
+    #: ``SamplingParams.deadline_s`` at submit; None = no deadline.
+    deadline: float | None = None
 
     arrival_step: int = 0
     first_token_step: int | None = None

@@ -119,6 +119,31 @@ ENGINE_COUNTER_FIELDS: tuple[tuple[str, str, str], ...] = (
         "repro_engine_aborted_requests_total",
         "Requests cancelled via abort()",
     ),
+    (
+        "failed",
+        "repro_engine_failed_total",
+        "Requests quarantined into FAILED (faults, deadlines, shedding)",
+    ),
+    (
+        "fault_retries",
+        "repro_engine_fault_retries_total",
+        "Transient-fault recoveries (request backoffs and step rollbacks)",
+    ),
+    (
+        "deadline_expired",
+        "repro_engine_deadline_expired_total",
+        "Requests failed by deadline_s expiry",
+    ),
+    (
+        "shed",
+        "repro_engine_shed_requests_total",
+        "Admissions refused under KV-pool pressure",
+    ),
+    (
+        "degraded",
+        "repro_engine_degraded_requests_total",
+        "Admissions downgraded to the pressure policy's KV format",
+    ),
 )
 
 #: Point-in-time :class:`EngineMetrics` views exported as gauges.

@@ -19,6 +19,7 @@ from repro.lint.rules import (
     NoImportCycles,
     NoSwallowedExceptions,
     NoWallClock,
+    RaisesModelErrors,
     StatsScopedToAttention,
     get_rule,
 )
@@ -345,6 +346,24 @@ def test_rpl007_flags_bare_except_and_blanket_pass(make_repo):
     assert codes(result) == ["RPL007", "RPL007"]
 
 
+def test_rpl007_flags_blanket_handler_without_reraise(make_repo):
+    # A blanket handler that does real work but absorbs the failure is
+    # just as corrupting as a swallow — the step's partial state stays.
+    files = {
+        "serve/engine.py": (
+            "def a():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        rollback()\n"
+            "        log()\n"
+        )
+    }
+    result = lint_one(make_repo, files, NoSwallowedExceptions())
+    assert codes(result) == ["RPL007"]
+    assert "without a re-raise" in result.findings[0].message
+
+
 def test_rpl007_allows_rollback_then_reraise_and_non_serve(make_repo):
     files = {
         "serve/engine.py": (
@@ -477,6 +496,63 @@ def test_rpl010_ignores_llm_package(make_repo):
     assert codes(result) == []
 
 
+# ---------------------------------------------------------------- RPL011
+
+
+def test_rpl011_flags_non_model_error_raises_in_serve(make_repo):
+    files = {
+        "errors.py": (
+            "class ModelError(Exception):\n"
+            "    pass\n"
+        ),
+        "serve/engine.py": (
+            "class LocalOops(RuntimeError):\n"
+            "    pass\n"
+            "def a():\n"
+            "    raise ValueError('bad q')\n"
+            "def b():\n"
+            "    raise NotImplementedError\n"
+            "def c():\n"
+            "    raise LocalOops('outside the taxonomy')\n"
+        ),
+    }
+    result = lint_one(make_repo, files, RaisesModelErrors())
+    assert codes(result) == ["RPL011"] * 3
+    messages = " | ".join(f.message for f in result.findings)
+    assert "ValueError" in messages
+    assert "NotImplementedError" in messages
+    assert "LocalOops" in messages
+
+
+def test_rpl011_allows_transitive_subclasses_and_unresolvable_raises(make_repo):
+    files = {
+        "errors.py": (
+            "class ModelError(Exception):\n"
+            "    pass\n"
+            "class RequestError(ModelError):\n"
+            "    pass\n"
+        ),
+        "serve/faults.py": (
+            "from repro.errors import RequestError\n"
+            "class TransientFault(RequestError):\n"
+            "    pass\n"
+            "def probe(cls):\n"
+            "    raise cls('variable raise is not statically resolvable')\n"
+            "def direct():\n"
+            "    raise TransientFault('two hops below ModelError')\n"
+            "def reraise():\n"
+            "    try:\n"
+            "        direct()\n"
+            "    except TransientFault:\n"
+            "        raise\n"
+        ),
+        # Outside serve/, the taxonomy rule does not apply.
+        "tools/cli.py": "def main():\n    raise SystemExit(2)\n",
+    }
+    result = lint_one(make_repo, files, RaisesModelErrors())
+    assert codes(result) == []
+
+
 # ---------------------------------------------------------------- framework
 
 
@@ -492,7 +568,7 @@ def test_every_rule_has_code_rationale_invariant_and_explain():
         assert rule.explain
         assert get_rule(rule.code) is rule
         assert get_rule(rule.code.lower()) is rule
-    assert len(seen) == 10
+    assert len(seen) == 11
 
 
 def test_findings_are_sorted_and_keyed_stably(make_repo):

@@ -15,6 +15,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import ModelError
 from repro.hw.traffic import StepTraffic
 from repro.serve.metrics import EngineMetrics, StepReport, percentile, summarize
 
@@ -85,7 +86,7 @@ class TestPercentile:
         if 0.0 <= q <= 1.0:
             percentile([1.0], q)
         else:
-            with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            with pytest.raises(ModelError, match=r"\[0, 1\]"):
                 percentile([1.0], q)
 
     @given(
